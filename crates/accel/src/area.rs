@@ -1,0 +1,180 @@
+//! Area model — the reproduction's stand-in for the paper's Design
+//! Compiler synthesis (45 nm TSMC).
+//!
+//! Table VII's defining constraint is *equal area*: the DCNN baseline and
+//! all three MLCNN precisions occupy the same 1.52 mm², with narrower
+//! operands buying proportionally more MAC slices. This module makes that
+//! constraint explicit: per-component area coefficients (45 nm-class
+//! literature values for multipliers, adders and SRAM macros), a die
+//! budget, and the derivation showing each Table VII machine fits it.
+//!
+//! A multiplier's area grows roughly quadratically with operand width
+//! (partial-product array), an adder's linearly, SRAM with capacity.
+//! With the paper's slice counts the arithmetic area is then
+//! approximately constant across precisions — which is exactly why the
+//! paper could quadruple the INT8 slice count for free.
+
+use crate::config::AcceleratorConfig;
+use mlcnn_quant::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Per-component area coefficients (µm², 45 nm-class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Multiplier area per (operand bit)² — partial-product array scaling.
+    pub mult_um2_per_bit2: f64,
+    /// Adder area per operand bit.
+    pub add_um2_per_bit: f64,
+    /// Register area per bit (shift registers, weight registers).
+    pub reg_um2_per_bit: f64,
+    /// FIFO overhead per slice (control + pointers), fixed.
+    pub fifo_um2: f64,
+    /// SRAM area per kB (6T bitcell macro + periphery).
+    pub sram_um2_per_kb: f64,
+    /// Fixed controller/preprocessing/NoC overhead for the die.
+    pub overhead_um2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            // a 32x32 multiplier ≈ 12k µm² at 45 nm → ~11.7 per bit².
+            mult_um2_per_bit2: 11.7,
+            // a 32-bit adder ≈ 0.4k µm² → ~12.5 per bit.
+            add_um2_per_bit: 12.5,
+            reg_um2_per_bit: 4.0,
+            fifo_um2: 450.0,
+            // ~2.4 µm²/bit SRAM macro → ≈19.7k µm² per kB.
+            sram_um2_per_kb: 2400.0,
+            overhead_um2: 120_000.0,
+        }
+    }
+}
+
+/// Area breakdown of one accelerator configuration (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// MAC slices (multipliers + adder trees + weight registers).
+    pub mac_mm2: f64,
+    /// AR units (adders + registers + FIFOs).
+    pub ar_mm2: f64,
+    /// On-chip SRAM buffers.
+    pub sram_mm2: f64,
+    /// Controller / preprocessing / interconnect overhead.
+    pub overhead_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area.
+    pub fn total_mm2(&self) -> f64 {
+        self.mac_mm2 + self.ar_mm2 + self.sram_mm2 + self.overhead_mm2
+    }
+}
+
+/// Area of one MAC slice at a precision (µm²): one multiplier, an
+/// adder-tree stage, and a weight register file.
+pub fn slice_area_um2(model: &AreaModel, p: Precision) -> f64 {
+    let bits = p.bits() as f64;
+    let mult = model.mult_um2_per_bit2 * bits * bits;
+    // adder tree: ~2 adders' worth per slice at operand width
+    let adders = 2.0 * model.add_um2_per_bit * bits;
+    // 16 weight registers per slice
+    let regs = 16.0 * model.reg_um2_per_bit * bits;
+    mult + adders + regs
+}
+
+/// Full-die breakdown for a configuration.
+pub fn die_area(model: &AreaModel, cfg: &AcceleratorConfig) -> AreaBreakdown {
+    let bits = cfg.precision.bits() as f64;
+    let mac_um2 = cfg.mac_slices as f64 * slice_area_um2(model, cfg.precision);
+    let ar_um2 = if cfg.mlcnn_datapath {
+        cfg.mac_slices as f64
+            * (cfg.ar_adders_per_slice as f64 * model.add_um2_per_bit * bits
+                + 4.0 * model.reg_um2_per_bit * bits
+                + model.fifo_um2)
+    } else {
+        0.0
+    };
+    let sram_um2 = cfg.buffer_kb as f64 * model.sram_um2_per_kb;
+    AreaBreakdown {
+        mac_mm2: mac_um2 / 1e6,
+        ar_mm2: ar_um2 / 1e6,
+        sram_mm2: sram_um2 / 1e6,
+        overhead_mm2: model.overhead_um2 / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_multiplier_scaling_makes_slice_trades_free() {
+        // halving operand width quarters the multiplier: 2x the slices at
+        // FP16 (4x at INT8) keep the multiplier area budget roughly flat.
+        let m = AreaModel::default();
+        let fp32 = slice_area_um2(&m, Precision::Fp32);
+        let fp16 = slice_area_um2(&m, Precision::Fp16);
+        let int8 = slice_area_um2(&m, Precision::Int8);
+        assert!(fp16 < 0.5 * fp32, "fp16 slice {fp16} vs fp32 {fp32}");
+        assert!(int8 < 0.25 * fp32, "int8 slice {int8} vs fp32 {fp32}");
+    }
+
+    #[test]
+    fn every_table7_machine_fits_the_budget() {
+        let m = AreaModel::default();
+        for cfg in AcceleratorConfig::table7() {
+            let a = die_area(&m, &cfg);
+            assert!(
+                a.total_mm2() <= cfg.area_mm2 * 1.02,
+                "{}: {:.3} mm² exceeds the {:.2} mm² budget ({a:?})",
+                cfg.name,
+                a.total_mm2(),
+                cfg.area_mm2
+            );
+            // and none is absurdly under-budget either (the budget is the
+            // binding constraint of the design): ≥ 40% utilization
+            assert!(
+                a.total_mm2() >= 0.4 * cfg.area_mm2,
+                "{}: only {:.3} mm² used",
+                cfg.name,
+                a.total_mm2()
+            );
+        }
+    }
+
+    #[test]
+    fn equal_area_across_precisions_within_tolerance() {
+        // the Table VII claim: all four machines occupy ~the same silicon
+        let m = AreaModel::default();
+        let areas: Vec<f64> = AcceleratorConfig::table7()
+            .iter()
+            .map(|c| die_area(&m, c).total_mm2())
+            .collect();
+        let max = areas.iter().cloned().fold(f64::MIN, f64::max);
+        let min = areas.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.35,
+            "areas should be near-equal across Table VII: {areas:?}"
+        );
+    }
+
+    #[test]
+    fn sram_is_a_fixed_big_slice_of_the_die() {
+        let m = AreaModel::default();
+        let a = die_area(&m, &AcceleratorConfig::mlcnn_fp32());
+        assert!(a.sram_mm2 > 0.2, "134kB of SRAM is not free: {a:?}");
+        // identical across machines (same 134kB)
+        let b = die_area(&m, &AcceleratorConfig::mlcnn_int8());
+        assert_eq!(a.sram_mm2, b.sram_mm2);
+    }
+
+    #[test]
+    fn dcnn_baseline_has_no_ar_area() {
+        let m = AreaModel::default();
+        let a = die_area(&m, &AcceleratorConfig::dcnn_fp32());
+        assert_eq!(a.ar_mm2, 0.0);
+        let b = die_area(&m, &AcceleratorConfig::mlcnn_fp32());
+        assert!(b.ar_mm2 > 0.0);
+    }
+}

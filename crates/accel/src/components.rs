@@ -1,0 +1,450 @@
+//! Cycle-steppable functional models of the MLCNN microarchitecture
+//! (paper Figs. 7, 9–11): FIFOs, shift registers, the addition-reuse (AR)
+//! unit, MAC slices and the preprocessing unit.
+//!
+//! These models are the reproduction's stand-in for the authors' Verilog
+//! RTL: they reproduce the *dataflow* — which value moves through which
+//! register on which cycle — and are validated end-to-end against the
+//! fused kernel of `mlcnn-core` (see `fused_pipeline_matches_kernel`).
+//! The aggregate cycle model in [`crate::cycle`] abstracts them into
+//! throughput numbers; these models justify those numbers.
+
+use mlcnn_tensor::Scalar;
+use std::collections::VecDeque;
+
+/// A bounded hardware FIFO.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Create with a fixed capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity FIFO");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Push; returns `false` (and drops nothing) when full.
+    pub fn push(&mut self, v: T) -> bool {
+        if self.buf.len() == self.capacity {
+            return false;
+        }
+        self.buf.push_back(v);
+        true
+    }
+
+    /// Pop the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when at capacity (back-pressure condition).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+}
+
+/// A fixed-depth shift register chain.
+#[derive(Debug, Clone)]
+pub struct ShiftRegister<T: Copy + Default> {
+    regs: Vec<T>,
+}
+
+impl<T: Copy + Default> ShiftRegister<T> {
+    /// Create with `depth` stages initialized to default.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0);
+        Self {
+            regs: vec![T::default(); depth],
+        }
+    }
+
+    /// Shift a value in at stage 0; returns the value falling out of the
+    /// last stage.
+    pub fn shift(&mut self, v: T) -> T {
+        let out = *self.regs.last().expect("nonempty");
+        for i in (1..self.regs.len()).rev() {
+            self.regs[i] = self.regs[i - 1];
+        }
+        self.regs[0] = v;
+        out
+    }
+
+    /// Read a stage.
+    pub fn peek(&self, stage: usize) -> T {
+        self.regs[stage]
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+/// Output of one AR-unit cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArOutput<T> {
+    /// The half addition produced this cycle.
+    pub ha: T,
+    /// A completed block sum, once enough half additions are buffered.
+    pub g: Option<T>,
+}
+
+/// The addition-reuse unit (paper Fig. 7b / Fig. 10) for the 2×2-pool
+/// fused mode: two addition units, a register pair and a small FIFO.
+///
+/// Each cycle it receives two vertically adjacent operands (the column
+/// stream of rows `a` and `a+S`), performs the **half addition** on adder
+/// 1, holds the result in the shift registers, and once the horizontally
+/// `S`-spaced partner is available performs the **full addition** (block
+/// sum) on adder 2 — one HA and up to one G per cycle, exactly the
+/// two-adders-per-AR-block throughput the cycle model assumes.
+#[derive(Debug, Clone)]
+pub struct ArUnit<T: Scalar> {
+    spacing: usize,
+    ha_window: VecDeque<T>,
+    adds_performed: u64,
+}
+
+impl<T: Scalar> ArUnit<T> {
+    /// Create for horizontal spacing `S` (the convolution stride).
+    pub fn new(spacing: usize) -> Self {
+        assert!(spacing > 0);
+        Self {
+            spacing,
+            ha_window: VecDeque::with_capacity(spacing + 1),
+            adds_performed: 0,
+        }
+    }
+
+    /// Start a new row of half additions (clears the HA window).
+    pub fn start_row(&mut self) {
+        self.ha_window.clear();
+    }
+
+    /// One cycle: consume the vertical operand pair, emit the HA and
+    /// possibly a completed block sum.
+    pub fn step(&mut self, top: T, bottom: T) -> ArOutput<T> {
+        let ha = top + bottom;
+        self.adds_performed += 1;
+        self.ha_window.push_back(ha);
+        let g = if self.ha_window.len() > self.spacing {
+            let left = self.ha_window.pop_front().expect("nonempty");
+            self.adds_performed += 1;
+            Some(left + ha)
+        } else {
+            None
+        };
+        ArOutput { ha, g }
+    }
+
+    /// Additions performed since construction.
+    pub fn adds_performed(&self) -> u64 {
+        self.adds_performed
+    }
+
+    /// Stream a whole plane (row-major `rows × cols`) through the unit,
+    /// returning the block-sum plane `(rows−S) × (cols−S)` it produces.
+    pub fn stream_plane(&mut self, plane: &[T], rows: usize, cols: usize) -> Vec<T> {
+        assert_eq!(plane.len(), rows * cols);
+        let s = self.spacing;
+        assert!(rows > s && cols > s, "plane too small for spacing {s}");
+        let mut g = Vec::with_capacity((rows - s) * (cols - s));
+        for a in 0..rows - s {
+            self.start_row();
+            for b in 0..cols {
+                let out = self.step(plane[a * cols + b], plane[(a + s) * cols + b]);
+                if let Some(v) = out.g {
+                    g.push(v);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// A MAC slice (paper Fig. 11): a weight register file, a pipelined
+/// multiplier (PE) and an accumulator fed by the AR unit's block-sum
+/// stream.
+#[derive(Debug, Clone)]
+pub struct MacSlice<T: Scalar> {
+    weights: Vec<T>,
+    acc: T,
+    taps_consumed: usize,
+    cycles: u64,
+    pipeline_depth: u64,
+}
+
+impl<T: Scalar> MacSlice<T> {
+    /// Create with the slice's weight register contents (one fused
+    /// window: `N·K²` factored weights) and the PE pipeline depth (3 for
+    /// the paper's FP32 PE).
+    pub fn new(weights: Vec<T>, pipeline_depth: u64) -> Self {
+        assert!(!weights.is_empty());
+        Self {
+            weights,
+            acc: T::zero(),
+            taps_consumed: 0,
+            cycles: 0,
+            pipeline_depth,
+        }
+    }
+
+    /// Consume one block-sum operand; returns the completed accumulation
+    /// when the last tap has been multiplied.
+    pub fn consume(&mut self, g: T) -> Option<T> {
+        let w = self.weights[self.taps_consumed];
+        self.acc += w * g;
+        self.taps_consumed += 1;
+        self.cycles += 1;
+        if self.taps_consumed == self.weights.len() {
+            let out = self.acc;
+            self.acc = T::zero();
+            self.taps_consumed = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Cycles consumed, including the pipeline fill.
+    pub fn cycles(&self) -> u64 {
+        self.cycles + self.pipeline_depth
+    }
+}
+
+/// The preprocessing unit (paper Fig. 9): divide-by-shift for the pooled
+/// average, bias add, activation, and the pair-add applied before DRAM
+/// writeback when the consumer is a fused layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Preprocess {
+    /// `S1 = 0`: fused conv-pool mode (divide by the pool area).
+    pub fused_mode: bool,
+    /// Pool window (division by `window²` when in fused mode).
+    pub pool_window: usize,
+    /// `S2 = 1`: consumer is fused, pair-add outputs before writeback.
+    pub pair_add_writeback: bool,
+}
+
+impl Preprocess {
+    /// Finalize one accumulator value: divide (fused mode), add bias,
+    /// apply ReLU.
+    pub fn finalize(&self, acc: f32, bias: f32) -> f32 {
+        let v = if self.fused_mode {
+            acc / (self.pool_window * self.pool_window) as f32
+        } else {
+            acc
+        };
+        (v + bias).max(0.0)
+    }
+
+    /// Apply the S2 path to an output column: pair-add vertically
+    /// adjacent values (halving the data sent to DRAM).
+    pub fn writeback(&self, column: &[f32]) -> Vec<f32> {
+        if !self.pair_add_writeback {
+            return column.to_vec();
+        }
+        column.chunks(2).map(|c| c.iter().sum()).collect()
+    }
+}
+
+/// Wire AR unit → MAC slice → preprocessing for one single-channel fused
+/// layer and run it to completion. Returns the outputs and total cycles.
+/// This is the end-to-end "RTL" path validated against
+/// `mlcnn_core::FusedConvPool`.
+pub fn run_fused_pipeline(
+    input: &[f32],
+    rows: usize,
+    cols: usize,
+    weights: &[f32],
+    k: usize,
+    bias: f32,
+) -> (Vec<f32>, u64) {
+    assert_eq!(weights.len(), k * k);
+    // phase 1+2: AR unit streams the plane into block sums
+    let mut ar = ArUnit::new(1);
+    let g = ar.stream_plane(input, rows, cols);
+    let g_rows = rows - 1;
+    let g_cols = cols - 1;
+    // phase 3: the MAC slice walks pooled windows over the block sums
+    // conv output (rows−k+1) pooled by a non-overlapping 2×2 window
+    let out_h = (rows - k - 1) / 2 + 1;
+    let out_w = (cols - k - 1) / 2 + 1;
+    let mut mac = MacSlice::new(weights.to_vec(), 3);
+    let pre = Preprocess {
+        fused_mode: true,
+        pool_window: 2,
+        pair_add_writeback: false,
+    };
+    let mut out = Vec::with_capacity(out_h * out_w);
+    for x in 0..out_h {
+        for y in 0..out_w {
+            let mut done = None;
+            for i in 0..k {
+                for j in 0..k {
+                    let a = 2 * x + i;
+                    let b = 2 * y + j;
+                    debug_assert!(a < g_rows && b < g_cols);
+                    done = mac.consume(g[a * g_cols + b]);
+                }
+            }
+            let acc = done.expect("window complete");
+            out.push(pre.finalize(acc, bias));
+        }
+    }
+    // AR and MAC run concurrently; the pipeline time is the longer stream
+    let ar_cycles = (g_rows * cols) as u64; // one vertical pair per cycle
+    (out, ar_cycles.max(mac.cycles()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_core::FusedConvPool;
+    use mlcnn_tensor::{init, Shape4, Tensor};
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let mut f = Fifo::new(2);
+        assert!(f.push(1));
+        assert!(f.push(2));
+        assert!(!f.push(3), "third push must be refused");
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn shift_register_delays_by_depth() {
+        let mut sr = ShiftRegister::<i32>::new(3);
+        let outs: Vec<i32> = (1..=6).map(|v| sr.shift(v)).collect();
+        assert_eq!(outs, vec![0, 0, 0, 1, 2, 3]);
+        assert_eq!(sr.peek(0), 6);
+        assert_eq!(sr.depth(), 3);
+    }
+
+    #[test]
+    fn ar_unit_produces_block_sums_in_order() {
+        // 3x3 plane 1..9: block sums of 2x2 windows
+        let plane: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut ar = ArUnit::new(1);
+        let g = ar.stream_plane(&plane, 3, 3);
+        // G[0][0]=1+2+4+5=12, G[0][1]=2+3+5+6=16, G[1][0]=4+5+7+8=24, G[1][1]=5+6+8+9=28
+        assert_eq!(g, vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn ar_unit_add_count_matches_two_adders_per_cycle_budget() {
+        let plane: Vec<f32> = (0..25).map(|v| v as f32).collect();
+        let mut ar = ArUnit::new(1);
+        let g = ar.stream_plane(&plane, 5, 5);
+        assert_eq!(g.len(), 16);
+        // HA: 4 rows * 5 cols = 20 adds, G: 16 combines → 36 total
+        assert_eq!(ar.adds_performed(), 36);
+    }
+
+    #[test]
+    fn ar_unit_spacing_two() {
+        // spacing 2 (stride-2 conv): G[a][b] = I[a][b]+I[a][b+2]+I[a+2][b]+I[a+2][b+2]
+        let plane: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut ar = ArUnit::new(2);
+        let g = ar.stream_plane(&plane, 4, 4);
+        assert_eq!(g.len(), 2 * 2);
+        assert_eq!(g[0], 0.0 + 2.0 + 8.0 + 10.0);
+        assert_eq!(g[3], 5.0 + 7.0 + 13.0 + 15.0);
+    }
+
+    #[test]
+    fn mac_slice_accumulates_and_resets() {
+        let mut mac = MacSlice::new(vec![1.0_f32, 2.0], 3);
+        assert_eq!(mac.consume(10.0), None);
+        assert_eq!(mac.consume(100.0), Some(210.0));
+        // accumulator reset for the next window
+        assert_eq!(mac.consume(1.0), None);
+        assert_eq!(mac.consume(1.0), Some(3.0));
+        assert_eq!(mac.cycles(), 4 + 3);
+    }
+
+    #[test]
+    fn preprocess_fused_mode_divides_and_activates() {
+        let p = Preprocess {
+            fused_mode: true,
+            pool_window: 2,
+            pair_add_writeback: false,
+        };
+        assert_eq!(p.finalize(8.0, 0.5), 2.5);
+        assert_eq!(p.finalize(-8.0, 0.5), 0.0, "ReLU clamps");
+        let regular = Preprocess {
+            fused_mode: false,
+            ..p
+        };
+        assert_eq!(regular.finalize(8.0, 0.5), 8.5);
+    }
+
+    #[test]
+    fn preprocess_writeback_pair_adds() {
+        let p = Preprocess {
+            fused_mode: true,
+            pool_window: 2,
+            pair_add_writeback: true,
+        };
+        assert_eq!(p.writeback(&[1.0, 2.0, 3.0, 4.0]), vec![3.0, 7.0]);
+        let off = Preprocess {
+            pair_add_writeback: false,
+            ..p
+        };
+        assert_eq!(off.writeback(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fused_pipeline_matches_kernel() {
+        // the paper's Fig. 5 geometry: 5x5 input, 2x2 filter, 2x2 pool
+        let mut rng = init::rng(21);
+        let input = init::uniform(Shape4::hw(5, 5), -1.0, 1.0, &mut rng);
+        let weights = [0.5_f32, -1.0, 0.25, 2.0];
+        let bias = 0.1;
+        let (hw_out, cycles) =
+            run_fused_pipeline(input.as_slice(), 5, 5, &weights, 2, bias);
+        assert!(cycles > 0);
+
+        let w = Tensor::from_vec(Shape4::new(1, 1, 2, 2), weights.to_vec()).unwrap();
+        let fused = FusedConvPool::new(w, vec![bias], 1, 0, 2).unwrap();
+        let kernel_out = fused.forward(&input).unwrap();
+        assert_eq!(hw_out.len(), kernel_out.len());
+        for (a, b) in hw_out.iter().zip(kernel_out.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_larger_geometry() {
+        let mut rng = init::rng(22);
+        let input = init::uniform(Shape4::hw(12, 12), -2.0, 2.0, &mut rng);
+        let weights: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) * 0.2).collect();
+        let (hw_out, _) = run_fused_pipeline(input.as_slice(), 12, 12, &weights, 3, -0.3);
+        let w = Tensor::from_vec(Shape4::new(1, 1, 3, 3), weights).unwrap();
+        let fused = FusedConvPool::new(w, vec![-0.3], 1, 0, 2).unwrap();
+        let kernel_out = fused.forward(&input).unwrap();
+        for (a, b) in hw_out.iter().zip(kernel_out.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

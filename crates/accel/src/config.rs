@@ -1,0 +1,153 @@
+//! Accelerator configurations (paper Table VII).
+//!
+//! Four machines share one silicon budget (1.52 mm², 134 kB on-chip
+//! memory): the dense-CNN baseline at FP32 and the MLCNN accelerator at
+//! FP32/FP16/INT8. Narrower operands buy proportionally more MAC slices
+//! under the fixed area — 32 → 64 → 128 — which is where the quantized
+//! speedups beyond the arithmetic savings come from.
+
+use mlcnn_quant::Precision;
+use serde::{Deserialize, Serialize};
+
+/// One accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Human-readable name as Table VII labels it.
+    pub name: String,
+    /// Operand precision of the datapath.
+    pub precision: Precision,
+    /// Number of MAC slices (one multiply per slice per cycle).
+    pub mac_slices: usize,
+    /// Addition-reuse adders per MAC slice (the AR unit has two addition
+    /// units per block, Fig. 7b).
+    pub ar_adders_per_slice: usize,
+    /// Whether the fused-layer datapath (AR units, preprocessing,
+    /// reconfiguration) is present. `false` = the DCNN baseline.
+    pub mlcnn_datapath: bool,
+    /// Off-chip bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// On-chip buffer capacity in kB (input+weight+output buffers).
+    pub buffer_kb: usize,
+    /// Die area in mm² (constant across Table VII).
+    pub area_mm2: f64,
+}
+
+/// The fixed Table VII area budget.
+pub const AREA_MM2: f64 = 1.52;
+/// The fixed Table VII on-chip memory budget in kB.
+pub const BUFFER_KB: usize = 134;
+/// Baseline slice count at FP32.
+pub const BASE_SLICES: usize = 32;
+/// Modelled clock (45 nm-class accelerator).
+pub const FREQ_MHZ: f64 = 500.0;
+/// Modelled off-chip bandwidth (bytes per cycle; ≈6 GB/s at 500 MHz, a
+/// single DDR3-class channel).
+pub const DRAM_BYTES_PER_CYCLE: f64 = 12.0;
+
+impl AcceleratorConfig {
+    fn base(name: &str, precision: Precision, mlcnn: bool) -> Self {
+        Self {
+            name: name.into(),
+            precision,
+            mac_slices: BASE_SLICES * precision.slice_multiplier(),
+            ar_adders_per_slice: 2,
+            mlcnn_datapath: mlcnn,
+            dram_bytes_per_cycle: DRAM_BYTES_PER_CYCLE,
+            freq_mhz: FREQ_MHZ,
+            buffer_kb: BUFFER_KB,
+            area_mm2: AREA_MM2,
+        }
+    }
+
+    /// Table VII column 1: the dense-CNN FP32 baseline.
+    pub fn dcnn_fp32() -> Self {
+        Self::base("DCNN FP32", Precision::Fp32, false)
+    }
+
+    /// Table VII column 2: MLCNN at FP32.
+    pub fn mlcnn_fp32() -> Self {
+        Self::base("MLCNN FP32", Precision::Fp32, true)
+    }
+
+    /// Table VII column 3: MLCNN at FP16 (64 slices).
+    pub fn mlcnn_fp16() -> Self {
+        Self::base("MLCNN FP16", Precision::Fp16, true)
+    }
+
+    /// Table VII column 4: quantized MLCNN at INT8 (128 slices).
+    pub fn mlcnn_int8() -> Self {
+        Self::base("MLCNN INT8", Precision::Int8, true)
+    }
+
+    /// All four Table VII columns in order.
+    pub fn table7() -> Vec<Self> {
+        vec![
+            Self::dcnn_fp32(),
+            Self::mlcnn_fp32(),
+            Self::mlcnn_fp16(),
+            Self::mlcnn_int8(),
+        ]
+    }
+
+    /// The three MLCNN precisions of Figs. 13/15.
+    pub fn mlcnn_variants() -> Vec<Self> {
+        vec![Self::mlcnn_fp32(), Self::mlcnn_fp16(), Self::mlcnn_int8()]
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn buffer_bytes(&self) -> usize {
+        self.buffer_kb * 1024
+    }
+
+    /// Buffer capacity in *elements* at this precision.
+    pub fn buffer_elements(&self) -> usize {
+        self.buffer_bytes() / self.precision.bytes()
+    }
+
+    /// Peak multiplications per cycle.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.mac_slices
+    }
+
+    /// Peak AR-unit additions per cycle.
+    pub fn ar_adds_per_cycle(&self) -> usize {
+        self.mac_slices * self.ar_adders_per_slice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_matches_paper() {
+        let t = AcceleratorConfig::table7();
+        assert_eq!(t.len(), 4);
+        let slices: Vec<usize> = t.iter().map(|c| c.mac_slices).collect();
+        assert_eq!(slices, vec![32, 32, 64, 128]);
+        let bits: Vec<u32> = t.iter().map(|c| c.precision.bits()).collect();
+        assert_eq!(bits, vec![32, 32, 16, 8]);
+        for c in &t {
+            assert_eq!(c.area_mm2, 1.52);
+            assert_eq!(c.buffer_kb, 134);
+        }
+        assert!(!t[0].mlcnn_datapath);
+        assert!(t[1..].iter().all(|c| c.mlcnn_datapath));
+    }
+
+    #[test]
+    fn buffer_elements_scale_with_precision() {
+        assert_eq!(
+            AcceleratorConfig::mlcnn_fp32().buffer_elements() * 4,
+            AcceleratorConfig::mlcnn_int8().buffer_elements()
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_slices() {
+        assert_eq!(AcceleratorConfig::mlcnn_int8().macs_per_cycle(), 128);
+        assert_eq!(AcceleratorConfig::mlcnn_fp32().ar_adds_per_cycle(), 64);
+    }
+}

@@ -1,0 +1,467 @@
+//! Per-layer cycle and energy model, and whole-model simulation
+//! (the engine behind Figs. 13 and 15).
+//!
+//! ## Cycle model
+//!
+//! Each MAC slice retires one multiply–accumulate per cycle (the slice's
+//! adder tree absorbs the accumulation); slices work on different output
+//! channels of the same input stream. Extra additions — dense pooling in
+//! the baseline, the AR unit's half additions and block-sum combines in
+//! MLCNN — run on the AR adders (two per slice) concurrently with the MAC
+//! pipeline. Off-chip transfers overlap compute through the multi-bank
+//! buffer, so a layer costs
+//!
+//! ```text
+//! cycles = max(mult_cycles, ar_add_cycles, dram_cycles)
+//! ```
+//!
+//! Crucially, the AR unit computes its block-sum stream **once per input
+//! pass**, shared by all slices consuming it (the paper's weight-input
+//! reuse dataflow); only `⌈M / slices⌉` passes are needed, which is why
+//! heavily-pooled layers (GoogLeNet's 8×8 final pool) become memory-bound
+//! and gain far more than the 4× RME factor alone.
+//!
+//! ## Preprocessing traffic
+//!
+//! For fused layers, the preprocessing unit pair-adds adjacent outputs
+//! before DRAM writeback (paper Fig. 9): a layer's output traffic halves
+//! when its consumer is fused, and a fused layer's input traffic halves
+//! when its producer ran on the accelerator.
+
+use crate::config::AcceleratorConfig;
+use crate::dataflow::{search_tiling, Traffic};
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use mlcnn_core::opcount::{dense_layer_counts, mlcnn_layer_counts, OpCounts};
+use mlcnn_core::reuse_sim::{simulate_row, ReuseMode};
+use mlcnn_nn::zoo::{ConvLayerGeom, ModelDesc};
+use serde::{Deserialize, Serialize};
+
+/// Whether a layer runs the fused conv-pool datapath on a given machine.
+pub fn runs_fused(g: &ConvLayerGeom, cfg: &AcceleratorConfig) -> bool {
+    cfg.mlcnn_datapath
+        && g.pool
+            .map(|p| p.avg && p.window == p.stride)
+            .unwrap_or(false)
+}
+
+/// Simulation result for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPerf {
+    /// Layer label.
+    pub name: String,
+    /// Ran in fused conv-pool mode.
+    pub fused: bool,
+    /// Total cycles (max of the three resources).
+    pub cycles: u64,
+    /// MAC-limited cycles.
+    pub mult_cycles: u64,
+    /// AR-adder-limited cycles.
+    pub add_cycles: u64,
+    /// DRAM-limited cycles.
+    pub mem_cycles: u64,
+    /// Off-chip traffic in bytes.
+    pub traffic_bytes: u64,
+    /// Arithmetic ops (paper accounting, for Fig. 14 cross-checks).
+    pub ops: OpCounts,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// Neighbour context for the preprocessing traffic adjustments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerContext {
+    /// This layer's input was produced on-accelerator by a preprocessing
+    /// writeback (so it arrives as pre-added pairs).
+    pub input_preprocessed: bool,
+    /// This layer's consumer runs fused, so preprocessing halves the
+    /// output writeback.
+    pub output_preprocessed: bool,
+}
+
+/// Hardware-level extra additions per layer: the AR stream is computed
+/// once per input pass and shared across slices.
+fn hw_extra_adds(g: &ConvLayerGeom, cfg: &AcceleratorConfig, fused: bool) -> u64 {
+    if fused {
+        let p = g.pool.expect("fused layers have a pool").window;
+        let padded = g.in_h + 2 * g.pad;
+        let conv_h = g.out_h();
+        let rows = if conv_h < p { 0 } else { (conv_h - p) / p + 1 } as u64;
+        let passes = g.out_ch.div_ceil(cfg.mac_slices) as u64;
+        let row = simulate_row(g.k, padded, g.stride, p, ReuseMode::Both);
+        passes * g.in_ch as u64 * rows * row.block_adds
+    } else {
+        // dense machine: pooling additions (if any) on the addition units
+        match g.pool {
+            Some(p) if p.avg => {
+                let ph = (g.out_h() - p.window) / p.stride + 1;
+                let pw = (g.out_w() - p.window) / p.stride + 1;
+                (ph * pw * g.out_ch) as u64 * (p.window * p.window - 1) as u64
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// DRAM traffic for one layer on a machine, including pooling-aware
+/// output sizing and preprocessing halvings.
+fn layer_traffic(g: &ConvLayerGeom, cfg: &AcceleratorConfig, ctx: LayerContext) -> Traffic {
+    let (_t, mut traffic) = search_tiling(g, cfg.buffer_elements())
+        .unwrap_or_else(|| panic!("layer {} fits no tiling in the buffer", g.name));
+    // both machines pool on-chip before writeback: outputs shrink by the
+    // pooled fraction
+    if let Some(p) = g.pool {
+        let conv = (g.out_h() * g.out_w()) as u64;
+        let ph = (g.out_h() - p.window) / p.stride + 1;
+        let pw = (g.out_w() - p.window) / p.stride + 1;
+        let pooled = (ph * pw) as u64;
+        traffic.output_writes = traffic.output_writes * pooled / conv.max(1);
+    }
+    if ctx.input_preprocessed {
+        traffic.input_reads /= 2;
+    }
+    if ctx.output_preprocessed {
+        traffic.output_writes /= 2;
+    }
+    traffic
+}
+
+/// Simulate one layer on a machine.
+pub fn simulate_layer(
+    g: &ConvLayerGeom,
+    cfg: &AcceleratorConfig,
+    energy_model: &EnergyModel,
+    ctx: LayerContext,
+) -> LayerPerf {
+    let fused = runs_fused(g, cfg);
+    let ops = if fused {
+        mlcnn_layer_counts(g)
+    } else {
+        dense_layer_counts(g)
+    };
+
+    let mult_cycles = ops.mults.div_ceil(cfg.macs_per_cycle() as u64);
+    let extra_adds = hw_extra_adds(g, cfg, fused);
+    let add_cycles = extra_adds.div_ceil(cfg.ar_adds_per_cycle() as u64);
+
+    let ctx = LayerContext {
+        // only the MLCNN datapath has the preprocessing unit
+        input_preprocessed: ctx.input_preprocessed && cfg.mlcnn_datapath,
+        output_preprocessed: ctx.output_preprocessed && cfg.mlcnn_datapath,
+    };
+    let traffic = layer_traffic(g, cfg, ctx);
+    let traffic_bytes = traffic.total() * cfg.precision.bytes() as u64;
+    let mem_cycles = (traffic_bytes as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+
+    let cycles = mult_cycles.max(add_cycles).max(mem_cycles).max(1);
+
+    // energy: arithmetic from hardware ops, memories from bytes moved,
+    // leakage from runtime.
+    let mac_adds = ops.mults + extra_adds; // adder-tree adds pair the mults
+    let mac_nj = (ops.mults as f64 * energy_model.mult(cfg.precision)
+        + mac_adds as f64 * energy_model.add(cfg.precision))
+        / 1000.0;
+    // every multiply reads two operands from the buffer; AR adds read one
+    // fresh operand each (the other comes from a register); outputs write
+    // back once.
+    let buffer_bytes = (2 * ops.mults + extra_adds + traffic.output_writes) as f64
+        * cfg.precision.bytes() as f64;
+    let buffer_nj = buffer_bytes * energy_model.buffer_pj_per_byte / 1000.0;
+    let dram_nj = traffic_bytes as f64 * energy_model.dram_pj_per_byte / 1000.0;
+    let seconds = cycles as f64 / (cfg.freq_mhz * 1e6);
+    let static_nj = energy_model.static_mw * 1e-3 * seconds * 1e9;
+
+    LayerPerf {
+        name: g.name.clone(),
+        fused,
+        cycles,
+        mult_cycles,
+        add_cycles,
+        mem_cycles,
+        traffic_bytes,
+        ops,
+        energy: EnergyBreakdown {
+            dram_nj,
+            buffer_nj,
+            mac_nj,
+            static_nj,
+        },
+    }
+}
+
+/// Whole-model simulation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelPerf {
+    /// Model name.
+    pub model: String,
+    /// Machine name.
+    pub machine: String,
+    /// Per-layer results, conv layers in execution order.
+    pub layers: Vec<LayerPerf>,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Total energy.
+    pub total_energy: EnergyBreakdown,
+}
+
+impl ModelPerf {
+    /// Layer result by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerPerf> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// The fused-capable layers (the bars of Figs. 13–15).
+    pub fn fused_layers(&self) -> Vec<&LayerPerf> {
+        self.layers.iter().filter(|l| l.fused).collect()
+    }
+}
+
+/// Simulate every conv layer of a model on a machine.
+pub fn simulate_model(
+    model: &ModelDesc,
+    cfg: &AcceleratorConfig,
+    energy_model: &EnergyModel,
+) -> ModelPerf {
+    let fusable: Vec<bool> = model
+        .convs
+        .iter()
+        .map(|g| {
+            g.pool
+                .map(|p| p.avg && p.window == p.stride)
+                .unwrap_or(false)
+        })
+        .collect();
+    let mut layers = Vec::with_capacity(model.convs.len());
+    let mut total_cycles = 0u64;
+    let mut total_energy = EnergyBreakdown::default();
+    for (i, g) in model.convs.iter().enumerate() {
+        let ctx = LayerContext {
+            // input arrives pre-added when this layer is fused and its
+            // producer also ran on the accelerator (any non-first layer)
+            input_preprocessed: fusable[i] && i > 0,
+            output_preprocessed: fusable.get(i + 1).copied().unwrap_or(false),
+        };
+        let perf = simulate_layer(g, cfg, energy_model, ctx);
+        total_cycles += perf.cycles;
+        total_energy.accumulate(&perf.energy);
+        layers.push(perf);
+    }
+    ModelPerf {
+        model: model.name.clone(),
+        machine: cfg.name.clone(),
+        layers,
+        total_cycles,
+        total_energy,
+    }
+}
+
+/// Per-layer speedups of `fast` over `base` for the layers that run fused
+/// on `fast` (the Fig. 13 bars).
+pub fn fused_layer_speedups(base: &ModelPerf, fast: &ModelPerf) -> Vec<(String, f64)> {
+    base.layers
+        .iter()
+        .zip(&fast.layers)
+        .filter(|(_, f)| f.fused)
+        .map(|(b, f)| (f.name.clone(), b.cycles as f64 / f.cycles as f64))
+        .collect()
+}
+
+/// Geometric mean of the fused-layer speedups (the paper's headline
+/// per-precision averages).
+pub fn mean_speedup(base: &ModelPerf, fast: &ModelPerf) -> f64 {
+    let s = fused_layer_speedups(base, fast);
+    if s.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = s.iter().map(|(_, v)| v.ln()).sum();
+    (log_sum / s.len() as f64).exp()
+}
+
+/// Per-layer energy-efficiency gains (base energy / fast energy) for the
+/// fused layers (the Fig. 15 ratios).
+pub fn fused_layer_energy_gains(base: &ModelPerf, fast: &ModelPerf) -> Vec<(String, f64)> {
+    base.layers
+        .iter()
+        .zip(&fast.layers)
+        .filter(|(_, f)| f.fused)
+        .map(|(b, f)| {
+            (
+                f.name.clone(),
+                b.energy.total_nj() / f.energy.total_nj(),
+            )
+        })
+        .collect()
+}
+
+/// Geometric-mean energy gain over the fused layers.
+pub fn mean_energy_gain(base: &ModelPerf, fast: &ModelPerf) -> f64 {
+    let s = fused_layer_energy_gains(base, fast);
+    if s.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = s.iter().map(|(_, v)| v.ln()).sum();
+    (log_sum / s.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_nn::zoo;
+
+    fn sim(model: &ModelDesc, cfg: &AcceleratorConfig) -> ModelPerf {
+        simulate_model(model, cfg, &EnergyModel::default())
+    }
+
+    #[test]
+    fn mlcnn_fp32_beats_dcnn_on_every_fused_layer() {
+        for model in zoo::evaluation_models(100) {
+            let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+            let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+            for (name, s) in fused_layer_speedups(&base, &fast) {
+                assert!(s > 1.0, "{}: {name} speedup {s}", model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_fp32_speedup_is_in_the_paper_band() {
+        // Paper: "MLCNN achieves about 3.2x performance improvement on
+        // average for 32-bit floating point operations."
+        let mut speedups = Vec::new();
+        for model in zoo::evaluation_models(100) {
+            let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+            let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+            speedups.extend(fused_layer_speedups(&base, &fast).into_iter().map(|(_, s)| s));
+        }
+        let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        assert!(
+            (2.0..5.0).contains(&geo),
+            "average FP32 speedup {geo} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn precision_scaling_orders_fp32_fp16_int8() {
+        let model = zoo::vgg16(100);
+        let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+        let fp32 = mean_speedup(&base, &sim(&model, &AcceleratorConfig::mlcnn_fp32()));
+        let fp16 = mean_speedup(&base, &sim(&model, &AcceleratorConfig::mlcnn_fp16()));
+        let int8 = mean_speedup(&base, &sim(&model, &AcceleratorConfig::mlcnn_int8()));
+        assert!(fp16 > fp32, "fp16 {fp16} vs fp32 {fp32}");
+        assert!(int8 > fp16, "int8 {int8} vs fp16 {fp16}");
+    }
+
+    #[test]
+    fn googlenet_final_pool_layers_gain_most() {
+        // Paper: C9 (the 5b module feeding the 8x8 pool) has the highest
+        // per-layer gain in GoogLeNet.
+        let model = zoo::googlenet(100);
+        let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+        let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        let speedups = fused_layer_speedups(&base, &fast);
+        let best = speedups
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            best.0.starts_with("i5b"),
+            "best layer should be in the 5b module, got {best:?}"
+        );
+        assert!(best.1 > 4.0, "best GoogLeNet speedup {} too small", best.1);
+    }
+
+    #[test]
+    fn energy_gains_track_speedups() {
+        let model = zoo::lenet5(100);
+        let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+        let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        let e = mean_energy_gain(&base, &fast);
+        assert!(e > 1.5, "energy gain {e}");
+        // energy efficiency is in the same ballpark as the speedup
+        let s = mean_speedup(&base, &fast);
+        assert!(e > 0.4 * s && e < 2.5 * s, "energy {e} vs speedup {s}");
+    }
+
+    #[test]
+    fn unfused_layers_match_between_machines_at_same_precision() {
+        let model = zoo::vgg16(100);
+        let fusable: Vec<bool> = model
+            .convs
+            .iter()
+            .map(|g| g.pool.map(|p| p.avg).unwrap_or(false))
+            .collect();
+        let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
+        let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        for (i, (b, f)) in base.layers.iter().zip(&fast.layers).enumerate() {
+            if !f.fused {
+                // an unfused layer feeding a fused consumer still benefits
+                // from the preprocessing writeback on the MLCNN machine;
+                // away from fused neighbours the machines are identical.
+                if fusable.get(i + 1).copied().unwrap_or(false) {
+                    assert!(f.cycles <= b.cycles, "{}", b.name);
+                } else {
+                    assert_eq!(b.cycles, f.cycles, "{}", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_resource_maxima() {
+        let model = zoo::lenet5(10);
+        let perf = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        for l in &perf.layers {
+            assert_eq!(
+                l.cycles,
+                l.mult_cycles.max(l.add_cycles).max(l.mem_cycles).max(1),
+                "{}",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_components_all_positive() {
+        let model = zoo::lenet5(10);
+        let perf = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        for l in &perf.layers {
+            assert!(l.energy.dram_nj > 0.0, "{}", l.name);
+            assert!(l.energy.buffer_nj > 0.0, "{}", l.name);
+            assert!(l.energy.mac_nj > 0.0, "{}", l.name);
+            assert!(l.energy.static_nj > 0.0, "{}", l.name);
+        }
+        assert!(perf.total_energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn int8_moves_fewer_bytes_than_fp32() {
+        let model = zoo::vgg16(100);
+        let a = sim(&model, &AcceleratorConfig::mlcnn_fp32());
+        let b = sim(&model, &AcceleratorConfig::mlcnn_int8());
+        assert!(b.layers[0].traffic_bytes < a.layers[0].traffic_bytes);
+    }
+
+    #[test]
+    fn preprocessing_halves_fused_chain_traffic() {
+        // LeNet C2 is fused and follows fused C1: its input reads halve on
+        // the MLCNN machine relative to a machine without the datapath.
+        let model = zoo::lenet5(10);
+        let g = &model.convs[1];
+        let em = EnergyModel::default();
+        let with = simulate_layer(
+            g,
+            &AcceleratorConfig::mlcnn_fp32(),
+            &em,
+            LayerContext {
+                input_preprocessed: true,
+                output_preprocessed: false,
+            },
+        );
+        let without = simulate_layer(
+            g,
+            &AcceleratorConfig::mlcnn_fp32(),
+            &em,
+            LayerContext::default(),
+        );
+        assert!(with.traffic_bytes < without.traffic_bytes);
+    }
+}

@@ -1,0 +1,263 @@
+//! Loop tiling and DRAM-traffic accounting (paper Section VI, "Dataflow
+//! Design", after Zhang et al. FPGA'15 whom the paper cites for the
+//! ⟨Tm,Tn,Tr,Tc⟩ parameterization).
+//!
+//! The on-chip multi-bank buffer holds one input tile, one weight tile
+//! and one output tile. The tile loop order is weight-input-reuse: a
+//! weight chunk stays in the PE registers until it has met every input of
+//! its tile. Off-chip traffic then follows from how many times each
+//! operand class must be (re-)fetched:
+//!
+//! * inputs are re-read once per output-channel tile group (`⌈M/Tm⌉`);
+//! * weights are re-read once per spatial tile (`⌈R/Tr⌉·⌈C/Tc⌉`);
+//! * outputs are written once if all input channels fit (`Tn = N`),
+//!   otherwise partial sums travel to DRAM and back (`2·⌈N/Tn⌉ − 1`
+//!   trips).
+
+use mlcnn_nn::zoo::ConvLayerGeom;
+use serde::{Deserialize, Serialize};
+
+/// A loop tiling `⟨Tm, Tn, Tr, Tc⟩`: output-channel, input-channel,
+/// output-row and output-column tile extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Output channels per tile.
+    pub tm: usize,
+    /// Input channels per tile.
+    pub tn: usize,
+    /// Output rows per tile.
+    pub tr: usize,
+    /// Output columns per tile.
+    pub tc: usize,
+}
+
+impl Tiling {
+    /// On-chip elements needed to hold one tile of inputs + weights +
+    /// outputs for a layer with kernel `k` and stride `s`.
+    pub fn footprint_elements(&self, k: usize, s: usize) -> usize {
+        let in_tile = self.tn * (s * (self.tr - 1) + k) * (s * (self.tc - 1) + k);
+        let w_tile = self.tm * self.tn * k * k;
+        let out_tile = self.tm * self.tr * self.tc;
+        in_tile + w_tile + out_tile
+    }
+}
+
+/// Off-chip traffic for one layer, in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Traffic {
+    /// Input feature-map reads.
+    pub input_reads: u64,
+    /// Weight reads.
+    pub weight_reads: u64,
+    /// Output (and partial-sum) transfers.
+    pub output_writes: u64,
+}
+
+impl Traffic {
+    /// Total elements moved.
+    pub fn total(&self) -> u64 {
+        self.input_reads + self.weight_reads + self.output_writes
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Traffic for a conv layer under a tiling.
+pub fn dram_traffic(g: &ConvLayerGeom, t: &Tiling) -> Traffic {
+    let (m, n) = (g.out_ch, g.in_ch);
+    let (r, c) = (g.out_h(), g.out_w());
+    let a_m = ceil_div(m, t.tm) as u64;
+    let a_n = ceil_div(n, t.tn) as u64;
+    let a_r = ceil_div(r, t.tr) as u64;
+    let a_c = ceil_div(c, t.tc) as u64;
+    let input_elems = (n * g.in_h * g.in_w) as u64;
+    let weight_elems = (m * n * g.k * g.k) as u64;
+    let output_elems = (m * r * c) as u64;
+    Traffic {
+        input_reads: input_elems * a_m,
+        weight_reads: weight_elems * a_r * a_c,
+        output_writes: output_elems * (2 * a_n - 1),
+    }
+}
+
+fn candidates(total: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        .iter()
+        .copied()
+        .filter(|&x| x < total)
+        .collect();
+    v.push(total);
+    v
+}
+
+/// Search the tiling space for the minimum-traffic tiling whose footprint
+/// fits the buffer. Returns `None` only if even the 1×1×1×1 tile does not
+/// fit (a buffer smaller than one kernel stack).
+pub fn search_tiling(g: &ConvLayerGeom, capacity_elements: usize) -> Option<(Tiling, Traffic)> {
+    let mut best: Option<(Tiling, Traffic)> = None;
+    for &tm in &candidates(g.out_ch) {
+        for &tn in &candidates(g.in_ch) {
+            for &tr in &candidates(g.out_h()) {
+                for &tc in &candidates(g.out_w()) {
+                    let t = Tiling { tm, tn, tr, tc };
+                    if t.footprint_elements(g.k, g.stride) > capacity_elements {
+                        continue;
+                    }
+                    let traffic = dram_traffic(g, &t);
+                    let better = match &best {
+                        None => true,
+                        Some((_, b)) => traffic.total() < b.total(),
+                    };
+                    if better {
+                        best = Some((t, traffic));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Minimum possible traffic (every operand moved exactly once) — the
+/// infinite-buffer lower bound, used in tests and as the effective
+/// traffic when a whole layer fits on chip.
+pub fn compulsory_traffic(g: &ConvLayerGeom) -> Traffic {
+    Traffic {
+        input_reads: (g.in_ch * g.in_h * g.in_w) as u64,
+        weight_reads: (g.out_ch * g.in_ch * g.k * g.k) as u64,
+        output_writes: (g.out_ch * g.out_h() * g.out_w()) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_nn::zoo;
+
+    fn geom(in_ch: usize, out_ch: usize, d: usize, k: usize, pad: usize) -> ConvLayerGeom {
+        ConvLayerGeom {
+            name: "t".into(),
+            in_ch,
+            out_ch,
+            in_h: d,
+            in_w: d,
+            k,
+            stride: 1,
+            pad,
+            pool: None,
+        }
+    }
+
+    #[test]
+    fn footprint_matches_hand_computation() {
+        let t = Tiling {
+            tm: 4,
+            tn: 2,
+            tr: 8,
+            tc: 8,
+        };
+        // input: 2 * 10 * 10, weights: 4*2*9, output: 4*8*8
+        assert_eq!(t.footprint_elements(3, 1), 200 + 72 + 256);
+    }
+
+    #[test]
+    fn whole_layer_tile_gives_compulsory_traffic() {
+        let g = geom(4, 8, 16, 3, 1);
+        let t = Tiling {
+            tm: 8,
+            tn: 4,
+            tr: g.out_h(),
+            tc: g.out_w(),
+        };
+        let traffic = dram_traffic(&g, &t);
+        assert_eq!(traffic, compulsory_traffic(&g));
+    }
+
+    #[test]
+    fn splitting_output_channels_rereads_inputs() {
+        let g = geom(4, 8, 16, 3, 1);
+        let whole = Tiling {
+            tm: 8,
+            tn: 4,
+            tr: g.out_h(),
+            tc: g.out_w(),
+        };
+        let halved = Tiling { tm: 4, ..whole };
+        let a = dram_traffic(&g, &whole);
+        let b = dram_traffic(&g, &halved);
+        assert_eq!(b.input_reads, 2 * a.input_reads);
+        assert_eq!(b.weight_reads, a.weight_reads);
+        assert_eq!(b.output_writes, a.output_writes);
+    }
+
+    #[test]
+    fn splitting_input_channels_costs_partial_sums() {
+        let g = geom(4, 8, 16, 3, 1);
+        let whole = Tiling {
+            tm: 8,
+            tn: 4,
+            tr: g.out_h(),
+            tc: g.out_w(),
+        };
+        let halved = Tiling { tn: 2, ..whole };
+        let a = dram_traffic(&g, &whole);
+        let b = dram_traffic(&g, &halved);
+        // 2 input-channel tiles → partial sums written then read back once
+        assert_eq!(b.output_writes, 3 * a.output_writes);
+    }
+
+    #[test]
+    fn search_respects_capacity() {
+        let g = geom(16, 32, 32, 3, 1);
+        let cap = 4096;
+        let (t, _) = search_tiling(&g, cap).expect("should fit");
+        assert!(t.footprint_elements(g.k, g.stride) <= cap);
+    }
+
+    #[test]
+    fn bigger_buffers_never_increase_traffic() {
+        let g = geom(16, 32, 32, 3, 1);
+        let mut prev = u64::MAX;
+        for cap in [2048usize, 8192, 32768, 1 << 20] {
+            let (_, traffic) = search_tiling(&g, cap).expect("fits");
+            assert!(traffic.total() <= prev, "cap {cap}");
+            prev = traffic.total();
+        }
+    }
+
+    #[test]
+    fn infinite_buffer_reaches_compulsory() {
+        let g = geom(8, 8, 16, 3, 1);
+        let (_, traffic) = search_tiling(&g, usize::MAX / 2).unwrap();
+        assert_eq!(traffic, compulsory_traffic(&g));
+    }
+
+    #[test]
+    fn tiny_buffer_fails_gracefully() {
+        let g = geom(8, 8, 16, 3, 1);
+        assert!(search_tiling(&g, 10).is_none());
+    }
+
+    #[test]
+    fn vgg_layers_fit_the_134kb_budget_at_fp32() {
+        // every VGG-16 layer must admit *some* tiling in 134kB/4B elements
+        let cap = 134 * 1024 / 4;
+        for g in &zoo::vgg16(10).convs {
+            assert!(
+                search_tiling(g, cap).is_some(),
+                "{} does not fit any tiling",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_exceeds_compulsory_when_constrained() {
+        let g = geom(64, 128, 32, 3, 1);
+        let cap = 134 * 1024 / 4;
+        let (_, constrained) = search_tiling(&g, cap).unwrap();
+        assert!(constrained.total() >= compulsory_traffic(&g).total());
+    }
+}

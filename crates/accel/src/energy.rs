@@ -1,0 +1,131 @@
+//! Energy model (the reproduction's CACTI substitute).
+//!
+//! Coefficients are 45 nm-class numbers in the spirit of Horowitz's
+//! ISSCC'14 survey: arithmetic energy scales steeply with operand width,
+//! SRAM access costs a few pJ per byte, DRAM two orders of magnitude
+//! more, and leakage burns a fixed power for as long as the layer runs.
+//! Absolute joules are not the reproduction target — the DRAM/Buffer/MAC
+//! *breakdown* and the MLCNN-vs-DCNN ratios of Fig. 15 are.
+
+use mlcnn_quant::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation and per-byte energy coefficients (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Multiply energy per op (pJ) at FP32/FP16/INT8.
+    pub mult_pj: [f64; 3],
+    /// Add energy per op (pJ) at FP32/FP16/INT8.
+    pub add_pj: [f64; 3],
+    /// On-chip buffer access energy per byte (pJ/B).
+    pub buffer_pj_per_byte: f64,
+    /// DRAM access energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage) power in mW for the 1.52 mm² die.
+    pub static_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            // Horowitz ISSCC'14 45nm: FP32 mult 3.7pJ / add 0.9pJ;
+            // FP16 mult 1.1pJ / add 0.4pJ; INT8 mult 0.2pJ / add 0.03pJ.
+            mult_pj: [3.7, 1.1, 0.2],
+            add_pj: [0.9, 0.4, 0.03],
+            // 134kB-class multi-bank SRAM: ~6pJ per byte accessed.
+            buffer_pj_per_byte: 6.0,
+            // DDR3-class: ~150pJ per byte.
+            dram_pj_per_byte: 150.0,
+            static_mw: 40.0,
+        }
+    }
+}
+
+fn prec_idx(p: Precision) -> usize {
+    match p {
+        Precision::Fp32 => 0,
+        Precision::Fp16 => 1,
+        Precision::Int8 => 2,
+    }
+}
+
+impl EnergyModel {
+    /// Multiply energy at a precision (pJ/op).
+    pub fn mult(&self, p: Precision) -> f64 {
+        self.mult_pj[prec_idx(p)]
+    }
+
+    /// Add energy at a precision (pJ/op).
+    pub fn add(&self, p: Precision) -> f64 {
+        self.add_pj[prec_idx(p)]
+    }
+}
+
+/// The Fig. 15 energy breakdown, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM access energy.
+    pub dram_nj: f64,
+    /// On-chip buffer access energy.
+    pub buffer_nj: f64,
+    /// Arithmetic (MAC + AR) energy.
+    pub mac_nj: f64,
+    /// Leakage energy over the layer's runtime.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (nJ).
+    pub fn total_nj(&self) -> f64 {
+        self.dram_nj + self.buffer_nj + self.mac_nj + self.static_nj
+    }
+
+    /// Accumulate another breakdown.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.dram_nj += other.dram_nj;
+        self.buffer_nj += other.buffer_nj;
+        self.mac_nj += other.mac_nj;
+        self.static_nj += other.static_nj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrower_precision_is_cheaper_per_op() {
+        let m = EnergyModel::default();
+        assert!(m.mult(Precision::Fp32) > m.mult(Precision::Fp16));
+        assert!(m.mult(Precision::Fp16) > m.mult(Precision::Int8));
+        assert!(m.add(Precision::Fp32) > m.add(Precision::Int8));
+    }
+
+    #[test]
+    fn dram_dominates_buffer_per_byte() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_byte > 10.0 * m.buffer_pj_per_byte);
+    }
+
+    #[test]
+    fn breakdown_totals_and_accumulates() {
+        let mut a = EnergyBreakdown {
+            dram_nj: 1.0,
+            buffer_nj: 2.0,
+            mac_nj: 3.0,
+            static_nj: 4.0,
+        };
+        assert_eq!(a.total_nj(), 10.0);
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total_nj(), 20.0);
+    }
+
+    #[test]
+    fn multiplication_costs_more_than_addition() {
+        let m = EnergyModel::default();
+        for p in Precision::ALL {
+            assert!(m.mult(p) > m.add(p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # mlcnn-accel
+//!
+//! Accelerator-level cycle and energy model of the MLCNN accelerator
+//! (paper Section VI) and its dense-CNN baseline — the reproduction's
+//! substitute for the authors' Verilog RTL + Design Compiler + CACTI +
+//! Vivado toolchain (see DESIGN.md §2 for the substitution argument).
+//!
+//! * [`config`] — the Table VII accelerator configurations: one fixed
+//!   1.52 mm² / 134 kB budget, MAC-slice counts scaling with operand
+//!   precision (32 at FP32, 64 at FP16, 128 at INT8).
+//! * [`energy`] — per-operation, per-byte and static energy coefficients
+//!   (45 nm-class published numbers) and the DRAM/Buffer/MAC breakdown of
+//!   Fig. 15.
+//! * [`dataflow`] — the weight-input-reuse dataflow with loop tiling
+//!   `⟨Tm,Tn,Tr,Tc⟩` (Section VI "Dataflow Design"): buffer footprint,
+//!   DRAM-traffic accounting, and tiling search under the on-chip budget.
+//! * [`components`] — cycle-steppable functional models of the
+//!   microarchitecture: FIFOs, shift registers, the addition-reuse (AR)
+//!   unit, MAC slices and the preprocessing unit, validated against the
+//!   fused kernel of `mlcnn-core`.
+//! * [`cycle`] — the per-layer cycle model combining compute throughput
+//!   (MAC slices + AR adders) with memory time, and the whole-model
+//!   simulation producing Figs. 13 and 15.
+//! * [`trace`] — tile-level double-buffered schedule simulation that
+//!   validates the cycle model's compute/memory-overlap assumption.
+//! * [`area`] — the Design Compiler stand-in: per-component area
+//!   coefficients showing every Table VII machine fits the one 1.52 mm²
+//!   budget (quadratic multiplier scaling is what makes the slice-count
+//!   trade free).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod components;
+pub mod config;
+pub mod cycle;
+pub mod dataflow;
+pub mod energy;
+pub mod trace;
+
+pub use config::AcceleratorConfig;
+pub use cycle::{simulate_layer, simulate_model, LayerPerf, ModelPerf};
+pub use energy::EnergyBreakdown;

@@ -1,0 +1,98 @@
+//! Property tests for the accelerator model: invariants of the tiling
+//! search, the cycle model and the traced schedules across randomized
+//! layer geometries.
+
+use mlcnn_accel::config::AcceleratorConfig;
+use mlcnn_accel::cycle::{simulate_layer, LayerContext};
+use mlcnn_accel::dataflow::{compulsory_traffic, dram_traffic, search_tiling, Tiling};
+use mlcnn_accel::energy::EnergyModel;
+use mlcnn_accel::trace::trace_layer;
+use mlcnn_nn::zoo::{ConvLayerGeom, PoolAfter};
+use proptest::prelude::*;
+
+fn arb_geom() -> impl Strategy<Value = ConvLayerGeom> {
+    (1usize..32, 1usize..32, 2usize..5, 0usize..2, 3usize..7, any::<bool>()).prop_map(
+        |(in_ch, out_ch, k, pad, half_d, pooled)| {
+            let d = 2 * half_d + k; // ensure a pooled output exists
+            ConvLayerGeom {
+                name: "p".into(),
+                in_ch,
+                out_ch,
+                in_h: d,
+                in_w: d,
+                k,
+                stride: 1,
+                pad,
+                pool: pooled.then_some(PoolAfter::avg2()),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiling_search_never_beats_compulsory(g in arb_geom()) {
+        let cap = AcceleratorConfig::mlcnn_fp32().buffer_elements();
+        if let Some((t, traffic)) = search_tiling(&g, cap) {
+            prop_assert!(t.footprint_elements(g.k, g.stride) <= cap);
+            prop_assert!(traffic.total() >= compulsory_traffic(&g).total());
+            prop_assert_eq!(traffic, dram_traffic(&g, &t));
+        }
+    }
+
+    #[test]
+    fn mlcnn_machine_never_slower_on_any_layer(g in arb_geom()) {
+        let em = EnergyModel::default();
+        let base = simulate_layer(&g, &AcceleratorConfig::dcnn_fp32(), &em, LayerContext::default());
+        let fast = simulate_layer(&g, &AcceleratorConfig::mlcnn_fp32(), &em, LayerContext::default());
+        prop_assert!(fast.cycles <= base.cycles, "{:?}: {} > {}", g, fast.cycles, base.cycles);
+        prop_assert!(fast.energy.total_nj() <= base.energy.total_nj() * 1.001);
+    }
+
+    #[test]
+    fn narrower_precision_never_slower(g in arb_geom()) {
+        let em = EnergyModel::default();
+        let fp32 = simulate_layer(&g, &AcceleratorConfig::mlcnn_fp32(), &em, LayerContext::default());
+        let fp16 = simulate_layer(&g, &AcceleratorConfig::mlcnn_fp16(), &em, LayerContext::default());
+        let int8 = simulate_layer(&g, &AcceleratorConfig::mlcnn_int8(), &em, LayerContext::default());
+        prop_assert!(fp16.cycles <= fp32.cycles);
+        prop_assert!(int8.cycles <= fp16.cycles);
+    }
+
+    #[test]
+    fn preprocessing_never_increases_traffic(g in arb_geom()) {
+        let em = EnergyModel::default();
+        let cfg = AcceleratorConfig::mlcnn_fp32();
+        let plain = simulate_layer(&g, &cfg, &em, LayerContext::default());
+        let pre = simulate_layer(
+            &g,
+            &cfg,
+            &em,
+            LayerContext { input_preprocessed: true, output_preprocessed: true },
+        );
+        prop_assert!(pre.traffic_bytes <= plain.traffic_bytes);
+        prop_assert!(pre.cycles <= plain.cycles);
+    }
+
+    #[test]
+    fn traced_makespan_within_resource_bounds(g in arb_geom()) {
+        let cfg = AcceleratorConfig::mlcnn_fp32();
+        prop_assume!(search_tiling(&g, cfg.buffer_elements()).is_some());
+        let (tiling, _) = search_tiling(&g, cfg.buffer_elements()).unwrap();
+        let trace = trace_layer(&g, &cfg, &tiling);
+        let lower = trace.compute_busy.max(trace.dram_busy);
+        prop_assert!(trace.makespan >= lower);
+        prop_assert!(trace.makespan <= trace.compute_busy + trace.dram_busy + 10);
+    }
+
+    #[test]
+    fn forced_small_tilings_respect_traffic_model(g in arb_geom(), tm in 1usize..8, tn in 1usize..8) {
+        let t = Tiling { tm, tn, tr: g.out_h().max(1), tc: g.out_w().max(1) };
+        let traffic = dram_traffic(&g, &t);
+        // splitting channels only ever adds traffic
+        let whole = Tiling { tm: g.out_ch, tn: g.in_ch, tr: g.out_h(), tc: g.out_w() };
+        prop_assert!(traffic.total() >= dram_traffic(&g, &whole).total());
+    }
+}

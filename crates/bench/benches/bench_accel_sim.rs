@@ -1,0 +1,63 @@
+//! Figs. 13 & 15 as benchmarks: whole-model cycle/energy simulation on
+//! every Table VII machine, plus the tiling-search cost (the dataflow
+//! ablation of DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_accel::config::AcceleratorConfig;
+use mlcnn_accel::cycle::simulate_model;
+use mlcnn_accel::dataflow::search_tiling;
+use mlcnn_accel::energy::EnergyModel;
+use mlcnn_nn::zoo;
+use std::hint::black_box;
+
+fn bench_fig13_fig15_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_fig15_model_simulation");
+    group.sample_size(10);
+    let em = EnergyModel::default();
+    for model in [zoo::lenet5(100), zoo::vgg16(100), zoo::googlenet(100)] {
+        for cfg in AcceleratorConfig::table7() {
+            let label = format!("{}_{}", model.name, cfg.name.replace(' ', "_"));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&label),
+                &(&model, &cfg),
+                |b, (m, cfg)| b.iter(|| black_box(simulate_model(m, cfg, &em))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tiling_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tiling_search");
+    let model = zoo::vgg16(100);
+    let cap_fp32 = 134 * 1024 / 4;
+    for name in ["C2", "C7", "C13"] {
+        let g = model.convs.iter().find(|c| c.name == name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| black_box(search_tiling(black_box(g), cap_fp32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_schedule_trace");
+    let cfg = AcceleratorConfig::mlcnn_fp32();
+    let model = zoo::vgg16(100);
+    for name in ["C2", "C7"] {
+        let g = model.convs.iter().find(|c| c.name == name).unwrap();
+        let (tiling, _) = search_tiling(g, cfg.buffer_elements()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| black_box(mlcnn_accel::trace::trace_layer(g, &cfg, &tiling)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig13_fig15_simulation,
+    bench_tiling_search,
+    bench_tile_trace
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 14 as a benchmark: per-layer dense vs MLCNN op counting across
+//! the full evaluation-model zoo, plus the reuse-mode ablation
+//! (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_core::opcount::{dense_layer_counts, fused_layer_counts, model_reductions};
+use mlcnn_core::reuse_sim::ReuseMode;
+use mlcnn_nn::zoo;
+use std::hint::black_box;
+
+fn bench_fig14_per_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_flop_reductions");
+    for model in zoo::evaluation_models(100) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&model.name),
+            &model,
+            |b, m| b.iter(|| black_box(model_reductions(black_box(m)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reuse_mode_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse_modes");
+    let model = zoo::lenet5(100);
+    let g = &model.convs[1]; // C2, the paper's highlighted layer
+    for (label, mode) in [
+        ("rme_only", ReuseMode::None),
+        ("rme_lar", ReuseMode::Lar),
+        ("rme_gar", ReuseMode::Gar),
+        ("mlcnn_both", ReuseMode::Both),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(fused_layer_counts(black_box(g), 2, mode)))
+        });
+    }
+    group.bench_function("dense_baseline", |b| {
+        b.iter(|| black_box(dense_layer_counts(black_box(g))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_per_model, bench_reuse_mode_ablation);
+criterion_main!(benches);

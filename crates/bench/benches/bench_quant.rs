@@ -1,0 +1,52 @@
+//! Fig. 12's machinery as benchmarks: binary16 conversion, DoReFa
+//! quantization and the INT8 fixed-point MAC path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_quant::dorefa;
+use mlcnn_quant::fixed::{mac_i32, Q6};
+use mlcnn_quant::F16;
+use mlcnn_tensor::{init, Shape4};
+use std::hint::black_box;
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_f16_roundtrip");
+    let mut rng = init::rng(1);
+    let data = init::uniform(Shape4::new(1, 1, 64, 64), -100.0, 100.0, &mut rng);
+    group.bench_function("tensor_4096_elems", |b| {
+        b.iter(|| {
+            for &v in data.as_slice() {
+                black_box(F16::from_f32_rne(black_box(v)).to_f32_exact());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dorefa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_dorefa");
+    let mut rng = init::rng(2);
+    let weights = init::normal(Shape4::new(32, 16, 3, 3), 0.5, &mut rng);
+    let acts = init::uniform(Shape4::new(1, 32, 16, 16), 0.0, 1.0, &mut rng);
+    for &k in &[2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("weights_eq9", k), &k, |b, &k| {
+            b.iter(|| black_box(dorefa::quantize_weights(black_box(&weights), k)))
+        });
+        group.bench_with_input(BenchmarkId::new("activations_eq8", k), &k, |b, &k| {
+            b.iter(|| black_box(dorefa::quantize_activations(black_box(&acts), k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_int8_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_int8_mac");
+    let a: Vec<Q6> = (0..1024).map(|i| Q6::from_raw((i % 127) as i8)).collect();
+    let b_ops: Vec<Q6> = (0..1024).map(|i| Q6::from_raw((i % 63) as i8 - 31)).collect();
+    group.bench_function("widening_mac_1024", |bench| {
+        bench.iter(|| black_box(mac_i32(0, black_box(&a), black_box(&b_ops))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_f16_conversion, bench_dorefa, bench_int8_mac);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Tables II–VI as benchmarks: the closed-form analytic model and the
+//! memoized reuse simulator, at every published sweep point. The analytic
+//! path is O(1); the simulator walks the actual reuse bookkeeping, so its
+//! time scales with the geometry — both are verified to agree in the test
+//! suite and measured here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_core::analytic;
+use mlcnn_core::reuse_sim::{simulate_row, ReuseMode};
+use std::hint::black_box;
+
+fn bench_lar_tables(c: &mut Criterion) {
+    // Tables II & III
+    let mut group = c.benchmark_group("table2_table3_lar");
+    for &k in &[2usize, 5, 11] {
+        group.bench_with_input(BenchmarkId::new("closed_form", k), &k, |b, &k| {
+            b.iter(|| black_box(analytic::adds_per_output_with_lar(black_box(k), 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("simulator", k), &k, |b, &k| {
+            b.iter(|| black_box(simulate_row(black_box(k), k + 1, 1, 2, ReuseMode::Lar)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gar_tables(c: &mut Criterion) {
+    // Tables IV, V & VI
+    let mut group = c.benchmark_group("table4_5_6_gar");
+    for &(k, d, s) in &[(13usize, 28usize, 1usize), (13, 28, 5), (13, 224, 1)] {
+        let label = format!("k{k}_d{d}_s{s}");
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", &label),
+            &(k, d, s),
+            |b, &(k, d, s)| b.iter(|| black_box(analytic::row_adds_with_gar(k, d, s))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulator", &label),
+            &(k, d, s),
+            |b, &(k, d, s)| {
+                b.iter(|| black_box(simulate_row(k, d, s, 2, ReuseMode::Gar)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_table_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tablegen_sweeps");
+    group.bench_function("tables_2_through_6", |b| {
+        b.iter(|| {
+            black_box(mlcnn_bench::sweeps::table2());
+            black_box(mlcnn_bench::sweeps::table3());
+            black_box(mlcnn_bench::sweeps::table4());
+            black_box(mlcnn_bench::sweeps::table5());
+            black_box(mlcnn_bench::sweeps::table6());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lar_tables,
+    bench_gar_tables,
+    bench_full_table_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Substrate microbenchmarks: GEMM, direct vs im2col convolution, and
+//! pooling — validating the performance assumptions the training and
+//! kernel code rely on (e.g. the rayon parallel crossover in `linalg`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_tensor::conv::{conv2d_direct, conv2d_im2col};
+use mlcnn_tensor::linalg::matmul;
+use mlcnn_tensor::pool::{avg_pool2d, max_pool2d};
+use mlcnn_tensor::{init, Shape4};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = init::rng(1);
+        let a = init::uniform(Shape4::new(1, 1, n, n), -1.0, 1.0, &mut rng);
+        let b = init::uniform(Shape4::new(1, 1, n, n), -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, &n| {
+            bench.iter(|| black_box(matmul(a.as_slice(), b.as_slice(), n, n, n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_direct_vs_im2col");
+    group.sample_size(15);
+    let mut rng = init::rng(2);
+    let input = init::uniform(Shape4::new(4, 16, 32, 32), -1.0, 1.0, &mut rng);
+    let weight = init::uniform(Shape4::new(32, 16, 3, 3), -0.5, 0.5, &mut rng);
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(conv2d_direct(&input, &weight, None, 1, 1).unwrap()))
+    });
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| black_box(conv2d_im2col(&input, &weight, None, 1, 1).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling");
+    group.sample_size(30);
+    let mut rng = init::rng(3);
+    let input = init::uniform(Shape4::new(4, 32, 32, 32), -1.0, 1.0, &mut rng);
+    group.bench_function("avg_2x2", |b| {
+        b.iter(|| black_box(avg_pool2d(&input, 2, 2).unwrap()))
+    });
+    group.bench_function("max_2x2", |b| {
+        b.iter(|| black_box(max_pool2d(&input, 2, 2).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv_paths, bench_pooling);
+criterion_main!(benches);

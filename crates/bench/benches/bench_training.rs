@@ -1,0 +1,63 @@
+//! Figs. 3/4/12's machinery as benchmarks: training-epoch and inference
+//! throughput of the reduced models on the synthetic datasets, original
+//! vs reordered order (Table I's trainable counterparts). Kept small —
+//! the point is relative cost, not a soak test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcnn_core::reorder::reorder_activation_pool;
+use mlcnn_data::shapes::{generate, ShapesConfig};
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::train::{fit, TrainConfig};
+use mlcnn_nn::zoo;
+use std::hint::black_box;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_training_epoch");
+    group.sample_size(10);
+    let data = generate(ShapesConfig::cifar10_like(4, 1));
+    let input = data.item_shape().unwrap();
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        ..Default::default()
+    };
+    for (label, specs) in [
+        ("lenet5_original", zoo::lenet5_spec(10)),
+        ("lenet5_reordered", reorder_activation_pool(&zoo::lenet5_spec(10)).specs),
+        ("vgg_mini_original", zoo::vgg_mini_spec(2, 10)),
+        (
+            "vgg_mini_reordered",
+            reorder_activation_pool(&zoo::vgg_mini_spec(2, 10)).specs,
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &specs, |b, specs| {
+            b.iter(|| {
+                let mut net = build_network(specs, input, 3).unwrap();
+                black_box(fit(&mut net, &data, &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_inference");
+    group.sample_size(20);
+    let data = generate(ShapesConfig::cifar10_like(4, 2));
+    let input = data.item_shape().unwrap();
+    let batch = data.batches(16).next().unwrap();
+    for (label, specs) in [
+        ("lenet5", zoo::lenet5_spec(10)),
+        ("googlenet_mini", zoo::googlenet_mini_spec(2, 10)),
+        ("densenet_mini", zoo::densenet_mini_spec(2, 10)),
+    ] {
+        let mut net = build_network(&specs, input, 3).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(net.forward(black_box(&batch.images)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch, bench_inference);
+criterion_main!(benches);

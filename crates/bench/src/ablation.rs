@@ -1,0 +1,172 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out.
+
+use crate::format::{f, table};
+use crate::{row, Report};
+use mlcnn_accel::config::AcceleratorConfig;
+use mlcnn_accel::cycle::{simulate_layer, LayerContext};
+use mlcnn_accel::dataflow::{compulsory_traffic, search_tiling};
+use mlcnn_accel::energy::EnergyModel;
+use mlcnn_core::opcount::{dense_layer_counts, fused_layer_counts};
+use mlcnn_core::reuse_sim::ReuseMode;
+use mlcnn_nn::zoo;
+
+/// Reuse-scheme ablation: additions under RME-only, +LAR, +GAR, +both,
+/// per fused layer of the evaluation models.
+pub fn ablation_reuse() -> Report {
+    let mut rows = vec![row![
+        "model",
+        "layer",
+        "dense adds",
+        "RME only",
+        "RME+LAR",
+        "RME+GAR",
+        "MLCNN (both)"
+    ]];
+    for model in zoo::evaluation_models(100) {
+        for g in model.fused_convs() {
+            let p = g.pool.unwrap().window;
+            let dense = dense_layer_counts(g).adds;
+            let none = fused_layer_counts(g, p, ReuseMode::None).adds;
+            let lar = fused_layer_counts(g, p, ReuseMode::Lar).adds;
+            let gar = fused_layer_counts(g, p, ReuseMode::Gar).adds;
+            let both = fused_layer_counts(g, p, ReuseMode::Both).adds;
+            rows.push(row![model.name, g.name, dense, none, lar, gar, both]);
+        }
+    }
+    Report::new(
+        "ablation_reuse",
+        "Addition counts under each reuse scheme (RME/LAR/GAR ablation)",
+        table(&rows),
+    )
+}
+
+/// Tiling sweep: DRAM traffic of a representative VGG layer as the buffer
+/// budget varies, against the compulsory lower bound.
+pub fn ablation_tiling() -> Report {
+    let model = zoo::vgg16(100);
+    let g = model
+        .convs
+        .iter()
+        .find(|c| c.name == "C7")
+        .expect("VGG16 has a C7");
+    let compulsory = compulsory_traffic(g).total();
+    let mut rows = vec![row![
+        "buffer kB (FP32)",
+        "tiling <Tm,Tn,Tr,Tc>",
+        "traffic elems",
+        "x compulsory"
+    ]];
+    for kb in [16usize, 32, 64, 134, 256, 1024, 8192] {
+        let cap = kb * 1024 / 4;
+        match search_tiling(g, cap) {
+            Some((t, traffic)) => rows.push(row![
+                kb,
+                format!("<{},{},{},{}>", t.tm, t.tn, t.tr, t.tc),
+                traffic.total(),
+                f(traffic.total() as f64 / compulsory as f64, 2)
+            ]),
+            None => rows.push(row![kb, "(does not fit)", "-", "-"]),
+        }
+    }
+    Report::new(
+        "ablation_tiling",
+        "Loop-tiling sweep on VGG16 C7: DRAM traffic vs buffer capacity",
+        table(&rows),
+    )
+}
+
+/// Preprocessing writeback ablation: fused-chain traffic with and without
+/// the pair-add unit.
+pub fn ablation_preprocess() -> Report {
+    let em = EnergyModel::default();
+    let cfg = AcceleratorConfig::mlcnn_fp32();
+    let mut rows = vec![row![
+        "model",
+        "layer",
+        "traffic w/o preprocess (B)",
+        "traffic w/ preprocess (B)",
+        "saved %"
+    ]];
+    for model in zoo::evaluation_models(100) {
+        let fusable: Vec<bool> = model
+            .convs
+            .iter()
+            .map(|g| g.pool.map(|p| p.avg).unwrap_or(false))
+            .collect();
+        for (i, g) in model.convs.iter().enumerate() {
+            if !fusable[i] {
+                continue;
+            }
+            let ctx = LayerContext {
+                input_preprocessed: i > 0,
+                output_preprocessed: fusable.get(i + 1).copied().unwrap_or(false),
+            };
+            let with = simulate_layer(g, &cfg, &em, ctx);
+            let without = simulate_layer(g, &cfg, &em, LayerContext::default());
+            let saved = 100.0 * (1.0 - with.traffic_bytes as f64 / without.traffic_bytes as f64);
+            rows.push(row![
+                model.name,
+                g.name,
+                without.traffic_bytes,
+                with.traffic_bytes,
+                f(saved, 1)
+            ]);
+        }
+    }
+    Report::new(
+        "ablation_preprocess",
+        "Preprocessing pair-add writeback: fused-layer DRAM traffic",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ablation_is_monotone() {
+        let r = ablation_reuse();
+        for line in r.body.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let vals: Vec<u64> = cells[cells.len() - 4..]
+                .iter()
+                .map(|v| v.parse().unwrap())
+                .collect();
+            // none >= lar >= both and none >= gar >= both
+            assert!(vals[0] >= vals[1], "{line}");
+            assert!(vals[1] >= vals[3], "{line}");
+            assert!(vals[0] >= vals[2], "{line}");
+            assert!(vals[2] >= vals[3], "{line}");
+        }
+    }
+
+    #[test]
+    fn tiling_ablation_shows_decreasing_traffic() {
+        let r = ablation_tiling();
+        let mut prev = u64::MAX;
+        let mut seen = 0;
+        for line in r.body.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if let Ok(t) = cells[2].parse::<u64>() {
+                assert!(t <= prev, "{line}");
+                prev = t;
+                seen += 1;
+            }
+        }
+        assert!(seen >= 4, "too few fitting buffer sizes");
+    }
+
+    #[test]
+    fn preprocessing_saves_traffic_somewhere() {
+        let r = ablation_preprocess();
+        let any_saving = r.body.lines().skip(2).any(|line| {
+            line.split_whitespace()
+                .last()
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v > 5.0)
+                .unwrap_or(false)
+        });
+        assert!(any_saving, "no layer shows preprocessing savings:\n{}", r.body);
+    }
+}

@@ -1,0 +1,357 @@
+//! Table VII, Fig. 13 (speedups) and Fig. 15 (energy breakdown).
+
+use crate::format::{f, table};
+use crate::{row, Report};
+use mlcnn_accel::config::AcceleratorConfig;
+use mlcnn_accel::cycle::{
+    fused_layer_speedups, mean_energy_gain, mean_speedup, simulate_model, ModelPerf,
+};
+use mlcnn_accel::energy::EnergyModel;
+use mlcnn_nn::zoo;
+
+/// Table VII report.
+pub fn table7() -> Report {
+    let mut rows = vec![row![
+        "",
+        "#MAC slices",
+        "bitwidth",
+        "area (mm^2)",
+        "on-chip memory (kB)",
+        "DRAM B/cycle",
+        "freq (MHz)"
+    ]];
+    for c in AcceleratorConfig::table7() {
+        rows.push(row![
+            c.name,
+            c.mac_slices,
+            c.precision.bits(),
+            c.area_mm2,
+            c.buffer_kb,
+            c.dram_bytes_per_cycle,
+            c.freq_mhz
+        ]);
+    }
+    Report::new(
+        "table7",
+        "Accelerator configurations (paper Table VII)",
+        table(&rows),
+    )
+}
+
+/// Simulate all evaluation models on all machines.
+pub fn simulate_all() -> Vec<(String, ModelPerf, Vec<ModelPerf>)> {
+    let em = EnergyModel::default();
+    let base_cfg = AcceleratorConfig::dcnn_fp32();
+    zoo::evaluation_models(100)
+        .into_iter()
+        .map(|m| {
+            let base = simulate_model(&m, &base_cfg, &em);
+            let variants = AcceleratorConfig::mlcnn_variants()
+                .iter()
+                .map(|c| simulate_model(&m, c, &em))
+                .collect();
+            (m.name.clone(), base, variants)
+        })
+        .collect()
+}
+
+/// Paper headline averages for Fig. 13 / Fig. 15.
+pub const PAPER_SPEEDUPS: [f64; 3] = [3.2, 6.2, 12.8];
+/// Paper headline energy-efficiency gains.
+pub const PAPER_ENERGY: [f64; 3] = [2.9, 5.9, 11.3];
+
+/// Fig. 13: per-layer speedups of MLCNN FP32/FP16/INT8 over the DCNN
+/// FP32 baseline.
+pub fn fig13() -> Report {
+    let sims = simulate_all();
+    let mut rows = vec![row!["model", "layer", "FP32 x", "FP16 x", "INT8 x"]];
+    let mut means = [vec![], vec![], vec![]];
+    for (model, base, variants) in &sims {
+        let per_variant: Vec<Vec<(String, f64)>> = variants
+            .iter()
+            .map(|v| fused_layer_speedups(base, v))
+            .collect();
+        for (i, (layer, fp32)) in per_variant[0].iter().enumerate() {
+            rows.push(row![
+                model,
+                layer,
+                f(*fp32, 2),
+                f(per_variant[1][i].1, 2),
+                f(per_variant[2][i].1, 2)
+            ]);
+        }
+        for (vi, v) in variants.iter().enumerate() {
+            means[vi].push(mean_speedup(base, v));
+        }
+    }
+    let geo = |v: &Vec<f64>| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    rows.push(row![
+        "AVERAGE",
+        "(geomean)",
+        f(geo(&means[0]), 2),
+        f(geo(&means[1]), 2),
+        f(geo(&means[2]), 2)
+    ]);
+    rows.push(row![
+        "paper",
+        "(average)",
+        PAPER_SPEEDUPS[0],
+        PAPER_SPEEDUPS[1],
+        PAPER_SPEEDUPS[2]
+    ]);
+    Report::new(
+        "fig13",
+        "Speedup of MLCNN over DCNN FP32 per fused layer (paper Fig. 13)",
+        table(&rows),
+    )
+}
+
+/// Fig. 15: energy breakdown (DRAM / buffer / MAC / static) per machine
+/// per model, plus efficiency gains.
+pub fn fig15() -> Report {
+    let sims = simulate_all();
+    let mut rows = vec![row![
+        "model",
+        "machine",
+        "DRAM uJ",
+        "buffer uJ",
+        "MAC uJ",
+        "static uJ",
+        "total uJ",
+        "gain x"
+    ]];
+    let mut means = [vec![], vec![], vec![]];
+    for (model, base, variants) in &sims {
+        let fused_names: Vec<String> = variants[0]
+            .fused_layers()
+            .iter()
+            .map(|l| l.name.clone())
+            .collect();
+        let fused_total = |perf: &ModelPerf| {
+            let mut e = mlcnn_accel::EnergyBreakdown::default();
+            for l in &perf.layers {
+                if fused_names.contains(&l.name) {
+                    e.accumulate(&l.energy);
+                }
+            }
+            e
+        };
+        let base_e = fused_total(base);
+        rows.push(row![
+            model,
+            base.machine,
+            f(base_e.dram_nj / 1000.0, 1),
+            f(base_e.buffer_nj / 1000.0, 1),
+            f(base_e.mac_nj / 1000.0, 1),
+            f(base_e.static_nj / 1000.0, 1),
+            f(base_e.total_nj() / 1000.0, 1),
+            "1.00"
+        ]);
+        for (vi, v) in variants.iter().enumerate() {
+            let e = fused_total(v);
+            let gain = mean_energy_gain(base, v);
+            means[vi].push(gain);
+            rows.push(row![
+                model,
+                v.machine,
+                f(e.dram_nj / 1000.0, 1),
+                f(e.buffer_nj / 1000.0, 1),
+                f(e.mac_nj / 1000.0, 1),
+                f(e.static_nj / 1000.0, 1),
+                f(e.total_nj() / 1000.0, 1),
+                f(gain, 2)
+            ]);
+        }
+    }
+    let geo = |v: &Vec<f64>| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    rows.push(row![
+        "AVERAGE",
+        "FP32/FP16/INT8 gains",
+        f(geo(&means[0]), 2),
+        f(geo(&means[1]), 2),
+        f(geo(&means[2]), 2),
+        "",
+        "paper:",
+        format!(
+            "{}/{}/{}",
+            PAPER_ENERGY[0], PAPER_ENERGY[1], PAPER_ENERGY[2]
+        )
+    ]);
+    Report::new(
+        "fig15",
+        "Energy breakdown and efficiency vs DCNN (paper Fig. 15)",
+        table(&rows),
+    )
+}
+
+/// The measured headline averages `(speedups, energy gains)` for the
+/// three precisions — asserted against the paper bands in tests and
+/// recorded in EXPERIMENTS.md.
+pub fn headline() -> ([f64; 3], [f64; 3]) {
+    let sims = simulate_all();
+    let mut s = [vec![], vec![], vec![]];
+    let mut e = [vec![], vec![], vec![]];
+    for (_, base, variants) in &sims {
+        for (vi, v) in variants.iter().enumerate() {
+            s[vi].push(mean_speedup(base, v));
+            e[vi].push(mean_energy_gain(base, v));
+        }
+    }
+    let geo = |v: &Vec<f64>| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    (
+        [geo(&s[0]), geo(&s[1]), geo(&s[2])],
+        [geo(&e[0]), geo(&e[1]), geo(&e[2])],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_speedups_land_in_the_paper_bands() {
+        let (s, e) = headline();
+        // ±40% of the paper's averages — the substrate is a model, not
+        // the authors' RTL, but the factors must be in the same regime.
+        for (i, (&got, &paper)) in s.iter().zip(&PAPER_SPEEDUPS).enumerate() {
+            assert!(
+                (paper * 0.6..paper * 1.4).contains(&got),
+                "speedup[{i}] {got} vs paper {paper}"
+            );
+        }
+        for (i, (&got, &paper)) in e.iter().zip(&PAPER_ENERGY).enumerate() {
+            assert!(
+                (paper * 0.6..paper * 1.4).contains(&got),
+                "energy[{i}] {got} vs paper {paper}"
+            );
+        }
+        // and the paper's qualitative ordering: speedup roughly doubles
+        // per precision step
+        assert!(s[1] > 1.6 * s[0] && s[1] < 2.4 * s[0]);
+        assert!(s[2] > 1.6 * s[1] && s[2] < 2.4 * s[1]);
+    }
+
+    #[test]
+    fn table7_prints_four_machines() {
+        let r = table7();
+        assert_eq!(r.body.lines().count(), 2 + 4);
+        assert!(r.body.contains("128"));
+    }
+
+    #[test]
+    fn fig13_covers_all_fused_layers_plus_summary() {
+        let r = fig13();
+        // 3 + 5 + 12 + 2 fused layers + header + rule + 2 summary rows
+        assert_eq!(r.body.lines().count(), 2 + 22 + 2);
+    }
+
+    #[test]
+    fn fig15_breakdown_rows_are_complete() {
+        let r = fig15();
+        // per model: 1 baseline + 3 variants; 4 models; + header/rule + summary
+        assert_eq!(r.body.lines().count(), 2 + 16 + 1);
+    }
+}
+
+/// Extension (paper Conclusions): ResNet-18 on the MLCNN machines. The
+/// paper claims "the convolutional layers with pooling in ResNet-18 can
+/// benefit from MLCNN with layer reordering and cross-layer
+/// optimization" — this quantifies that claim with the same cycle model.
+pub fn resnet_extension() -> Report {
+    let em = EnergyModel::default();
+    let model = zoo::resnet18(100);
+    let base = simulate_model(&model, &AcceleratorConfig::dcnn_fp32(), &em);
+    let mut rows = vec![row![
+        "machine",
+        "fused layer",
+        "layer speedup x",
+        "whole-model speedup x",
+        "energy gain x"
+    ]];
+    for cfg in AcceleratorConfig::mlcnn_variants() {
+        let fast = simulate_model(&model, &cfg, &em);
+        let per_layer = fused_layer_speedups(&base, &fast);
+        let whole = base.total_cycles as f64 / fast.total_cycles as f64;
+        let energy = mean_energy_gain(&base, &fast);
+        for (name, s) in &per_layer {
+            rows.push(row![cfg.name, name, f(*s, 2), f(whole, 2), f(energy, 2)]);
+        }
+    }
+    Report::new(
+        "resnet_ext",
+        "Extension: ResNet-18 under MLCNN (paper Conclusions claim)",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod resnet_ext_tests {
+    use super::*;
+
+    #[test]
+    fn resnet_fused_layer_gains_like_the_paper_claims() {
+        let r = resnet_extension();
+        // one fused layer per machine row; the layer gains on every
+        // machine, though modestly at FP32 — ResNet-18's single fusable
+        // layer (512ch 3x3 at 4x4) is weight-traffic-bound, an honest
+        // nuance to the paper's claim.
+        let mut seen = 0;
+        for line in r.body.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let layer_speedup: f64 = cells[cells.len() - 3].parse().unwrap();
+            assert!(layer_speedup > 1.2, "{line}");
+            seen += 1;
+        }
+        assert_eq!(seen, 3, "three machines, one fused layer each");
+    }
+}
+
+/// Area breakdown per Table VII machine (the Design Compiler stand-in):
+/// every machine must fit the one 1.52 mm² budget.
+pub fn area_report() -> Report {
+    use mlcnn_accel::area::{die_area, AreaModel};
+    let m = AreaModel::default();
+    let mut rows = vec![row![
+        "machine",
+        "MAC mm^2",
+        "AR mm^2",
+        "SRAM mm^2",
+        "overhead mm^2",
+        "total mm^2",
+        "budget mm^2"
+    ]];
+    for cfg in AcceleratorConfig::table7() {
+        let a = die_area(&m, &cfg);
+        rows.push(row![
+            cfg.name,
+            f(a.mac_mm2, 3),
+            f(a.ar_mm2, 3),
+            f(a.sram_mm2, 3),
+            f(a.overhead_mm2, 3),
+            f(a.total_mm2(), 3),
+            cfg.area_mm2
+        ]);
+    }
+    Report::new(
+        "area",
+        "Die area breakdown under the Table VII budget",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod area_report_tests {
+    use super::*;
+
+    #[test]
+    fn area_report_covers_all_machines_within_budget() {
+        let r = area_report();
+        assert_eq!(r.body.lines().count(), 2 + 4);
+        for line in r.body.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            let total: f64 = cells[cells.len() - 2].parse().unwrap();
+            let budget: f64 = cells[cells.len() - 1].parse().unwrap();
+            assert!(total <= budget * 1.02, "{line}");
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Accuracy experiments: Fig. 3 (reordering), Fig. 4 (average vs max
+//! pooling) and Fig. 12 (quantized MLCNN).
+//!
+//! Per the substitution policy (DESIGN.md §2) these train on the
+//! deterministic synthetic `shapes` datasets standing in for
+//! CIFAR-10/100. Absolute accuracies are not comparable to the paper's;
+//! the *relative* orderings are the reproduction target:
+//!
+//! * reordered (AP+ReLU) ≈ original (ReLU+AP), both ≥ All-Conv on the
+//!   hard (100-class) task;
+//! * average pooling ≥ max pooling for most models;
+//! * quantized MLCNN (INT8) within ~1% of MLCNN.
+
+use crate::format::{f, table};
+use crate::{row, Report};
+use mlcnn_core::quantized::evaluate_quantized;
+use mlcnn_core::reorder::{reorder_activation_pool, to_all_conv_full};
+use mlcnn_data::shapes::{generate, ShapesConfig};
+use mlcnn_data::Dataset;
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::train::{evaluate, fit, TrainConfig};
+use mlcnn_nn::zoo;
+use mlcnn_nn::{LayerSpec, Network};
+use mlcnn_quant::Precision;
+use mlcnn_tensor::Tensor;
+#[cfg(test)]
+use mlcnn_tensor::Shape4;
+
+/// Sizing knobs for the training experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyConfig {
+    /// Items per class for the 10-class dataset.
+    pub per_class_10: usize,
+    /// Items per class for the 100-class dataset.
+    pub per_class_100: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Channel-width scale for the reduced models.
+    pub width: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Restrict to the two cheapest models (smoke-test mode).
+    pub quick: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for AccuracyConfig {
+    fn default() -> Self {
+        Self {
+            per_class_10: 48,
+            per_class_100: 10,
+            epochs: 12,
+            width: 4,
+            lr: 0.02,
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl AccuracyConfig {
+    /// A configuration small enough for CI smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            per_class_10: 8,
+            per_class_100: 2,
+            epochs: 3,
+            width: 2,
+            lr: 0.02,
+            quick: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The model roster for the accuracy experiments.
+pub fn model_specs(cfg: &AccuracyConfig, classes: usize) -> Vec<(String, Vec<LayerSpec>)> {
+    let mut v = vec![
+        ("LeNet5".to_string(), zoo::lenet5_spec(classes)),
+        (
+            "VGG-mini".to_string(),
+            zoo::vgg_mini_spec(cfg.width, classes),
+        ),
+    ];
+    if !cfg.quick {
+        v.push((
+            "GoogLeNet-mini".to_string(),
+            zoo::googlenet_mini_spec(cfg.width, classes),
+        ));
+        v.push((
+            "DenseNet-mini".to_string(),
+            zoo::densenet_mini_spec(cfg.width, classes),
+        ));
+    }
+    v
+}
+
+fn datasets(cfg: &AccuracyConfig) -> Vec<(String, Dataset, Dataset)> {
+    let mut out = Vec::new();
+    let c10 = generate(ShapesConfig::cifar10_like(cfg.per_class_10, cfg.seed));
+    let (tr, te) = c10.split(0.75);
+    out.push(("shapes-10 (CIFAR-10 stand-in)".into(), tr, te));
+    if !cfg.quick {
+        let c100 = generate(ShapesConfig::cifar100_like(cfg.per_class_100, cfg.seed + 1));
+        let (tr, te) = c100.split(0.75);
+        out.push(("shapes-100 (CIFAR-100 stand-in)".into(), tr, te));
+    }
+    out
+}
+
+fn train_eval(
+    specs: &[LayerSpec],
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &AccuracyConfig,
+) -> (f32, f32) {
+    let input = train.item_shape().expect("nonempty dataset");
+    let mut net = build_network(specs, input, cfg.seed).expect("spec builds");
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: 16,
+        lr: cfg.lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    fit(&mut net, train, &tc).expect("training runs");
+    let stats = evaluate(&mut net, test, &[1, 5], 16).expect("eval runs");
+    (stats.at(1).unwrap(), stats.at(5).unwrap())
+}
+
+/// Fig. 3: top-1/top-5 accuracy of original vs reordered vs All-Conv.
+pub fn fig3(cfg: &AccuracyConfig) -> Report {
+    let mut rows = vec![row![
+        "dataset", "model", "variant", "top-1", "top-5"
+    ]];
+    for (ds_name, train, test) in datasets(cfg) {
+        for (model, specs) in model_specs(cfg, train.num_classes()) {
+            let input = train.item_shape().expect("nonempty dataset");
+            let variants = [
+                ("ReLU+AP (original)", specs.clone()),
+                ("AP+ReLU (reordered)", reorder_activation_pool(&specs).specs),
+                (
+                    "All-Conv",
+                    to_all_conv_full(&specs, input).expect("all-conv transform"),
+                ),
+            ];
+            for (vname, vspecs) in variants {
+                let (t1, t5) = train_eval(&vspecs, &train, &test, cfg);
+                rows.push(row![ds_name, model, vname, f(t1 as f64, 3), f(t5 as f64, 3)]);
+            }
+        }
+    }
+    Report::new(
+        "fig3",
+        "Influence of reordering activation and pooling on accuracy (paper Fig. 3)",
+        table(&rows),
+    )
+}
+
+fn swap_avg_for_max(specs: &[LayerSpec]) -> Vec<LayerSpec> {
+    specs
+        .iter()
+        .map(|s| match s {
+            LayerSpec::AvgPool { window, stride } => LayerSpec::MaxPool {
+                window: *window,
+                stride: *stride,
+            },
+            LayerSpec::Inception { branches } => LayerSpec::Inception {
+                branches: branches.iter().map(|b| swap_avg_for_max(b)).collect(),
+            },
+            LayerSpec::DenseBlock { inner } => LayerSpec::DenseBlock {
+                inner: swap_avg_for_max(inner),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Fig. 4: average pooling vs max pooling.
+pub fn fig4(cfg: &AccuracyConfig) -> Report {
+    let mut rows = vec![row!["dataset", "model", "pooling", "top-1"]];
+    for (ds_name, train, test) in datasets(cfg) {
+        for (model, specs) in model_specs(cfg, train.num_classes()) {
+            let (avg1, _) = train_eval(&specs, &train, &test, cfg);
+            let (max1, _) = train_eval(&swap_avg_for_max(&specs), &train, &test, cfg);
+            rows.push(row![ds_name, model, "average", f(avg1 as f64, 3)]);
+            rows.push(row![ds_name, model, "max", f(max1 as f64, 3)]);
+        }
+    }
+    Report::new(
+        "fig4",
+        "Average vs max pooling accuracy (paper Fig. 4)",
+        table(&rows),
+    )
+}
+
+/// Snapshot all parameter tensors of a network
+/// (thin wrapper over [`Network::export_params`], kept for harness use).
+pub fn export_params(net: &mut Network) -> Vec<Tensor<f32>> {
+    net.export_params()
+}
+
+/// Restore parameters captured by [`export_params`] into a freshly built
+/// network of identical architecture.
+pub fn import_params(net: &mut Network, params: &[Tensor<f32>]) {
+    net.import_params(params);
+}
+
+/// Fig. 12: DCNN vs MLCNN vs quantized MLCNN accuracy.
+pub fn fig12(cfg: &AccuracyConfig) -> Report {
+    let mut rows = vec![row!["dataset", "model", "variant", "top-1"]];
+    for (ds_name, train, test) in datasets(cfg) {
+        for (model, specs) in model_specs(cfg, train.num_classes()) {
+            let input = train.item_shape().unwrap();
+            // DCNN: original order
+            let (dcnn, _) = train_eval(&specs, &train, &test, cfg);
+            rows.push(row![ds_name, model, "DCNN FP32", f(dcnn as f64, 3)]);
+            // MLCNN: reordered, trained once, evaluated at each precision
+            let reordered = reorder_activation_pool(&specs).specs;
+            let mut net = build_network(&reordered, input, cfg.seed).unwrap();
+            let tc = TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: 16,
+                lr: cfg.lr,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            fit(&mut net, &train, &tc).unwrap();
+            let trained = export_params(&mut net);
+            for precision in Precision::ALL {
+                let mut fresh = build_network(&reordered, input, cfg.seed).unwrap();
+                import_params(&mut fresh, &trained);
+                let stats =
+                    evaluate_quantized(&mut fresh, &test, precision, &[1], 16).unwrap();
+                rows.push(row![
+                    ds_name,
+                    model,
+                    format!("MLCNN {precision}"),
+                    f(stats.at(1).unwrap() as f64, 3)
+                ]);
+            }
+        }
+    }
+    Report::new(
+        "fig12",
+        "Accuracy of DCNN vs MLCNN vs quantized MLCNN (paper Fig. 12)",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_produces_all_variant_rows() {
+        let r = fig3(&AccuracyConfig::quick());
+        // 1 dataset x 2 models x 3 variants + header + rule
+        assert_eq!(r.body.lines().count(), 2 + 6);
+        assert!(r.body.contains("All-Conv"));
+        assert!(r.body.contains("AP+ReLU"));
+    }
+
+    #[test]
+    fn quick_fig4_compares_poolings() {
+        let r = fig4(&AccuracyConfig::quick());
+        assert_eq!(r.body.lines().count(), 2 + 4);
+        assert!(r.body.contains("average"));
+        assert!(r.body.contains("max"));
+    }
+
+    #[test]
+    fn quick_fig12_covers_all_precisions() {
+        let r = fig12(&AccuracyConfig::quick());
+        // 2 models x (1 DCNN + 3 precisions)
+        assert_eq!(r.body.lines().count(), 2 + 8);
+        for needle in ["DCNN FP32", "MLCNN FP32", "MLCNN FP16", "MLCNN INT8"] {
+            assert!(r.body.contains(needle), "{needle}");
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrips_parameters() {
+        let specs = zoo::lenet5_spec(10);
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut a = build_network(&specs, input, 1).unwrap();
+        let params = export_params(&mut a);
+        let mut b = build_network(&specs, input, 999).unwrap();
+        import_params(&mut b, &params);
+        let x = mlcnn_tensor::init::uniform(
+            Shape4::new(2, 3, 32, 32),
+            -1.0,
+            1.0,
+            &mut mlcnn_tensor::init::rng(5),
+        );
+        let ya = a.forward(&x).unwrap();
+        let yb = b.forward(&x).unwrap();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn swap_avg_for_max_recurses() {
+        let specs = vec![LayerSpec::DenseBlock {
+            inner: vec![LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            }],
+        }];
+        let swapped = swap_avg_for_max(&specs);
+        if let LayerSpec::DenseBlock { inner } = &swapped[0] {
+            assert!(matches!(inner[0], LayerSpec::MaxPool { .. }));
+        } else {
+            panic!("lost the dense block");
+        }
+    }
+}

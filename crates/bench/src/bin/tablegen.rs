@@ -1,0 +1,113 @@
+//! Regenerate the paper's tables and figures as text reports.
+//!
+//! ```text
+//! tablegen [--quick] [all | table1 | table2 | ... | table7 |
+//!           fig3 | fig4 | fig12 | fig13 | fig14 | fig15 |
+//!           limits | ablation]
+//! ```
+//!
+//! `--quick` shrinks the training experiments (figs. 3/4/12) to
+//! smoke-test size. With no experiment argument, everything that does not
+//! require training is printed (`all` adds the training figures too).
+
+use mlcnn_bench::accuracy::AccuracyConfig;
+use mlcnn_bench::{ablation, accel_report, accuracy, flops, model_stats, robustness, sweeps, Report};
+
+fn cheap_reports() -> Vec<Report> {
+    vec![
+        model_stats::table1(),
+        sweeps::table2(),
+        sweeps::table3(),
+        sweeps::table4(),
+        sweeps::table5(),
+        sweeps::table6(),
+        sweeps::limits(),
+        accel_report::table7(),
+        accel_report::fig13(),
+        flops::fig14(),
+        accel_report::fig15(),
+        ablation::ablation_reuse(),
+        ablation::ablation_tiling(),
+        ablation::ablation_preprocess(),
+        accel_report::resnet_extension(),
+        accel_report::area_report(),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let acc_cfg = if quick {
+        AccuracyConfig::quick()
+    } else {
+        AccuracyConfig::default()
+    };
+
+    let select = |id: &str| -> Option<Report> {
+        match id {
+            "table1" => Some(model_stats::table1()),
+            "table2" => Some(sweeps::table2()),
+            "table3" => Some(sweeps::table3()),
+            "table4" => Some(sweeps::table4()),
+            "table5" => Some(sweeps::table5()),
+            "table6" => Some(sweeps::table6()),
+            "limits" => Some(sweeps::limits()),
+            "table7" => Some(accel_report::table7()),
+            "fig3" => Some(accuracy::fig3(&acc_cfg)),
+            "fig4" => Some(accuracy::fig4(&acc_cfg)),
+            "fig12" => Some(accuracy::fig12(&acc_cfg)),
+            "fig13" => Some(accel_report::fig13()),
+            "fig14" => Some(flops::fig14()),
+            "fig15" => Some(accel_report::fig15()),
+            "resnet_ext" => Some(accel_report::resnet_extension()),
+            "area" => Some(accel_report::area_report()),
+            "robustness" => Some(robustness::robustness(&acc_cfg)),
+            _ => None,
+        }
+    };
+
+    if wanted.is_empty() {
+        for r in cheap_reports() {
+            println!("{}", r.render());
+        }
+        eprintln!(
+            "note: training figures skipped by default; run `tablegen all` \
+             (or fig3/fig4/fig12) to include them"
+        );
+        return;
+    }
+
+    for w in wanted {
+        match w.as_str() {
+            "all" => {
+                for r in cheap_reports() {
+                    println!("{}", r.render());
+                }
+                eprintln!(
+                    "[tablegen] training fig3 ({} mode)...",
+                    if quick { "quick" } else { "full" }
+                );
+                println!("{}", accuracy::fig3(&acc_cfg).render());
+                eprintln!("[tablegen] training fig4...");
+                println!("{}", accuracy::fig4(&acc_cfg).render());
+                eprintln!("[tablegen] training fig12...");
+                println!("{}", accuracy::fig12(&acc_cfg).render());
+                eprintln!("[tablegen] training robustness extension...");
+                println!("{}", robustness::robustness(&acc_cfg).render());
+            }
+            "ablation" => {
+                println!("{}", ablation::ablation_reuse().render());
+                println!("{}", ablation::ablation_tiling().render());
+                println!("{}", ablation::ablation_preprocess().render());
+            }
+            id => match select(id) {
+                Some(r) => println!("{}", r.render()),
+                None => {
+                    eprintln!("unknown experiment `{id}`");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 14: percentage of FLOPs (multiplications and additions) reduced
+//! by MLCNN, per fused layer, per model.
+
+use crate::format::{f, table};
+use crate::{row, Report};
+use mlcnn_core::opcount::{model_reductions, LayerReduction};
+use mlcnn_nn::zoo;
+
+/// All Fig. 14 data: per-model per-layer reductions.
+pub fn fig14_data() -> Vec<(String, Vec<LayerReduction>)> {
+    zoo::evaluation_models(100)
+        .into_iter()
+        .map(|m| {
+            let r = model_reductions(&m);
+            (m.name, r)
+        })
+        .collect()
+}
+
+/// Fig. 14 report.
+pub fn fig14() -> Report {
+    let mut rows = vec![row![
+        "model",
+        "layer",
+        "mult red.%",
+        "add red.%",
+        "dense mults",
+        "mlcnn mults",
+        "dense adds",
+        "mlcnn adds"
+    ]];
+    for (model, reds) in fig14_data() {
+        for r in reds {
+            rows.push(row![
+                model,
+                r.name,
+                f(r.mult_reduction_pct, 1),
+                f(r.add_reduction_pct, 2),
+                r.dense.mults,
+                r.mlcnn.mults,
+                r.dense.adds,
+                r.mlcnn.adds
+            ]);
+        }
+    }
+    Report::new(
+        "fig14",
+        "Percentage of FLOPs reduced by MLCNN (paper Fig. 14)",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_evaluation_model_is_covered() {
+        let data = fig14_data();
+        let names: Vec<&str> = data.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["DenseNet", "VGG16", "GoogLeNet", "LeNet5"]);
+        // fused-layer counts per Section VII
+        let counts: Vec<usize> = data.iter().map(|(_, r)| r.len()).collect();
+        assert_eq!(counts, [3, 5, 12, 2]);
+    }
+
+    #[test]
+    fn paper_shape_checks() {
+        let data = fig14_data();
+        let by_name = |n: &str| -> &Vec<LayerReduction> {
+            &data.iter().find(|(m, _)| m == n).unwrap().1
+        };
+        // DenseNet: 75% mults, ~0% adds
+        for r in by_name("DenseNet") {
+            assert!((r.mult_reduction_pct - 75.0).abs() < 0.5, "{r:?}");
+            assert!(r.add_reduction_pct.abs() < 3.0, "{r:?}");
+        }
+        // GoogLeNet: contains ~98% layers (the 8x8 pooled 5b module)
+        let g_max = by_name("GoogLeNet")
+            .iter()
+            .map(|r| r.mult_reduction_pct)
+            .fold(f64::MIN, f64::max);
+        assert!(g_max > 98.0);
+        // LeNet5 C2 is the addition-reduction champion among the
+        // 2×2-pooled models (the paper's "51.52%, highest" claim). Our
+        // model additionally grants GoogLeNet's 8×8-global-pool layers
+        // large within-output reuse that the paper's 2×2-specific AR
+        // hardware would not — a documented divergence (EXPERIMENTS.md).
+        let lenet_max = by_name("LeNet5")
+            .iter()
+            .map(|r| r.add_reduction_pct)
+            .fold(f64::MIN, f64::max);
+        assert!((45.0..60.0).contains(&lenet_max), "LeNet max {lenet_max}");
+        for (name, reds) in &data {
+            if name == "LeNet5" {
+                continue;
+            }
+            for r in reds {
+                let is_8x8_pool = name == "GoogLeNet" && r.name.starts_with("i5b");
+                if !is_8x8_pool {
+                    assert!(
+                        r.add_reduction_pct <= lenet_max,
+                        "{name}/{}: {} > LeNet max {lenet_max}",
+                        r.name,
+                        r.add_reduction_pct
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_all_fused_layers() {
+        let r = fig14();
+        assert_eq!(r.body.lines().count(), 2 + 3 + 5 + 12 + 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal text-table rendering for the experiment reports.
+
+/// Render rows as an aligned text table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(cell);
+            if i + 1 < cols {
+                for _ in 0..w.saturating_sub(cell.chars().count()) + 2 {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shorthand for building a row from displayable cells.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($cell.to_string()),*]
+    };
+}
+
+/// Format a float with fixed precision.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns_and_rules_header() {
+        let t = table(&[
+            vec!["K".into(), "adds".into()],
+            vec!["11".into(), "483".into()],
+            vec!["2".into(), "15".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // the "adds" column starts at the same offset in every row
+        let col = lines[0].find("adds").unwrap();
+        assert_eq!(lines[2].find("483").unwrap(), col);
+        assert_eq!(lines[3].find("15").unwrap(), col);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn row_macro_stringifies() {
+        let r: Vec<String> = row!["a", 1, 2.5];
+        assert_eq!(r, vec!["a", "1", "2.5"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(2.25911, 2), "2.26");
+        assert_eq!(f(55.6004, 1), "55.6");
+    }
+}

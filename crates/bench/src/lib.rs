@@ -1,0 +1,59 @@
+//! # mlcnn-bench
+//!
+//! The experiment harness: one driver per table and figure of the MLCNN
+//! paper's evaluation, each returning typed data plus a formatted text
+//! table. The `tablegen` binary prints them; `EXPERIMENTS.md` records
+//! paper-vs-measured for each.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Table I (model stats) | [`model_stats::table1`] |
+//! | Fig. 3 (reordering accuracy) | [`accuracy::fig3`] |
+//! | Fig. 4 (avg vs max pooling) | [`accuracy::fig4`] |
+//! | Tables II–VI (reuse sweeps) | [`sweeps`] |
+//! | Table VII (accelerator configs) | [`accel_report::table7`] |
+//! | Fig. 12 (quantized accuracy) | [`accuracy::fig12`] |
+//! | Fig. 13 (speedups) | [`accel_report::fig13`] |
+//! | Fig. 14 (FLOP reductions) | [`flops::fig14`] |
+//! | Fig. 15 (energy breakdown) | [`accel_report::fig15`] |
+//! | Ablations (DESIGN.md §6) | [`ablation`] |
+//! | Extensions (ResNet-18, shift robustness) | [`accel_report::resnet_extension`], [`robustness`] |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod accel_report;
+pub mod accuracy;
+pub mod flops;
+pub mod format;
+pub mod model_stats;
+pub mod robustness;
+pub mod sweeps;
+
+/// A rendered experiment: identifier, title and a preformatted text body.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short id (`table2`, `fig13`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Preformatted text table(s).
+    pub body: String,
+}
+
+impl Report {
+    /// Assemble a report.
+    pub fn new(id: &str, title: &str, body: String) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            body,
+        }
+    }
+
+    /// Render with a header, ready to print.
+    pub fn render(&self) -> String {
+        format!("==== {} — {} ====\n{}\n", self.id, self.title, self.body)
+    }
+}

@@ -1,0 +1,123 @@
+//! Table I: conv-layer and learnable-parameter counts of the model zoo.
+
+use crate::format::table;
+use crate::{row, Report};
+use mlcnn_nn::zoo::{self, ModelDesc};
+
+/// Paper Table I values: (name, conv layers, parameters). The GoogLeNet
+/// parameter cell is printed as "6166250K" in the paper, which is a raw
+/// count (≈6.2M) mislabelled as thousands; we compare against the raw
+/// reading.
+pub const PAPER_TABLE1: [(&str, usize, u64); 4] = [
+    ("LeNet5", 3, 62_000),
+    ("VGG16", 13, 14_728_000),
+    ("VGG19", 16, 20_040_000),
+    ("GoogLeNet", 57, 6_166_250),
+];
+
+/// Table I data row.
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Convolutional layer count.
+    pub conv_layers: usize,
+    /// Learnable parameter count.
+    pub params: u64,
+    /// Layers MLCNN can fuse.
+    pub fused_layers: usize,
+    /// Dense-conv MACs per inference.
+    pub macs: u64,
+}
+
+/// Compute the stats for one model.
+pub fn stats(m: &ModelDesc) -> ModelStats {
+    ModelStats {
+        name: m.name.clone(),
+        conv_layers: m.conv_layer_count(),
+        params: m.param_count(),
+        fused_layers: m.fused_convs().len(),
+        macs: m.total_macs(),
+    }
+}
+
+/// Table I report (plus the DenseNet row used by Figs. 13–15 and the
+/// fused-layer counts from Section VII).
+pub fn table1() -> Report {
+    let mut rows = vec![row![
+        "model",
+        "conv layers",
+        "params",
+        "paper params",
+        "fused layers",
+        "MACs/inference"
+    ]];
+    let mut models = zoo::table1_models(100);
+    models.push(zoo::densenet121(100));
+    for m in &models {
+        let s = stats(m);
+        let paper = PAPER_TABLE1
+            .iter()
+            .find(|(n, _, _)| *n == s.name)
+            .map(|(_, _, p)| p.to_string())
+            .unwrap_or_else(|| "-".into());
+        rows.push(row![
+            s.name,
+            s.conv_layers,
+            s.params,
+            paper,
+            s.fused_layers,
+            s.macs
+        ]);
+    }
+    Report::new(
+        "table1",
+        "Convolutional layers and learnable parameters (paper Table I)",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_counts_match_paper() {
+        for (name, layers, _) in PAPER_TABLE1 {
+            let m = match name {
+                "LeNet5" => zoo::lenet5(100),
+                "VGG16" => zoo::vgg16(100),
+                "VGG19" => zoo::vgg19(100),
+                "GoogLeNet" => zoo::googlenet(100),
+                _ => unreachable!(),
+            };
+            assert_eq!(m.conv_layer_count(), layers, "{name}");
+        }
+    }
+
+    #[test]
+    fn param_counts_are_within_ten_percent_of_paper() {
+        for (name, _, paper) in PAPER_TABLE1 {
+            let m = match name {
+                "LeNet5" => zoo::lenet5(10),
+                "VGG16" => zoo::vgg16(10),
+                "VGG19" => zoo::vgg19(10),
+                "GoogLeNet" => zoo::googlenet(100),
+                _ => unreachable!(),
+            };
+            let ours = m.param_count() as f64;
+            let ratio = ours / paper as f64;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "{name}: ours {ours} vs paper {paper} (ratio {ratio:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_five_model_rows() {
+        let r = table1();
+        assert_eq!(r.body.lines().count(), 2 + 5);
+        assert!(r.body.contains("DenseNet"));
+    }
+}

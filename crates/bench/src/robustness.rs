@@ -1,0 +1,120 @@
+//! Shift-robustness experiment (extension).
+//!
+//! The paper's Section II-B justification for keeping pooling — "pooling
+//! not only contributes to dimension reduction but also alleviates the
+//! sensitivity of outputs to shifts and distortions" — is asserted, not
+//! measured. This experiment measures it: train the pooled network and
+//! its All-Conv counterpart on identical data, then evaluate both on test
+//! sets translated by 0–3 pixels. The pooled network should degrade more
+//! gracefully, which is the reason MLCNN reorders pooling instead of
+//! removing it.
+
+use crate::accuracy::AccuracyConfig;
+use crate::format::{f, table};
+use crate::Report;
+use mlcnn_core::reorder::to_all_conv_full;
+use mlcnn_data::augment::shifted_dataset;
+use mlcnn_data::shapes::{generate, ShapesConfig};
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::train::{evaluate, fit, TrainConfig};
+use mlcnn_nn::zoo;
+
+/// Accuracy of one variant across shift magnitudes.
+#[derive(Debug, Clone)]
+pub struct ShiftCurve {
+    /// Variant label.
+    pub variant: String,
+    /// `(shift, top-1)` pairs.
+    pub points: Vec<(isize, f32)>,
+}
+
+/// Run the experiment, returning the two curves.
+pub fn shift_curves(cfg: &AccuracyConfig) -> Vec<ShiftCurve> {
+    let data = generate(ShapesConfig::cifar10_like(cfg.per_class_10, cfg.seed + 7));
+    let (train, test) = data.split(0.75);
+    let input = train.item_shape().expect("nonempty");
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: 16,
+        lr: cfg.lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let pooled = zoo::lenet5_spec(10);
+    let allconv = to_all_conv_full(&pooled, input).expect("transform");
+    let shifts: &[isize] = if cfg.quick { &[0, 2] } else { &[0, 1, 2, 3] };
+    [("pooled (LeNet-5)", pooled), ("All-Conv", allconv)]
+        .into_iter()
+        .map(|(label, specs)| {
+            let mut net = build_network(&specs, input, cfg.seed).expect("builds");
+            fit(&mut net, &train, &tc).expect("trains");
+            let points = shifts
+                .iter()
+                .map(|&s| {
+                    let shifted = shifted_dataset(&test, s, s);
+                    let acc = evaluate(&mut net, &shifted, &[1], 16)
+                        .expect("evaluates")
+                        .at(1)
+                        .unwrap();
+                    (s, acc)
+                })
+                .collect();
+            ShiftCurve {
+                variant: label.into(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// The robustness report.
+pub fn robustness(cfg: &AccuracyConfig) -> Report {
+    let curves = shift_curves(cfg);
+    let shifts: Vec<isize> = curves[0].points.iter().map(|(s, _)| *s).collect();
+    let mut header = vec!["variant".to_string()];
+    header.extend(shifts.iter().map(|s| format!("shift {s}px")));
+    header.push("retained at max shift".into());
+    let mut rows = vec![header];
+    for c in &curves {
+        let base = c.points[0].1.max(1e-6);
+        let last = c.points.last().unwrap().1;
+        let mut row = vec![c.variant.clone()];
+        row.extend(c.points.iter().map(|(_, a)| f(*a as f64, 3)));
+        row.push(f((last / base) as f64, 3));
+        rows.push(row);
+    }
+    Report::new(
+        "robustness",
+        "Extension: shift robustness of pooled vs All-Conv networks (Section II-B claim)",
+        table(&rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_robustness_runs_and_reports_both_variants() {
+        let r = robustness(&AccuracyConfig::quick());
+        assert_eq!(r.body.lines().count(), 2 + 2);
+        assert!(r.body.contains("pooled"));
+        assert!(r.body.contains("All-Conv"));
+    }
+
+    #[test]
+    fn accuracy_degrades_with_shift_for_both() {
+        let curves = shift_curves(&AccuracyConfig::quick());
+        for c in curves {
+            let first = c.points.first().unwrap().1;
+            let last = c.points.last().unwrap().1;
+            assert!(
+                last <= first + 0.15,
+                "{}: shifted accuracy should not improve much ({first} -> {last})",
+                c.variant
+            );
+        }
+    }
+}

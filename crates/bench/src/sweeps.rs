@@ -1,0 +1,212 @@
+//! Tables II–VI: the addition-reuse sweeps.
+//!
+//! Every table prints three sources side by side:
+//! * the paper's published numbers (hard-coded expectations),
+//! * the closed-form analytic model (`mlcnn_core::analytic`),
+//! * the memoized reuse simulator (`mlcnn_core::reuse_sim`) — the ground
+//!   truth the closed forms are proven against.
+
+use crate::format::{f, table};
+use crate::{row, Report};
+use mlcnn_core::analytic;
+use mlcnn_core::reuse_sim::{simulate_row, ReuseMode};
+
+/// Paper-published `(param, without, with)` rows for a sweep table.
+type Published = &'static [(usize, u64, u64)];
+
+const TABLE2_PAPER: Published = &[
+    (11, 483, 373),
+    (9, 323, 251),
+    (7, 195, 153),
+    (5, 99, 79),
+    (3, 35, 29),
+    (2, 15, 13),
+];
+
+const TABLE3_PAPER: Published = &[
+    (1, 483, 373),
+    (2, 483, 384),
+    (3, 483, 395),
+    (4, 483, 406),
+    (5, 483, 417),
+    (6, 483, 428),
+    (11, 483, 483),
+];
+
+const TABLE4_PAPER: Published = &[
+    (3, 455, 347),
+    (5, 1188, 693),
+    (13, 5400, 2397),
+    (15, 6293, 2783),
+    (17, 6930, 3105),
+];
+
+const TABLE5_PAPER: Published = &[(1, 5400, 2397), (3, 2025, 1479), (5, 1350, 1233)];
+
+const TABLE6_PAPER: Published = &[(28, 5400, 2397), (32, 6750, 2889), (224, 71550, 26505)];
+
+fn reduction(wo: u64, w: u64) -> f64 {
+    100.0 * (1.0 - w as f64 / wo as f64)
+}
+
+/// Table II: LAR vs filter size (unit stride, one pooled output).
+pub fn table2() -> Report {
+    let mut rows = vec![row![
+        "K", "w/o LAR", "w/ LAR", "red.%", "paper w/o", "paper w/", "sim"
+    ]];
+    for &(k, pwo, pw) in TABLE2_PAPER {
+        let wo = analytic::adds_per_output_without(k);
+        let w = analytic::adds_per_output_with_lar(k, 1);
+        let sim = simulate_row(k, k + 1, 1, 2, ReuseMode::Lar).total();
+        rows.push(row![
+            format!("{k}x{k}"),
+            wo,
+            w,
+            f(reduction(wo, w), 1),
+            pwo,
+            pw,
+            sim
+        ]);
+    }
+    Report::new(
+        "table2",
+        "Impact of filter size on LAR (unit stride)",
+        table(&rows),
+    )
+}
+
+/// Table III: LAR vs step size (K = 11).
+pub fn table3() -> Report {
+    let mut rows = vec![row![
+        "S", "w/o LAR", "w/ LAR", "red.%", "paper w/o", "paper w/", "sim"
+    ]];
+    for &(s, pwo, pw) in TABLE3_PAPER {
+        let wo = analytic::adds_per_output_without(11);
+        let w = analytic::adds_per_output_with_lar(11, s);
+        let sim = simulate_row(11, 11 + s, s, 2, ReuseMode::Lar).total();
+        rows.push(row![s, wo, w, f(reduction(wo, w), 1), pwo, pw, sim]);
+    }
+    Report::new(
+        "table3",
+        "Impact of step size on LAR (11x11 filter)",
+        table(&rows),
+    )
+}
+
+fn gar_table(id: &str, title: &str, rows_in: Published, label: &str, geom: impl Fn(usize) -> (usize, usize, usize)) -> Report {
+    let mut rows = vec![row![
+        label, "w/o GAR", "w/ GAR", "red.%", "paper w/o", "paper w/", "sim"
+    ]];
+    for &(p, pwo, pw) in rows_in {
+        let (k, d, s) = geom(p);
+        let wo = analytic::row_adds_without(k, d, s);
+        let w = analytic::row_adds_with_gar(k, d, s);
+        let sim = simulate_row(k, d, s, 2, ReuseMode::Gar).total();
+        rows.push(row![p, wo, w, f(reduction(wo, w), 1), pwo, pw, sim]);
+    }
+    Report::new(id, title, table(&rows))
+}
+
+/// Table IV: GAR vs filter size (28×28 input, unit stride).
+pub fn table4() -> Report {
+    gar_table(
+        "table4",
+        "Impact of filter size on GAR (28x28 input, unit stride)",
+        TABLE4_PAPER,
+        "K",
+        |k| (k, 28, 1),
+    )
+}
+
+/// Table V: GAR vs step size (K = 13, 28×28 input).
+pub fn table5() -> Report {
+    gar_table(
+        "table5",
+        "Impact of step size on GAR (13x13 filter, 28x28 input)",
+        TABLE5_PAPER,
+        "S",
+        |s| (13, 28, s),
+    )
+}
+
+/// Table VI: GAR vs input dimension (K = 13, unit stride).
+pub fn table6() -> Report {
+    gar_table(
+        "table6",
+        "Impact of input dimension on GAR (13x13 filter, unit stride)",
+        TABLE6_PAPER,
+        "D",
+        |d| (13, d, 1),
+    )
+}
+
+/// Equations (4)–(7): the asymptotic limits, measured.
+pub fn limits() -> Report {
+    let mut rows = vec![row!["quantity", "paper limit", "measured (large param)"]];
+    rows.push(row![
+        "LAR reduction, K→inf (Eq.4)",
+        "25%",
+        f(100.0 * analytic::lar_reduction_rate(5000, 1), 2)
+    ]);
+    rows.push(row![
+        "GAR reduction, D→inf, K=13 (Eq.5/6)",
+        "63.6%",
+        f(100.0 * analytic::gar_reduction_rate(13, 500_000, 1), 2)
+    ]);
+    rows.push(row![
+        "LAR+GAR reduction, K→inf (Eq.7)",
+        "75%",
+        f(100.0 * analytic::both_reduction_rate(301, 10_000, 1), 2)
+    ]);
+    rows.push(row![
+        "RME mult cut, 2x2 pool",
+        "75%",
+        f(100.0 * analytic::rme_mult_reduction(2), 2)
+    ]);
+    rows.push(row![
+        "RME mult cut, 8x8 pool",
+        "98%",
+        f(100.0 * analytic::rme_mult_reduction(8), 2)
+    ]);
+    Report::new("limits", "Equations (4)-(7) asymptotics", table(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_columns_match(report: &Report) {
+        // analytic column == paper column on every row (columns 2/3 vs 5/6)
+        for line in report.body.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells[1], cells[4], "w/o mismatch in {line}");
+            assert_eq!(cells[2], cells[5], "w/ mismatch in {line}");
+        }
+    }
+
+    #[test]
+    fn tables_2_through_6_reproduce_paper_exactly() {
+        for r in [table2(), table3(), table4(), table5(), table6()] {
+            assert_columns_match(&r);
+        }
+    }
+
+    #[test]
+    fn simulator_column_matches_analytic_for_gar_tables() {
+        for r in [table4(), table5(), table6()] {
+            for line in r.body.lines().skip(2) {
+                let cells: Vec<&str> = line.split_whitespace().collect();
+                assert_eq!(cells[2], cells[6], "sim mismatch in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn limits_report_contains_the_constants() {
+        let body = limits().body;
+        assert!(body.contains("25%"));
+        assert!(body.contains("63.6%"));
+        assert!(body.contains("75%"));
+        assert!(body.contains("98.44") || body.contains("98.4"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Section V closed forms: the paper's analytic model of addition reuse.
+//!
+//! Symbols follow the paper: `K` is the convolution filter extent, `S` the
+//! convolution step (stride), `D` the input feature-map extent, and `N`
+//! the number of elements in a row of the pooled feature map. Pooling is
+//! the fused 2×2/stride-2 average pool throughout (the hardware's
+//! divide-by-four case).
+//!
+//! Derivation notes (verified against every row of Tables II–VI and by the
+//! exhaustive memoized simulator in [`crate::reuse_sim`]):
+//!
+//! * One pooled output factorizes as
+//!   `4·P = Σ_{i,j} W[i,j] · G[i][j]` with the block sum
+//!   `G[a][b] = I[a][b] + I[a][b+S] + I[a+S][b] + I[a+S][b+S]`.
+//!   Without reuse each of the `K²` block sums costs 3 additions and the
+//!   major accumulation costs `K²−1`: `4K²−1` total (Tables II–IV,
+//!   "without" column).
+//! * **LAR** shares the vertical *half additions*
+//!   `HA[a][b] = I[a][b] + I[a+S][b]` within one output: the `K×K` block
+//!   sums touch `K×(K+S)` distinct HA positions (for `S ≤ K`), so the cost
+//!   is `K(K+S)` half additions + `K²` combines + `K²−1` majors
+//!   `= K(2K+S) + K²−1` — Equation (1)'s counted form.
+//! * **GAR** shares whole block sums across a row of `N` pooled outputs:
+//!   the row touches `K×(D−S)` distinct block sums at 3 additions each
+//!   plus `N(K²−1)` majors `= 3K(D−S) + N(K²−1)` — Equation (2)'s counted
+//!   form.
+
+use serde::{Deserialize, Serialize};
+
+/// Pooled-row width: `N = ((D−K)/S + 1) / 2` (conv output columns, halved
+/// by the 2×2 pool).
+pub fn pooled_row_width(k: usize, d: usize, s: usize) -> usize {
+    assert!(s > 0 && k > 0 && d >= k, "bad geometry k={k} d={d} s={s}");
+    // conv output width, floored halving by the 2-wide pool (NOT div_ceil:
+    // a trailing odd conv column is dropped, matching the hardware)
+    #[allow(clippy::manual_div_ceil)]
+    {
+        ((d - k) / s + 1) / 2
+    }
+}
+
+/// Additions per pooled output without any reuse: `4K² − 1`.
+///
+/// ```
+/// // Table II's first row: an 11x11 filter needs 483 additions
+/// assert_eq!(mlcnn_core::analytic::adds_per_output_without(11), 483);
+/// ```
+pub fn adds_per_output_without(k: usize) -> u64 {
+    4 * (k as u64) * (k as u64) - 1
+}
+
+/// Additions per pooled output with LAR: `K(2K+S) + K² − 1` (valid for
+/// `S ≤ K`; beyond that no half addition is shared and the cost saturates
+/// at the reuse-free `4K² − 1`).
+///
+/// ```
+/// // Table II: LAR brings the 11x11 filter from 483 to 373 additions
+/// assert_eq!(mlcnn_core::analytic::adds_per_output_with_lar(11, 1), 373);
+/// ```
+pub fn adds_per_output_with_lar(k: usize, s: usize) -> u64 {
+    let (k64, s64) = (k as u64, s as u64);
+    if s >= k {
+        // no vertical overlap between the two half-addition column sets
+        adds_per_output_without(k)
+    } else {
+        k64 * (2 * k64 + s64) + k64 * k64 - 1
+    }
+}
+
+/// Equation (1)/(4): LAR addition reduction rate.
+pub fn lar_reduction_rate(k: usize, s: usize) -> f64 {
+    let without = adds_per_output_without(k) as f64;
+    1.0 - adds_per_output_with_lar(k, s) as f64 / without
+}
+
+/// Additions per pooled-output *row* without reuse: `N(4K² − 1)`.
+pub fn row_adds_without(k: usize, d: usize, s: usize) -> u64 {
+    pooled_row_width(k, d, s) as u64 * adds_per_output_without(k)
+}
+
+/// Additions per pooled-output row with GAR: `3K(D−S) + N(K²−1)`.
+///
+/// ```
+/// // Table IV: a 13x13 filter over a 28-wide input drops 5400 -> 2397
+/// assert_eq!(mlcnn_core::analytic::row_adds_without(13, 28, 1), 5400);
+/// assert_eq!(mlcnn_core::analytic::row_adds_with_gar(13, 28, 1), 2397);
+/// ```
+pub fn row_adds_with_gar(k: usize, d: usize, s: usize) -> u64 {
+    let n = pooled_row_width(k, d, s) as u64;
+    let (k64, d64, s64) = (k as u64, d as u64, s as u64);
+    (3 * k64 * (d64 - s64)).min(n * 3 * k64 * k64) + n * (k64 * k64 - 1)
+}
+
+/// Exact GAR row cost from the distinct-block-sum count. The paper's
+/// `3K(D−S)` block term assumes the conv output width `(D−K)/S+1` is even
+/// (so the 2-wide pool consumes every conv column); this variant counts
+/// the positions actually touched — `K` rows × `K + (N−1)·2S` columns
+/// (or `N·K` disjoint columns when `2S ≥ K`) — and therefore matches the
+/// memoized simulator on *every* geometry, not just the paper's grid.
+pub fn row_adds_with_gar_exact(k: usize, d: usize, s: usize) -> u64 {
+    let n = pooled_row_width(k, d, s) as u64;
+    if n == 0 {
+        return 0;
+    }
+    let (k64, s64) = (k as u64, s as u64);
+    let g_cols = if k64 > 2 * s64 {
+        k64 + (n - 1) * 2 * s64
+    } else {
+        n * k64
+    };
+    3 * k64 * g_cols + n * (k64 * k64 - 1)
+}
+
+/// Equation (2)/(5): GAR addition reduction rate for a row.
+pub fn gar_reduction_rate(k: usize, d: usize, s: usize) -> f64 {
+    let without = row_adds_without(k, d, s) as f64;
+    1.0 - row_adds_with_gar(k, d, s) as f64 / without
+}
+
+/// Additions per pooled-output row with LAR *and* GAR: block sums are
+/// shared across the row (GAR) and built from shared half additions
+/// (LAR). The row touches `K+S` distinct HA rows × `D` columns and
+/// `K×(D−S)`-bounded block-sum positions, plus the `N(K²−1)` majors.
+pub fn row_adds_with_both(k: usize, d: usize, s: usize) -> u64 {
+    let n = pooled_row_width(k, d, s) as u64;
+    let (k64, d64, s64) = (k as u64, d as u64, s as u64);
+    // Distinct half additions: rows i and i+S for i<K → min(K+S, 2K)
+    // distinct rows, all D columns (bounded by what a fresh computation
+    // would cost).
+    let ha_rows = (k64 + s64).min(2 * k64);
+    let ha = ha_rows * d64;
+    // Distinct block sums: K rows × (D−S)-bounded columns, one combining
+    // addition each given HA.
+    let g = (k64 * (d64 - s64)).min(n * k64 * k64);
+    let majors = n * (k64 * k64 - 1);
+    (ha + g + majors).min(row_adds_without(k, d, s))
+}
+
+/// Combined LAR+GAR reduction rate for a row.
+pub fn both_reduction_rate(k: usize, d: usize, s: usize) -> f64 {
+    let without = row_adds_without(k, d, s) as f64;
+    1.0 - row_adds_with_both(k, d, s) as f64 / without
+}
+
+/// A row of the paper's sweep tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Filter size `K`.
+    pub k: usize,
+    /// Step size `S`.
+    pub s: usize,
+    /// Input dimension `D` (0 for the per-output LAR tables).
+    pub d: usize,
+    /// Additions without reuse.
+    pub without: u64,
+    /// Additions with the studied reuse.
+    pub with: u64,
+    /// Reduction rate in percent.
+    pub reduction_pct: f64,
+}
+
+impl SweepRow {
+    fn new(k: usize, s: usize, d: usize, without: u64, with: u64) -> Self {
+        SweepRow {
+            k,
+            s,
+            d,
+            without,
+            with,
+            reduction_pct: 100.0 * (1.0 - with as f64 / without as f64),
+        }
+    }
+}
+
+/// Table II: LAR vs filter size (unit stride), K ∈ {2,3,5,7,9,11}.
+pub fn table2() -> Vec<SweepRow> {
+    [11usize, 9, 7, 5, 3, 2]
+        .iter()
+        .map(|&k| {
+            SweepRow::new(
+                k,
+                1,
+                0,
+                adds_per_output_without(k),
+                adds_per_output_with_lar(k, 1),
+            )
+        })
+        .collect()
+}
+
+/// Table III: LAR vs step size (K = 11), S ∈ 1..=11.
+pub fn table3() -> Vec<SweepRow> {
+    (1..=11)
+        .map(|s| {
+            SweepRow::new(
+                11,
+                s,
+                0,
+                adds_per_output_without(11),
+                adds_per_output_with_lar(11, s),
+            )
+        })
+        .collect()
+}
+
+/// Table IV: GAR vs filter size (28×28 input, unit stride).
+pub fn table4() -> Vec<SweepRow> {
+    [3usize, 5, 13, 15, 17]
+        .iter()
+        .map(|&k| {
+            SweepRow::new(
+                k,
+                1,
+                28,
+                row_adds_without(k, 28, 1),
+                row_adds_with_gar(k, 28, 1),
+            )
+        })
+        .collect()
+}
+
+/// Table V: GAR vs step size (K = 13, 28×28 input), S ∈ {1,3,5}.
+pub fn table5() -> Vec<SweepRow> {
+    [1usize, 3, 5]
+        .iter()
+        .map(|&s| {
+            SweepRow::new(
+                13,
+                s,
+                28,
+                row_adds_without(13, 28, s),
+                row_adds_with_gar(13, 28, s),
+            )
+        })
+        .collect()
+}
+
+/// Table VI: GAR vs input dimension (K = 13, unit stride).
+pub fn table6() -> Vec<SweepRow> {
+    [28usize, 32, 224]
+        .iter()
+        .map(|&d| {
+            SweepRow::new(
+                13,
+                1,
+                d,
+                row_adds_without(13, d, 1),
+                row_adds_with_gar(13, d, 1),
+            )
+        })
+        .collect()
+}
+
+/// Equation (6): the GAR reduction rate limit as `D → ∞` for K = 13.
+pub const GAR_LIMIT_K13: f64 = 214.5 / 337.5;
+
+/// Equation (7): the LAR+GAR per-output limit as `K → ∞` (75%).
+pub const BOTH_LIMIT: f64 = 0.75;
+
+/// RME multiplication-elimination fraction for a `p × p` pooling window:
+/// `1 − 1/p²` (75% at p = 2, ≈98% at p = 8 — the paper's GoogLeNet case).
+pub fn rme_mult_reduction(pool_window: usize) -> f64 {
+    let p2 = (pool_window * pool_window) as f64;
+    1.0 - 1.0 / p2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_exactly() {
+        // Paper Table II rows: (K, w/o, w/, rate%)
+        let expect = [
+            (11, 483, 373, 22.8),
+            (9, 323, 251, 22.3),
+            (7, 195, 153, 21.5),
+            (5, 99, 79, 20.2),
+            (3, 35, 29, 17.1),
+            (2, 15, 13, 13.3),
+        ];
+        for (row, (k, wo, w, rate)) in table2().iter().zip(expect) {
+            assert_eq!(row.k, k);
+            assert_eq!(row.without, wo);
+            assert_eq!(row.with, w);
+            assert!((row.reduction_pct - rate).abs() < 0.1, "K={k}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_exactly() {
+        let expect = [
+            (1, 373),
+            (2, 384),
+            (3, 395),
+            (4, 406),
+            (5, 417),
+            (6, 428),
+            (7, 439),
+            (8, 450),
+            (9, 461),
+            (10, 472),
+            (11, 483),
+        ];
+        for (row, (s, w)) in table3().iter().zip(expect) {
+            assert_eq!(row.s, s);
+            assert_eq!(row.without, 483);
+            assert_eq!(row.with, w, "S={s}");
+        }
+        // paper's quoted rates for the published subset
+        assert!((table3()[0].reduction_pct - 22.8).abs() < 0.1);
+        assert!((table3()[5].reduction_pct - 11.4).abs() < 0.1);
+        assert!(table3()[10].reduction_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_matches_paper_exactly() {
+        let expect = [
+            (3, 455, 347, 23.7),
+            (5, 1188, 693, 41.7),
+            (13, 5400, 2397, 55.6),
+            (15, 6293, 2783, 55.8),
+            (17, 6930, 3105, 55.2),
+        ];
+        for (row, (k, wo, w, rate)) in table4().iter().zip(expect) {
+            assert_eq!(row.k, k);
+            assert_eq!(row.without, wo, "K={k}");
+            assert_eq!(row.with, w, "K={k}");
+            assert!((row.reduction_pct - rate).abs() < 0.1, "K={k}");
+        }
+    }
+
+    #[test]
+    fn table5_matches_paper_exactly() {
+        let expect = [(1, 5400, 2397, 55.6), (3, 2025, 1479, 27.0), (5, 1350, 1233, 8.7)];
+        for (row, (s, wo, w, rate)) in table5().iter().zip(expect) {
+            assert_eq!(row.s, s);
+            assert_eq!(row.without, wo, "S={s}");
+            assert_eq!(row.with, w, "S={s}");
+            assert!((row.reduction_pct - rate).abs() < 0.1, "S={s}");
+        }
+    }
+
+    #[test]
+    fn table6_matches_paper_exactly() {
+        let expect = [
+            (28, 5400, 2397, 55.6),
+            (32, 6750, 2889, 57.2),
+            (224, 71550, 26505, 63.0),
+        ];
+        for (row, (d, wo, w, rate)) in table6().iter().zip(expect) {
+            assert_eq!(row.d, d);
+            assert_eq!(row.without, wo, "D={d}");
+            assert_eq!(row.with, w, "D={d}");
+            assert!((row.reduction_pct - rate).abs() < 0.1, "D={d}");
+        }
+    }
+
+    #[test]
+    fn equation4_lar_limit_approaches_25_percent() {
+        // P = K(K−1)/(4K²−1) → 1/4
+        let near = lar_reduction_rate(10_000, 1);
+        assert!((near - 0.25).abs() < 1e-3, "{near}");
+        // and it increases monotonically in K
+        let mut prev = 0.0;
+        for k in 2..100 {
+            let r = lar_reduction_rate(k, 1);
+            assert!(r > prev, "K={k}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn equation5_6_gar_limit_for_k13() {
+        // (214.5 D − 3003)/(337.5 D − 4050) → 0.636
+        let near = gar_reduction_rate(13, 1_000_000, 1);
+        assert!((near - GAR_LIMIT_K13).abs() < 1e-3, "{near}");
+        assert!((GAR_LIMIT_K13 - 0.636).abs() < 1e-3);
+        // equation 5's exact closed form at finite D
+        for d in [28usize, 32, 224] {
+            let expect = (214.5 * d as f64 - 3003.0) / (337.5 * d as f64 - 4050.0);
+            let got = gar_reduction_rate(13, d, 1);
+            assert!((got - expect).abs() < 2e-2, "D={d}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn equation7_both_limit_is_75_percent() {
+        // per-output amortized cost with both reuses tends to K²−1 of
+        // 4K²−1: reduction → 3K²/(4K²−1) → 0.75 as K and D grow.
+        let r = both_reduction_rate(301, 10_000, 1);
+        assert!((r - BOTH_LIMIT).abs() < 0.02, "{r}");
+    }
+
+    #[test]
+    fn rme_reduction_rates() {
+        assert!((rme_mult_reduction(2) - 0.75).abs() < 1e-12);
+        assert!((rme_mult_reduction(8) - 63.0 / 64.0).abs() < 1e-12);
+        // paper: "up to 98%" for GoogLeNet's 8×8 pool
+        assert!(rme_mult_reduction(8) > 0.98);
+    }
+
+    #[test]
+    fn lar_saturates_beyond_filter_sized_steps() {
+        assert_eq!(adds_per_output_with_lar(5, 5), adds_per_output_without(5));
+        assert_eq!(adds_per_output_with_lar(5, 9), adds_per_output_without(5));
+        assert!(adds_per_output_with_lar(5, 4) < adds_per_output_without(5));
+    }
+
+    #[test]
+    fn both_never_exceeds_individual_reuses() {
+        for k in [2usize, 3, 5, 7, 13] {
+            for d in [16usize, 28, 32, 64] {
+                for s in [1usize, 2, 3] {
+                    if d <= k {
+                        continue;
+                    }
+                    let both = row_adds_with_both(k, d, s);
+                    let gar = row_adds_with_gar(k, d, s);
+                    let without = row_adds_without(k, d, s);
+                    assert!(both <= gar, "k={k} d={d} s={s}: both {both} > gar {gar}");
+                    assert!(gar <= without, "k={k} d={d} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_gar_equals_published_form_on_the_paper_grid() {
+        // every Table IV–VI geometry has an even conv-output width, where
+        // the paper's 3K(D−S) term is exact.
+        for (k, d, s) in [
+            (3usize, 28usize, 1usize),
+            (5, 28, 1),
+            (13, 28, 1),
+            (15, 28, 1),
+            (17, 28, 1),
+            (13, 28, 3),
+            (13, 28, 5),
+            (13, 32, 1),
+            (13, 224, 1),
+        ] {
+            assert_eq!(
+                row_adds_with_gar_exact(k, d, s),
+                row_adds_with_gar(k, d, s),
+                "k={k} d={d} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_row_width_examples() {
+        assert_eq!(pooled_row_width(13, 28, 1), 8);
+        assert_eq!(pooled_row_width(3, 28, 1), 13);
+        assert_eq!(pooled_row_width(13, 28, 3), 3);
+        assert_eq!(pooled_row_width(13, 28, 5), 2);
+        assert_eq!(pooled_row_width(13, 224, 1), 106);
+    }
+}

@@ -1,0 +1,583 @@
+//! The fused convolution–pooling operator (paper Section IV, Algorithm 1).
+//!
+//! After reordering, `conv → avg-pool → ReLU` is a linear pipeline up to
+//! the final activation, so the pooling sum can be pushed *through* the
+//! convolution: with a `p × p` (stride `p`) average pool over a stride-`S`
+//! convolution,
+//!
+//! ```text
+//! p²·P[x,y] = Σ_{i,j} W[i,j] · G[p·x·S + i][p·y·S + j]
+//! G[a][b]   = Σ_{dy<p} Σ_{dx<p} I[a + dy·S][b + dx·S]
+//! ```
+//!
+//! The kernel therefore runs Algorithm 1's three phases:
+//! 1. **half addition** — vertical `p`-sums `HA[a][b] = Σ_dy I[a+dy·S][b]`;
+//! 2. **full addition** — horizontal combine `G[a][b] = Σ_dx HA[a][b+dx·S]`
+//!    (the LAR/GAR-shared block-sum plane);
+//! 3. **MAC** — one multiplication per weight per *pooled* output (RME:
+//!    `1 − 1/p²` of the dense multiplications are gone), followed by the
+//!    preprocessing unit's divide-by-`p²`, bias add and ReLU.
+//!
+//! Functional equivalence with `relu(avg_pool(conv(x)))` is exact in
+//! integer arithmetic (modulo the deferred division, see
+//! [`FusedConvPool::with_divide`]) and within rounding noise at `f32`.
+
+use mlcnn_tensor::conv::conv2d_direct;
+use mlcnn_tensor::pool::{avg_pool2d, sum_pool2d};
+use mlcnn_tensor::{Result, Scalar, Shape4, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Geometry of a fused conv-pool layer, all derived quantities included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedGeometry {
+    /// Input spatial height/width (pre padding).
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+    /// Kernel extent.
+    pub k: usize,
+    /// Convolution stride.
+    pub conv_stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Pool window == pool stride.
+    pub pool: usize,
+    /// Conv output height.
+    pub conv_h: usize,
+    /// Conv output width.
+    pub conv_w: usize,
+    /// Pooled output height.
+    pub out_h: usize,
+    /// Pooled output width.
+    pub out_w: usize,
+}
+
+impl FusedGeometry {
+    /// Derive and validate the geometry.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k: usize,
+        conv_stride: usize,
+        pad: usize,
+        pool: usize,
+    ) -> Result<Self> {
+        if conv_stride == 0 || pool == 0 || k == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "fused geometry requires nonzero kernel/stride/pool".into(),
+            });
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if k > padded_h || k > padded_w {
+            return Err(TensorError::BadGeometry {
+                reason: format!("kernel {k} exceeds padded input {padded_h}x{padded_w}"),
+            });
+        }
+        let conv_h = (padded_h - k) / conv_stride + 1;
+        let conv_w = (padded_w - k) / conv_stride + 1;
+        if pool > conv_h || pool > conv_w {
+            return Err(TensorError::BadGeometry {
+                reason: format!("pool {pool} exceeds conv output {conv_h}x{conv_w}"),
+            });
+        }
+        Ok(Self {
+            in_h,
+            in_w,
+            k,
+            conv_stride,
+            pad,
+            pool,
+            conv_h,
+            conv_w,
+            out_h: (conv_h - pool) / pool + 1,
+            out_w: (conv_w - pool) / pool + 1,
+        })
+    }
+}
+
+/// The fused operator: weights + bias + geometry knobs.
+#[derive(Debug, Clone)]
+pub struct FusedConvPool<T = f32> {
+    weight: Tensor<T>,
+    bias: Vec<T>,
+    conv_stride: usize,
+    pad: usize,
+    pool: usize,
+    relu: bool,
+    divide: bool,
+    row_based: bool,
+}
+
+impl<T: Scalar> FusedConvPool<T> {
+    /// Create a fused layer. `weight` is `M×N×K×K` (square kernels),
+    /// `bias` one entry per output channel, `pool` the non-overlapping
+    /// average-pool window that follows the convolution.
+    pub fn new(
+        weight: Tensor<T>,
+        bias: Vec<T>,
+        conv_stride: usize,
+        pad: usize,
+        pool: usize,
+    ) -> Result<Self> {
+        let w = weight.shape();
+        if w.h != w.w {
+            return Err(TensorError::BadGeometry {
+                reason: format!("square kernels only, got {}x{}", w.h, w.w),
+            });
+        }
+        if bias.len() != w.n {
+            return Err(TensorError::BadGeometry {
+                reason: format!("bias length {} != out channels {}", bias.len(), w.n),
+            });
+        }
+        Ok(Self {
+            weight,
+            bias,
+            conv_stride,
+            pad,
+            pool,
+            relu: true,
+            divide: true,
+            row_based: false,
+        })
+    }
+
+    /// Toggle the trailing ReLU (on by default).
+    pub fn with_relu(mut self, relu: bool) -> Self {
+        self.relu = relu;
+        self
+    }
+
+    /// Toggle the divide-by-`p²` (on by default). Disable for exact
+    /// integer-arithmetic equivalence against sum-pooling.
+    pub fn with_divide(mut self, divide: bool) -> Self {
+        self.divide = divide;
+        self
+    }
+
+    /// Select row-based LAR (half additions over rows first, then the
+    /// vertical combine) instead of the default column-based order. The
+    /// paper notes "row-based LAR works in a similar way"; the two
+    /// orientations produce identical block sums — property-tested
+    /// bit-exactly in integer arithmetic — and differ only in which
+    /// operand stream the AR unit's registers hold.
+    pub fn with_row_based_lar(mut self, row_based: bool) -> Self {
+        self.row_based = row_based;
+        self
+    }
+
+    /// Pool window accessor.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Derived geometry for an input shape.
+    pub fn geometry(&self, input: Shape4) -> Result<FusedGeometry> {
+        FusedGeometry::new(
+            input.h,
+            input.w,
+            self.weight.shape().h,
+            self.conv_stride,
+            self.pad,
+            self.pool,
+        )
+    }
+
+    /// Output shape for an input shape.
+    pub fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let g = self.geometry(input)?;
+        Ok(Shape4::new(input.n, self.weight.shape().n, g.out_h, g.out_w))
+    }
+
+    /// Build the block-sum plane `G` for one padded input plane.
+    ///
+    /// Returns a `(g_h × g_w)` row-major buffer where
+    /// `G[a][b] = Σ_{dy,dx<p} padded[a+dy·S][b+dx·S]`, computed through the
+    /// half-addition plane exactly as the AR unit does — column-based
+    /// (vertical HA, horizontal combine) by default, or the row-based
+    /// orientation when selected.
+    fn block_sum_plane(&self, padded: &[T], ph: usize, pw: usize) -> (Vec<T>, usize, usize) {
+        let p = self.pool;
+        let s = self.conv_stride;
+        let span = (p - 1) * s;
+        let g_h = ph - span;
+        let gw_valid = pw - span;
+        if self.row_based {
+            // phase 1: half additions over rows (horizontal p-sums)
+            let mut ha = vec![T::zero(); ph * gw_valid];
+            for a in 0..ph {
+                for b in 0..gw_valid {
+                    let mut acc = padded[a * pw + b];
+                    for dx in 1..p {
+                        acc += padded[a * pw + b + dx * s];
+                    }
+                    ha[a * gw_valid + b] = acc;
+                }
+            }
+            // phase 2: vertical combine
+            let mut g = vec![T::zero(); g_h * gw_valid];
+            for a in 0..g_h {
+                for b in 0..gw_valid {
+                    let mut acc = ha[a * gw_valid + b];
+                    for dy in 1..p {
+                        acc += ha[(a + dy * s) * gw_valid + b];
+                    }
+                    g[a * gw_valid + b] = acc;
+                }
+            }
+            return (g, g_h, gw_valid);
+        }
+        let g_w = pw; // HA spans full width; G valid width is pw - span
+        // phase 1: half additions (vertical p-sums at spacing S)
+        let mut ha = vec![T::zero(); g_h * g_w];
+        for a in 0..g_h {
+            for b in 0..pw {
+                let mut acc = padded[a * pw + b];
+                for dy in 1..p {
+                    acc += padded[(a + dy * s) * pw + b];
+                }
+                ha[a * g_w + b] = acc;
+            }
+        }
+        // phase 2: full additions (horizontal combine at spacing S)
+        let mut g = vec![T::zero(); g_h * gw_valid];
+        for a in 0..g_h {
+            for b in 0..gw_valid {
+                let mut acc = ha[a * g_w + b];
+                for dx in 1..p {
+                    acc += ha[a * g_w + b + dx * s];
+                }
+                g[a * gw_valid + b] = acc;
+            }
+        }
+        (g, g_h, gw_valid)
+    }
+
+    /// Run the fused operator.
+    pub fn forward(&self, input: &Tensor<T>) -> Result<Tensor<T>> {
+        let ishape = input.shape();
+        let wshape = self.weight.shape();
+        if ishape.c != wshape.c {
+            return Err(TensorError::ShapeMismatch {
+                left: ishape,
+                right: wshape,
+                op: "fused conv-pool (channels)",
+            });
+        }
+        let geom = self.geometry(ishape)?;
+        let (p, s, k) = (self.pool, self.conv_stride, geom.k);
+        let (ph, pw) = (geom.in_h + 2 * geom.pad, geom.in_w + 2 * geom.pad);
+        let inv_area = T::one() / T::from_f32((p * p) as f32);
+        let out_shape = Shape4::new(ishape.n, wshape.n, geom.out_h, geom.out_w);
+
+        let per_item: Vec<Vec<T>> = (0..ishape.n)
+            .into_par_iter()
+            .map(|n| {
+                // phase 1+2 per input channel: block-sum planes
+                let mut g_planes = Vec::with_capacity(ishape.c);
+                let mut g_dims = (0usize, 0usize);
+                for c in 0..ishape.c {
+                    let plane = input.plane_slice(n, c);
+                    // materialize the zero-padded plane
+                    let mut padded = vec![T::zero(); ph * pw];
+                    for h in 0..geom.in_h {
+                        let dst =
+                            &mut padded[(h + geom.pad) * pw + geom.pad..(h + geom.pad) * pw + geom.pad + geom.in_w];
+                        dst.copy_from_slice(&plane[h * geom.in_w..(h + 1) * geom.in_w]);
+                    }
+                    let (g, gh, gw) = self.block_sum_plane(&padded, ph, pw);
+                    g_dims = (gh, gw);
+                    g_planes.push(g);
+                }
+                let (_gh, gw) = g_dims;
+                // phase 3: MAC over the factored weights
+                let mut out = vec![T::zero(); wshape.n * geom.out_h * geom.out_w];
+                for to in 0..wshape.n {
+                    for x in 0..geom.out_h {
+                        for y in 0..geom.out_w {
+                            let mut acc = T::zero();
+                            for (ti, gp) in g_planes.iter().enumerate() {
+                                for i in 0..k {
+                                    let row = (p * x * s + i) * gw + p * y * s;
+                                    for j in 0..k {
+                                        acc += self.weight.at(to, ti, i, j) * gp[row + j];
+                                    }
+                                }
+                            }
+                            // preprocessing: /p², bias, activation
+                            let mut v = if self.divide { acc * inv_area } else { acc };
+                            v += self.bias[to];
+                            if self.relu {
+                                v = v.relu();
+                            }
+                            out[(to * geom.out_h + x) * geom.out_w + y] = v;
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let mut data = Vec::with_capacity(out_shape.len());
+        for item in per_item {
+            data.extend_from_slice(&item);
+        }
+        Tensor::from_vec(out_shape, data)
+    }
+
+    /// The unfused reference: `relu?(pool(conv(x) + bias))` with average
+    /// (or, when division is disabled, sum) pooling. This is what MLCNN
+    /// must match.
+    pub fn reference(&self, input: &Tensor<T>) -> Result<Tensor<T>> {
+        let conv = conv2d_direct(input, &self.weight, None, self.conv_stride, self.pad)?;
+        let mut pooled = if self.divide {
+            avg_pool2d(&conv, self.pool, self.pool)?
+        } else {
+            sum_pool2d(&conv, self.pool, self.pool)?
+        };
+        // bias after pooling == bias before pooling for average pooling;
+        // for the sum variant the caller's bias is in the sum domain.
+        let s = pooled.shape();
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let b = self.bias[c];
+                for v in pooled.plane_slice_mut(n, c) {
+                    *v += b;
+                }
+            }
+        }
+        if self.relu {
+            pooled.map_inplace(|v| v.relu());
+        }
+        Ok(pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::init;
+    use proptest::prelude::*;
+
+    #[allow(clippy::too_many_arguments)] // geometry tuple, test-only helper
+    fn rand_setup(
+        seed: u64,
+        b: usize,
+        cin: usize,
+        cout: usize,
+        d: usize,
+        k: usize,
+        s: usize,
+        pad: usize,
+        pool: usize,
+    ) -> (Tensor<f32>, FusedConvPool<f32>) {
+        let mut rng = init::rng(seed);
+        let input = init::uniform(Shape4::new(b, cin, d, d), -1.0, 1.0, &mut rng);
+        let weight = init::uniform(Shape4::new(cout, cin, k, k), -1.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..cout).map(|i| (i as f32 - 1.0) * 0.05).collect();
+        let fused = FusedConvPool::new(weight, bias, s, pad, pool).unwrap();
+        (input, fused)
+    }
+
+    #[test]
+    fn matches_reference_on_paper_example_geometry() {
+        // Fig. 5: 5x5 input, 2x2 filter, unit stride, 2x2 pool.
+        let (input, fused) = rand_setup(1, 1, 1, 1, 5, 2, 1, 0, 2);
+        let a = fused.forward(&input).unwrap();
+        let b = fused.reference(&input).unwrap();
+        assert_eq!(a.shape(), Shape4::new(1, 1, 2, 2));
+        assert!(a.approx_eq(&b, 1e-5), "diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn matches_reference_across_geometries() {
+        for (seed, b, cin, cout, d, k, s, pad, pool) in [
+            (2u64, 2usize, 3usize, 4usize, 8usize, 3usize, 1usize, 1usize, 2usize),
+            (3, 1, 2, 2, 12, 5, 1, 0, 2),
+            (4, 1, 1, 3, 16, 3, 1, 1, 4),
+            (5, 2, 2, 2, 9, 2, 1, 0, 3),
+            (6, 1, 4, 1, 16, 5, 2, 2, 2),
+            (7, 1, 1, 1, 16, 1, 1, 0, 2), // 1x1 kernel (DenseNet transition)
+            (8, 1, 2, 2, 10, 3, 1, 1, 5),
+        ] {
+            let (input, fused) = rand_setup(seed, b, cin, cout, d, k, s, pad, pool);
+            let a = fused.forward(&input).unwrap();
+            let r = fused.reference(&input).unwrap();
+            assert!(
+                a.approx_eq(&r, 1e-4),
+                "geometry d={d} k={k} s={s} pad={pad} pool={pool}: diff {}",
+                a.max_abs_diff(&r).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn googlenet_style_8x8_global_pool() {
+        // conv output 8x8 pooled by 8 → a single output per channel.
+        let (input, fused) = rand_setup(9, 1, 3, 2, 8, 3, 1, 1, 8);
+        let a = fused.forward(&input).unwrap();
+        let r = fused.reference(&input).unwrap();
+        assert_eq!(a.shape(), Shape4::new(1, 2, 1, 1));
+        assert!(a.approx_eq(&r, 1e-4));
+    }
+
+    #[test]
+    fn integer_arithmetic_is_bit_exact() {
+        // deferred division => fused == sum-pooled reference exactly in i64.
+        let mut rng = init::rng(10);
+        let input = init::uniform(Shape4::new(1, 2, 9, 9), -8.0, 8.0, &mut rng).cast::<i64>();
+        let weight = init::uniform(Shape4::new(3, 2, 3, 3), -4.0, 4.0, &mut rng).cast::<i64>();
+        let fused = FusedConvPool::new(weight, vec![1_i64, -2, 3], 1, 0, 2)
+            .unwrap()
+            .with_divide(false);
+        let a = fused.forward(&input).unwrap();
+        let r = fused.reference(&input).unwrap();
+        assert_eq!(a, r, "integer fused != reference");
+    }
+
+    #[test]
+    fn relu_clamps_negative_pooled_outputs() {
+        let weight = Tensor::from_vec(
+            Shape4::new(1, 1, 1, 1),
+            vec![-1.0_f32],
+        )
+        .unwrap();
+        let fused = FusedConvPool::new(weight, vec![0.0], 1, 0, 2).unwrap();
+        let input = Tensor::full(Shape4::hw(4, 4), 1.0_f32);
+        let out = fused.forward(&input).unwrap();
+        // conv output = -1 everywhere, pooled = -1, relu = 0
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let no_relu = fused.clone().with_relu(false).forward(&input).unwrap();
+        assert!(no_relu.as_slice().iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn bias_is_applied_once_after_pooling() {
+        let weight = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![0.0_f32]).unwrap();
+        let fused = FusedConvPool::new(weight, vec![7.5], 1, 0, 2).unwrap();
+        let input = Tensor::full(Shape4::hw(4, 4), 3.0_f32);
+        let out = fused.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let w = Tensor::<f32>::zeros(Shape4::new(2, 1, 2, 3));
+        assert!(FusedConvPool::new(w, vec![0.0; 2], 1, 0, 2).is_err());
+        let w = Tensor::<f32>::zeros(Shape4::new(2, 1, 3, 3));
+        assert!(FusedConvPool::new(w.clone(), vec![0.0; 1], 1, 0, 2).is_err());
+        let ok = FusedConvPool::new(w, vec![0.0; 2], 1, 0, 2).unwrap();
+        // pool larger than conv output (3x3 input, 3x3 kernel → 1x1 conv)
+        assert!(ok.out_shape(Shape4::new(1, 1, 3, 3)).is_err());
+        // channel mismatch
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 3, 8, 8));
+        assert!(ok.forward(&input).is_err());
+    }
+
+    #[test]
+    fn geometry_derivation() {
+        let g = FusedGeometry::new(32, 32, 3, 1, 1, 2).unwrap();
+        assert_eq!((g.conv_h, g.conv_w), (32, 32));
+        assert_eq!((g.out_h, g.out_w), (16, 16));
+        let g = FusedGeometry::new(14, 14, 5, 1, 0, 2).unwrap();
+        assert_eq!((g.conv_h, g.conv_w), (10, 10));
+        assert_eq!((g.out_h, g.out_w), (5, 5));
+        assert!(FusedGeometry::new(4, 4, 3, 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn multiplication_count_is_reduced_by_pool_area() {
+        // structural check: the fused MAC loop touches K² weights per
+        // pooled output; dense touches K² per conv output. Verify via the
+        // geometry: conv outputs / pooled outputs == p².
+        let g = FusedGeometry::new(32, 32, 3, 1, 1, 2).unwrap();
+        assert_eq!(g.conv_h * g.conv_w, 4 * g.out_h * g.out_w);
+        let g = FusedGeometry::new(8, 8, 3, 1, 1, 8).unwrap();
+        assert_eq!(g.conv_h * g.conv_w, 64 * g.out_h * g.out_w);
+    }
+
+    #[test]
+    fn row_based_orientation_is_bit_exact_in_integers() {
+        let mut rng = init::rng(41);
+        let input = init::uniform(Shape4::new(1, 2, 10, 10), -8.0, 8.0, &mut rng).cast::<i64>();
+        let weight = init::uniform(Shape4::new(2, 2, 3, 3), -4.0, 4.0, &mut rng).cast::<i64>();
+        let col = FusedConvPool::new(weight.clone(), vec![0_i64, 0], 1, 1, 2)
+            .unwrap()
+            .with_divide(false);
+        let row = col.clone().with_row_based_lar(true);
+        assert_eq!(col.forward(&input).unwrap(), row.forward(&input).unwrap());
+    }
+
+    #[test]
+    fn row_based_orientation_matches_reference_at_f32() {
+        let (input, fused) = rand_setup(42, 1, 3, 2, 12, 5, 1, 2, 2);
+        let fused = fused.with_row_based_lar(true);
+        let a = fused.forward(&input).unwrap();
+        let r = fused.reference(&input).unwrap();
+        assert!(a.approx_eq(&r, 1e-4), "diff {}", a.max_abs_diff(&r).unwrap());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_fused_equals_reference(
+            seed in 0u64..1000,
+            cin in 1usize..4,
+            cout in 1usize..4,
+            k in 1usize..6,
+            pad in 0usize..3,
+            pool in 2usize..4,
+            extra in 0usize..6,
+        ) {
+            // build a d large enough for at least one pooled output
+            let d = (k + pool * pool + extra).max(pool + k);
+            let (input, fused) = rand_setup(seed, 1, cin, cout, d, k, 1, pad, pool);
+            let a = fused.forward(&input).unwrap();
+            let r = fused.reference(&input).unwrap();
+            prop_assert!(
+                a.approx_eq(&r, 1e-3),
+                "d={} k={} pad={} pool={} diff={}",
+                d, k, pad, pool,
+                a.max_abs_diff(&r).unwrap()
+            );
+        }
+
+        #[test]
+        fn prop_orientations_agree(
+            seed in 0u64..500,
+            k in 1usize..5,
+            pool in 2usize..4,
+            extra in 0usize..5,
+        ) {
+            let d = k + pool * 2 + extra;
+            let mut rng = init::rng(seed);
+            let input = init::uniform(Shape4::new(1, 2, d, d), -5.0, 5.0, &mut rng).cast::<i64>();
+            let weight = init::uniform(Shape4::new(2, 2, k, k), -3.0, 3.0, &mut rng).cast::<i64>();
+            let col = FusedConvPool::new(weight, vec![0, 0], 1, 0, pool)
+                .unwrap()
+                .with_divide(false);
+            let row = col.clone().with_row_based_lar(true);
+            prop_assert_eq!(col.forward(&input).unwrap(), row.forward(&input).unwrap());
+        }
+
+        #[test]
+        fn prop_integer_exactness(
+            seed in 0u64..500,
+            k in 1usize..5,
+            pool in 2usize..4,
+            extra in 0usize..5,
+        ) {
+            let d = k + pool * 2 + extra;
+            let mut rng = init::rng(seed);
+            let input = init::uniform(Shape4::new(1, 2, d, d), -5.0, 5.0, &mut rng).cast::<i64>();
+            let weight = init::uniform(Shape4::new(2, 2, k, k), -3.0, 3.0, &mut rng).cast::<i64>();
+            let fused = FusedConvPool::new(weight, vec![0, 0], 1, 0, pool)
+                .unwrap()
+                .with_divide(false);
+            let a = fused.forward(&input).unwrap();
+            let r = fused.reference(&input).unwrap();
+            prop_assert_eq!(a, r);
+        }
+    }
+}

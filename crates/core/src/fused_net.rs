@@ -1,0 +1,524 @@
+//! Whole-model fused inference: compile a reordered, trained network into
+//! an executable pipeline where every `conv → avg-pool [→ ReLU]` group
+//! runs through the MLCNN fused operator, and everything else runs the
+//! reference kernels.
+//!
+//! This is the deployment story of the paper: Section III reorders, the
+//! accelerator of Section VI executes the fused groups in fused mode and
+//! the rest in regular mode. [`FusedNetwork::compile`] performs the same
+//! partitioning in software, so a trained `mlcnn_nn::Network` can be run
+//! end-to-end with MLCNN arithmetic and checked for prediction
+//! equivalence.
+
+use crate::fused::FusedConvPool;
+use crate::opcount::OpCounts;
+use mlcnn_nn::LayerSpec;
+use mlcnn_tensor::activation::{relu, sigmoid};
+use mlcnn_tensor::conv::conv2d_im2col;
+use mlcnn_tensor::linalg::{matmul, transpose};
+use mlcnn_tensor::pool::{avg_pool2d, max_pool2d};
+use mlcnn_tensor::shape::Shape2;
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// One executable stage of the compiled pipeline.
+pub enum FusedStage {
+    /// A fused conv + avg-pool (+ optional ReLU) group.
+    Fused(FusedConvPool<f32>),
+    /// A plain convolution (regular mode).
+    Conv {
+        /// Weights `M×N×K×K`.
+        weight: Tensor<f32>,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// ReLU activation.
+    ReLU,
+    /// Sigmoid activation.
+    Sigmoid,
+    /// Average pooling (not fusable: overlapping or after non-conv).
+    AvgPool {
+        /// Window.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Flatten to a feature vector.
+    Flatten,
+    /// Fully connected layer.
+    Linear {
+        /// Weights `out×in` (flat, row-major).
+        weight: Vec<f32>,
+        /// Bias, one per output.
+        bias: Vec<f32>,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl FusedStage {
+    /// Human-readable stage kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FusedStage::Fused(_) => "fused-conv-pool",
+            FusedStage::Conv { .. } => "conv",
+            FusedStage::ReLU => "relu",
+            FusedStage::Sigmoid => "sigmoid",
+            FusedStage::AvgPool { .. } => "avgpool",
+            FusedStage::MaxPool { .. } => "maxpool",
+            FusedStage::Flatten => "flatten",
+            FusedStage::Linear { .. } => "linear",
+        }
+    }
+}
+
+/// A compiled fused-inference pipeline.
+pub struct FusedNetwork {
+    stages: Vec<FusedStage>,
+    input_shape: Shape4,
+}
+
+impl FusedNetwork {
+    /// Compile a *sequential* spec list plus its trained parameters (in
+    /// `Network::export_params` order: conv/linear layers contribute
+    /// `[weight, bias]` pairs in execution order).
+    ///
+    /// Patterns fused: `Conv, AvgPool{w==s}` and
+    /// `Conv, AvgPool{w==s}, ReLU` (the post-reorder form), and
+    /// `Conv, GlobalAvgPool [ , ReLU]` when the conv output is square.
+    /// Composite specs (inception / dense blocks) are rejected — the
+    /// accelerator compiles branch pipelines separately.
+    pub fn compile(
+        specs: &[LayerSpec],
+        params: &[Tensor<f32>],
+        input: Shape4,
+    ) -> Result<FusedNetwork> {
+        let mut stages = Vec::new();
+        let mut shape = input;
+        let mut p = 0usize; // parameter cursor
+        let mut i = 0usize;
+
+        let take_pair = |p: &mut usize| -> Result<(Tensor<f32>, Tensor<f32>)> {
+            if *p + 2 > params.len() {
+                return Err(TensorError::BadGeometry {
+                    reason: "parameter list exhausted during compile".into(),
+                });
+            }
+            let w = params[*p].clone();
+            let b = params[*p + 1].clone();
+            *p += 2;
+            Ok((w, b))
+        };
+
+        while i < specs.len() {
+            match &specs[i] {
+                LayerSpec::Conv {
+                    out_ch,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    let (w, b) = take_pair(&mut p)?;
+                    if w.shape() != Shape4::new(*out_ch, shape.c, *k, *k) {
+                        return Err(TensorError::ShapeMismatch {
+                            left: w.shape(),
+                            right: Shape4::new(*out_ch, shape.c, *k, *k),
+                            op: "compile conv weights",
+                        });
+                    }
+                    let conv_out = mlcnn_tensor::ConvGeometry::new(
+                        shape.h, shape.w, *k, *k, *stride, *pad,
+                    )?;
+                    // look ahead for a fusable pool
+                    let pool = match specs.get(i + 1) {
+                        Some(LayerSpec::AvgPool { window, stride: ps }) if window == ps => {
+                            Some(*window)
+                        }
+                        Some(LayerSpec::GlobalAvgPool)
+                            if conv_out.out_h == conv_out.out_w =>
+                        {
+                            Some(conv_out.out_h)
+                        }
+                        _ => None,
+                    };
+                    match pool {
+                        Some(window) if window <= conv_out.out_h && window <= conv_out.out_w => {
+                            let with_relu =
+                                matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
+                            let fused = FusedConvPool::new(
+                                w,
+                                b.into_vec(),
+                                *stride,
+                                *pad,
+                                window,
+                            )?
+                            .with_relu(with_relu);
+                            shape = fused.out_shape(shape)?;
+                            stages.push(FusedStage::Fused(fused));
+                            i += if with_relu { 3 } else { 2 };
+                            continue;
+                        }
+                        _ => {
+                            shape = Shape4::new(
+                                shape.n,
+                                *out_ch,
+                                conv_out.out_h,
+                                conv_out.out_w,
+                            );
+                            stages.push(FusedStage::Conv {
+                                weight: w,
+                                bias: b.into_vec(),
+                                stride: *stride,
+                                pad: *pad,
+                            });
+                        }
+                    }
+                }
+                LayerSpec::ReLU => stages.push(FusedStage::ReLU),
+                LayerSpec::Sigmoid => stages.push(FusedStage::Sigmoid),
+                LayerSpec::AvgPool { window, stride } => {
+                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
+                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
+                    stages.push(FusedStage::AvgPool {
+                        window: *window,
+                        stride: *stride,
+                    });
+                }
+                LayerSpec::GlobalAvgPool => {
+                    let w = shape.h;
+                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, w, w)?;
+                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
+                    stages.push(FusedStage::AvgPool { window: w, stride: w });
+                }
+                LayerSpec::MaxPool { window, stride } => {
+                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
+                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
+                    stages.push(FusedStage::MaxPool {
+                        window: *window,
+                        stride: *stride,
+                    });
+                }
+                LayerSpec::Flatten => {
+                    shape = Shape4::new(shape.n, 1, 1, shape.c * shape.h * shape.w);
+                    stages.push(FusedStage::Flatten);
+                }
+                LayerSpec::Linear { out } => {
+                    let (w, b) = take_pair(&mut p)?;
+                    let in_features = shape.c * shape.h * shape.w;
+                    if w.len() != out * in_features {
+                        return Err(TensorError::BadGeometry {
+                            reason: format!(
+                                "linear weight length {} != {out}x{in_features}",
+                                w.len()
+                            ),
+                        });
+                    }
+                    shape = Shape4::new(shape.n, 1, 1, *out);
+                    stages.push(FusedStage::Linear {
+                        weight: w.into_vec(),
+                        bias: b.into_vec(),
+                        in_features,
+                        out_features: *out,
+                    });
+                }
+                LayerSpec::Dropout { .. } => {
+                    // dropout is identity at inference; skip it
+                }
+                LayerSpec::Inception { .. }
+                | LayerSpec::DenseBlock { .. }
+                | LayerSpec::Residual { .. } => {
+                    return Err(TensorError::BadGeometry {
+                        reason: "FusedNetwork::compile handles sequential pipelines only"
+                            .into(),
+                    });
+                }
+                LayerSpec::BatchNorm => {
+                    return Err(TensorError::BadGeometry {
+                        reason: "fold batch norm into the conv weights before compiling"
+                            .into(),
+                    });
+                }
+            }
+            i += 1;
+        }
+        if p != params.len() {
+            return Err(TensorError::BadGeometry {
+                reason: format!("{} unused parameter tensors after compile", params.len() - p),
+            });
+        }
+        Ok(FusedNetwork {
+            stages,
+            input_shape: input,
+        })
+    }
+
+    /// The compiled stages.
+    pub fn stages(&self) -> &[FusedStage] {
+        &self.stages
+    }
+
+    /// Number of fused conv-pool groups in the pipeline.
+    pub fn fused_stage_count(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s, FusedStage::Fused(_)))
+            .count()
+    }
+
+    /// Expected single-item input shape.
+    pub fn input_shape(&self) -> Shape4 {
+        self.input_shape
+    }
+
+    /// Run inference.
+    pub fn forward(&self, input: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut x = input.clone();
+        for stage in &self.stages {
+            x = match stage {
+                FusedStage::Fused(f) => f.forward(&x)?,
+                FusedStage::Conv {
+                    weight,
+                    bias,
+                    stride,
+                    pad,
+                } => conv2d_im2col(&x, weight, Some(bias), *stride, *pad)?,
+                FusedStage::ReLU => relu(&x),
+                FusedStage::Sigmoid => sigmoid(&x),
+                FusedStage::AvgPool { window, stride } => avg_pool2d(&x, *window, *stride)?,
+                FusedStage::MaxPool { window, stride } => {
+                    max_pool2d(&x, *window, *stride)?.values
+                }
+                FusedStage::Flatten => {
+                    let s = x.shape();
+                    x.reshape(Shape4::new(s.n, 1, 1, s.c * s.h * s.w))?
+                }
+                FusedStage::Linear {
+                    weight,
+                    bias,
+                    in_features,
+                    out_features,
+                } => {
+                    let s = x.shape();
+                    let feats = s.c * s.h * s.w;
+                    if feats != *in_features {
+                        return Err(TensorError::BadGeometry {
+                            reason: format!(
+                                "linear expects {in_features} features, got {feats}"
+                            ),
+                        });
+                    }
+                    let w_t = transpose(weight, Shape2::new(*out_features, *in_features));
+                    let mut y =
+                        matmul(x.as_slice(), &w_t, s.n, *in_features, *out_features);
+                    for bi in 0..s.n {
+                        for (o, bv) in bias.iter().enumerate() {
+                            y[bi * out_features + o] += bv;
+                        }
+                    }
+                    Tensor::from_vec(Shape4::new(s.n, 1, 1, *out_features), y)?
+                }
+            };
+        }
+        Ok(x)
+    }
+
+    /// Aggregate op counts of the conv stages for a given input: the
+    /// MLCNN bill (fused where compiled fused) and the dense-CNN bill for
+    /// the same architecture.
+    pub fn conv_op_counts(&self) -> (OpCounts, OpCounts) {
+        use mlcnn_nn::zoo::{ConvLayerGeom, PoolAfter};
+        let mut mlcnn = OpCounts::zero();
+        let mut dense = OpCounts::zero();
+        let mut shape = self.input_shape;
+        for stage in &self.stages {
+            match stage {
+                FusedStage::Fused(f) => {
+                    let geom = f.geometry(shape).expect("compiled shapes are valid");
+                    let ws = {
+                        // reconstruct the layer geometry for the counters
+                        ConvLayerGeom {
+                            name: "stage".into(),
+                            in_ch: shape.c,
+                            out_ch: f.out_shape(shape).expect("valid").c,
+                            in_h: shape.h,
+                            in_w: shape.w,
+                            k: geom.k,
+                            stride: geom.conv_stride,
+                            pad: geom.pad,
+                            pool: Some(PoolAfter {
+                                window: geom.pool,
+                                stride: geom.pool,
+                                avg: true,
+                            }),
+                        }
+                    };
+                    mlcnn += crate::opcount::mlcnn_layer_counts(&ws);
+                    dense += crate::opcount::dense_layer_counts(&ws);
+                    shape = f.out_shape(shape).expect("valid");
+                }
+                FusedStage::Conv {
+                    weight,
+                    stride,
+                    pad,
+                    ..
+                } => {
+                    let ws = weight.shape();
+                    let g = ConvLayerGeom {
+                        name: "stage".into(),
+                        in_ch: shape.c,
+                        out_ch: ws.n,
+                        in_h: shape.h,
+                        in_w: shape.w,
+                        k: ws.h,
+                        stride: *stride,
+                        pad: *pad,
+                        pool: None,
+                    };
+                    let c = crate::opcount::dense_layer_counts(&g);
+                    mlcnn += c;
+                    dense += c;
+                    shape = Shape4::new(shape.n, ws.n, g.out_h(), g.out_w());
+                }
+                FusedStage::AvgPool { window, stride }
+                | FusedStage::MaxPool { window, stride } => {
+                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)
+                        .expect("compiled shapes are valid");
+                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
+                }
+                FusedStage::Flatten => {
+                    shape = Shape4::new(shape.n, 1, 1, shape.c * shape.h * shape.w);
+                }
+                FusedStage::Linear { out_features, .. } => {
+                    shape = Shape4::new(shape.n, 1, 1, *out_features);
+                }
+                FusedStage::ReLU | FusedStage::Sigmoid => {}
+            }
+        }
+        (mlcnn, dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reorder::reorder_activation_pool;
+    use mlcnn_nn::spec::build_network;
+    use mlcnn_nn::zoo;
+    use mlcnn_tensor::init;
+
+    fn compile_lenet() -> (FusedNetwork, mlcnn_nn::Network, Shape4) {
+        let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut net = build_network(&specs, input, 17).unwrap();
+        let params = net.export_params();
+        let fused = FusedNetwork::compile(&specs, &params, input).unwrap();
+        (fused, net, input)
+    }
+
+    #[test]
+    fn compiled_lenet_has_two_fused_stages() {
+        let (fused, _, _) = compile_lenet();
+        assert_eq!(fused.fused_stage_count(), 2);
+        let kinds: Vec<&str> = fused.stages().iter().map(FusedStage::kind).collect();
+        // conv1+pool1 fused, conv2+pool2 fused, conv3 regular
+        assert_eq!(kinds.iter().filter(|k| **k == "conv").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "linear").count(), 2);
+    }
+
+    #[test]
+    fn fused_inference_matches_the_layer_network() {
+        let (fused, mut net, input) = compile_lenet();
+        let x = init::uniform(
+            Shape4::new(2, input.c, input.h, input.w),
+            -1.0,
+            1.0,
+            &mut init::rng(3),
+        );
+        let a = fused.forward(&x).unwrap();
+        let b = net.forward(&x).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert!(
+            a.approx_eq(&b, 1e-3),
+            "fused net diverges: {}",
+            a.max_abs_diff(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn vgg_mini_compiles_and_matches() {
+        let specs = reorder_activation_pool(&zoo::vgg_mini_spec(3, 10)).specs;
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut net = build_network(&specs, input, 23).unwrap();
+        let params = net.export_params();
+        let fused = FusedNetwork::compile(&specs, &params, input).unwrap();
+        assert_eq!(fused.fused_stage_count(), 3);
+        let x = init::uniform(input, -1.0, 1.0, &mut init::rng(4));
+        let a = fused.forward(&x).unwrap();
+        let b = net.forward(&x).unwrap();
+        assert!(a.approx_eq(&b, 1e-3));
+    }
+
+    #[test]
+    fn op_counts_report_the_savings() {
+        let (fused, _, _) = compile_lenet();
+        let (mlcnn, dense) = fused.conv_op_counts();
+        assert!(mlcnn.mults < dense.mults);
+        assert!(mlcnn.adds < dense.adds);
+        // LeNet's two fused layers save 75% of their mults; C3 is dense.
+        let ratio = mlcnn.mults as f64 / dense.mults as f64;
+        assert!(ratio < 0.7, "mult ratio {ratio}");
+    }
+
+    #[test]
+    fn rejects_composite_specs() {
+        let specs = zoo::googlenet_mini_spec(2, 10);
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut net = build_network(&specs, input, 1).unwrap();
+        let params = net.export_params();
+        assert!(FusedNetwork::compile(&specs, &params, input).is_err());
+    }
+
+    #[test]
+    fn rejects_leftover_or_missing_params() {
+        let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut net = build_network(&specs, input, 17).unwrap();
+        let mut params = net.export_params();
+        params.push(params[0].clone());
+        assert!(FusedNetwork::compile(&specs, &params, input).is_err());
+        params.truncate(params.len() - 3);
+        assert!(FusedNetwork::compile(&specs, &params, input).is_err());
+    }
+
+    #[test]
+    fn global_pool_fuses_when_square() {
+        let specs = vec![
+            LayerSpec::conv3(4),
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::ReLU,
+            LayerSpec::Flatten,
+            LayerSpec::Linear { out: 2 },
+        ];
+        let input = Shape4::new(1, 1, 8, 8);
+        let mut net = build_network(&specs, input, 5).unwrap();
+        let params = net.export_params();
+        let fused = FusedNetwork::compile(&specs, &params, input).unwrap();
+        assert_eq!(fused.fused_stage_count(), 1);
+        let x = init::uniform(input, -1.0, 1.0, &mut init::rng(6));
+        let a = fused.forward(&x).unwrap();
+        let b = net.forward(&x).unwrap();
+        assert!(a.approx_eq(&b, 1e-4));
+    }
+}

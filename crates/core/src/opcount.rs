@@ -1,0 +1,343 @@
+//! Per-layer operation counting: dense CNN vs MLCNN (paper Fig. 14, and
+//! the compute side of Figs. 13/15).
+//!
+//! Counts follow the paper's accelerator accounting:
+//!
+//! * The dense baseline executes `conv → ReLU → pool` literally.
+//! * MLCNN executes the fused operator with the weight-stationary
+//!   dataflow: inputs stream through the AR unit once per *output
+//!   channel*, so block sums are rebuilt per output-channel pass but
+//!   shared (LAR within an output, GAR along a pooled row) inside the
+//!   pass. Channel accumulation and bias are counted once per pooled
+//!   output.
+//! * Layers without a trailing pool run unchanged on MLCNN (the
+//!   accelerator's regular mode) and contribute identical counts.
+
+use crate::reuse_sim::{pooled_row_width_p, simulate_row, ReuseMode};
+use mlcnn_nn::zoo::{ConvLayerGeom, ModelDesc};
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Operation tallies for one inference (batch 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Multiplications.
+    pub mults: u64,
+    /// Additions.
+    pub adds: u64,
+    /// Divisions (pooling averages; shifts in hardware).
+    pub divs: u64,
+    /// Comparisons (ReLU / max pooling).
+    pub cmps: u64,
+}
+
+impl OpCounts {
+    /// Zero counts.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Multiplications + additions (the paper's "FLOPs").
+    pub fn flops(&self) -> u64 {
+        self.mults + self.adds
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.mults += rhs.mults;
+        self.adds += rhs.adds;
+        self.divs += rhs.divs;
+        self.cmps += rhs.cmps;
+    }
+}
+
+/// Dense (baseline) op counts for one conv layer, including its
+/// activation and trailing pool if present.
+pub fn dense_layer_counts(g: &ConvLayerGeom) -> OpCounts {
+    let out_pos = (g.out_h() * g.out_w()) as u64;
+    let oc = g.out_ch as u64;
+    let taps = (g.in_ch * g.k * g.k) as u64;
+    let mut c = OpCounts {
+        mults: out_pos * oc * taps,
+        // per conv output: taps−1 accumulation adds + 1 bias add
+        adds: out_pos * oc * taps,
+        divs: 0,
+        cmps: out_pos * oc, // ReLU on the conv output
+    };
+    if let Some(p) = g.pool {
+        let ph = (g.out_h() - p.window) / p.stride + 1;
+        let pw = (g.out_w() - p.window) / p.stride + 1;
+        let pooled = (ph * pw) as u64 * oc;
+        let win = (p.window * p.window) as u64;
+        if p.avg {
+            c.adds += pooled * (win - 1);
+            c.divs += pooled;
+        } else {
+            c.cmps += pooled * (win - 1);
+        }
+    }
+    c
+}
+
+/// MLCNN op counts for one conv layer: fused when a pool follows,
+/// otherwise identical to the dense layer (regular mode).
+pub fn mlcnn_layer_counts(g: &ConvLayerGeom) -> OpCounts {
+    let Some(p) = g.pool else {
+        return dense_layer_counts(g);
+    };
+    // Only the non-overlapping window==stride case is fused (the paper's
+    // hardware); anything else falls back to regular mode.
+    if p.window != p.stride || !p.avg {
+        return dense_layer_counts(g);
+    }
+    fused_layer_counts(g, p.window, ReuseMode::Both)
+}
+
+/// Fused-layer counts under a specific reuse mode (the ablation knob:
+/// `None` isolates RME, `Lar`/`Gar` isolate each reuse, `Both` is MLCNN).
+pub fn fused_layer_counts(g: &ConvLayerGeom, pool: usize, mode: ReuseMode) -> OpCounts {
+    let padded = g.in_h + 2 * g.pad; // square inputs throughout the zoo
+    let rows = pooled_rows(g, pool) as u64;
+    let cols = pooled_row_width_p(g.k, padded, g.stride, pool) as u64;
+    let pooled = rows * cols;
+    let oc = g.out_ch as u64;
+    let ic = g.in_ch as u64;
+    let k2 = (g.k * g.k) as u64;
+
+    // block sums: per output channel pass, per input channel, per row
+    let row = simulate_row(g.k, padded, g.stride, pool, mode);
+    let block_adds = oc * ic * rows * row.block_adds;
+    // channel-wide major accumulation: ic·K²−1 adds per pooled output,
+    // plus one bias add
+    let major_adds = pooled * oc * (ic * k2 - 1 + 1);
+
+    OpCounts {
+        mults: pooled * oc * ic * k2,
+        adds: block_adds + major_adds,
+        divs: pooled * oc,
+        cmps: pooled * oc, // ReLU after pooling
+    }
+}
+
+fn pooled_rows(g: &ConvLayerGeom, pool: usize) -> usize {
+    let conv_h = g.out_h();
+    if conv_h < pool {
+        0
+    } else {
+        (conv_h - pool) / pool + 1
+    }
+}
+
+/// Reduction summary for one layer (Fig. 14's two bar groups).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReduction {
+    /// Layer label.
+    pub name: String,
+    /// Multiplication reduction in percent.
+    pub mult_reduction_pct: f64,
+    /// Addition reduction in percent.
+    pub add_reduction_pct: f64,
+    /// Dense counts.
+    pub dense: OpCounts,
+    /// MLCNN counts.
+    pub mlcnn: OpCounts,
+}
+
+/// Fig. 14: per-fused-layer FLOP reductions for a model.
+pub fn model_reductions(model: &ModelDesc) -> Vec<LayerReduction> {
+    model
+        .fused_convs()
+        .iter()
+        .map(|g| {
+            let dense = dense_layer_counts(g);
+            let mlcnn = mlcnn_layer_counts(g);
+            LayerReduction {
+                name: g.name.clone(),
+                mult_reduction_pct: 100.0 * (1.0 - mlcnn.mults as f64 / dense.mults as f64),
+                add_reduction_pct: 100.0 * (1.0 - mlcnn.adds as f64 / dense.adds as f64),
+                dense,
+                mlcnn,
+            }
+        })
+        .collect()
+}
+
+/// Whole-model op counts (all conv layers; FC layers contribute equally
+/// to both variants and are excluded, as in the paper's figures).
+pub fn model_counts(model: &ModelDesc, mlcnn: bool) -> OpCounts {
+    let mut total = OpCounts::zero();
+    for g in &model.convs {
+        total += if mlcnn {
+            mlcnn_layer_counts(g)
+        } else {
+            dense_layer_counts(g)
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_nn::zoo::{self, PoolAfter};
+
+    fn simple_geom(k: usize, d: usize, in_ch: usize, out_ch: usize, pool: usize) -> ConvLayerGeom {
+        ConvLayerGeom {
+            name: "t".into(),
+            in_ch,
+            out_ch,
+            in_h: d,
+            in_w: d,
+            k,
+            stride: 1,
+            pad: 0,
+            pool: Some(PoolAfter {
+                window: pool,
+                stride: pool,
+                avg: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn rme_eliminates_three_quarters_of_mults_for_2x2_pool() {
+        let g = simple_geom(3, 18, 4, 8, 2);
+        let dense = dense_layer_counts(&g);
+        let fused = mlcnn_layer_counts(&g);
+        let reduction = 1.0 - fused.mults as f64 / dense.mults as f64;
+        assert!((reduction - 0.75).abs() < 1e-9, "{reduction}");
+    }
+
+    #[test]
+    fn rme_reaches_98_percent_for_8x8_pool() {
+        let g = simple_geom(3, 18, 4, 8, 8);
+        let dense = dense_layer_counts(&g);
+        let fused = mlcnn_layer_counts(&g);
+        let reduction = 1.0 - fused.mults as f64 / dense.mults as f64;
+        assert!(reduction > 0.98, "{reduction}");
+    }
+
+    #[test]
+    fn one_by_one_layers_save_no_additions() {
+        // the paper's DenseNet case: K=1 disables addition reuse.
+        let g = simple_geom(1, 16, 32, 16, 2);
+        let dense = dense_layer_counts(&g);
+        let fused = mlcnn_layer_counts(&g);
+        let reduction = 1.0 - fused.adds as f64 / dense.adds as f64;
+        // the only additions saved are the pooling's own (3 per pooled
+        // output, because bias is applied once instead of four times):
+        // a ~2% rounding of the paper's "no addition is eliminated".
+        assert!(
+            reduction.abs() < 0.03,
+            "1x1 addition reduction should be ~0, got {reduction}"
+        );
+        // ...while multiplications still drop 75%
+        assert!((1.0 - fused.mults as f64 / dense.mults as f64 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lenet_c2_addition_reduction_near_paper_value() {
+        // Paper: "Convolutional layer 2 in LeNet-5 shows the greatest
+        // addition reduction, 51.52%."
+        let model = zoo::lenet5(10);
+        let reds = model_reductions(&model);
+        let c2 = reds.iter().find(|r| r.name == "C2").unwrap();
+        assert!(
+            (40.0..60.0).contains(&c2.add_reduction_pct),
+            "LeNet C2 addition reduction {}",
+            c2.add_reduction_pct
+        );
+        // and C2 beats C1 (larger relative reuse at smaller spatial extent)
+        let c1 = reds.iter().find(|r| r.name == "C1").unwrap();
+        assert!(c2.add_reduction_pct > 0.0 && c1.add_reduction_pct > 0.0);
+    }
+
+    #[test]
+    fn lenet_has_the_highest_addition_reduction_among_models() {
+        // Paper: LeNet-5 (5×5 filters) > VGG/GoogLeNet (3×3/1×1) >
+        // DenseNet (1×1, zero).
+        let best = |m: &ModelDesc| {
+            model_reductions(m)
+                .iter()
+                .map(|r| r.add_reduction_pct)
+                .fold(f64::MIN, f64::max)
+        };
+        let lenet = best(&zoo::lenet5(10));
+        let vgg = best(&zoo::vgg16(10));
+        let dense = best(&zoo::densenet121(10));
+        assert!(lenet > vgg, "lenet {lenet} vs vgg {vgg}");
+        assert!(vgg > dense, "vgg {vgg} vs densenet {dense}");
+        assert!(dense.abs() < 2.0, "densenet should be ~0, got {dense}");
+    }
+
+    #[test]
+    fn model_counts_mlcnn_always_leq_dense() {
+        for model in zoo::evaluation_models(100) {
+            let d = model_counts(&model, false);
+            let m = model_counts(&model, true);
+            assert!(m.mults <= d.mults, "{}", model.name);
+            assert!(m.adds <= d.adds, "{}", model.name);
+            assert!(m.flops() < d.flops(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn unfused_layers_are_untouched() {
+        let mut g = simple_geom(3, 18, 4, 8, 2);
+        g.pool = None;
+        assert_eq!(dense_layer_counts(&g), mlcnn_layer_counts(&g));
+        // max pooling is not fused either
+        g.pool = Some(PoolAfter {
+            window: 2,
+            stride: 2,
+            avg: false,
+        });
+        assert_eq!(dense_layer_counts(&g), mlcnn_layer_counts(&g));
+    }
+
+    #[test]
+    fn ablation_ordering_none_lar_gar_both() {
+        let g = simple_geom(5, 20, 3, 6, 2);
+        let none = fused_layer_counts(&g, 2, ReuseMode::None);
+        let lar = fused_layer_counts(&g, 2, ReuseMode::Lar);
+        let gar = fused_layer_counts(&g, 2, ReuseMode::Gar);
+        let both = fused_layer_counts(&g, 2, ReuseMode::Both);
+        assert!(lar.adds < none.adds);
+        assert!(gar.adds < lar.adds, "GAR should beat LAR at this geometry");
+        assert!(both.adds <= gar.adds);
+        // RME is identical across reuse modes
+        assert_eq!(none.mults, both.mults);
+    }
+
+    #[test]
+    fn dense_counts_scale_with_geometry() {
+        let small = dense_layer_counts(&simple_geom(3, 10, 2, 2, 2));
+        let big = dense_layer_counts(&simple_geom(3, 20, 2, 2, 2));
+        assert!(big.mults > 4 * small.mults / 2);
+        assert!(big.flops() > small.flops());
+    }
+
+    #[test]
+    fn fig14_shape_vgg_mult_reduction_is_75() {
+        for r in model_reductions(&zoo::vgg16(10)) {
+            assert!(
+                (r.mult_reduction_pct - 75.0).abs() < 0.5,
+                "{}: {}",
+                r.name,
+                r.mult_reduction_pct
+            );
+        }
+    }
+
+    #[test]
+    fn fig14_shape_googlenet_has_98_percent_layers() {
+        let reds = model_reductions(&zoo::googlenet(10));
+        assert_eq!(reds.len(), 12);
+        let max = reds
+            .iter()
+            .map(|r| r.mult_reduction_pct)
+            .fold(f64::MIN, f64::max);
+        assert!(max > 98.0, "GoogLeNet best mult reduction {max}");
+    }
+}

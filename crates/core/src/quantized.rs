@@ -1,0 +1,218 @@
+//! Quantized-MLCNN evaluation (paper Section VII-A, Fig. 12).
+//!
+//! The paper composes MLCNN with DoReFa-Net quantization at FP32, FP16
+//! and INT8. This module evaluates a *trained* `mlcnn_nn::Network` at
+//! each precision: weights are fake-quantized in place and activations
+//! re-rounded between layers, which is what the reduced-precision
+//! datapath produces.
+//!
+//! Precision semantics: FP16 rounds every value through binary16 (exactly
+//! what the half-width buffers and MAC slices hold); INT8 uses symmetric
+//! per-layer-scaled 8-bit post-training quantization — the faithful
+//! stand-in for the paper's DoReFa training-time operators when the
+//! network was trained at FP32 (see `quantize_network_weights` for the
+//! full argument; the verbatim Eq. 8/9 operators live in
+//! `mlcnn_quant::dorefa`).
+
+use mlcnn_data::Dataset;
+use mlcnn_nn::train::{evaluate, EvalStats};
+use mlcnn_nn::Network;
+use mlcnn_quant::dorefa;
+use mlcnn_quant::F16;
+use mlcnn_quant::Precision;
+use mlcnn_tensor::{Result, Tensor};
+
+/// Round every element of a tensor through binary16.
+pub fn round_tensor_f16(t: &Tensor<f32>) -> Tensor<f32> {
+    t.map(|v| F16::from_f32_rne(v).to_f32_exact())
+}
+
+/// Apply the precision's weight transform to an entire network in place.
+///
+/// * `Fp32` — identity.
+/// * `Fp16` — round weights through binary16.
+/// * `Int8` — symmetric 8-bit post-training quantization with per-layer
+///   max scaling ([`dorefa::quantize_weights_ptq`]). The paper's Eq. 9
+///   tanh transform is a quantization-aware *training* operator — it
+///   rescales every layer's gain, which a network trained with it adapts
+///   to (DoReFa trains through the STE). Our substitution trains at FP32,
+///   so the faithful INT8 evaluation uses the PTQ operator at the same
+///   8-bit grid resolution.
+pub fn quantize_network_weights(net: &mut Network, precision: Precision) {
+    match precision {
+        Precision::Fp32 => {}
+        Precision::Fp16 => net.transform_weights(&round_tensor_f16),
+        Precision::Int8 => net.transform_weights(&|w| dorefa::quantize_weights_ptq(w, 8)),
+    }
+}
+
+/// Run inference with activations re-rounded through the precision's grid
+/// after every layer.
+pub fn forward_quantized(
+    net: &mut Network,
+    input: &Tensor<f32>,
+    precision: Precision,
+) -> Result<Tensor<f32>> {
+    let mut x = input.clone();
+    for i in 0..net.len() {
+        let layer = net.layer_mut(i).expect("index in range");
+        x = layer.forward(&x, false)?;
+        x = match precision {
+            Precision::Fp32 => x,
+            Precision::Fp16 => round_tensor_f16(&x),
+            // dynamic-range symmetric PTQ between layers; the logits of
+            // the final layer are left unquantized like DoReFa's last
+            // layer.
+            Precision::Int8 => {
+                if i + 1 == net.len() {
+                    x
+                } else {
+                    dorefa::quantize_activations_ptq(&x, 8)
+                }
+            }
+        };
+    }
+    Ok(x)
+}
+
+/// Evaluate a trained network at a given precision (weights quantized,
+/// activations re-rounded). The network is modified in place; pass a
+/// clone-by-rebuild if the original must stay FP32.
+pub fn evaluate_quantized(
+    net: &mut Network,
+    data: &Dataset,
+    precision: Precision,
+    ks: &[usize],
+    batch_size: usize,
+) -> Result<EvalStats> {
+    quantize_network_weights(net, precision);
+    if precision == Precision::Fp32 {
+        return evaluate(net, data, ks, batch_size);
+    }
+    // manual evaluation loop with activation rounding
+    let mut hits = vec![0.0f32; ks.len()];
+    let mut total = 0usize;
+    for batch in data.batches(batch_size) {
+        let logits = forward_quantized(net, &batch.images, precision)?;
+        for (i, &k) in ks.iter().enumerate() {
+            let k = k.min(data.num_classes());
+            hits[i] +=
+                mlcnn_nn::loss::top_k_accuracy(&logits, &batch.labels, k) * batch.len() as f32;
+        }
+        total += batch.len();
+    }
+    Ok(EvalStats {
+        top_k: ks
+            .iter()
+            .zip(hits)
+            .map(|(&k, h)| (k, h / total.max(1) as f32))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_data::blobs::{generate, BlobsConfig};
+    use mlcnn_nn::spec::{build_network, LayerSpec};
+    use mlcnn_nn::train::{fit, TrainConfig};
+    use mlcnn_tensor::Shape4;
+
+    fn trained_net_and_data() -> (Network, Dataset) {
+        let data = generate(BlobsConfig {
+            classes: 4,
+            per_class: 20,
+            noise: 0.15,
+            ..Default::default()
+        });
+        let mut net = build_network(
+            &[
+                LayerSpec::Conv {
+                    out_ch: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                LayerSpec::ReLU,
+                LayerSpec::AvgPool {
+                    window: 2,
+                    stride: 2,
+                },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { out: 4 },
+            ],
+            Shape4::new(1, 1, 8, 8),
+            3,
+        )
+        .unwrap();
+        fit(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn fp16_rounding_changes_little() {
+        let (mut net, data) = trained_net_and_data();
+        let fp32 = evaluate_quantized(&mut net, &data, Precision::Fp32, &[1], 8).unwrap();
+        let fp16 = evaluate_quantized(&mut net, &data, Precision::Fp16, &[1], 8).unwrap();
+        let a32 = fp32.at(1).unwrap();
+        let a16 = fp16.at(1).unwrap();
+        assert!(a32 > 0.6, "fp32 accuracy too low: {a32}");
+        assert!(
+            (a32 - a16).abs() < 0.1,
+            "fp16 deviates too much: {a32} vs {a16}"
+        );
+    }
+
+    #[test]
+    fn int8_dorefa_stays_close() {
+        let (mut net, data) = trained_net_and_data();
+        let fp32 = evaluate_quantized(&mut net, &data, Precision::Fp32, &[1], 8)
+            .unwrap()
+            .at(1)
+            .unwrap();
+        // rebuild: weights were untouched by Fp32 path
+        let int8 = evaluate_quantized(&mut net, &data, Precision::Int8, &[1], 8)
+            .unwrap()
+            .at(1)
+            .unwrap();
+        assert!(
+            int8 > fp32 - 0.1,
+            "int8 collapsed: fp32 {fp32} vs int8 {int8}"
+        );
+    }
+
+    #[test]
+    fn f16_rounding_is_idempotent_on_tensors() {
+        let t = Tensor::plane(1, 4, vec![0.1, -2.7, 3.33125, 1e-5]).unwrap();
+        let once = round_tensor_f16(&t);
+        let twice = round_tensor_f16(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn forward_quantized_fp32_matches_plain_forward() {
+        let (mut net, data) = trained_net_and_data();
+        let batch = data.batches(4).next().unwrap();
+        let a = net.forward(&batch.images).unwrap();
+        let b = forward_quantized(&mut net, &batch.images, Precision::Fp32).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_quantization_actually_changes_weights() {
+        let (mut net, _) = trained_net_and_data();
+        let before: f32 = net.params().iter().map(|p| p.value.sum()).sum();
+        quantize_network_weights(&mut net, Precision::Int8);
+        let after: f32 = net.params().iter().map(|p| p.value.sum()).sum();
+        assert_ne!(before, after);
+    }
+}

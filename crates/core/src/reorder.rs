@@ -1,0 +1,510 @@
+//! The accuracy-preserving layer reordering pass (paper Section III) and
+//! the All-Conv baseline transformation.
+//!
+//! * `ReLU → MaxPool` ⇄ `MaxPool → ReLU` is *exact*: max commutes with any
+//!   monotone non-decreasing function ([`relu_maxpool_commute`] verifies
+//!   it numerically, `tests` prove it on random tensors).
+//! * `ReLU → AvgPool` → `AvgPool → ReLU` is *approximate*: the two differ
+//!   whenever a pooling window mixes signs. The paper's Section III
+//!   establishes empirically that training the reordered network reaches
+//!   equivalent accuracy; the reproduction's Fig.-3 experiment does the
+//!   same on the synthetic datasets.
+//! * All-Conv (Springenberg et al.) removes pooling entirely by giving the
+//!   preceding convolution the pooling's stride — the paper's second
+//!   baseline.
+
+use mlcnn_nn::LayerSpec;
+use serde::{Deserialize, Serialize};
+
+/// How a swap changes network semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapKind {
+    /// Bit-identical outputs (monotone activation over max pooling).
+    Exact,
+    /// Different activations, empirically equivalent accuracy (ReLU over
+    /// average pooling — the MLCNN case).
+    Approximate,
+}
+
+/// Report of one performed swap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Swap {
+    /// Index of the activation layer in the original spec list.
+    pub index: usize,
+    /// Exactness class.
+    pub kind: SwapKind,
+}
+
+/// Result of the reordering pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reordered {
+    /// The transformed spec list.
+    pub specs: Vec<LayerSpec>,
+    /// Every swap performed (recursively, indices are per containing
+    /// list).
+    pub swaps: Vec<Swap>,
+}
+
+/// Reorder every `ReLU → {Avg,Max}Pool` pair into `Pool → ReLU`,
+/// recursing into inception branches and dense blocks. Sigmoid is *not*
+/// reordered over average pooling (it is not linear over the window and
+/// the paper's proof covers ReLU); it is swapped over max pooling, where
+/// monotonicity makes the swap exact.
+///
+/// The pass runs to a fixed point: a pool behind a *chain* of activations
+/// (unusual, but expressible) bubbles all the way forward, so the result
+/// is idempotent.
+///
+/// ```
+/// use mlcnn_core::reorder::{fusable_pairs, reorder_activation_pool};
+/// use mlcnn_nn::zoo;
+///
+/// let original = zoo::lenet5_spec(10);
+/// assert_eq!(fusable_pairs(&original), 0);     // ReLU blocks both pools
+/// let reordered = reorder_activation_pool(&original);
+/// assert_eq!(reordered.swaps.len(), 2);
+/// assert_eq!(fusable_pairs(&reordered.specs), 2); // now fusable
+/// ```
+pub fn reorder_activation_pool(specs: &[LayerSpec]) -> Reordered {
+    let mut current = specs.to_vec();
+    let mut all_swaps = Vec::new();
+    // each pass moves every pool at most one position left; the spec
+    // length bounds the number of passes needed.
+    for _ in 0..specs.len().max(1) {
+        let pass = reorder_pass(&current);
+        let done = pass.swaps.is_empty();
+        all_swaps.extend(pass.swaps);
+        current = pass.specs;
+        if done {
+            break;
+        }
+    }
+    Reordered {
+        specs: current,
+        swaps: all_swaps,
+    }
+}
+
+/// One left-to-right swap pass (helper for [`reorder_activation_pool`]).
+fn reorder_pass(specs: &[LayerSpec]) -> Reordered {
+    let mut out: Vec<LayerSpec> = Vec::with_capacity(specs.len());
+    let mut swaps = Vec::new();
+    let mut i = 0;
+    while i < specs.len() {
+        let cur = &specs[i];
+        let next = specs.get(i + 1);
+        let swap = match (cur, next) {
+            (LayerSpec::ReLU, Some(LayerSpec::AvgPool { .. })) => Some(SwapKind::Approximate),
+            (LayerSpec::ReLU, Some(LayerSpec::MaxPool { .. })) => Some(SwapKind::Exact),
+            (LayerSpec::ReLU, Some(LayerSpec::GlobalAvgPool)) => Some(SwapKind::Approximate),
+            (LayerSpec::Sigmoid, Some(LayerSpec::MaxPool { .. })) => Some(SwapKind::Exact),
+            _ => None,
+        };
+        if let Some(kind) = swap {
+            out.push(next.unwrap().clone());
+            out.push(cur.clone());
+            swaps.push(Swap { index: i, kind });
+            i += 2;
+            continue;
+        }
+        // recurse into composite layers
+        out.push(match cur {
+            LayerSpec::Inception { branches } => {
+                let mut new_branches = Vec::with_capacity(branches.len());
+                for b in branches {
+                    let r = reorder_activation_pool(b);
+                    swaps.extend(r.swaps);
+                    new_branches.push(r.specs);
+                }
+                LayerSpec::Inception {
+                    branches: new_branches,
+                }
+            }
+            LayerSpec::DenseBlock { inner } => {
+                let r = reorder_activation_pool(inner);
+                swaps.extend(r.swaps);
+                LayerSpec::DenseBlock { inner: r.specs }
+            }
+            LayerSpec::Residual { inner, projector } => {
+                let ri = reorder_activation_pool(inner);
+                let rp = reorder_activation_pool(projector);
+                swaps.extend(ri.swaps);
+                swaps.extend(rp.swaps);
+                LayerSpec::Residual {
+                    inner: ri.specs,
+                    projector: rp.specs,
+                }
+            }
+            other => other.clone(),
+        });
+        i += 1;
+    }
+    Reordered { specs: out, swaps }
+}
+
+/// Count the conv layers that, after reordering, are directly followed by
+/// an average pool — i.e. the layers the MLCNN accelerator will fuse.
+pub fn fusable_pairs(specs: &[LayerSpec]) -> usize {
+    let mut count = 0;
+    for i in 0..specs.len() {
+        match (&specs[i], specs.get(i + 1)) {
+            (LayerSpec::Conv { .. }, Some(LayerSpec::AvgPool { window, stride }))
+                if window == stride =>
+            {
+                count += 1
+            }
+            (LayerSpec::Conv { .. }, Some(LayerSpec::GlobalAvgPool)) => count += 1,
+            (LayerSpec::Inception { branches }, _) => {
+                for b in branches {
+                    count += fusable_pairs(b);
+                }
+            }
+            (LayerSpec::DenseBlock { inner }, _) => count += fusable_pairs(inner),
+            (LayerSpec::Residual { inner, projector }, _) => {
+                count += fusable_pairs(inner) + fusable_pairs(projector)
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// The All-Conv transformation: drop each pooling layer and give the
+/// *preceding* convolution its stride (Springenberg et al., the paper's
+/// Section II-B / Fig. 2 baseline). Pools with no preceding conv in the
+/// same list are left in place.
+pub fn to_all_conv(specs: &[LayerSpec]) -> Vec<LayerSpec> {
+    let mut out: Vec<LayerSpec> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match spec {
+            LayerSpec::AvgPool { stride, .. } | LayerSpec::MaxPool { stride, .. } => {
+                // find the most recent conv (possibly behind an activation)
+                let conv_pos = out
+                    .iter()
+                    .rposition(|l| matches!(l, LayerSpec::Conv { .. }));
+                match conv_pos {
+                    Some(pos)
+                        if out[pos + 1..]
+                            .iter()
+                            .all(|l| matches!(l, LayerSpec::ReLU | LayerSpec::Sigmoid)) =>
+                    {
+                        if let LayerSpec::Conv {
+                            stride: conv_stride,
+                            ..
+                        } = &mut out[pos]
+                        {
+                            *conv_stride *= stride;
+                        }
+                    }
+                    _ => out.push(spec.clone()),
+                }
+            }
+            LayerSpec::Inception { branches } => out.push(LayerSpec::Inception {
+                branches: branches.iter().map(|b| to_all_conv(b)).collect(),
+            }),
+            LayerSpec::DenseBlock { inner } => out.push(LayerSpec::DenseBlock {
+                inner: to_all_conv(inner),
+            }),
+            LayerSpec::Residual { inner, projector } => out.push(LayerSpec::Residual {
+                inner: to_all_conv(inner),
+                projector: to_all_conv(projector),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// The complete All-Conv transformation, for pipelines where some pools
+/// cannot be absorbed into a preceding convolution (e.g. GoogLeNet's
+/// pooling of an inception concatenation): absorbable pools fold into the
+/// preceding conv's stride as in [`to_all_conv`]; the rest are *replaced*
+/// by a stride-2 3×3 convolution + ReLU (Springenberg et al.'s second
+/// variant), whose channel count is inferred by shape propagation from
+/// `input`.
+pub fn to_all_conv_full(
+    specs: &[LayerSpec],
+    input: mlcnn_tensor::Shape4,
+) -> mlcnn_tensor::Result<Vec<LayerSpec>> {
+    use mlcnn_nn::spec::propagate_shape;
+    let mut out: Vec<LayerSpec> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match spec {
+            LayerSpec::AvgPool { window: _, stride }
+            | LayerSpec::MaxPool { window: _, stride } => {
+                let conv_pos = out
+                    .iter()
+                    .rposition(|l| matches!(l, LayerSpec::Conv { .. }));
+                let absorbable = matches!(conv_pos, Some(pos) if out[pos + 1..]
+                    .iter()
+                    .all(|l| matches!(l, LayerSpec::ReLU | LayerSpec::Sigmoid)));
+                if absorbable {
+                    if let Some(LayerSpec::Conv {
+                        stride: conv_stride,
+                        ..
+                    }) = conv_pos.map(|p| &mut out[p])
+                    {
+                        *conv_stride *= stride;
+                    }
+                } else {
+                    let cur = propagate_shape(&out, input)?;
+                    out.push(LayerSpec::Conv {
+                        out_ch: cur.c,
+                        k: 3,
+                        stride: *stride,
+                        pad: 1,
+                    });
+                    out.push(LayerSpec::ReLU);
+                }
+            }
+            LayerSpec::Inception { branches } => {
+                let cur = propagate_shape(&out, input)?;
+                let mut new_branches = Vec::with_capacity(branches.len());
+                for b in branches {
+                    new_branches.push(to_all_conv_full(b, cur)?);
+                }
+                out.push(LayerSpec::Inception {
+                    branches: new_branches,
+                });
+            }
+            LayerSpec::DenseBlock { inner } => {
+                let cur = propagate_shape(&out, input)?;
+                out.push(LayerSpec::DenseBlock {
+                    inner: to_all_conv_full(inner, cur)?,
+                });
+            }
+            LayerSpec::Residual { inner, projector } => {
+                let cur = propagate_shape(&out, input)?;
+                out.push(LayerSpec::Residual {
+                    inner: to_all_conv_full(inner, cur)?,
+                    projector: to_all_conv_full(projector, cur)?,
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(out)
+}
+
+/// Numerical witness that ReLU and max pooling commute on a tensor.
+pub fn relu_maxpool_commute(
+    t: &mlcnn_tensor::Tensor<f32>,
+    window: usize,
+    stride: usize,
+) -> bool {
+    use mlcnn_tensor::activation::relu;
+    use mlcnn_tensor::pool::max_pool2d;
+    let a = match max_pool2d(&relu(t), window, stride) {
+        Ok(v) => v.values,
+        Err(_) => return false,
+    };
+    let b = match max_pool2d(t, window, stride) {
+        Ok(v) => relu(&v.values),
+        Err(_) => return false,
+    };
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_nn::spec::{build_network, propagate_shape};
+    use mlcnn_nn::zoo;
+    use mlcnn_tensor::activation::relu;
+    use mlcnn_tensor::pool::avg_pool2d;
+    use mlcnn_tensor::{init, Shape4};
+    use proptest::prelude::*;
+
+    #[test]
+    fn swaps_relu_avgpool_pairs() {
+        let specs = zoo::lenet5_spec(10);
+        let r = reorder_activation_pool(&specs);
+        // two ReLU→AvgPool pairs in LeNet-5
+        assert_eq!(r.swaps.len(), 2);
+        assert!(r.swaps.iter().all(|s| s.kind == SwapKind::Approximate));
+        // after reordering, pools directly follow their convs
+        assert_eq!(fusable_pairs(&r.specs), 2);
+        assert_eq!(fusable_pairs(&specs), 0);
+    }
+
+    #[test]
+    fn reordering_preserves_shapes() {
+        let input = Shape4::new(1, 3, 32, 32);
+        for specs in [
+            zoo::lenet5_spec(10),
+            zoo::vgg_mini_spec(4, 10),
+            zoo::googlenet_mini_spec(4, 10),
+            zoo::densenet_mini_spec(4, 10),
+        ] {
+            let before = propagate_shape(&specs, input).unwrap();
+            let r = reorder_activation_pool(&specs);
+            let after = propagate_shape(&r.specs, input).unwrap();
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_parameter_count() {
+        let input = Shape4::new(1, 3, 32, 32);
+        let specs = zoo::vgg_mini_spec(4, 10);
+        let r = reorder_activation_pool(&specs);
+        let a = mlcnn_nn::spec::param_count(&specs, input).unwrap();
+        let b = mlcnn_nn::spec::param_count(&r.specs, input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reordering_recurses_into_composites() {
+        let specs = vec![LayerSpec::Inception {
+            branches: vec![vec![
+                LayerSpec::conv3(4),
+                LayerSpec::ReLU,
+                LayerSpec::AvgPool {
+                    window: 2,
+                    stride: 2,
+                },
+                LayerSpec::Conv {
+                    out_ch: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            ]],
+        }];
+        let r = reorder_activation_pool(&specs);
+        assert_eq!(r.swaps.len(), 1);
+        if let LayerSpec::Inception { branches } = &r.specs[0] {
+            assert!(matches!(branches[0][1], LayerSpec::AvgPool { .. }));
+            assert!(matches!(branches[0][2], LayerSpec::ReLU));
+        } else {
+            panic!("inception disappeared");
+        }
+    }
+
+    #[test]
+    fn idempotent_on_already_reordered() {
+        let specs = zoo::lenet5_spec(10);
+        let once = reorder_activation_pool(&specs);
+        let twice = reorder_activation_pool(&once.specs);
+        assert_eq!(once.specs, twice.specs);
+        assert!(twice.swaps.is_empty());
+    }
+
+    #[test]
+    fn relu_maxpool_commutes_exactly() {
+        let mut rng = init::rng(3);
+        for _ in 0..20 {
+            let t = init::uniform(Shape4::new(2, 3, 8, 8), -2.0, 2.0, &mut rng);
+            assert!(relu_maxpool_commute(&t, 2, 2));
+            assert!(relu_maxpool_commute(&t, 3, 1));
+        }
+    }
+
+    #[test]
+    fn relu_avgpool_swap_is_not_exact_but_close_on_real_activations() {
+        // A window mixing signs gives different results: construct one.
+        let t = mlcnn_tensor::Tensor::plane(2, 2, vec![4.0, -2.0, -2.0, -2.0]).unwrap();
+        let a = avg_pool2d(&relu(&t), 2, 2).unwrap(); // relu first: avg(4,0,0,0)=1
+        let b = relu(&avg_pool2d(&t, 2, 2).unwrap()); // avg=-0.5, relu=0
+        assert_ne!(a.as_slice()[0], b.as_slice()[0]);
+        assert_eq!(a.as_slice()[0], 1.0);
+        assert_eq!(b.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn all_conv_removes_pools_and_strides_convs() {
+        let specs = zoo::lenet5_spec(10);
+        let ac = to_all_conv(&specs);
+        assert!(!ac
+            .iter()
+            .any(|l| matches!(l, LayerSpec::AvgPool { .. } | LayerSpec::MaxPool { .. })));
+        // first conv now has stride 2
+        let strides: Vec<usize> = ac
+            .iter()
+            .filter_map(|l| match l {
+                LayerSpec::Conv { stride, .. } => Some(*stride),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strides, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn all_conv_preserves_trailing_spatial_reduction() {
+        // the All-Conv net must end at the same logit count
+        let input = Shape4::new(1, 3, 32, 32);
+        let specs = zoo::lenet5_spec(10);
+        let ac = to_all_conv(&specs);
+        let out = propagate_shape(&ac, input).unwrap();
+        assert_eq!(out, Shape4::new(1, 1, 1, 10));
+    }
+
+    #[test]
+    fn all_conv_networks_train() {
+        // the transformed spec must still build
+        let input = Shape4::new(1, 3, 32, 32);
+        let ac = to_all_conv(&zoo::vgg_mini_spec(2, 10));
+        let net = build_network(&ac, input, 1).unwrap();
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn full_all_conv_replaces_unabsorbable_pools() {
+        use mlcnn_tensor::Shape4;
+        // a pool after an inception module cannot fold into a conv: it
+        // becomes a stride-2 conv with the concatenated channel count.
+        let specs = zoo::googlenet_mini_spec(4, 10);
+        let input = Shape4::new(1, 3, 32, 32);
+        let ac = to_all_conv_full(&specs, input).unwrap();
+        assert!(!ac
+            .iter()
+            .any(|l| matches!(l, LayerSpec::AvgPool { .. } | LayerSpec::MaxPool { .. })));
+        // spatial plan is preserved: still ends in 10 logits
+        let out = propagate_shape(&ac, input).unwrap();
+        assert_eq!(out, Shape4::new(1, 1, 1, 10));
+        // and it actually differs from the original (new conv layers)
+        assert_ne!(ac, specs);
+        let net = build_network(&ac, input, 1).unwrap();
+        assert!(net.param_count() > mlcnn_nn::spec::param_count(&specs, input).unwrap());
+    }
+
+    #[test]
+    fn full_all_conv_matches_plain_when_absorbable() {
+        use mlcnn_tensor::Shape4;
+        let specs = zoo::lenet5_spec(10);
+        let plain = to_all_conv(&specs);
+        let full = to_all_conv_full(&specs, Shape4::new(1, 3, 32, 32)).unwrap();
+        assert_eq!(plain, full);
+    }
+
+    #[test]
+    fn orphan_pool_is_left_alone() {
+        let specs = vec![
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+            LayerSpec::Flatten,
+        ];
+        let ac = to_all_conv(&specs);
+        assert_eq!(ac, specs);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_relu_maxpool_commutes(seed in 0u64..200, w in 2usize..4) {
+            let t = init::uniform(Shape4::new(1, 2, 8, 8), -3.0, 3.0, &mut init::rng(seed));
+            prop_assert!(relu_maxpool_commute(&t, w, w));
+        }
+
+        #[test]
+        fn prop_relu_avgpool_orders_agree_on_nonnegative_inputs(seed in 0u64..200) {
+            // On sign-pure windows the approximate swap is exact — the
+            // regime trained ReLU networks mostly live in.
+            let t = init::uniform(Shape4::new(1, 1, 8, 8), 0.0, 3.0, &mut init::rng(seed));
+            let a = avg_pool2d(&relu(&t), 2, 2).unwrap();
+            let b = relu(&avg_pool2d(&t, 2, 2).unwrap());
+            prop_assert!(a.approx_eq(&b, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Memoized ground-truth simulator of MLCNN's addition-reuse schemes.
+//!
+//! The closed forms in [`crate::analytic`] were derived by hand from the
+//! paper's tables; this module *executes* the reuse bookkeeping instead:
+//! it walks one row of pooled outputs, records which half additions
+//! (`HA[a][b] = Σ_dy I[a+dy·S][b]`) and block sums
+//! (`G[a][b] = Σ_dx HA[a][b+dx·S]`) have already been computed under the
+//! selected reuse mode, and counts the additions actually performed.
+//! Property tests assert simulator == closed form across the paper's
+//! parameter grid, so the two can only be wrong together.
+//!
+//! The simulator also generalizes the accounting to arbitrary pooling
+//! windows `p` (the paper's tables fix p = 2; GoogLeNet's fused global
+//! pool needs p = 8), which is what the per-layer op counting in
+//! [`crate::opcount`] consumes.
+
+use std::collections::HashSet;
+
+/// Which reuse optimizations are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseMode {
+    /// No reuse: every block sum recomputed from raw inputs.
+    None,
+    /// Local addition reuse: half additions shared within one pooled
+    /// output.
+    Lar,
+    /// Global addition reuse: block sums shared across the row of pooled
+    /// outputs.
+    Gar,
+    /// Both LAR and GAR.
+    Both,
+}
+
+/// Addition counts for one row of pooled outputs, one input channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowAdds {
+    /// Additions spent building block sums (half additions + combines).
+    pub block_adds: u64,
+    /// Major-accumulation additions (`K²−1` per pooled output).
+    pub major_adds: u64,
+}
+
+impl RowAdds {
+    /// Total additions.
+    pub fn total(&self) -> u64 {
+        self.block_adds + self.major_adds
+    }
+}
+
+/// Number of pooled outputs in a row: conv output width `(D−K)/S + 1`
+/// divided by the pool window `p` (non-overlapping pooling).
+pub fn pooled_row_width_p(k: usize, d: usize, s: usize, p: usize) -> usize {
+    assert!(s > 0 && k > 0 && p > 0 && d >= k);
+    let conv_w = (d - k) / s + 1;
+    if conv_w < p {
+        0
+    } else {
+        (conv_w - p) / p + 1
+    }
+}
+
+/// Simulate the additions needed for one row of pooled outputs on a
+/// `D`-wide input with filter `K`, conv stride `S`, pool window `p`, under
+/// `mode`.
+///
+/// Cost model (matching the paper's Section IV/V accounting):
+/// * a fresh block sum costs `p² − 1` additions;
+/// * with LAR/Both, a half addition costs `p − 1` and a combine `p − 1`,
+///   and memoized values cost nothing;
+/// * every pooled output then needs `K² − 1` major additions.
+pub fn simulate_row(k: usize, d: usize, s: usize, p: usize, mode: ReuseMode) -> RowAdds {
+    let n = pooled_row_width_p(k, d, s, p);
+    let mut counts = RowAdds::default();
+    // memo tables; (row, col) position keys.
+    let mut ha_memo: HashSet<(usize, usize)> = HashSet::new();
+    let mut g_memo: HashSet<(usize, usize)> = HashSet::new();
+    let ha_cost = (p - 1) as u64;
+    let g_combine_cost = (p - 1) as u64;
+    let g_fresh_cost = (p * p - 1) as u64;
+
+    for y in 0..n {
+        if matches!(mode, ReuseMode::Lar) {
+            // LAR reuse is local to one pooled output
+            ha_memo.clear();
+        }
+        for i in 0..k {
+            for j in 0..k {
+                let a = i; // first output row (x = 0)
+                let b = p * y * s + j;
+                match mode {
+                    ReuseMode::None => {
+                        counts.block_adds += g_fresh_cost;
+                    }
+                    ReuseMode::Lar => {
+                        // build from half additions, shared within this y
+                        for dx in 0..p {
+                            if ha_memo.insert((a, b + dx * s)) {
+                                counts.block_adds += ha_cost;
+                            }
+                        }
+                        counts.block_adds += g_combine_cost;
+                    }
+                    ReuseMode::Gar => {
+                        // whole block sums shared across the row
+                        if g_memo.insert((a, b)) {
+                            counts.block_adds += g_fresh_cost;
+                        }
+                    }
+                    ReuseMode::Both => {
+                        if g_memo.insert((a, b)) {
+                            for dx in 0..p {
+                                if ha_memo.insert((a, b + dx * s)) {
+                                    counts.block_adds += ha_cost;
+                                }
+                            }
+                            counts.block_adds += g_combine_cost;
+                        }
+                    }
+                }
+            }
+        }
+        counts.major_adds += (k * k - 1) as u64;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pooled_width_agrees_with_analytic_for_p2() {
+        for (k, d, s) in [(13usize, 28usize, 1usize), (3, 28, 1), (13, 28, 3), (13, 224, 1)] {
+            assert_eq!(
+                pooled_row_width_p(k, d, s, 2),
+                analytic::pooled_row_width(k, d, s),
+                "k={k} d={d} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_reuse_matches_closed_form() {
+        for (k, d, s) in [(3usize, 28usize, 1usize), (5, 28, 1), (13, 28, 1), (11, 40, 2)] {
+            let sim = simulate_row(k, d, s, 2, ReuseMode::None);
+            let n = analytic::pooled_row_width(k, d, s) as u64;
+            assert_eq!(sim.total(), n * analytic::adds_per_output_without(k));
+        }
+    }
+
+    #[test]
+    fn lar_matches_closed_form_per_output() {
+        // one pooled output: restrict to d just wide enough for one output
+        for k in [2usize, 3, 5, 7, 9, 11] {
+            for s in 1..=k {
+                // one pooled output needs conv width 2: D = K + S
+                let d = k + s;
+                let sim = simulate_row(k, d, s, 2, ReuseMode::Lar);
+                assert_eq!(pooled_row_width_p(k, d, s, 2), 1);
+                assert_eq!(
+                    sim.total(),
+                    analytic::adds_per_output_with_lar(k, s),
+                    "k={k} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gar_matches_closed_form_on_paper_grid() {
+        for (k, d, s) in [
+            (3usize, 28usize, 1usize),
+            (5, 28, 1),
+            (13, 28, 1),
+            (15, 28, 1),
+            (17, 28, 1),
+            (13, 28, 3),
+            (13, 28, 5),
+            (13, 32, 1),
+            (13, 224, 1),
+        ] {
+            let sim = simulate_row(k, d, s, 2, ReuseMode::Gar);
+            assert_eq!(
+                sim.total(),
+                analytic::row_adds_with_gar(k, d, s),
+                "k={k} d={d} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_never_worse_than_single_reuses() {
+        for (k, d, s) in [(3usize, 28usize, 1usize), (5, 16, 1), (13, 28, 1), (7, 30, 2)] {
+            let both = simulate_row(k, d, s, 2, ReuseMode::Both).total();
+            let gar = simulate_row(k, d, s, 2, ReuseMode::Gar).total();
+            let none = simulate_row(k, d, s, 2, ReuseMode::None).total();
+            assert!(both <= gar, "k={k} d={d} s={s}");
+            assert!(gar <= none, "k={k} d={d} s={s}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_filters_get_no_block_reuse_benefit() {
+        // the paper's DenseNet observation: K=1 fused layers show zero
+        // addition reduction — every pooled output needs exactly one fresh
+        // block sum either way.
+        let none = simulate_row(1, 32, 1, 2, ReuseMode::None);
+        let both = simulate_row(1, 32, 1, 2, ReuseMode::Both);
+        assert_eq!(none.block_adds, both.block_adds);
+        assert_eq!(none.major_adds, 0);
+    }
+
+    #[test]
+    fn larger_pool_windows_cost_more_per_fresh_block() {
+        let p2 = simulate_row(3, 32, 1, 2, ReuseMode::None);
+        let p4 = simulate_row(3, 32, 1, 4, ReuseMode::None);
+        // fewer outputs at p=4, but each block sum costs 15 adds not 3
+        assert!(p4.block_adds / pooled_row_width_p(3, 32, 1, 4) as u64 > p2.block_adds / pooled_row_width_p(3, 32, 1, 2) as u64);
+    }
+
+    #[test]
+    fn zero_output_rows_cost_nothing() {
+        // conv output narrower than the pool window: no pooled outputs
+        let sim = simulate_row(5, 6, 1, 8, ReuseMode::Both);
+        assert_eq!(sim.total(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gar_exact_closed_form_holds(k in 2usize..16, extra in 0usize..40, s in 1usize..4) {
+            let d = k + 2 * s + extra; // ensure at least one pooled output
+            prop_assume!(analytic::pooled_row_width(k, d, s) >= 1);
+            let sim = simulate_row(k, d, s, 2, ReuseMode::Gar);
+            prop_assert_eq!(sim.total(), analytic::row_adds_with_gar_exact(k, d, s));
+            // the paper's published form is a (sometimes loose) upper bound
+            prop_assert!(analytic::row_adds_with_gar(k, d, s) >= sim.total());
+        }
+
+        #[test]
+        fn prop_both_closed_form_is_tight_or_conservative(k in 2usize..12, extra in 0usize..30) {
+            // the closed form for LAR+GAR is an upper bound built from the
+            // same memo structure; the simulator can only do better or equal.
+            let d = k + 2 + extra;
+            let sim = simulate_row(k, d, 1, 2, ReuseMode::Both).total();
+            let closed = analytic::row_adds_with_both(k, d, 1);
+            prop_assert!(sim <= closed, "sim {} > closed {}", sim, closed);
+            // and never better than 75% below the no-reuse cost (Eq. 7)
+            let none = simulate_row(k, d, 1, 2, ReuseMode::None).total();
+            prop_assert!(4 * sim >= none, "sim {} vs none {}", sim, none);
+        }
+
+        #[test]
+        fn prop_reuse_modes_are_ordered(k in 1usize..10, extra in 0usize..20, s in 1usize..3, p in 2usize..5) {
+            let d = p * (k + s) + extra;
+            let none = simulate_row(k, d, s, p, ReuseMode::None).total();
+            let lar = simulate_row(k, d, s, p, ReuseMode::Lar).total();
+            let gar = simulate_row(k, d, s, p, ReuseMode::Gar).total();
+            let both = simulate_row(k, d, s, p, ReuseMode::Both).total();
+            prop_assert!(lar <= none);
+            prop_assert!(gar <= none);
+            prop_assert!(both <= lar);
+            prop_assert!(both <= gar);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Image augmentation: shifts and flips.
+//!
+//! The paper's Section II-B argues pooling "alleviates the sensitivity of
+//! outputs to shifts and distortions" — the reason MLCNN keeps pooling
+//! instead of adopting All-Conv. These helpers build the shifted test
+//! sets that let the reproduction measure that claim directly
+//! (`tablegen robustness`).
+
+use crate::dataset::Dataset;
+use mlcnn_tensor::Tensor;
+
+/// Translate every plane of an image by `(dy, dx)` pixels, filling the
+/// exposed border with zeros.
+pub fn shift_image(img: &Tensor<f32>, dy: isize, dx: isize) -> Tensor<f32> {
+    let s = img.shape();
+    Tensor::from_fn(s, |n, c, h, w| {
+        let sh = h as isize - dy;
+        let sw = w as isize - dx;
+        if sh >= 0 && sw >= 0 && (sh as usize) < s.h && (sw as usize) < s.w {
+            img.at(n, c, sh as usize, sw as usize)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Mirror every plane horizontally.
+pub fn flip_horizontal(img: &Tensor<f32>) -> Tensor<f32> {
+    let s = img.shape();
+    Tensor::from_fn(s, |n, c, h, w| img.at(n, c, h, s.w - 1 - w))
+}
+
+/// Apply a shift to every item of a dataset (labels unchanged).
+pub fn shifted_dataset(ds: &Dataset, dy: isize, dx: isize) -> Dataset {
+    let images = (0..ds.len())
+        .map(|i| shift_image(ds.item(i).0, dy, dx))
+        .collect();
+    let labels = (0..ds.len()).map(|i| ds.item(i).1).collect();
+    Dataset::new(images, labels, ds.num_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::Shape4;
+
+    fn probe() -> Tensor<f32> {
+        Tensor::from_fn(Shape4::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32)
+    }
+
+    #[test]
+    fn shift_moves_content_and_zero_fills() {
+        let img = probe();
+        let s = shift_image(&img, 1, 0);
+        // row 0 is the exposed border
+        assert_eq!(&s.as_slice()[0..4], &[0.0; 4]);
+        // row 1 now holds the original row 0
+        assert_eq!(&s.as_slice()[4..8], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn negative_shift_goes_the_other_way() {
+        let img = probe();
+        let s = shift_image(&img, -1, 0);
+        assert_eq!(&s.as_slice()[0..4], &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(&s.as_slice()[12..16], &[0.0; 4]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let img = probe();
+        assert_eq!(shift_image(&img, 0, 0), img);
+    }
+
+    #[test]
+    fn opposite_shifts_cancel_in_the_interior() {
+        let img = probe();
+        let round = shift_image(&shift_image(&img, 1, 1), -1, -1);
+        // interior pixels survive the round trip
+        for h in 0..3 {
+            for w in 0..3 {
+                assert_eq!(round.at(0, 0, h, w), img.at(0, 0, h, w));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let img = probe();
+        let f = flip_horizontal(&img);
+        assert_eq!(f.at(0, 0, 0, 0), 3.0);
+        assert_eq!(flip_horizontal(&f), img);
+    }
+
+    #[test]
+    fn shifted_dataset_preserves_labels_and_counts() {
+        let ds = crate::blobs::generate(crate::blobs::BlobsConfig {
+            classes: 3,
+            per_class: 4,
+            ..Default::default()
+        });
+        let shifted = shifted_dataset(&ds, 2, -1);
+        assert_eq!(shifted.len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(shifted.item(i).1, ds.item(i).1);
+            assert_ne!(shifted.item(i).0, ds.item(i).0);
+        }
+    }
+}

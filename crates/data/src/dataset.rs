@@ -1,0 +1,203 @@
+//! Dataset container, splitting and batching.
+
+use mlcnn_tensor::{Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One minibatch: stacked images plus class labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// `B × C × H × W` image tensor.
+    pub images: Tensor<f32>,
+    /// One label per batch item.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A labelled image dataset with a fixed class count.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<Tensor<f32>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build from per-item images (each `1×C×H×W`) and labels.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or a label is out of range — dataset
+    /// construction is test/bench setup code where failing fast is right.
+    pub fn new(images: Vec<Tensor<f32>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image shape of the first item (`1×C×H×W`), or `None` when empty.
+    pub fn item_shape(&self) -> Option<Shape4> {
+        self.images.first().map(|t| t.shape())
+    }
+
+    /// Borrow item `i`.
+    pub fn item(&self, i: usize) -> (&Tensor<f32>, usize) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// Deterministically shuffle item order.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        self.images = idx.iter().map(|&i| self.images[i].clone()).collect();
+        self.labels = idx.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of items in train.
+    /// The split is positional; shuffle first for a random split.
+    pub fn split(self, train_fraction: f32) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let cut = (self.len() as f32 * train_fraction).round() as usize;
+        let (tr_img, te_img): (Vec<_>, Vec<_>) = {
+            let mut imgs = self.images;
+            let te = imgs.split_off(cut.min(imgs.len()));
+            (imgs, te)
+        };
+        let (tr_lab, te_lab): (Vec<_>, Vec<_>) = {
+            let mut labs = self.labels;
+            let te = labs.split_off(cut.min(labs.len()));
+            (labs, te)
+        };
+        (
+            Dataset::new(tr_img, tr_lab, self.num_classes),
+            Dataset::new(te_img, te_lab, self.num_classes),
+        )
+    }
+
+    /// Iterate minibatches of at most `batch_size` items, in order. The
+    /// final batch may be smaller.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = Batch> + '_ {
+        assert!(batch_size > 0, "batch_size must be positive");
+        (0..self.len()).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(self.len());
+            let images = Tensor::stack_batch(&self.images[start..end])
+                .expect("dataset items share a shape");
+            Batch {
+                images,
+                labels: self.labels[start..end].to_vec(),
+            }
+        })
+    }
+
+    /// Per-class item counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let images = (0..n)
+            .map(|i| Tensor::full(Shape4::new(1, 1, 2, 2), i as f32))
+            .collect();
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes)
+    }
+
+    #[test]
+    fn batching_covers_all_items_in_order() {
+        let ds = toy(10, 3);
+        let batches: Vec<Batch> = ds.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        assert_eq!(batches[0].images.at(0, 0, 0, 0), 0.0);
+        assert_eq!(batches[2].images.at(1, 0, 0, 0), 9.0);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let (tr, te) = toy(10, 2).split(0.8);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(te.len(), 2);
+        assert_eq!(tr.num_classes(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_label_consistent() {
+        let mut a = toy(20, 4);
+        let mut b = toy(20, 4);
+        a.shuffle(9);
+        b.shuffle(9);
+        for i in 0..20 {
+            assert_eq!(a.item(i).1, b.item(i).1);
+            assert_eq!(a.item(i).0, b.item(i).0);
+            // image payload i was constructed as full(i): label must still
+            // match payload after the shuffle.
+            let v = a.item(i).0.at(0, 0, 0, 0) as usize;
+            assert_eq!(a.item(i).1, v % 4);
+        }
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let ds = toy(9, 3);
+        assert_eq!(ds.class_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = vec![Tensor::full(Shape4::new(1, 1, 1, 1), 0.0f32)];
+        let _ = Dataset::new(images, vec![5], 3);
+    }
+
+    #[test]
+    fn item_shape_reports_first() {
+        let ds = toy(3, 2);
+        assert_eq!(ds.item_shape(), Some(Shape4::new(1, 1, 2, 2)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # mlcnn-data
+//!
+//! Deterministic synthetic image-classification datasets.
+//!
+//! The MLCNN paper trains on CIFAR-10/CIFAR-100, which are not available in
+//! this offline environment. Per the reproduction's substitution policy
+//! (DESIGN.md §2) the accuracy experiments instead use procedurally
+//! generated datasets that exercise the identical code paths: multi-channel
+//! images, spatial structure that convolution + pooling must extract, class
+//! counts of 10 and 100, and fixed seeds so every table regenerates
+//! identically.
+//!
+//! Three generators with increasing difficulty:
+//!
+//! * [`blobs`] — class-conditional Gaussian blobs; linearly separable,
+//!   used for fast smoke tests of the training loop.
+//! * [`gratings`] — oriented sinusoidal gratings with phase/frequency
+//!   jitter; requires spatial filters, solved well by small CNNs.
+//! * [`shapes`] — CIFAR-like 3×32×32 renders of geometric shapes with
+//!   color, scale, position and noise jitter; `10` or `100` classes
+//!   (shape × color-family for the 100-class variant). This is the stand-in
+//!   for CIFAR-10/100 in the Fig. 3/4/12 reproductions.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod augment;
+pub mod blobs;
+pub mod dataset;
+pub mod gratings;
+pub mod shapes;
+
+pub use dataset::{Batch, Dataset};

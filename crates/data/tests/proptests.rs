@@ -1,0 +1,99 @@
+//! Property tests for the dataset generators: determinism, balance and
+//! structural invariants that the accuracy experiments rely on.
+
+use mlcnn_data::augment::{flip_horizontal, shift_image, shifted_dataset};
+use mlcnn_data::blobs::{self, BlobsConfig};
+use mlcnn_data::gratings::{self, GratingsConfig};
+use mlcnn_data::shapes::{self, ShapesConfig};
+use mlcnn_tensor::Shape4;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn blobs_balanced_and_deterministic(classes in 2usize..6, per_class in 1usize..8, seed in 0u64..100) {
+        let cfg = BlobsConfig { classes, per_class, seed, ..Default::default() };
+        let a = blobs::generate(cfg);
+        let b = blobs::generate(cfg);
+        prop_assert_eq!(a.len(), classes * per_class);
+        prop_assert!(a.class_histogram().iter().all(|&c| c == per_class));
+        for i in 0..a.len() {
+            prop_assert_eq!(a.item(i).0, b.item(i).0);
+        }
+    }
+
+    #[test]
+    fn gratings_values_bounded(classes in 2usize..6, seed in 0u64..100) {
+        let ds = gratings::generate(GratingsConfig {
+            classes,
+            per_class: 2,
+            noise: 0.1,
+            seed,
+            ..Default::default()
+        });
+        for i in 0..ds.len() {
+            let (img, label) = ds.item(i);
+            prop_assert!(label < classes);
+            // sin in [-1,1] plus sigma-0.1 noise: anything beyond ±2 is a bug
+            prop_assert!(img.as_slice().iter().all(|v| v.abs() < 2.0));
+        }
+    }
+
+    #[test]
+    fn shapes_splits_stay_balanced(per_class in 4usize..10, seed in 0u64..50) {
+        let ds = shapes::generate(ShapesConfig::cifar10_like(per_class, seed));
+        let total = ds.len();
+        let (train, test) = ds.split(0.75);
+        let th = train.class_histogram();
+        let eh = test.class_histogram();
+        // interleaved generation keeps positional splits balanced
+        prop_assert!(th.iter().max().unwrap() - th.iter().min().unwrap() <= 1);
+        prop_assert!(eh.iter().max().unwrap() - eh.iter().min().unwrap() <= 1);
+        prop_assert_eq!(train.len() + test.len(), total);
+    }
+
+    #[test]
+    fn shift_then_unshift_preserves_interior(dy in -3isize..=3, dx in -3isize..=3, seed in 0u64..50) {
+        let ds = blobs::generate(BlobsConfig {
+            classes: 2,
+            per_class: 1,
+            side: 12,
+            seed,
+            ..Default::default()
+        });
+        let img = ds.item(0).0;
+        let round = shift_image(&shift_image(img, dy, dx), -dy, -dx);
+        let m = 3usize;
+        for h in m..12 - m {
+            for w in m..12 - m {
+                prop_assert_eq!(round.at(0, 0, h, w), img.at(0, 0, h, w));
+            }
+        }
+    }
+
+    #[test]
+    fn double_flip_is_identity(seed in 0u64..50) {
+        let ds = shapes::generate(ShapesConfig::cifar10_like(1, seed));
+        let img = ds.item(3).0;
+        prop_assert_eq!(&flip_horizontal(&flip_horizontal(img)), img);
+    }
+
+    #[test]
+    fn shifted_dataset_keeps_shape_and_classes(s in -2isize..=2) {
+        let ds = blobs::generate(BlobsConfig {
+            classes: 3,
+            per_class: 2,
+            ..Default::default()
+        });
+        let shifted = shifted_dataset(&ds, s, -s);
+        prop_assert_eq!(shifted.num_classes(), 3);
+        prop_assert_eq!(shifted.item_shape(), ds.item_shape());
+    }
+}
+
+#[test]
+fn shapes_images_are_rgb_32x32() {
+    let ds = shapes::generate(ShapesConfig::cifar10_like(1, 0));
+    assert_eq!(ds.item_shape(), Some(Shape4::new(1, 3, 32, 32)));
+}

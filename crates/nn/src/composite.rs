@@ -1,0 +1,586 @@
+//! Composite layers: inception-style parallel branches and
+//! DenseNet-style concatenation.
+//!
+//! GoogLeNet and DenseNet are not sequential pipelines, but their
+//! non-sequential structure is local: an inception module runs a handful
+//! of branches on the same input and concatenates channels; a dense block
+//! concatenates its input with its output. Modelling those two patterns as
+//! *layers that contain sub-networks* keeps the executor sequential (and
+//! the MLCNN reordering pass a simple list transformation) while still
+//! training genuine branched topologies.
+
+use crate::layer::{Layer, ParamRef};
+use crate::network::Network;
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// Concatenate same-spatial-shape tensors along the channel axis.
+pub fn concat_channels(parts: &[Tensor<f32>]) -> Result<Tensor<f32>> {
+    let first = parts.first().ok_or_else(|| TensorError::BadGeometry {
+        reason: "concat of zero tensors".into(),
+    })?;
+    let (n, h, w) = (first.shape().n, first.shape().h, first.shape().w);
+    let mut total_c = 0;
+    for p in parts {
+        let s = p.shape();
+        if (s.n, s.h, s.w) != (n, h, w) {
+            return Err(TensorError::ShapeMismatch {
+                left: first.shape(),
+                right: s,
+                op: "concat_channels",
+            });
+        }
+        total_c += s.c;
+    }
+    let mut out = Tensor::zeros(Shape4::new(n, total_c, h, w));
+    for ni in 0..n {
+        let mut c_off = 0;
+        for p in parts {
+            for ci in 0..p.shape().c {
+                out.plane_slice_mut(ni, c_off + ci)
+                    .copy_from_slice(p.plane_slice(ni, ci));
+            }
+            c_off += p.shape().c;
+        }
+    }
+    Ok(out)
+}
+
+/// Split a tensor along the channel axis into parts of the given sizes.
+pub fn split_channels(t: &Tensor<f32>, sizes: &[usize]) -> Result<Vec<Tensor<f32>>> {
+    let s = t.shape();
+    let total: usize = sizes.iter().sum();
+    if total != s.c {
+        return Err(TensorError::BadGeometry {
+            reason: format!("split sizes sum {total} != channels {}", s.c),
+        });
+    }
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut c_off = 0;
+    for &sz in sizes {
+        let mut part = Tensor::zeros(Shape4::new(s.n, sz, s.h, s.w));
+        for ni in 0..s.n {
+            for ci in 0..sz {
+                part.plane_slice_mut(ni, ci)
+                    .copy_from_slice(t.plane_slice(ni, c_off + ci));
+            }
+        }
+        c_off += sz;
+        out.push(part);
+    }
+    Ok(out)
+}
+
+/// Inception-style module: run every branch on the same input, concatenate
+/// branch outputs along channels.
+pub struct ParallelConcat {
+    name: String,
+    branches: Vec<Network>,
+    cached_branch_channels: Vec<usize>,
+}
+
+impl ParallelConcat {
+    /// Create from sub-networks (each must preserve spatial extent or all
+    /// reduce it identically).
+    pub fn new(name: impl Into<String>, branches: Vec<Network>) -> Self {
+        Self {
+            name: name.into(),
+            branches,
+            cached_branch_channels: Vec::new(),
+        }
+    }
+}
+
+impl Layer for ParallelConcat {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let mut outs = Vec::with_capacity(self.branches.len());
+        for b in &mut self.branches {
+            outs.push(b.forward_mode(input, train)?);
+        }
+        self.cached_branch_channels = outs.iter().map(|t| t.shape().c).collect();
+        concat_channels(&outs)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if self.cached_branch_channels.is_empty() {
+            return Err(TensorError::BadGeometry {
+                reason: "parallel-concat backward without cached forward".into(),
+            });
+        }
+        let parts = split_channels(grad_out, &self.cached_branch_channels)?;
+        let mut dx: Option<Tensor<f32>> = None;
+        for (b, g) in self.branches.iter_mut().zip(parts) {
+            let d = b.backward(&g)?;
+            dx = Some(match dx {
+                None => d,
+                Some(acc) => acc.add(&d)?,
+            });
+        }
+        self.cached_branch_channels.clear();
+        dx.ok_or_else(|| TensorError::BadGeometry {
+            reason: "parallel-concat with zero branches".into(),
+        })
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let mut total_c = 0;
+        let mut hw = None;
+        for b in &self.branches {
+            let s = b.out_shape(input)?;
+            total_c += s.c;
+            match hw {
+                None => hw = Some((s.h, s.w)),
+                Some(prev) if prev != (s.h, s.w) => {
+                    return Err(TensorError::BadGeometry {
+                        reason: format!(
+                            "branch spatial shapes disagree: {:?} vs {:?}",
+                            prev,
+                            (s.h, s.w)
+                        ),
+                    })
+                }
+                _ => {}
+            }
+        }
+        let (h, w) = hw.ok_or_else(|| TensorError::BadGeometry {
+            reason: "parallel-concat with zero branches".into(),
+        })?;
+        Ok(Shape4::new(input.n, total_c, h, w))
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        self.branches.iter_mut().flat_map(|b| b.params()).collect()
+    }
+
+    fn param_count(&self) -> usize {
+        self.branches.iter().map(|b| b.param_count()).sum()
+    }
+
+    fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
+        for b in &mut self.branches {
+            b.transform_weights(f);
+        }
+    }
+}
+
+/// DenseNet-style skip: output = concat(input, inner(input)).
+pub struct DenseConcat {
+    name: String,
+    inner: Network,
+    cached_split: Option<(usize, usize)>,
+}
+
+impl DenseConcat {
+    /// Wrap a sub-network whose output will be concatenated with its input.
+    pub fn new(name: impl Into<String>, inner: Network) -> Self {
+        Self {
+            name: name.into(),
+            inner,
+            cached_split: None,
+        }
+    }
+}
+
+impl Layer for DenseConcat {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let inner_out = self.inner.forward_mode(input, train)?;
+        self.cached_split = Some((input.shape().c, inner_out.shape().c));
+        concat_channels(&[input.clone(), inner_out])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (in_c, out_c) = self
+            .cached_split
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "dense-concat backward without cached forward".into(),
+            })?;
+        let parts = split_channels(grad_out, &[in_c, out_c])?;
+        let d_inner = self.inner.backward(&parts[1])?;
+        parts[0].add(&d_inner)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let inner = self.inner.out_shape(input)?;
+        if (inner.h, inner.w) != (input.h, input.w) {
+            return Err(TensorError::BadGeometry {
+                reason: "dense-concat requires the inner network to preserve spatial extent"
+                    .into(),
+            });
+        }
+        Ok(Shape4::new(input.n, input.c + inner.c, input.h, input.w))
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        self.inner.params()
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
+        self.inner.transform_weights(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_network, LayerSpec};
+    use mlcnn_tensor::init;
+
+    fn conv_branch(seed: u64, in_ch: usize, out_ch: usize, k: usize, pad: usize) -> Network {
+        build_network(
+            &[LayerSpec::Conv {
+                out_ch,
+                k,
+                stride: 1,
+                pad,
+            }],
+            Shape4::new(1, in_ch, 8, 8),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_fn(Shape4::new(2, 2, 3, 3), |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f32
+        });
+        let b = Tensor::from_fn(Shape4::new(2, 3, 3, 3), |n, c, h, w| {
+            -((n * 1000 + c * 100 + h * 10 + w) as f32)
+        });
+        let cat = concat_channels(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(cat.shape(), Shape4::new(2, 5, 3, 3));
+        let parts = split_channels(&cat, &[2, 3]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        let b = Tensor::<f32>::zeros(Shape4::new(1, 1, 3, 3));
+        assert!(concat_channels(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn split_rejects_bad_sizes() {
+        let a = Tensor::<f32>::zeros(Shape4::new(1, 4, 2, 2));
+        assert!(split_channels(&a, &[1, 2]).is_err());
+        assert!(split_channels(&a, &[1, 3]).is_ok());
+    }
+
+    #[test]
+    fn parallel_concat_forward_stacks_channels() {
+        let b1 = conv_branch(1, 3, 4, 1, 0);
+        let b2 = conv_branch(2, 3, 2, 3, 1);
+        let mut layer = ParallelConcat::new("inc", vec![b1, b2]);
+        let x = init::uniform(Shape4::new(2, 3, 8, 8), -1.0, 1.0, &mut init::rng(3));
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), Shape4::new(2, 6, 8, 8));
+        assert_eq!(layer.out_shape(x.shape()).unwrap(), y.shape());
+    }
+
+    #[test]
+    fn parallel_concat_gradient_check() {
+        let b1 = conv_branch(4, 2, 2, 1, 0);
+        let b2 = conv_branch(5, 2, 2, 3, 1);
+        let mut layer = ParallelConcat::new("inc", vec![b1, b2]);
+        let mut rng = init::rng(6);
+        let x = init::uniform(Shape4::new(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        let y0 = layer.forward(&x, true).unwrap();
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = layer.backward(&mask).unwrap();
+        let eps = 1e-3_f32;
+        for probe in [0usize, 17, 63, 127] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 2e-2,
+                "probe {probe}: numeric {numeric} vs {}",
+                dx.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_concat_prepends_input_channels() {
+        let inner = conv_branch(7, 2, 3, 3, 1);
+        let mut layer = DenseConcat::new("dense", inner);
+        let x = init::uniform(Shape4::new(1, 2, 8, 8), -1.0, 1.0, &mut init::rng(8));
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), Shape4::new(1, 5, 8, 8));
+        // first two channels are the input passed through
+        for c in 0..2 {
+            assert_eq!(y.plane_slice(0, c), x.plane_slice(0, c));
+        }
+    }
+
+    #[test]
+    fn dense_concat_gradient_flows_through_skip_and_inner() {
+        let inner = conv_branch(9, 1, 1, 3, 1);
+        let mut layer = DenseConcat::new("dense", inner);
+        let mut rng = init::rng(10);
+        let x = init::uniform(Shape4::new(1, 1, 4, 4), -1.0, 1.0, &mut rng);
+        let y0 = layer.forward(&x, true).unwrap();
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = layer.backward(&mask).unwrap();
+        let eps = 1e-3_f32;
+        for probe in 0..16 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 2e-2,
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_param_counts_sum_branches() {
+        let b1 = conv_branch(1, 3, 4, 1, 0); // 3*1*1*4 + 4 = 16
+        let b2 = conv_branch(2, 3, 2, 3, 1); // 3*9*2 + 2 = 56
+        let layer = ParallelConcat::new("inc", vec![b1, b2]);
+        assert_eq!(layer.param_count(), 16 + 56);
+    }
+}
+
+/// ResNet-style residual block: output = inner(x) + projector(x), with
+/// an identity projector when the shapes already match.
+pub struct ResidualAdd {
+    name: String,
+    inner: Network,
+    projector: Option<Network>,
+}
+
+impl ResidualAdd {
+    /// Create from the residual branch and an optional projection branch
+    /// (1×1 strided conv in ResNet's downsampling blocks).
+    pub fn new(name: impl Into<String>, inner: Network, projector: Option<Network>) -> Self {
+        Self {
+            name: name.into(),
+            inner,
+            projector,
+        }
+    }
+}
+
+impl Layer for ResidualAdd {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let main = self.inner.forward_mode(input, train)?;
+        let skip = match &mut self.projector {
+            Some(p) => p.forward_mode(input, train)?,
+            None => input.clone(),
+        };
+        main.add(&skip)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let d_main = self.inner.backward(grad_out)?;
+        let d_skip = match &mut self.projector {
+            Some(p) => p.backward(grad_out)?,
+            None => grad_out.clone(),
+        };
+        d_main.add(&d_skip)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let main = self.inner.out_shape(input)?;
+        let skip = match &self.projector {
+            Some(p) => p.out_shape(input)?,
+            None => input,
+        };
+        if main != skip {
+            return Err(TensorError::ShapeMismatch {
+                left: main,
+                right: skip,
+                op: "residual add (branch shapes)",
+            });
+        }
+        Ok(main)
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        let mut p = self.inner.params();
+        if let Some(proj) = &mut self.projector {
+            p.extend(proj.params());
+        }
+        p
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+            + self.projector.as_ref().map_or(0, |p| p.param_count())
+    }
+
+    fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
+        self.inner.transform_weights(f);
+        if let Some(p) = &mut self.projector {
+            p.transform_weights(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod residual_tests {
+    use super::*;
+    use crate::spec::{build_network, LayerSpec};
+    use mlcnn_tensor::init;
+
+    fn branch(seed: u64, ch: usize) -> Network {
+        build_network(
+            &[LayerSpec::conv3(ch), LayerSpec::ReLU, LayerSpec::conv3(ch)],
+            Shape4::new(1, ch, 8, 8),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_skip_adds_input() {
+        let mut layer = ResidualAdd::new("res", branch(1, 2), None);
+        let x = init::uniform(Shape4::new(1, 2, 8, 8), -1.0, 1.0, &mut init::rng(2));
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // output differs from both the input and the plain branch
+        let mut plain = branch(1, 2);
+        let main = plain.forward(&x).unwrap();
+        assert!(y.approx_eq(&main.add(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn projector_reconciles_shapes() {
+        // main branch downsamples with stride 2 and doubles channels;
+        // projector does the same with a 1x1 conv.
+        let input_shape = Shape4::new(1, 2, 8, 8);
+        let main = build_network(
+            &[LayerSpec::Conv {
+                out_ch: 4,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            }],
+            input_shape,
+            3,
+        )
+        .unwrap();
+        let proj = build_network(
+            &[LayerSpec::Conv {
+                out_ch: 4,
+                k: 1,
+                stride: 2,
+                pad: 0,
+            }],
+            input_shape,
+            4,
+        )
+        .unwrap();
+        let mut layer = ResidualAdd::new("res-down", main, Some(proj));
+        assert_eq!(
+            layer.out_shape(input_shape).unwrap(),
+            Shape4::new(1, 4, 4, 4)
+        );
+        let x = init::uniform(input_shape, -1.0, 1.0, &mut init::rng(5));
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), Shape4::new(1, 4, 4, 4));
+    }
+
+    #[test]
+    fn mismatched_branches_error() {
+        let main = build_network(
+            &[LayerSpec::conv3(4)],
+            Shape4::new(1, 2, 8, 8),
+            6,
+        )
+        .unwrap();
+        let layer = ResidualAdd::new("bad", main, None);
+        assert!(layer.out_shape(Shape4::new(1, 2, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn gradient_check_through_both_branches() {
+        let mut rng = init::rng(7);
+        let mut layer = ResidualAdd::new("res", branch(8, 1), None);
+        let x = init::uniform(Shape4::new(1, 1, 8, 8), -1.0, 1.0, &mut rng);
+        let y0 = layer.forward(&x, true).unwrap();
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = layer.backward(&mask).unwrap();
+        let eps = 1e-3_f32;
+        for probe in [0usize, 13, 31, 63] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn: f32 = layer
+                .forward(&xp, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 2e-2,
+                "probe {probe}"
+            );
+        }
+    }
+}

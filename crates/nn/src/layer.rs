@@ -1,0 +1,74 @@
+//! The [`Layer`] trait: the contract every trainable building block obeys.
+
+use mlcnn_tensor::{Result, Shape4, Tensor};
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+pub struct ParamRef<'a> {
+    /// The parameter values.
+    pub value: &'a mut Tensor<f32>,
+    /// The gradient accumulated by the most recent backward pass.
+    pub grad: &'a mut Tensor<f32>,
+}
+
+/// A trainable (or stateless) network layer.
+///
+/// The forward/backward protocol is the classic one: `forward` caches
+/// whatever it needs, `backward` consumes the cache, accumulates parameter
+/// gradients and returns the gradient with respect to its input. Layers
+/// are used strictly in forward-then-backward pairs by
+/// [`crate::network::Network`].
+pub trait Layer: Send {
+    /// Human-readable layer name (used in experiment reports).
+    fn name(&self) -> String;
+
+    /// Run the layer. `train` enables behaviour needed only for a
+    /// subsequent backward pass (activation caching).
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>>;
+
+    /// Back-propagate `grad_out` (gradient w.r.t. this layer's output),
+    /// returning the gradient w.r.t. its input. Must be preceded by a
+    /// `forward(_, true)` call.
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>>;
+
+    /// Output shape produced for a given input shape, without running.
+    fn out_shape(&self, input: Shape4) -> Result<Shape4>;
+
+    /// Mutable access to all parameters and their gradients (empty for
+    /// stateless layers).
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        Vec::new()
+    }
+
+    /// Number of learnable scalars.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Zero all gradient accumulators.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Rewrite weight tensors through `f` (e.g. fake-quantization).
+    /// Biases are left untouched, matching the paper's DoReFa setup which
+    /// quantizes weights and activations. Stateless layers ignore this.
+    fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
+        let _ = f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::act::ReLULayer;
+
+    #[test]
+    fn default_param_impls_are_empty() {
+        let mut l = ReLULayer::new();
+        assert_eq!(l.param_count(), 0);
+        assert!(l.params().is_empty());
+        l.zero_grad(); // no-op, must not panic
+    }
+}

@@ -1,0 +1,142 @@
+//! Activation layers: ReLU and Sigmoid.
+
+use crate::layer::Layer;
+use mlcnn_tensor::activation::{relu, relu_mask, sigmoid, sigmoid_grad};
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLULayer {
+    cached_pre: Option<Tensor<f32>>,
+}
+
+impl ReLULayer {
+    /// Create a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLULayer {
+    fn name(&self) -> String {
+        "relu".into()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        if train {
+            self.cached_pre = Some(input.clone());
+        }
+        Ok(relu(input))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let pre = self.cached_pre.take().ok_or_else(|| TensorError::BadGeometry {
+            reason: "ReLU backward without cached forward".into(),
+        })?;
+        relu_mask(&pre).zip_with(grad_out, |m, g| m * g)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        Ok(input)
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct SigmoidLayer {
+    cached_pre: Option<Tensor<f32>>,
+}
+
+impl SigmoidLayer {
+    /// Create a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for SigmoidLayer {
+    fn name(&self) -> String {
+        "sigmoid".into()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        if train {
+            self.cached_pre = Some(input.clone());
+        }
+        Ok(sigmoid(input))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let pre = self.cached_pre.take().ok_or_else(|| TensorError::BadGeometry {
+            reason: "sigmoid backward without cached forward".into(),
+        })?;
+        sigmoid_grad(&pre).zip_with(grad_out, |m, g| m * g)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        Ok(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward_routes_gradient() {
+        let mut l = ReLULayer::new();
+        let x = Tensor::plane(1, 4, vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = Tensor::plane(1, 4, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let dx = l.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_is_an_error() {
+        let mut l = ReLULayer::new();
+        let g = Tensor::plane(1, 1, vec![1.0]).unwrap();
+        assert!(l.backward(&g).is_err());
+        // and the cache is consumed: a second backward also fails
+        let x = Tensor::plane(1, 1, vec![1.0]).unwrap();
+        l.forward(&x, true).unwrap();
+        l.backward(&g).unwrap();
+        assert!(l.backward(&g).is_err());
+    }
+
+    #[test]
+    fn inference_mode_does_not_cache() {
+        let mut l = ReLULayer::new();
+        let x = Tensor::plane(1, 1, vec![1.0]).unwrap();
+        l.forward(&x, false).unwrap();
+        assert!(l.backward(&x).is_err());
+    }
+
+    #[test]
+    fn sigmoid_gradient_is_finite_and_centered() {
+        let mut l = SigmoidLayer::new();
+        let x = Tensor::plane(1, 3, vec![-5.0, 0.0, 5.0]).unwrap();
+        let _ = l.forward(&x, true).unwrap();
+        let g = Tensor::plane(1, 3, vec![1.0, 1.0, 1.0]).unwrap();
+        let dx = l.backward(&g).unwrap();
+        assert!((dx.as_slice()[1] - 0.25).abs() < 1e-6);
+        assert!(dx.as_slice()[0] < 0.01 && dx.as_slice()[2] < 0.01);
+    }
+
+    #[test]
+    fn sigmoid_numeric_gradient_check() {
+        // finite differences against the analytic derivative
+        let mut l = SigmoidLayer::new();
+        let x0 = 0.37_f32;
+        let eps = 1e-3;
+        let f = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let numeric = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+        let x = Tensor::plane(1, 1, vec![x0]).unwrap();
+        l.forward(&x, true).unwrap();
+        let dx = l
+            .backward(&Tensor::plane(1, 1, vec![1.0]).unwrap())
+            .unwrap();
+        assert!((dx.as_slice()[0] - numeric).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,308 @@
+//! 2-D batch normalization.
+//!
+//! Normalizes each channel over the batch and spatial dimensions with
+//! learnable scale/shift, tracking running statistics for inference —
+//! the standard component deep VGG/ResNet training depends on.
+
+use crate::layer::{Layer, ParamRef};
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// Per-channel batch normalization.
+pub struct BatchNorm2dLayer {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor<f32>,
+    beta: Tensor<f32>,
+    g_grad: Tensor<f32>,
+    b_grad: Tensor<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2dLayer {
+    /// Create for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        let shape = Shape4::new(1, 1, 1, channels);
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::full(shape, 1.0),
+            beta: Tensor::zeros(shape),
+            g_grad: Tensor::zeros(shape),
+            b_grad: Tensor::zeros(shape),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2dLayer {
+    fn name(&self) -> String {
+        format!("batchnorm{}", self.channels)
+    }
+
+    #[allow(clippy::needless_range_loop)] // per-channel stats read clearer indexed
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let s = input.shape();
+        if s.c != self.channels {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "batchnorm expects {} channels, got {}",
+                    self.channels, s.c
+                ),
+            });
+        }
+        let per_channel = (s.n * s.h * s.w).max(1) as f32;
+        let mut out = Tensor::zeros(s);
+        let mut x_hat = Tensor::zeros(s);
+        let mut inv_stds = vec![0.0; s.c];
+        for c in 0..s.c {
+            let (mean, var) = if train {
+                let mut sum = 0.0;
+                let mut sq = 0.0;
+                for n in 0..s.n {
+                    for &v in input.plane_slice(n, c) {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / per_channel;
+                let var = (sq / per_channel - mean * mean).max(0.0);
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean;
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[c], self.running_var[c])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[c] = inv_std;
+            let g = self.gamma.as_slice()[c];
+            let b = self.beta.as_slice()[c];
+            for n in 0..s.n {
+                let src = input.plane_slice(n, c).to_vec();
+                let xh = x_hat.plane_slice_mut(n, c);
+                for (i, &v) in src.iter().enumerate() {
+                    xh[i] = (v - mean) * inv_std;
+                }
+                let dst = out.plane_slice_mut(n, c);
+                for (i, &v) in src.iter().enumerate() {
+                    dst[i] = g * (v - mean) * inv_std + b;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let cache = self.cache.take().ok_or_else(|| TensorError::BadGeometry {
+            reason: "batchnorm backward without cached forward".into(),
+        })?;
+        let s = grad_out.shape();
+        if s != cache.x_hat.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: s,
+                right: cache.x_hat.shape(),
+                op: "batchnorm backward",
+            });
+        }
+        let m = (s.n * s.h * s.w).max(1) as f32;
+        let mut dx = Tensor::zeros(s);
+        for c in 0..s.c {
+            // accumulate dγ, dβ and the two reduction terms
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for n in 0..s.n {
+                let dy = grad_out.plane_slice(n, c);
+                let xh = cache.x_hat.plane_slice(n, c);
+                for (a, b) in dy.iter().zip(xh) {
+                    sum_dy += a;
+                    sum_dy_xhat += a * b;
+                }
+            }
+            self.b_grad.as_mut_slice()[c] += sum_dy;
+            self.g_grad.as_mut_slice()[c] += sum_dy_xhat;
+            let g = self.gamma.as_slice()[c];
+            let inv_std = cache.inv_std[c];
+            let mean_dy = sum_dy / m;
+            let mean_dy_xhat = sum_dy_xhat / m;
+            for n in 0..s.n {
+                let dy = grad_out.plane_slice(n, c).to_vec();
+                let xh = cache.x_hat.plane_slice(n, c).to_vec();
+                let out = dx.plane_slice_mut(n, c);
+                for i in 0..dy.len() {
+                    out[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        if input.c != self.channels {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "batchnorm expects {} channels, got {}",
+                    self.channels, input.c
+                ),
+            });
+        }
+        Ok(input)
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                value: &mut self.gamma,
+                grad: &mut self.g_grad,
+            },
+            ParamRef {
+                value: &mut self.beta,
+                grad: &mut self.b_grad,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::init;
+
+    #[test]
+    fn training_forward_normalizes_each_channel() {
+        let mut bn = BatchNorm2dLayer::new(2);
+        let x = Tensor::from_fn(Shape4::new(4, 2, 3, 3), |n, c, h, w| {
+            (c as f32 + 1.0) * 10.0 + (n * 9 + h * 3 + w) as f32 * 0.5
+        });
+        let y = bn.forward(&x, true).unwrap();
+        for c in 0..2 {
+            let mut sum = 0.0;
+            let mut sq = 0.0;
+            for n in 0..4 {
+                for &v in y.plane_slice(n, c) {
+                    sum += v;
+                    sq += v * v;
+                }
+            }
+            let m = 36.0;
+            let mean: f32 = sum / m;
+            let var = sq / m - mean * mean;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut bn = BatchNorm2dLayer::new(1);
+        let x = Tensor::from_fn(Shape4::new(8, 1, 2, 2), |n, _, h, w| {
+            5.0 + (n * 4 + h * 2 + w) as f32 * 0.1
+        });
+        for _ in 0..100 {
+            bn.forward(&x, true).unwrap();
+        }
+        let mean: f32 = x.as_slice().iter().sum::<f32>() / x.len() as f32;
+        assert!((bn.running_mean()[0] - mean).abs() < 1e-2);
+        assert!(bn.running_var()[0] > 0.0);
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2dLayer::new(1);
+        let x = init::uniform(Shape4::new(4, 1, 4, 4), 3.0, 5.0, &mut init::rng(1));
+        for _ in 0..50 {
+            bn.forward(&x, true).unwrap();
+        }
+        // in eval mode a wildly different input is normalized with the
+        // *stored* statistics, not its own
+        let shifted = x.map(|v| v + 100.0);
+        let y = bn.forward(&shifted, false).unwrap();
+        assert!(y.mean() > 50.0, "eval mode must not re-center: {}", y.mean());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm2dLayer::new(2);
+        let mut rng = init::rng(3);
+        let x = init::uniform(Shape4::new(3, 2, 2, 2), -1.0, 1.0, &mut rng);
+        let y0 = bn.forward(&x, true).unwrap();
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = bn.backward(&mask).unwrap();
+        let eps = 1e-3_f32;
+        let objective = |bn: &mut BatchNorm2dLayer, x: &Tensor<f32>| -> f32 {
+            // train-mode forward so the batch statistics are recomputed,
+            // matching what the analytic gradient differentiates through.
+            let y = bn.forward(x, true).unwrap();
+            bn.cache = None;
+            y.as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for probe in [0usize, 5, 11, 17, 23] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up = objective(&mut bn, &xp);
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn = objective(&mut bn, &xp);
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 3e-2,
+                "probe {probe}: numeric {numeric} vs {}",
+                dx.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2dLayer::new(1);
+        let x = init::uniform(Shape4::new(2, 1, 2, 2), -1.0, 1.0, &mut init::rng(4));
+        let ones = Tensor::full(x.shape(), 1.0f32);
+        bn.forward(&x, true).unwrap();
+        bn.backward(&ones).unwrap();
+        // dβ = Σ dy = 8
+        assert!((bn.b_grad.as_slice()[0] - 8.0).abs() < 1e-5);
+        assert_eq!(bn.param_count(), 2);
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let mut bn = BatchNorm2dLayer::new(3);
+        let x = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 2));
+        assert!(bn.forward(&x, false).is_err());
+        assert!(bn.out_shape(x.shape()).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Inverted dropout.
+//!
+//! During training each activation is zeroed with probability `p` and the
+//! survivors scaled by `1/(1−p)`, so inference is the identity. The mask
+//! is drawn from a layer-owned seeded PRNG, keeping training runs
+//! reproducible.
+
+use crate::layer::Layer;
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Inverted-dropout layer.
+pub struct DropoutLayer {
+    p: f32,
+    rng: StdRng,
+    cached_mask: Option<Tensor<f32>>,
+}
+
+impl DropoutLayer {
+    /// Create with drop probability `p ∈ [0, 1)` and a mask seed.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1)` — a configuration error.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability {p} out of [0,1)");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn name(&self) -> String {
+        format!("dropout{:.2}", self.p)
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        if !train || self.p == 0.0 {
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.shape(), |_, _, _, _| {
+            if self.rng.random_range(0.0..1.0) < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.zip_with(&mask, |a, m| a * m)?;
+        self.cached_mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mask = self
+            .cached_mask
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "dropout backward without cached forward".into(),
+            })?;
+        grad_out.zip_with(&mask, |g, m| g * m)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        Ok(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = DropoutLayer::new(0.5, 1);
+        let x = Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = DropoutLayer::new(0.3, 2);
+        let x = Tensor::full(Shape4::new(1, 1, 64, 64), 1.0f32);
+        let mut total = 0.0;
+        let rounds = 50;
+        for _ in 0..rounds {
+            total += d.forward(&x, true).unwrap().mean();
+        }
+        let mean = total / rounds as f32;
+        assert!((mean - 1.0).abs() < 0.05, "E[dropout(1)] = {mean}");
+    }
+
+    #[test]
+    fn surviving_values_are_scaled() {
+        let mut d = DropoutLayer::new(0.5, 3);
+        let x = Tensor::full(Shape4::hw(8, 8), 1.0f32);
+        let y = d.forward(&x, true).unwrap();
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6, "unexpected value {v}");
+        }
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(dropped > 10 && dropped < 54, "drop count {dropped}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = DropoutLayer::new(0.5, 4);
+        let x = Tensor::full(Shape4::hw(4, 4), 1.0f32);
+        let y = d.forward(&x, true).unwrap();
+        let g = Tensor::full(Shape4::hw(4, 4), 1.0f32);
+        let dx = d.backward(&g).unwrap();
+        // gradient flows exactly where activations flowed
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = DropoutLayer::new(0.0, 5);
+        let x = Tensor::full(Shape4::hw(2, 2), 3.0f32);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1)")]
+    fn rejects_certain_drop() {
+        let _ = DropoutLayer::new(1.0, 6);
+    }
+}

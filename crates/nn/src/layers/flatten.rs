@@ -1,0 +1,73 @@
+//! Flatten layer: `B×C×H×W → B×1×1×(C·H·W)`.
+
+use crate::layer::Layer;
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// Reshape the spatial feature maps into a feature vector per batch item.
+#[derive(Debug, Default)]
+pub struct FlattenLayer {
+    cached_in_shape: Option<Shape4>,
+}
+
+impl FlattenLayer {
+    /// Create a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for FlattenLayer {
+    fn name(&self) -> String {
+        "flatten".into()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        if train {
+            self.cached_in_shape = Some(input.shape());
+        }
+        let s = input.shape();
+        input
+            .clone()
+            .reshape(Shape4::new(s.n, 1, 1, s.c * s.h * s.w))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let in_shape = self
+            .cached_in_shape
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "flatten backward without cached forward".into(),
+            })?;
+        grad_out.clone().reshape(in_shape)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        Ok(Shape4::new(input.n, 1, 1, input.c * input.h * input.w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut l = FlattenLayer::new();
+        let x = Tensor::from_fn(Shape4::new(2, 3, 2, 2), |n, c, h, w| {
+            (n * 100 + c * 10 + h * 2 + w) as f32
+        });
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), Shape4::new(2, 1, 1, 12));
+        let dx = l.backward(&y).unwrap();
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn flatten_preserves_batch_separation() {
+        let mut l = FlattenLayer::new();
+        let x = Tensor::from_fn(Shape4::new(2, 1, 1, 3), |n, _, _, w| (n * 10 + w) as f32);
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.at(0, 0, 0, 2), 2.0);
+        assert_eq!(y.at(1, 0, 0, 0), 10.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fully connected (linear) layer.
+
+use crate::layer::{Layer, ParamRef};
+use mlcnn_tensor::linalg::{matmul, transpose};
+use mlcnn_tensor::shape::Shape2;
+use mlcnn_tensor::{init, Result, Shape4, Tensor, TensorError};
+use rand::rngs::StdRng;
+
+/// `y = x Wᵀ + b` over flattened features: input `B×1×1×in`, output
+/// `B×1×1×out`. Weight is stored `out × in`.
+pub struct LinearLayer {
+    name: String,
+    weight: Tensor<f32>, // 1×1×out×in
+    bias: Tensor<f32>,   // 1×1×1×out
+    w_grad: Tensor<f32>,
+    b_grad: Tensor<f32>,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor<f32>>,
+}
+
+impl LinearLayer {
+    /// Create with Kaiming-style fan-in initialization.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let wshape = Shape4::new(1, 1, out_features, in_features);
+        let sigma = (2.0 / in_features as f32).sqrt();
+        Self {
+            name: name.into(),
+            weight: init::normal(wshape, sigma, rng),
+            bias: Tensor::zeros(Shape4::new(1, 1, 1, out_features)),
+            w_grad: Tensor::zeros(wshape),
+            b_grad: Tensor::zeros(Shape4::new(1, 1, 1, out_features)),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for LinearLayer {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let s = input.shape();
+        let feat = s.c * s.h * s.w;
+        if feat != self.in_features {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "linear `{}` expects {} features, got {feat}",
+                    self.name, self.in_features
+                ),
+            });
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        // y (B×out) = x (B×in) · Wᵀ (in×out)
+        let w_t = transpose(
+            self.weight.as_slice(),
+            Shape2::new(self.out_features, self.in_features),
+        );
+        let mut y = matmul(input.as_slice(), &w_t, s.n, self.in_features, self.out_features);
+        for bi in 0..s.n {
+            for (o, bval) in self.bias.as_slice().iter().enumerate() {
+                y[bi * self.out_features + o] += *bval;
+            }
+        }
+        Tensor::from_vec(Shape4::new(s.n, 1, 1, self.out_features), y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "linear backward without cached forward".into(),
+            })?;
+        let b = input.shape().n;
+        if grad_out.shape() != Shape4::new(b, 1, 1, self.out_features) {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.shape(),
+                right: Shape4::new(b, 1, 1, self.out_features),
+                op: "linear backward",
+            });
+        }
+        // dW (out×in) = dYᵀ (out×B) · x (B×in)
+        let dy_t = transpose(grad_out.as_slice(), Shape2::new(b, self.out_features));
+        let dw = matmul(&dy_t, input.as_slice(), self.out_features, b, self.in_features);
+        for (acc, g) in self.w_grad.as_mut_slice().iter_mut().zip(dw) {
+            *acc += g;
+        }
+        // db = column sums of dY
+        for bi in 0..b {
+            for o in 0..self.out_features {
+                self.b_grad.as_mut_slice()[o] += grad_out.as_slice()[bi * self.out_features + o];
+            }
+        }
+        // dx (B×in) = dY (B×out) · W (out×in)
+        let dx = matmul(
+            grad_out.as_slice(),
+            self.weight.as_slice(),
+            b,
+            self.out_features,
+            self.in_features,
+        );
+        Tensor::from_vec(input.shape(), dx)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let feat = input.c * input.h * input.w;
+        if feat != self.in_features {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "linear `{}` expects {} features, got {feat}",
+                    self.name, self.in_features
+                ),
+            });
+        }
+        Ok(Shape4::new(input.n, 1, 1, self.out_features))
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef {
+                value: &mut self.weight,
+                grad: &mut self.w_grad,
+            },
+            ParamRef {
+                value: &mut self.bias,
+                grad: &mut self.b_grad,
+            },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
+        self.weight = f(&self.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = init::rng(1);
+        let mut l = LinearLayer::new("fc", 2, 2, &mut rng);
+        // overwrite weights for a deterministic check
+        l.weight = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        l.bias = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 1.0]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        // y0 = 1+2+0.5, y1 = 3+4-0.5
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = init::rng(2);
+        let l = LinearLayer::new("fc", 120, 84, &mut rng);
+        assert_eq!(l.param_count(), 120 * 84 + 84);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = init::rng(3);
+        let mut l = LinearLayer::new("fc", 4, 3, &mut rng);
+        let x = init::uniform(Shape4::new(2, 1, 1, 4), -1.0, 1.0, &mut rng);
+        let y0 = l.forward(&x, true).unwrap();
+        let mask = init::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let dx = l.backward(&mask).unwrap();
+        let objective = |l: &mut LinearLayer, x: &Tensor<f32>| -> f32 {
+            let y = l.forward(x, false).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3_f32;
+        for probe in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up = objective(&mut l, &xp);
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn = objective(&mut l, &xp);
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 1e-2,
+                "input grad probe {probe}"
+            );
+        }
+        let wg = l.w_grad.clone();
+        for probe in 0..12 {
+            let orig = l.weight.as_slice()[probe];
+            l.weight.as_mut_slice()[probe] = orig + eps;
+            let up = objective(&mut l, &x);
+            l.weight.as_mut_slice()[probe] = orig - eps;
+            let dn = objective(&mut l, &x);
+            l.weight.as_mut_slice()[probe] = orig;
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!(
+                (numeric - wg.as_slice()[probe]).abs() < 1e-2,
+                "weight grad probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_unflattened_spatial_input() {
+        // A 1×4×1×1 input has 4 features and should be accepted like
+        // 1×1×1×4.
+        let mut rng = init::rng(4);
+        let mut l = LinearLayer::new("fc", 4, 2, &mut rng);
+        let x = Tensor::<f32>::zeros(Shape4::new(1, 4, 1, 1));
+        assert!(l.forward(&x, false).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let mut rng = init::rng(5);
+        let mut l = LinearLayer::new("fc", 4, 2, &mut rng);
+        let x = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 5));
+        assert!(l.forward(&x, false).is_err());
+        assert!(l.out_shape(x.shape()).is_err());
+    }
+}

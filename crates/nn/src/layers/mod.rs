@@ -1,0 +1,17 @@
+//! Concrete layer implementations.
+
+pub mod act;
+pub mod batchnorm;
+pub mod conv;
+pub mod dropout;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+
+pub use act::{ReLULayer, SigmoidLayer};
+pub use batchnorm::BatchNorm2dLayer;
+pub use conv::Conv2dLayer;
+pub use dropout::DropoutLayer;
+pub use flatten::FlattenLayer;
+pub use linear::LinearLayer;
+pub use pool::{AvgPoolLayer, MaxPoolLayer};

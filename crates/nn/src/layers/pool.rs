@@ -1,0 +1,229 @@
+//! Trainable pooling layers.
+
+use crate::layer::Layer;
+use mlcnn_tensor::pool::{avg_pool2d, max_pool2d, pool_geometry};
+use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+
+/// Average pooling layer.
+#[derive(Debug)]
+pub struct AvgPoolLayer {
+    window: usize,
+    stride: usize,
+    cached_in_shape: Option<Shape4>,
+}
+
+impl AvgPoolLayer {
+    /// Create an average pool of `window × window` with the given stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cached_in_shape: None,
+        }
+    }
+
+    /// Window accessor.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stride accessor.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Layer for AvgPoolLayer {
+    fn name(&self) -> String {
+        format!("avgpool{}s{}", self.window, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        if train {
+            self.cached_in_shape = Some(input.shape());
+        }
+        avg_pool2d(input, self.window, self.stride)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let in_shape = self
+            .cached_in_shape
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "avgpool backward without cached forward".into(),
+            })?;
+        let g = mlcnn_tensor::PoolGeometry::new(in_shape.h, in_shape.w, self.window, self.stride)?;
+        let inv_area = 1.0 / g.area() as f32;
+        let mut dx = Tensor::zeros(in_shape);
+        for n in 0..in_shape.n {
+            for c in 0..in_shape.c {
+                for oh in 0..g.out_h {
+                    for ow in 0..g.out_w {
+                        let go = grad_out.at(n, c, oh, ow) * inv_area;
+                        for kh in 0..self.window {
+                            for kw in 0..self.window {
+                                *dx.at_mut(n, c, oh * self.stride + kh, ow * self.stride + kw) +=
+                                    go;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let g = mlcnn_tensor::PoolGeometry::new(input.h, input.w, self.window, self.stride)?;
+        Ok(Shape4::new(input.n, input.c, g.out_h, g.out_w))
+    }
+}
+
+/// Max pooling layer (argmax-routed gradient).
+#[derive(Debug)]
+pub struct MaxPoolLayer {
+    window: usize,
+    stride: usize,
+    cached: Option<(Shape4, Tensor<i32>)>,
+}
+
+impl MaxPoolLayer {
+    /// Create a max pool of `window × window` with the given stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for MaxPoolLayer {
+    fn name(&self) -> String {
+        format!("maxpool{}s{}", self.window, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
+        let out = max_pool2d(input, self.window, self.stride)?;
+        if train {
+            self.cached = Some((input.shape(), out.argmax));
+        }
+        Ok(out.values)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (in_shape, argmax) = self
+            .cached
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "maxpool backward without cached forward".into(),
+            })?;
+        if grad_out.shape() != argmax.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.shape(),
+                right: argmax.shape(),
+                op: "maxpool backward",
+            });
+        }
+        let mut dx = Tensor::zeros(in_shape);
+        let out_shape = argmax.shape();
+        for n in 0..out_shape.n {
+            for c in 0..out_shape.c {
+                let plane = dx.plane_slice_mut(n, c);
+                for oh in 0..out_shape.h {
+                    for ow in 0..out_shape.w {
+                        let idx = argmax.at(n, c, oh, ow) as usize;
+                        plane[idx] += grad_out.at(n, c, oh, ow);
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn out_shape(&self, input: Shape4) -> Result<Shape4> {
+        let g = pool_geometry(&Tensor::<f32>::zeros(input), self.window, self.stride)?;
+        Ok(Shape4::new(input.n, input.c, g.out_h, g.out_w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avgpool_backward_distributes_evenly() {
+        let mut l = AvgPoolLayer::new(2, 2);
+        let x = Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), Shape4::hw(2, 2));
+        let g = Tensor::from_vec(Shape4::hw(2, 2), vec![4.0, 8.0, 12.0, 16.0]).unwrap();
+        let dx = l.backward(&g).unwrap();
+        // each input in window (0,0) receives 4/4 = 1
+        assert_eq!(dx.at(0, 0, 0, 0), 1.0);
+        assert_eq!(dx.at(0, 0, 1, 1), 1.0);
+        assert_eq!(dx.at(0, 0, 0, 2), 2.0);
+        assert_eq!(dx.at(0, 0, 3, 3), 4.0);
+        // total gradient mass is conserved
+        assert_eq!(dx.sum(), g.sum());
+    }
+
+    #[test]
+    fn avgpool_backward_overlapping_windows_accumulate() {
+        let mut l = AvgPoolLayer::new(2, 1);
+        let x = Tensor::from_fn(Shape4::hw(3, 3), |_, _, h, w| (h * 3 + w) as f32);
+        l.forward(&x, true).unwrap();
+        let g = Tensor::full(Shape4::hw(2, 2), 4.0f32);
+        let dx = l.backward(&g).unwrap();
+        // center cell is in all 4 windows: 4 * (4/4) = 4
+        assert_eq!(dx.at(0, 0, 1, 1), 4.0);
+        // corner cell is in exactly 1 window
+        assert_eq!(dx.at(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax_only() {
+        let mut l = MaxPoolLayer::new(2, 2);
+        let x = Tensor::from_vec(Shape4::hw(2, 2), vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[9.0]);
+        let dx = l.backward(&Tensor::full(Shape4::hw(1, 1), 5.0f32)).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_numeric_gradient_check() {
+        let mut l = MaxPoolLayer::new(2, 2);
+        let x = Tensor::from_vec(Shape4::hw(2, 2), vec![0.3, 0.9, -0.2, 0.1]).unwrap();
+        l.forward(&x, true).unwrap();
+        let dx = l.backward(&Tensor::full(Shape4::hw(1, 1), 1.0f32)).unwrap();
+        let eps = 1e-3;
+        for probe in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let up = max_pool2d(&xp, 2, 2).unwrap().values.as_slice()[0];
+            xp.as_mut_slice()[probe] -= 2.0 * eps;
+            let dn = max_pool2d(&xp, 2, 2).unwrap().values.as_slice()[0];
+            let numeric = (up - dn) / (2.0 * eps);
+            assert!((numeric - dx.as_slice()[probe]).abs() < 1e-2, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut a = AvgPoolLayer::new(2, 2);
+        let g = Tensor::<f32>::zeros(Shape4::hw(1, 1));
+        assert!(a.backward(&g).is_err());
+        let mut m = MaxPoolLayer::new(2, 2);
+        assert!(m.backward(&g).is_err());
+    }
+
+    #[test]
+    fn out_shape_matches_forward() {
+        let mut l = AvgPoolLayer::new(3, 2);
+        let x = Tensor::<f32>::zeros(Shape4::new(2, 3, 9, 9));
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(l.out_shape(x.shape()).unwrap(), y.shape());
+        assert_eq!(y.shape(), Shape4::new(2, 3, 4, 4));
+    }
+}

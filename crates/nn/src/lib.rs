@@ -1,0 +1,41 @@
+//! # mlcnn-nn
+//!
+//! A minimal-but-complete trainable CNN framework, built from scratch on
+//! `mlcnn-tensor`, plus the model zoo the MLCNN paper evaluates.
+//!
+//! Two representations of a network live here, serving the paper's two
+//! kinds of experiments:
+//!
+//! 1. **Trainable networks** ([`network::Network`], [`layer::Layer`]) —
+//!    real forward/backward/SGD training used for the accuracy experiments
+//!    (paper Figs. 3, 4, 12): does reordering ReLU and average pooling
+//!    change what a model learns? Composite layers ([`composite`])
+//!    provide inception-style parallel branches and DenseNet-style
+//!    concatenation without a general graph executor.
+//! 2. **Exact layer geometries** ([`zoo::ModelDesc`]) — the published
+//!    LeNet-5 / VGG-16 / VGG-19 / GoogLeNet / DenseNet shapes, driving the
+//!    op-count and accelerator experiments (Table I, Figs. 13–15) where
+//!    only geometry matters.
+//!
+//! The layer pipeline is described by data ([`spec::LayerSpec`]) and built
+//! into layers, so the MLCNN reordering pass in `mlcnn-core` is a pure
+//! spec-to-spec transformation that can be inspected and tested.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adam;
+pub mod composite;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod serialize;
+pub mod sgd;
+pub mod spec;
+pub mod train;
+pub mod zoo;
+
+pub use layer::Layer;
+pub use network::Network;
+pub use spec::LayerSpec;

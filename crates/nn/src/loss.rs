@@ -1,0 +1,185 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use mlcnn_tensor::activation::softmax_rows;
+use mlcnn_tensor::{Result, Tensor, TensorError};
+
+/// Loss value and the gradient w.r.t. the logits.
+pub struct LossOut {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits (`(softmax − onehot)/B`).
+    pub grad: Tensor<f32>,
+}
+
+/// Softmax cross-entropy over `B×1×1×C` logits.
+pub fn softmax_cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> Result<LossOut> {
+    let s = logits.shape();
+    let classes = s.c * s.h * s.w;
+    if labels.len() != s.n {
+        return Err(TensorError::BadGeometry {
+            reason: format!("{} labels for batch of {}", labels.len(), s.n),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(TensorError::BadGeometry {
+            reason: format!("label {bad} out of range for {classes} classes"),
+        });
+    }
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0_f32;
+    let mut grad = probs.clone();
+    let inv_b = 1.0 / s.n as f32;
+    for (n, &label) in labels.iter().enumerate() {
+        let row = &mut grad.as_mut_slice()[n * classes..(n + 1) * classes];
+        loss -= row[label].max(1e-12).ln();
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    Ok(LossOut {
+        loss: loss * inv_b,
+        grad,
+    })
+}
+
+/// Fraction of items whose true label is among the `k` highest logits.
+pub fn top_k_accuracy(logits: &Tensor<f32>, labels: &[usize], k: usize) -> f32 {
+    let s = logits.shape();
+    let classes = s.c * s.h * s.w;
+    assert_eq!(labels.len(), s.n);
+    assert!(k >= 1 && k <= classes);
+    let mut hits = 0usize;
+    for (n, &label) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[n * classes..(n + 1) * classes];
+        let target = row[label];
+        // count how many classes strictly beat the target score
+        let better = row.iter().filter(|&&v| v > target).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / s.n.max(1) as f32
+}
+
+/// Index of the largest logit per item.
+pub fn argmax_rows(logits: &Tensor<f32>) -> Vec<usize> {
+    let s = logits.shape();
+    let classes = s.c * s.h * s.w;
+    (0..s.n)
+        .map(|n| {
+            let row = &logits.as_slice()[n * classes..(n + 1) * classes];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::Shape4;
+
+    #[test]
+    fn loss_is_low_for_confident_correct_prediction() {
+        let logits =
+            Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![10.0, -10.0, -10.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+        let wrong = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(wrong.loss > 5.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::<f32>::zeros(Shape4::new(2, 1, 1, 10));
+        let out = softmax_cross_entropy(&logits, &[3, 7]).unwrap();
+        assert!((out.loss - (10.0_f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_item() {
+        let logits =
+            Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![0.5, -1.0, 2.0, 0.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[2]).unwrap();
+        let sum: f32 = out.grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+        // gradient is negative only at the true label
+        assert!(out.grad.as_slice()[2] < 0.0);
+        for i in [0usize, 1, 3] {
+            assert!(out.grad.as_slice()[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let base = vec![0.3, -0.7, 1.1, 0.2];
+        let labels = [2usize];
+        let eps = 1e-3_f32;
+        let logits = Tensor::from_vec(Shape4::new(1, 1, 1, 4), base.clone()).unwrap();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        for probe in 0..4 {
+            let mut up = base.clone();
+            up[probe] += eps;
+            let lu = softmax_cross_entropy(
+                &Tensor::from_vec(Shape4::new(1, 1, 1, 4), up).unwrap(),
+                &labels,
+            )
+            .unwrap()
+            .loss;
+            let mut dn = base.clone();
+            dn[probe] -= eps;
+            let ld = softmax_cross_entropy(
+                &Tensor::from_vec(Shape4::new(1, 1, 1, 4), dn).unwrap(),
+                &labels,
+            )
+            .unwrap()
+            .loss;
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - out.grad.as_slice()[probe]).abs() < 1e-3,
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_counts() {
+        let logits = Tensor::<f32>::zeros(Shape4::new(2, 1, 1, 3));
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn top_k_accuracy_ordering() {
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 4),
+            vec![
+                0.1, 0.9, 0.5, 0.2, // item 0: ranking 1,2,3,0
+                1.0, 0.0, -1.0, 0.5, // item 1: ranking 0,3,1,2
+            ],
+        )
+        .unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 1), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 3], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 3], 2), 1.0);
+        // item 0's label 0 ranks 4th, item 1's label 2 ranks 4th: both miss
+        assert_eq!(top_k_accuracy(&logits, &[0, 2], 3), 0.0);
+        // label 3 ranks 3rd for item 0, label 1 ranks 3rd for item 1
+        assert_eq!(top_k_accuracy(&logits, &[3, 1], 3), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[0, 2], 4), 1.0);
+    }
+
+    #[test]
+    fn argmax_rows_matches_top1() {
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 3),
+            vec![0.1, 0.9, 0.5, -1.0, -2.0, -0.5],
+        )
+        .unwrap();
+        assert_eq!(argmax_rows(&logits), vec![1, 2]);
+    }
+}

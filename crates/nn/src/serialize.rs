@@ -1,0 +1,193 @@
+//! Binary serialization of trained parameters.
+//!
+//! A small, versioned, endian-stable format so trained models survive a
+//! process restart (the accuracy experiments train once and re-evaluate
+//! under several precisions):
+//!
+//! ```text
+//! magic "MLCN"  | u16 version | u32 tensor count
+//! per tensor:   u32 n, c, h, w | f32 LE data (n*c*h*w values)
+//! ```
+//!
+//! The format stores *parameters only* — architecture comes from the
+//! [`crate::spec::LayerSpec`] list, which is `serde`-serializable
+//! separately. Loading validates shapes against the target network.
+
+use crate::network::Network;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mlcnn_tensor::{Shape4, Tensor, TensorError};
+
+const MAGIC: &[u8; 4] = b"MLCN";
+const VERSION: u16 = 1;
+
+/// Serialize a network's parameters (in `params()` order).
+pub fn save_params(net: &mut Network) -> Bytes {
+    let params = net.export_params();
+    let mut buf = BytesMut::with_capacity(
+        12 + params.iter().map(|t| 16 + 4 * t.len()).sum::<usize>(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(params.len() as u32);
+    for t in &params {
+        let s = t.shape();
+        buf.put_u32(s.n as u32);
+        buf.put_u32(s.c as u32);
+        buf.put_u32(s.h as u32);
+        buf.put_u32(s.w as u32);
+        for &v in t.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize parameters into a freshly built network of the same
+/// architecture. Fails on magic/version mismatch, truncation, or any
+/// shape disagreement.
+pub fn load_params(net: &mut Network, data: &[u8]) -> Result<(), TensorError> {
+    let mut buf = data;
+    let fail = |reason: String| TensorError::BadGeometry { reason };
+    if buf.remaining() < 10 {
+        return Err(fail("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(fail(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(fail(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32() as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for i in 0..count {
+        if buf.remaining() < 16 {
+            return Err(fail(format!("truncated shape header for tensor {i}")));
+        }
+        let shape = Shape4::new(
+            buf.get_u32() as usize,
+            buf.get_u32() as usize,
+            buf.get_u32() as usize,
+            buf.get_u32() as usize,
+        );
+        let len = shape.len();
+        if buf.remaining() < 4 * len {
+            return Err(fail(format!("truncated data for tensor {i} ({shape})")));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        tensors.push(Tensor::from_vec(shape, data)?);
+    }
+    if buf.has_remaining() {
+        return Err(fail(format!("{} trailing bytes", buf.remaining())));
+    }
+    // validate against the target before mutating anything
+    {
+        let refs = net.params();
+        if refs.len() != tensors.len() {
+            return Err(fail(format!(
+                "network has {} parameter tensors, file has {}",
+                refs.len(),
+                tensors.len()
+            )));
+        }
+        for (i, (r, t)) in refs.iter().zip(&tensors).enumerate() {
+            if r.value.shape() != t.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: r.value.shape(),
+                    right: t.shape(),
+                    op: if i % 2 == 0 { "load weights" } else { "load bias" },
+                });
+            }
+        }
+    }
+    net.import_params(&tensors);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_network, LayerSpec};
+    use crate::zoo;
+    use mlcnn_tensor::init;
+
+    fn lenet() -> Network {
+        build_network(&zoo::lenet5_spec(10), Shape4::new(1, 3, 32, 32), 7).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_restores_the_exact_function() {
+        let mut a = lenet();
+        let blob = save_params(&mut a);
+        let mut b = build_network(&zoo::lenet5_spec(10), Shape4::new(1, 3, 32, 32), 999).unwrap();
+        load_params(&mut b, &blob).unwrap();
+        let x = init::uniform(Shape4::new(2, 3, 32, 32), -1.0, 1.0, &mut init::rng(1));
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn format_size_is_as_specified() {
+        let mut net = lenet();
+        let blob = save_params(&mut net);
+        let expected: usize = 10 + net
+            .export_params()
+            .iter()
+            .map(|t| 16 + 4 * t.len())
+            .sum::<usize>();
+        assert_eq!(blob.len(), expected);
+        assert_eq!(&blob[0..4], b"MLCN");
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut net = lenet();
+        let blob = save_params(&mut net);
+        // bad magic
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert!(load_params(&mut net, &bad).is_err());
+        // truncation
+        assert!(load_params(&mut net, &blob[..blob.len() - 5]).is_err());
+        // trailing garbage
+        let mut long = blob.to_vec();
+        long.push(0);
+        assert!(load_params(&mut net, &long).is_err());
+        // wrong version
+        let mut vbad = blob.to_vec();
+        vbad[5] = 9;
+        assert!(load_params(&mut net, &vbad).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = lenet();
+        let blob = save_params(&mut a);
+        let mut other = build_network(
+            &[LayerSpec::conv3(4), LayerSpec::Flatten, LayerSpec::Linear { out: 10 }],
+            Shape4::new(1, 3, 32, 32),
+            1,
+        )
+        .unwrap();
+        assert!(load_params(&mut other, &blob).is_err());
+        // ...and the failed load must not have clobbered `other`
+        let x = init::uniform(Shape4::new(1, 3, 32, 32), -1.0, 1.0, &mut init::rng(2));
+        assert!(other.forward(&x).is_ok());
+    }
+
+    #[test]
+    fn composite_networks_serialize_too() {
+        let specs = zoo::googlenet_mini_spec(2, 10);
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut a = build_network(&specs, input, 3).unwrap();
+        let blob = save_params(&mut a);
+        let mut b = build_network(&specs, input, 555).unwrap();
+        load_params(&mut b, &blob).unwrap();
+        let x = init::uniform(input, -1.0, 1.0, &mut init::rng(4));
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+}

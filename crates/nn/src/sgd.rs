@@ -1,0 +1,127 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use crate::layer::ParamRef;
+use mlcnn_tensor::Tensor;
+
+/// SGD optimizer state.
+///
+/// Velocity buffers are keyed by parameter order, which is stable for a
+/// fixed network; `step` must always be called with the same parameter
+/// list layout.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    velocity: Vec<Tensor<f32>>,
+}
+
+impl Sgd {
+    /// Create an optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Apply one update step to the given parameters, consuming their
+    /// accumulated gradients (gradients are left untouched; call
+    /// `zero_grad` afterwards).
+    pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            debug_assert_eq!(v.shape(), p.value.shape(), "parameter layout changed");
+            let lr = self.lr;
+            let mu = self.momentum;
+            let wd = self.weight_decay;
+            let val = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let vel = v.as_mut_slice();
+            for i in 0..val.len() {
+                let g = grad[i] + wd * val[i];
+                vel[i] = mu * vel[i] + g;
+                val[i] -= lr * vel[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::Shape4;
+
+    fn param_pair() -> (Tensor<f32>, Tensor<f32>) {
+        (
+            Tensor::full(Shape4::hw(1, 2), 1.0f32),
+            Tensor::full(Shape4::hw(1, 2), 0.5f32),
+        )
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let (mut v, mut g) = param_pair();
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.step(&mut [ParamRef {
+            value: &mut v,
+            grad: &mut g,
+        }]);
+        assert_eq!(v.as_slice(), &[0.95, 0.95]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let (mut v, mut g) = param_pair();
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.step(&mut [ParamRef {
+            value: &mut v,
+            grad: &mut g,
+        }]);
+        // v1 = 0.5 ; x = 1 - 0.05 = 0.95
+        assert!((v.as_slice()[0] - 0.95).abs() < 1e-6);
+        opt.step(&mut [ParamRef {
+            value: &mut v,
+            grad: &mut g,
+        }]);
+        // v2 = 0.9*0.5 + 0.5 = 0.95 ; x = 0.95 - 0.095 = 0.855
+        assert!((v.as_slice()[0] - 0.855).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut v = Tensor::full(Shape4::hw(1, 1), 2.0f32);
+        let mut g = Tensor::zeros(Shape4::hw(1, 1));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        opt.step(&mut [ParamRef {
+            value: &mut v,
+            grad: &mut g,
+        }]);
+        // g_eff = 0 + 0.5*2 = 1 ; x = 2 - 0.1 = 1.9
+        assert!((v.as_slice()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_on_a_quadratic() {
+        // minimize (x-3)^2: grad = 2(x-3)
+        let mut x = Tensor::full(Shape4::hw(1, 1), 0.0f32);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        for _ in 0..400 {
+            let mut g = x.map(|v| 2.0 * (v - 3.0));
+            opt.step(&mut [ParamRef {
+                value: &mut x,
+                grad: &mut g,
+            }]);
+        }
+        assert!((x.as_slice()[0] - 3.0).abs() < 1e-3, "{}", x.as_slice()[0]);
+    }
+}

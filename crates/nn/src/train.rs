@@ -1,0 +1,215 @@
+//! Training loop and evaluation harness used by the accuracy experiments
+//! (paper Figs. 3, 4, 12).
+
+use crate::loss::{softmax_cross_entropy, top_k_accuracy};
+use crate::network::Network;
+use crate::sgd::Sgd;
+use mlcnn_data::Dataset;
+use mlcnn_tensor::Result;
+
+/// Hyperparameters for [`fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Shuffle seed (re-derived per epoch).
+    pub seed: u64,
+    /// Multiply the learning rate by this factor every
+    /// `lr_decay_every` epochs (1.0 disables).
+    pub lr_decay: f32,
+    /// Epoch interval for the step decay.
+    pub lr_decay_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+            lr_decay: 1.0,
+            lr_decay_every: 1,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Training top-1 accuracy over the epoch.
+    pub train_acc: f32,
+}
+
+/// Train `net` on `data` in place; returns per-epoch stats.
+pub fn fit(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Result<Vec<EpochStats>> {
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut data = data.clone();
+    for epoch in 0..cfg.epochs {
+        if cfg.lr_decay != 1.0 && epoch > 0 && epoch % cfg.lr_decay_every.max(1) == 0 {
+            opt.lr *= cfg.lr_decay;
+        }
+        data.shuffle(cfg.seed.wrapping_add(epoch as u64));
+        let mut loss_sum = 0.0;
+        let mut hit_sum = 0.0;
+        let mut batches = 0usize;
+        for batch in data.batches(cfg.batch_size) {
+            net.zero_grad();
+            let logits = net.forward_mode(&batch.images, true)?;
+            let out = softmax_cross_entropy(&logits, &batch.labels)?;
+            net.backward(&out.grad)?;
+            let mut params = net.params();
+            opt.step(&mut params);
+            loss_sum += out.loss;
+            hit_sum += top_k_accuracy(&logits, &batch.labels, 1) * batch.len() as f32;
+            batches += 1;
+        }
+        history.push(EpochStats {
+            epoch,
+            loss: loss_sum / batches.max(1) as f32,
+            train_acc: hit_sum / data.len().max(1) as f32,
+        });
+    }
+    Ok(history)
+}
+
+/// Evaluation result: accuracy at each requested `k`.
+#[derive(Debug, Clone)]
+pub struct EvalStats {
+    /// `(k, accuracy)` pairs in request order.
+    pub top_k: Vec<(usize, f32)>,
+}
+
+impl EvalStats {
+    /// Accuracy at a given `k`, if it was requested.
+    pub fn at(&self, k: usize) -> Option<f32> {
+        self.top_k.iter().find(|(kk, _)| *kk == k).map(|(_, a)| *a)
+    }
+}
+
+/// Evaluate top-k accuracies on a dataset.
+pub fn evaluate(net: &mut Network, data: &Dataset, ks: &[usize], batch_size: usize) -> Result<EvalStats> {
+    let classes = data.num_classes();
+    let mut hits = vec![0.0f32; ks.len()];
+    let mut total = 0usize;
+    for batch in data.batches(batch_size) {
+        let logits = net.forward(&batch.images)?;
+        for (i, &k) in ks.iter().enumerate() {
+            let k = k.min(classes);
+            hits[i] += top_k_accuracy(&logits, &batch.labels, k) * batch.len() as f32;
+        }
+        total += batch.len();
+    }
+    Ok(EvalStats {
+        top_k: ks
+            .iter()
+            .zip(hits)
+            .map(|(&k, h)| (k, h / total.max(1) as f32))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_network, LayerSpec};
+    use mlcnn_data::blobs::{generate, BlobsConfig};
+    use mlcnn_tensor::Shape4;
+
+    fn blob_net(classes: usize) -> Network {
+        build_network(
+            &[
+                LayerSpec::Conv {
+                    out_ch: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                LayerSpec::ReLU,
+                LayerSpec::AvgPool {
+                    window: 2,
+                    stride: 2,
+                },
+                LayerSpec::Flatten,
+                LayerSpec::Linear { out: classes },
+            ],
+            Shape4::new(1, 1, 8, 8),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_blobs() {
+        let data = generate(BlobsConfig {
+            classes: 4,
+            per_class: 24,
+            noise: 0.2,
+            ..Default::default()
+        });
+        let (train, test) = data.split(0.75);
+        let mut net = blob_net(4);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let history = fit(&mut net, &train, &cfg).unwrap();
+        assert!(
+            history.last().unwrap().loss < history.first().unwrap().loss,
+            "loss did not decrease: {history:?}"
+        );
+        let stats = evaluate(&mut net, &test, &[1, 2], 8).unwrap();
+        let top1 = stats.at(1).unwrap();
+        assert!(top1 > 0.7, "top-1 {top1} too low; history {history:?}");
+        assert!(stats.at(2).unwrap() >= top1, "top-2 must dominate top-1");
+    }
+
+    #[test]
+    fn evaluate_clamps_k_to_class_count() {
+        let data = generate(BlobsConfig {
+            classes: 3,
+            per_class: 4,
+            ..Default::default()
+        });
+        let mut net = blob_net(3);
+        let stats = evaluate(&mut net, &data, &[5], 4).unwrap();
+        // k clamped to 3 = always a hit
+        assert_eq!(stats.top_k[0].1, 1.0);
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seeds() {
+        let data = generate(BlobsConfig {
+            classes: 2,
+            per_class: 8,
+            ..Default::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut a = blob_net(2);
+        let mut b = blob_net(2);
+        let ha = fit(&mut a, &data, &cfg).unwrap();
+        let hb = fit(&mut b, &data, &cfg).unwrap();
+        assert_eq!(ha.last().unwrap().loss, hb.last().unwrap().loss);
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration: the modern-layer extensions (batch norm, dropout,
+//! residual blocks, Adam, LR decay) train real networks end to end.
+
+use mlcnn_data::blobs::{generate, BlobsConfig};
+use mlcnn_nn::adam::Adam;
+use mlcnn_nn::loss::softmax_cross_entropy;
+use mlcnn_nn::spec::{build_network, LayerSpec};
+use mlcnn_nn::train::{evaluate, fit, TrainConfig};
+use mlcnn_nn::zoo;
+use mlcnn_tensor::Shape4;
+
+fn blob_data(classes: usize) -> (mlcnn_data::Dataset, mlcnn_data::Dataset) {
+    generate(BlobsConfig {
+        classes,
+        per_class: 24,
+        channels: 1,
+        side: 8,
+        noise: 0.25,
+        seed: 5,
+    })
+    .split(0.75)
+}
+
+#[test]
+fn batchnorm_network_trains() {
+    let (train, test) = blob_data(4);
+    let specs = vec![
+        LayerSpec::conv3(6),
+        LayerSpec::BatchNorm,
+        LayerSpec::ReLU,
+        LayerSpec::AvgPool {
+            window: 2,
+            stride: 2,
+        },
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 4 },
+    ];
+    let mut net = build_network(&specs, Shape4::new(1, 1, 8, 8), 1).unwrap();
+    let history = fit(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+    let acc = evaluate(&mut net, &test, &[1], 8).unwrap().at(1).unwrap();
+    assert!(acc > 0.6, "batchnorm net accuracy {acc}");
+}
+
+#[test]
+fn dropout_network_trains_and_infers_deterministically() {
+    let (train, test) = blob_data(3);
+    let specs = vec![
+        LayerSpec::conv3(4),
+        LayerSpec::ReLU,
+        LayerSpec::Dropout { percent: 30 },
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 3 },
+    ];
+    let mut net = build_network(&specs, Shape4::new(1, 1, 8, 8), 2).unwrap();
+    fit(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // inference is deterministic (dropout disabled)
+    let batch = test.batches(4).next().unwrap();
+    let a = net.forward(&batch.images).unwrap();
+    let b = net.forward(&batch.images).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn resnet_mini_learns_with_lr_decay() {
+    let (train, test) = blob_data(4);
+    // resnet_mini expects 3-channel 32x32; build a small residual net for
+    // the blob geometry instead
+    let specs = vec![
+        LayerSpec::conv3(6),
+        LayerSpec::ReLU,
+        LayerSpec::Residual {
+            inner: vec![
+                LayerSpec::conv3(6),
+                LayerSpec::BatchNorm,
+                LayerSpec::ReLU,
+                LayerSpec::conv3(6),
+            ],
+            projector: vec![],
+        },
+        LayerSpec::ReLU,
+        LayerSpec::GlobalAvgPool,
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 4 },
+    ];
+    let mut net = build_network(&specs, Shape4::new(1, 1, 8, 8), 3).unwrap();
+    let history = fit(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            lr: 0.05,
+            lr_decay: 0.5,
+            lr_decay_every: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        history.last().unwrap().loss < history.first().unwrap().loss,
+        "{history:?}"
+    );
+    let acc = evaluate(&mut net, &test, &[1], 8).unwrap().at(1).unwrap();
+    assert!(acc > 0.5, "residual net accuracy {acc}");
+}
+
+#[test]
+fn adam_trains_a_network_too() {
+    let (train, test) = blob_data(3);
+    let specs = vec![
+        LayerSpec::conv3(4),
+        LayerSpec::ReLU,
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 3 },
+    ];
+    let mut net = build_network(&specs, Shape4::new(1, 1, 8, 8), 4).unwrap();
+    let mut opt = Adam::new(0.01, 1e-4);
+    let mut first_loss = None;
+    let mut last_loss = 0.0;
+    for _ in 0..8 {
+        for batch in train.batches(8) {
+            net.zero_grad();
+            let logits = net.forward_mode(&batch.images, true).unwrap();
+            let out = softmax_cross_entropy(&logits, &batch.labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            let mut params = net.params();
+            opt.step(&mut params);
+            first_loss.get_or_insert(out.loss);
+            last_loss = out.loss;
+        }
+    }
+    assert!(last_loss < first_loss.unwrap());
+    let acc = evaluate(&mut net, &test, &[1], 8).unwrap().at(1).unwrap();
+    assert!(acc > 0.6, "adam-trained accuracy {acc}");
+}
+
+#[test]
+fn full_resnet_mini_spec_runs_one_epoch_on_images() {
+    use mlcnn_data::shapes::{generate as gen_shapes, ShapesConfig};
+    let data = gen_shapes(ShapesConfig::cifar10_like(2, 9));
+    let specs = zoo::resnet_mini_spec(2, 10);
+    let mut net = build_network(&specs, Shape4::new(1, 3, 32, 32), 5).unwrap();
+    let history = fit(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.02,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(history[0].loss.is_finite());
+}

@@ -1,0 +1,251 @@
+//! DoReFa-style k-bit quantizers (paper Eqs. 8–9).
+//!
+//! * Activations (post-ReLU, bounded to `[0, 1]`):
+//!   `r_o = quantize_k(r_i) = round((2^k − 1) · r_i) / (2^k − 1)` (Eq. 8).
+//! * Weights (signed):
+//!   `r_o = 2 · quantize_k( tanh(r_i) / (2·max|tanh(r)|) + 1/2 ) − 1`
+//!   (Eq. 9), where the max runs over all weights of the layer.
+//!
+//! These are *fake-quantizers*: they return `f32` tensors whose values lie
+//! exactly on the k-bit grid, which is how DoReFa trains (straight-through
+//! estimator) and how the accuracy experiment of Fig. 12 evaluates INT8
+//! MLCNN. The INT8 *datapath* representation of those grid values is
+//! `mlcnn_quant::Fx8`.
+
+use mlcnn_tensor::Tensor;
+
+/// Uniform k-bit quantizer on `[0, 1]` (Eq. 8). Inputs are clamped to the
+/// domain first, matching the "bounded activation" assumption.
+pub fn quantize_unit(r: f32, k: u32) -> f32 {
+    assert!((1..=16).contains(&k), "k must be in 1..=16");
+    let levels = ((1u32 << k) - 1) as f32;
+    let r = r.clamp(0.0, 1.0);
+    (levels * r).round() / levels
+}
+
+/// Eq. 8 applied elementwise to a tensor of post-ReLU activations.
+pub fn quantize_activations(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
+    t.map(|v| quantize_unit(v, k))
+}
+
+/// Eq. 9 applied to a layer's weight tensor: tanh-rescale into `[0, 1]`,
+/// quantize, then affine back to `[-1, 1]`.
+///
+/// Returns the quantized weights together with the `max|tanh(w)|`
+/// normalizer (needed to de-scale if the caller wants the original range).
+pub fn quantize_weights(t: &Tensor<f32>, k: u32) -> (Tensor<f32>, f32) {
+    let max_tanh = t
+        .as_slice()
+        .iter()
+        .map(|v| v.tanh().abs())
+        .fold(0.0_f32, f32::max);
+    if max_tanh == 0.0 {
+        // all-zero layer quantizes to all zeros
+        return (t.clone(), 0.0);
+    }
+    let q = t.map(|v| {
+        let unit = v.tanh() / (2.0 * max_tanh) + 0.5;
+        2.0 * quantize_unit(unit, k) - 1.0
+    });
+    (q, max_tanh)
+}
+
+/// Eq. 9-style signed quantizer for *inputs that are not preceded by
+/// ReLU* (the paper's input-layer case): values are tanh-squashed into
+/// `[-1, 1]` and quantized on the signed grid.
+pub fn quantize_signed(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
+    quantize_weights(t, k).0
+}
+
+/// Symmetric k-bit quantizer on `[-1, 1]`: `round(clamp(r)·L)/L` with
+/// `L = 2^(k−1) − 1`. The post-training counterpart of Eq. 8: same grid
+/// resolution, no training-time rescaling assumptions.
+pub fn quantize_symmetric_unit(r: f32, k: u32) -> f32 {
+    assert!((2..=16).contains(&k), "k must be in 2..=16");
+    let levels = ((1u32 << (k - 1)) - 1) as f32;
+    let r = r.clamp(-1.0, 1.0);
+    (levels * r).round() / levels
+}
+
+/// Post-training weight quantization: snap to the symmetric k-bit grid
+/// scaled by the layer's max absolute weight, *preserving the layer's
+/// gain*. This is what evaluating an FP32-trained network at INT8
+/// requires; Eq. 9's tanh transform is the quantization-aware-training
+/// operator the paper trains with (see [`quantize_weights`]).
+pub fn quantize_weights_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
+    let max = t
+        .as_slice()
+        .iter()
+        .fold(0.0_f32, |m, v| m.max(v.abs()));
+    if max == 0.0 {
+        return t.clone();
+    }
+    t.map(|v| max * quantize_symmetric_unit(v / max, k))
+}
+
+/// Post-training activation quantization with dynamic range scaling: the
+/// tensor's max magnitude sets the grid scale (standard dynamic PTQ).
+pub fn quantize_activations_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
+    let max = t
+        .as_slice()
+        .iter()
+        .fold(0.0_f32, |m, v| m.max(v.abs()));
+    if max == 0.0 {
+        return t.clone();
+    }
+    t.map(|v| max * quantize_symmetric_unit(v / max, k))
+}
+
+/// Worst-case and RMS quantization error of `q` against reference `r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantError {
+    /// Largest absolute deviation.
+    pub max_abs: f32,
+    /// Root-mean-square deviation.
+    pub rms: f32,
+}
+
+/// Measure elementwise quantization error.
+pub fn quant_error(reference: &Tensor<f32>, quantized: &Tensor<f32>) -> QuantError {
+    assert_eq!(reference.shape(), quantized.shape());
+    let mut max_abs = 0.0_f32;
+    let mut sq = 0.0_f64;
+    for (&a, &b) in reference.as_slice().iter().zip(quantized.as_slice()) {
+        let d = (a - b).abs();
+        max_abs = max_abs.max(d);
+        sq += (d as f64) * (d as f64);
+    }
+    QuantError {
+        max_abs,
+        rms: (sq / reference.len().max(1) as f64).sqrt() as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::{init, Shape4};
+
+    #[test]
+    fn quantize_unit_endpoints_are_fixed() {
+        for k in [1, 2, 4, 8] {
+            assert_eq!(quantize_unit(0.0, k), 0.0);
+            assert_eq!(quantize_unit(1.0, k), 1.0);
+        }
+    }
+
+    #[test]
+    fn quantize_unit_1bit_is_threshold() {
+        assert_eq!(quantize_unit(0.49, 1), 0.0);
+        assert_eq!(quantize_unit(0.51, 1), 1.0);
+    }
+
+    #[test]
+    fn quantize_unit_grid_spacing() {
+        // k=2 -> levels {0, 1/3, 2/3, 1}
+        assert_eq!(quantize_unit(0.30, 2), 1.0 / 3.0);
+        assert_eq!(quantize_unit(0.55, 2), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn quantize_unit_clamps_domain() {
+        assert_eq!(quantize_unit(-5.0, 4), 0.0);
+        assert_eq!(quantize_unit(7.0, 4), 1.0);
+    }
+
+    #[test]
+    fn quantize_unit_is_idempotent() {
+        let mut rng = init::rng(3);
+        let t = init::uniform(Shape4::hw(8, 8), 0.0, 1.0, &mut rng);
+        let q1 = quantize_activations(&t, 8);
+        let q2 = quantize_activations(&q1, 8);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn activation_error_bounded_by_half_step() {
+        let mut rng = init::rng(4);
+        let t = init::uniform(Shape4::hw(16, 16), 0.0, 1.0, &mut rng);
+        for k in [2u32, 4, 8] {
+            let q = quantize_activations(&t, k);
+            let err = quant_error(&t, &q);
+            let half_step = 0.5 / ((1u32 << k) - 1) as f32;
+            assert!(
+                err.max_abs <= half_step + 1e-6,
+                "k={k}: {} > {half_step}",
+                err.max_abs
+            );
+        }
+    }
+
+    #[test]
+    fn weight_quantization_stays_in_unit_ball() {
+        let mut rng = init::rng(5);
+        let t = init::normal(Shape4::new(4, 4, 3, 3), 2.0, &mut rng);
+        let (q, m) = quantize_weights(&t, 8);
+        assert!(m > 0.0);
+        assert!(q.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn weight_quantization_preserves_sign_and_order() {
+        let t = Tensor::plane(1, 5, vec![-2.0, -0.5, 0.0, 0.5, 2.0]).unwrap();
+        let (q, _) = quantize_weights(&t, 8);
+        let s = q.as_slice();
+        assert!(s[0] < s[1] && s[1] < s[2] && s[2] < s[3] && s[3] < s[4]);
+        assert!(s[0] < 0.0 && s[4] > 0.0);
+        assert!(s[2].abs() < 1e-2, "zero maps near zero, got {}", s[2]);
+    }
+
+    #[test]
+    fn weight_quantization_hits_extremes() {
+        // the largest-magnitude weight maps to ±1 exactly
+        let t = Tensor::plane(1, 3, vec![-3.0, 0.1, 3.0]).unwrap();
+        let (q, _) = quantize_weights(&t, 8);
+        assert_eq!(q.as_slice()[0], -1.0);
+        assert_eq!(q.as_slice()[2], 1.0);
+    }
+
+    #[test]
+    fn all_zero_weights_stay_zero() {
+        let t = Tensor::<f32>::zeros(Shape4::new(2, 2, 3, 3));
+        let (q, m) = quantize_weights(&t, 8);
+        assert_eq!(m, 0.0);
+        assert!(q.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = init::rng(6);
+        let t = init::normal(Shape4::new(8, 8, 3, 3), 0.5, &mut rng);
+        let errs: Vec<f32> = [2u32, 4, 8]
+            .iter()
+            .map(|&k| {
+                let (q, _) = quantize_weights(&t, k);
+                quant_error(&t, &q).rms
+            })
+            .collect();
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "{errs:?}");
+    }
+
+    #[test]
+    fn signed_quantizer_is_odd_on_symmetric_input() {
+        let t = Tensor::plane(1, 4, vec![-1.0, -0.25, 0.25, 1.0]).unwrap();
+        let q = quantize_signed(&t, 8);
+        let s = q.as_slice();
+        assert!((s[0] + s[3]).abs() < 2e-2, "{s:?}");
+        assert!((s[1] + s[2]).abs() < 2e-2, "{s:?}");
+    }
+
+    #[test]
+    fn eight_bit_grid_values_fit_q6_datapath() {
+        // every Eq.8 8-bit activation level must be representable in the
+        // Fx8<6> operand format within half an LSB (they are ≤ 1.0).
+        use crate::fixed::Q6;
+        for i in 0..=255u32 {
+            let v = i as f32 / 255.0;
+            let fx = Q6::saturating_from_f32(v);
+            assert!((fx.to_f32_exact() - v).abs() <= 0.5 / 64.0 + 1e-6);
+        }
+    }
+}

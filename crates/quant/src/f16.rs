@@ -1,0 +1,369 @@
+//! Software IEEE 754 binary16.
+//!
+//! The accelerator's FP16 mode (Table VII) halves operand width to double
+//! the MAC-slice count under the fixed area budget. To evaluate its
+//! *numerics* we need a faithful binary16: conversions implement
+//! round-to-nearest-even including the subnormal range, and every
+//! arithmetic operation computes in `f32` then rounds back through
+//! binary16 — the result a correctly-rounded FP16 FPU produces for a
+//! single operation.
+
+use mlcnn_tensor::Scalar;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// IEEE 754 binary16 value stored as its bit pattern.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+pub struct F16(u16);
+
+const EXP_MASK: u16 = 0x7c00;
+const MAN_MASK: u16 = 0x03ff;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Machine epsilon (2⁻¹⁰).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Construct from raw bits.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32_rne(v: f32) -> Self {
+        let x = v.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp32 = ((x >> 23) & 0xff) as i32;
+        let man32 = x & 0x007f_ffff;
+
+        if exp32 == 0xff {
+            // Inf / NaN: preserve NaN-ness with a quiet payload.
+            return if man32 != 0 {
+                F16(sign | EXP_MASK | 0x0200 | ((man32 >> 13) as u16 & MAN_MASK))
+            } else {
+                F16(sign | EXP_MASK)
+            };
+        }
+
+        let exp = exp32 - 127 + 15;
+        if exp >= 0x1f {
+            // overflow -> infinity
+            return F16(sign | EXP_MASK);
+        }
+        if exp <= 0 {
+            // subnormal (or underflow to zero)
+            if exp < -10 {
+                return F16(sign);
+            }
+            let man = man32 | 0x0080_0000; // implicit leading 1
+            let shift = (14 - exp) as u32;
+            let t = man >> shift;
+            let rem = man & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let t = if rem > half || (rem == half && t & 1 == 1) {
+                t + 1
+            } else {
+                t
+            };
+            // t may carry into the normal range (0x400): that bit pattern is
+            // exactly the smallest normal, so plain OR is correct.
+            return F16(sign | t as u16);
+        }
+
+        // normal range: round 23-bit mantissa to 10 bits
+        let mut t = man32 >> 13;
+        let rem = man32 & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && t & 1 == 1) {
+            t += 1;
+        }
+        let mut e = exp as u32;
+        if t == 0x400 {
+            t = 0;
+            e += 1;
+            if e >= 0x1f {
+                return F16(sign | EXP_MASK);
+            }
+        }
+        F16(sign | (e << 10) as u16 | t as u16)
+    }
+
+    /// Convert to `f32` (exact: every binary16 value is representable).
+    pub fn to_f32_exact(self) -> f32 {
+        let h = self.0;
+        let sign = ((h & SIGN_MASK) as u32) << 16;
+        let exp = ((h & EXP_MASK) >> 10) as u32;
+        let man = (h & MAN_MASK) as u32;
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // ±0
+            } else {
+                // subnormal: normalize into the f32 format
+                let mut e: u32 = 113; // 127 - 15 + 1
+                let mut m = man;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= MAN_MASK as u32;
+                sign | (e << 23) | (m << 13)
+            }
+        } else if exp == 0x1f {
+            sign | 0x7f80_0000 | (man << 13) // inf / nan
+        } else {
+            sign | ((exp + 112) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// True for finite values.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32_exact())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32_exact())
+    }
+}
+
+impl PartialEq for F16 {
+    fn eq(&self, other: &Self) -> bool {
+        // IEEE semantics: NaN != NaN, +0 == -0.
+        self.to_f32_exact() == other.to_f32_exact()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32_exact().partial_cmp(&other.to_f32_exact())
+    }
+}
+
+impl Default for F16 {
+    fn default() -> Self {
+        F16::ZERO
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32_rne(self.to_f32_exact() $op rhs.to_f32_exact())
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, +);
+f16_binop!(Sub, sub, -);
+f16_binop!(Mul, mul, *);
+f16_binop!(Div, div, /);
+
+impl AddAssign for F16 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl Scalar for F16 {
+    fn zero() -> Self {
+        F16::ZERO
+    }
+    fn one() -> Self {
+        F16::ONE
+    }
+    fn from_f32(v: f32) -> Self {
+        F16::from_f32_rne(v)
+    }
+    fn to_f32(self) -> f32 {
+        self.to_f32_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(v: f32) -> f32 {
+        F16::from_f32_rne(v).to_f32_exact()
+    }
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(rt(v), v, "integer {i} should be exact in binary16");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32_rne(1.0).to_bits(), 0x3c00);
+        assert_eq!(F16::from_f32_rne(-2.0).to_bits(), 0xc000);
+        assert_eq!(F16::from_f32_rne(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32_rne(65504.0).to_bits(), 0x7bff);
+        assert_eq!(F16::from_f32_rne(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32_rne(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32_rne(70000.0).is_infinite());
+        assert!(F16::from_f32_rne(-1e9).is_infinite());
+        // 65520 is the midpoint between MAX (65504) and 2^16; ties-to-even
+        // rounds up and overflows to infinity.
+        assert!(F16::from_f32_rne(65521.0).is_infinite(), "rounds past MAX");
+        assert_eq!(F16::from_f32_rne(65519.0).to_bits(), 0x7bff);
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // smallest positive subnormal = 2^-24
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(F16::from_f32_rne(tiny).to_bits(), 0x0001);
+        assert_eq!(rt(tiny), tiny);
+        // below half the smallest subnormal underflows to zero
+        assert_eq!(F16::from_f32_rne(2.0_f32.powi(-26)).to_bits(), 0);
+        // a mid-range subnormal
+        let v = 2.0_f32.powi(-15);
+        assert_eq!(rt(v), v);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+        // keeps 1.0 (mantissa 0 is even).
+        assert_eq!(rt(1.0 + 2.0_f32.powi(-11)), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+        // picks 1+2^-9 (mantissa 2).
+        assert_eq!(rt(1.0 + 3.0 * 2.0_f32.powi(-11)), 1.0 + 2.0 * 2.0_f32.powi(-10));
+        // just above the tie rounds up
+        assert_eq!(rt(1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20)), 1.0 + 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn nan_propagates_and_compares_false() {
+        let n = F16::from_f32_rne(f32::NAN);
+        assert!(n.is_nan());
+        assert!(n.to_f32_exact().is_nan());
+        assert_ne!(n, n);
+    }
+
+    #[test]
+    fn negzero_equals_zero() {
+        assert_eq!(F16::from_f32_rne(-0.0), F16::ZERO);
+        assert_eq!((-F16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn arithmetic_rounds_through_half_precision() {
+        // 2048 + 1 is not representable (spacing is 2 there): stays 2048.
+        let a = F16::from_f32_rne(2048.0);
+        let b = F16::ONE;
+        assert_eq!((a + b).to_f32_exact(), 2048.0);
+        // but 2048 + 4 is fine
+        let c = F16::from_f32_rne(4.0);
+        assert_eq!((a + c).to_f32_exact(), 2052.0);
+    }
+
+    #[test]
+    fn mul_div_neg() {
+        let a = F16::from_f32_rne(3.5);
+        let b = F16::from_f32_rne(-2.0);
+        assert_eq!((a * b).to_f32_exact(), -7.0);
+        assert_eq!((a / b).to_f32_exact(), -1.75);
+        assert_eq!((-a).to_f32_exact(), -3.5);
+    }
+
+    #[test]
+    fn scalar_trait_relu() {
+        assert_eq!(F16::from_f32(-3.0).relu(), F16::ZERO);
+        assert_eq!(F16::from_f32(3.0).relu(), F16::from_f32(3.0));
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_finite_bit_patterns() {
+        // Every finite f16 -> f32 -> f16 must be the identity on bits
+        // (modulo -0/+0 which differ in bits but we check bits exactly —
+        // the conversion should preserve the sign of zero too).
+        for bits in 0..=0xffffu16 {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32_rne(h.to_f32_exact());
+            assert_eq!(back.to_bits(), bits, "roundtrip failed for bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone_on_a_grid() {
+        let mut prev = f32::NEG_INFINITY;
+        let mut x = -70000.0_f32;
+        while x <= 70000.0 {
+            let y = rt(x);
+            assert!(y >= prev, "non-monotone at {x}: {y} < {prev}");
+            prev = y;
+            x += 13.7;
+        }
+    }
+
+    #[test]
+    fn tensor_kernels_run_at_f16() {
+        use mlcnn_tensor::conv::conv2d_direct;
+        use mlcnn_tensor::{Shape4, Tensor};
+        let input =
+            Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32).cast::<F16>();
+        let weight = Tensor::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![F16::ONE, F16::ONE, F16::ONE, F16::ONE],
+        )
+        .unwrap();
+        let out = conv2d_direct(&input, &weight, None, 1, 0).unwrap();
+        // window sums of 0..15 grid are exact at fp16 (small integers)
+        assert_eq!(out.at(0, 0, 0, 0).to_f32_exact(), 0.0 + 1.0 + 4.0 + 5.0);
+        assert_eq!(out.at(0, 0, 2, 2).to_f32_exact(), 10.0 + 11.0 + 14.0 + 15.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Saturating 8-bit Q-format fixed point — the INT8 operand model.
+//!
+//! The MLCNN accelerator's INT8 mode multiplies 8-bit fixed-point operands
+//! in a Wallace-tree multiplier and accumulates in a wide adder tree.
+//! [`Fx8<FRAC>`] models the *operand*: an `i8` holding `value · 2^FRAC`,
+//! with round-to-nearest conversion and saturating arithmetic. The widening
+//! MAC helpers ([`mac_i32`]) model the *datapath*: products and sums kept
+//! in `i32` exactly, rounded once at writeback, which is how the hardware
+//! avoids accumulation error.
+
+use mlcnn_tensor::Scalar;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Q-format signed 8-bit fixed point with `FRAC` fractional bits.
+///
+/// Range: `[-2^(7-FRAC), 2^(7-FRAC) - 2^-FRAC]`; resolution `2^-FRAC`.
+/// DoReFa-quantized operands live in `[-1, 1]`, so the workspace default is
+/// `FRAC = 6` (range ±2, resolution 1/64), exported as [`Q6`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fx8<const FRAC: u32>(i8);
+
+/// The workspace default format: Q2.6.
+pub type Q6 = Fx8<6>;
+
+impl<const FRAC: u32> Fx8<FRAC> {
+    /// Scale factor `2^FRAC`.
+    pub const SCALE: f32 = (1u32 << FRAC) as f32;
+
+    /// Construct from the raw two's-complement representation.
+    pub const fn from_raw(raw: i8) -> Self {
+        Fx8(raw)
+    }
+
+    /// Raw representation.
+    pub const fn raw(self) -> i8 {
+        self.0
+    }
+
+    /// Largest representable value.
+    pub const fn max_value() -> Self {
+        Fx8(i8::MAX)
+    }
+
+    /// Smallest representable value.
+    pub const fn min_value() -> Self {
+        Fx8(i8::MIN)
+    }
+
+    /// Round-to-nearest, saturating conversion from `f32`.
+    pub fn saturating_from_f32(v: f32) -> Self {
+        let scaled = (v * Self::SCALE).round();
+        Fx8(scaled.clamp(i8::MIN as f32, i8::MAX as f32) as i8)
+    }
+
+    /// Exact conversion to `f32`.
+    pub fn to_f32_exact(self) -> f32 {
+        self.0 as f32 / Self::SCALE
+    }
+
+    /// Widen to the `i32` accumulator domain (`value · 2^FRAC` as i32).
+    pub const fn widen(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Narrow an `i32` accumulator (in `2^(2·FRAC)` scale, i.e. a sum of
+    /// raw products) back to the operand format with round-to-nearest and
+    /// saturation — the writeback step of the INT8 datapath.
+    pub fn narrow_product_sum(acc: i32) -> Self {
+        let half = 1i32 << (FRAC - 1);
+        // round half away from zero; shifting a negative value would round
+        // toward -inf instead, so negate first.
+        let rounded = if acc >= 0 {
+            (acc + half) >> FRAC
+        } else {
+            -((-acc + half) >> FRAC)
+        };
+        Fx8(rounded.clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fx8<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}q{}", self.to_f32_exact(), FRAC)
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fx8<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32_exact())
+    }
+}
+
+impl<const FRAC: u32> Default for Fx8<FRAC> {
+    fn default() -> Self {
+        Fx8(0)
+    }
+}
+
+impl<const FRAC: u32> Add for Fx8<FRAC> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fx8(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fx8<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> Sub for Fx8<FRAC> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fx8(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Mul for Fx8<FRAC> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // widen, multiply exactly, round the 2·FRAC-scale product back.
+        Self::narrow_product_sum(self.widen() * rhs.widen())
+    }
+}
+
+impl<const FRAC: u32> Div for Fx8<FRAC> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        if rhs.0 == 0 {
+            // saturate like a hardware divider's overflow flag
+            return if self.0 >= 0 {
+                Self::max_value()
+            } else {
+                Self::min_value()
+            };
+        }
+        let num = (self.widen() << FRAC) as i64;
+        let den = rhs.widen() as i64;
+        let q = (num + den.signum() * (den.abs() / 2)) / den; // round half away
+        Fx8(q.clamp(i8::MIN as i64, i8::MAX as i64) as i8)
+    }
+}
+
+impl<const FRAC: u32> Neg for Fx8<FRAC> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fx8(self.0.checked_neg().unwrap_or(i8::MAX))
+    }
+}
+
+impl<const FRAC: u32> Scalar for Fx8<FRAC> {
+    fn zero() -> Self {
+        Fx8(0)
+    }
+    fn one() -> Self {
+        Self::saturating_from_f32(1.0)
+    }
+    fn from_f32(v: f32) -> Self {
+        Self::saturating_from_f32(v)
+    }
+    fn to_f32(self) -> f32 {
+        self.to_f32_exact()
+    }
+}
+
+/// Exact widening multiply–accumulate: `acc + Σ aᵢ·bᵢ` in the `2^(2·FRAC)`
+/// accumulator scale. Mirrors the accelerator's adder tree, which never
+/// rounds between taps.
+pub fn mac_i32<const FRAC: u32>(acc: i32, a: &[Fx8<FRAC>], b: &[Fx8<FRAC>]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = acc;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x.widen() * y.widen();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_roundtrip_on_grid() {
+        // every representable Q2.6 value roundtrips exactly
+        for raw in i8::MIN..=i8::MAX {
+            let v = Q6::from_raw(raw);
+            assert_eq!(Q6::saturating_from_f32(v.to_f32_exact()), v);
+        }
+    }
+
+    #[test]
+    fn saturating_conversion_clamps() {
+        assert_eq!(Q6::saturating_from_f32(100.0), Q6::max_value());
+        assert_eq!(Q6::saturating_from_f32(-100.0), Q6::min_value());
+        assert_eq!(Q6::max_value().to_f32_exact(), 127.0 / 64.0);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        // 1/128 is exactly half an LSB: f32::round rounds half away from 0.
+        assert_eq!(Q6::saturating_from_f32(1.0 / 128.0).raw(), 1);
+        assert_eq!(Q6::saturating_from_f32(0.99 / 128.0).raw(), 0);
+        assert_eq!(Q6::saturating_from_f32(-1.0 / 128.0).raw(), -1);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let a = Q6::saturating_from_f32(1.5);
+        assert_eq!(a + a, Q6::max_value());
+        let b = Q6::saturating_from_f32(-1.5);
+        assert_eq!(b + b, Q6::min_value());
+        assert_eq!(
+            (Q6::saturating_from_f32(0.5) + Q6::saturating_from_f32(0.25)).to_f32_exact(),
+            0.75
+        );
+    }
+
+    #[test]
+    fn mul_matches_real_arithmetic_within_half_lsb() {
+        for araw in (-64..=64).step_by(7) {
+            for braw in (-64..=64).step_by(5) {
+                let a = Q6::from_raw(araw);
+                let b = Q6::from_raw(braw);
+                let exact = a.to_f32_exact() * b.to_f32_exact();
+                let got = (a * b).to_f32_exact();
+                assert!(
+                    (got - exact).abs() <= 0.5 / 64.0 + 1e-6,
+                    "{a:?} * {b:?} = {got}, want ~{exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let x = Q6::saturating_from_f32(0.75);
+        assert_eq!(x * Q6::one(), x);
+        assert_eq!(x * Q6::zero(), Q6::zero());
+    }
+
+    #[test]
+    fn neg_saturates_at_min() {
+        assert_eq!((-Q6::min_value()).raw(), i8::MAX);
+        assert_eq!((-Q6::saturating_from_f32(0.5)).to_f32_exact(), -0.5);
+    }
+
+    #[test]
+    fn div_basic_and_by_zero() {
+        let a = Q6::saturating_from_f32(1.0);
+        let b = Q6::saturating_from_f32(0.5);
+        // true quotient 2.0 exceeds max (127/64 ≈ 1.984): saturates
+        assert_eq!(a / b, Q6::max_value());
+        assert_eq!((b / a).to_f32_exact(), 0.5);
+        assert_eq!(a / Q6::zero(), Q6::max_value());
+        assert_eq!((-a) / Q6::zero(), Q6::min_value());
+    }
+
+    #[test]
+    fn widening_mac_is_exact() {
+        let a: Vec<Q6> = (1..=10).map(|i| Q6::from_raw(i * 3)).collect();
+        let b: Vec<Q6> = (1..=10).map(|i| Q6::from_raw(i * -2)).collect();
+        let acc = mac_i32(0, &a, &b);
+        let expect: i32 = (1..=10).map(|i| (i * 3) * (i * -2)).sum();
+        assert_eq!(acc, expect); // -6 * 385 = -2310, exact in i32
+        // narrow once at the end: -2310 / 64 = -36.09… rounds to -36
+        let narrowed = Q6::narrow_product_sum(acc);
+        assert_eq!(narrowed.raw(), -36);
+        // a sum beyond the operand range saturates at writeback
+        assert_eq!(Q6::narrow_product_sum(-1 << 20), Q6::min_value());
+        assert_eq!(Q6::narrow_product_sum(1 << 20), Q6::max_value());
+    }
+
+    #[test]
+    fn narrow_product_sum_rounds_symmetric() {
+        // +32 in 2^12 scale is half an output LSB -> rounds away from zero
+        assert_eq!(Q6::narrow_product_sum(32).raw(), 1);
+        assert_eq!(Q6::narrow_product_sum(-32).raw(), -1);
+        assert_eq!(Q6::narrow_product_sum(31).raw(), 0);
+    }
+
+    #[test]
+    fn scalar_trait_relu_and_ordering() {
+        assert_eq!(Q6::from_f32(-0.5).relu(), Q6::zero());
+        assert!(Q6::from_f32(0.25) < Q6::from_f32(0.5));
+    }
+
+    #[test]
+    fn tensor_kernels_run_at_q6() {
+        use mlcnn_tensor::pool::sum_pool2d;
+        use mlcnn_tensor::{Shape4, Tensor};
+        let t = Tensor::from_fn(Shape4::hw(2, 2), |_, _, h, w| {
+            Q6::saturating_from_f32(0.25 * (h * 2 + w) as f32).to_f32_exact()
+        })
+        .cast::<Q6>();
+        let s = sum_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(s.at(0, 0, 0, 0).to_f32_exact(), 0.0 + 0.25 + 0.5 + 0.75);
+    }
+}

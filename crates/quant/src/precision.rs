@@ -1,0 +1,84 @@
+//! Operand precision shared between the quantizers and the accelerator
+//! model (Table VII).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operand precision of a MAC slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE floating point (the paper's DCNN baseline and MLCNN
+    /// FP32 mode).
+    Fp32,
+    /// 16-bit IEEE floating point.
+    Fp16,
+    /// 8-bit fixed point (DoReFa-quantized operands).
+    Int8,
+}
+
+impl Precision {
+    /// Operand width in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Precision::Fp32 => 32,
+            Precision::Fp16 => 16,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// Operand width in bytes.
+    pub const fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// How many MAC slices fit in the paper's fixed 1.52 mm² area budget,
+    /// relative to FP32 (Table VII: 32 → 64 → 128 slices).
+    pub const fn slice_multiplier(self) -> usize {
+        match self {
+            Precision::Fp32 => 1,
+            Precision::Fp16 => 2,
+            Precision::Int8 => 4,
+        }
+    }
+
+    /// All precisions in the order the paper reports them.
+    pub const ALL: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Fp32 => write!(f, "FP32"),
+            Precision::Fp16 => write!(f, "FP16"),
+            Precision::Int8 => write!(f, "INT8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vii_slice_counts() {
+        // Table VII: 32 MAC slices at FP32, 64 at FP16, 128 at INT8.
+        const BASE: usize = 32;
+        assert_eq!(BASE * Precision::Fp32.slice_multiplier(), 32);
+        assert_eq!(BASE * Precision::Fp16.slice_multiplier(), 64);
+        assert_eq!(BASE * Precision::Int8.slice_multiplier(), 128);
+    }
+
+    #[test]
+    fn bits_and_bytes_consistent() {
+        for p in Precision::ALL {
+            assert_eq!(p.bytes() * 8, p.bits() as usize);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Precision::Fp32.to_string(), "FP32");
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+        assert_eq!(Precision::Int8.to_string(), "INT8");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the precision substrate.
+
+use mlcnn_quant::dorefa;
+use mlcnn_quant::fixed::Q6;
+use mlcnn_quant::F16;
+use mlcnn_tensor::{Shape4, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn f16_conversion_error_within_half_ulp(v in -60000.0f32..60000.0) {
+        let h = F16::from_f32_rne(v);
+        let back = h.to_f32_exact();
+        // ulp at |v|: 2^(floor(log2 |v|) - 10), floored at the subnormal step
+        let ulp = if v == 0.0 {
+            2.0f32.powi(-24)
+        } else {
+            let e = v.abs().log2().floor() as i32;
+            2.0f32.powi((e - 10).max(-24))
+        };
+        prop_assert!(
+            (back - v).abs() <= 0.5 * ulp + f32::EPSILON,
+            "v={v} back={back} ulp={ulp}"
+        );
+    }
+
+    #[test]
+    fn f16_negation_commutes_with_conversion(v in -60000.0f32..60000.0) {
+        let a = (-F16::from_f32_rne(v)).to_f32_exact();
+        let b = F16::from_f32_rne(-v).to_f32_exact();
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn f16_ordering_preserved(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (ha, hb) = (F16::from_f32_rne(a), F16::from_f32_rne(b));
+        if a < b {
+            prop_assert!(ha <= hb, "{a} < {b} but {ha:?} > {hb:?}");
+        }
+    }
+
+    #[test]
+    fn f16_addition_commutative(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (ha, hb) = (F16::from_f32_rne(a), F16::from_f32_rne(b));
+        prop_assert_eq!((ha + hb).to_bits(), (hb + ha).to_bits());
+    }
+
+    #[test]
+    fn q6_roundtrip_error_within_half_lsb(v in -1.9f32..1.9) {
+        let q = Q6::saturating_from_f32(v);
+        prop_assert!((q.to_f32_exact() - v).abs() <= 0.5 / 64.0 + 1e-6);
+    }
+
+    #[test]
+    fn q6_add_is_commutative_and_bounded(a in -128i32..=127, b in -128i32..=127) {
+        let (qa, qb) = (Q6::from_raw(a as i8), Q6::from_raw(b as i8));
+        prop_assert_eq!(qa + qb, qb + qa);
+        let sum = (qa + qb).to_f32_exact();
+        prop_assert!((-2.0..2.0).contains(&sum));
+    }
+
+    #[test]
+    fn q6_mul_error_bounded(a in -64i32..=64, b in -64i32..=64) {
+        let (qa, qb) = (Q6::from_raw(a as i8), Q6::from_raw(b as i8));
+        let exact = qa.to_f32_exact() * qb.to_f32_exact();
+        if exact.abs() < 1.9 {
+            prop_assert!(((qa * qb).to_f32_exact() - exact).abs() <= 0.5 / 64.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dorefa_activation_on_grid(v in -2.0f32..3.0, k in 1u32..9) {
+        let q = dorefa::quantize_unit(v, k);
+        let levels = ((1u32 << k) - 1) as f32;
+        let snapped = (q * levels).round() / levels;
+        prop_assert!((q - snapped).abs() < 1e-6, "{q} not on the {k}-bit grid");
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn dorefa_weights_bounded_and_monotone(seed in 0u64..500, k in 2u32..9) {
+        let mut rng = mlcnn_tensor::init::rng(seed);
+        let t = mlcnn_tensor::init::normal(Shape4::hw(4, 4), 1.0, &mut rng);
+        let (q, _) = dorefa::quantize_weights(&t, k);
+        for (&a, &b) in t.as_slice().iter().zip(t.as_slice().iter().skip(1)) {
+            let qa = q.as_slice()[t.as_slice().iter().position(|&x| x == a).unwrap()];
+            let qb = q.as_slice()[t.as_slice().iter().position(|&x| x == b).unwrap()];
+            if a < b {
+                prop_assert!(qa <= qb, "monotonicity violated: {a}->{qa}, {b}->{qb}");
+            }
+        }
+        prop_assert!(q.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fake_quantization_is_idempotent(seed in 0u64..300, k in 2u32..9) {
+        let mut rng = mlcnn_tensor::init::rng(seed);
+        let t = mlcnn_tensor::init::uniform(Shape4::hw(4, 4), 0.0, 1.0, &mut rng);
+        let once = dorefa::quantize_activations(&t, k);
+        let twice = dorefa::quantize_activations(&once, k);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn f16_tensor_cast_roundtrip_on_grid_values() {
+    // values exactly representable in f16 survive a tensor cast cycle
+    let vals: Vec<f32> = vec![0.0, 0.5, -1.5, 2048.0, -0.125, 65504.0];
+    let t = Tensor::plane(1, vals.len(), vals.clone()).unwrap();
+    let f: Tensor<F16> = t.cast();
+    let back: Vec<f32> = f.as_slice().iter().map(|h| h.to_f32_exact()).collect();
+    assert_eq!(back, vals);
+}

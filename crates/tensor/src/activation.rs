@@ -1,0 +1,144 @@
+//! Elementwise nonlinearities.
+//!
+//! ReLU and Sigmoid, the two activations the paper discusses (Section II-A),
+//! plus their derivatives for the training substrate. ReLU is defined over
+//! any [`Scalar`]; Sigmoid requires a real exponential so it is `f32`-only.
+
+use crate::scalar::Scalar;
+use crate::tensor::Tensor;
+
+/// `max(x, 0)` elementwise.
+pub fn relu<T: Scalar>(input: &Tensor<T>) -> Tensor<T> {
+    input.map(|v| v.relu())
+}
+
+/// In-place ReLU.
+pub fn relu_inplace<T: Scalar>(input: &mut Tensor<T>) {
+    input.map_inplace(|v| v.relu());
+}
+
+/// ReLU derivative mask: 1 where the *pre-activation* input was positive,
+/// else 0. (The subgradient at exactly 0 is taken as 0, the common
+/// convention.)
+pub fn relu_mask<T: Scalar>(pre: &Tensor<T>) -> Tensor<T> {
+    pre.map(|v| if v > T::zero() { T::one() } else { T::zero() })
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)` elementwise.
+pub fn sigmoid(input: &Tensor<f32>) -> Tensor<f32> {
+    input.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Sigmoid derivative `s(x) * (1 - s(x))` given the *pre-activation* input.
+pub fn sigmoid_grad(pre: &Tensor<f32>) -> Tensor<f32> {
+    pre.map(|v| {
+        let s = 1.0 / (1.0 + (-v).exp());
+        s * (1.0 - s)
+    })
+}
+
+/// Row-wise softmax over a `B × classes` logits tensor laid out as
+/// `B×1×1×classes`. Numerically stabilized by max subtraction.
+pub fn softmax_rows(logits: &Tensor<f32>) -> Tensor<f32> {
+    let s = logits.shape();
+    let classes = s.c * s.h * s.w;
+    let mut out = logits.clone();
+    for n in 0..s.n {
+        let row = &mut out.as_mut_slice()[n * classes..(n + 1) * classes];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let t = Tensor::plane(1, 4, vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        let r = relu(&t);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+        let mut t2 = t.clone();
+        relu_inplace(&mut t2);
+        assert_eq!(t2, r);
+    }
+
+    #[test]
+    fn relu_mask_matches_definition() {
+        let t = Tensor::plane(1, 4, vec![-2.0, 0.0, 0.5, 3.0]).unwrap();
+        assert_eq!(relu_mask(&t).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_integer() {
+        let t = Tensor::plane(1, 3, vec![-2.0, 0.0, 5.0]).unwrap().cast::<i32>();
+        assert_eq!(relu(&t).as_slice(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn sigmoid_known_points() {
+        let t = Tensor::plane(1, 3, vec![0.0, 100.0, -100.0]).unwrap();
+        let s = sigmoid(&t);
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!((s.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!(s.as_slice()[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_grad_peaks_at_zero() {
+        let t = Tensor::plane(1, 3, vec![-2.0, 0.0, 2.0]).unwrap();
+        let g = sigmoid_grad(&t);
+        assert!((g.as_slice()[1] - 0.25).abs() < 1e-6);
+        assert!(g.as_slice()[0] < 0.25 && g.as_slice()[2] < 0.25);
+        assert!((g.as_slice()[0] - g.as_slice()[2]).abs() < 1e-6, "symmetry");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 3),
+            vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0],
+        )
+        .unwrap();
+        let s = softmax_rows(&t);
+        for n in 0..2 {
+            let row = &s.as_slice()[n * 3..(n + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        let r0 = &s.as_slice()[0..3];
+        assert!(r0[0] < r0[1] && r0[1] < r0[2]);
+        let r1 = &s.as_slice()[3..6];
+        assert!((r1[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::plane(1, 2, vec![1000.0, 1001.0]).unwrap();
+        let s = softmax_rows(&t);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!((s.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_after_avgpool_equals_avgpool_after_relu_for_positive_inputs() {
+        // Sanity check of the paper's reordering intuition in the regime
+        // where it is exact: when all conv outputs are nonnegative the two
+        // orders agree identically.
+        use crate::pool::avg_pool2d;
+        let t = Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let a = relu(&avg_pool2d(&t, 2, 2).unwrap());
+        let b = avg_pool2d(&relu(&t), 2, 2).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+}

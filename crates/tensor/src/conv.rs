@@ -1,0 +1,248 @@
+//! Convolution kernels.
+//!
+//! Two implementations of the same contract:
+//!
+//! * [`conv2d_direct`] — the obviously-correct seven-loop reference. Every
+//!   other convolution in the repo (im2col, the MLCNN fused conv-pool, the
+//!   quantized kernels, the accelerator functional model) is tested against
+//!   it.
+//! * [`conv2d_im2col`] — im2col + GEMM, the fast path used for training.
+//!
+//! Weights are `M × N × K × K` (out-channels × in-channels × kernel), inputs
+//! `B × N × H × W`, matching the paper's Figure 1 notation.
+
+use crate::error::TensorError;
+use crate::im2col::im2col;
+use crate::linalg::matmul;
+use crate::scalar::Scalar;
+use crate::shape::{ConvGeometry, Shape4};
+use crate::tensor::Tensor;
+use crate::Result;
+use rayon::prelude::*;
+
+/// Validate operand shapes and derive the output geometry for a conv call.
+pub fn conv_geometry<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    stride: usize,
+    pad: usize,
+) -> Result<ConvGeometry> {
+    let ishape = input.shape();
+    let wshape = weight.shape();
+    if ishape.c != wshape.c {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape,
+            right: wshape,
+            op: "conv2d (input channels vs weight in-channels)",
+        });
+    }
+    if wshape.h != wshape.w {
+        return Err(TensorError::BadGeometry {
+            reason: format!("only square kernels supported, got {}x{}", wshape.h, wshape.w),
+        });
+    }
+    ConvGeometry::new(ishape.h, ishape.w, wshape.h, wshape.w, stride, pad)
+}
+
+/// Direct (naïve) 2-D convolution with optional per-output-channel bias.
+///
+/// This is the reference semantics for the whole repository: cross-
+/// correlation (no kernel flip), zero padding, floor-division output
+/// extent.
+pub fn conv2d_direct<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    bias: Option<&[T]>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor<T>> {
+    let geom = conv_geometry(input, weight, stride, pad)?;
+    let ishape = input.shape();
+    let wshape = weight.shape();
+    if let Some(b) = bias {
+        if b.len() != wshape.n {
+            return Err(TensorError::BadGeometry {
+                reason: format!("bias length {} != out channels {}", b.len(), wshape.n),
+            });
+        }
+    }
+    let out_shape = Shape4::new(ishape.n, wshape.n, geom.out_h, geom.out_w);
+    let mut out = Tensor::zeros(out_shape);
+    let pad = pad as isize;
+    for n in 0..ishape.n {
+        for m in 0..wshape.n {
+            let b = bias.map_or(T::zero(), |b| b[m]);
+            for oh in 0..geom.out_h {
+                for ow in 0..geom.out_w {
+                    let mut acc = T::zero();
+                    for c in 0..ishape.c {
+                        for kh in 0..geom.k_h {
+                            let ih = (oh * stride + kh) as isize - pad;
+                            if ih < 0 || ih as usize >= geom.in_h {
+                                continue;
+                            }
+                            for kw in 0..geom.k_w {
+                                let iw = (ow * stride + kw) as isize - pad;
+                                if iw < 0 || iw as usize >= geom.in_w {
+                                    continue;
+                                }
+                                acc += input.at(n, c, ih as usize, iw as usize)
+                                    * weight.at(m, c, kh, kw);
+                            }
+                        }
+                    }
+                    *out.at_mut(n, m, oh, ow) = acc + b;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// im2col + GEMM convolution; batch items are processed in parallel with
+/// rayon. Semantics identical to [`conv2d_direct`].
+pub fn conv2d_im2col<T: Scalar>(
+    input: &Tensor<T>,
+    weight: &Tensor<T>,
+    bias: Option<&[T]>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor<T>> {
+    let geom = conv_geometry(input, weight, stride, pad)?;
+    let ishape = input.shape();
+    let wshape = weight.shape();
+    if let Some(b) = bias {
+        if b.len() != wshape.n {
+            return Err(TensorError::BadGeometry {
+                reason: format!("bias length {} != out channels {}", b.len(), wshape.n),
+            });
+        }
+    }
+    let m = wshape.n;
+    let k = wshape.c * geom.taps();
+    let ncols = geom.out_len();
+    let wmat = weight.as_slice(); // already M × (N*K*K) row-major
+
+    let per_item: Vec<Vec<T>> = (0..ishape.n)
+        .into_par_iter()
+        .map(|n| {
+            let cols = im2col(input, n, &geom);
+            let mut prod = matmul(wmat, &cols, m, k, ncols);
+            if let Some(b) = bias {
+                for (mi, bm) in b.iter().enumerate() {
+                    for v in &mut prod[mi * ncols..(mi + 1) * ncols] {
+                        *v += *bm;
+                    }
+                }
+            }
+            prod
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(ishape.n * m * ncols);
+    for item in per_item {
+        data.extend_from_slice(&item);
+    }
+    Tensor::from_vec(Shape4::new(ishape.n, m, geom.out_h, geom.out_w), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn direct_1x1_kernel_is_channel_mix() {
+        // 1x1 conv over 2 channels == per-pixel weighted channel sum.
+        let input = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 10 + h * 2 + w) as f32
+        });
+        let weight = Tensor::from_vec(Shape4::new(1, 2, 1, 1), vec![2.0, 3.0]).unwrap();
+        let out = conv2d_direct(&input, &weight, None, 1, 0).unwrap();
+        for h in 0..2 {
+            for w in 0..2 {
+                let expect = 2.0 * input.at(0, 0, h, w) + 3.0 * input.at(0, 1, h, w);
+                assert_eq!(out.at(0, 0, h, w), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_matches_hand_computed_2x2() {
+        // Paper Fig. 5 setup: 5x5 input, 2x2 filter, unit stride.
+        let input = Tensor::from_fn(Shape4::hw(5, 5), |_, _, h, w| (h * 5 + w) as f32);
+        let weight = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, -1.0, 0.5, 2.0]).unwrap();
+        let out = conv2d_direct(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 4, 4));
+        // C00 = 1*0 -1*1 +0.5*5 +2*6 = 13.5
+        assert_eq!(out.at(0, 0, 0, 0), 13.5);
+        // C11 = 1*6 -1*7 +0.5*11 +2*12 = 28.5
+        assert_eq!(out.at(0, 0, 1, 1), 28.5);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = Tensor::full(Shape4::hw(3, 3), 1.0_f32);
+        let weight = Tensor::full(Shape4::new(2, 1, 2, 2), 1.0_f32);
+        let out = conv2d_direct(&input, &weight, Some(&[10.0, 20.0]), 1, 0).unwrap();
+        assert_eq!(out.at(0, 0, 0, 0), 14.0);
+        assert_eq!(out.at(0, 1, 0, 0), 24.0);
+    }
+
+    #[test]
+    fn bad_bias_length_rejected() {
+        let input = Tensor::full(Shape4::hw(3, 3), 1.0_f32);
+        let weight = Tensor::full(Shape4::new(2, 1, 2, 2), 1.0_f32);
+        assert!(conv2d_direct(&input, &weight, Some(&[1.0]), 1, 0).is_err());
+        assert!(conv2d_im2col(&input, &weight, Some(&[1.0]), 1, 0).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 3, 4, 4));
+        let weight = Tensor::<f32>::zeros(Shape4::new(2, 2, 3, 3));
+        assert!(conv2d_direct(&input, &weight, None, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_path_matches_direct_randomized() {
+        let mut rng = init::rng(42);
+        for &(b, cin, cout, d, k, s, p) in &[
+            (1usize, 1usize, 1usize, 5usize, 2usize, 1usize, 0usize),
+            (2, 3, 4, 8, 3, 1, 1),
+            (1, 2, 2, 9, 3, 2, 0),
+            (3, 4, 8, 7, 5, 1, 2),
+            (1, 1, 1, 6, 6, 1, 0),
+        ] {
+            let input = init::uniform(Shape4::new(b, cin, d, d), -1.0, 1.0, &mut rng);
+            let weight = init::uniform(Shape4::new(cout, cin, k, k), -1.0, 1.0, &mut rng);
+            let bias: Vec<f32> = (0..cout).map(|i| i as f32 * 0.1).collect();
+            let a = conv2d_direct(&input, &weight, Some(&bias), s, p).unwrap();
+            let bt = conv2d_im2col(&input, &weight, Some(&bias), s, p).unwrap();
+            assert!(
+                a.approx_eq(&bt, 1e-4),
+                "mismatch at b={b} cin={cin} cout={cout} d={d} k={k} s={s} p={p}: {}",
+                a.max_abs_diff(&bt).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn stride_2_halves_extent() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 1, 8, 8));
+        let weight = Tensor::full(Shape4::new(1, 1, 2, 2), 1.0_f32);
+        let out = conv2d_direct(&input, &weight, None, 2, 0).unwrap();
+        assert_eq!((out.shape().h, out.shape().w), (4, 4));
+    }
+
+    #[test]
+    fn integer_conv_is_exact() {
+        let input = Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32).cast::<i64>();
+        let weight = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1_i64, 2, 3, 4]).unwrap();
+        let direct = conv2d_direct(&input, &weight, None, 1, 0).unwrap();
+        let gemm = conv2d_im2col(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(direct, gemm);
+        // top-left window 0,1,4,5 -> 0+2+12+20 = 34
+        assert_eq!(direct.at(0, 0, 0, 0), 34);
+    }
+}

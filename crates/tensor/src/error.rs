@@ -1,0 +1,86 @@
+//! Error type shared by all tensor operations.
+
+use crate::shape::Shape4;
+use std::fmt;
+
+/// Errors produced by tensor construction and kernel invocation.
+///
+/// The library is strict: shape mismatches are reported as errors rather
+/// than being silently broadcast, because the MLCNN op-count accounting
+/// depends on exact geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Declared shape.
+        shape: Shape4,
+        /// Actual buffer length supplied.
+        len: usize,
+    },
+    /// Two operands were expected to share a shape but do not.
+    ShapeMismatch {
+        /// Left operand shape.
+        left: Shape4,
+        /// Right operand shape.
+        right: Shape4,
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger
+    /// than padded input, zero stride).
+    BadGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Index out of bounds.
+    OutOfBounds {
+        /// The offending flat or dimensional index description.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { shape, len } => write!(
+                f,
+                "buffer length {len} does not match shape {shape} (= {} elements)",
+                shape.len()
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in `{op}`: {left} vs {right}")
+            }
+            TensorError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
+            TensorError::OutOfBounds { what } => write!(f, "index out of bounds: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = TensorError::LengthMismatch {
+            shape: Shape4::new(1, 2, 3, 4),
+            len: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7'), "{s}");
+        assert!(s.contains("24"), "{s}");
+
+        let e = TensorError::BadGeometry {
+            reason: "stride must be nonzero".into(),
+        };
+        assert!(e.to_string().contains("stride"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

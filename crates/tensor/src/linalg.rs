@@ -1,0 +1,151 @@
+//! Small dense GEMM used by the im2col convolution path and the fully
+//! connected layers.
+//!
+//! Matrices are flat row-major `&[T]` slices with explicit dimensions; this
+//! module stays allocation-free in its inner loops and parallelizes over
+//! output rows with rayon when the problem is large enough to amortize the
+//! fork-join overhead.
+
+use crate::scalar::Scalar;
+use crate::shape::Shape2;
+use rayon::prelude::*;
+
+/// Below this many output elements the serial kernel wins; measured on the
+/// bench suite (`gemm_parallel_crossover`).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `c = a(m×k) * b(k×n)`, row-major. Panics if slice lengths disagree with
+/// the dimensions (these are internal-call-site invariants, not user input).
+pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k, "lhs buffer/dim mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer/dim mismatch");
+    let mut c = vec![T::zero(); m * n];
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| matmul_row(a, b, k, n, i, row));
+    } else {
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            matmul_row(a, b, k, n, i, row);
+        }
+    }
+    c
+}
+
+/// One output row of the GEMM, written ikj-order so the inner loop streams
+/// both `b` and `row` contiguously (cache-friendly; see the perf-book notes
+/// on iteration order).
+#[inline]
+fn matmul_row<T: Scalar>(a: &[T], b: &[T], k: usize, n: usize, i: usize, row: &mut [T]) {
+    for p in 0..k {
+        let aip = a[i * k + p];
+        let brow = &b[p * n..(p + 1) * n];
+        for (r, &bv) in row.iter_mut().zip(brow) {
+            *r += aip * bv;
+        }
+    }
+}
+
+/// `y = a(m×k) * x(k)` matrix–vector product.
+pub fn matvec<T: Scalar>(a: &[T], x: &[T], m: usize, k: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k, "matrix buffer/dim mismatch");
+    assert_eq!(x.len(), k, "vector length mismatch");
+    (0..m)
+        .map(|i| {
+            let mut acc = T::zero();
+            for (p, &xv) in x.iter().enumerate() {
+                acc += a[i * k + p] * xv;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Out-of-place transpose of a row-major `rows×cols` matrix.
+pub fn transpose<T: Scalar>(a: &[T], shape: Shape2) -> Vec<T> {
+    assert_eq!(a.len(), shape.len(), "buffer/shape mismatch");
+    let mut t = vec![T::zero(); a.len()];
+    for i in 0..shape.rows {
+        for j in 0..shape.cols {
+            t[j * shape.rows + i] = a[i * shape.cols + j];
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2_known() {
+        // |1 2| |5 6|   |19 22|
+        // |3 4| |7 8| = |43 50|
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &eye, 4, 3, 3), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // 1x3 * 3x2
+        let c = matmul(&[1.0, 2.0, 3.0], &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0], 1, 3, 2);
+        assert_eq!(c, vec![14.0, 32.0]);
+    }
+
+    #[test]
+    fn matmul_integer_exact() {
+        let a: Vec<i64> = (1..=6).collect(); // 2x3
+        let b: Vec<i64> = (1..=6).collect(); // 3x2
+        assert_eq!(matmul(&a, &b, 2, 3, 2), vec![22, 28, 49, 64]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Force the parallel path with a 80x80 * 80x80 product and compare
+        // against the obvious triple loop.
+        let m = 80;
+        let a: Vec<f32> = (0..m * m).map(|v| ((v * 7 + 3) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..m * m).map(|v| ((v * 5 + 1) % 11) as f32 - 5.0).collect();
+        let fast = matmul(&a, &b, m, m, m);
+        let mut slow = vec![0.0_f32; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                let mut acc = 0.0;
+                for p in 0..m {
+                    acc += a[i * m + p] * b[p * m + j];
+                }
+                slow[i * m + j] = acc;
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a: Vec<f32> = (0..6).map(|v| v as f32).collect();
+        let x = [1.0, -1.0, 2.0];
+        assert_eq!(matvec(&a, &x, 2, 3), matmul(&a, &x, 2, 3, 1));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a: Vec<f32> = (0..6).map(|v| v as f32).collect();
+        let t = transpose(&a, Shape2::new(2, 3));
+        assert_eq!(t, vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        let tt = transpose(&t, Shape2::new(3, 2));
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs buffer/dim mismatch")]
+    fn matmul_panics_on_bad_dims() {
+        let _ = matmul(&[1.0_f32; 3], &[1.0; 4], 2, 2, 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Rayon helpers for batch-parallel kernels.
+//!
+//! The inference and training loops in the higher crates are
+//! embarrassingly parallel over batch items (and often over output
+//! channels). These helpers express the two recurring patterns — map a
+//! batch and re-stack, and fill disjoint output planes in parallel — so the
+//! call sites stay race-free by construction, per the rayon guide.
+
+use crate::scalar::Scalar;
+use crate::shape::Shape4;
+use crate::tensor::Tensor;
+use crate::Result;
+use rayon::prelude::*;
+
+/// Apply `f` to every batch item (as a `1×C×H×W` tensor) in parallel and
+/// re-stack the results along the batch axis.
+///
+/// `f` must be deterministic per item; results are re-assembled in batch
+/// order so the output is identical to the sequential loop.
+pub fn par_map_batch<T, F>(input: &Tensor<T>, f: F) -> Result<Tensor<T>>
+where
+    T: Scalar,
+    F: Fn(Tensor<T>) -> Result<Tensor<T>> + Sync + Send,
+{
+    let n = input.shape().n;
+    let items: Vec<Result<Tensor<T>>> = (0..n)
+        .into_par_iter()
+        .map(|i| input.batch_item(i).and_then(&f))
+        .collect();
+    let mut ok = Vec::with_capacity(n);
+    for item in items {
+        ok.push(item?);
+    }
+    Tensor::stack_batch(&ok)
+}
+
+/// Fill the `(n, c)` planes of a fresh tensor of shape `shape` in parallel.
+/// `f(n, c, plane)` writes one output plane; planes are disjoint slices so
+/// no synchronization is needed.
+pub fn par_fill_planes<T, F>(shape: Shape4, f: F) -> Tensor<T>
+where
+    T: Scalar,
+    F: Fn(usize, usize, &mut [T]) + Sync + Send,
+{
+    let mut out = Tensor::zeros(shape);
+    let plane = shape.plane();
+    out.as_mut_slice()
+        .par_chunks_mut(plane.max(1))
+        .enumerate()
+        .for_each(|(idx, chunk)| {
+            let n = idx / shape.c.max(1);
+            let c = idx % shape.c.max(1);
+            f(n, c, chunk);
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::relu;
+
+    #[test]
+    fn par_map_batch_matches_sequential() {
+        let t = Tensor::from_fn(Shape4::new(8, 2, 4, 4), |n, c, h, w| {
+            (n as f32 - 3.5) * (c as f32 + 1.0) * ((h * 4 + w) as f32 - 7.5)
+        });
+        let par = par_map_batch(&t, |item| Ok(relu(&item))).unwrap();
+        let seq = relu(&t);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_batch_propagates_errors() {
+        let t = Tensor::<f32>::zeros(Shape4::new(4, 1, 2, 2));
+        let r = par_map_batch(&t, |item| {
+            // shape mismatch error from zip
+            let other = Tensor::<f32>::zeros(Shape4::new(1, 1, 3, 3));
+            item.add(&other)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn par_fill_planes_writes_each_plane_once() {
+        let shape = Shape4::new(3, 4, 2, 2);
+        let t = par_fill_planes::<f32, _>(shape, |n, c, plane| {
+            for (i, v) in plane.iter_mut().enumerate() {
+                *v = (n * 100 + c * 10 + i) as f32;
+            }
+        });
+        assert_eq!(t.at(2, 3, 1, 1), 233.0);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at(1, 2, 0, 1), 121.0);
+    }
+
+    #[test]
+    fn par_fill_planes_preserves_plane_independence() {
+        // Every plane gets its (n, c) identity; no plane sees another's data.
+        let shape = Shape4::new(2, 3, 1, 1);
+        let t = par_fill_planes::<f32, _>(shape, |n, c, plane| {
+            plane[0] = (n * 10 + c) as f32;
+        });
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+}

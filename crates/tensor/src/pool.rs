@@ -1,0 +1,230 @@
+//! Pooling kernels: average pooling (MLCNN's preferred reduction, see
+//! paper Section III-B) and max pooling (with argmax capture so `mlcnn-nn`
+//! can route gradients).
+
+use crate::error::TensorError;
+use crate::scalar::Scalar;
+use crate::shape::{PoolGeometry, Shape4};
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Validate the input against a window/stride pair and derive the pooled
+/// geometry.
+pub fn pool_geometry<T: Scalar>(
+    input: &Tensor<T>,
+    window: usize,
+    stride: usize,
+) -> Result<PoolGeometry> {
+    let s = input.shape();
+    PoolGeometry::new(s.h, s.w, window, stride)
+}
+
+/// Average pooling.
+///
+/// Each output is the arithmetic mean of a `window × window` patch. For the
+/// MLCNN fused case (`window == stride == 2`) this is exactly the `/4`
+/// divide-by-shift the accelerator's preprocessing unit performs.
+pub fn avg_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<Tensor<T>> {
+    let g = pool_geometry(input, window, stride)?;
+    let s = input.shape();
+    let inv_area = T::one() / T::from_f32(g.area() as f32);
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, g.out_h, g.out_w));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let plane = input.plane_slice(n, c);
+            for oh in 0..g.out_h {
+                for ow in 0..g.out_w {
+                    let mut acc = T::zero();
+                    for kh in 0..window {
+                        let row = (oh * stride + kh) * s.w;
+                        for kw in 0..window {
+                            acc += plane[row + ow * stride + kw];
+                        }
+                    }
+                    *out.at_mut(n, c, oh, ow) = acc * inv_area;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sum pooling: average pooling without the division. The MLCNN fused
+/// operator works in the sum domain and defers the division, so exact
+/// integer equivalence tests use this.
+pub fn sum_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<Tensor<T>> {
+    let g = pool_geometry(input, window, stride)?;
+    let s = input.shape();
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, g.out_h, g.out_w));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let plane = input.plane_slice(n, c);
+            for oh in 0..g.out_h {
+                for ow in 0..g.out_w {
+                    let mut acc = T::zero();
+                    for kh in 0..window {
+                        let row = (oh * stride + kh) * s.w;
+                        for kw in 0..window {
+                            acc += plane[row + ow * stride + kw];
+                        }
+                    }
+                    *out.at_mut(n, c, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling result: pooled values plus the flat in-plane index of each
+/// window maximum (for gradient routing).
+pub struct MaxPoolOut<T> {
+    /// Pooled tensor.
+    pub values: Tensor<T>,
+    /// For each output element, the flat `h*w` index (within its plane) of
+    /// the selected input. Same shape as `values`.
+    pub argmax: Tensor<i32>,
+}
+
+/// Max pooling with argmax capture. Ties resolve to the first (row-major)
+/// maximum, matching the common framework convention.
+pub fn max_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<MaxPoolOut<T>> {
+    let g = pool_geometry(input, window, stride)?;
+    let s = input.shape();
+    let out_shape = Shape4::new(s.n, s.c, g.out_h, g.out_w);
+    let mut values = Tensor::zeros(out_shape);
+    let mut argmax = Tensor::<i32>::zeros(out_shape);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let plane = input.plane_slice(n, c);
+            for oh in 0..g.out_h {
+                for ow in 0..g.out_w {
+                    let mut best_idx = (oh * stride) * s.w + ow * stride;
+                    let mut best = plane[best_idx];
+                    for kh in 0..window {
+                        let row = (oh * stride + kh) * s.w;
+                        for kw in 0..window {
+                            let idx = row + ow * stride + kw;
+                            if plane[idx] > best {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    *values.at_mut(n, c, oh, ow) = best;
+                    *argmax.at_mut(n, c, oh, ow) = best_idx as i32;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOut { values, argmax })
+}
+
+/// Global average pooling: collapse each feature map to a single value.
+/// (GoogLeNet's final 8×8 pool on 32×32-derived inputs is a special case.)
+pub fn global_avg_pool<T: Scalar>(input: &Tensor<T>) -> Result<Tensor<T>> {
+    let s = input.shape();
+    if s.h == 0 || s.w == 0 {
+        return Err(TensorError::BadGeometry {
+            reason: "global pooling of empty plane".into(),
+        });
+    }
+    avg_pool2d(input, s.h.min(s.w), s.h.min(s.w)).and_then(|t| {
+        if s.h == s.w {
+            Ok(t)
+        } else {
+            Err(TensorError::BadGeometry {
+                reason: format!("global pooling requires square planes, got {}x{}", s.h, s.w),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(h: usize, w: usize, v: Vec<f32>) -> Tensor<f32> {
+        Tensor::plane(h, w, v).unwrap()
+    }
+
+    #[test]
+    fn avg_pool_2x2_known_values() {
+        let t = plane(2, 4, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let p = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.shape(), Shape4::hw(1, 2));
+        assert_eq!(p.as_slice(), &[3.5, 5.5]);
+    }
+
+    #[test]
+    fn sum_pool_is_area_times_avg() {
+        let t = plane(4, 4, (1..=16).map(|v| v as f32).collect());
+        let a = avg_pool2d(&t, 2, 2).unwrap();
+        let s = sum_pool2d(&t, 2, 2).unwrap();
+        assert!(s.approx_eq(&a.scale(4.0), 1e-6));
+    }
+
+    #[test]
+    fn overlapping_avg_pool() {
+        let t = plane(3, 3, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let p = avg_pool2d(&t, 2, 1).unwrap();
+        assert_eq!(p.shape(), Shape4::hw(2, 2));
+        assert_eq!(p.as_slice(), &[3.0, 4.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn max_pool_values_and_argmax() {
+        let t = plane(2, 2, vec![1., 9., 3., 4.]);
+        let r = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(r.values.as_slice(), &[9.0]);
+        assert_eq!(r.argmax.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn max_pool_tie_takes_first() {
+        let t = plane(2, 2, vec![5., 5., 5., 5.]);
+        let r = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(r.argmax.as_slice(), &[0]);
+    }
+
+    #[test]
+    fn max_pool_negative_inputs() {
+        // regression guard: initialization must come from the window, not 0.
+        let t = plane(2, 2, vec![-4., -9., -3., -7.]);
+        let r = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(r.values.as_slice(), &[-3.0]);
+        assert_eq!(r.argmax.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let t = plane(2, 2, vec![0.0; 4]);
+        assert!(avg_pool2d(&t, 3, 1).is_err());
+        assert!(max_pool2d(&t, 3, 1).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_plane() {
+        let t = plane(4, 4, (1..=16).map(|v| v as f32).collect());
+        let g = global_avg_pool(&t).unwrap();
+        assert_eq!(g.shape(), Shape4::hw(1, 1));
+        assert_eq!(g.as_slice(), &[8.5]);
+    }
+
+    #[test]
+    fn global_avg_pool_rejects_rectangles() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 4));
+        assert!(global_avg_pool(&t).is_err());
+    }
+
+    #[test]
+    fn multichannel_batched_pooling_is_independent() {
+        let t = Tensor::from_fn(Shape4::new(2, 2, 2, 2), |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f32
+        });
+        let p = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.shape(), Shape4::new(2, 2, 1, 1));
+        assert_eq!(p.at(0, 0, 0, 0), (0.0 + 1.0 + 10.0 + 11.0) / 4.0);
+        assert_eq!(p.at(1, 1, 0, 0), (1100.0 + 1101.0 + 1110.0 + 1111.0) / 4.0);
+    }
+}

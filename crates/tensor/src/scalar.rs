@@ -1,0 +1,167 @@
+//! The [`Scalar`] numeric trait.
+//!
+//! MLCNN's kernels run at several precisions: `f32` (the paper's FP32
+//! baseline), software binary16 (FP16, provided by `mlcnn-quant`), and
+//! 8-bit fixed point (INT8). Writing the reference and fused kernels over a
+//! small numeric trait lets one implementation serve all precisions, and —
+//! crucially for testing — lets the RME/LAR/GAR equivalence proofs run in
+//! *exact* integer arithmetic where `fused == reference` holds bit-for-bit.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Numeric element usable in tensor kernels.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f32` (kernels use it for averaging divisors
+    /// and bias application).
+    fn from_f32(v: f32) -> Self;
+    /// Lossy conversion to `f32` (used for reporting and tolerance checks).
+    fn to_f32(self) -> f32;
+    /// Elementwise max, the building block of ReLU and max pooling.
+    fn maximum(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// `max(self, 0)` — ReLU.
+    fn relu(self) -> Self {
+        self.maximum(Self::zero())
+    }
+    /// Absolute value.
+    fn abs(self) -> Self {
+        if self < Self::zero() {
+            -self
+        } else {
+            self
+        }
+    }
+}
+
+impl Scalar for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    fn to_f32(self) -> f32 {
+        self
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f32(v: f32) -> Self {
+        v as f64
+    }
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+}
+
+impl Scalar for i32 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn from_f32(v: f32) -> Self {
+        v as i32
+    }
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+}
+
+impl Scalar for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn from_f32(v: f32) -> Self {
+        v as i64
+    }
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relu_generic<T: Scalar>(x: T) -> T {
+        x.relu()
+    }
+
+    #[test]
+    fn relu_clamps_negative_for_all_impls() {
+        assert_eq!(relu_generic(-3.5_f32), 0.0);
+        assert_eq!(relu_generic(2.5_f32), 2.5);
+        assert_eq!(relu_generic(-3.5_f64), 0.0);
+        assert_eq!(relu_generic(-7_i32), 0);
+        assert_eq!(relu_generic(7_i32), 7);
+        assert_eq!(relu_generic(-7_i64), 0);
+    }
+
+    #[test]
+    fn maximum_is_total_on_non_nan() {
+        assert_eq!(Scalar::maximum(3.0_f32, 4.0), 4.0);
+        assert_eq!(Scalar::maximum(4.0_f32, 3.0), 4.0);
+        assert_eq!((-4_i32).maximum(-3), -3);
+    }
+
+    #[test]
+    fn abs_matches_std() {
+        assert_eq!((-2.5_f32).abs(), 2.5);
+        assert_eq!(Scalar::abs(-9_i32), 9);
+        assert_eq!(Scalar::abs(9_i32), 9);
+    }
+
+    #[test]
+    fn conversions_roundtrip_small_integers() {
+        for v in -100..100 {
+            assert_eq!(i32::from_f32(v as f32), v);
+            assert_eq!((v as f32).to_f32(), v as f32);
+        }
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(f32::zero() + f32::one(), 1.0);
+        assert_eq!(i64::one() * i64::one(), 1);
+    }
+}

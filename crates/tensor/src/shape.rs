@@ -1,0 +1,335 @@
+//! Shape algebra for NCHW tensors and convolution/pooling geometry.
+//!
+//! The MLCNN paper's analytic model (Section V) is entirely a function of
+//! geometry: filter size `K`, stride `S`, input dimension `D` and the
+//! derived pooling-row width `N`. Centralizing the geometry arithmetic here
+//! keeps the fused kernels, the op counters and the accelerator model in
+//! exact agreement.
+
+use crate::error::TensorError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 2-D matrix (rows × cols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape2 {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape2 {
+    /// Create a matrix shape.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the shape holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Shape2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}]", self.rows, self.cols)
+    }
+}
+
+/// Shape of a 4-D tensor in NCHW order: batch, channels, height, width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch dimension.
+    pub n: usize,
+    /// Channel dimension.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Create an NCHW shape.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Shape of a single feature map `1×1×h×w`.
+    pub const fn hw(h: usize, w: usize) -> Self {
+        Self::new(1, 1, h, w)
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when the shape holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat offset of `(n, c, h, w)` in row-major NCHW order.
+    ///
+    /// Callers are expected to pass in-range indices; [`Shape4::checked_index`]
+    /// is the validating variant.
+    pub const fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Validated flat offset of `(n, c, h, w)`.
+    pub fn checked_index(
+        &self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<usize, TensorError> {
+        if n >= self.n || c >= self.c || h >= self.h || w >= self.w {
+            return Err(TensorError::OutOfBounds {
+                what: format!("({n},{c},{h},{w}) in {self}"),
+            });
+        }
+        Ok(self.index(n, c, h, w))
+    }
+
+    /// Number of elements in one feature map (`h*w`).
+    pub const fn plane(&self) -> usize {
+        self.h * self.w
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Geometry of a 2-D convolution: kernel, stride, padding and the derived
+/// output extent.
+///
+/// Output extent follows the standard formula
+/// `out = (in + 2*pad - k) / stride + 1` (floor division); construction
+/// fails when the kernel does not fit the padded input or the stride is
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Derived output height.
+    pub out_h: usize,
+    /// Derived output width.
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Build and validate a convolution geometry.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        if stride == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "stride must be nonzero".into(),
+            });
+        }
+        if k_h == 0 || k_w == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "kernel extent must be nonzero".into(),
+            });
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if k_h > padded_h || k_w > padded_w {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "kernel {k_h}x{k_w} larger than padded input {padded_h}x{padded_w}"
+                ),
+            });
+        }
+        let out_h = (padded_h - k_h) / stride + 1;
+        let out_w = (padded_w - k_w) / stride + 1;
+        Ok(Self {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Square-kernel, unpadded shorthand used by the paper's sweeps.
+    pub fn square(d: usize, k: usize, stride: usize) -> Result<Self, TensorError> {
+        Self::new(d, d, k, k, stride, 0)
+    }
+
+    /// Number of multiply–accumulate positions per output element per input
+    /// channel (`k_h * k_w`).
+    pub const fn taps(&self) -> usize {
+        self.k_h * self.k_w
+    }
+
+    /// Output element count.
+    pub const fn out_len(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Geometry of a pooling window applied after a convolution, as fused by
+/// MLCNN.
+///
+/// MLCNN's accelerator fuses a convolution with an immediately following
+/// `p × p` average pool of stride `p` (the common non-overlapping case; the
+/// paper's hardware divides by 4, i.e. `p = 2`, and GoogLeNet's global
+/// pooling uses `p = 8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolGeometry {
+    /// Pool window extent (square).
+    pub window: usize,
+    /// Pool stride.
+    pub stride: usize,
+    /// Input (i.e. conv output) spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+    /// Derived output height.
+    pub out_h: usize,
+    /// Derived output width.
+    pub out_w: usize,
+}
+
+impl PoolGeometry {
+    /// Build and validate a pooling geometry.
+    pub fn new(in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self, TensorError> {
+        if stride == 0 || window == 0 {
+            return Err(TensorError::BadGeometry {
+                reason: "pool window and stride must be nonzero".into(),
+            });
+        }
+        if window > in_h || window > in_w {
+            return Err(TensorError::BadGeometry {
+                reason: format!("pool window {window} larger than input {in_h}x{in_w}"),
+            });
+        }
+        let out_h = (in_h - window) / stride + 1;
+        let out_w = (in_w - window) / stride + 1;
+        Ok(Self {
+            window,
+            stride,
+            in_h,
+            in_w,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Non-overlapping `p × p` pooling (stride == window), the MLCNN fused
+    /// case.
+    pub fn non_overlapping(in_h: usize, in_w: usize, p: usize) -> Result<Self, TensorError> {
+        Self::new(in_h, in_w, p, p)
+    }
+
+    /// Number of inputs averaged per output (`window²`).
+    pub const fn area(&self) -> usize {
+        self.window * self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape4_index_roundtrip() {
+        let s = Shape4::new(2, 3, 4, 5);
+        let mut seen = vec![false; s.len()];
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        let i = s.index(n, c, h, w);
+                        assert!(!seen[i], "duplicate index {i}");
+                        seen[i] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "index map not a bijection");
+    }
+
+    #[test]
+    fn checked_index_rejects_out_of_range() {
+        let s = Shape4::new(1, 1, 2, 2);
+        assert!(s.checked_index(0, 0, 1, 1).is_ok());
+        assert!(s.checked_index(0, 0, 2, 0).is_err());
+        assert!(s.checked_index(1, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn conv_geometry_matches_standard_formula() {
+        // 5x5 input, 2x2 kernel, stride 1: 4x4 output (paper Fig. 5 example).
+        let g = ConvGeometry::square(5, 2, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+        // 28x28 input, 13x13 kernel, stride 1: 16-wide conv output row
+        // (Section V GAR analysis).
+        let g = ConvGeometry::square(28, 13, 1).unwrap();
+        assert_eq!(g.out_w, 16);
+        // Padding: 32x32, 3x3, stride 1, pad 1 keeps extent.
+        let g = ConvGeometry::new(32, 32, 3, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (32, 32));
+    }
+
+    #[test]
+    fn conv_geometry_rejects_degenerate() {
+        assert!(ConvGeometry::square(5, 2, 0).is_err());
+        assert!(ConvGeometry::square(5, 0, 1).is_err());
+        assert!(ConvGeometry::square(3, 7, 1).is_err());
+        // ... but a kernel that fits only thanks to padding is fine.
+        assert!(ConvGeometry::new(3, 3, 7, 7, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn pool_geometry_non_overlapping() {
+        let p = PoolGeometry::non_overlapping(4, 4, 2).unwrap();
+        assert_eq!((p.out_h, p.out_w), (2, 2));
+        assert_eq!(p.area(), 4);
+        let p = PoolGeometry::non_overlapping(16, 16, 8).unwrap();
+        assert_eq!((p.out_h, p.out_w), (2, 2));
+    }
+
+    #[test]
+    fn pool_geometry_rejects_oversized_window() {
+        assert!(PoolGeometry::non_overlapping(4, 4, 5).is_err());
+        assert!(PoolGeometry::new(4, 4, 2, 0).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        assert_eq!(Shape2::new(3, 4).to_string(), "[3x4]");
+    }
+}

@@ -1,0 +1,442 @@
+//! The dense NCHW [`Tensor`] container.
+
+use crate::error::TensorError;
+use crate::scalar::Scalar;
+use crate::shape::Shape4;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A dense 4-D tensor in NCHW row-major layout.
+///
+/// This is the single data container used across the reproduction; vectors
+/// and matrices are represented with degenerate leading dimensions
+/// (`1×1×1×len`, `1×1×rows×cols`) which keeps every kernel signature
+/// uniform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T = f32> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// Zero-filled tensor of the given shape.
+    pub fn zeros(shape: Shape4) -> Self {
+        Self {
+            shape,
+            data: vec![T::zero(); shape.len()],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: Shape4, value: T) -> Self {
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Wrap an existing buffer; fails when the length disagrees with the
+    /// shape.
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                shape,
+                len: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Build from a generator called with `(n, c, h, w)`.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// A `1×1×h×w` single-plane tensor from row-major rows.
+    pub fn plane(h: usize, w: usize, data: Vec<T>) -> Result<Self> {
+        Self::from_vec(Shape4::hw(h, w), data)
+    }
+
+    /// Shape accessor.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable flat view of the backing buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element access (unchecked shape arithmetic, panics on OOB like
+    /// slice indexing).
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut T {
+        let i = self.shape.index(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> Result<T> {
+        Ok(self.data[self.shape.checked_index(n, c, h, w)?])
+    }
+
+    /// Checked element write.
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: T) -> Result<()> {
+        let i = self.shape.checked_index(n, c, h, w)?;
+        self.data[i] = v;
+        Ok(())
+    }
+
+    /// The `h×w` plane `(n, c)` as a flat slice.
+    pub fn plane_slice(&self, n: usize, c: usize) -> &[T] {
+        let start = self.shape.index(n, c, 0, 0);
+        &self.data[start..start + self.shape.plane()]
+    }
+
+    /// Mutable `h×w` plane `(n, c)`.
+    pub fn plane_slice_mut(&mut self, n: usize, c: usize) -> &mut [T] {
+        let start = self.shape.index(n, c, 0, 0);
+        let plane = self.shape.plane();
+        &mut self.data[start..start + plane]
+    }
+
+    /// Reinterpret with a new shape of identical length (free transpose-less
+    /// reshape).
+    pub fn reshape(self, shape: Shape4) -> Result<Self> {
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                shape,
+                len: self.data.len(),
+            });
+        }
+        Ok(Self {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(T) -> T) -> Self {
+        Self {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(T, T) -> T) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+                op: "zip_with",
+            });
+        }
+        Ok(Self {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Scale every element.
+    pub fn scale(&self, k: T) -> Self {
+        self.map(|v| v * k)
+    }
+
+    /// Accumulate `other` into `self` (`self += other`).
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+                op: "add_assign",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> T {
+        let mut acc = T::zero();
+        for &v in &self.data {
+            acc += v;
+        }
+        acc
+    }
+
+    /// Largest absolute elementwise difference from `other`, in `f32`.
+    ///
+    /// Returns an error on shape mismatch. This is the workhorse of every
+    /// "fused == reference" equivalence test in the repo.
+    pub fn max_abs_diff(&self, other: &Self) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+                op: "max_abs_diff",
+            });
+        }
+        let mut worst = 0.0_f32;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            let d = (a.to_f32() - b.to_f32()).abs();
+            if d > worst {
+                worst = d;
+            }
+        }
+        Ok(worst)
+    }
+
+    /// True when every element differs from `other` by at most `tol`
+    /// (absolute, in `f32`).
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+        matches!(self.max_abs_diff(other), Ok(d) if d <= tol)
+    }
+
+    /// Extract batch item `n` as a `1×c×h×w` tensor.
+    pub fn batch_item(&self, n: usize) -> Result<Self> {
+        if n >= self.shape.n {
+            return Err(TensorError::OutOfBounds {
+                what: format!("batch index {n} in {}", self.shape),
+            });
+        }
+        let per = self.shape.c * self.shape.plane();
+        let start = n * per;
+        Ok(Self {
+            shape: Shape4::new(1, self.shape.c, self.shape.h, self.shape.w),
+            data: self.data[start..start + per].to_vec(),
+        })
+    }
+
+    /// Concatenate single-batch tensors along the batch axis.
+    pub fn stack_batch(items: &[Self]) -> Result<Self> {
+        let first = items.first().ok_or_else(|| TensorError::BadGeometry {
+            reason: "stack_batch of zero tensors".into(),
+        })?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        let mut n_total = 0;
+        for it in items {
+            if (it.shape.c, it.shape.h, it.shape.w) != (first.shape.c, first.shape.h, first.shape.w)
+            {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape,
+                    right: it.shape,
+                    op: "stack_batch",
+                });
+            }
+            n_total += it.shape.n;
+            data.extend_from_slice(&it.data);
+        }
+        Ok(Self {
+            shape: Shape4::new(n_total, first.shape.c, first.shape.h, first.shape.w),
+            data,
+        })
+    }
+}
+
+impl Tensor<f32> {
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Convert the element type (e.g. to `f64` for high-precision reference
+    /// checks or `i32` for exact-arithmetic equivalence proofs — values are
+    /// truncated in the latter case).
+    pub fn cast<U: Scalar>(&self) -> Tensor<U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| U::from_f32(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: Shape4) -> Tensor<f32> {
+        let mut i = 0.0;
+        Tensor::from_fn(shape, |_, _, _, _| {
+            i += 1.0;
+            i
+        })
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let t = Tensor::<f32>::zeros(Shape4::new(2, 1, 2, 2));
+        assert_eq!(t.len(), 8);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        let t = Tensor::full(Shape4::hw(2, 2), 3.0_f32);
+        assert_eq!(t.sum(), 12.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape4::hw(2, 2), vec![1.0_f32; 4]).is_ok());
+        assert!(Tensor::from_vec(Shape4::hw(2, 2), vec![1.0_f32; 5]).is_err());
+    }
+
+    #[test]
+    fn nchw_layout_is_row_major() {
+        let t = seq(Shape4::new(1, 2, 2, 2));
+        // n=0,c=0 plane: 1 2 / 3 4 ; c=1 plane: 5 6 / 7 8
+        assert_eq!(t.at(0, 0, 0, 0), 1.0);
+        assert_eq!(t.at(0, 0, 0, 1), 2.0);
+        assert_eq!(t.at(0, 0, 1, 0), 3.0);
+        assert_eq!(t.at(0, 1, 0, 0), 5.0);
+        assert_eq!(t.plane_slice(0, 1), &[5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn get_set_checked() {
+        let mut t = Tensor::<f32>::zeros(Shape4::hw(2, 2));
+        t.set(0, 0, 1, 1, 9.0).unwrap();
+        assert_eq!(t.get(0, 0, 1, 1).unwrap(), 9.0);
+        assert!(t.get(0, 0, 2, 0).is_err());
+        assert!(t.set(0, 1, 0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = seq(Shape4::new(1, 1, 2, 6));
+        let r = t.clone().reshape(Shape4::new(1, 3, 2, 2)).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(Shape4::new(1, 1, 5, 5)).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = seq(Shape4::hw(2, 2));
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(a.add(&b).unwrap().sum(), 30.0);
+        assert_eq!(b.sub(&a).unwrap().sum(), 10.0);
+        assert_eq!(a.scale(3.0).sum(), 30.0);
+        let mut c = a.clone();
+        c.add_assign(&a).unwrap();
+        assert!(c.approx_eq(&a.scale(2.0), 0.0));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let a = Tensor::<f32>::zeros(Shape4::hw(2, 2));
+        let b = Tensor::<f32>::zeros(Shape4::hw(2, 3));
+        assert!(a.add(&b).is_err());
+        assert!(a.max_abs_diff(&b).is_err());
+        assert!(!a.approx_eq(&b, 1e9));
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = seq(Shape4::hw(2, 2));
+        let mut b = a.clone();
+        *b.at_mut(0, 0, 1, 1) += 0.5;
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.approx_eq(&b, 0.5));
+        assert!(!a.approx_eq(&b, 0.49));
+    }
+
+    #[test]
+    fn batch_item_and_stack_roundtrip() {
+        let t = seq(Shape4::new(3, 2, 2, 2));
+        let items: Vec<_> = (0..3).map(|n| t.batch_item(n).unwrap()).collect();
+        let restacked = Tensor::stack_batch(&items).unwrap();
+        assert_eq!(restacked, t);
+        assert!(t.batch_item(3).is_err());
+        assert!(Tensor::<f32>::stack_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn stack_batch_rejects_heterogeneous_planes() {
+        let a = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        let b = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 3));
+        assert!(Tensor::stack_batch(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn cast_truncates_to_int() {
+        let t = Tensor::plane(1, 3, vec![1.9_f32, -1.9, 3.0]).unwrap();
+        let i: Tensor<i32> = t.cast();
+        assert_eq!(i.as_slice(), &[1, -1, 3]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let t = Tensor::<f32>::zeros(Shape4::new(0, 1, 1, 1));
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn from_fn_ordering_matches_index() {
+        let t = Tensor::from_fn(Shape4::new(2, 2, 2, 2), |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f32
+        });
+        assert_eq!(t.at(1, 1, 1, 1), 1111.0);
+        assert_eq!(t.at(1, 0, 1, 0), 1010.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the tensor substrate: algebraic identities the
+//! reference kernels must satisfy (linearity, adjointness, path
+//! equivalence) across randomized geometries.
+
+use mlcnn_tensor::conv::{conv2d_direct, conv2d_im2col};
+use mlcnn_tensor::pool::{avg_pool2d, max_pool2d, sum_pool2d};
+use mlcnn_tensor::{init, Shape4, Tensor};
+use proptest::prelude::*;
+
+fn rand_tensor(seed: u64, shape: Shape4) -> Tensor<f32> {
+    init::uniform(shape, -2.0, 2.0, &mut init::rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conv_paths_agree(
+        seed in 0u64..10_000,
+        b in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        k in 1usize..5,
+        s in 1usize..3,
+        pad in 0usize..3,
+        extra in 0usize..6,
+    ) {
+        let d = k + s + extra;
+        let input = rand_tensor(seed, Shape4::new(b, cin, d, d));
+        let weight = rand_tensor(seed + 1, Shape4::new(cout, cin, k, k));
+        let bias: Vec<f32> = (0..cout).map(|i| i as f32 * 0.1 - 0.2).collect();
+        let a = conv2d_direct(&input, &weight, Some(&bias), s, pad).unwrap();
+        let g = conv2d_im2col(&input, &weight, Some(&bias), s, pad).unwrap();
+        prop_assert!(a.approx_eq(&g, 1e-3), "diff {}", a.max_abs_diff(&g).unwrap());
+    }
+
+    #[test]
+    fn convolution_is_linear_in_the_input(
+        seed in 0u64..5_000,
+        k in 1usize..4,
+        extra in 0usize..5,
+    ) {
+        let d = k + 2 + extra;
+        let x = rand_tensor(seed, Shape4::new(1, 2, d, d));
+        let y = rand_tensor(seed + 1, Shape4::new(1, 2, d, d));
+        let w = rand_tensor(seed + 2, Shape4::new(2, 2, k, k));
+        // conv(x + y) == conv(x) + conv(y) (no bias)
+        let lhs = conv2d_direct(&x.add(&y).unwrap(), &w, None, 1, 0).unwrap();
+        let rhs = conv2d_direct(&x, &w, None, 1, 0)
+            .unwrap()
+            .add(&conv2d_direct(&y, &w, None, 1, 0).unwrap())
+            .unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn avg_pool_commutes_with_scaling(
+        seed in 0u64..5_000,
+        scale in -3.0f32..3.0,
+        p in 2usize..4,
+    ) {
+        let x = rand_tensor(seed, Shape4::new(1, 2, p * 3, p * 3));
+        let a = avg_pool2d(&x.scale(scale), p, p).unwrap();
+        let b = avg_pool2d(&x, p, p).unwrap().scale(scale);
+        prop_assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn sum_pool_is_area_times_avg_pool(seed in 0u64..5_000, p in 2usize..5) {
+        let x = rand_tensor(seed, Shape4::new(1, 1, p * 2, p * 2));
+        let s = sum_pool2d(&x, p, p).unwrap();
+        let a = avg_pool2d(&x, p, p).unwrap().scale((p * p) as f32);
+        prop_assert!(s.approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(seed in 0u64..5_000, p in 2usize..4) {
+        let x = rand_tensor(seed, Shape4::new(1, 2, p * 3, p * 3));
+        let mx = max_pool2d(&x, p, p).unwrap().values;
+        let av = avg_pool2d(&x, p, p).unwrap();
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    #[test]
+    fn max_pool_argmax_points_at_the_max(seed in 0u64..5_000) {
+        let x = rand_tensor(seed, Shape4::new(1, 1, 6, 6));
+        let out = max_pool2d(&x, 2, 2).unwrap();
+        let plane = x.plane_slice(0, 0);
+        for (v, idx) in out.values.as_slice().iter().zip(out.argmax.as_slice()) {
+            prop_assert_eq!(*v, plane[*idx as usize]);
+        }
+    }
+
+    #[test]
+    fn stride_one_pooling_of_constant_is_constant(c in -5.0f32..5.0, p in 2usize..4) {
+        let x = Tensor::full(Shape4::new(1, 1, 8, 8), c);
+        let a = avg_pool2d(&x, p, 1).unwrap();
+        for &v in a.as_slice() {
+            prop_assert!((v - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_items_are_independent(seed in 0u64..5_000) {
+        // conv of a stacked batch == stack of per-item convs
+        let a = rand_tensor(seed, Shape4::new(1, 2, 6, 6));
+        let b = rand_tensor(seed + 1, Shape4::new(1, 2, 6, 6));
+        let w = rand_tensor(seed + 2, Shape4::new(3, 2, 3, 3));
+        let stacked = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        let joint = conv2d_direct(&stacked, &w, None, 1, 1).unwrap();
+        let ya = conv2d_direct(&a, &w, None, 1, 1).unwrap();
+        let yb = conv2d_direct(&b, &w, None, 1, 1).unwrap();
+        prop_assert!(joint.batch_item(0).unwrap().approx_eq(&ya, 1e-4));
+        prop_assert!(joint.batch_item(1).unwrap().approx_eq(&yb, 1e-4));
+    }
+}

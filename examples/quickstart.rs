@@ -1,0 +1,61 @@
+//! Quickstart: fuse one convolution + average-pool + ReLU stage with
+//! MLCNN and verify it computes the same result with a fraction of the
+//! multiplications.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mlcnn::core::opcount::{dense_layer_counts, mlcnn_layer_counts};
+use mlcnn::core::FusedConvPool;
+use mlcnn::nn::zoo::{ConvLayerGeom, PoolAfter};
+use mlcnn::tensor::{init, Shape4};
+
+fn main() {
+    // The paper's Fig. 5 setting, scaled up a little: a 14x14 input, a
+    // 5x5 filter and a 2x2 average pool (LeNet-5's C2 geometry).
+    let (in_ch, out_ch, d, k) = (6, 16, 14, 5);
+    let mut rng = init::rng(42);
+    let input = init::uniform(Shape4::new(1, in_ch, d, d), -1.0, 1.0, &mut rng);
+    let weight = init::uniform(Shape4::new(out_ch, in_ch, k, k), -0.5, 0.5, &mut rng);
+    let bias = vec![0.1_f32; out_ch];
+
+    // Build the fused operator: RME factors the weights over the pooled
+    // block sums; LAR/GAR shared planes provide the additions.
+    let fused = FusedConvPool::new(weight, bias, 1, 0, 2).expect("valid geometry");
+
+    let mlcnn_out = fused.forward(&input).expect("fused forward");
+    let reference = fused.reference(&input).expect("dense reference");
+
+    let diff = mlcnn_out.max_abs_diff(&reference).unwrap();
+    println!("output shape        : {}", mlcnn_out.shape());
+    println!("max |fused - dense| : {diff:.2e}  (identical computation, reordered)");
+    assert!(diff < 1e-4);
+
+    // And the arithmetic bill, from the op-count model:
+    let geom = ConvLayerGeom {
+        name: "C2".into(),
+        in_ch,
+        out_ch,
+        in_h: d,
+        in_w: d,
+        k,
+        stride: 1,
+        pad: 0,
+        pool: Some(PoolAfter::avg2()),
+    };
+    let dense = dense_layer_counts(&geom);
+    let mlcnn = mlcnn_layer_counts(&geom);
+    println!(
+        "multiplications     : {} -> {}  ({:.1}% eliminated by RME)",
+        dense.mults,
+        mlcnn.mults,
+        100.0 * (1.0 - mlcnn.mults as f64 / dense.mults as f64)
+    );
+    println!(
+        "additions           : {} -> {}  ({:.1}% eliminated by LAR+GAR)",
+        dense.adds,
+        mlcnn.adds,
+        100.0 * (1.0 - mlcnn.adds as f64 / dense.adds as f64)
+    );
+}

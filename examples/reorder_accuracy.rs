@@ -1,0 +1,60 @@
+//! The Section III experiment, end to end: train the *same* model in its
+//! original order (conv → ReLU → avg-pool), the MLCNN-reordered order
+//! (conv → avg-pool → ReLU) and the All-Conv baseline on a synthetic
+//! CIFAR-10 stand-in, and compare test accuracy.
+//!
+//! ```text
+//! cargo run --release --example reorder_accuracy
+//! ```
+
+use mlcnn::core::reorder::{fusable_pairs, reorder_activation_pool, to_all_conv};
+use mlcnn::data::shapes::{generate, ShapesConfig};
+use mlcnn::nn::spec::build_network;
+use mlcnn::nn::train::{evaluate, fit, TrainConfig};
+use mlcnn::nn::zoo;
+
+fn main() {
+    let data = generate(ShapesConfig::cifar10_like(48, 7));
+    let (train, test) = data.split(0.75);
+    let input = train.item_shape().unwrap();
+
+    let specs = zoo::lenet5_spec(10);
+    let reordered = reorder_activation_pool(&specs);
+    println!(
+        "reordering performed {} swaps; fusable conv-pool pairs: {} -> {}",
+        reordered.swaps.len(),
+        fusable_pairs(&specs),
+        fusable_pairs(&reordered.specs)
+    );
+
+    let variants = [
+        ("ReLU+AP (original)", specs.clone()),
+        ("AP+ReLU (reordered)", reordered.specs),
+        ("All-Conv           ", to_all_conv(&specs)),
+    ];
+
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 16,
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+        ..Default::default()
+    };
+
+    println!("\nvariant               top-1   top-5   (LeNet-5 on shapes-10)");
+    for (name, v) in variants {
+        let mut net = build_network(&v, input, cfg.seed).unwrap();
+        let history = fit(&mut net, &train, &cfg).unwrap();
+        let stats = evaluate(&mut net, &test, &[1, 5], 16).unwrap();
+        println!(
+            "{name}   {:.3}   {:.3}   (final train loss {:.3})",
+            stats.at(1).unwrap(),
+            stats.at(5).unwrap(),
+            history.last().unwrap().loss
+        );
+    }
+    println!("\nThe original and reordered variants should track each other");
+    println!("closely — that equivalence is what licenses the MLCNN fusion.");
+}

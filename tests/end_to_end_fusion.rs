@@ -1,0 +1,137 @@
+//! Integration: take a *trained* network containing a reordered
+//! conv → avg-pool → ReLU stage, lift its weights into the MLCNN fused
+//! operator, and verify the fused operator reproduces the network's
+//! intermediate activations exactly. This is the contract that lets the
+//! accelerator run real trained models.
+
+use mlcnn::core::reorder::reorder_activation_pool;
+use mlcnn::core::FusedConvPool;
+use mlcnn::data::blobs::{generate, BlobsConfig};
+use mlcnn::nn::spec::build_network;
+use mlcnn::nn::train::{fit, TrainConfig};
+use mlcnn::nn::LayerSpec;
+use mlcnn::tensor::{Shape4, Tensor};
+
+fn stage_specs(classes: usize) -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Conv {
+            out_ch: 4,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        },
+        LayerSpec::ReLU,
+        LayerSpec::AvgPool {
+            window: 2,
+            stride: 2,
+        },
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: classes },
+    ]
+}
+
+#[test]
+fn fused_operator_replays_a_trained_stage() {
+    // train a model in the MLCNN (reordered) form
+    let data = generate(BlobsConfig {
+        classes: 3,
+        per_class: 12,
+        channels: 2,
+        side: 10,
+        ..Default::default()
+    });
+    let reordered = reorder_activation_pool(&stage_specs(3)).specs;
+    assert!(matches!(reordered[1], LayerSpec::AvgPool { .. }));
+    let input_shape = Shape4::new(1, 2, 10, 10);
+    let mut net = build_network(&reordered, input_shape, 9).unwrap();
+    fit(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // extract the trained conv parameters (layer 0: conv weight + bias)
+    let params = net.export_params();
+    let weight = params[0].clone();
+    let bias = params[1].as_slice().to_vec();
+    assert_eq!(weight.shape(), Shape4::new(4, 2, 3, 3));
+
+    // run a probe batch through the network's first three layers
+    let probe = data.batches(4).next().unwrap().images;
+    let mut x = probe.clone();
+    for i in 0..3 {
+        x = net.layer_mut(i).unwrap().forward(&x, false).unwrap();
+    }
+
+    // and through the fused operator
+    let fused = FusedConvPool::new(weight, bias, 1, 0, 2).unwrap();
+    let fused_out = fused.forward(&probe).unwrap();
+
+    assert_eq!(fused_out.shape(), x.shape());
+    let diff = fused_out.max_abs_diff(&x).unwrap();
+    assert!(diff < 1e-4, "fused operator diverges from the network: {diff}");
+}
+
+#[test]
+fn fused_stage_preserves_classification_decisions() {
+    // replace the stage inside a full forward pass and verify logits and
+    // argmax survive
+    let data = generate(BlobsConfig {
+        classes: 4,
+        per_class: 10,
+        channels: 1,
+        side: 8,
+        ..Default::default()
+    });
+    let specs = vec![
+        LayerSpec::Conv {
+            out_ch: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        LayerSpec::AvgPool {
+            window: 2,
+            stride: 2,
+        },
+        LayerSpec::ReLU,
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 4 },
+    ];
+    let mut net = build_network(&specs, Shape4::new(1, 1, 8, 8), 4).unwrap();
+    fit(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let params = net.export_params();
+    let fused = FusedConvPool::new(params[0].clone(), params[1].as_slice().to_vec(), 1, 1, 2)
+        .unwrap();
+
+    let batch = data.batches(8).next().unwrap();
+    // full network logits
+    let logits_net = net.forward(&batch.images).unwrap();
+    // fused stage + the network's tail (flatten + linear)
+    let mut tail_in: Tensor<f32> = fused.forward(&batch.images).unwrap();
+    for i in 3..net.len() {
+        tail_in = net.layer_mut(i).unwrap().forward(&tail_in, false).unwrap();
+    }
+    assert!(
+        logits_net.approx_eq(&tail_in, 1e-4),
+        "logit mismatch: {}",
+        logits_net.max_abs_diff(&tail_in).unwrap()
+    );
+    let a = mlcnn::nn::loss::argmax_rows(&logits_net);
+    let b = mlcnn::nn::loss::argmax_rows(&tail_in);
+    assert_eq!(a, b, "classification decisions changed");
+}

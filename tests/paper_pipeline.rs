@@ -1,0 +1,100 @@
+//! Integration: the whole MLCNN story on one model — reorder, fuse,
+//! count, simulate — asserting the paper's qualitative results hold
+//! across crate boundaries.
+
+use mlcnn::accel::config::AcceleratorConfig;
+use mlcnn::accel::cycle::{fused_layer_speedups, mean_speedup, simulate_model};
+use mlcnn::accel::energy::EnergyModel;
+use mlcnn::core::analytic;
+use mlcnn::core::opcount::{dense_layer_counts, mlcnn_layer_counts, model_reductions};
+use mlcnn::core::reorder::{fusable_pairs, reorder_activation_pool};
+use mlcnn::nn::spec::propagate_shape;
+use mlcnn::nn::zoo;
+use mlcnn::tensor::Shape4;
+
+#[test]
+fn lenet_story_reorder_fuse_count_simulate() {
+    // 1. reorder: both LeNet pools become fusable
+    let specs = zoo::lenet5_spec(10);
+    let reordered = reorder_activation_pool(&specs);
+    assert_eq!(reordered.swaps.len(), 2);
+    assert_eq!(fusable_pairs(&reordered.specs), 2);
+    // shape-preserving
+    let input = Shape4::new(1, 3, 32, 32);
+    assert_eq!(
+        propagate_shape(&specs, input).unwrap(),
+        propagate_shape(&reordered.specs, input).unwrap()
+    );
+
+    // 2. count: both fused layers save exactly 75% of multiplications
+    let model = zoo::lenet5(10);
+    for g in model.fused_convs() {
+        let dense = dense_layer_counts(g);
+        let fused = mlcnn_layer_counts(g);
+        let mult_red = 1.0 - fused.mults as f64 / dense.mults as f64;
+        assert!((mult_red - analytic::rme_mult_reduction(2)).abs() < 1e-9);
+        assert!(fused.adds < dense.adds);
+    }
+
+    // 3. simulate: the fused layers run faster on the MLCNN machine
+    let em = EnergyModel::default();
+    let base = simulate_model(&model, &AcceleratorConfig::dcnn_fp32(), &em);
+    let fast = simulate_model(&model, &AcceleratorConfig::mlcnn_fp32(), &em);
+    let speedups = fused_layer_speedups(&base, &fast);
+    assert_eq!(speedups.len(), 2);
+    for (name, s) in &speedups {
+        assert!(*s > 2.0, "{name}: {s}");
+    }
+    assert!(mean_speedup(&base, &fast) > 2.0);
+}
+
+#[test]
+fn paper_consistency_op_counts_vs_simulation() {
+    // The cycle model's per-layer op counts must be the op-count module's
+    // numbers — a single source of truth across the crates.
+    let model = zoo::vgg16(10);
+    let em = EnergyModel::default();
+    let perf = simulate_model(&model, &AcceleratorConfig::mlcnn_fp32(), &em);
+    for (g, l) in model.convs.iter().zip(&perf.layers) {
+        let expect = if l.fused {
+            mlcnn_layer_counts(g)
+        } else {
+            dense_layer_counts(g)
+        };
+        assert_eq!(l.ops, expect, "{}", g.name);
+    }
+}
+
+#[test]
+fn fig14_and_fig13_agree_on_who_benefits() {
+    // layers with a FLOP reduction are exactly the layers with a speedup
+    let model = zoo::googlenet(100);
+    let reds = model_reductions(&model);
+    let em = EnergyModel::default();
+    let base = simulate_model(&model, &AcceleratorConfig::dcnn_fp32(), &em);
+    let fast = simulate_model(&model, &AcceleratorConfig::mlcnn_fp32(), &em);
+    let speedups = fused_layer_speedups(&base, &fast);
+    assert_eq!(reds.len(), speedups.len());
+    for (r, (name, s)) in reds.iter().zip(&speedups) {
+        assert_eq!(&r.name, name);
+        assert!(r.mult_reduction_pct > 70.0, "{name}");
+        assert!(*s > 1.0, "{name}");
+    }
+}
+
+#[test]
+fn all_models_end_in_class_logits_after_reordering() {
+    let input = Shape4::new(1, 3, 32, 32);
+    for classes in [10usize, 100] {
+        for specs in [
+            zoo::lenet5_spec(classes),
+            zoo::vgg_mini_spec(4, classes),
+            zoo::googlenet_mini_spec(4, classes),
+            zoo::densenet_mini_spec(4, classes),
+        ] {
+            let r = reorder_activation_pool(&specs);
+            let out = propagate_shape(&r.specs, input).unwrap();
+            assert_eq!(out, Shape4::new(1, 1, 1, classes));
+        }
+    }
+}

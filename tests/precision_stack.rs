@@ -1,0 +1,123 @@
+//! Integration: the precision stack — the same fused kernel running at
+//! f32, software binary16 and Q2.6 fixed point, and the DoReFa grid
+//! flowing through the INT8 datapath representation.
+
+use mlcnn::core::FusedConvPool;
+use mlcnn::quant::dorefa;
+use mlcnn::quant::fixed::Q6;
+use mlcnn::quant::F16;
+use mlcnn::tensor::{init, Shape4, Tensor};
+
+#[test]
+fn fused_kernel_at_f16_tracks_f32() {
+    let mut rng = init::rng(31);
+    let input = init::uniform(Shape4::new(1, 2, 10, 10), -1.0, 1.0, &mut rng);
+    let weight = init::uniform(Shape4::new(3, 2, 3, 3), -0.5, 0.5, &mut rng);
+    let bias = vec![0.05_f32, -0.05, 0.0];
+
+    let f32_out = FusedConvPool::new(weight.clone(), bias.clone(), 1, 0, 2)
+        .unwrap()
+        .forward(&input)
+        .unwrap();
+
+    let f16_out = FusedConvPool::new(
+        weight.cast::<F16>(),
+        bias.iter().map(|&b| F16::from_f32_rne(b)).collect(),
+        1,
+        0,
+        2,
+    )
+    .unwrap()
+    .forward(&input.cast::<F16>())
+    .unwrap();
+
+    // binary16 has ~3 decimal digits; the fused reduction accumulates a
+    // few dozen terms, so centi-level agreement is the right bar.
+    for (a, b) in f32_out.as_slice().iter().zip(f16_out.as_slice()) {
+        assert!(
+            (a - b.to_f32_exact()).abs() < 0.02,
+            "f32 {a} vs f16 {b}"
+        );
+    }
+}
+
+#[test]
+fn int8_datapath_with_wide_accumulators_is_exact() {
+    // The INT8 machine multiplies Q2.6 operands but accumulates in a wide
+    // adder tree (i32/i64), never rounding between taps. Model that path:
+    // snap inputs/weights to the Q6 grid, lift the raw integers into i64,
+    // and run the fused kernel exactly — it must equal the dense
+    // reference bit for bit, with the division deferred to writeback.
+    let mut rng = init::rng(32);
+    let input_f = dorefa::quantize_activations(
+        &init::uniform(Shape4::new(1, 2, 10, 10), 0.0, 1.0, &mut rng),
+        6,
+    );
+    let (weight_f, _) = dorefa::quantize_weights(
+        &init::normal(Shape4::new(2, 2, 3, 3), 0.5, &mut rng),
+        6,
+    );
+    // every grid value is an exact multiple of 1/64: lift to raw ints
+    let raw = |t: &Tensor<f32>| -> Tensor<i64> {
+        t.map(|v| (v * Q6::SCALE).round()).cast::<i64>()
+    };
+    // spot-check the lift is faithful (Q6 round-trips the grid)
+    for &v in input_f.as_slice().iter().take(16) {
+        assert!((Q6::saturating_from_f32(v).to_f32_exact() - v).abs() <= 0.5 / 64.0 + 1e-6);
+    }
+    let fused = FusedConvPool::new(raw(&weight_f), vec![0_i64, 0], 1, 0, 2)
+        .unwrap()
+        .with_divide(false)
+        .with_relu(false);
+    let a = fused.forward(&raw(&input_f)).unwrap();
+    let r = fused.reference(&raw(&input_f)).unwrap();
+    assert_eq!(a, r, "wide-accumulator INT8 path must be exact");
+}
+
+#[test]
+fn dorefa_eight_bit_grid_survives_f16_transport() {
+    // activations quantized to the 8-bit grid, moved through binary16
+    // (as the FP16 buffer would), must land back on the same grid values.
+    let mut rng = init::rng(33);
+    let acts = dorefa::quantize_activations(
+        &init::uniform(Shape4::new(1, 1, 16, 16), 0.0, 1.0, &mut rng),
+        8,
+    );
+    for &v in acts.as_slice() {
+        let transported = F16::from_f32_rne(v).to_f32_exact();
+        // one binary16 ulp around 1.0 is ~0.0005; grid step is 1/255
+        assert!((transported - v).abs() < 0.5 / 255.0, "{v} -> {transported}");
+    }
+}
+
+#[test]
+fn quantization_error_shrinks_with_bits_through_the_full_stack() {
+    let mut rng = init::rng(34);
+    let input = init::uniform(Shape4::new(1, 2, 10, 10), 0.0, 1.0, &mut rng);
+    let weight = init::normal(Shape4::new(2, 2, 3, 3), 0.4, &mut rng);
+    let bias = vec![0.0_f32; 2];
+    // The DoReFa weight transform (Eq. 9) deliberately *rescales* weights
+    // through tanh — so the k→∞ limit is not the raw-weight output but
+    // the output under the same transform at high bit depth. Use the
+    // 16-bit DoReFa output as the reference; ReLU off so the clamp does
+    // not hide small-signal differences.
+    let run = |k: u32| {
+        let (wq, _) = dorefa::quantize_weights(&weight, k);
+        let iq = dorefa::quantize_activations(&input, k);
+        FusedConvPool::new(wq, bias.clone(), 1, 0, 2)
+            .unwrap()
+            .with_relu(false)
+            .forward(&iq)
+            .unwrap()
+    };
+    let exact = run(16);
+    let errs: Vec<f32> = [2u32, 4, 8]
+        .iter()
+        .map(|&k| run(k).max_abs_diff(&exact).unwrap())
+        .collect();
+    assert!(
+        errs[0] > errs[1] && errs[1] > errs[2],
+        "error should shrink with bits: {errs:?}"
+    );
+    assert!(errs[2] < 0.05, "8-bit error too large: {errs:?}");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property tests: randomized invariants spanning the
+//! reordering pass, the fused kernel and the op-count model.
+
+use mlcnn::core::analytic;
+use mlcnn::core::opcount::{dense_layer_counts, mlcnn_layer_counts};
+use mlcnn::core::reorder::{reorder_activation_pool, to_all_conv};
+use mlcnn::core::reuse_sim::{simulate_row, ReuseMode};
+use mlcnn::core::FusedConvPool;
+use mlcnn::nn::spec::{param_count, propagate_shape};
+use mlcnn::nn::zoo::{ConvLayerGeom, PoolAfter};
+use mlcnn::nn::LayerSpec;
+use mlcnn::tensor::{init, Shape4};
+use proptest::prelude::*;
+
+fn arb_specs() -> impl Strategy<Value = Vec<LayerSpec>> {
+    // random small conv/relu/pool pipelines over a 16x16 input
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..6).prop_map(|c| LayerSpec::Conv {
+                out_ch: c,
+                k: 3,
+                stride: 1,
+                pad: 1
+            }),
+            Just(LayerSpec::ReLU),
+            Just(LayerSpec::AvgPool {
+                window: 2,
+                stride: 2
+            }),
+            Just(LayerSpec::MaxPool {
+                window: 2,
+                stride: 2
+            }),
+        ],
+        1..6,
+    )
+    .prop_filter("at most two pools so 16x16 survives", |specs| {
+        specs
+            .iter()
+            .filter(|s| matches!(s, LayerSpec::AvgPool { .. } | LayerSpec::MaxPool { .. }))
+            .count()
+            <= 2
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reordering_preserves_shape_and_params(specs in arb_specs()) {
+        let input = Shape4::new(1, 2, 16, 16);
+        let before_shape = propagate_shape(&specs, input);
+        prop_assume!(before_shape.is_ok());
+        let r = reorder_activation_pool(&specs);
+        prop_assert_eq!(before_shape.unwrap(), propagate_shape(&r.specs, input).unwrap());
+        prop_assert_eq!(
+            param_count(&specs, input).unwrap(),
+            param_count(&r.specs, input).unwrap()
+        );
+    }
+
+    #[test]
+    fn reordering_is_idempotent(specs in arb_specs()) {
+        let once = reorder_activation_pool(&specs);
+        let twice = reorder_activation_pool(&once.specs);
+        prop_assert_eq!(&once.specs, &twice.specs);
+        prop_assert!(twice.swaps.is_empty());
+    }
+
+    #[test]
+    fn all_conv_eliminates_pools_behind_convs(specs in arb_specs()) {
+        let ac = to_all_conv(&specs);
+        // any surviving pool must appear before the first conv
+        let first_conv = ac.iter().position(|l| matches!(l, LayerSpec::Conv { .. }));
+        for (i, l) in ac.iter().enumerate() {
+            if matches!(l, LayerSpec::AvgPool { .. } | LayerSpec::MaxPool { .. }) {
+                if let Some(fc) = first_conv {
+                    prop_assert!(
+                        i < fc,
+                        "pool at {i} survived after a conv at {fc}: {ac:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_equals_reference_randomized(
+        seed in 0u64..10_000,
+        cin in 1usize..3,
+        cout in 1usize..3,
+        k in 1usize..5,
+        pool in 2usize..4,
+    ) {
+        let d = k + pool * 3;
+        let mut rng = init::rng(seed);
+        let input = init::uniform(Shape4::new(1, cin, d, d), -1.0, 1.0, &mut rng);
+        let weight = init::uniform(Shape4::new(cout, cin, k, k), -1.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..cout).map(|i| i as f32 * 0.01).collect();
+        let fused = FusedConvPool::new(weight, bias, 1, 0, pool).unwrap();
+        let a = fused.forward(&input).unwrap();
+        let b = fused.reference(&input).unwrap();
+        prop_assert!(a.approx_eq(&b, 1e-3), "diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn op_counts_mults_reduction_is_exactly_rme(
+        k in 1usize..6,
+        pool in 2usize..5,
+        ch in 1usize..8,
+    ) {
+        let d = k + pool * pool + 4;
+        let g = ConvLayerGeom {
+            name: "g".into(),
+            in_ch: ch,
+            out_ch: ch + 1,
+            in_h: d,
+            in_w: d,
+            k,
+            stride: 1,
+            pad: 0,
+            pool: Some(PoolAfter { window: pool, stride: pool, avg: true }),
+        };
+        let dense = dense_layer_counts(&g);
+        let fused = mlcnn_layer_counts(&g);
+        let conv_w = d - k + 1;
+        let pooled_w = (conv_w - pool) / pool + 1;
+        // mult ratio equals (pooled / conv)² exactly
+        let expect = (pooled_w * pooled_w) as f64 / (conv_w * conv_w) as f64;
+        let got = fused.mults as f64 / dense.mults as f64;
+        prop_assert!((got - expect).abs() < 1e-12, "got {got} expect {expect}");
+        // and approaches 1/pool² on pool-aligned conv outputs
+        if conv_w % pool == 0 {
+            prop_assert!(
+                (got - 1.0 / (pool * pool) as f64).abs() < 1e-12,
+                "aligned case: {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_reduction_rates_are_probabilities(
+        k in 2usize..20,
+        s in 1usize..6,
+        extra in 0usize..64,
+    ) {
+        let d = k + 2 * s + extra;
+        prop_assume!(analytic::pooled_row_width(k, d, s) >= 1);
+        for rate in [
+            analytic::lar_reduction_rate(k, s),
+            analytic::gar_reduction_rate(k, d, s),
+            analytic::both_reduction_rate(k, d, s),
+        ] {
+            prop_assert!((0.0..=0.80).contains(&rate), "rate {rate} out of range");
+        }
+    }
+
+    #[test]
+    fn simulator_block_adds_bounded_by_no_reuse(
+        k in 1usize..10,
+        extra in 0usize..24,
+        p in 2usize..5,
+    ) {
+        let d = k + p * 2 + extra;
+        let none = simulate_row(k, d, 1, p, ReuseMode::None);
+        let both = simulate_row(k, d, 1, p, ReuseMode::Both);
+        prop_assert!(both.block_adds <= none.block_adds);
+        prop_assert_eq!(both.major_adds, none.major_adds);
+    }
+}

@@ -421,8 +421,7 @@ mod tests {
         let input = init::uniform(Shape4::hw(5, 5), -1.0, 1.0, &mut rng);
         let weights = [0.5_f32, -1.0, 0.25, 2.0];
         let bias = 0.1;
-        let (hw_out, cycles) =
-            run_fused_pipeline(input.as_slice(), 5, 5, &weights, 2, bias);
+        let (hw_out, cycles) = run_fused_pipeline(input.as_slice(), 5, 5, &weights, 2, bias);
         assert!(cycles > 0);
 
         let w = Tensor::from_vec(Shape4::new(1, 1, 2, 2), weights.to_vec()).unwrap();

@@ -115,6 +115,38 @@ impl AcceleratorConfig {
     pub fn ar_adds_per_cycle(&self) -> usize {
         self.mac_slices * self.ar_adders_per_slice
     }
+
+    /// Lint this configuration against the Table VII invariants: area and
+    /// buffer budgets (`A004`/`A005`), slices-per-precision scaling
+    /// (`A006`, warning), degenerate parameters (`A007`) and a fused
+    /// datapath without AR adders (`A008`, warning).
+    pub fn validate(&self) -> Vec<mlcnn_check::Diagnostic> {
+        let mut reporter = mlcnn_check::Reporter::new();
+        let lint = mlcnn_check::AccelConfigLint {
+            name: self.name.clone(),
+            bytes_per_element: self.precision.bytes(),
+            mac_slices: self.mac_slices,
+            expected_slices: BASE_SLICES * self.precision.slice_multiplier(),
+            ar_adders_per_slice: self.ar_adders_per_slice,
+            mlcnn_datapath: self.mlcnn_datapath,
+            dram_bytes_per_cycle: self.dram_bytes_per_cycle,
+            freq_mhz: self.freq_mhz,
+            buffer_kb: self.buffer_kb,
+            area_mm2: self.area_mm2,
+            area_budget_mm2: AREA_MM2,
+            buffer_budget_kb: BUFFER_KB,
+        };
+        mlcnn_check::check_accel_config(&lint, &mut reporter);
+        reporter.into_diagnostics()
+    }
+
+    /// `validate`, keeping only the denials.
+    pub fn validate_errors(&self) -> Vec<mlcnn_check::Diagnostic> {
+        self.validate()
+            .into_iter()
+            .filter(|d| d.severity == mlcnn_check::Severity::Deny)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +167,28 @@ mod tests {
         }
         assert!(!t[0].mlcnn_datapath);
         assert!(t[1..].iter().all(|c| c.mlcnn_datapath));
+    }
+
+    #[test]
+    fn every_table7_config_validates_cleanly() {
+        for cfg in AcceleratorConfig::table7() {
+            let diags = cfg.validate();
+            assert!(diags.is_empty(), "{}: {diags:?}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_budget_overruns() {
+        let mut cfg = AcceleratorConfig::mlcnn_fp32();
+        cfg.area_mm2 = 3.0;
+        cfg.buffer_kb = 512;
+        let denies = cfg.validate_errors();
+        assert!(denies
+            .iter()
+            .any(|d| d.code == mlcnn_check::Code::AreaBudgetExceeded));
+        assert!(denies
+            .iter()
+            .any(|d| d.code == mlcnn_check::Code::BufferBudgetExceeded));
     }
 
     #[test]

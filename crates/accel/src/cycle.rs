@@ -105,8 +105,15 @@ fn hw_extra_adds(g: &ConvLayerGeom, cfg: &AcceleratorConfig, fused: bool) -> u64
 /// DRAM traffic for one layer on a machine, including pooling-aware
 /// output sizing and preprocessing halvings.
 fn layer_traffic(g: &ConvLayerGeom, cfg: &AcceleratorConfig, ctx: LayerContext) -> Traffic {
-    let (_t, mut traffic) = search_tiling(g, cfg.buffer_elements())
+    let (t, mut traffic) = search_tiling(g, cfg.buffer_elements())
         .unwrap_or_else(|| panic!("layer {} fits no tiling in the buffer", g.name));
+    debug_assert!(
+        t.validate(g, cfg.buffer_elements())
+            .iter()
+            .all(|d| d.severity != mlcnn_check::Severity::Deny),
+        "search_tiling returned a tiling the checker denies for {}",
+        g.name
+    );
     // both machines pool on-chip before writeback: outputs shrink by the
     // pooled fraction
     if let Some(p) = g.pool {
@@ -125,6 +132,22 @@ fn layer_traffic(g: &ConvLayerGeom, cfg: &AcceleratorConfig, ctx: LayerContext) 
     traffic
 }
 
+/// Panic with the checker's denials when a config is invalid; a broken
+/// machine description would otherwise surface as a divide-by-zero or a
+/// silently wrong cycle count deep in the model.
+fn assert_config_valid(cfg: &AcceleratorConfig) {
+    let denies = cfg.validate_errors();
+    assert!(
+        denies.is_empty(),
+        "invalid accelerator config: {}",
+        denies
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
 /// Simulate one layer on a machine.
 pub fn simulate_layer(
     g: &ConvLayerGeom,
@@ -132,6 +155,7 @@ pub fn simulate_layer(
     energy_model: &EnergyModel,
     ctx: LayerContext,
 ) -> LayerPerf {
+    assert_config_valid(cfg);
     let fused = runs_fused(g, cfg);
     let ops = if fused {
         mlcnn_layer_counts(g)
@@ -163,8 +187,8 @@ pub fn simulate_layer(
     // every multiply reads two operands from the buffer; AR adds read one
     // fresh operand each (the other comes from a register); outputs write
     // back once.
-    let buffer_bytes = (2 * ops.mults + extra_adds + traffic.output_writes) as f64
-        * cfg.precision.bytes() as f64;
+    let buffer_bytes =
+        (2 * ops.mults + extra_adds + traffic.output_writes) as f64 * cfg.precision.bytes() as f64;
     let buffer_nj = buffer_bytes * energy_model.buffer_pj_per_byte / 1000.0;
     let dram_nj = traffic_bytes as f64 * energy_model.dram_pj_per_byte / 1000.0;
     let seconds = cycles as f64 / (cfg.freq_mhz * 1e6);
@@ -221,6 +245,7 @@ pub fn simulate_model(
     cfg: &AcceleratorConfig,
     energy_model: &EnergyModel,
 ) -> ModelPerf {
+    assert_config_valid(cfg);
     let fusable: Vec<bool> = model
         .convs
         .iter()
@@ -283,12 +308,7 @@ pub fn fused_layer_energy_gains(base: &ModelPerf, fast: &ModelPerf) -> Vec<(Stri
         .iter()
         .zip(&fast.layers)
         .filter(|(_, f)| f.fused)
-        .map(|(b, f)| {
-            (
-                f.name.clone(),
-                b.energy.total_nj() / f.energy.total_nj(),
-            )
-        })
+        .map(|(b, f)| (f.name.clone(), b.energy.total_nj() / f.energy.total_nj()))
         .collect()
 }
 
@@ -330,7 +350,11 @@ mod tests {
         for model in zoo::evaluation_models(100) {
             let base = sim(&model, &AcceleratorConfig::dcnn_fp32());
             let fast = sim(&model, &AcceleratorConfig::mlcnn_fp32());
-            speedups.extend(fused_layer_speedups(&base, &fast).into_iter().map(|(_, s)| s));
+            speedups.extend(
+                fused_layer_speedups(&base, &fast)
+                    .into_iter()
+                    .map(|(_, s)| s),
+            );
         }
         let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
         assert!(
@@ -417,6 +441,14 @@ mod tests {
                 l.name
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid accelerator config")]
+    fn simulating_on_a_broken_config_panics_with_diagnostics() {
+        let mut cfg = AcceleratorConfig::mlcnn_fp32();
+        cfg.mac_slices = 0;
+        sim(&zoo::lenet5(10), &cfg);
     }
 
     #[test]

@@ -34,11 +34,51 @@ pub struct Tiling {
 impl Tiling {
     /// On-chip elements needed to hold one tile of inputs + weights +
     /// outputs for a layer with kernel `k` and stride `s`.
+    ///
+    /// A degenerate tile (any extent zero) reads as `usize::MAX` — "does
+    /// not fit anywhere" — rather than underflowing, and huge extents
+    /// saturate instead of wrapping.
     pub fn footprint_elements(&self, k: usize, s: usize) -> usize {
-        let in_tile = self.tn * (s * (self.tr - 1) + k) * (s * (self.tc - 1) + k);
-        let w_tile = self.tm * self.tn * k * k;
-        let out_tile = self.tm * self.tr * self.tc;
-        in_tile + w_tile + out_tile
+        mlcnn_check::accel::tile_footprint_elements(&self.as_lint(k, s, 0, None))
+    }
+
+    /// The checker's raw view of this tiling.
+    fn as_lint(
+        &self,
+        k: usize,
+        s: usize,
+        capacity_elements: usize,
+        layer_extents: Option<(usize, usize, usize, usize)>,
+    ) -> mlcnn_check::TilingLint {
+        mlcnn_check::TilingLint {
+            tm: self.tm,
+            tn: self.tn,
+            tr: self.tr,
+            tc: self.tc,
+            k,
+            stride: s,
+            capacity_elements,
+            layer_extents,
+        }
+    }
+
+    /// Lint this tiling against a layer and buffer capacity: zero extents
+    /// (`A001`), footprint vs capacity (`A002`), tile vs layer extents
+    /// (`A003`, warning).
+    pub fn validate(
+        &self,
+        g: &ConvLayerGeom,
+        capacity_elements: usize,
+    ) -> Vec<mlcnn_check::Diagnostic> {
+        let mut reporter = mlcnn_check::Reporter::new();
+        let lint = self.as_lint(
+            g.k,
+            g.stride,
+            capacity_elements,
+            Some((g.out_ch, g.in_ch, g.out_h(), g.out_w())),
+        );
+        mlcnn_check::check_tiling(&lint, &mut reporter);
+        reporter.into_diagnostics()
     }
 }
 
@@ -160,6 +200,68 @@ mod tests {
         };
         // input: 2 * 10 * 10, weights: 4*2*9, output: 4*8*8
         assert_eq!(t.footprint_elements(3, 1), 200 + 72 + 256);
+    }
+
+    #[test]
+    fn zero_extent_footprint_saturates_instead_of_underflowing() {
+        // regression: `s*(tr-1)+k` underflowed for tr == 0 or tc == 0
+        for t in [
+            Tiling {
+                tm: 4,
+                tn: 2,
+                tr: 0,
+                tc: 8,
+            },
+            Tiling {
+                tm: 4,
+                tn: 2,
+                tr: 8,
+                tc: 0,
+            },
+            Tiling {
+                tm: 0,
+                tn: 0,
+                tr: 0,
+                tc: 0,
+            },
+        ] {
+            assert_eq!(t.footprint_elements(3, 1), usize::MAX);
+        }
+        // and such a tile never passes a capacity check in the search
+        let g = geom(8, 8, 16, 3, 1);
+        let degenerate = Tiling {
+            tm: 8,
+            tn: 8,
+            tr: 0,
+            tc: 16,
+        };
+        assert!(degenerate.footprint_elements(g.k, g.stride) > usize::MAX / 2);
+    }
+
+    #[test]
+    fn validate_flags_degenerate_and_oversized_tilings() {
+        let g = geom(8, 8, 16, 3, 1);
+        let zero = Tiling {
+            tm: 8,
+            tn: 8,
+            tr: 0,
+            tc: 16,
+        };
+        assert!(zero
+            .validate(&g, 1 << 20)
+            .iter()
+            .any(|d| d.code == mlcnn_check::Code::ZeroTileExtent));
+        let whole = Tiling {
+            tm: 8,
+            tn: 8,
+            tr: g.out_h(),
+            tc: g.out_w(),
+        };
+        assert!(whole
+            .validate(&g, 16)
+            .iter()
+            .any(|d| d.code == mlcnn_check::Code::FootprintExceedsBuffer));
+        assert!(whole.validate(&g, 1 << 20).is_empty());
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl TileTrace {
 /// soon as the channel is free (double buffering — one tile of lookahead);
 /// tile `i`'s compute starts when its load completed and the previous
 /// compute finished; its store queues on the channel after compute.
-pub fn trace_layer(
-    g: &ConvLayerGeom,
-    cfg: &AcceleratorConfig,
-    tiling: &Tiling,
-) -> TileTrace {
+pub fn trace_layer(g: &ConvLayerGeom, cfg: &AcceleratorConfig, tiling: &Tiling) -> TileTrace {
     let fused = runs_fused(g, cfg);
     let ops = if fused {
         mlcnn_layer_counts(g)
@@ -85,30 +81,25 @@ pub fn trace_layer(
     // we are studying, not intra-tile variation)
     let compute_total = ops.mults.div_ceil(cfg.macs_per_cycle() as u64);
     let compute_per_tile = compute_total.div_ceil(n_tiles as u64).max(1);
-    let load_bytes =
-        (traffic.input_reads + traffic.weight_reads) * cfg.precision.bytes() as u64;
+    let load_bytes = (traffic.input_reads + traffic.weight_reads) * cfg.precision.bytes() as u64;
     let store_bytes = traffic.output_writes * cfg.precision.bytes() as u64;
-    let load_per_tile = ((load_bytes as f64 / n_tiles as f64) / cfg.dram_bytes_per_cycle)
-        .ceil() as u64;
-    let store_per_tile = ((store_bytes as f64 / n_tiles as f64) / cfg.dram_bytes_per_cycle)
-        .ceil() as u64;
+    let load_per_tile =
+        ((load_bytes as f64 / n_tiles as f64) / cfg.dram_bytes_per_cycle).ceil() as u64;
+    let store_per_tile =
+        ((store_bytes as f64 / n_tiles as f64) / cfg.dram_bytes_per_cycle).ceil() as u64;
 
     let mut events: Vec<TileEvent> = Vec::with_capacity(n_tiles);
     let mut channel_free = 0u64; // DRAM channel availability
     let mut compute_free = 0u64; // MAC array availability
-    // the previous tile's writeback is deferred until after the next
-    // tile's load has been issued, so the channel prefetches during
-    // compute instead of stalling on the store's compute dependency.
+                                 // the previous tile's writeback is deferred until after the next
+                                 // tile's load has been issued, so the channel prefetches during
+                                 // compute instead of stalling on the store's compute dependency.
     let mut pending_store: Option<(usize, u64)> = None;
 
     for i in 0..n_tiles {
         // double buffering: load i may not start before compute of i-2
         // finished (its buffer bank is still in use until then)
-        let bank_free = if i >= 2 {
-            events[i - 2].compute.1
-        } else {
-            0
-        };
+        let bank_free = if i >= 2 { events[i - 2].compute.1 } else { 0 };
         let load_start = channel_free.max(bank_free);
         let load_end = load_start + load_per_tile;
         channel_free = load_end;
@@ -262,7 +253,10 @@ mod tests {
         let du = trace.dram_utilization();
         assert!((0.0..=1.0).contains(&cu));
         assert!((0.0..=1.0).contains(&du));
-        assert!(cu.max(du) > 0.8, "bottleneck resource should be busy: {cu} {du}");
+        assert!(
+            cu.max(du) > 0.8,
+            "bottleneck resource should be busy: {cu} {du}"
+        );
     }
 
     #[test]

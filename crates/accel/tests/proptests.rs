@@ -11,8 +11,15 @@ use mlcnn_nn::zoo::{ConvLayerGeom, PoolAfter};
 use proptest::prelude::*;
 
 fn arb_geom() -> impl Strategy<Value = ConvLayerGeom> {
-    (1usize..32, 1usize..32, 2usize..5, 0usize..2, 3usize..7, any::<bool>()).prop_map(
-        |(in_ch, out_ch, k, pad, half_d, pooled)| {
+    (
+        1usize..32,
+        1usize..32,
+        2usize..5,
+        0usize..2,
+        3usize..7,
+        any::<bool>(),
+    )
+        .prop_map(|(in_ch, out_ch, k, pad, half_d, pooled)| {
             let d = 2 * half_d + k; // ensure a pooled output exists
             ConvLayerGeom {
                 name: "p".into(),
@@ -25,8 +32,7 @@ fn arb_geom() -> impl Strategy<Value = ConvLayerGeom> {
                 pad,
                 pool: pooled.then_some(PoolAfter::avg2()),
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -79,9 +79,11 @@ fn bench_fused_vs_dense(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mlcnn_fused", g.label), &fused, |b, f| {
             b.iter(|| black_box(f.forward(black_box(&input)).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("dense_reference", g.label), &fused, |b, f| {
-            b.iter(|| black_box(f.reference(black_box(&input)).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_reference", g.label),
+            &fused,
+            |b, f| b.iter(|| black_box(f.reference(black_box(&input)).unwrap())),
+        );
     }
     group.finish();
 }
@@ -109,5 +111,9 @@ fn bench_whole_model_fused_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fused_vs_dense, bench_whole_model_fused_inference);
+criterion_group!(
+    benches,
+    bench_fused_vs_dense,
+    bench_whole_model_fused_inference
+);
 criterion_main!(benches);

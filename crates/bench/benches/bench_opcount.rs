@@ -11,11 +11,9 @@ use std::hint::black_box;
 fn bench_fig14_per_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_flop_reductions");
     for model in zoo::evaluation_models(100) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&model.name),
-            &model,
-            |b, m| b.iter(|| black_box(model_reductions(black_box(m)))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&model.name), &model, |b, m| {
+            b.iter(|| black_box(model_reductions(black_box(m))))
+        });
     }
     group.finish();
 }

@@ -41,7 +41,9 @@ fn bench_dorefa(c: &mut Criterion) {
 fn bench_int8_mac(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_int8_mac");
     let a: Vec<Q6> = (0..1024).map(|i| Q6::from_raw((i % 127) as i8)).collect();
-    let b_ops: Vec<Q6> = (0..1024).map(|i| Q6::from_raw((i % 63) as i8 - 31)).collect();
+    let b_ops: Vec<Q6> = (0..1024)
+        .map(|i| Q6::from_raw((i % 63) as i8 - 31))
+        .collect();
     group.bench_function("widening_mac_1024", |bench| {
         bench.iter(|| black_box(mac_i32(0, black_box(&a), black_box(&b_ops))))
     });

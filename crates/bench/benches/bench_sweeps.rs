@@ -36,9 +36,7 @@ fn bench_gar_tables(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simulator", &label),
             &(k, d, s),
-            |b, &(k, d, s)| {
-                b.iter(|| black_box(simulate_row(k, d, s, 2, ReuseMode::Gar)))
-            },
+            |b, &(k, d, s)| b.iter(|| black_box(simulate_row(k, d, s, 2, ReuseMode::Gar))),
         );
     }
     group.finish();

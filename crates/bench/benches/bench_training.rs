@@ -23,7 +23,10 @@ fn bench_epoch(c: &mut Criterion) {
     };
     for (label, specs) in [
         ("lenet5_original", zoo::lenet5_spec(10)),
-        ("lenet5_reordered", reorder_activation_pool(&zoo::lenet5_spec(10)).specs),
+        (
+            "lenet5_reordered",
+            reorder_activation_pool(&zoo::lenet5_spec(10)).specs,
+        ),
         ("vgg_mini_original", zoo::vgg_mini_spec(2, 10)),
         (
             "vgg_mini_reordered",

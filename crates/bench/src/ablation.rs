@@ -167,6 +167,10 @@ mod tests {
                 .map(|v| v > 5.0)
                 .unwrap_or(false)
         });
-        assert!(any_saving, "no layer shows preprocessing savings:\n{}", r.body);
+        assert!(
+            any_saving,
+            "no layer shows preprocessing savings:\n{}",
+            r.body
+        );
     }
 }

@@ -22,9 +22,9 @@ use mlcnn_nn::train::{evaluate, fit, TrainConfig};
 use mlcnn_nn::zoo;
 use mlcnn_nn::{LayerSpec, Network};
 use mlcnn_quant::Precision;
-use mlcnn_tensor::Tensor;
 #[cfg(test)]
 use mlcnn_tensor::Shape4;
+use mlcnn_tensor::Tensor;
 
 /// Sizing knobs for the training experiments.
 #[derive(Debug, Clone, Copy)]
@@ -133,9 +133,7 @@ fn train_eval(
 
 /// Fig. 3: top-1/top-5 accuracy of original vs reordered vs All-Conv.
 pub fn fig3(cfg: &AccuracyConfig) -> Report {
-    let mut rows = vec![row![
-        "dataset", "model", "variant", "top-1", "top-5"
-    ]];
+    let mut rows = vec![row!["dataset", "model", "variant", "top-1", "top-5"]];
     for (ds_name, train, test) in datasets(cfg) {
         for (model, specs) in model_specs(cfg, train.num_classes()) {
             let input = train.item_shape().expect("nonempty dataset");
@@ -149,7 +147,13 @@ pub fn fig3(cfg: &AccuracyConfig) -> Report {
             ];
             for (vname, vspecs) in variants {
                 let (t1, t5) = train_eval(&vspecs, &train, &test, cfg);
-                rows.push(row![ds_name, model, vname, f(t1 as f64, 3), f(t5 as f64, 3)]);
+                rows.push(row![
+                    ds_name,
+                    model,
+                    vname,
+                    f(t1 as f64, 3),
+                    f(t5 as f64, 3)
+                ]);
             }
         }
     }
@@ -235,8 +239,7 @@ pub fn fig12(cfg: &AccuracyConfig) -> Report {
             for precision in Precision::ALL {
                 let mut fresh = build_network(&reordered, input, cfg.seed).unwrap();
                 import_params(&mut fresh, &trained);
-                let stats =
-                    evaluate_quantized(&mut fresh, &test, precision, &[1], 16).unwrap();
+                let stats = evaluate_quantized(&mut fresh, &test, precision, &[1], 16).unwrap();
                 rows.push(row![
                     ds_name,
                     model,

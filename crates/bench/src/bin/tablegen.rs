@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures as text reports.
 //!
 //! ```text
-//! tablegen [--quick] [all | table1 | table2 | ... | table7 |
+//! tablegen [--quick] [all | lint | table1 | table2 | ... | table7 |
 //!           fig3 | fig4 | fig12 | fig13 | fig14 | fig15 |
 //!           limits | ablation]
 //! ```
@@ -11,10 +11,13 @@
 //! require training is printed (`all` adds the training figures too).
 
 use mlcnn_bench::accuracy::AccuracyConfig;
-use mlcnn_bench::{ablation, accel_report, accuracy, flops, model_stats, robustness, sweeps, Report};
+use mlcnn_bench::{
+    ablation, accel_report, accuracy, flops, lint, model_stats, robustness, sweeps, Report,
+};
 
 fn cheap_reports() -> Vec<Report> {
     vec![
+        lint::lint_report(),
         model_stats::table1(),
         sweeps::table2(),
         sweeps::table3(),
@@ -35,6 +38,12 @@ fn cheap_reports() -> Vec<Report> {
 }
 
 fn main() {
+    // static analysis gates everything: broken declarative inputs would
+    // make every generated number garbage
+    if let Err(findings) = lint::gate() {
+        eprintln!("[tablegen] static analysis found fatal problems:\n{findings}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -46,6 +55,7 @@ fn main() {
 
     let select = |id: &str| -> Option<Report> {
         match id {
+            "lint" => Some(lint::lint_report()),
             "table1" => Some(model_stats::table1()),
             "table2" => Some(sweeps::table2()),
             "table3" => Some(sweeps::table3()),

@@ -67,9 +67,8 @@ mod tests {
     #[test]
     fn paper_shape_checks() {
         let data = fig14_data();
-        let by_name = |n: &str| -> &Vec<LayerReduction> {
-            &data.iter().find(|(m, _)| m == n).unwrap().1
-        };
+        let by_name =
+            |n: &str| -> &Vec<LayerReduction> { &data.iter().find(|(m, _)| m == n).unwrap().1 };
         // DenseNet: 75% mults, ~0% adds
         for r in by_name("DenseNet") {
             assert!((r.mult_reduction_pct - 75.0).abs() < 0.5, "{r:?}");

@@ -18,6 +18,7 @@
 //! | Fig. 15 (energy breakdown) | [`accel_report::fig15`] |
 //! | Ablations (DESIGN.md §6) | [`ablation`] |
 //! | Extensions (ResNet-18, shift robustness) | [`accel_report::resnet_extension`], [`robustness`] |
+//! | Static analysis (specs/configs/tilings) | [`lint`] |
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +28,7 @@ pub mod accel_report;
 pub mod accuracy;
 pub mod flops;
 pub mod format;
+pub mod lint;
 pub mod model_stats;
 pub mod robustness;
 pub mod sweeps;

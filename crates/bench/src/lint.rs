@@ -1,0 +1,127 @@
+//! The static-analysis report: run `mlcnn-check` over everything the
+//! harness is about to measure — the model zoo's spec lists, the Table
+//! VII accelerator configs, and the tilings the dataflow search picks for
+//! every conv layer — and render the findings as one report.
+//!
+//! `tablegen` runs [`gate`] before generating anything: a denial means
+//! the declarative inputs are broken and every downstream number would be
+//! garbage, so it refuses to continue. Warnings are expected — the
+//! pre-reorder zoo specs deliberately contain `conv → ReLU → avg-pool`
+//! patterns (that is the paper's motivating story) and are reported, not
+//! fatal.
+
+use crate::Report;
+use mlcnn_accel::dataflow::search_tiling;
+use mlcnn_accel::AcceleratorConfig;
+use mlcnn_check::{lint_network, Reporter};
+use mlcnn_nn::zoo;
+use mlcnn_nn::LayerSpec;
+use mlcnn_tensor::Shape4;
+
+/// The spec lists the harness trains and compiles, with their lint input
+/// shapes.
+pub fn zoo_specs(classes: usize) -> Vec<(&'static str, Vec<LayerSpec>, Shape4)> {
+    let input = Shape4::new(1, 3, 32, 32);
+    vec![
+        ("lenet5", zoo::lenet5_spec(classes), input),
+        ("vgg_mini", zoo::vgg_mini_spec(3, classes), input),
+        (
+            "googlenet_mini",
+            zoo::googlenet_mini_spec(2, classes),
+            input,
+        ),
+        ("densenet_mini", zoo::densenet_mini_spec(4, classes), input),
+        ("resnet_mini", zoo::resnet_mini_spec(4, classes), input),
+    ]
+}
+
+/// Run the full suite and collect every diagnostic into one reporter.
+pub fn run_suite(deny_warnings: bool) -> Reporter {
+    let mut all = if deny_warnings {
+        Reporter::deny_warnings()
+    } else {
+        Reporter::new()
+    };
+
+    // 1. network specs: shapes + fusion legality
+    for (name, specs, input) in zoo_specs(10) {
+        let r = lint_network(name, &specs, input, deny_warnings);
+        all.absorb(r);
+    }
+
+    // 2. accelerator configurations
+    for cfg in AcceleratorConfig::table7() {
+        for d in cfg.validate() {
+            all.push(d);
+        }
+    }
+
+    // 3. the tilings the dataflow search actually picks
+    for model in zoo::table1_models(10) {
+        let cap = AcceleratorConfig::mlcnn_fp32().buffer_elements();
+        for g in &model.convs {
+            match search_tiling(g, cap) {
+                Some((t, _)) => {
+                    for d in t.validate(g, cap) {
+                        all.push(d);
+                    }
+                }
+                None => all.emit(
+                    mlcnn_check::Code::FootprintExceedsBuffer,
+                    None,
+                    format!("{}/{}: no tiling fits the buffer", model.name, g.name),
+                ),
+            }
+        }
+    }
+    all
+}
+
+/// The lint report for `tablegen`.
+pub fn lint_report() -> Report {
+    let r = run_suite(false);
+    let mut body = r.pretty();
+    if r.is_clean() {
+        body = "all specs, configs and tilings clean\n".into();
+    }
+    Report::new("lint", "Static analysis (mlcnn-check)", body)
+}
+
+/// Gate the harness: `Err` with the rendered findings when any denial is
+/// present.
+pub fn gate() -> Result<(), String> {
+    let r = run_suite(false);
+    if r.has_deny() {
+        Err(r.pretty())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_check::Severity;
+
+    #[test]
+    fn suite_has_no_denials() {
+        let r = run_suite(false);
+        assert!(!r.has_deny(), "{}", r.pretty());
+        assert!(gate().is_ok());
+    }
+
+    #[test]
+    fn suite_reports_the_pre_reorder_warnings() {
+        // the zoo's original specs carry conv→ReLU→pool patterns by design
+        let r = run_suite(false);
+        assert!(r.count(Severity::Warn) > 0, "{}", r.pretty());
+        assert!(r.find(mlcnn_check::Code::ActivationBlocksFusion).is_some());
+    }
+
+    #[test]
+    fn report_renders() {
+        let rep = lint_report();
+        assert_eq!(rep.id, "lint");
+        assert!(!rep.body.is_empty());
+    }
+}

@@ -52,7 +52,13 @@ fn reduction(wo: u64, w: u64) -> f64 {
 /// Table II: LAR vs filter size (unit stride, one pooled output).
 pub fn table2() -> Report {
     let mut rows = vec![row![
-        "K", "w/o LAR", "w/ LAR", "red.%", "paper w/o", "paper w/", "sim"
+        "K",
+        "w/o LAR",
+        "w/ LAR",
+        "red.%",
+        "paper w/o",
+        "paper w/",
+        "sim"
     ]];
     for &(k, pwo, pw) in TABLE2_PAPER {
         let wo = analytic::adds_per_output_without(k);
@@ -78,7 +84,13 @@ pub fn table2() -> Report {
 /// Table III: LAR vs step size (K = 11).
 pub fn table3() -> Report {
     let mut rows = vec![row![
-        "S", "w/o LAR", "w/ LAR", "red.%", "paper w/o", "paper w/", "sim"
+        "S",
+        "w/o LAR",
+        "w/ LAR",
+        "red.%",
+        "paper w/o",
+        "paper w/",
+        "sim"
     ]];
     for &(s, pwo, pw) in TABLE3_PAPER {
         let wo = analytic::adds_per_output_without(11);
@@ -93,9 +105,21 @@ pub fn table3() -> Report {
     )
 }
 
-fn gar_table(id: &str, title: &str, rows_in: Published, label: &str, geom: impl Fn(usize) -> (usize, usize, usize)) -> Report {
+fn gar_table(
+    id: &str,
+    title: &str,
+    rows_in: Published,
+    label: &str,
+    geom: impl Fn(usize) -> (usize, usize, usize),
+) -> Report {
     let mut rows = vec![row![
-        label, "w/o GAR", "w/ GAR", "red.%", "paper w/o", "paper w/", "sim"
+        label,
+        "w/o GAR",
+        "w/ GAR",
+        "red.%",
+        "paper w/o",
+        "paper w/",
+        "sim"
     ]];
     for &(p, pwo, pw) in rows_in {
         let (k, d, s) = geom(p);

@@ -1,0 +1,329 @@
+//! Accelerator configuration and tiling lints (paper Table VII and the
+//! ⟨Tm,Tn,Tr,Tc⟩ dataflow of Section VI).
+//!
+//! This module deliberately takes *raw scalars* rather than `mlcnn-accel`
+//! types: the accelerator crate sits above the checker in the dependency
+//! order (it calls into the checker from its simulators), so the checker
+//! cannot name its types. `mlcnn_accel::AcceleratorConfig::validate` and
+//! `mlcnn_accel::Tiling::validate` are thin adapters over these
+//! functions.
+
+use crate::diag::{Code, Reporter};
+
+/// Raw view of an accelerator configuration for linting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfigLint {
+    /// Configuration name, used in messages.
+    pub name: String,
+    /// Operand width in bytes.
+    pub bytes_per_element: usize,
+    /// MAC slice count.
+    pub mac_slices: usize,
+    /// Expected slice count for this precision
+    /// (`base_slices × slice_multiplier`, Table VII scaling).
+    pub expected_slices: usize,
+    /// AR adders per slice.
+    pub ar_adders_per_slice: usize,
+    /// Fused-datapath hardware present.
+    pub mlcnn_datapath: bool,
+    /// Off-chip bandwidth, bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// On-chip buffer in kB.
+    pub buffer_kb: usize,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Area budget the config must fit (Table VII: 1.52 mm²).
+    pub area_budget_mm2: f64,
+    /// Buffer budget the config must fit (Table VII: 134 kB).
+    pub buffer_budget_kb: usize,
+}
+
+/// Lint one accelerator configuration.
+pub fn check_accel_config(cfg: &AccelConfigLint, reporter: &mut Reporter) {
+    reporter.with_context(cfg.name.clone(), |reporter| {
+        if cfg.mac_slices == 0 {
+            reporter.emit(Code::DegenerateConfig, None, "zero MAC slices");
+        }
+        if cfg.buffer_kb == 0 {
+            reporter.emit(Code::DegenerateConfig, None, "zero on-chip buffer");
+        }
+        if cfg.bytes_per_element == 0 {
+            reporter.emit(Code::DegenerateConfig, None, "zero-byte operand width");
+        }
+        if cfg.freq_mhz <= 0.0 || cfg.freq_mhz.is_nan() {
+            reporter.emit(
+                Code::DegenerateConfig,
+                None,
+                format!("non-positive clock {} MHz", cfg.freq_mhz),
+            );
+        }
+        if cfg.dram_bytes_per_cycle <= 0.0 || cfg.dram_bytes_per_cycle.is_nan() {
+            reporter.emit(
+                Code::DegenerateConfig,
+                None,
+                format!(
+                    "non-positive DRAM bandwidth {} B/cycle",
+                    cfg.dram_bytes_per_cycle
+                ),
+            );
+        }
+        if cfg.area_mm2 > cfg.area_budget_mm2 {
+            reporter.emit(
+                Code::AreaBudgetExceeded,
+                None,
+                format!(
+                    "area {:.3} mm² exceeds the {:.3} mm² budget",
+                    cfg.area_mm2, cfg.area_budget_mm2
+                ),
+            );
+        }
+        if cfg.buffer_kb > cfg.buffer_budget_kb {
+            reporter.emit(
+                Code::BufferBudgetExceeded,
+                None,
+                format!(
+                    "buffer {} kB exceeds the {} kB budget",
+                    cfg.buffer_kb, cfg.buffer_budget_kb
+                ),
+            );
+        }
+        if cfg.mac_slices != 0 && cfg.mac_slices != cfg.expected_slices {
+            reporter.emit(
+                Code::SliceScalingMismatch,
+                None,
+                format!(
+                    "{} MAC slices, but the Table VII slices-per-precision \
+                     scaling gives {}",
+                    cfg.mac_slices, cfg.expected_slices
+                ),
+            );
+        }
+        if cfg.mlcnn_datapath && cfg.ar_adders_per_slice == 0 {
+            reporter.emit(
+                Code::DatapathInconsistent,
+                None,
+                "MLCNN datapath enabled but the config has no AR adders",
+            );
+        }
+    });
+}
+
+/// Raw view of a tiling decision for linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingLint {
+    /// Output-channel tile extent.
+    pub tm: usize,
+    /// Input-channel tile extent.
+    pub tn: usize,
+    /// Output-row tile extent.
+    pub tr: usize,
+    /// Output-column tile extent.
+    pub tc: usize,
+    /// Layer kernel extent.
+    pub k: usize,
+    /// Layer stride.
+    pub stride: usize,
+    /// Buffer capacity in elements at the machine's precision.
+    pub capacity_elements: usize,
+    /// Layer extents `(M, N, R, C)` when known, for the
+    /// tile-exceeds-layer check.
+    pub layer_extents: Option<(usize, usize, usize, usize)>,
+}
+
+/// The on-chip footprint of a tile, with saturating arithmetic so that a
+/// degenerate tile reads as "does not fit" instead of wrapping.
+pub fn tile_footprint_elements(t: &TilingLint) -> usize {
+    if t.tm == 0 || t.tn == 0 || t.tr == 0 || t.tc == 0 {
+        return usize::MAX;
+    }
+    let in_h = t.stride.saturating_mul(t.tr - 1).saturating_add(t.k);
+    let in_w = t.stride.saturating_mul(t.tc - 1).saturating_add(t.k);
+    let in_tile = t.tn.saturating_mul(in_h).saturating_mul(in_w);
+    let w_tile =
+        t.tm.saturating_mul(t.tn)
+            .saturating_mul(t.k)
+            .saturating_mul(t.k);
+    let out_tile = t.tm.saturating_mul(t.tr).saturating_mul(t.tc);
+    in_tile.saturating_add(w_tile).saturating_add(out_tile)
+}
+
+/// Lint one tiling against its layer and buffer.
+pub fn check_tiling(t: &TilingLint, reporter: &mut Reporter) {
+    let extents = [("Tm", t.tm), ("Tn", t.tn), ("Tr", t.tr), ("Tc", t.tc)];
+    let mut degenerate = false;
+    for (name, v) in extents {
+        if v == 0 {
+            degenerate = true;
+            reporter.emit(
+                Code::ZeroTileExtent,
+                None,
+                format!("tile extent {name} is zero"),
+            );
+        }
+    }
+    if degenerate {
+        // the footprint of a zero tile is meaningless; stop here
+        return;
+    }
+    let footprint = tile_footprint_elements(t);
+    if footprint > t.capacity_elements {
+        reporter.emit(
+            Code::FootprintExceedsBuffer,
+            None,
+            format!(
+                "tile ⟨{},{},{},{}⟩ needs {footprint} elements on chip, \
+                 buffer holds {}",
+                t.tm, t.tn, t.tr, t.tc, t.capacity_elements
+            ),
+        );
+    }
+    if let Some((m, n, r, c)) = t.layer_extents {
+        for (name, tile, layer) in [
+            ("Tm", t.tm, m),
+            ("Tn", t.tn, n),
+            ("Tr", t.tr, r),
+            ("Tc", t.tc, c),
+        ] {
+            if tile > layer {
+                reporter.emit(
+                    Code::TileExceedsLayer,
+                    None,
+                    format!("tile extent {name}={tile} exceeds the layer's {layer}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn table7_like(name: &str, mult: usize) -> AccelConfigLint {
+        AccelConfigLint {
+            name: name.into(),
+            bytes_per_element: 4 / mult.clamp(1, 4),
+            mac_slices: 32 * mult,
+            expected_slices: 32 * mult,
+            ar_adders_per_slice: 2,
+            mlcnn_datapath: true,
+            dram_bytes_per_cycle: 12.0,
+            freq_mhz: 500.0,
+            buffer_kb: 134,
+            area_mm2: 1.52,
+            area_budget_mm2: 1.52,
+            buffer_budget_kb: 134,
+        }
+    }
+
+    #[test]
+    fn table7_shaped_config_is_clean() {
+        for (name, mult) in [("fp32", 1), ("fp16", 2), ("int8", 4)] {
+            let mut r = Reporter::new();
+            check_accel_config(&table7_like(name, mult), &mut r);
+            assert!(r.is_clean(), "{name}: {}", r.pretty());
+        }
+    }
+
+    #[test]
+    fn budget_overruns_are_a004_a005() {
+        let mut cfg = table7_like("big", 1);
+        cfg.area_mm2 = 2.0;
+        cfg.buffer_kb = 256;
+        let mut r = Reporter::new();
+        check_accel_config(&cfg, &mut r);
+        assert!(r.find(Code::AreaBudgetExceeded).is_some());
+        assert!(r.find(Code::BufferBudgetExceeded).is_some());
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn slice_scaling_mismatch_warns_a006() {
+        let mut cfg = table7_like("odd", 2);
+        cfg.mac_slices = 48;
+        let mut r = Reporter::new();
+        check_accel_config(&cfg, &mut r);
+        let d = r.find(Code::SliceScalingMismatch).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn degenerate_config_is_a007() {
+        let mut cfg = table7_like("dead", 1);
+        cfg.mac_slices = 0;
+        cfg.freq_mhz = 0.0;
+        let mut r = Reporter::new();
+        check_accel_config(&cfg, &mut r);
+        assert!(r.find(Code::DegenerateConfig).is_some());
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn datapath_without_adders_warns_a008() {
+        let mut cfg = table7_like("no-ar", 1);
+        cfg.ar_adders_per_slice = 0;
+        let mut r = Reporter::new();
+        check_accel_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::DatapathInconsistent).unwrap().severity,
+            Severity::Warn
+        );
+    }
+
+    fn tiling(tm: usize, tn: usize, tr: usize, tc: usize, cap: usize) -> TilingLint {
+        TilingLint {
+            tm,
+            tn,
+            tr,
+            tc,
+            k: 3,
+            stride: 1,
+            capacity_elements: cap,
+            layer_extents: None,
+        }
+    }
+
+    #[test]
+    fn zero_extent_tiling_is_a001() {
+        let mut r = Reporter::new();
+        check_tiling(&tiling(4, 0, 8, 8, 1 << 20), &mut r);
+        let d = r.find(Code::ZeroTileExtent).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        // and no spurious footprint diagnostic rides along
+        assert!(r.find(Code::FootprintExceedsBuffer).is_none());
+    }
+
+    #[test]
+    fn oversized_footprint_is_a002() {
+        // ⟨4,2,8,8⟩ at k=3,s=1 needs 200+72+256 = 528 elements
+        let mut r = Reporter::new();
+        check_tiling(&tiling(4, 2, 8, 8, 527), &mut r);
+        assert!(r.find(Code::FootprintExceedsBuffer).is_some());
+        let mut r = Reporter::new();
+        check_tiling(&tiling(4, 2, 8, 8, 528), &mut r);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn tile_exceeding_layer_warns_a003() {
+        let mut t = tiling(64, 2, 8, 8, 1 << 20);
+        t.layer_extents = Some((32, 2, 8, 8));
+        let mut r = Reporter::new();
+        check_tiling(&t, &mut r);
+        assert_eq!(
+            r.find(Code::TileExceedsLayer).unwrap().severity,
+            Severity::Warn
+        );
+    }
+
+    #[test]
+    fn footprint_saturates_instead_of_wrapping() {
+        let t = tiling(usize::MAX, usize::MAX, usize::MAX, usize::MAX, 100);
+        assert_eq!(tile_footprint_elements(&t), usize::MAX);
+        let z = tiling(0, 1, 1, 1, 100);
+        assert_eq!(tile_footprint_elements(&z), usize::MAX);
+    }
+}

@@ -1,0 +1,447 @@
+//! The diagnostics engine: codes, severities, spans and the reporter the
+//! analysis passes emit through.
+//!
+//! Every check in the crate reports through a [`Reporter`], so callers get a
+//! uniform surface: collect, filter by severity, escalate warnings to denials
+//! (`-D warnings` style), pretty-print for humans or serialize to JSON for
+//! tooling. Codes are stable strings (`S###` shape, `F###` fusion, `A###`
+//! accelerator) so tests and downstream tools can match on them without
+//! parsing messages.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but legal; the artifact still builds/runs.
+    Warn,
+    /// Definitely broken; building or running the artifact will fail or
+    /// silently compute garbage.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Deny => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. `S` = shape inference, `F` = fusion/reorder
+/// legality, `A` = accelerator configuration and tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// S001: convolution or pooling stride of zero.
+    ZeroStride,
+    /// S002: zero-extent kernel, window, channel or feature count.
+    ZeroExtent,
+    /// S003: kernel larger than the (padded) input plane.
+    KernelExceedsInput,
+    /// S004: pool window larger than the input plane.
+    PoolExceedsInput,
+    /// S005: pool stride does not divide the input plane; trailing rows
+    /// and columns are silently dropped.
+    PoolNotDividing,
+    /// S006: `Linear` applied to an unflattened spatial input (legal —
+    /// the builder flattens implicitly — but usually a missing `Flatten`).
+    LinearOnSpatial,
+    /// S007: `GlobalAvgPool` on a non-square plane.
+    NonSquareGlobalPool,
+    /// S008: inception branches disagree on their output spatial shape.
+    InceptionMismatch,
+    /// S009: composite layer with no branches/empty inner pipeline.
+    EmptyComposite,
+    /// S010: residual main and skip branches disagree on shape.
+    ResidualMismatch,
+    /// S011: geometry rejected by the tensor layer for a reason not
+    /// covered by a more specific code.
+    BadGeometry,
+    /// F001: conv followed by an *overlapping* average pool — the MLCNN
+    /// fused datapath only handles `window == stride`.
+    OverlappingPoolFusion,
+    /// F002: `Conv → ReLU → AvgPool` — reordering the activation behind
+    /// the pool (paper Section III) would expose a fusable pair.
+    ActivationBlocksFusion,
+    /// F003: non-overlapping average pool whose producer is not a
+    /// convolution; the fused conv-pool operator cannot absorb it.
+    NonConvPoolProducer,
+    /// F004: composite layer (inception / dense / residual) in a pipeline
+    /// meant for `FusedNetwork::compile`, which is sequential-only.
+    CompositeNotCompilable,
+    /// F005: `BatchNorm` must be folded into the conv weights before
+    /// fused compilation.
+    BatchNormNotFoldable,
+    /// A001: tiling with a zero extent.
+    ZeroTileExtent,
+    /// A002: tiling footprint exceeds the on-chip buffer capacity.
+    FootprintExceedsBuffer,
+    /// A003: tile extent exceeds the layer dimension it tiles (wasteful,
+    /// not wrong — the tile is clipped).
+    TileExceedsLayer,
+    /// A004: configuration exceeds the die area budget.
+    AreaBudgetExceeded,
+    /// A005: configuration exceeds the on-chip memory budget.
+    BufferBudgetExceeded,
+    /// A006: MAC slice count does not follow the Table VII
+    /// slices-per-precision scaling.
+    SliceScalingMismatch,
+    /// A007: degenerate configuration (zero slices, zero buffer,
+    /// non-positive clock or bandwidth).
+    DegenerateConfig,
+    /// A008: MLCNN datapath enabled but no AR adders to run it.
+    DatapathInconsistent,
+}
+
+impl Code {
+    /// The stable string form, e.g. `"S003"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::ZeroStride => "S001",
+            Code::ZeroExtent => "S002",
+            Code::KernelExceedsInput => "S003",
+            Code::PoolExceedsInput => "S004",
+            Code::PoolNotDividing => "S005",
+            Code::LinearOnSpatial => "S006",
+            Code::NonSquareGlobalPool => "S007",
+            Code::InceptionMismatch => "S008",
+            Code::EmptyComposite => "S009",
+            Code::ResidualMismatch => "S010",
+            Code::BadGeometry => "S011",
+            Code::OverlappingPoolFusion => "F001",
+            Code::ActivationBlocksFusion => "F002",
+            Code::NonConvPoolProducer => "F003",
+            Code::CompositeNotCompilable => "F004",
+            Code::BatchNormNotFoldable => "F005",
+            Code::ZeroTileExtent => "A001",
+            Code::FootprintExceedsBuffer => "A002",
+            Code::TileExceedsLayer => "A003",
+            Code::AreaBudgetExceeded => "A004",
+            Code::BufferBudgetExceeded => "A005",
+            Code::SliceScalingMismatch => "A006",
+            Code::DegenerateConfig => "A007",
+            Code::DatapathInconsistent => "A008",
+        }
+    }
+
+    /// The severity the code carries unless the reporter escalates it.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::PoolNotDividing
+            | Code::LinearOnSpatial
+            | Code::OverlappingPoolFusion
+            | Code::ActivationBlocksFusion
+            | Code::NonConvPoolProducer
+            | Code::TileExceedsLayer
+            | Code::SliceScalingMismatch
+            | Code::DatapathInconsistent => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Half-open range of layer indices a diagnostic refers to, within the
+/// spec list handed to the pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First layer index covered.
+    pub start: usize,
+    /// One past the last layer index covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// Span covering a single layer.
+    pub fn layer(i: usize) -> Self {
+        Span {
+            start: i,
+            end: i + 1,
+        }
+    }
+
+    /// Span covering layers `start..end`.
+    pub fn range(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end == self.start + 1 {
+            write!(f, "layer {}", self.start)
+        } else {
+            write!(f, "layers {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Effective severity (after any escalation).
+    pub severity: Severity,
+    /// Layers concerned, when the finding is about a spec list.
+    pub layer_span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(span) = self.layer_span {
+            write!(f, " at {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Collects diagnostics from the analysis passes.
+///
+/// A reporter is the unit of one lint run: passes `emit` into it, callers
+/// then query `has_deny` / `pretty` / `to_json`. With
+/// [`Reporter::deny_warnings`] every warning is escalated to a denial, the
+/// moral equivalent of `-D warnings`.
+#[derive(Debug, Default, Clone)]
+pub struct Reporter {
+    diags: Vec<Diagnostic>,
+    deny_warnings: bool,
+    /// Context prefix prepended to messages (e.g. a model name or an
+    /// inception-branch path), maintained by [`Reporter::with_context`].
+    context: Vec<String>,
+}
+
+impl Reporter {
+    /// Empty reporter with default severities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty reporter that escalates every warning to a denial.
+    pub fn deny_warnings() -> Self {
+        Reporter {
+            deny_warnings: true,
+            ..Self::default()
+        }
+    }
+
+    /// Record a finding. Severity comes from the code's default, escalated
+    /// under `deny_warnings`.
+    pub fn emit(&mut self, code: Code, layer_span: Option<Span>, message: impl Into<String>) {
+        let mut severity = code.default_severity();
+        if self.deny_warnings {
+            severity = Severity::Deny;
+        }
+        let message = if self.context.is_empty() {
+            message.into()
+        } else {
+            format!("{}: {}", self.context.join(": "), message.into())
+        };
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            layer_span,
+            message,
+        });
+    }
+
+    /// Record an already-built diagnostic (e.g. returned by a `validate`
+    /// wrapper), escalating its severity under `deny_warnings`.
+    pub fn push(&mut self, mut diag: Diagnostic) {
+        if self.deny_warnings {
+            diag.severity = Severity::Deny;
+        }
+        self.diags.push(diag);
+    }
+
+    /// Run `f` with `label` pushed onto the message context.
+    pub fn with_context<R>(
+        &mut self,
+        label: impl Into<String>,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        self.context.push(label.into());
+        let r = f(self);
+        self.context.pop();
+        r
+    }
+
+    /// Every recorded diagnostic, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consume the reporter, returning its diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// True when no diagnostics were recorded at all.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// True when at least one denial was recorded.
+    pub fn has_deny(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Count of diagnostics at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// First diagnostic carrying `code`, if any.
+    pub fn find(&self, code: Code) -> Option<&Diagnostic> {
+        self.diags.iter().find(|d| d.code == code)
+    }
+
+    /// Absorb another reporter's diagnostics (context prefixes already
+    /// baked into the messages).
+    pub fn absorb(&mut self, other: Reporter) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Human-readable rendering, one diagnostic per line plus a summary.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn)
+        ));
+        out
+    }
+
+    /// JSON rendering: an array of diagnostic objects. Hand-rolled — the
+    /// workspace carries no JSON dependency — with full string escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":\"");
+            out.push_str(d.code.as_str());
+            out.push_str("\",\"severity\":\"");
+            out.push_str(match d.severity {
+                Severity::Warn => "warning",
+                Severity::Deny => "error",
+            });
+            out.push_str("\",\"layer_span\":");
+            match d.layer_span {
+                Some(s) => out.push_str(&format!("{{\"start\":{},\"end\":{}}}", s.start, s.end)),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":\"");
+            out.push_str(&escape_json(&d.message));
+            out.push_str("\"}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_stable_strings_and_severities() {
+        assert_eq!(Code::KernelExceedsInput.as_str(), "S003");
+        assert_eq!(Code::OverlappingPoolFusion.as_str(), "F001");
+        assert_eq!(Code::ZeroTileExtent.as_str(), "A001");
+        assert_eq!(
+            Code::FootprintExceedsBuffer.default_severity(),
+            Severity::Deny
+        );
+        assert_eq!(Code::PoolNotDividing.default_severity(), Severity::Warn);
+    }
+
+    #[test]
+    fn deny_warnings_escalates() {
+        let mut r = Reporter::new();
+        r.emit(Code::PoolNotDividing, Some(Span::layer(2)), "drops a row");
+        assert!(!r.has_deny());
+
+        let mut r = Reporter::deny_warnings();
+        r.emit(Code::PoolNotDividing, Some(Span::layer(2)), "drops a row");
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn context_prefixes_messages() {
+        let mut r = Reporter::new();
+        r.with_context("lenet5", |r| {
+            r.emit(Code::ZeroStride, Some(Span::layer(0)), "stride is zero")
+        });
+        assert!(r.diagnostics()[0].message.starts_with("lenet5: "));
+    }
+
+    #[test]
+    fn pretty_lists_every_diag_and_a_summary() {
+        let mut r = Reporter::new();
+        r.emit(Code::ZeroStride, Some(Span::layer(0)), "stride is zero");
+        r.emit(Code::PoolNotDividing, None, "drops a row");
+        let p = r.pretty();
+        assert!(p.contains("error[S001] at layer 0: stride is zero"));
+        assert!(p.contains("warning[S005]: drops a row"));
+        assert!(p.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut r = Reporter::new();
+        r.emit(
+            Code::BadGeometry,
+            Some(Span::range(1, 3)),
+            "a \"quoted\"\nthing",
+        );
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            concat!(
+                "[{\"code\":\"S011\",\"severity\":\"error\",",
+                "\"layer_span\":{\"start\":1,\"end\":3},",
+                "\"message\":\"a \\\"quoted\\\"\\nthing\"}]"
+            )
+        );
+    }
+
+    #[test]
+    fn empty_reporter_is_clean_and_serializes() {
+        let r = Reporter::new();
+        assert!(r.is_clean());
+        assert_eq!(r.to_json(), "[]");
+    }
+}

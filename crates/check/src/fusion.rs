@@ -1,0 +1,263 @@
+//! Fusion and reorder legality over sequential spec lists.
+//!
+//! The MLCNN accelerator fuses a convolution with an immediately following
+//! *non-overlapping* average pool (paper Section V); the reorder pass of
+//! Section III moves ReLU behind the pool to expose such pairs. This pass
+//! classifies every pool in a pipeline:
+//!
+//! * `Conv → AvgPool{w==s} [→ ReLU]` — a fusable group, reported with its
+//!   predicted relative multiplication efficiency `RME = 1 − 1/Kp²`
+//!   (the fraction of dense multiplications the fused datapath removes);
+//! * `Conv → ReLU → AvgPool{w==s}` — fusable *after* reordering
+//!   ([`Code::ActivationBlocksFusion`], the paper's motivating case);
+//! * `Conv → AvgPool{w≠s}` — overlapping windows, the fused datapath
+//!   cannot produce them ([`Code::OverlappingPoolFusion`]);
+//! * a non-overlapping average pool with no producing conv —
+//!   nothing to fuse into ([`Code::NonConvPoolProducer`]).
+
+use crate::diag::{Code, Reporter, Span};
+use mlcnn_nn::LayerSpec;
+
+/// How a conv/pool pair relates to the fused datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionClass {
+    /// Fusable as-is.
+    Fusable,
+    /// Fusable once the intervening ReLU is reordered behind the pool.
+    FusableAfterReorder,
+    /// Not fusable: the pool windows overlap.
+    Overlapping,
+    /// Not fusable: the pool's producer is not a convolution.
+    NonConvProducer,
+}
+
+/// One identified conv→pool group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionGroup {
+    /// Index of the convolution (or of the pool itself for
+    /// [`FusionClass::NonConvProducer`]).
+    pub start: usize,
+    /// One past the last layer of the group.
+    pub end: usize,
+    /// Classification.
+    pub class: FusionClass,
+    /// Pool window extent (square).
+    pub pool_window: usize,
+    /// Predicted relative multiplication efficiency for the fusable
+    /// classes: `1 − 1/Kp²`, the fraction of multiplications the fused
+    /// conv-pool removes (paper Eq. 4 with non-overlapping pooling).
+    pub rme_ratio: f64,
+}
+
+/// The MLCNN multiplication saving for a `Kp × Kp` non-overlapping pool.
+pub fn rme_ratio(pool_window: usize) -> f64 {
+    if pool_window == 0 {
+        return 0.0;
+    }
+    1.0 - 1.0 / (pool_window * pool_window) as f64
+}
+
+/// Classify every pool in a sequential spec list, emitting warnings for
+/// the near-misses. `global_pool_window` supplies the effective window of
+/// a `GlobalAvgPool` at each layer index when the caller ran shape
+/// inference (`window = input plane extent`); without it global pools are
+/// reported with window 0.
+pub fn check_fusion(
+    specs: &[LayerSpec],
+    global_pool_window: impl Fn(usize) -> Option<usize>,
+    reporter: &mut Reporter,
+) -> Vec<FusionGroup> {
+    let mut groups = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let (window, stride) = match spec {
+            LayerSpec::AvgPool { window, stride } => (*window, *stride),
+            LayerSpec::GlobalAvgPool => {
+                let w = global_pool_window(i).unwrap_or(0);
+                (w, w)
+            }
+            _ => continue,
+        };
+        let producer = if i > 0 { specs.get(i - 1) } else { None };
+        let producer2 = if i > 1 { specs.get(i - 2) } else { None };
+        // a global pool is one non-overlapping window even when the caller
+        // could not supply its extent (window 0 = unknown, rme reads 0)
+        let non_overlapping =
+            matches!(spec, LayerSpec::GlobalAvgPool) || (window == stride && window > 0);
+        match (producer2, producer) {
+            (_, Some(LayerSpec::Conv { .. })) if non_overlapping => {
+                let has_relu = matches!(specs.get(i + 1), Some(LayerSpec::ReLU));
+                groups.push(FusionGroup {
+                    start: i - 1,
+                    end: i + 1 + usize::from(has_relu),
+                    class: FusionClass::Fusable,
+                    pool_window: window,
+                    rme_ratio: rme_ratio(window),
+                });
+            }
+            (_, Some(LayerSpec::Conv { .. })) => {
+                reporter.emit(
+                    Code::OverlappingPoolFusion,
+                    Some(Span::range(i - 1, i + 1)),
+                    format!(
+                        "average pool {window}/{stride} overlaps; the fused conv-pool \
+                         datapath needs window == stride, so this pair runs dense"
+                    ),
+                );
+                groups.push(FusionGroup {
+                    start: i - 1,
+                    end: i + 1,
+                    class: FusionClass::Overlapping,
+                    pool_window: window,
+                    rme_ratio: 0.0,
+                });
+            }
+            (Some(LayerSpec::Conv { .. }), Some(LayerSpec::ReLU)) if non_overlapping => {
+                reporter.emit(
+                    Code::ActivationBlocksFusion,
+                    Some(Span::range(i - 2, i + 1)),
+                    format!(
+                        "ReLU sits between the conv and its {window}x{window} average \
+                         pool; reordering (Section III) would expose a fusable pair \
+                         saving {:.0}% of its multiplications",
+                        100.0 * rme_ratio(window)
+                    ),
+                );
+                groups.push(FusionGroup {
+                    start: i - 2,
+                    end: i + 1,
+                    class: FusionClass::FusableAfterReorder,
+                    pool_window: window,
+                    rme_ratio: rme_ratio(window),
+                });
+            }
+            _ if non_overlapping => {
+                reporter.emit(
+                    Code::NonConvPoolProducer,
+                    Some(Span::layer(i)),
+                    "non-overlapping average pool is not fed by a convolution; \
+                     nothing to fuse it into",
+                );
+                groups.push(FusionGroup {
+                    start: i,
+                    end: i + 1,
+                    class: FusionClass::NonConvProducer,
+                    pool_window: window,
+                    rme_ratio: 0.0,
+                });
+            }
+            _ => {}
+        }
+    }
+    groups
+}
+
+/// Count the groups of a given class.
+pub fn count_class(groups: &[FusionGroup], class: FusionClass) -> usize {
+    groups.iter().filter(|g| g.class == class).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(specs: &[LayerSpec]) -> (Vec<FusionGroup>, Reporter) {
+        let mut r = Reporter::new();
+        let g = check_fusion(specs, |_| None, &mut r);
+        (g, r)
+    }
+
+    #[test]
+    fn post_reorder_pair_is_fusable_with_rme() {
+        let specs = vec![
+            LayerSpec::conv3(8),
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+            LayerSpec::ReLU,
+        ];
+        let (g, r) = run(&specs);
+        assert!(r.is_clean(), "{}", r.pretty());
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].class, FusionClass::Fusable);
+        assert_eq!((g[0].start, g[0].end), (0, 3));
+        assert!((g[0].rme_ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_reorder_pattern_warns_f002() {
+        let specs = vec![
+            LayerSpec::conv3(8),
+            LayerSpec::ReLU,
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+        ];
+        let (g, r) = run(&specs);
+        assert!(r.find(Code::ActivationBlocksFusion).is_some());
+        assert_eq!(g[0].class, FusionClass::FusableAfterReorder);
+    }
+
+    #[test]
+    fn overlapping_pool_warns_f001() {
+        let specs = vec![
+            LayerSpec::conv3(8),
+            LayerSpec::AvgPool {
+                window: 3,
+                stride: 1,
+            },
+        ];
+        let (g, r) = run(&specs);
+        assert!(r.find(Code::OverlappingPoolFusion).is_some());
+        assert_eq!(g[0].class, FusionClass::Overlapping);
+        assert_eq!(g[0].rme_ratio, 0.0);
+    }
+
+    #[test]
+    fn orphan_pool_warns_f003() {
+        let specs = vec![
+            LayerSpec::Flatten,
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+        ];
+        let (g, r) = run(&specs);
+        assert!(r.find(Code::NonConvPoolProducer).is_some());
+        assert_eq!(g[0].class, FusionClass::NonConvProducer);
+    }
+
+    #[test]
+    fn max_pool_is_ignored() {
+        let specs = vec![
+            LayerSpec::conv3(8),
+            LayerSpec::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+        ];
+        let (g, r) = run(&specs);
+        assert!(g.is_empty());
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn global_pool_uses_supplied_window() {
+        let specs = vec![LayerSpec::conv3(8), LayerSpec::GlobalAvgPool];
+        let mut r = Reporter::new();
+        let g = check_fusion(&specs, |i| (i == 1).then_some(8), &mut r);
+        assert_eq!(g[0].class, FusionClass::Fusable);
+        assert_eq!(g[0].pool_window, 8);
+        assert!((g[0].rme_ratio - (1.0 - 1.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reordered_lenet_has_two_fusable_groups() {
+        use mlcnn_nn::zoo;
+        let original = zoo::lenet5_spec(10);
+        let (g, _) = run(&original);
+        assert_eq!(count_class(&g, FusionClass::FusableAfterReorder), 2);
+        assert_eq!(count_class(&g, FusionClass::Fusable), 0);
+    }
+}

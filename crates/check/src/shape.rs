@@ -1,0 +1,416 @@
+//! Shape inference over [`LayerSpec`] sequences.
+//!
+//! Walks a spec list the same way `mlcnn_nn::spec::propagate_shape` does,
+//! but instead of failing on the first bad layer it explains *why* each
+//! layer is broken with a specific diagnostic code, and keeps scanning for
+//! warning-level smells (pools that drop rows, a `Linear` eating an
+//! unflattened feature map).
+//!
+//! The pass is *sound* with respect to the builder: pre-checks carry the
+//! specific codes, and the authoritative per-layer propagation is delegated
+//! to `propagate_shape` itself, with any residual rejection surfaced as the
+//! generic [`Code::BadGeometry`]. A sequence this pass accepts without a
+//! denial therefore always propagates and builds
+//! (`tests/checker_soundness.rs` in the workspace root proves it by
+//! property testing).
+
+use crate::diag::{Code, Reporter, Span};
+use mlcnn_nn::spec::propagate_shape;
+use mlcnn_nn::LayerSpec;
+use mlcnn_tensor::Shape4;
+
+/// Result of the shape pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeTrace {
+    /// `shapes[i]` is the input shape of layer `i`; `shapes.last()` is the
+    /// network output. Truncated at the first denied layer.
+    pub shapes: Vec<Shape4>,
+    /// Output shape, `None` when a denial stopped propagation.
+    pub output: Option<Shape4>,
+}
+
+/// Infer shapes through `specs` starting from `input`, reporting problems
+/// into `reporter`. Returns the shape trace; `output` is `Some` exactly
+/// when no denial was emitted for the main sequence.
+pub fn check_shapes(specs: &[LayerSpec], input: Shape4, reporter: &mut Reporter) -> ShapeTrace {
+    let mut shapes = vec![input];
+    let mut s = input;
+    for (i, spec) in specs.iter().enumerate() {
+        let before = reporter.count(crate::diag::Severity::Deny);
+        precheck_layer(spec, s, i, reporter);
+        // the builder's own propagation is the authority; anything it
+        // rejects that the pre-checks did not explain becomes S011
+        match propagate_shape(std::slice::from_ref(spec), s) {
+            Ok(next) => {
+                if reporter.count(crate::diag::Severity::Deny) > before {
+                    return ShapeTrace {
+                        shapes,
+                        output: None,
+                    };
+                }
+                s = next;
+                shapes.push(s);
+            }
+            Err(e) => {
+                if reporter.count(crate::diag::Severity::Deny) == before {
+                    reporter.emit(Code::BadGeometry, Some(Span::layer(i)), e.to_string());
+                }
+                return ShapeTrace {
+                    shapes,
+                    output: None,
+                };
+            }
+        }
+    }
+    ShapeTrace {
+        shapes,
+        output: Some(s),
+    }
+}
+
+/// Emit the specific diagnostics for one layer at input shape `s`.
+fn precheck_layer(spec: &LayerSpec, s: Shape4, i: usize, reporter: &mut Reporter) {
+    let span = Some(Span::layer(i));
+    match spec {
+        LayerSpec::Conv {
+            out_ch,
+            k,
+            stride,
+            pad,
+        } => {
+            if *stride == 0 {
+                reporter.emit(Code::ZeroStride, span, "conv stride is zero");
+            }
+            if *k == 0 {
+                reporter.emit(Code::ZeroExtent, span, "conv kernel extent is zero");
+            }
+            if *out_ch == 0 {
+                reporter.emit(Code::ZeroExtent, span, "conv with zero output channels");
+            }
+            let padded_h = s.h + 2 * pad;
+            let padded_w = s.w + 2 * pad;
+            if *k > 0 && (*k > padded_h || *k > padded_w) {
+                reporter.emit(
+                    Code::KernelExceedsInput,
+                    span,
+                    format!("kernel {k}x{k} larger than padded input {padded_h}x{padded_w}"),
+                );
+            }
+        }
+        LayerSpec::AvgPool { window, stride } | LayerSpec::MaxPool { window, stride } => {
+            if *stride == 0 {
+                reporter.emit(Code::ZeroStride, span, "pool stride is zero");
+            }
+            if *window == 0 {
+                reporter.emit(Code::ZeroExtent, span, "pool window extent is zero");
+            }
+            if *window > 0 && (*window > s.h || *window > s.w) {
+                reporter.emit(
+                    Code::PoolExceedsInput,
+                    span,
+                    format!("pool window {window} larger than input {}x{}", s.h, s.w),
+                );
+            } else if *window > 0 && *stride > 0 {
+                // legal but lossy: trailing rows/cols the window never covers
+                let covered_h = (s.h - window) / stride * stride + window;
+                let covered_w = (s.w - window) / stride * stride + window;
+                if covered_h < s.h || covered_w < s.w {
+                    reporter.emit(
+                        Code::PoolNotDividing,
+                        span,
+                        format!(
+                            "pool {window}/{stride} covers only {covered_h}x{covered_w} \
+                             of the {}x{} input; the rest is dropped",
+                            s.h, s.w
+                        ),
+                    );
+                }
+            }
+        }
+        LayerSpec::GlobalAvgPool => {
+            if s.h != s.w {
+                reporter.emit(
+                    Code::NonSquareGlobalPool,
+                    span,
+                    format!("global average pool on a non-square {}x{} plane", s.h, s.w),
+                );
+            }
+            if s.h == 0 || s.w == 0 {
+                reporter.emit(
+                    Code::ZeroExtent,
+                    span,
+                    "global average pool on an empty plane",
+                );
+            }
+        }
+        LayerSpec::Linear { out } => {
+            if *out == 0 {
+                reporter.emit(Code::ZeroExtent, span, "linear layer with zero outputs");
+            }
+            // flattened vectors live in `w` (`Flatten` yields n×1×1×F), so
+            // only a genuine spatial plane is suspicious
+            if s.h > 1 || (s.c > 1 && s.w > 1) {
+                reporter.emit(
+                    Code::LinearOnSpatial,
+                    span,
+                    format!(
+                        "linear layer consumes an unflattened {}x{}x{} feature map \
+                         (missing Flatten?)",
+                        s.c, s.h, s.w
+                    ),
+                );
+            }
+        }
+        LayerSpec::Inception { branches } => {
+            if branches.is_empty() {
+                reporter.emit(Code::EmptyComposite, span, "inception with no branches");
+            }
+            let mut hw: Option<(usize, usize)> = None;
+            for (bi, b) in branches.iter().enumerate() {
+                let trace = reporter
+                    .with_context(format!("inception branch {bi}"), |r| check_shapes(b, s, r));
+                let Some(out) = trace.output else { continue };
+                match hw {
+                    None => hw = Some((out.h, out.w)),
+                    Some(prev) if prev != (out.h, out.w) => {
+                        reporter.emit(
+                            Code::InceptionMismatch,
+                            span,
+                            format!(
+                                "inception branch {bi} yields {}x{}, \
+                                 earlier branches yield {}x{}",
+                                out.h, out.w, prev.0, prev.1
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        LayerSpec::DenseBlock { inner } => {
+            if inner.is_empty() {
+                reporter.emit(
+                    Code::EmptyComposite,
+                    span,
+                    "dense block with empty inner pipeline",
+                );
+            }
+            let trace = reporter.with_context("dense block", |r| check_shapes(inner, s, r));
+            if let Some(out) = trace.output {
+                if (out.h, out.w) != (s.h, s.w) {
+                    reporter.emit(
+                        Code::ResidualMismatch,
+                        span,
+                        format!(
+                            "dense block inner changes the spatial extent \
+                             ({}x{} -> {}x{}); concat with the input is impossible",
+                            s.h, s.w, out.h, out.w
+                        ),
+                    );
+                }
+            }
+        }
+        LayerSpec::Residual { inner, projector } => {
+            let main = reporter
+                .with_context("residual main branch", |r| check_shapes(inner, s, r))
+                .output;
+            let skip = if projector.is_empty() {
+                Some(s)
+            } else {
+                reporter
+                    .with_context("residual projector", |r| check_shapes(projector, s, r))
+                    .output
+            };
+            if let (Some(m), Some(p)) = (main, skip) {
+                if m != p {
+                    reporter.emit(
+                        Code::ResidualMismatch,
+                        span,
+                        format!("residual branches disagree: {m} vs {p}"),
+                    );
+                }
+            }
+        }
+        LayerSpec::ReLU
+        | LayerSpec::Sigmoid
+        | LayerSpec::Flatten
+        | LayerSpec::BatchNorm
+        | LayerSpec::Dropout { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn run(specs: &[LayerSpec], input: Shape4) -> (ShapeTrace, Reporter) {
+        let mut r = Reporter::new();
+        let t = check_shapes(specs, input, &mut r);
+        (t, r)
+    }
+
+    #[test]
+    fn clean_pipeline_traces_every_shape() {
+        let specs = vec![
+            LayerSpec::conv3(8),
+            LayerSpec::ReLU,
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+            LayerSpec::Flatten,
+            LayerSpec::Linear { out: 10 },
+        ];
+        let (t, r) = run(&specs, Shape4::new(1, 3, 32, 32));
+        assert!(r.is_clean(), "{}", r.pretty());
+        assert_eq!(t.shapes.len(), specs.len() + 1);
+        assert_eq!(t.output, Some(Shape4::new(1, 1, 1, 10)));
+    }
+
+    #[test]
+    fn zero_stride_is_s001() {
+        let specs = vec![LayerSpec::Conv {
+            out_ch: 4,
+            k: 3,
+            stride: 0,
+            pad: 0,
+        }];
+        let (t, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert_eq!(r.find(Code::ZeroStride).unwrap().severity, Severity::Deny);
+        assert_eq!(t.output, None);
+    }
+
+    #[test]
+    fn oversized_kernel_is_s003() {
+        let specs = vec![LayerSpec::Conv {
+            out_ch: 4,
+            k: 11,
+            stride: 1,
+            pad: 0,
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.find(Code::KernelExceedsInput).is_some());
+        // padding rescues the same kernel
+        let specs = vec![LayerSpec::Conv {
+            out_ch: 4,
+            k: 11,
+            stride: 1,
+            pad: 2,
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.is_clean(), "{}", r.pretty());
+    }
+
+    #[test]
+    fn oversized_pool_is_s004() {
+        let specs = vec![LayerSpec::AvgPool {
+            window: 9,
+            stride: 9,
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.find(Code::PoolExceedsInput).is_some());
+    }
+
+    #[test]
+    fn non_dividing_pool_warns_s005() {
+        let specs = vec![LayerSpec::AvgPool {
+            window: 2,
+            stride: 2,
+        }];
+        let (t, r) = run(&specs, Shape4::new(1, 3, 7, 7));
+        let d = r.find(Code::PoolNotDividing).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        // warning does not stop propagation
+        assert_eq!(t.output, Some(Shape4::new(1, 3, 3, 3)));
+    }
+
+    #[test]
+    fn linear_on_spatial_warns_s006() {
+        let specs = vec![LayerSpec::Linear { out: 10 }];
+        let (t, r) = run(&specs, Shape4::new(1, 4, 5, 5));
+        assert_eq!(
+            r.find(Code::LinearOnSpatial).unwrap().severity,
+            Severity::Warn
+        );
+        assert_eq!(t.output, Some(Shape4::new(1, 1, 1, 10)));
+        // flattened input is silent
+        let specs = vec![LayerSpec::Flatten, LayerSpec::Linear { out: 10 }];
+        let (_, r) = run(&specs, Shape4::new(1, 4, 5, 5));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn non_square_global_pool_is_s007() {
+        let specs = vec![LayerSpec::GlobalAvgPool];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 4, 6));
+        assert!(r.find(Code::NonSquareGlobalPool).is_some());
+    }
+
+    #[test]
+    fn inception_mismatch_is_s008_and_empty_is_s009() {
+        let specs = vec![LayerSpec::Inception {
+            branches: vec![
+                vec![LayerSpec::conv1(2)],
+                vec![LayerSpec::AvgPool {
+                    window: 2,
+                    stride: 2,
+                }],
+            ],
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.find(Code::InceptionMismatch).is_some());
+
+        let specs = vec![LayerSpec::Inception { branches: vec![] }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.find(Code::EmptyComposite).is_some());
+    }
+
+    #[test]
+    fn residual_mismatch_is_s010() {
+        let specs = vec![LayerSpec::Residual {
+            inner: vec![LayerSpec::Conv {
+                out_ch: 3,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            }],
+            projector: vec![],
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        assert!(r.find(Code::ResidualMismatch).is_some());
+    }
+
+    #[test]
+    fn nested_diagnostics_carry_branch_context() {
+        let specs = vec![LayerSpec::Inception {
+            branches: vec![vec![LayerSpec::Conv {
+                out_ch: 4,
+                k: 3,
+                stride: 0,
+                pad: 0,
+            }]],
+        }];
+        let (_, r) = run(&specs, Shape4::new(1, 3, 8, 8));
+        let d = r.find(Code::ZeroStride).unwrap();
+        assert!(d.message.contains("inception branch 0"), "{}", d.message);
+    }
+
+    #[test]
+    fn zoo_specs_are_deny_clean() {
+        use mlcnn_nn::zoo;
+        let input = Shape4::new(1, 3, 32, 32);
+        for (name, specs) in [
+            ("lenet5", zoo::lenet5_spec(10)),
+            ("vgg_mini", zoo::vgg_mini_spec(3, 10)),
+            ("googlenet_mini", zoo::googlenet_mini_spec(2, 10)),
+            ("densenet_mini", zoo::densenet_mini_spec(4, 10)),
+            ("resnet_mini", zoo::resnet_mini_spec(4, 10)),
+        ] {
+            let mut r = Reporter::new();
+            let t = check_shapes(&specs, input, &mut r);
+            assert!(!r.has_deny(), "{name}: {}", r.pretty());
+            assert!(t.output.is_some(), "{name}");
+        }
+    }
+}

@@ -31,12 +31,10 @@ use serde::{Deserialize, Serialize};
 /// by the 2×2 pool).
 pub fn pooled_row_width(k: usize, d: usize, s: usize) -> usize {
     assert!(s > 0 && k > 0 && d >= k, "bad geometry k={k} d={d} s={s}");
-    // conv output width, floored halving by the 2-wide pool (NOT div_ceil:
-    // a trailing odd conv column is dropped, matching the hardware)
-    #[allow(clippy::manual_div_ceil)]
-    {
-        ((d - k) / s + 1) / 2
-    }
+    // conv output width, then floored halving by the 2-wide pool: a
+    // trailing odd conv column is dropped, matching the hardware
+    let conv_w = (d - k) / s + 1;
+    conv_w / 2
 }
 
 /// Additions per pooled output without any reuse: `4K² − 1`.
@@ -332,7 +330,11 @@ mod tests {
 
     #[test]
     fn table5_matches_paper_exactly() {
-        let expect = [(1, 5400, 2397, 55.6), (3, 2025, 1479, 27.0), (5, 1350, 1233, 8.7)];
+        let expect = [
+            (1, 5400, 2397, 55.6),
+            (3, 2025, 1479, 27.0),
+            (5, 1350, 1233, 8.7),
+        ];
         for (row, (s, wo, w, rate)) in table5().iter().zip(expect) {
             assert_eq!(row.s, s);
             assert_eq!(row.without, wo, "S={s}");

@@ -187,7 +187,12 @@ impl<T: Scalar> FusedConvPool<T> {
     /// Output shape for an input shape.
     pub fn out_shape(&self, input: Shape4) -> Result<Shape4> {
         let g = self.geometry(input)?;
-        Ok(Shape4::new(input.n, self.weight.shape().n, g.out_h, g.out_w))
+        Ok(Shape4::new(
+            input.n,
+            self.weight.shape().n,
+            g.out_h,
+            g.out_w,
+        ))
     }
 
     /// Build the block-sum plane `G` for one padded input plane.
@@ -229,7 +234,7 @@ impl<T: Scalar> FusedConvPool<T> {
             return (g, g_h, gw_valid);
         }
         let g_w = pw; // HA spans full width; G valid width is pw - span
-        // phase 1: half additions (vertical p-sums at spacing S)
+                      // phase 1: half additions (vertical p-sums at spacing S)
         let mut ha = vec![T::zero(); g_h * g_w];
         for a in 0..g_h {
             for b in 0..pw {
@@ -282,8 +287,8 @@ impl<T: Scalar> FusedConvPool<T> {
                     // materialize the zero-padded plane
                     let mut padded = vec![T::zero(); ph * pw];
                     for h in 0..geom.in_h {
-                        let dst =
-                            &mut padded[(h + geom.pad) * pw + geom.pad..(h + geom.pad) * pw + geom.pad + geom.in_w];
+                        let dst = &mut padded[(h + geom.pad) * pw + geom.pad
+                            ..(h + geom.pad) * pw + geom.pad + geom.in_w];
                         dst.copy_from_slice(&plane[h * geom.in_w..(h + 1) * geom.in_w]);
                     }
                     let (g, gh, gw) = self.block_sum_plane(&padded, ph, pw);
@@ -360,7 +365,6 @@ mod tests {
     use mlcnn_tensor::init;
     use proptest::prelude::*;
 
-    #[allow(clippy::too_many_arguments)] // geometry tuple, test-only helper
     fn rand_setup(
         seed: u64,
         b: usize,
@@ -387,13 +391,19 @@ mod tests {
         let a = fused.forward(&input).unwrap();
         let b = fused.reference(&input).unwrap();
         assert_eq!(a.shape(), Shape4::new(1, 1, 2, 2));
-        assert!(a.approx_eq(&b, 1e-5), "diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-5),
+            "diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]
     fn matches_reference_across_geometries() {
         for (seed, b, cin, cout, d, k, s, pad, pool) in [
-            (2u64, 2usize, 3usize, 4usize, 8usize, 3usize, 1usize, 1usize, 2usize),
+            (
+                2u64, 2usize, 3usize, 4usize, 8usize, 3usize, 1usize, 1usize, 2usize,
+            ),
             (3, 1, 2, 2, 12, 5, 1, 0, 2),
             (4, 1, 1, 3, 16, 3, 1, 1, 4),
             (5, 2, 2, 2, 9, 2, 1, 0, 3),
@@ -438,11 +448,7 @@ mod tests {
 
     #[test]
     fn relu_clamps_negative_pooled_outputs() {
-        let weight = Tensor::from_vec(
-            Shape4::new(1, 1, 1, 1),
-            vec![-1.0_f32],
-        )
-        .unwrap();
+        let weight = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![-1.0_f32]).unwrap();
         let fused = FusedConvPool::new(weight, vec![0.0], 1, 0, 2).unwrap();
         let input = Tensor::full(Shape4::hw(4, 4), 1.0_f32);
         let out = fused.forward(&input).unwrap();
@@ -515,7 +521,11 @@ mod tests {
         let fused = fused.with_row_based_lar(true);
         let a = fused.forward(&input).unwrap();
         let r = fused.reference(&input).unwrap();
-        assert!(a.approx_eq(&r, 1e-4), "diff {}", a.max_abs_diff(&r).unwrap());
+        assert!(
+            a.approx_eq(&r, 1e-4),
+            "diff {}",
+            a.max_abs_diff(&r).unwrap()
+        );
     }
 
     proptest! {

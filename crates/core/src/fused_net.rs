@@ -105,6 +105,16 @@ impl FusedNetwork {
         params: &[Tensor<f32>],
         input: Shape4,
     ) -> Result<FusedNetwork> {
+        // static analysis first: shape propagation plus the sequential-only
+        // and no-batch-norm constraints, with one diagnostic per problem
+        if let Err(diags) = mlcnn_check::check_compile(specs, input) {
+            let summary = diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(TensorError::BadGeometry { reason: summary });
+        }
         let mut stages = Vec::new();
         let mut shape = input;
         let mut p = 0usize; // parameter cursor
@@ -138,45 +148,30 @@ impl FusedNetwork {
                             op: "compile conv weights",
                         });
                     }
-                    let conv_out = mlcnn_tensor::ConvGeometry::new(
-                        shape.h, shape.w, *k, *k, *stride, *pad,
-                    )?;
+                    let conv_out =
+                        mlcnn_tensor::ConvGeometry::new(shape.h, shape.w, *k, *k, *stride, *pad)?;
                     // look ahead for a fusable pool
                     let pool = match specs.get(i + 1) {
                         Some(LayerSpec::AvgPool { window, stride: ps }) if window == ps => {
                             Some(*window)
                         }
-                        Some(LayerSpec::GlobalAvgPool)
-                            if conv_out.out_h == conv_out.out_w =>
-                        {
+                        Some(LayerSpec::GlobalAvgPool) if conv_out.out_h == conv_out.out_w => {
                             Some(conv_out.out_h)
                         }
                         _ => None,
                     };
                     match pool {
                         Some(window) if window <= conv_out.out_h && window <= conv_out.out_w => {
-                            let with_relu =
-                                matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
-                            let fused = FusedConvPool::new(
-                                w,
-                                b.into_vec(),
-                                *stride,
-                                *pad,
-                                window,
-                            )?
-                            .with_relu(with_relu);
+                            let with_relu = matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
+                            let fused = FusedConvPool::new(w, b.into_vec(), *stride, *pad, window)?
+                                .with_relu(with_relu);
                             shape = fused.out_shape(shape)?;
                             stages.push(FusedStage::Fused(fused));
                             i += if with_relu { 3 } else { 2 };
                             continue;
                         }
                         _ => {
-                            shape = Shape4::new(
-                                shape.n,
-                                *out_ch,
-                                conv_out.out_h,
-                                conv_out.out_w,
-                            );
+                            shape = Shape4::new(shape.n, *out_ch, conv_out.out_h, conv_out.out_w);
                             stages.push(FusedStage::Conv {
                                 weight: w,
                                 bias: b.into_vec(),
@@ -200,7 +195,10 @@ impl FusedNetwork {
                     let w = shape.h;
                     let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, w, w)?;
                     shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
-                    stages.push(FusedStage::AvgPool { window: w, stride: w });
+                    stages.push(FusedStage::AvgPool {
+                        window: w,
+                        stride: w,
+                    });
                 }
                 LayerSpec::MaxPool { window, stride } => {
                     let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
@@ -240,14 +238,12 @@ impl FusedNetwork {
                 | LayerSpec::DenseBlock { .. }
                 | LayerSpec::Residual { .. } => {
                     return Err(TensorError::BadGeometry {
-                        reason: "FusedNetwork::compile handles sequential pipelines only"
-                            .into(),
+                        reason: "FusedNetwork::compile handles sequential pipelines only".into(),
                     });
                 }
                 LayerSpec::BatchNorm => {
                     return Err(TensorError::BadGeometry {
-                        reason: "fold batch norm into the conv weights before compiling"
-                            .into(),
+                        reason: "fold batch norm into the conv weights before compiling".into(),
                     });
                 }
             }
@@ -255,7 +251,10 @@ impl FusedNetwork {
         }
         if p != params.len() {
             return Err(TensorError::BadGeometry {
-                reason: format!("{} unused parameter tensors after compile", params.len() - p),
+                reason: format!(
+                    "{} unused parameter tensors after compile",
+                    params.len() - p
+                ),
             });
         }
         Ok(FusedNetwork {
@@ -297,9 +296,7 @@ impl FusedNetwork {
                 FusedStage::ReLU => relu(&x),
                 FusedStage::Sigmoid => sigmoid(&x),
                 FusedStage::AvgPool { window, stride } => avg_pool2d(&x, *window, *stride)?,
-                FusedStage::MaxPool { window, stride } => {
-                    max_pool2d(&x, *window, *stride)?.values
-                }
+                FusedStage::MaxPool { window, stride } => max_pool2d(&x, *window, *stride)?.values,
                 FusedStage::Flatten => {
                     let s = x.shape();
                     x.reshape(Shape4::new(s.n, 1, 1, s.c * s.h * s.w))?
@@ -314,14 +311,11 @@ impl FusedNetwork {
                     let feats = s.c * s.h * s.w;
                     if feats != *in_features {
                         return Err(TensorError::BadGeometry {
-                            reason: format!(
-                                "linear expects {in_features} features, got {feats}"
-                            ),
+                            reason: format!("linear expects {in_features} features, got {feats}"),
                         });
                     }
                     let w_t = transpose(weight, Shape2::new(*out_features, *in_features));
-                    let mut y =
-                        matmul(x.as_slice(), &w_t, s.n, *in_features, *out_features);
+                    let mut y = matmul(x.as_slice(), &w_t, s.n, *in_features, *out_features);
                     for bi in 0..s.n {
                         for (o, bv) in bias.iter().enumerate() {
                             y[bi * out_features + o] += bv;
@@ -391,8 +385,7 @@ impl FusedNetwork {
                     dense += c;
                     shape = Shape4::new(shape.n, ws.n, g.out_h(), g.out_w());
                 }
-                FusedStage::AvgPool { window, stride }
-                | FusedStage::MaxPool { window, stride } => {
+                FusedStage::AvgPool { window, stride } | FusedStage::MaxPool { window, stride } => {
                     let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)
                         .expect("compiled shapes are valid");
                     shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
@@ -488,6 +481,29 @@ mod tests {
         let mut net = build_network(&specs, input, 1).unwrap();
         let params = net.export_params();
         assert!(FusedNetwork::compile(&specs, &params, input).is_err());
+    }
+
+    #[test]
+    fn compile_errors_carry_diagnostic_codes() {
+        let input = Shape4::new(1, 3, 8, 8);
+        let expect_err = |specs: &[LayerSpec]| match FusedNetwork::compile(specs, &[], input) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a compile error"),
+        };
+        // the static gate fires before any parameter is consumed
+        let err = expect_err(&[LayerSpec::conv3(4), LayerSpec::BatchNorm]);
+        assert!(err.to_string().contains("F005"), "{err}");
+        let err = expect_err(&[zoo_conv_too_big()]);
+        assert!(err.to_string().contains("S003"), "{err}");
+    }
+
+    fn zoo_conv_too_big() -> LayerSpec {
+        LayerSpec::Conv {
+            out_ch: 4,
+            k: 64,
+            stride: 1,
+            pad: 0,
+        }
     }
 
     #[test]

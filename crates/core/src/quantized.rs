@@ -18,8 +18,8 @@ use mlcnn_data::Dataset;
 use mlcnn_nn::train::{evaluate, EvalStats};
 use mlcnn_nn::Network;
 use mlcnn_quant::dorefa;
-use mlcnn_quant::F16;
 use mlcnn_quant::Precision;
+use mlcnn_quant::F16;
 use mlcnn_tensor::{Result, Tensor};
 
 /// Round every element of a tensor through binary16.

@@ -230,8 +230,7 @@ pub fn to_all_conv_full(
     let mut out: Vec<LayerSpec> = Vec::with_capacity(specs.len());
     for spec in specs {
         match spec {
-            LayerSpec::AvgPool { window: _, stride }
-            | LayerSpec::MaxPool { window: _, stride } => {
+            LayerSpec::AvgPool { window: _, stride } | LayerSpec::MaxPool { window: _, stride } => {
                 let conv_pos = out
                     .iter()
                     .rposition(|l| matches!(l, LayerSpec::Conv { .. }));
@@ -287,11 +286,7 @@ pub fn to_all_conv_full(
 }
 
 /// Numerical witness that ReLU and max pooling commute on a tensor.
-pub fn relu_maxpool_commute(
-    t: &mlcnn_tensor::Tensor<f32>,
-    window: usize,
-    stride: usize,
-) -> bool {
+pub fn relu_maxpool_commute(t: &mlcnn_tensor::Tensor<f32>, window: usize, stride: usize) -> bool {
     use mlcnn_tensor::activation::relu;
     use mlcnn_tensor::pool::max_pool2d;
     let a = match max_pool2d(&relu(t), window, stride) {

@@ -132,7 +132,12 @@ mod tests {
 
     #[test]
     fn pooled_width_agrees_with_analytic_for_p2() {
-        for (k, d, s) in [(13usize, 28usize, 1usize), (3, 28, 1), (13, 28, 3), (13, 224, 1)] {
+        for (k, d, s) in [
+            (13usize, 28usize, 1usize),
+            (3, 28, 1),
+            (13, 28, 3),
+            (13, 224, 1),
+        ] {
             assert_eq!(
                 pooled_row_width_p(k, d, s, 2),
                 analytic::pooled_row_width(k, d, s),
@@ -143,7 +148,12 @@ mod tests {
 
     #[test]
     fn no_reuse_matches_closed_form() {
-        for (k, d, s) in [(3usize, 28usize, 1usize), (5, 28, 1), (13, 28, 1), (11, 40, 2)] {
+        for (k, d, s) in [
+            (3usize, 28usize, 1usize),
+            (5, 28, 1),
+            (13, 28, 1),
+            (11, 40, 2),
+        ] {
             let sim = simulate_row(k, d, s, 2, ReuseMode::None);
             let n = analytic::pooled_row_width(k, d, s) as u64;
             assert_eq!(sim.total(), n * analytic::adds_per_output_without(k));
@@ -192,7 +202,12 @@ mod tests {
 
     #[test]
     fn both_never_worse_than_single_reuses() {
-        for (k, d, s) in [(3usize, 28usize, 1usize), (5, 16, 1), (13, 28, 1), (7, 30, 2)] {
+        for (k, d, s) in [
+            (3usize, 28usize, 1usize),
+            (5, 16, 1),
+            (13, 28, 1),
+            (7, 30, 2),
+        ] {
             let both = simulate_row(k, d, s, 2, ReuseMode::Both).total();
             let gar = simulate_row(k, d, s, 2, ReuseMode::Gar).total();
             let none = simulate_row(k, d, s, 2, ReuseMode::None).total();
@@ -217,7 +232,10 @@ mod tests {
         let p2 = simulate_row(3, 32, 1, 2, ReuseMode::None);
         let p4 = simulate_row(3, 32, 1, 4, ReuseMode::None);
         // fewer outputs at p=4, but each block sum costs 15 adds not 3
-        assert!(p4.block_adds / pooled_row_width_p(3, 32, 1, 4) as u64 > p2.block_adds / pooled_row_width_p(3, 32, 1, 2) as u64);
+        assert!(
+            p4.block_adds / pooled_row_width_p(3, 32, 1, 4) as u64
+                > p2.block_adds / pooled_row_width_p(3, 32, 1, 2) as u64
+        );
     }
 
     #[test]

@@ -114,8 +114,8 @@ impl Dataset {
         assert!(batch_size > 0, "batch_size must be positive");
         (0..self.len()).step_by(batch_size).map(move |start| {
             let end = (start + batch_size).min(self.len());
-            let images = Tensor::stack_batch(&self.images[start..end])
-                .expect("dataset items share a shape");
+            let images =
+                Tensor::stack_batch(&self.images[start..end]).expect("dataset items share a shape");
             Batch {
                 images,
                 labels: self.labels[start..end].to_vec(),

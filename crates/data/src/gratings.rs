@@ -65,8 +65,7 @@ pub fn generate(cfg: GratingsConfig) -> Dataset {
     for _ in 0..cfg.per_class {
         for cls in 0..cfg.classes {
             let theta = cls as f32 * std::f32::consts::PI / cfg.classes as f32;
-            let freq = cfg.frequency
-                * (1.0 + rng.random_range(-cfg.freq_jitter..=cfg.freq_jitter));
+            let freq = cfg.frequency * (1.0 + rng.random_range(-cfg.freq_jitter..=cfg.freq_jitter));
             let phase = rng.random_range(0.0..std::f32::consts::TAU);
             let img = render(cfg.side, theta, freq, phase);
             let noise = init::normal(shape, cfg.noise, &mut rng);

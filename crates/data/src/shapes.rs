@@ -131,9 +131,7 @@ fn inside(kind: ShapeKind, y: f32, x: f32, cy: f32, cx: f32, r: f32) -> bool {
         }
         ShapeKind::Saltire => {
             let band = 0.33 * r;
-            ((dy - dx).abs() <= band || (dy + dx).abs() <= band)
-                && dy.abs() <= r
-                && dx.abs() <= r
+            ((dy - dx).abs() <= band || (dy + dx).abs() <= band) && dy.abs() <= r && dx.abs() <= r
         }
         ShapeKind::HBar => dy.abs() <= 0.33 * r && dx.abs() <= r,
         ShapeKind::VBar => dx.abs() <= 0.33 * r && dy.abs() <= r,
@@ -163,9 +161,9 @@ fn render(
     let r = rng.random_range(0.18 * s..0.30 * s);
     let bg: f32 = rng.random_range(0.0..0.35);
     let bg_tint: [f32; 3] = [
-        bg * rng.random_range(0.5..1.0),
-        bg * rng.random_range(0.5..1.0),
-        bg * rng.random_range(0.5..1.0),
+        bg * rng.random_range(0.5f32..1.0),
+        bg * rng.random_range(0.5f32..1.0),
+        bg * rng.random_range(0.5f32..1.0),
     ];
     let mut img = Tensor::from_fn(Shape4::new(1, 3, side, side), |_, c, h, w| {
         if inside(kind, h as f32, w as f32, cy, cx, r) {

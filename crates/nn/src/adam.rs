@@ -40,8 +40,14 @@ impl Adam {
     /// calls (as with [`crate::sgd::Sgd`]).
     pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
@@ -58,8 +64,8 @@ impl Adam {
                 v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
                 let m_hat = m[i] / bias1;
                 let v_hat = v[i] / bias2;
-                val[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps)
-                    + self.weight_decay * val[i]);
+                val[i] -=
+                    self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * val[i]);
             }
         }
     }

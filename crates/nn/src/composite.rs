@@ -211,8 +211,7 @@ impl Layer for DenseConcat {
         let inner = self.inner.out_shape(input)?;
         if (inner.h, inner.w) != (input.h, input.w) {
             return Err(TensorError::BadGeometry {
-                reason: "dense-concat requires the inner network to preserve spatial extent"
-                    .into(),
+                reason: "dense-concat requires the inner network to preserve spatial extent".into(),
             });
         }
         Ok(Shape4::new(input.n, input.c + inner.c, input.h, input.w))
@@ -459,8 +458,7 @@ impl Layer for ResidualAdd {
     }
 
     fn param_count(&self) -> usize {
-        self.inner.param_count()
-            + self.projector.as_ref().map_or(0, |p| p.param_count())
+        self.inner.param_count() + self.projector.as_ref().map_or(0, |p| p.param_count())
     }
 
     fn transform_weights(&mut self, f: &dyn Fn(&Tensor<f32>) -> Tensor<f32>) {
@@ -537,12 +535,7 @@ mod residual_tests {
 
     #[test]
     fn mismatched_branches_error() {
-        let main = build_network(
-            &[LayerSpec::conv3(4)],
-            Shape4::new(1, 2, 8, 8),
-            6,
-        )
-        .unwrap();
+        let main = build_network(&[LayerSpec::conv3(4)], Shape4::new(1, 2, 8, 8), 6).unwrap();
         let layer = ResidualAdd::new("bad", main, None);
         assert!(layer.out_shape(Shape4::new(1, 2, 8, 8)).is_err());
     }

@@ -30,9 +30,12 @@ impl Layer for ReLULayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let pre = self.cached_pre.take().ok_or_else(|| TensorError::BadGeometry {
-            reason: "ReLU backward without cached forward".into(),
-        })?;
+        let pre = self
+            .cached_pre
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "ReLU backward without cached forward".into(),
+            })?;
         relu_mask(&pre).zip_with(grad_out, |m, g| m * g)
     }
 
@@ -67,9 +70,12 @@ impl Layer for SigmoidLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let pre = self.cached_pre.take().ok_or_else(|| TensorError::BadGeometry {
-            reason: "sigmoid backward without cached forward".into(),
-        })?;
+        let pre = self
+            .cached_pre
+            .take()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "sigmoid backward without cached forward".into(),
+            })?;
         sigmoid_grad(&pre).zip_with(grad_out, |m, g| m * g)
     }
 

@@ -60,22 +60,18 @@ impl Layer for BatchNorm2dLayer {
         format!("batchnorm{}", self.channels)
     }
 
-    #[allow(clippy::needless_range_loop)] // per-channel stats read clearer indexed
     fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Result<Tensor<f32>> {
         let s = input.shape();
         if s.c != self.channels {
             return Err(TensorError::BadGeometry {
-                reason: format!(
-                    "batchnorm expects {} channels, got {}",
-                    self.channels, s.c
-                ),
+                reason: format!("batchnorm expects {} channels, got {}", self.channels, s.c),
             });
         }
         let per_channel = (s.n * s.h * s.w).max(1) as f32;
         let mut out = Tensor::zeros(s);
         let mut x_hat = Tensor::zeros(s);
         let mut inv_stds = vec![0.0; s.c];
-        for c in 0..s.c {
+        for (c, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut sum = 0.0;
                 let mut sq = 0.0;
@@ -96,7 +92,7 @@ impl Layer for BatchNorm2dLayer {
                 (self.running_mean[c], self.running_var[c])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[c] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.as_slice()[c];
             let b = self.beta.as_slice()[c];
             for n in 0..s.n {
@@ -248,7 +244,11 @@ mod tests {
         // *stored* statistics, not its own
         let shifted = x.map(|v| v + 100.0);
         let y = bn.forward(&shifted, false).unwrap();
-        assert!(y.mean() > 50.0, "eval mode must not re-center: {}", y.mean());
+        assert!(
+            y.mean() > 50.0,
+            "eval mode must not re-center: {}",
+            y.mean()
+        );
     }
 
     #[test]

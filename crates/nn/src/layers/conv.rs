@@ -100,7 +100,13 @@ impl Layer for Conv2dLayer {
         if train {
             self.cached_input = Some(input.clone());
         }
-        conv2d_im2col(input, &self.weight, Some(self.bias.as_slice()), self.stride, self.pad)
+        conv2d_im2col(
+            input,
+            &self.weight,
+            Some(self.bias.as_slice()),
+            self.stride,
+            self.pad,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
@@ -176,7 +182,12 @@ impl Layer for Conv2dLayer {
             });
         }
         let geom = mlcnn_tensor::ConvGeometry::new(
-            input.h, input.w, wshape.h, wshape.w, self.stride, self.pad,
+            input.h,
+            input.w,
+            wshape.h,
+            wshape.w,
+            self.stride,
+            self.pad,
         )?;
         Ok(Shape4::new(input.n, wshape.n, geom.out_h, geom.out_w))
     }
@@ -356,6 +367,8 @@ mod tests {
     fn set_weight_validates_shape() {
         let mut l = layer(1, 1, 2, 1, 0);
         assert!(l.set_weight(Tensor::zeros(Shape4::new(1, 1, 2, 2))).is_ok());
-        assert!(l.set_weight(Tensor::zeros(Shape4::new(1, 1, 3, 3))).is_err());
+        assert!(l
+            .set_weight(Tensor::zeros(Shape4::new(1, 1, 3, 3)))
+            .is_err());
     }
 }

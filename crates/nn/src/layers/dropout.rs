@@ -49,7 +49,7 @@ impl Layer for DropoutLayer {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask = Tensor::from_fn(input.shape(), |_, _, _, _| {
-            if self.rng.random_range(0.0..1.0) < keep {
+            if self.rng.random_range(0.0f32..1.0) < keep {
                 scale
             } else {
                 0.0

@@ -76,7 +76,13 @@ impl Layer for LinearLayer {
             self.weight.as_slice(),
             Shape2::new(self.out_features, self.in_features),
         );
-        let mut y = matmul(input.as_slice(), &w_t, s.n, self.in_features, self.out_features);
+        let mut y = matmul(
+            input.as_slice(),
+            &w_t,
+            s.n,
+            self.in_features,
+            self.out_features,
+        );
         for bi in 0..s.n {
             for (o, bval) in self.bias.as_slice().iter().enumerate() {
                 y[bi * self.out_features + o] += *bval;
@@ -102,7 +108,13 @@ impl Layer for LinearLayer {
         }
         // dW (out×in) = dYᵀ (out×B) · x (B×in)
         let dy_t = transpose(grad_out.as_slice(), Shape2::new(b, self.out_features));
-        let dw = matmul(&dy_t, input.as_slice(), self.out_features, b, self.in_features);
+        let dw = matmul(
+            &dy_t,
+            input.as_slice(),
+            self.out_features,
+            b,
+            self.in_features,
+        );
         for (acc, g) in self.w_grad.as_mut_slice().iter_mut().zip(dw) {
             *acc += g;
         }

@@ -112,12 +112,9 @@ impl Layer for MaxPoolLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let (in_shape, argmax) = self
-            .cached
-            .take()
-            .ok_or_else(|| TensorError::BadGeometry {
-                reason: "maxpool backward without cached forward".into(),
-            })?;
+        let (in_shape, argmax) = self.cached.take().ok_or_else(|| TensorError::BadGeometry {
+            reason: "maxpool backward without cached forward".into(),
+        })?;
         if grad_out.shape() != argmax.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: grad_out.shape(),
@@ -205,7 +202,10 @@ mod tests {
             xp.as_mut_slice()[probe] -= 2.0 * eps;
             let dn = max_pool2d(&xp, 2, 2).unwrap().values.as_slice()[0];
             let numeric = (up - dn) / (2.0 * eps);
-            assert!((numeric - dx.as_slice()[probe]).abs() < 1e-2, "probe {probe}");
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 1e-2,
+                "probe {probe}"
+            );
         }
     }
 

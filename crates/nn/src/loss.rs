@@ -85,8 +85,7 @@ mod tests {
 
     #[test]
     fn loss_is_low_for_confident_correct_prediction() {
-        let logits =
-            Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![10.0, -10.0, -10.0]).unwrap();
+        let logits = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![10.0, -10.0, -10.0]).unwrap();
         let out = softmax_cross_entropy(&logits, &[0]).unwrap();
         assert!(out.loss < 1e-3, "loss {}", out.loss);
         let wrong = softmax_cross_entropy(&logits, &[1]).unwrap();
@@ -102,8 +101,7 @@ mod tests {
 
     #[test]
     fn gradient_sums_to_zero_per_item() {
-        let logits =
-            Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![0.5, -1.0, 2.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![0.5, -1.0, 2.0, 0.0]).unwrap();
         let out = softmax_cross_entropy(&logits, &[2]).unwrap();
         let sum: f32 = out.grad.as_slice().iter().sum();
         assert!(sum.abs() < 1e-6);

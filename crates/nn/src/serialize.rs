@@ -23,9 +23,8 @@ const VERSION: u16 = 1;
 /// Serialize a network's parameters (in `params()` order).
 pub fn save_params(net: &mut Network) -> Bytes {
     let params = net.export_params();
-    let mut buf = BytesMut::with_capacity(
-        12 + params.iter().map(|t| 16 + 4 * t.len()).sum::<usize>(),
-    );
+    let mut buf =
+        BytesMut::with_capacity(12 + params.iter().map(|t| 16 + 4 * t.len()).sum::<usize>());
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u32(params.len() as u32);
@@ -100,7 +99,11 @@ pub fn load_params(net: &mut Network, data: &[u8]) -> Result<(), TensorError> {
                 return Err(TensorError::ShapeMismatch {
                     left: r.value.shape(),
                     right: t.shape(),
-                    op: if i % 2 == 0 { "load weights" } else { "load bias" },
+                    op: if i % 2 == 0 {
+                        "load weights"
+                    } else {
+                        "load bias"
+                    },
                 });
             }
         }
@@ -134,11 +137,12 @@ mod tests {
     fn format_size_is_as_specified() {
         let mut net = lenet();
         let blob = save_params(&mut net);
-        let expected: usize = 10 + net
-            .export_params()
-            .iter()
-            .map(|t| 16 + 4 * t.len())
-            .sum::<usize>();
+        let expected: usize = 10
+            + net
+                .export_params()
+                .iter()
+                .map(|t| 16 + 4 * t.len())
+                .sum::<usize>();
         assert_eq!(blob.len(), expected);
         assert_eq!(&blob[0..4], b"MLCN");
     }
@@ -168,7 +172,11 @@ mod tests {
         let mut a = lenet();
         let blob = save_params(&mut a);
         let mut other = build_network(
-            &[LayerSpec::conv3(4), LayerSpec::Flatten, LayerSpec::Linear { out: 10 }],
+            &[
+                LayerSpec::conv3(4),
+                LayerSpec::Flatten,
+                LayerSpec::Linear { out: 10 },
+            ],
             Shape4::new(1, 3, 32, 32),
             1,
         )

@@ -6,7 +6,6 @@
 //! instead of surgery on live objects.
 
 use crate::composite::{DenseConcat, ParallelConcat};
-use rand::RngExt;
 use crate::layer::Layer;
 use crate::layers::{
     AvgPoolLayer, Conv2dLayer, FlattenLayer, LinearLayer, MaxPoolLayer, ReLULayer, SigmoidLayer,
@@ -14,6 +13,7 @@ use crate::layers::{
 use crate::network::Network;
 use mlcnn_tensor::{init, Result, Shape4, TensorError};
 use rand::rngs::StdRng;
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Declarative description of one layer.
@@ -184,9 +184,7 @@ fn spec_out_shape(spec: &LayerSpec, s: Shape4) -> Result<Shape4> {
             };
             if main != skip {
                 return Err(TensorError::BadGeometry {
-                    reason: format!(
-                        "residual branch shapes disagree: {main} vs {skip}"
-                    ),
+                    reason: format!("residual branch shapes disagree: {main} vs {skip}"),
                 });
             }
             main
@@ -213,9 +211,7 @@ pub fn param_count(specs: &[LayerSpec], input: Shape4) -> Result<usize> {
             }
             DenseBlock { inner } => param_count(inner, s)?,
             BatchNorm => 2 * s.c,
-            Residual { inner, projector } => {
-                param_count(inner, s)? + param_count(projector, s)?
-            }
+            Residual { inner, projector } => param_count(inner, s)? + param_count(projector, s)?,
             _ => 0,
         };
         s = spec_out_shape(spec, s)?;
@@ -393,7 +389,12 @@ mod tests {
     #[test]
     fn build_is_deterministic_per_seed() {
         let input = Shape4::new(1, 1, 8, 8);
-        let specs = vec![LayerSpec::conv3(4), LayerSpec::ReLU, LayerSpec::Flatten, LayerSpec::Linear { out: 2 }];
+        let specs = vec![
+            LayerSpec::conv3(4),
+            LayerSpec::ReLU,
+            LayerSpec::Flatten,
+            LayerSpec::Linear { out: 2 },
+        ];
         let mut a = build_network(&specs, input, 42).unwrap();
         let mut b = build_network(&specs, input, 42).unwrap();
         let x = init::uniform(Shape4::new(2, 1, 8, 8), -1.0, 1.0, &mut init::rng(7));

@@ -103,7 +103,12 @@ impl EvalStats {
 }
 
 /// Evaluate top-k accuracies on a dataset.
-pub fn evaluate(net: &mut Network, data: &Dataset, ks: &[usize], batch_size: usize) -> Result<EvalStats> {
+pub fn evaluate(
+    net: &mut Network,
+    data: &Dataset,
+    ks: &[usize],
+    batch_size: usize,
+) -> Result<EvalStats> {
     let classes = data.num_classes();
     let mut hits = vec![0.0f32; ks.len()];
     let mut total = 0usize;

@@ -777,10 +777,7 @@ mod tests {
 
     #[test]
     fn evaluation_models_order_matches_figures() {
-        let names: Vec<String> = evaluation_models(100)
-            .into_iter()
-            .map(|m| m.name)
-            .collect();
+        let names: Vec<String> = evaluation_models(100).into_iter().map(|m| m.name).collect();
         assert_eq!(names, vec!["DenseNet", "VGG16", "GoogLeNet", "LeNet5"]);
     }
 }

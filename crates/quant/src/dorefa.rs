@@ -73,10 +73,7 @@ pub fn quantize_symmetric_unit(r: f32, k: u32) -> f32 {
 /// requires; Eq. 9's tanh transform is the quantization-aware-training
 /// operator the paper trains with (see [`quantize_weights`]).
 pub fn quantize_weights_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
-    let max = t
-        .as_slice()
-        .iter()
-        .fold(0.0_f32, |m, v| m.max(v.abs()));
+    let max = t.as_slice().iter().fold(0.0_f32, |m, v| m.max(v.abs()));
     if max == 0.0 {
         return t.clone();
     }
@@ -86,10 +83,7 @@ pub fn quantize_weights_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
 /// Post-training activation quantization with dynamic range scaling: the
 /// tensor's max magnitude sets the grid scale (standard dynamic PTQ).
 pub fn quantize_activations_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
-    let max = t
-        .as_slice()
-        .iter()
-        .fold(0.0_f32, |m, v| m.max(v.abs()));
+    let max = t.as_slice().iter().fold(0.0_f32, |m, v| m.max(v.abs()));
     if max == 0.0 {
         return t.clone();
     }

@@ -278,9 +278,15 @@ mod tests {
         assert_eq!(rt(1.0 + 2.0_f32.powi(-11)), 1.0);
         // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
         // picks 1+2^-9 (mantissa 2).
-        assert_eq!(rt(1.0 + 3.0 * 2.0_f32.powi(-11)), 1.0 + 2.0 * 2.0_f32.powi(-10));
+        assert_eq!(
+            rt(1.0 + 3.0 * 2.0_f32.powi(-11)),
+            1.0 + 2.0 * 2.0_f32.powi(-10)
+        );
         // just above the tie rounds up
-        assert_eq!(rt(1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20)), 1.0 + 2.0_f32.powi(-10));
+        assert_eq!(
+            rt(1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20)),
+            1.0 + 2.0_f32.powi(-10)
+        );
     }
 
     #[test]
@@ -334,7 +340,11 @@ mod tests {
                 continue;
             }
             let back = F16::from_f32_rne(h.to_f32_exact());
-            assert_eq!(back.to_bits(), bits, "roundtrip failed for bits {bits:#06x}");
+            assert_eq!(
+                back.to_bits(),
+                bits,
+                "roundtrip failed for bits {bits:#06x}"
+            );
         }
     }
 

@@ -265,7 +265,7 @@ mod tests {
         let acc = mac_i32(0, &a, &b);
         let expect: i32 = (1..=10).map(|i| (i * 3) * (i * -2)).sum();
         assert_eq!(acc, expect); // -6 * 385 = -2310, exact in i32
-        // narrow once at the end: -2310 / 64 = -36.09… rounds to -36
+                                 // narrow once at the end: -2310 / 64 = -36.09… rounds to -36
         let narrowed = Q6::narrow_product_sum(acc);
         assert_eq!(narrowed.raw(), -36);
         // a sum beyond the operand range saturates at writeback

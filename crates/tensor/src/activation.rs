@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn relu_integer() {
-        let t = Tensor::plane(1, 3, vec![-2.0, 0.0, 5.0]).unwrap().cast::<i32>();
+        let t = Tensor::plane(1, 3, vec![-2.0, 0.0, 5.0])
+            .unwrap()
+            .cast::<i32>();
         assert_eq!(relu(&t).as_slice(), &[0, 0, 5]);
     }
 

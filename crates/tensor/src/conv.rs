@@ -38,7 +38,10 @@ pub fn conv_geometry<T: Scalar>(
     }
     if wshape.h != wshape.w {
         return Err(TensorError::BadGeometry {
-            reason: format!("only square kernels supported, got {}x{}", wshape.h, wshape.w),
+            reason: format!(
+                "only square kernels supported, got {}x{}",
+                wshape.h, wshape.w
+            ),
         });
     }
     ConvGeometry::new(ishape.h, ishape.w, wshape.h, wshape.w, stride, pad)
@@ -237,7 +240,8 @@ mod tests {
 
     #[test]
     fn integer_conv_is_exact() {
-        let input = Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32).cast::<i64>();
+        let input =
+            Tensor::from_fn(Shape4::hw(4, 4), |_, _, h, w| (h * 4 + w) as f32).cast::<i64>();
         let weight = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1_i64, 2, 3, 4]).unwrap();
         let direct = conv2d_direct(&input, &weight, None, 1, 0).unwrap();
         let gemm = conv2d_im2col(&input, &weight, None, 1, 0).unwrap();

@@ -31,7 +31,10 @@ pub fn im2col<T: Scalar>(input: &Tensor<T>, n: usize, geom: &ConvGeometry) -> Ve
                     let ih = (oh * geom.stride + kh) as isize - pad;
                     for ow in 0..geom.out_w {
                         let iw = (ow * geom.stride + kw) as isize - pad;
-                        if ih >= 0 && iw >= 0 && (ih as usize) < geom.in_h && (iw as usize) < geom.in_w
+                        if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
                         {
                             dst[col] = plane[ih as usize * geom.in_w + iw as usize];
                         }
@@ -47,11 +50,7 @@ pub fn im2col<T: Scalar>(input: &Tensor<T>, n: usize, geom: &ConvGeometry) -> Ve
 /// Scatter-add adjoint of [`im2col`]: fold a `(c*k_h*k_w) × (out_h*out_w)`
 /// matrix back onto an input-shaped plane set, summing overlapping windows.
 /// Contributions that would land in the padding ring are dropped.
-pub fn col2im<T: Scalar>(
-    cols_mat: &[T],
-    channels: usize,
-    geom: &ConvGeometry,
-) -> Vec<T> {
+pub fn col2im<T: Scalar>(cols_mat: &[T], channels: usize, geom: &ConvGeometry) -> Vec<T> {
     let cols = geom.out_len();
     let rows = channels * geom.taps();
     assert_eq!(cols_mat.len(), rows * cols, "col matrix size mismatch");
@@ -68,7 +67,10 @@ pub fn col2im<T: Scalar>(
                     let ih = (oh * geom.stride + kh) as isize - pad;
                     for ow in 0..geom.out_w {
                         let iw = (ow * geom.stride + kw) as isize - pad;
-                        if ih >= 0 && iw >= 0 && (ih as usize) < geom.in_h && (iw as usize) < geom.in_w
+                        if ih >= 0
+                            && iw >= 0
+                            && (ih as usize) < geom.in_h
+                            && (iw as usize) < geom.in_w
                         {
                             plane[ih as usize * geom.in_w + iw as usize] += src[col];
                         }
@@ -146,10 +148,7 @@ mod tests {
         let g = ConvGeometry::square(3, 2, 1).unwrap();
         let ones = vec![1.0_f32; 4 * 4];
         let folded = col2im(&ones, 1, &g);
-        assert_eq!(
-            folded,
-            vec![1., 2., 1., 2., 4., 2., 1., 2., 1.]
-        );
+        assert_eq!(folded, vec![1., 2., 1., 2., 4., 2., 1., 2., 1.]);
     }
 
     #[test]
@@ -172,7 +171,9 @@ mod tests {
         let x = seq_plane(5, 5);
         let g = ConvGeometry::square(5, 3, 2).unwrap();
         let ix = im2col(&x, 0, &g);
-        let y: Vec<f32> = (0..ix.len()).map(|i| ((i * 13 + 5) % 7) as f32 - 3.0).collect();
+        let y: Vec<f32> = (0..ix.len())
+            .map(|i| ((i * 13 + 5) % 7) as f32 - 3.0)
+            .collect();
         let lhs: f32 = ix.iter().zip(&y).map(|(a, b)| a * b).sum();
         let folded = col2im(&y, 1, &g);
         let rhs: f32 = x.as_slice().iter().zip(&folded).map(|(a, b)| a * b).sum();

@@ -111,8 +111,12 @@ mod tests {
         // Force the parallel path with a 80x80 * 80x80 product and compare
         // against the obvious triple loop.
         let m = 80;
-        let a: Vec<f32> = (0..m * m).map(|v| ((v * 7 + 3) % 13) as f32 - 6.0).collect();
-        let b: Vec<f32> = (0..m * m).map(|v| ((v * 5 + 1) % 11) as f32 - 5.0).collect();
+        let a: Vec<f32> = (0..m * m)
+            .map(|v| ((v * 7 + 3) % 13) as f32 - 6.0)
+            .collect();
+        let b: Vec<f32> = (0..m * m)
+            .map(|v| ((v * 5 + 1) % 11) as f32 - 5.0)
+            .collect();
         let fast = matmul(&a, &b, m, m, m);
         let mut slow = vec![0.0_f32; m * m];
         for i in 0..m {

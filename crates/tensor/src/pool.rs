@@ -88,7 +88,11 @@ pub struct MaxPoolOut<T> {
 
 /// Max pooling with argmax capture. Ties resolve to the first (row-major)
 /// maximum, matching the common framework convention.
-pub fn max_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<MaxPoolOut<T>> {
+pub fn max_pool2d<T: Scalar>(
+    input: &Tensor<T>,
+    window: usize,
+    stride: usize,
+) -> Result<MaxPoolOut<T>> {
     let g = pool_geometry(input, window, stride)?;
     let s = input.shape();
     let out_shape = Shape4::new(s.n, s.c, g.out_h, g.out_w);

@@ -224,7 +224,12 @@ pub struct PoolGeometry {
 
 impl PoolGeometry {
     /// Build and validate a pooling geometry.
-    pub fn new(in_h: usize, in_w: usize, window: usize, stride: usize) -> Result<Self, TensorError> {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Result<Self, TensorError> {
         if stride == 0 || window == 0 {
             return Err(TensorError::BadGeometry {
                 reason: "pool window and stride must be nonzero".into(),

@@ -6,9 +6,7 @@
 //! ```
 
 use mlcnn::accel::config::AcceleratorConfig;
-use mlcnn::accel::cycle::{
-    fused_layer_speedups, mean_energy_gain, mean_speedup, simulate_model,
-};
+use mlcnn::accel::cycle::{fused_layer_speedups, mean_energy_gain, mean_speedup, simulate_model};
 use mlcnn::accel::energy::EnergyModel;
 use mlcnn::nn::zoo;
 
@@ -36,7 +34,10 @@ fn main() {
             let e = mean_energy_gain(&base, &fast);
             speed_acc.push(s);
             energy_acc.push(e);
-            print!("  {:<10} speedup {s:>5.2}x  energy {e:>5.2}x  | per layer:", model.name);
+            print!(
+                "  {:<10} speedup {s:>5.2}x  energy {e:>5.2}x  | per layer:",
+                model.name
+            );
             for (name, v) in fused_layer_speedups(&base, &fast) {
                 print!(" {name}={v:.1}");
             }

@@ -22,8 +22,15 @@ fn main() {
     // 1. AR unit alone: the half-addition / full-addition stream
     let mut ar = ArUnit::new(1);
     let g = ar.stream_plane(input.as_slice(), 5, 5);
-    println!("AR unit produced {} block sums with {} additions", g.len(), ar.adds_performed());
-    println!("  (without reuse the same 16 block sums would take {} additions)", 16 * 3);
+    println!(
+        "AR unit produced {} block sums with {} additions",
+        g.len(),
+        ar.adds_performed()
+    );
+    println!(
+        "  (without reuse the same 16 block sums would take {} additions)",
+        16 * 3
+    );
 
     // 2. the full pipeline: AR -> MAC slice -> preprocessing
     let (hw_out, cycles) = run_fused_pipeline(input.as_slice(), 5, 5, &weights, 2, bias);

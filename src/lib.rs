@@ -14,6 +14,7 @@
 //! | [`nn`] | `mlcnn-nn` | trainable CNN framework + model zoo |
 //! | [`core`] | `mlcnn-core` | the MLCNN contribution (reorder + fuse) |
 //! | [`accel`] | `mlcnn-accel` | accelerator cycle & energy model |
+//! | [`check`] | `mlcnn-check` | static analysis over specs, configs, tilings |
 //!
 //! ## The thirty-second tour
 //!
@@ -65,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub use mlcnn_accel as accel;
+pub use mlcnn_check as check;
 pub use mlcnn_core as core;
 pub use mlcnn_data as data;
 pub use mlcnn_nn as nn;

@@ -74,7 +74,10 @@ fn fused_operator_replays_a_trained_stage() {
 
     assert_eq!(fused_out.shape(), x.shape());
     let diff = fused_out.max_abs_diff(&x).unwrap();
-    assert!(diff < 1e-4, "fused operator diverges from the network: {diff}");
+    assert!(
+        diff < 1e-4,
+        "fused operator diverges from the network: {diff}"
+    );
 }
 
 #[test]
@@ -115,8 +118,8 @@ fn fused_stage_preserves_classification_decisions() {
     )
     .unwrap();
     let params = net.export_params();
-    let fused = FusedConvPool::new(params[0].clone(), params[1].as_slice().to_vec(), 1, 1, 2)
-        .unwrap();
+    let fused =
+        FusedConvPool::new(params[0].clone(), params[1].as_slice().to_vec(), 1, 1, 2).unwrap();
 
     let batch = data.batches(8).next().unwrap();
     // full network logits

@@ -34,10 +34,7 @@ fn fused_kernel_at_f16_tracks_f32() {
     // binary16 has ~3 decimal digits; the fused reduction accumulates a
     // few dozen terms, so centi-level agreement is the right bar.
     for (a, b) in f32_out.as_slice().iter().zip(f16_out.as_slice()) {
-        assert!(
-            (a - b.to_f32_exact()).abs() < 0.02,
-            "f32 {a} vs f16 {b}"
-        );
+        assert!((a - b.to_f32_exact()).abs() < 0.02, "f32 {a} vs f16 {b}");
     }
 }
 
@@ -53,14 +50,10 @@ fn int8_datapath_with_wide_accumulators_is_exact() {
         &init::uniform(Shape4::new(1, 2, 10, 10), 0.0, 1.0, &mut rng),
         6,
     );
-    let (weight_f, _) = dorefa::quantize_weights(
-        &init::normal(Shape4::new(2, 2, 3, 3), 0.5, &mut rng),
-        6,
-    );
+    let (weight_f, _) =
+        dorefa::quantize_weights(&init::normal(Shape4::new(2, 2, 3, 3), 0.5, &mut rng), 6);
     // every grid value is an exact multiple of 1/64: lift to raw ints
-    let raw = |t: &Tensor<f32>| -> Tensor<i64> {
-        t.map(|v| (v * Q6::SCALE).round()).cast::<i64>()
-    };
+    let raw = |t: &Tensor<f32>| -> Tensor<i64> { t.map(|v| (v * Q6::SCALE).round()).cast::<i64>() };
     // spot-check the lift is faithful (Q6 round-trips the grid)
     for &v in input_f.as_slice().iter().take(16) {
         assert!((Q6::saturating_from_f32(v).to_f32_exact() - v).abs() <= 0.5 / 64.0 + 1e-6);
@@ -86,7 +79,10 @@ fn dorefa_eight_bit_grid_survives_f16_transport() {
     for &v in acts.as_slice() {
         let transported = F16::from_f32_rne(v).to_f32_exact();
         // one binary16 ulp around 1.0 is ~0.0005; grid step is 1/255
-        assert!((transported - v).abs() < 0.5 / 255.0, "{v} -> {transported}");
+        assert!(
+            (transported - v).abs() < 0.5 / 255.0,
+            "{v} -> {transported}"
+        );
     }
 }
 

@@ -1,0 +1,209 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements exactly the API surface the workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random_range`] over integer and
+//! float ranges, and [`seq::SliceRandom::shuffle`] — on top of a
+//! splitmix64-seeded xoshiro256** generator. Determinism per seed is the only
+//! contract the workspace relies on (every experiment seeds explicitly), and
+//! this crate keeps that contract without needing a crates.io mirror.
+
+/// Core trait for generators: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    ///
+    /// Not the same stream as the upstream `rand::rngs::StdRng` (which is a
+    /// ChaCha variant), but the workspace only requires determinism per seed,
+    /// not a particular stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on an empty range.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+fn uniform_u64_below<G: RngCore + ?Sized>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // widening multiply keeps the modulo bias below 2^-64, far under what
+    // any experiment in the tree could observe
+    let x = rng.next_u64() as u128;
+    (x * span) >> 64
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_u64_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // 53 uniform mantissa bits in [0, 1)
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                let v = lo as f64 + u * (hi as f64 - lo as f64);
+                v as $t
+            }
+        }
+    )*};
+}
+
+float_ranges!(f32, f64);
+
+/// Convenience sampling methods on any generator.
+pub trait RngExt: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> RngExt for G {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Shuffle the slice in place.
+        fn shuffle<G: RngCore + ?Sized>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: RngCore + ?Sized>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..u64::MAX), b.random_range(0..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f32 = rng.random_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let i = rng.random_range(5usize..8);
+            assert!((5..8).contains(&i));
+            let j = rng.random_range(-3isize..=3);
+            assert!((-3..=3).contains(&j));
+        }
+    }
+
+    #[test]
+    fn float_sampling_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the identity permutation");
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace parallelizes over batch items with `into_par_iter()` and
+//! over output rows with `par_chunks_mut()`, then chains only standard
+//! iterator adapters (`map`, `enumerate`, `for_each`, `collect`). This crate
+//! provides those two entry points as *sequential* std iterators so the same
+//! call sites compile and produce identical results without a crates.io
+//! mirror; swapping the real rayon back in re-enables the parallel speedup
+//! with no source change.
+
+/// The traits call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `into_par_iter()` for anything iterable (sequential here).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential drop-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_chunks_mut()` for mutable slices (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential drop-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `par_iter()` for slices (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Sequential drop-in for rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential_semantics() {
+        let squares: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+
+        let mut buf = [0usize; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i;
+            }
+        });
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+
+        let total: usize = [1usize, 2, 3].par_iter().sum();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without a crates.io
+//! mirror. No trait machinery is provided because nothing in the tree bounds
+//! on `serde::Serialize` — serialization of trained parameters is hand-rolled
+//! in `mlcnn_nn::serialize` and diagnostics JSON in `mlcnn_check::diag`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! architecture stays serde-ready, but no code in the tree actually invokes a
+//! serde serializer (binary model persistence is hand-rolled in
+//! `mlcnn_nn::serialize`). This proc-macro crate therefore accepts the derive
+//! syntax — including `#[serde(...)]` helper attributes — and expands to
+//! nothing, which keeps the build hermetic on machines with no access to a
+//! crates.io mirror. Swapping the real serde back in is a one-line change in
+//! the root `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

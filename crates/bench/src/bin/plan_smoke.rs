@@ -1,0 +1,87 @@
+//! Plan-vs-legacy throughput smoke for CI: run LeNet-5 inference through
+//! the layerwise network and the compiled execution plan, verify they
+//! agree, and write the timings to `BENCH_plan.json`.
+//!
+//! This is a smoke gate, not a benchmark suite — it exists so CI notices
+//! if the plan path stops working or grossly regresses. Speedups are
+//! reported honestly: on a single-core runner the batch-parallel number
+//! will hover around 1×, and the gate only checks correctness.
+//!
+//! ```text
+//! plan_smoke [output-path]   # default BENCH_plan.json
+//! ```
+
+use mlcnn_core::reorder::reorder_activation_pool;
+use mlcnn_core::{EvalPlan, PlanOptions, Workspace};
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::zoo;
+use mlcnn_tensor::{init, Shape4};
+use std::time::Instant;
+
+const BATCH: usize = 8;
+const WARMUP: usize = 3;
+const ITERS: usize = 20;
+
+fn time_ms<F: FnMut()>(mut f: F) -> f64 {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / ITERS as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_plan.json".to_string());
+
+    let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
+    let input = Shape4::new(1, 3, 32, 32);
+    let mut net = build_network(&specs, input, 9).expect("lenet builds");
+    let plan = net
+        .eval_plan(PlanOptions::default())
+        .expect("lenet compiles to a plan");
+    let x = init::uniform(Shape4::new(BATCH, 3, 32, 32), -1.0, 1.0, &mut init::rng(5));
+
+    // correctness first: the plan must agree with the legacy network
+    // (fused groups change summation order, so equality is approximate
+    // here; the bitwise guarantees live in tests/plan_equivalence.rs)
+    let legacy_out = net.forward(&x).expect("legacy forward");
+    let mut ws = Workspace::for_plan(&plan, BATCH);
+    let plan_out = plan.forward(&x, &mut ws).expect("plan forward");
+    assert_eq!(legacy_out.shape(), plan_out.shape());
+    assert!(
+        plan_out.approx_eq(&legacy_out, 1e-3),
+        "plan diverged from the legacy network: {}",
+        plan_out.max_abs_diff(&legacy_out).unwrap()
+    );
+    let batch_out = plan.forward_batch(&x).expect("batch-parallel forward");
+    assert_eq!(batch_out, plan_out, "forward_batch diverged");
+
+    let legacy_ms = time_ms(|| {
+        let _ = net.forward(&x).unwrap();
+    });
+    let plan_ms = time_ms(|| {
+        let _ = plan.forward(&x, &mut ws).unwrap();
+    });
+    let batch_ms = time_ms(|| {
+        let _ = plan.forward_batch(&x).unwrap();
+    });
+
+    let threads = rayon::current_num_threads();
+    let json = format!(
+        "{{\n  \"model\": \"lenet5-reordered\",\n  \"batch\": {BATCH},\n  \"iters\": {ITERS},\n  \"threads\": {threads},\n  \"legacy_network_ms_per_batch\": {legacy_ms:.4},\n  \"plan_ms_per_batch\": {plan_ms:.4},\n  \"plan_forward_batch_ms_per_batch\": {batch_ms:.4},\n  \"speedup_plan_vs_legacy\": {:.3},\n  \"speedup_forward_batch_vs_plan\": {:.3}\n}}\n",
+        legacy_ms / plan_ms,
+        plan_ms / batch_ms,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_plan.json");
+    println!("{json}");
+    println!(
+        "[plan_smoke] wrote {out_path} ({} thread{})",
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+}

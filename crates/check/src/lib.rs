@@ -84,6 +84,20 @@ pub fn check_compile(specs: &[LayerSpec], input: Shape4) -> Result<(), Vec<Diagn
     }
 }
 
+/// [`check_compile`] with the denial diagnostics flattened into one
+/// `"; "`-joined summary string — the form the execution-plan and fused-
+/// network compilers embed in their error values, kept here so every
+/// compiler front-end reports identically.
+pub fn check_compile_summary(specs: &[LayerSpec], input: Shape4) -> Result<(), String> {
+    check_compile(specs, input).map_err(|diags| {
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    })
+}
+
 /// Run the full network lint suite — shape inference, then fusion
 /// classification fed by the inferred shapes — under one reporter.
 pub fn lint_network(

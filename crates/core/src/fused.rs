@@ -96,6 +96,47 @@ impl FusedGeometry {
     }
 }
 
+/// Reusable scratch buffers for the fused kernel: the zero-padded input
+/// plane, the half-addition plane and the per-channel block-sum (`G`)
+/// planes. Create once (or via `Workspace::for_plan`), reuse across calls —
+/// [`FusedConvPool::forward_item_into`] only grows the buffers when a
+/// larger geometry arrives, so steady-state execution is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FusedScratch<T> {
+    padded: Vec<T>,
+    ha: Vec<T>,
+    g: Vec<T>,
+}
+
+impl<T: Scalar> FusedScratch<T> {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            padded: Vec::new(),
+            ha: Vec::new(),
+            g: Vec::new(),
+        }
+    }
+
+    /// Grow the buffers to cover `geom` with `channels` input channels.
+    /// Never shrinks, so one scratch serves every fused layer of a network.
+    pub fn ensure(&mut self, geom: &FusedGeometry, channels: usize) {
+        let (ph, pw) = (geom.in_h + 2 * geom.pad, geom.in_w + 2 * geom.pad);
+        let span = (geom.pool - 1) * geom.conv_stride;
+        let g_len = channels * (ph - span) * (pw - span);
+        if self.padded.len() < ph * pw {
+            self.padded.resize(ph * pw, T::zero());
+        }
+        // both LAR orientations need at most a padded-plane's worth of HA
+        if self.ha.len() < ph * pw {
+            self.ha.resize(ph * pw, T::zero());
+        }
+        if self.g.len() < g_len {
+            self.g.resize(g_len, T::zero());
+        }
+    }
+}
+
 /// The fused operator: weights + bias + geometry knobs.
 #[derive(Debug, Clone)]
 pub struct FusedConvPool<T = f32> {
@@ -202,15 +243,23 @@ impl<T: Scalar> FusedConvPool<T> {
     /// half-addition plane exactly as the AR unit does — column-based
     /// (vertical HA, horizontal combine) by default, or the row-based
     /// orientation when selected.
-    fn block_sum_plane(&self, padded: &[T], ph: usize, pw: usize) -> (Vec<T>, usize, usize) {
+    fn block_sum_plane_into(
+        &self,
+        padded: &[T],
+        ph: usize,
+        pw: usize,
+        ha: &mut [T],
+        g: &mut [T],
+    ) -> usize {
         let p = self.pool;
         let s = self.conv_stride;
         let span = (p - 1) * s;
         let g_h = ph - span;
         let gw_valid = pw - span;
+        debug_assert!(g.len() >= g_h * gw_valid);
         if self.row_based {
             // phase 1: half additions over rows (horizontal p-sums)
-            let mut ha = vec![T::zero(); ph * gw_valid];
+            debug_assert!(ha.len() >= ph * gw_valid);
             for a in 0..ph {
                 for b in 0..gw_valid {
                     let mut acc = padded[a * pw + b];
@@ -221,7 +270,6 @@ impl<T: Scalar> FusedConvPool<T> {
                 }
             }
             // phase 2: vertical combine
-            let mut g = vec![T::zero(); g_h * gw_valid];
             for a in 0..g_h {
                 for b in 0..gw_valid {
                     let mut acc = ha[a * gw_valid + b];
@@ -231,11 +279,11 @@ impl<T: Scalar> FusedConvPool<T> {
                     g[a * gw_valid + b] = acc;
                 }
             }
-            return (g, g_h, gw_valid);
+            return gw_valid;
         }
         let g_w = pw; // HA spans full width; G valid width is pw - span
-                      // phase 1: half additions (vertical p-sums at spacing S)
-        let mut ha = vec![T::zero(); g_h * g_w];
+        debug_assert!(ha.len() >= g_h * g_w);
+        // phase 1: half additions (vertical p-sums at spacing S)
         for a in 0..g_h {
             for b in 0..pw {
                 let mut acc = padded[a * pw + b];
@@ -246,7 +294,6 @@ impl<T: Scalar> FusedConvPool<T> {
             }
         }
         // phase 2: full additions (horizontal combine at spacing S)
-        let mut g = vec![T::zero(); g_h * gw_valid];
         for a in 0..g_h {
             for b in 0..gw_valid {
                 let mut acc = ha[a * g_w + b];
@@ -256,10 +303,80 @@ impl<T: Scalar> FusedConvPool<T> {
                 g[a * gw_valid + b] = acc;
             }
         }
-        (g, g_h, gw_valid)
+        gw_valid
     }
 
-    /// Run the fused operator.
+    /// Run the fused operator on one batch item laid out as a raw
+    /// `c × in_h × in_w` slice, writing the `out_ch × out_h × out_w` result
+    /// into `dst`. All temporaries come from `scratch`, which is grown on
+    /// first use and reused thereafter — the execution plan's zero-
+    /// allocation steady state. Arithmetic is identical to [`Self::forward`]
+    /// (which delegates here per item), so the two are bitwise equal.
+    pub fn forward_item_into(
+        &self,
+        item: &[T],
+        geom: &FusedGeometry,
+        dst: &mut [T],
+        scratch: &mut FusedScratch<T>,
+    ) {
+        let wshape = self.weight.shape();
+        let channels = wshape.c;
+        let (p, s, k) = (self.pool, self.conv_stride, geom.k);
+        let (ph, pw) = (geom.in_h + 2 * geom.pad, geom.in_w + 2 * geom.pad);
+        assert_eq!(item.len(), channels * geom.in_h * geom.in_w);
+        assert_eq!(dst.len(), wshape.n * geom.out_h * geom.out_w);
+        scratch.ensure(geom, channels);
+        let inv_area = T::one() / T::from_f32((p * p) as f32);
+        let span = (p - 1) * s;
+        let g_plane_len = (ph - span) * (pw - span);
+        // phase 1+2 per input channel: block-sum planes
+        let mut gw = 0;
+        for c in 0..channels {
+            let plane = &item[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+            let padded = &mut scratch.padded[..ph * pw];
+            padded.fill(T::zero());
+            for h in 0..geom.in_h {
+                let dst_row = &mut padded
+                    [(h + geom.pad) * pw + geom.pad..(h + geom.pad) * pw + geom.pad + geom.in_w];
+                dst_row.copy_from_slice(&plane[h * geom.in_w..(h + 1) * geom.in_w]);
+            }
+            gw = self.block_sum_plane_into(
+                &scratch.padded[..ph * pw],
+                ph,
+                pw,
+                &mut scratch.ha,
+                &mut scratch.g[c * g_plane_len..(c + 1) * g_plane_len],
+            );
+        }
+        // phase 3: MAC over the factored weights
+        for to in 0..wshape.n {
+            for x in 0..geom.out_h {
+                for y in 0..geom.out_w {
+                    let mut acc = T::zero();
+                    for ti in 0..channels {
+                        let gp = &scratch.g[ti * g_plane_len..(ti + 1) * g_plane_len];
+                        for i in 0..k {
+                            let row = (p * x * s + i) * gw + p * y * s;
+                            for j in 0..k {
+                                acc += self.weight.at(to, ti, i, j) * gp[row + j];
+                            }
+                        }
+                    }
+                    // preprocessing: /p², bias, activation
+                    let mut v = if self.divide { acc * inv_area } else { acc };
+                    v += self.bias[to];
+                    if self.relu {
+                        v = v.relu();
+                    }
+                    dst[(to * geom.out_h + x) * geom.out_w + y] = v;
+                }
+            }
+        }
+    }
+
+    /// Run the fused operator. Batch items write their disjoint chunks of
+    /// the output tensor in place (no per-item buffers to re-copy), in
+    /// parallel; each worker carries its own [`FusedScratch`].
     pub fn forward(&self, input: &Tensor<T>) -> Result<Tensor<T>> {
         let ishape = input.shape();
         let wshape = self.weight.shape();
@@ -271,64 +388,20 @@ impl<T: Scalar> FusedConvPool<T> {
             });
         }
         let geom = self.geometry(ishape)?;
-        let (p, s, k) = (self.pool, self.conv_stride, geom.k);
-        let (ph, pw) = (geom.in_h + 2 * geom.pad, geom.in_w + 2 * geom.pad);
-        let inv_area = T::one() / T::from_f32((p * p) as f32);
         let out_shape = Shape4::new(ishape.n, wshape.n, geom.out_h, geom.out_w);
-
-        let per_item: Vec<Vec<T>> = (0..ishape.n)
-            .into_par_iter()
-            .map(|n| {
-                // phase 1+2 per input channel: block-sum planes
-                let mut g_planes = Vec::with_capacity(ishape.c);
-                let mut g_dims = (0usize, 0usize);
-                for c in 0..ishape.c {
-                    let plane = input.plane_slice(n, c);
-                    // materialize the zero-padded plane
-                    let mut padded = vec![T::zero(); ph * pw];
-                    for h in 0..geom.in_h {
-                        let dst = &mut padded[(h + geom.pad) * pw + geom.pad
-                            ..(h + geom.pad) * pw + geom.pad + geom.in_w];
-                        dst.copy_from_slice(&plane[h * geom.in_w..(h + 1) * geom.in_w]);
-                    }
-                    let (g, gh, gw) = self.block_sum_plane(&padded, ph, pw);
-                    g_dims = (gh, gw);
-                    g_planes.push(g);
-                }
-                let (_gh, gw) = g_dims;
-                // phase 3: MAC over the factored weights
-                let mut out = vec![T::zero(); wshape.n * geom.out_h * geom.out_w];
-                for to in 0..wshape.n {
-                    for x in 0..geom.out_h {
-                        for y in 0..geom.out_w {
-                            let mut acc = T::zero();
-                            for (ti, gp) in g_planes.iter().enumerate() {
-                                for i in 0..k {
-                                    let row = (p * x * s + i) * gw + p * y * s;
-                                    for j in 0..k {
-                                        acc += self.weight.at(to, ti, i, j) * gp[row + j];
-                                    }
-                                }
-                            }
-                            // preprocessing: /p², bias, activation
-                            let mut v = if self.divide { acc * inv_area } else { acc };
-                            v += self.bias[to];
-                            if self.relu {
-                                v = v.relu();
-                            }
-                            out[(to * geom.out_h + x) * geom.out_w + y] = v;
-                        }
-                    }
-                }
-                out
-            })
-            .collect();
-
-        let mut data = Vec::with_capacity(out_shape.len());
-        for item in per_item {
-            data.extend_from_slice(&item);
-        }
-        Tensor::from_vec(out_shape, data)
+        let in_item = ishape.c * ishape.h * ishape.w;
+        let out_item = wshape.n * geom.out_h * geom.out_w;
+        let data = input.as_slice();
+        let mut out = Tensor::zeros(out_shape);
+        out.as_mut_slice()
+            .par_chunks_mut(out_item.max(1))
+            .enumerate()
+            .for_each(|(n, dst)| {
+                let mut scratch = FusedScratch::new();
+                let item = &data[n * in_item..(n + 1) * in_item];
+                self.forward_item_into(item, &geom, dst, &mut scratch);
+            });
+        Ok(out)
     }
 
     /// The unfused reference: `relu?(pool(conv(x) + bias))` with average
@@ -465,6 +538,26 @@ mod tests {
         let input = Tensor::full(Shape4::hw(4, 4), 3.0_f32);
         let out = fused.forward(&input).unwrap();
         assert!(out.as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn forward_item_into_reuses_dirty_scratch_across_geometries() {
+        // one scratch serving layers of different geometry must not leak
+        // state (stale padding ring, oversized G planes) between calls.
+        let (input_a, fused_a) = rand_setup(11, 1, 3, 2, 10, 3, 1, 1, 2);
+        let (input_b, fused_b) = rand_setup(12, 1, 2, 3, 8, 2, 1, 0, 2);
+        let mut scratch = FusedScratch::new();
+        for (inp, f) in [
+            (&input_a, &fused_a),
+            (&input_b, &fused_b),
+            (&input_a, &fused_a),
+        ] {
+            let geom = f.geometry(inp.shape()).unwrap();
+            let expect = f.forward(inp).unwrap();
+            let mut dst = vec![0.0_f32; expect.shape().len()];
+            f.forward_item_into(inp.as_slice(), &geom, &mut dst, &mut scratch);
+            assert_eq!(dst.as_slice(), expect.as_slice());
+        }
     }
 
     #[test]

@@ -9,27 +9,45 @@
 //! partitioning in software, so a trained `mlcnn_nn::Network` can be run
 //! end-to-end with MLCNN arithmetic and checked for prediction
 //! equivalence.
+//!
+//! Since the introduction of [`crate::plan`], `FusedNetwork` is a thin
+//! adapter: `compile` delegates to [`ExecutionPlan::compile`] (which does
+//! the partitioning, pre-transposes Linear weights, and sizes the
+//! workspace arena), and `forward` runs the plan. What remains here is the
+//! stage *description* — weight-free [`FusedStage`] descriptors for
+//! inspection and the fused-vs-dense op accounting of Figs. 13–15.
 
-use crate::fused::FusedConvPool;
 use crate::opcount::OpCounts;
+use crate::plan::{ExecutionPlan, Op, PlanOptions, Workspace};
 use mlcnn_nn::LayerSpec;
-use mlcnn_tensor::activation::{relu, sigmoid};
-use mlcnn_tensor::conv::conv2d_im2col;
-use mlcnn_tensor::linalg::{matmul, transpose};
-use mlcnn_tensor::pool::{avg_pool2d, max_pool2d};
-use mlcnn_tensor::shape::Shape2;
-use mlcnn_tensor::{Result, Shape4, Tensor, TensorError};
+use mlcnn_tensor::{Result, Shape4, Tensor};
 
-/// One executable stage of the compiled pipeline.
+/// One stage of the compiled pipeline, as a weight-free descriptor. The
+/// weights themselves live inside the backing [`ExecutionPlan`] (already
+/// transposed/baked for execution); these descriptors exist for display,
+/// stage accounting, and the op-count reports.
 pub enum FusedStage {
     /// A fused conv + avg-pool (+ optional ReLU) group.
-    Fused(FusedConvPool<f32>),
+    Fused {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel extent.
+        k: usize,
+        /// Convolution stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Pool window (equals the pool stride; non-overlapping).
+        pool: usize,
+    },
     /// A plain convolution (regular mode).
     Conv {
-        /// Weights `M×N×K×K`.
-        weight: Tensor<f32>,
-        /// Per-output-channel bias.
-        bias: Vec<f32>,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel extent.
+        k: usize,
         /// Stride.
         stride: usize,
         /// Padding.
@@ -57,10 +75,6 @@ pub enum FusedStage {
     Flatten,
     /// Fully connected layer.
     Linear {
-        /// Weights `out×in` (flat, row-major).
-        weight: Vec<f32>,
-        /// Bias, one per output.
-        bias: Vec<f32>,
         /// Input features.
         in_features: usize,
         /// Output features.
@@ -72,7 +86,7 @@ impl FusedStage {
     /// Human-readable stage kind.
     pub fn kind(&self) -> &'static str {
         match self {
-            FusedStage::Fused(_) => "fused-conv-pool",
+            FusedStage::Fused { .. } => "fused-conv-pool",
             FusedStage::Conv { .. } => "conv",
             FusedStage::ReLU => "relu",
             FusedStage::Sigmoid => "sigmoid",
@@ -84,8 +98,10 @@ impl FusedStage {
     }
 }
 
-/// A compiled fused-inference pipeline.
+/// A compiled fused-inference pipeline: stage descriptors over a backing
+/// [`ExecutionPlan`].
 pub struct FusedNetwork {
+    plan: ExecutionPlan,
     stages: Vec<FusedStage>,
     input_shape: Shape4,
 }
@@ -105,175 +121,67 @@ impl FusedNetwork {
         params: &[Tensor<f32>],
         input: Shape4,
     ) -> Result<FusedNetwork> {
-        // static analysis first: shape propagation plus the sequential-only
-        // and no-batch-norm constraints, with one diagnostic per problem
-        if let Err(diags) = mlcnn_check::check_compile(specs, input) {
-            let summary = diags
-                .iter()
-                .map(|d| d.to_string())
-                .collect::<Vec<_>>()
-                .join("; ");
-            return Err(TensorError::BadGeometry { reason: summary });
-        }
-        let mut stages = Vec::new();
-        let mut shape = input;
-        let mut p = 0usize; // parameter cursor
-        let mut i = 0usize;
-
-        let take_pair = |p: &mut usize| -> Result<(Tensor<f32>, Tensor<f32>)> {
-            if *p + 2 > params.len() {
-                return Err(TensorError::BadGeometry {
-                    reason: "parameter list exhausted during compile".into(),
-                });
-            }
-            let w = params[*p].clone();
-            let b = params[*p + 1].clone();
-            *p += 2;
-            Ok((w, b))
-        };
-
-        while i < specs.len() {
-            match &specs[i] {
-                LayerSpec::Conv {
-                    out_ch,
-                    k,
-                    stride,
-                    pad,
-                } => {
-                    let (w, b) = take_pair(&mut p)?;
-                    if w.shape() != Shape4::new(*out_ch, shape.c, *k, *k) {
-                        return Err(TensorError::ShapeMismatch {
-                            left: w.shape(),
-                            right: Shape4::new(*out_ch, shape.c, *k, *k),
-                            op: "compile conv weights",
-                        });
-                    }
-                    let conv_out =
-                        mlcnn_tensor::ConvGeometry::new(shape.h, shape.w, *k, *k, *stride, *pad)?;
-                    // look ahead for a fusable pool
-                    let pool = match specs.get(i + 1) {
-                        Some(LayerSpec::AvgPool { window, stride: ps }) if window == ps => {
-                            Some(*window)
-                        }
-                        Some(LayerSpec::GlobalAvgPool) if conv_out.out_h == conv_out.out_w => {
-                            Some(conv_out.out_h)
-                        }
-                        _ => None,
-                    };
-                    match pool {
-                        Some(window) if window <= conv_out.out_h && window <= conv_out.out_w => {
-                            let with_relu = matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
-                            let fused = FusedConvPool::new(w, b.into_vec(), *stride, *pad, window)?
-                                .with_relu(with_relu);
-                            shape = fused.out_shape(shape)?;
-                            stages.push(FusedStage::Fused(fused));
-                            i += if with_relu { 3 } else { 2 };
-                            continue;
-                        }
-                        _ => {
-                            shape = Shape4::new(shape.n, *out_ch, conv_out.out_h, conv_out.out_w);
-                            stages.push(FusedStage::Conv {
-                                weight: w,
-                                bias: b.into_vec(),
-                                stride: *stride,
-                                pad: *pad,
-                            });
-                        }
-                    }
-                }
-                LayerSpec::ReLU => stages.push(FusedStage::ReLU),
-                LayerSpec::Sigmoid => stages.push(FusedStage::Sigmoid),
-                LayerSpec::AvgPool { window, stride } => {
-                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
-                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
-                    stages.push(FusedStage::AvgPool {
-                        window: *window,
-                        stride: *stride,
-                    });
-                }
-                LayerSpec::GlobalAvgPool => {
-                    let w = shape.h;
-                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, w, w)?;
-                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
-                    stages.push(FusedStage::AvgPool {
-                        window: w,
-                        stride: w,
-                    });
-                }
-                LayerSpec::MaxPool { window, stride } => {
-                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
-                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
-                    stages.push(FusedStage::MaxPool {
-                        window: *window,
-                        stride: *stride,
-                    });
-                }
-                LayerSpec::Flatten => {
-                    shape = Shape4::new(shape.n, 1, 1, shape.c * shape.h * shape.w);
-                    stages.push(FusedStage::Flatten);
-                }
-                LayerSpec::Linear { out } => {
-                    let (w, b) = take_pair(&mut p)?;
-                    let in_features = shape.c * shape.h * shape.w;
-                    if w.len() != out * in_features {
-                        return Err(TensorError::BadGeometry {
-                            reason: format!(
-                                "linear weight length {} != {out}x{in_features}",
-                                w.len()
-                            ),
-                        });
-                    }
-                    shape = Shape4::new(shape.n, 1, 1, *out);
-                    stages.push(FusedStage::Linear {
-                        weight: w.into_vec(),
-                        bias: b.into_vec(),
-                        in_features,
-                        out_features: *out,
-                    });
-                }
-                LayerSpec::Dropout { .. } => {
-                    // dropout is identity at inference; skip it
-                }
-                LayerSpec::Inception { .. }
-                | LayerSpec::DenseBlock { .. }
-                | LayerSpec::Residual { .. } => {
-                    return Err(TensorError::BadGeometry {
-                        reason: "FusedNetwork::compile handles sequential pipelines only".into(),
-                    });
-                }
-                LayerSpec::BatchNorm => {
-                    return Err(TensorError::BadGeometry {
-                        reason: "fold batch norm into the conv weights before compiling".into(),
-                    });
-                }
-            }
-            i += 1;
-        }
-        if p != params.len() {
-            return Err(TensorError::BadGeometry {
-                reason: format!(
-                    "{} unused parameter tensors after compile",
-                    params.len() - p
-                ),
-            });
-        }
+        let plan = ExecutionPlan::compile(specs, params, input, PlanOptions::default())?;
+        let stages = plan
+            .steps
+            .iter()
+            .map(|step| match &step.op {
+                Op::Fused { geom, .. } => FusedStage::Fused {
+                    in_ch: step.in_shape.c,
+                    out_ch: step.out_shape.c,
+                    k: geom.k,
+                    stride: geom.conv_stride,
+                    pad: geom.pad,
+                    pool: geom.pool,
+                },
+                Op::Conv { weight, geom, .. } => FusedStage::Conv {
+                    out_ch: weight.shape().n,
+                    k: geom.k_h,
+                    stride: geom.stride,
+                    pad: geom.pad,
+                },
+                Op::ReLU => FusedStage::ReLU,
+                Op::Sigmoid => FusedStage::Sigmoid,
+                Op::AvgPool(g) => FusedStage::AvgPool {
+                    window: g.window,
+                    stride: g.stride,
+                },
+                Op::MaxPool(g) => FusedStage::MaxPool {
+                    window: g.window,
+                    stride: g.stride,
+                },
+                Op::Flatten => FusedStage::Flatten,
+                Op::Linear {
+                    in_features,
+                    out_features,
+                    ..
+                } => FusedStage::Linear {
+                    in_features: *in_features,
+                    out_features: *out_features,
+                },
+            })
+            .collect();
         Ok(FusedNetwork {
+            plan,
             stages,
             input_shape: input,
         })
     }
 
-    /// The compiled stages.
+    /// The compiled stage descriptors.
     pub fn stages(&self) -> &[FusedStage] {
         &self.stages
     }
 
+    /// The backing execution plan (shareable across threads; pair it with
+    /// a per-thread [`Workspace`] for allocation-free forwards).
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
     /// Number of fused conv-pool groups in the pipeline.
     pub fn fused_stage_count(&self) -> usize {
-        self.stages
-            .iter()
-            .filter(|s| matches!(s, FusedStage::Fused(_)))
-            .count()
+        self.plan.fused_op_count()
     }
 
     /// Expected single-item input shape.
@@ -281,51 +189,17 @@ impl FusedNetwork {
         self.input_shape
     }
 
-    /// Run inference.
+    /// Run inference. Allocates a transient workspace; use
+    /// [`FusedNetwork::forward_with`] in loops to reuse one.
     pub fn forward(&self, input: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let mut x = input.clone();
-        for stage in &self.stages {
-            x = match stage {
-                FusedStage::Fused(f) => f.forward(&x)?,
-                FusedStage::Conv {
-                    weight,
-                    bias,
-                    stride,
-                    pad,
-                } => conv2d_im2col(&x, weight, Some(bias), *stride, *pad)?,
-                FusedStage::ReLU => relu(&x),
-                FusedStage::Sigmoid => sigmoid(&x),
-                FusedStage::AvgPool { window, stride } => avg_pool2d(&x, *window, *stride)?,
-                FusedStage::MaxPool { window, stride } => max_pool2d(&x, *window, *stride)?.values,
-                FusedStage::Flatten => {
-                    let s = x.shape();
-                    x.reshape(Shape4::new(s.n, 1, 1, s.c * s.h * s.w))?
-                }
-                FusedStage::Linear {
-                    weight,
-                    bias,
-                    in_features,
-                    out_features,
-                } => {
-                    let s = x.shape();
-                    let feats = s.c * s.h * s.w;
-                    if feats != *in_features {
-                        return Err(TensorError::BadGeometry {
-                            reason: format!("linear expects {in_features} features, got {feats}"),
-                        });
-                    }
-                    let w_t = transpose(weight, Shape2::new(*out_features, *in_features));
-                    let mut y = matmul(x.as_slice(), &w_t, s.n, *in_features, *out_features);
-                    for bi in 0..s.n {
-                        for (o, bv) in bias.iter().enumerate() {
-                            y[bi * out_features + o] += bv;
-                        }
-                    }
-                    Tensor::from_vec(Shape4::new(s.n, 1, 1, *out_features), y)?
-                }
-            };
-        }
-        Ok(x)
+        let mut ws = Workspace::for_plan(&self.plan, input.shape().n);
+        self.plan.forward(input, &mut ws)
+    }
+
+    /// Run inference out of a caller-owned workspace — zero steady-state
+    /// allocation beyond the returned tensor.
+    pub fn forward_with(&self, input: &Tensor<f32>, ws: &mut Workspace) -> Result<Tensor<f32>> {
+        self.plan.forward(input, ws)
     }
 
     /// Aggregate op counts of the conv stages for a given input: the
@@ -335,68 +209,44 @@ impl FusedNetwork {
         use mlcnn_nn::zoo::{ConvLayerGeom, PoolAfter};
         let mut mlcnn = OpCounts::zero();
         let mut dense = OpCounts::zero();
-        let mut shape = self.input_shape;
-        for stage in &self.stages {
-            match stage {
-                FusedStage::Fused(f) => {
-                    let geom = f.geometry(shape).expect("compiled shapes are valid");
-                    let ws = {
-                        // reconstruct the layer geometry for the counters
-                        ConvLayerGeom {
-                            name: "stage".into(),
-                            in_ch: shape.c,
-                            out_ch: f.out_shape(shape).expect("valid").c,
-                            in_h: shape.h,
-                            in_w: shape.w,
-                            k: geom.k,
-                            stride: geom.conv_stride,
-                            pad: geom.pad,
-                            pool: Some(PoolAfter {
-                                window: geom.pool,
-                                stride: geom.pool,
-                                avg: true,
-                            }),
-                        }
-                    };
-                    mlcnn += crate::opcount::mlcnn_layer_counts(&ws);
-                    dense += crate::opcount::dense_layer_counts(&ws);
-                    shape = f.out_shape(shape).expect("valid");
-                }
-                FusedStage::Conv {
-                    weight,
-                    stride,
-                    pad,
-                    ..
-                } => {
-                    let ws = weight.shape();
+        for step in &self.plan.steps {
+            match &step.op {
+                Op::Fused { geom, .. } => {
                     let g = ConvLayerGeom {
                         name: "stage".into(),
-                        in_ch: shape.c,
-                        out_ch: ws.n,
-                        in_h: shape.h,
-                        in_w: shape.w,
-                        k: ws.h,
-                        stride: *stride,
-                        pad: *pad,
+                        in_ch: step.in_shape.c,
+                        out_ch: step.out_shape.c,
+                        in_h: step.in_shape.h,
+                        in_w: step.in_shape.w,
+                        k: geom.k,
+                        stride: geom.conv_stride,
+                        pad: geom.pad,
+                        pool: Some(PoolAfter {
+                            window: geom.pool,
+                            stride: geom.pool,
+                            avg: true,
+                        }),
+                    };
+                    mlcnn += crate::opcount::mlcnn_layer_counts(&g);
+                    dense += crate::opcount::dense_layer_counts(&g);
+                }
+                Op::Conv { weight, geom, .. } => {
+                    let g = ConvLayerGeom {
+                        name: "stage".into(),
+                        in_ch: step.in_shape.c,
+                        out_ch: weight.shape().n,
+                        in_h: step.in_shape.h,
+                        in_w: step.in_shape.w,
+                        k: geom.k_h,
+                        stride: geom.stride,
+                        pad: geom.pad,
                         pool: None,
                     };
                     let c = crate::opcount::dense_layer_counts(&g);
                     mlcnn += c;
                     dense += c;
-                    shape = Shape4::new(shape.n, ws.n, g.out_h(), g.out_w());
                 }
-                FusedStage::AvgPool { window, stride } | FusedStage::MaxPool { window, stride } => {
-                    let g = mlcnn_tensor::PoolGeometry::new(shape.h, shape.w, *window, *stride)
-                        .expect("compiled shapes are valid");
-                    shape = Shape4::new(shape.n, shape.c, g.out_h, g.out_w);
-                }
-                FusedStage::Flatten => {
-                    shape = Shape4::new(shape.n, 1, 1, shape.c * shape.h * shape.w);
-                }
-                FusedStage::Linear { out_features, .. } => {
-                    shape = Shape4::new(shape.n, 1, 1, *out_features);
-                }
-                FusedStage::ReLU | FusedStage::Sigmoid => {}
+                _ => {}
             }
         }
         (mlcnn, dense)
@@ -446,6 +296,29 @@ mod tests {
             a.approx_eq(&b, 1e-3),
             "fused net diverges: {}",
             a.max_abs_diff(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_with_reuses_one_workspace_across_calls() {
+        let (fused, _, input) = compile_lenet();
+        let x = init::uniform(
+            Shape4::new(2, input.c, input.h, input.w),
+            -1.0,
+            1.0,
+            &mut init::rng(9),
+        );
+        let baseline = fused.forward(&x).unwrap();
+        let mut ws = Workspace::for_plan(fused.plan(), 2);
+        let cap = ws.buffer_capacity();
+        for _ in 0..3 {
+            let y = fused.forward_with(&x, &mut ws).unwrap();
+            assert_eq!(y, baseline);
+        }
+        assert_eq!(
+            ws.buffer_capacity(),
+            cap,
+            "steady-state forward grew the arena"
         );
     }
 

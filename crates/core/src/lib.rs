@@ -22,6 +22,12 @@
 //! * [`quantized`] — quantized-MLCNN evaluation (Fig. 12): run a trained
 //!   network with weights and activations rounded through FP16 or DoReFa
 //!   k-bit grids.
+//! * [`plan`] — the compiled inference engine behind all of the above:
+//!   an immutable, `Send + Sync` [`plan::ExecutionPlan`] with pre-resolved
+//!   geometry and pre-transposed/pre-quantized weights, executing out of a
+//!   reusable [`plan::Workspace`] arena with zero steady-state allocation.
+//!   `FusedNetwork`, `Network::eval_plan`, and the quantized evaluation
+//!   are thin adapters over it.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,10 +36,12 @@ pub mod analytic;
 pub mod fused;
 pub mod fused_net;
 pub mod opcount;
+pub mod plan;
 pub mod quantized;
 pub mod reorder;
 pub mod reuse_sim;
 
-pub use fused::FusedConvPool;
+pub use fused::{FusedConvPool, FusedScratch};
 pub use fused_net::FusedNetwork;
 pub use opcount::OpCounts;
+pub use plan::{EvalPlan, ExecutionPlan, PlanOptions, Workspace};

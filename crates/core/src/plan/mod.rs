@@ -1,0 +1,513 @@
+//! The compiled execution plan: one inference engine behind every
+//! forward path.
+//!
+//! [`ExecutionPlan::compile`] turns a *sequential* [`LayerSpec`] pipeline
+//! plus its trained parameters into a flat list of ops with all geometry
+//! resolved, Linear weights pre-transposed, and (for reduced precisions)
+//! weights pre-quantized — work the legacy paths redid on every call. The
+//! plan executes out of a [`Workspace`] arena of ping-pong buffers sized at
+//! compile time, so steady-state [`ExecutionPlan::forward`] performs **zero
+//! heap allocation** beyond the returned tensor (none at all via
+//! [`ExecutionPlan::forward_into`]).
+//!
+//! `forward` takes `&self` and the plan is `Send + Sync`: one compiled plan
+//! can serve many threads, each holding its own workspace — the
+//! multi-mode-engine shape argued for by the cross-layer-reuse literature,
+//! and the substrate the serving/batching roadmap items build on.
+//!
+//! Mode selection mirrors [`FusedNetwork`](crate::FusedNetwork) (which is
+//! now a thin adapter over this module): with [`PlanOptions::fuse`] on,
+//! `Conv, AvgPool{w==s}[, ReLU]` and `Conv, GlobalAvgPool[, ReLU]` groups
+//! run through the MLCNN fused operator (Algorithm 1); everything else runs
+//! the reference kernels. All kernels are the shared `_into` slice variants
+//! from `mlcnn-tensor`, so the plan is bitwise identical to the legacy
+//! `Network` / `FusedNetwork` / `forward_quantized` paths it replaces.
+
+mod exec;
+mod workspace;
+
+pub use workspace::Workspace;
+
+use crate::fused::FusedConvPool;
+use crate::quantized::round_tensor_f16;
+use mlcnn_nn::{LayerSpec, Network};
+use mlcnn_quant::{dorefa, Precision};
+use mlcnn_tensor::linalg::transpose;
+use mlcnn_tensor::parallel::par_map_batch;
+use mlcnn_tensor::{ConvGeometry, PoolGeometry, Result, Shape2, Shape4, Tensor, TensorError};
+
+use crate::fused::FusedGeometry;
+
+/// Compilation knobs for [`ExecutionPlan::compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Numeric precision: weights are pre-quantized at compile, activations
+    /// re-rounded through the precision's grid after each op at run time
+    /// (the reduced-precision datapath semantics of `forward_quantized`).
+    pub precision: Precision,
+    /// Fuse `Conv, AvgPool[, ReLU]` groups into the MLCNN fused operator.
+    /// Disable to reproduce the layerwise paths exactly (required for
+    /// bit-identity with `Network::forward` / `forward_quantized`, which
+    /// round between conv and pool).
+    pub fuse: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            precision: Precision::Fp32,
+            fuse: true,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// Layerwise (unfused) plan at FP32 — the `Network::forward` twin.
+    pub fn layerwise() -> Self {
+        Self {
+            precision: Precision::Fp32,
+            fuse: false,
+        }
+    }
+
+    /// Select a precision, keeping the other options.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Toggle fusion, keeping the other options.
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
+    }
+}
+
+/// One executable op with fully resolved geometry and baked weights.
+pub(crate) enum Op {
+    /// MLCNN fused conv + avg-pool (+ ReLU) group.
+    Fused {
+        kernel: FusedConvPool<f32>,
+        geom: FusedGeometry,
+    },
+    /// Plain convolution (regular mode), executed im2col + GEMM.
+    Conv {
+        weight: Tensor<f32>,
+        bias: Vec<f32>,
+        geom: ConvGeometry,
+    },
+    /// ReLU, in place.
+    ReLU,
+    /// Sigmoid, in place.
+    Sigmoid,
+    /// Average pooling.
+    AvgPool(PoolGeometry),
+    /// Max pooling (values only; inference needs no argmax).
+    MaxPool(PoolGeometry),
+    /// Flatten: pure shape bookkeeping, no data movement.
+    Flatten,
+    /// Fully connected layer with the weight pre-transposed to
+    /// `in × out` so the forward GEMM needs no per-call transpose.
+    Linear {
+        weight_t: Vec<f32>,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+    },
+}
+
+/// An op plus its per-item input/output shapes (batch dim fixed at 1) and
+/// whether the precision's activation rounding applies after it.
+pub(crate) struct Step {
+    pub(crate) op: Op,
+    pub(crate) in_shape: Shape4,
+    pub(crate) out_shape: Shape4,
+    pub(crate) round_after: bool,
+}
+
+/// A compiled, shareable (`Send + Sync`) inference pipeline. See the
+/// [module docs](self).
+pub struct ExecutionPlan {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) input_shape: Shape4,
+    pub(crate) output_shape: Shape4,
+    pub(crate) precision: Precision,
+    /// Largest per-item activation buffer any step needs (elements).
+    pub(crate) buf_item_len: usize,
+    /// Largest per-item im2col scratch any conv step needs (elements).
+    pub(crate) cols_item_len: usize,
+}
+
+impl ExecutionPlan {
+    /// Compile a sequential spec list plus its trained parameters (in
+    /// `Network::export_params` order: conv/linear layers contribute
+    /// `[weight, bias]` pairs in execution order). The same static gate as
+    /// `FusedNetwork::compile` applies (`mlcnn_check::check_compile`):
+    /// composites and batch norm are rejected with their diagnostic codes;
+    /// dropout is identity at inference and compiles to nothing.
+    pub fn compile(
+        specs: &[LayerSpec],
+        params: &[Tensor<f32>],
+        input: Shape4,
+        opts: PlanOptions,
+    ) -> Result<ExecutionPlan> {
+        mlcnn_check::check_compile_summary(specs, input)
+            .map_err(|reason| TensorError::BadGeometry { reason })?;
+        let precision = opts.precision;
+        let mut steps: Vec<(Step, usize)> = Vec::new(); // step + source spec index
+        let mut shape = Shape4::new(1, input.c, input.h, input.w);
+        let mut p = 0usize; // parameter cursor
+        let mut i = 0usize;
+
+        let take_pair = |p: &mut usize| -> Result<(Tensor<f32>, Tensor<f32>)> {
+            if *p + 2 > params.len() {
+                return Err(TensorError::BadGeometry {
+                    reason: "parameter list exhausted during compile".into(),
+                });
+            }
+            let w = params[*p].clone();
+            let b = params[*p + 1].clone();
+            *p += 2;
+            Ok((w, b))
+        };
+        let quantize = |w: Tensor<f32>| -> Tensor<f32> {
+            match precision {
+                Precision::Fp32 => w,
+                Precision::Fp16 => round_tensor_f16(&w),
+                Precision::Int8 => dorefa::quantize_weights_ptq(&w, 8),
+            }
+        };
+        let push = |steps: &mut Vec<(Step, usize)>,
+                    shape: &mut Shape4,
+                    op: Op,
+                    out: Shape4,
+                    spec_idx: usize| {
+            steps.push((
+                Step {
+                    op,
+                    in_shape: *shape,
+                    out_shape: out,
+                    round_after: false, // filled in below, once
+                },
+                spec_idx,
+            ));
+            *shape = out;
+        };
+
+        while i < specs.len() {
+            match &specs[i] {
+                LayerSpec::Conv {
+                    out_ch,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    let (w, b) = take_pair(&mut p)?;
+                    if w.shape() != Shape4::new(*out_ch, shape.c, *k, *k) {
+                        return Err(TensorError::ShapeMismatch {
+                            left: w.shape(),
+                            right: Shape4::new(*out_ch, shape.c, *k, *k),
+                            op: "compile conv weights",
+                        });
+                    }
+                    let w = quantize(w);
+                    let geom = ConvGeometry::new(shape.h, shape.w, *k, *k, *stride, *pad)?;
+                    // look ahead for a fusable pool
+                    let pool = if opts.fuse {
+                        match specs.get(i + 1) {
+                            Some(LayerSpec::AvgPool { window, stride: ps }) if window == ps => {
+                                Some(*window)
+                            }
+                            Some(LayerSpec::GlobalAvgPool) if geom.out_h == geom.out_w => {
+                                Some(geom.out_h)
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    match pool {
+                        Some(window) if window <= geom.out_h && window <= geom.out_w => {
+                            let with_relu = matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
+                            let kernel =
+                                FusedConvPool::new(w, b.into_vec(), *stride, *pad, window)?
+                                    .with_relu(with_relu);
+                            let fgeom = kernel.geometry(shape)?;
+                            let out = kernel.out_shape(shape)?;
+                            let group_end = i + if with_relu { 2 } else { 1 };
+                            push(
+                                &mut steps,
+                                &mut shape,
+                                Op::Fused {
+                                    kernel,
+                                    geom: fgeom,
+                                },
+                                out,
+                                group_end,
+                            );
+                            i = group_end + 1;
+                            continue;
+                        }
+                        _ => {
+                            let out = Shape4::new(1, *out_ch, geom.out_h, geom.out_w);
+                            push(
+                                &mut steps,
+                                &mut shape,
+                                Op::Conv {
+                                    weight: w,
+                                    bias: b.into_vec(),
+                                    geom,
+                                },
+                                out,
+                                i,
+                            );
+                        }
+                    }
+                }
+                LayerSpec::ReLU => {
+                    let out = shape;
+                    push(&mut steps, &mut shape, Op::ReLU, out, i);
+                }
+                LayerSpec::Sigmoid => {
+                    let out = shape;
+                    push(&mut steps, &mut shape, Op::Sigmoid, out, i);
+                }
+                LayerSpec::AvgPool { window, stride } => {
+                    let g = PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
+                    let out = Shape4::new(1, shape.c, g.out_h, g.out_w);
+                    push(&mut steps, &mut shape, Op::AvgPool(g), out, i);
+                }
+                LayerSpec::GlobalAvgPool => {
+                    let g = PoolGeometry::new(shape.h, shape.w, shape.h, shape.h)?;
+                    let out = Shape4::new(1, shape.c, g.out_h, g.out_w);
+                    push(&mut steps, &mut shape, Op::AvgPool(g), out, i);
+                }
+                LayerSpec::MaxPool { window, stride } => {
+                    let g = PoolGeometry::new(shape.h, shape.w, *window, *stride)?;
+                    let out = Shape4::new(1, shape.c, g.out_h, g.out_w);
+                    push(&mut steps, &mut shape, Op::MaxPool(g), out, i);
+                }
+                LayerSpec::Flatten => {
+                    let out = Shape4::new(1, 1, 1, shape.c * shape.h * shape.w);
+                    push(&mut steps, &mut shape, Op::Flatten, out, i);
+                }
+                LayerSpec::Linear { out } => {
+                    let (w, b) = take_pair(&mut p)?;
+                    let in_features = shape.c * shape.h * shape.w;
+                    if w.len() != out * in_features {
+                        return Err(TensorError::BadGeometry {
+                            reason: format!(
+                                "linear weight length {} != {out}x{in_features}",
+                                w.len()
+                            ),
+                        });
+                    }
+                    let w = quantize(w);
+                    let weight_t = transpose(w.as_slice(), Shape2::new(*out, in_features));
+                    let out_shape = Shape4::new(1, 1, 1, *out);
+                    push(
+                        &mut steps,
+                        &mut shape,
+                        Op::Linear {
+                            weight_t,
+                            bias: b.into_vec(),
+                            in_features,
+                            out_features: *out,
+                        },
+                        out_shape,
+                        i,
+                    );
+                }
+                LayerSpec::Dropout { .. } => {
+                    // dropout is identity at inference; compiles to nothing
+                }
+                LayerSpec::Inception { .. }
+                | LayerSpec::DenseBlock { .. }
+                | LayerSpec::Residual { .. }
+                | LayerSpec::BatchNorm => {
+                    unreachable!("rejected by check_compile above");
+                }
+            }
+            i += 1;
+        }
+        if p != params.len() {
+            return Err(TensorError::BadGeometry {
+                reason: format!(
+                    "{} unused parameter tensors after compile",
+                    params.len() - p
+                ),
+            });
+        }
+
+        // Activation rounding placement, mirroring `forward_quantized`:
+        // FP16 rounds after every layer; INT8 after every layer except the
+        // last (DoReFa leaves the logits unquantized). Flatten moves no
+        // data and rounding is idempotent, so it never rounds.
+        let last_spec = specs.len().saturating_sub(1);
+        let mut steps: Vec<Step> = steps
+            .into_iter()
+            .map(|(mut s, spec_idx)| {
+                s.round_after = match precision {
+                    Precision::Fp32 => false,
+                    Precision::Fp16 => !matches!(s.op, Op::Flatten),
+                    Precision::Int8 => !matches!(s.op, Op::Flatten) && spec_idx != last_spec,
+                };
+                s
+            })
+            .collect();
+        steps.shrink_to_fit();
+
+        // Arena sizing: the ping-pong buffers must hold the largest
+        // per-item activation, the cols scratch the largest im2col matrix.
+        let mut buf_item_len = Shape4::new(1, input.c, input.h, input.w).len();
+        let mut cols_item_len = 0usize;
+        for s in &steps {
+            buf_item_len = buf_item_len.max(s.out_shape.len());
+            if let Op::Conv { geom, .. } = &s.op {
+                cols_item_len = cols_item_len.max(s.in_shape.c * geom.taps() * geom.out_len());
+            }
+        }
+
+        Ok(ExecutionPlan {
+            steps,
+            input_shape: Shape4::new(1, input.c, input.h, input.w),
+            output_shape: shape,
+            precision,
+            buf_item_len,
+            cols_item_len,
+        })
+    }
+
+    /// Expected single-item input shape (batch dim fixed at 1).
+    pub fn input_shape(&self) -> Shape4 {
+        self.input_shape
+    }
+
+    /// Single-item output shape (batch dim fixed at 1).
+    pub fn output_shape(&self) -> Shape4 {
+        self.output_shape
+    }
+
+    /// The precision the plan was compiled at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of executable ops.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the plan has no ops (identity pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of MLCNN fused conv-pool groups selected at compile.
+    pub fn fused_op_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.op, Op::Fused { .. }))
+            .count()
+    }
+
+    /// Output shape for a batched input shape.
+    pub fn batched_output_shape(&self, batch: usize) -> Shape4 {
+        Shape4::new(
+            batch,
+            self.output_shape.c,
+            self.output_shape.h,
+            self.output_shape.w,
+        )
+    }
+
+    fn check_input(&self, input: &Tensor<f32>) -> Result<()> {
+        let s = input.shape();
+        let e = self.input_shape;
+        if (s.c, s.h, s.w) != (e.c, e.h, e.w) {
+            return Err(TensorError::ShapeMismatch {
+                left: s,
+                right: e,
+                op: "execution plan input",
+            });
+        }
+        Ok(())
+    }
+
+    /// Run inference. `&self` — the plan is immutable and shareable; all
+    /// mutable state lives in the caller's [`Workspace`]. Steady-state the
+    /// only allocation is the returned tensor; use
+    /// [`Self::forward_into`] to eliminate that too.
+    pub fn forward(&self, input: &Tensor<f32>, ws: &mut Workspace) -> Result<Tensor<f32>> {
+        self.check_input(input)?;
+        let batch = input.shape().n;
+        let out_shape = self.batched_output_shape(batch);
+        let mut out = vec![0.0_f32; out_shape.len()];
+        exec::run(self, input, ws, &mut out)?;
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Allocation-free forward: write into a caller-owned output tensor,
+    /// which must already have [`Self::batched_output_shape`] for the
+    /// input's batch size.
+    pub fn forward_into(
+        &self,
+        input: &Tensor<f32>,
+        ws: &mut Workspace,
+        out: &mut Tensor<f32>,
+    ) -> Result<()> {
+        self.check_input(input)?;
+        let expect = self.batched_output_shape(input.shape().n);
+        if out.shape() != expect {
+            return Err(TensorError::ShapeMismatch {
+                left: out.shape(),
+                right: expect,
+                op: "execution plan output",
+            });
+        }
+        exec::run(self, input, ws, out.as_mut_slice())
+    }
+
+    /// Batch-parallel forward: items fan out across threads via
+    /// `par_map_batch`, each worker with its own workspace.
+    ///
+    /// FP32/FP16 are bitwise identical to [`Self::forward`] (rounding is
+    /// per-element). INT8's activation scale is the *batch-global* max, so
+    /// per-item execution would change results — the plan falls back to the
+    /// sequential full-batch path to preserve semantics.
+    pub fn forward_batch(&self, input: &Tensor<f32>) -> Result<Tensor<f32>> {
+        self.check_input(input)?;
+        if self.precision == Precision::Int8 || input.shape().n <= 1 {
+            let mut ws = Workspace::for_plan(self, input.shape().n);
+            return self.forward(input, &mut ws);
+        }
+        par_map_batch(input, |item| {
+            let mut ws = Workspace::for_plan(self, 1);
+            self.forward(&item, &mut ws)
+        })
+    }
+}
+
+/// Compile an [`ExecutionPlan`] straight from a built network: the
+/// inference export for `mlcnn_nn::Network`.
+pub trait EvalPlan {
+    /// Compile this network's recorded blueprint into an execution plan.
+    /// Fails if the network was assembled without specs (see
+    /// [`Network::with_specs`]) or the blueprint is not plan-compilable.
+    fn eval_plan(&mut self, opts: PlanOptions) -> Result<ExecutionPlan>;
+}
+
+impl EvalPlan for Network {
+    fn eval_plan(&mut self, opts: PlanOptions) -> Result<ExecutionPlan> {
+        let specs = self
+            .specs()
+            .ok_or_else(|| TensorError::BadGeometry {
+                reason: "network has no recorded LayerSpec blueprint; \
+                         build it with build_network or attach one via with_specs"
+                    .into(),
+            })?
+            .to_vec();
+        let params = self.export_params();
+        ExecutionPlan::compile(&specs, &params, self.input_shape(), opts)
+    }
+}

@@ -1,0 +1,74 @@
+//! The mutable half of plan execution: a reusable arena of ping-pong
+//! activation buffers plus kernel scratch, sized from a compiled plan so
+//! steady-state forwards never touch the allocator.
+
+use super::{ExecutionPlan, Op};
+use crate::fused::FusedScratch;
+
+/// Reusable execution arena for [`ExecutionPlan::forward`].
+///
+/// Holds two ping-pong activation buffers (each large enough for the
+/// biggest intermediate at the workspace's batch size), one im2col scratch
+/// matrix, and the fused-operator scratch planes. All buffers grow on
+/// demand and never shrink, so after the first forward at a given batch
+/// size every subsequent forward is allocation-free.
+///
+/// The workspace is the *mutable* half of execution — the plan itself is
+/// immutable and `Send + Sync`; give each thread its own `Workspace` to
+/// share one plan across threads.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub(crate) a: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+    pub(crate) cols: Vec<f32>,
+    pub(crate) fused: FusedScratch<f32>,
+    batch: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `plan` at up to `max_batch` items per
+    /// forward, so even the first call allocates nothing.
+    pub fn for_plan(plan: &ExecutionPlan, max_batch: usize) -> Self {
+        let mut ws = Self::new();
+        ws.ensure(plan, max_batch.max(1));
+        ws
+    }
+
+    /// Grow (never shrink) every buffer to what `plan` needs at `batch`.
+    pub(crate) fn ensure(&mut self, plan: &ExecutionPlan, batch: usize) {
+        let batch = batch.max(1);
+        let need = plan.buf_item_len * batch;
+        if self.a.len() < need {
+            self.a.resize(need, 0.0);
+        }
+        if self.b.len() < need {
+            self.b.resize(need, 0.0);
+        }
+        if self.cols.len() < plan.cols_item_len {
+            self.cols.resize(plan.cols_item_len, 0.0);
+        }
+        for step in &plan.steps {
+            if let Op::Fused { geom, .. } = &step.op {
+                self.fused.ensure(geom, step.in_shape.c);
+            }
+        }
+        self.batch = self.batch.max(batch);
+    }
+
+    /// Largest batch size this workspace has been sized for.
+    pub fn max_batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Total f32 capacity of the activation and im2col buffers — stable
+    /// across repeated forwards at the same batch size, which is what the
+    /// zero-steady-state-allocation tests assert on.
+    pub fn buffer_capacity(&self) -> usize {
+        self.a.capacity() + self.b.capacity() + self.cols.capacity()
+    }
+}

@@ -14,6 +14,7 @@
 //! full argument; the verbatim Eq. 8/9 operators live in
 //! `mlcnn_quant::dorefa`).
 
+use crate::plan::{EvalPlan, ExecutionPlan, PlanOptions, Workspace};
 use mlcnn_data::Dataset;
 use mlcnn_nn::train::{evaluate, EvalStats};
 use mlcnn_nn::Network;
@@ -24,7 +25,18 @@ use mlcnn_tensor::{Result, Tensor};
 
 /// Round every element of a tensor through binary16.
 pub fn round_tensor_f16(t: &Tensor<f32>) -> Tensor<f32> {
-    t.map(|v| F16::from_f32_rne(v).to_f32_exact())
+    let mut out = t.clone();
+    round_f16_slice(out.as_mut_slice());
+    out
+}
+
+/// In-place slice form of [`round_tensor_f16`] — the same per-element
+/// transform, so the tensor wrapper and the execution plan's activation
+/// rounding are bitwise identical.
+pub fn round_f16_slice(xs: &mut [f32]) {
+    for v in xs.iter_mut() {
+        *v = F16::from_f32_rne(*v).to_f32_exact();
+    }
 }
 
 /// Apply the precision's weight transform to an entire network in place.
@@ -75,9 +87,26 @@ pub fn forward_quantized(
     Ok(x)
 }
 
+/// Compile a *trained, unquantized* network into a layerwise execution
+/// plan at `precision`: weights pre-quantized once at compile, activations
+/// re-rounded between steps at run time. Bitwise identical to running
+/// [`quantize_network_weights`] followed by [`forward_quantized`] — the
+/// same quantizers applied in the same order, through the shared slice
+/// kernels — but compiled once and allocation-free per call.
+///
+/// Fails when the network carries no [`mlcnn_nn::LayerSpec`] blueprint or
+/// the blueprint is not plan-compilable (composites, batch norm).
+pub fn quantized_plan(net: &mut Network, precision: Precision) -> Result<ExecutionPlan> {
+    net.eval_plan(PlanOptions::layerwise().with_precision(precision))
+}
+
 /// Evaluate a trained network at a given precision (weights quantized,
 /// activations re-rounded). The network is modified in place; pass a
 /// clone-by-rebuild if the original must stay FP32.
+///
+/// When the network carries its spec blueprint, evaluation runs through a
+/// compiled [`ExecutionPlan`] (one workspace reused across batches);
+/// spec-less networks fall back to the layerwise quantized loop.
 pub fn evaluate_quantized(
     net: &mut Network,
     data: &Dataset,
@@ -85,15 +114,23 @@ pub fn evaluate_quantized(
     ks: &[usize],
     batch_size: usize,
 ) -> Result<EvalStats> {
-    quantize_network_weights(net, precision);
     if precision == Precision::Fp32 {
         return evaluate(net, data, ks, batch_size);
     }
-    // manual evaluation loop with activation rounding
+    // compile from the original weights *before* the in-place quantization
+    // below, so the plan applies the weight transform exactly once
+    let plan = quantized_plan(net, precision).ok();
+    quantize_network_weights(net, precision);
+    let mut ws = plan
+        .as_ref()
+        .map(|p| Workspace::for_plan(p, batch_size.max(1)));
     let mut hits = vec![0.0f32; ks.len()];
     let mut total = 0usize;
     for batch in data.batches(batch_size) {
-        let logits = forward_quantized(net, &batch.images, precision)?;
+        let logits = match (&plan, &mut ws) {
+            (Some(p), Some(ws)) => p.forward(&batch.images, ws)?,
+            _ => forward_quantized(net, &batch.images, precision)?,
+        };
         for (i, &k) in ks.iter().enumerate() {
             let k = k.min(data.num_classes());
             hits[i] +=
@@ -205,6 +242,54 @@ mod tests {
         let a = net.forward(&batch.images).unwrap();
         let b = forward_quantized(&mut net, &batch.images, Precision::Fp32).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_plan_matches_layerwise_loop_bitwise() {
+        let (mut net, data) = trained_net_and_data();
+        let batch = data.batches(8).next().unwrap();
+        let specs = net.specs().unwrap().to_vec();
+        let params = net.export_params();
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let plan = quantized_plan(&mut net, precision).unwrap();
+            let mut ws = Workspace::for_plan(&plan, 8);
+            let a = plan.forward(&batch.images, &mut ws).unwrap();
+            // legacy path: quantize a rebuilt twin in place, layerwise loop
+            let mut legacy = build_network(&specs, Shape4::new(1, 1, 8, 8), 3).unwrap();
+            legacy.import_params(&params);
+            quantize_network_weights(&mut legacy, precision);
+            let b = forward_quantized(&mut legacy, &batch.images, precision).unwrap();
+            assert_eq!(a, b, "{precision:?} plan diverges from layerwise loop");
+        }
+    }
+
+    #[test]
+    fn evaluate_quantized_plan_path_matches_layerwise_loop() {
+        let (mut net, data) = trained_net_and_data();
+        let specs = net.specs().unwrap().to_vec();
+        let params = net.export_params();
+        for precision in [Precision::Fp16, Precision::Int8] {
+            net.import_params(&params);
+            let with_plan = evaluate_quantized(&mut net, &data, precision, &[1], 8)
+                .unwrap()
+                .at(1)
+                .unwrap();
+            // the pre-plan evaluation: quantize a rebuilt twin in place and
+            // run the layerwise quantized loop over the same batches
+            let mut twin = build_network(&specs, Shape4::new(1, 1, 8, 8), 3).unwrap();
+            twin.import_params(&params);
+            quantize_network_weights(&mut twin, precision);
+            let mut hits = 0.0f32;
+            let mut total = 0usize;
+            for batch in data.batches(8) {
+                let logits = forward_quantized(&mut twin, &batch.images, precision).unwrap();
+                hits +=
+                    mlcnn_nn::loss::top_k_accuracy(&logits, &batch.labels, 1) * batch.len() as f32;
+                total += batch.len();
+            }
+            let layerwise = hits / total.max(1) as f32;
+            assert_eq!(with_plan, layerwise, "{precision:?}");
+        }
     }
 
     #[test]

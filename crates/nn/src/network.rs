@@ -1,12 +1,14 @@
 //! Sequential network executor.
 
 use crate::layer::{Layer, ParamRef};
+use crate::spec::LayerSpec;
 use mlcnn_tensor::{Result, Shape4, Tensor};
 
 /// A sequential stack of layers (branches live inside composite layers).
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     input_shape: Shape4,
+    specs: Option<Vec<LayerSpec>>,
 }
 
 impl Network {
@@ -16,7 +18,22 @@ impl Network {
         Self {
             layers,
             input_shape,
+            specs: None,
         }
+    }
+
+    /// Attach the [`LayerSpec`] blueprint this network was built from, so
+    /// inference compilers (`FusedNetwork`, the execution plan) can be
+    /// derived without the caller re-threading the spec list.
+    /// `build_network` does this automatically.
+    pub fn with_specs(mut self, specs: Vec<LayerSpec>) -> Self {
+        self.specs = Some(specs);
+        self
+    }
+
+    /// The blueprint recorded by [`Network::with_specs`], if any.
+    pub fn specs(&self) -> Option<&[LayerSpec]> {
+        self.specs.as_deref()
     }
 
     /// The input geometry this network was built for.

@@ -300,7 +300,9 @@ fn build_with_rng(specs: &[LayerSpec], input: Shape4, rng: &mut StdRng) -> Resul
 /// initialization deterministic.
 pub fn build_network(specs: &[LayerSpec], input: Shape4, seed: u64) -> Result<Network> {
     let mut rng = init::rng(seed);
-    build_with_rng(specs, input, &mut rng)
+    // record the blueprint on the top-level network so downstream compilers
+    // (FusedNetwork, ExecutionPlan) can be built straight from it
+    build_with_rng(specs, input, &mut rng).map(|net| net.with_specs(specs.to_vec()))
 }
 
 #[cfg(test)]

@@ -83,11 +83,22 @@ pub fn quantize_weights_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
 /// Post-training activation quantization with dynamic range scaling: the
 /// tensor's max magnitude sets the grid scale (standard dynamic PTQ).
 pub fn quantize_activations_ptq(t: &Tensor<f32>, k: u32) -> Tensor<f32> {
-    let max = t.as_slice().iter().fold(0.0_f32, |m, v| m.max(v.abs()));
+    let mut out = t.clone();
+    quantize_activations_ptq_slice(out.as_mut_slice(), k);
+    out
+}
+
+/// In-place slice form of [`quantize_activations_ptq`] — the same fold
+/// order and per-element transform, so the tensor wrapper and the
+/// execution plan's activation-rounding step are bitwise identical.
+pub fn quantize_activations_ptq_slice(xs: &mut [f32], k: u32) {
+    let max = xs.iter().fold(0.0_f32, |m, v| m.max(v.abs()));
     if max == 0.0 {
-        return t.clone();
+        return;
     }
-    t.map(|v| max * quantize_symmetric_unit(v / max, k))
+    for v in xs.iter_mut() {
+        *v = max * quantize_symmetric_unit(*v / max, k);
+    }
 }
 
 /// Worst-case and RMS quantization error of `q` against reference `r`.

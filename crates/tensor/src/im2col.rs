@@ -9,42 +9,65 @@
 use crate::scalar::Scalar;
 use crate::shape::ConvGeometry;
 use crate::tensor::Tensor;
+use rayon::prelude::*;
 
 /// Unroll one batch item into a `(c*k_h*k_w) × (out_h*out_w)` row-major
 /// matrix. Input positions that fall in the zero-padding contribute zeros.
 pub fn im2col<T: Scalar>(input: &Tensor<T>, n: usize, geom: &ConvGeometry) -> Vec<T> {
     let shape = input.shape();
-    debug_assert_eq!(shape.h, geom.in_h);
-    debug_assert_eq!(shape.w, geom.in_w);
+    let item_len = shape.c * shape.h * shape.w;
+    let item = &input.as_slice()[n * item_len..(n + 1) * item_len];
+    let mut out = vec![T::zero(); shape.c * geom.taps() * geom.out_len()];
+    im2col_into(item, shape.c, geom, &mut out);
+    out
+}
+
+/// Allocation-free [`im2col`] over a raw `channels × in_h × in_w` item
+/// slice; every position of `out` is written (padding taps become zeros),
+/// so the buffer may be reused without clearing. The per-channel row blocks
+/// of the output matrix are disjoint, so channels unroll in parallel.
+pub fn im2col_into<T: Scalar>(item: &[T], channels: usize, geom: &ConvGeometry, out: &mut [T]) {
     let cols = geom.out_len();
-    let rows = shape.c * geom.taps();
-    let mut out = vec![T::zero(); rows * cols];
+    let plane_len = geom.in_h * geom.in_w;
+    assert_eq!(
+        item.len(),
+        channels * plane_len,
+        "item buffer/geom mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        channels * geom.taps() * cols,
+        "col matrix size mismatch"
+    );
     let pad = geom.pad as isize;
-    for c in 0..shape.c {
-        let plane = input.plane_slice(n, c);
-        for kh in 0..geom.k_h {
-            for kw in 0..geom.k_w {
-                let row = (c * geom.k_h + kh) * geom.k_w + kw;
-                let dst = &mut out[row * cols..(row + 1) * cols];
-                let mut col = 0;
-                for oh in 0..geom.out_h {
-                    let ih = (oh * geom.stride + kh) as isize - pad;
-                    for ow in 0..geom.out_w {
-                        let iw = (ow * geom.stride + kw) as isize - pad;
-                        if ih >= 0
-                            && iw >= 0
-                            && (ih as usize) < geom.in_h
-                            && (iw as usize) < geom.in_w
-                        {
-                            dst[col] = plane[ih as usize * geom.in_w + iw as usize];
+    out.par_chunks_mut((geom.taps() * cols).max(1))
+        .enumerate()
+        .for_each(|(c, block)| {
+            let plane = &item[c * plane_len..(c + 1) * plane_len];
+            for kh in 0..geom.k_h {
+                for kw in 0..geom.k_w {
+                    let row = kh * geom.k_w + kw;
+                    let dst = &mut block[row * cols..(row + 1) * cols];
+                    let mut col = 0;
+                    for oh in 0..geom.out_h {
+                        let ih = (oh * geom.stride + kh) as isize - pad;
+                        for ow in 0..geom.out_w {
+                            let iw = (ow * geom.stride + kw) as isize - pad;
+                            dst[col] = if ih >= 0
+                                && iw >= 0
+                                && (ih as usize) < geom.in_h
+                                && (iw as usize) < geom.in_w
+                            {
+                                plane[ih as usize * geom.in_w + iw as usize]
+                            } else {
+                                T::zero()
+                            };
+                            col += 1;
                         }
-                        col += 1;
                     }
                 }
             }
-        }
-    }
-    out
+        });
 }
 
 /// Scatter-add adjoint of [`im2col`]: fold a `(c*k_h*k_w) × (out_h*out_w)`
@@ -138,6 +161,18 @@ mod tests {
         let m = im2col(&t, 0, &g);
         assert_eq!(m.len(), 2 * 4); // 2 channels * 4 taps, 1 output col
         assert_eq!(m, vec![0., 1., 2., 3., 100., 101., 102., 103.]);
+    }
+
+    #[test]
+    fn im2col_into_overwrites_dirty_buffers() {
+        // the workspace reuses the scratch buffer across ops; padding taps
+        // must be written as zeros, not assumed zero.
+        let t = seq_plane(2, 2);
+        let g = ConvGeometry::new(2, 2, 3, 3, 1, 1).unwrap();
+        let fresh = im2col(&t, 0, &g);
+        let mut dirty = vec![7.5_f32; fresh.len()];
+        im2col_into(t.as_slice(), 1, &g, &mut dirty);
+        assert_eq!(fresh, dirty);
     }
 
     #[test]

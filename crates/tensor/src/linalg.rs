@@ -17,9 +17,19 @@ const PAR_THRESHOLD: usize = 64 * 64;
 /// `c = a(m×k) * b(k×n)`, row-major. Panics if slice lengths disagree with
 /// the dimensions (these are internal-call-site invariants, not user input).
 pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    let mut c = vec![T::zero(); m * n];
+    matmul_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// Allocation-free GEMM: write `a(m×k) * b(k×n)` into `c` (overwritten).
+/// This is the single kernel body behind [`matmul`] and the execution-plan
+/// Linear/Conv ops, so both paths are bitwise identical by construction.
+pub fn matmul_into<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "lhs buffer/dim mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer/dim mismatch");
-    let mut c = vec![T::zero(); m * n];
+    assert_eq!(c.len(), m * n, "out buffer/dim mismatch");
+    c.fill(T::zero());
     if m * n >= PAR_THRESHOLD {
         c.par_chunks_mut(n)
             .enumerate()
@@ -29,7 +39,6 @@ pub fn matmul<T: Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<
             matmul_row(a, b, k, n, i, row);
         }
     }
-    c
 }
 
 /// One output row of the GEMM, written ikj-order so the inner loop streams

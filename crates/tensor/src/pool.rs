@@ -3,6 +3,7 @@
 //! can route gradients).
 
 use crate::error::TensorError;
+use crate::parallel::par_fill_planes;
 use crate::scalar::Scalar;
 use crate::shape::{PoolGeometry, Shape4};
 use crate::tensor::Tensor;
@@ -19,34 +20,43 @@ pub fn pool_geometry<T: Scalar>(
     PoolGeometry::new(s.h, s.w, window, stride)
 }
 
+/// Average-pool one `in_h × in_w` plane into `dst` (`out_h × out_w`).
+///
+/// The single kernel body behind [`avg_pool2d`] and the execution plan's
+/// AvgPool op; both call it per plane, so the two paths are bitwise
+/// identical. `scale` is the precomputed `1/area` multiplier (pass
+/// `T::one()` for sum pooling).
+pub fn avg_pool_plane_into<T: Scalar>(plane: &[T], g: &PoolGeometry, scale: T, dst: &mut [T]) {
+    debug_assert_eq!(plane.len(), g.in_h * g.in_w);
+    debug_assert_eq!(dst.len(), g.out_h * g.out_w);
+    for oh in 0..g.out_h {
+        for ow in 0..g.out_w {
+            let mut acc = T::zero();
+            for kh in 0..g.window {
+                let row = (oh * g.stride + kh) * g.in_w;
+                for kw in 0..g.window {
+                    acc += plane[row + ow * g.stride + kw];
+                }
+            }
+            dst[oh * g.out_w + ow] = acc * scale;
+        }
+    }
+}
+
 /// Average pooling.
 ///
 /// Each output is the arithmetic mean of a `window × window` patch. For the
 /// MLCNN fused case (`window == stride == 2`) this is exactly the `/4`
-/// divide-by-shift the accelerator's preprocessing unit performs.
+/// divide-by-shift the accelerator's preprocessing unit performs. Output
+/// planes are disjoint, so they fill in parallel.
 pub fn avg_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<Tensor<T>> {
     let g = pool_geometry(input, window, stride)?;
     let s = input.shape();
     let inv_area = T::one() / T::from_f32(g.area() as f32);
-    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, g.out_h, g.out_w));
-    for n in 0..s.n {
-        for c in 0..s.c {
-            let plane = input.plane_slice(n, c);
-            for oh in 0..g.out_h {
-                for ow in 0..g.out_w {
-                    let mut acc = T::zero();
-                    for kh in 0..window {
-                        let row = (oh * stride + kh) * s.w;
-                        for kw in 0..window {
-                            acc += plane[row + ow * stride + kw];
-                        }
-                    }
-                    *out.at_mut(n, c, oh, ow) = acc * inv_area;
-                }
-            }
-        }
-    }
-    Ok(out)
+    Ok(par_fill_planes(
+        Shape4::new(s.n, s.c, g.out_h, g.out_w),
+        |n, c, dst| avg_pool_plane_into(input.plane_slice(n, c), &g, inv_area, dst),
+    ))
 }
 
 /// Sum pooling: average pooling without the division. The MLCNN fused
@@ -55,25 +65,10 @@ pub fn avg_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) ->
 pub fn sum_pool2d<T: Scalar>(input: &Tensor<T>, window: usize, stride: usize) -> Result<Tensor<T>> {
     let g = pool_geometry(input, window, stride)?;
     let s = input.shape();
-    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, g.out_h, g.out_w));
-    for n in 0..s.n {
-        for c in 0..s.c {
-            let plane = input.plane_slice(n, c);
-            for oh in 0..g.out_h {
-                for ow in 0..g.out_w {
-                    let mut acc = T::zero();
-                    for kh in 0..window {
-                        let row = (oh * stride + kh) * s.w;
-                        for kw in 0..window {
-                            acc += plane[row + ow * stride + kw];
-                        }
-                    }
-                    *out.at_mut(n, c, oh, ow) = acc;
-                }
-            }
-        }
-    }
-    Ok(out)
+    Ok(par_fill_planes(
+        Shape4::new(s.n, s.c, g.out_h, g.out_w),
+        |n, c, dst| avg_pool_plane_into(input.plane_slice(n, c), &g, T::one(), dst),
+    ))
 }
 
 /// Max pooling result: pooled values plus the flat in-plane index of each
@@ -86,8 +81,43 @@ pub struct MaxPoolOut<T> {
     pub argmax: Tensor<i32>,
 }
 
+/// Max-pool one `in_h × in_w` plane into `dst`, optionally recording the
+/// flat in-plane argmax per output. Ties resolve to the first (row-major)
+/// maximum. Shared by [`max_pool2d`] and the execution plan's MaxPool op.
+pub fn max_pool_plane_into<T: Scalar>(
+    plane: &[T],
+    g: &PoolGeometry,
+    dst: &mut [T],
+    mut argmax: Option<&mut [i32]>,
+) {
+    debug_assert_eq!(plane.len(), g.in_h * g.in_w);
+    debug_assert_eq!(dst.len(), g.out_h * g.out_w);
+    for oh in 0..g.out_h {
+        for ow in 0..g.out_w {
+            let mut best_idx = (oh * g.stride) * g.in_w + ow * g.stride;
+            let mut best = plane[best_idx];
+            for kh in 0..g.window {
+                let row = (oh * g.stride + kh) * g.in_w;
+                for kw in 0..g.window {
+                    let idx = row + ow * g.stride + kw;
+                    if plane[idx] > best {
+                        best = plane[idx];
+                        best_idx = idx;
+                    }
+                }
+            }
+            dst[oh * g.out_w + ow] = best;
+            if let Some(am) = argmax.as_deref_mut() {
+                am[oh * g.out_w + ow] = best_idx as i32;
+            }
+        }
+    }
+}
+
 /// Max pooling with argmax capture. Ties resolve to the first (row-major)
-/// maximum, matching the common framework convention.
+/// maximum, matching the common framework convention. The argmax planes are
+/// computed in parallel; values are then gathered from the selected inputs,
+/// which is exactly the value the scan found.
 pub fn max_pool2d<T: Scalar>(
     input: &Tensor<T>,
     window: usize,
@@ -96,28 +126,17 @@ pub fn max_pool2d<T: Scalar>(
     let g = pool_geometry(input, window, stride)?;
     let s = input.shape();
     let out_shape = Shape4::new(s.n, s.c, g.out_h, g.out_w);
+    let argmax = par_fill_planes::<i32, _>(out_shape, |n, c, am| {
+        let mut scratch = vec![T::zero(); am.len()];
+        max_pool_plane_into(input.plane_slice(n, c), &g, &mut scratch, Some(am));
+    });
     let mut values = Tensor::zeros(out_shape);
-    let mut argmax = Tensor::<i32>::zeros(out_shape);
     for n in 0..s.n {
         for c in 0..s.c {
             let plane = input.plane_slice(n, c);
-            for oh in 0..g.out_h {
-                for ow in 0..g.out_w {
-                    let mut best_idx = (oh * stride) * s.w + ow * stride;
-                    let mut best = plane[best_idx];
-                    for kh in 0..window {
-                        let row = (oh * stride + kh) * s.w;
-                        for kw in 0..window {
-                            let idx = row + ow * stride + kw;
-                            if plane[idx] > best {
-                                best = plane[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    *values.at_mut(n, c, oh, ow) = best;
-                    *argmax.at_mut(n, c, oh, ow) = best_idx as i32;
-                }
+            let am = argmax.plane_slice(n, c);
+            for (v, &idx) in values.plane_slice_mut(n, c).iter_mut().zip(am) {
+                *v = plane[idx as usize];
             }
         }
     }

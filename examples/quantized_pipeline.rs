@@ -7,8 +7,11 @@
 //! cargo run --release --example quantized_pipeline
 //! ```
 
-use mlcnn::core::quantized::evaluate_quantized;
+use mlcnn::core::quantized::{
+    evaluate_quantized, forward_quantized, quantize_network_weights, quantized_plan,
+};
 use mlcnn::core::reorder::reorder_activation_pool;
+use mlcnn::core::Workspace;
 use mlcnn::data::shapes::{generate, ShapesConfig};
 use mlcnn::nn::spec::build_network;
 use mlcnn::nn::train::{fit, TrainConfig};
@@ -49,4 +52,25 @@ fn main() {
     }
     println!("\nINT8 should sit within a point or two of FP32 — the paper's");
     println!("Fig. 12 equivalence that makes the 128-slice INT8 machine usable.");
+
+    // The same datapath as a compiled execution plan: weights quantized
+    // once at compile, activations re-rounded between steps, zero
+    // steady-state allocation per batch — and bit-identical to the
+    // layerwise quantized loop above.
+    println!();
+    let batch = test.batches(16).next().unwrap();
+    for precision in [Precision::Fp16, Precision::Int8] {
+        let mut fresh = build_network(&specs, input, 5).unwrap();
+        fresh.import_params(&trained);
+        let plan = quantized_plan(&mut fresh, precision).unwrap();
+        let mut ws = Workspace::for_plan(&plan, 16);
+        let planned = plan.forward(&batch.images, &mut ws).unwrap();
+        quantize_network_weights(&mut fresh, precision);
+        let layerwise = forward_quantized(&mut fresh, &batch.images, precision).unwrap();
+        assert_eq!(planned, layerwise);
+        println!(
+            "compiled {precision} plan: {} steps, bit-identical to the layerwise loop",
+            plan.len()
+        );
+    }
 }

@@ -1,14 +1,16 @@
 //! Quickstart: fuse one convolution + average-pool + ReLU stage with
-//! MLCNN and verify it computes the same result with a fraction of the
-//! multiplications.
+//! MLCNN, verify it computes the same result with a fraction of the
+//! multiplications, then compile a whole model into an execution plan.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use mlcnn::core::opcount::{dense_layer_counts, mlcnn_layer_counts};
-use mlcnn::core::FusedConvPool;
-use mlcnn::nn::zoo::{ConvLayerGeom, PoolAfter};
+use mlcnn::core::reorder::reorder_activation_pool;
+use mlcnn::core::{EvalPlan, FusedConvPool, PlanOptions, Workspace};
+use mlcnn::nn::spec::build_network;
+use mlcnn::nn::zoo::{self, ConvLayerGeom, PoolAfter};
 use mlcnn::tensor::{init, Shape4};
 
 fn main() {
@@ -57,5 +59,24 @@ fn main() {
         dense.adds,
         mlcnn.adds,
         100.0 * (1.0 - mlcnn.adds as f64 / dense.adds as f64)
+    );
+
+    // Whole model: reorder LeNet-5 and compile it once into an execution
+    // plan — geometry resolved, Linear weights pre-transposed, workspace
+    // sized at compile time — then run allocation-free inference.
+    let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
+    let shape = Shape4::new(1, 3, 32, 32);
+    let mut net = build_network(&specs, shape, 0).expect("lenet builds");
+    let plan = net
+        .eval_plan(PlanOptions::default())
+        .expect("lenet compiles to a plan");
+    let mut ws = Workspace::for_plan(&plan, 1);
+    let x = init::uniform(shape, -1.0, 1.0, &mut rng);
+    let logits = plan.forward(&x, &mut ws).expect("plan forward");
+    println!(
+        "compiled plan       : {} ops ({} fused conv-pool), logits {}",
+        plan.len(),
+        plan.fused_op_count(),
+        logits.shape()
     );
 }

@@ -35,18 +35,26 @@
 //! assert!(mlcnn_out.approx_eq(&dense_out, 1e-4));
 //! ```
 //!
-//! Reorder a whole model and compile it for fused inference:
+//! Reorder a whole model and compile it into an execution plan — all
+//! geometry resolved and weights baked at compile, zero steady-state
+//! allocation at run time:
 //!
 //! ```
-//! use mlcnn::core::{fused_net::FusedNetwork, reorder::reorder_activation_pool};
+//! use mlcnn::core::{EvalPlan, PlanOptions, Workspace};
+//! use mlcnn::core::reorder::reorder_activation_pool;
 //! use mlcnn::nn::{spec::build_network, zoo};
-//! use mlcnn::tensor::Shape4;
+//! use mlcnn::tensor::{init, Shape4};
 //!
 //! let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
 //! let input = Shape4::new(1, 3, 32, 32);
 //! let mut net = build_network(&specs, input, 0).unwrap();
-//! let compiled = FusedNetwork::compile(&specs, &net.export_params(), input).unwrap();
-//! assert_eq!(compiled.fused_stage_count(), 2); // both LeNet pools fuse
+//! let plan = net.eval_plan(PlanOptions::default()).unwrap();
+//! assert_eq!(plan.fused_op_count(), 2); // both LeNet pools fuse
+//!
+//! let mut ws = Workspace::for_plan(&plan, 1); // reusable arena
+//! let x = init::uniform(input, -1.0, 1.0, &mut init::rng(1));
+//! let logits = plan.forward(&x, &mut ws).unwrap(); // &self: Send + Sync
+//! assert_eq!(logits.shape(), Shape4::new(1, 1, 1, 10));
 //! ```
 //!
 //! Simulate the paper's accelerators:
@@ -77,7 +85,9 @@ pub use mlcnn_tensor as tensor;
 pub mod prelude {
     pub use mlcnn_accel::config::AcceleratorConfig;
     pub use mlcnn_core::reorder::{reorder_activation_pool, to_all_conv_full};
-    pub use mlcnn_core::{FusedConvPool, FusedNetwork, OpCounts};
+    pub use mlcnn_core::{
+        EvalPlan, ExecutionPlan, FusedConvPool, FusedNetwork, OpCounts, PlanOptions, Workspace,
+    };
     pub use mlcnn_nn::spec::build_network;
     pub use mlcnn_nn::train::{evaluate, fit, TrainConfig};
     pub use mlcnn_nn::{LayerSpec, Network};

@@ -1,40 +1,214 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, now with real threads.
 //!
 //! The workspace parallelizes over batch items with `into_par_iter()` and
-//! over output rows with `par_chunks_mut()`, then chains only standard
-//! iterator adapters (`map`, `enumerate`, `for_each`, `collect`). This crate
-//! provides those two entry points as *sequential* std iterators so the same
-//! call sites compile and produce identical results without a crates.io
-//! mirror; swapping the real rayon back in re-enables the parallel speedup
-//! with no source change.
+//! over output rows/planes with `par_chunks_mut()`, then chains only the
+//! standard adapters (`map`, `enumerate`, `for_each`, `collect`, `sum`).
+//! This crate provides those entry points backed by `std::thread::scope`:
+//! work is split into one contiguous chunk per worker and results are
+//! reassembled in input order, so every adapter is *deterministic* and
+//! produces output identical to the sequential loop — a stronger guarantee
+//! than upstream rayon's reduction order, and one the golden-equivalence
+//! tests rely on.
+//!
+//! Divergences from upstream, by design:
+//!
+//! * No global thread pool — workers are scoped threads spawned per call.
+//!   Fork-join overhead is therefore higher, which the callers amortize by
+//!   only going parallel above a size threshold.
+//! * Nested parallel regions run sequentially (a thread-local flag marks
+//!   worker context), so a `par_chunks_mut` inside an `into_par_iter` map
+//!   cannot oversubscribe the machine.
+//! * `RAYON_NUM_THREADS` is honored (first read wins); otherwise
+//!   `std::thread::available_parallelism()` decides. On a single-core host
+//!   everything degrades to the plain sequential loop.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads the stand-in may use (>= 1). Reads
+/// `RAYON_NUM_THREADS` once, falling back to the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// True when called from inside one of this crate's worker threads; used to
+/// run nested parallel regions sequentially.
+fn in_worker() -> bool {
+    IN_WORKER.with(|c| c.get())
+}
+
+/// Map `items` through `f`, preserving order. Splits into one contiguous
+/// chunk per worker; falls back to the sequential loop when there is no
+/// parallelism to exploit (single thread, tiny input, or nested region).
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 || in_worker() {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let g: Vec<T> = iter.by_ref().take(chunk).collect();
+        if g.is_empty() {
+            break;
+        }
+        groups.push(g);
+    }
+    let per_group: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|g| {
+                s.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    g.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    per_group.into_iter().flatten().collect()
+}
+
+/// An order-preserving parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every item through `f` across the worker threads, preserving
+    /// order. Eager (unlike upstream's lazy adapters) so the terminal
+    /// `collect`/`sum` stay single-type-parameter; no call site chains
+    /// enough adapters for laziness to matter.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, &f),
+        }
+    }
+
+    /// Run `f` on every item across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, &|t| f(t));
+    }
+
+    /// Collect the (already computed) items, in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Deterministic (input-order) sum.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Parallel iterator over mutable, disjoint chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index (chunks keep slice order).
+    pub fn enumerate(self) -> ParEnumerate<&'a mut [T]> {
+        ParEnumerate {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every chunk across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        parallel_map(self.chunks, &|c| f(c));
+    }
+}
+
+/// An enumerated parallel iterator (index, item).
+pub struct ParEnumerate<I> {
+    items: Vec<(usize, I)>,
+}
+
+impl<I: Send> ParEnumerate<I> {
+    /// Run `f` on every `(index, item)` pair across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, I)) + Sync,
+    {
+        parallel_map(self.items, &|p| f(p));
+    }
+}
 
 /// The traits call sites import via `use rayon::prelude::*`.
 pub mod prelude {
-    /// `into_par_iter()` for anything iterable (sequential here).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential drop-in for rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    use super::{ParChunksMut, ParIter};
+
+    /// `into_par_iter()` for anything iterable whose items can cross
+    /// threads.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Materialize the iterator and hand it to the thread-backed
+        /// adapters.
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I where I::Item: Send {}
 
-    /// `par_chunks_mut()` for mutable slices (sequential here).
-    pub trait ParallelSliceMut<T> {
-        /// Sequential drop-in for rayon's `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// `par_chunks_mut()` for mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into disjoint mutable chunks processed across workers.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
         }
     }
 
-    /// `par_iter()` for slices (sequential here).
+    /// `par_iter()` for shared slices (sequential: every current call site
+    /// is a cheap reduction where fork-join would cost more than it saves).
     pub trait ParallelSlice<T> {
-        /// Sequential drop-in for rayon's `par_iter`.
+        /// Sequential stand-in for rayon's `par_iter`.
         fn par_iter(&self) -> std::slice::Iter<'_, T>;
     }
 
@@ -64,5 +238,43 @@ mod tests {
 
         let total: usize = [1usize, 2, 3].par_iter().sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn large_map_preserves_order() {
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3 + 1).collect();
+        let expect: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunked_writes_cover_every_chunk_once() {
+        let mut buf = vec![0usize; 4096];
+        buf.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c = i * 7 + j;
+            }
+        });
+        let expect: Vec<usize> = (0..4096).collect();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_sequentially_and_correctly() {
+        let out: Vec<Vec<usize>> = (0..16usize)
+            .into_par_iter()
+            .map(|i| (0..8usize).into_par_iter().map(|j| i * 8 + j).collect())
+            .collect();
+        for (i, row) in out.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, i * 8 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(super::current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,73 @@
+//! Serving-runtime benchmarks: the end-to-end cost of a request through
+//! the micro-batching service against the bare plan call it wraps.
+//!
+//! * `serve_dispatch` — single closed-loop `infer` through the service
+//!   (full submit → batch → execute → respond path) vs the raw
+//!   `plan.forward` on the same input: the price of the runtime.
+//! * `serve_batched_pipeline` — 64 pipelined requests through a
+//!   `max_batch = 16` service vs an otherwise-identical `max_batch = 1`
+//!   service: what dynamic batching buys on a dispatch-bound model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcnn_core::Workspace;
+use mlcnn_quant::Precision;
+use mlcnn_serve::{find_model, ServeConfig, Service};
+use mlcnn_tensor::{init, Shape4};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_serve_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_dispatch");
+    group.sample_size(20);
+    let model = find_model("mlp-mini").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    let x = init::uniform(Shape4::new(1, 3, 8, 8), -1.0, 1.0, &mut init::rng(3));
+    let mut ws = Workspace::for_plan(&plan, 1);
+    group.bench_function("mlp_mini_bare_plan_forward", |b| {
+        b.iter(|| black_box(plan.forward(black_box(&x), &mut ws).unwrap()))
+    });
+    let svc = Service::spawn(
+        Arc::clone(&plan),
+        ServeConfig::default().with_batching(1, Duration::ZERO),
+    )
+    .unwrap();
+    group.bench_function("mlp_mini_service_closed_loop", |b| {
+        b.iter(|| black_box(svc.infer(black_box(x.clone())).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_serve_batched_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batched_pipeline");
+    group.sample_size(15);
+    let model = find_model("mlp-mini").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    let x = init::uniform(Shape4::new(1, 3, 8, 8), -1.0, 1.0, &mut init::rng(5));
+    let run = |svc: &Service| {
+        let tickets: Vec<_> = (0..64).map(|_| svc.submit(x.clone()).unwrap()).collect();
+        for t in tickets {
+            black_box(t.wait().unwrap());
+        }
+    };
+    let batched = Service::spawn(
+        Arc::clone(&plan),
+        ServeConfig::default()
+            .with_batching(16, Duration::from_micros(200))
+            .with_queue(256),
+    )
+    .unwrap();
+    group.bench_function("pipeline64_max_batch16", |b| b.iter(|| run(&batched)));
+    let unbatched = Service::spawn(
+        Arc::clone(&plan),
+        ServeConfig::default()
+            .with_batching(1, Duration::ZERO)
+            .with_queue(256),
+    )
+    .unwrap();
+    group.bench_function("pipeline64_max_batch1", |b| b.iter(|| run(&unbatched)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_dispatch, bench_serve_batched_pipeline);
+criterion_main!(benches);

@@ -5,8 +5,8 @@
 //! uniform surface: collect, filter by severity, escalate warnings to denials
 //! (`-D warnings` style), pretty-print for humans or serialize to JSON for
 //! tooling. Codes are stable strings (`S###` shape, `F###` fusion, `A###`
-//! accelerator) so tests and downstream tools can match on them without
-//! parsing messages.
+//! accelerator, `V###` serving) so tests and downstream tools can match on
+//! them without parsing messages.
 
 use std::fmt;
 
@@ -30,7 +30,8 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `S` = shape inference, `F` = fusion/reorder
-/// legality, `A` = accelerator configuration and tiling.
+/// legality, `A` = accelerator configuration and tiling, `V` = serving
+/// runtime configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -93,6 +94,28 @@ pub enum Code {
     DegenerateConfig,
     /// A008: MLCNN datapath enabled but no AR adders to run it.
     DatapathInconsistent,
+    /// V001: serving queue with zero capacity; every submission would be
+    /// rejected as "queue full".
+    ZeroQueueCapacity,
+    /// V002: micro-batcher with `max_batch` of zero; no batch could ever
+    /// be formed.
+    ZeroMaxBatch,
+    /// V003: serving worker pool with zero workers; batches would queue
+    /// forever.
+    ZeroServeWorkers,
+    /// V004: micro-batch `max_wait` beyond the sanity ceiling — the
+    /// batching delay would dwarf any inference this workspace runs
+    /// (usually a time-unit mistake).
+    ExcessiveMaxWait,
+    /// V005: more serving workers than the host exposes hardware threads;
+    /// the surplus only adds context switching.
+    WorkersExceedParallelism,
+    /// V006: `max_batch` larger than the submission queue capacity; a
+    /// full batch can never accumulate.
+    BatchExceedsQueue,
+    /// V007: the worker workspaces for this `(workers, max_batch)` would
+    /// exceed the configured arena memory budget.
+    ArenaBudgetExceeded,
 }
 
 impl Code {
@@ -123,6 +146,13 @@ impl Code {
             Code::SliceScalingMismatch => "A006",
             Code::DegenerateConfig => "A007",
             Code::DatapathInconsistent => "A008",
+            Code::ZeroQueueCapacity => "V001",
+            Code::ZeroMaxBatch => "V002",
+            Code::ZeroServeWorkers => "V003",
+            Code::ExcessiveMaxWait => "V004",
+            Code::WorkersExceedParallelism => "V005",
+            Code::BatchExceedsQueue => "V006",
+            Code::ArenaBudgetExceeded => "V007",
         }
     }
 
@@ -136,7 +166,10 @@ impl Code {
             | Code::NonConvPoolProducer
             | Code::TileExceedsLayer
             | Code::SliceScalingMismatch
-            | Code::DatapathInconsistent => Severity::Warn,
+            | Code::DatapathInconsistent
+            | Code::ExcessiveMaxWait
+            | Code::WorkersExceedParallelism
+            | Code::BatchExceedsQueue => Severity::Warn,
             _ => Severity::Deny,
         }
     }

@@ -15,7 +15,11 @@
 //!   fused conv-pool datapath (`F0xx`), reporting the predicted
 //!   multiplication saving `1 − 1/Kp²` for fusable groups;
 //! * [`accel::check_accel_config`] / [`accel::check_tiling`] — Table VII
-//!   invariants and tile-footprint checks (`A0xx`).
+//!   invariants and tile-footprint checks (`A0xx`);
+//! * [`serve::check_serve_config`] — serving-runtime configuration checks
+//!   (`V0xx`): queue capacity, micro-batch policy, worker sizing and
+//!   workspace-arena budgets, gating `mlcnn_serve::Service::spawn` the way
+//!   [`check_compile`] gates the compilers.
 //!
 //! All passes report through [`diag::Reporter`], which collects
 //! [`diag::Diagnostic`]s with stable codes, supports a deny-warnings mode,
@@ -31,11 +35,13 @@
 pub mod accel;
 pub mod diag;
 pub mod fusion;
+pub mod serve;
 pub mod shape;
 
 pub use accel::{check_accel_config, check_tiling, AccelConfigLint, TilingLint};
 pub use diag::{Code, Diagnostic, Reporter, Severity, Span};
 pub use fusion::{check_fusion, rme_ratio, FusionClass, FusionGroup};
+pub use serve::{check_serve_config, check_serve_config_summary, ServeConfigLint};
 pub use shape::{check_shapes, ShapeTrace};
 
 use mlcnn_nn::LayerSpec;

@@ -44,4 +44,4 @@ pub mod reuse_sim;
 pub use fused::{FusedConvPool, FusedScratch};
 pub use fused_net::FusedNetwork;
 pub use opcount::OpCounts;
-pub use plan::{EvalPlan, ExecutionPlan, PlanOptions, Workspace};
+pub use plan::{EvalPlan, ExecutionPlan, PlanOptions, PooledWorkspace, Workspace, WorkspacePool};

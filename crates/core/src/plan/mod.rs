@@ -26,7 +26,7 @@
 mod exec;
 mod workspace;
 
-pub use workspace::Workspace;
+pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};
 
 use crate::fused::FusedConvPool;
 use crate::quantized::round_tensor_f16;
@@ -411,6 +411,18 @@ impl ExecutionPlan {
             .count()
     }
 
+    /// Workspace arena footprint in bytes for a forward at `batch` items:
+    /// the two ping-pong activation buffers scale with the batch, the
+    /// im2col scratch does not. Used by the serving-config lints to sanity
+    /// check `workers × max_batch` memory before spawning anything.
+    pub fn arena_bytes(&self, batch: usize) -> usize {
+        let elems = 2usize
+            .saturating_mul(self.buf_item_len)
+            .saturating_mul(batch.max(1))
+            .saturating_add(self.cols_item_len);
+        elems.saturating_mul(std::mem::size_of::<f32>())
+    }
+
     /// Output shape for a batched input shape.
     pub fn batched_output_shape(&self, batch: usize) -> Shape4 {
         Shape4::new(
@@ -476,13 +488,50 @@ impl ExecutionPlan {
     /// per-item execution would change results — the plan falls back to the
     /// sequential full-batch path to preserve semantics.
     pub fn forward_batch(&self, input: &Tensor<f32>) -> Result<Tensor<f32>> {
+        self.forward_batch_with(input, &WorkspacePool::new())
+    }
+
+    /// [`Self::forward_batch`] drawing workspaces from a caller-owned
+    /// [`WorkspacePool`] instead of allocating fresh arenas per item: the
+    /// pool is `Sync`, leasing never blocks, and every rayon worker (or
+    /// serving thread) gets its own warm workspace — many threads can batch
+    /// through one shared plan + pool concurrently without contending on a
+    /// single `Workspace`.
+    pub fn forward_batch_with(
+        &self,
+        input: &Tensor<f32>,
+        pool: &WorkspacePool,
+    ) -> Result<Tensor<f32>> {
         self.check_input(input)?;
         if self.precision == Precision::Int8 || input.shape().n <= 1 {
-            let mut ws = Workspace::for_plan(self, input.shape().n);
+            let mut ws = pool.lease();
             return self.forward(input, &mut ws);
         }
         par_map_batch(input, |item| {
-            let mut ws = Workspace::for_plan(self, 1);
+            let mut ws = pool.lease();
+            self.forward(&item, &mut ws)
+        })
+    }
+
+    /// Per-item batch execution: every batch item runs as its own
+    /// batch-of-1 forward, so item `i` of the output is **bitwise
+    /// identical to [`Self::forward`] on item `i` alone — at every
+    /// precision**. This is the request-level semantics a serving batcher
+    /// needs: coalescing requests into one call must not change any
+    /// individual response.
+    ///
+    /// For FP32/FP16 this coincides with [`Self::forward_batch`] (rounding
+    /// is per-element). For INT8 it differs: `forward`/`forward_batch`
+    /// quantize activations with a *batch-global* scale, while here each
+    /// item keeps the scale it would have had on its own.
+    pub fn forward_each(&self, input: &Tensor<f32>, pool: &WorkspacePool) -> Result<Tensor<f32>> {
+        self.check_input(input)?;
+        if input.shape().n <= 1 {
+            let mut ws = pool.lease();
+            return self.forward(input, &mut ws);
+        }
+        par_map_batch(input, |item| {
+            let mut ws = pool.lease();
             self.forward(&item, &mut ws)
         })
     }

@@ -4,6 +4,8 @@
 
 use super::{ExecutionPlan, Op};
 use crate::fused::FusedScratch;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 /// Reusable execution arena for [`ExecutionPlan::forward`].
 ///
@@ -70,5 +72,92 @@ impl Workspace {
     /// zero-steady-state-allocation tests assert on.
     pub fn buffer_capacity(&self) -> usize {
         self.a.capacity() + self.b.capacity() + self.cols.capacity()
+    }
+}
+
+/// A shared, thread-safe pool of [`Workspace`]s.
+///
+/// `ExecutionPlan::forward` needs one mutable workspace per concurrent
+/// caller. A pool lets many threads (serving workers, rayon batch items)
+/// share a small set of warm arenas instead of either contending on a
+/// single workspace or allocating a fresh one per call: [`Self::lease`]
+/// pops an idle workspace (or creates one when the pool is empty — leasing
+/// never blocks), and the [`PooledWorkspace`] guard returns it on drop.
+///
+/// The pool therefore holds at most as many workspaces as the peak number
+/// of concurrent leases, and steady-state leasing is allocation-free.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on first lease.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool pre-warmed with `count` workspaces, each sized for `plan` at
+    /// `max_batch` items, so even first leases are allocation-free.
+    pub fn for_plan(plan: &ExecutionPlan, count: usize, max_batch: usize) -> Self {
+        let pool = Self::new();
+        {
+            let mut idle = pool.idle.lock().unwrap_or_else(|e| e.into_inner());
+            idle.extend((0..count).map(|_| Workspace::for_plan(plan, max_batch)));
+        }
+        pool
+    }
+
+    /// Borrow a workspace: pops an idle one, or creates a cold one when
+    /// none is free. Never blocks behind another lease.
+    pub fn lease(&self) -> PooledWorkspace<'_> {
+        let ws = self
+            .idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Number of idle (checked-in) workspaces currently held.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn checkin(&self, ws: Workspace) {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).push(ws);
+    }
+}
+
+/// RAII lease of a [`Workspace`] from a [`WorkspacePool`]; derefs to the
+/// workspace and returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace<'a> {
+    pool: &'a WorkspacePool,
+    ws: Option<Workspace>,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = Workspace;
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.checkin(ws);
+        }
     }
 }

@@ -474,6 +474,19 @@ pub fn lenet5_spec(classes: usize) -> Vec<LayerSpec> {
     ]
 }
 
+/// Two-layer perceptron head: flatten → hidden linear → ReLU → classifier.
+/// The smallest member of the zoo — its forward pass is a pair of matmuls,
+/// which makes it the reference model for workloads bound by per-request
+/// *dispatch* rather than compute (e.g. serving-runtime benchmarks).
+pub fn mlp_mini_spec(hidden: usize, classes: usize) -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: hidden },
+        LayerSpec::ReLU,
+        LayerSpec::Linear { out: classes },
+    ]
+}
+
 /// Reduced-width VGG-style network: three conv→ReLU→avg-pool blocks.
 /// `width` scales channel counts (paper-shape at width 64; accuracy
 /// experiments use 8–16 for tractable training).

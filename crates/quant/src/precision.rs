@@ -55,6 +55,24 @@ impl fmt::Display for Precision {
     }
 }
 
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    /// Parse a precision name, case-insensitively: `fp32`/`f32`,
+    /// `fp16`/`f16`, `int8`/`i8`. The CLI surface for every binary that
+    /// selects a datapath precision (serving config, load generator).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fp32" | "f32" => Ok(Precision::Fp32),
+            "fp16" | "f16" => Ok(Precision::Fp16),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!(
+                "unknown precision '{other}' (expected fp32, fp16, or int8)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +98,15 @@ mod tests {
         assert_eq!(Precision::Fp32.to_string(), "FP32");
         assert_eq!(Precision::Fp16.to_string(), "FP16");
         assert_eq!(Precision::Int8.to_string(), "INT8");
+    }
+
+    #[test]
+    fn parse_round_trips_display_and_aliases() {
+        for p in Precision::ALL {
+            assert_eq!(p.to_string().parse::<Precision>().unwrap(), p);
+        }
+        assert_eq!("fp16".parse::<Precision>().unwrap(), Precision::Fp16);
+        assert_eq!("i8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert!("bf16".parse::<Precision>().is_err());
     }
 }

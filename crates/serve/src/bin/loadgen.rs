@@ -1,0 +1,432 @@
+//! `mlcnn-loadgen` — load generator and correctness harness for the
+//! micro-batching service.
+//!
+//! ```text
+//! mlcnn-loadgen [--out PATH] [--smoke] [--requests N] [--clients N]
+//!               [--rate-rps N] [--remote HOST:PORT --model NAME --precision P]
+//! ```
+//!
+//! Default (in-process) run, written to `BENCH_serve.json`:
+//!
+//! 1. **Parity sweep** — every serving-zoo model at FP32/FP16/INT8:
+//!    service responses must be *bitwise* identical to
+//!    `ExecutionPlan::forward` on the same single item.
+//! 2. **Closed loop** — concurrent clients each awaiting their response
+//!    before sending the next; reports throughput and latency quantiles.
+//! 3. **Batching speedup** — pipelined load through a `max_batch = 8`
+//!    service vs an otherwise-identical `max_batch = 1` service on the
+//!    dispatch-bound `vgg-nano` model.
+//! 4. **Open loop** — fixed-rate arrivals with a deadline, reporting how
+//!    much load the deadline sheds.
+//!
+//! `--smoke` shrinks the run and asserts the CI gate: parity everywhere,
+//! every service drains fully (zero dropped in-flight), and closed-loop
+//! p99 stays under 250 ms.
+//!
+//! `--remote` instead drives a running `mlcnn-served` over TCP with
+//! closed-loop clients, checking parity against a locally compiled
+//! reference plan (same seed).
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlcnn_core::{ExecutionPlan, Workspace};
+use mlcnn_quant::Precision;
+use mlcnn_serve::{find_model, serving_zoo, Client, MetricsSnapshot, ServeConfig, Service};
+use mlcnn_tensor::{init, Shape4, Tensor};
+
+const ALL_PRECISIONS: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+/// Smoke-mode latency gate: generous enough for a loaded single-core CI
+/// runner, tight enough to catch a stalled batcher (whose symptom is
+/// requests waiting forever).
+const SMOKE_P99_MICROS: u64 = 250_000;
+
+struct Args {
+    out: String,
+    smoke: bool,
+    requests: usize,
+    clients: usize,
+    rate_rps: u64,
+    remote: Option<String>,
+    model: String,
+    precision: Precision,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_serve.json".into(),
+        smoke: false,
+        requests: 2000,
+        clients: 8,
+        rate_rps: 2000,
+        remote: None,
+        model: "lenet5".into(),
+        precision: Precision::Fp32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = val("--out")?,
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = val("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--clients" => {
+                args.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--rate-rps" => {
+                args.rate_rps = val("--rate-rps")?
+                    .parse()
+                    .map_err(|e| format!("--rate-rps: {e}"))?
+            }
+            "--remote" => args.remote = Some(val("--remote")?),
+            "--model" => args.model = val("--model")?,
+            "--precision" => args.precision = val("--precision")?.parse()?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(600);
+    }
+    Ok(args)
+}
+
+fn item_input(shape: Shape4, seed: u64) -> Tensor<f32> {
+    init::uniform(
+        Shape4::new(1, shape.c, shape.h, shape.w),
+        -1.0,
+        1.0,
+        &mut init::rng(seed),
+    )
+}
+
+/// Bitwise parity: a handful of service responses vs the plan's own
+/// single-item `forward` on a fresh workspace.
+fn parity_check(svc: &Service, plan: &ExecutionPlan, shape: Shape4) -> Result<(), String> {
+    let mut ws = Workspace::for_plan(plan, 1);
+    for seed in 0..6u64 {
+        let x = item_input(shape, 1000 + seed);
+        let got = svc.infer(x.clone()).map_err(|e| e.to_string())?;
+        let want = plan.forward(&x, &mut ws).map_err(|e| e.to_string())?;
+        if got != want {
+            return Err(format!("response diverges from plan.forward (seed {seed})"));
+        }
+    }
+    Ok(())
+}
+
+/// Closed loop: `clients` threads, each awaiting its response before the
+/// next request. Returns achieved requests-per-second.
+fn closed_loop(svc: &Service, shape: Shape4, clients: usize, total: usize) -> f64 {
+    let per_client = total.div_ceil(clients.max(1));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let x = item_input(shape, 7 + c as u64);
+                for _ in 0..per_client {
+                    svc.infer(x.clone()).expect("closed-loop infer");
+                }
+            });
+        }
+    });
+    (per_client * clients) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Pipelined load: one submitter alternates between bursts of submissions
+/// and draining the accumulated tickets. The service sees a standing
+/// queue (so the batcher can actually coalesce), while most `wait` calls
+/// find their response already buffered — the client is measuring the
+/// service's dispatch cost, not its own context switches. This is the
+/// fixture for the batched-vs-batch=1 comparison — identical client
+/// behaviour on both sides, only the service policy differs.
+fn pipelined_loop(svc: &Service, shape: Shape4, total: usize) -> f64 {
+    let burst = 256usize;
+    let x = item_input(shape, 100);
+    let mut inflight: VecDeque<mlcnn_serve::Ticket> = VecDeque::new();
+    let mut submitted = 0usize;
+    let start = Instant::now();
+    while submitted < total {
+        let goal = (submitted + burst).min(total);
+        while submitted < goal {
+            match svc.submit(x.clone()) {
+                Ok(t) => {
+                    inflight.push_back(t);
+                    submitted += 1;
+                }
+                // backpressure: drain one and retry
+                Err(mlcnn_serve::ServeError::QueueFull(_)) => {
+                    if let Some(t) = inflight.pop_front() {
+                        t.wait().expect("pipelined wait");
+                    }
+                }
+                Err(e) => panic!("pipelined submit: {e}"),
+            }
+        }
+        while inflight.len() > burst / 2 {
+            inflight
+                .pop_front()
+                .unwrap()
+                .wait()
+                .expect("pipelined wait");
+        }
+    }
+    for t in inflight {
+        t.wait().expect("pipelined drain");
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Open loop: submit at a fixed rate with a per-request deadline; expired
+/// requests are shed by the service and surface in the snapshot.
+fn open_loop(svc: &Service, shape: Shape4, rate_rps: u64, total: usize) -> (f64, u64) {
+    let interval = Duration::from_nanos(1_000_000_000 / rate_rps.max(1));
+    let deadline = Duration::from_millis(100);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            // collector: resolve tickets off the pacer's critical path
+            let mut shed = 0u64;
+            while let Ok(ticket) = rx.recv() {
+                let t: mlcnn_serve::Ticket = ticket;
+                if matches!(t.wait(), Err(mlcnn_serve::ServeError::DeadlineExceeded)) {
+                    shed += 1;
+                }
+            }
+            shed
+        });
+        let x = item_input(shape, 55);
+        for i in 0..total {
+            let due = start + interval * i as u32;
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            // a full queue under overload is a rejection, counted by metrics
+            if let Ok(t) = svc.submit_with_deadline(x.clone(), Some(deadline)) {
+                let _ = tx.send(t);
+            }
+        }
+        drop(tx);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let snap = svc.metrics();
+    (total as f64 / elapsed, snap.shed_expired)
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".into()
+    }
+}
+
+fn snapshot_fragment(s: &MetricsSnapshot) -> String {
+    format!(
+        concat!(
+            "\"p50_micros\": {}, \"p90_micros\": {}, \"p99_micros\": {}, ",
+            "\"mean_batch_size\": {:.3}, \"batches\": {}, \"shed_expired\": {}, ",
+            "\"rejected_full\": {}, \"fully_drained\": {}"
+        ),
+        s.p50_micros,
+        s.p90_micros,
+        s.p99_micros,
+        s.mean_batch_size,
+        s.batches,
+        s.shed_expired,
+        s.rejected_full,
+        s.fully_drained(),
+    )
+}
+
+fn run_remote(args: &Args) -> Result<String, String> {
+    let addr = args.remote.clone().expect("remote mode");
+    let model = find_model(&args.model).map_err(|e| e.to_string())?;
+    let plan = model.compile(args.precision).map_err(|e| e.to_string())?;
+    let mut ws = Workspace::for_plan(&plan, 1);
+
+    // parity against the local reference plan (same seed as the server)
+    let mut probe = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    for seed in 0..4u64 {
+        let x = item_input(model.input, 2000 + seed);
+        let got = probe.infer(x.clone()).map_err(|e| e.to_string())?;
+        let want = plan.forward(&x, &mut ws).map_err(|e| e.to_string())?;
+        if got != want {
+            return Err(format!(
+                "remote response diverges from reference (seed {seed})"
+            ));
+        }
+    }
+
+    let per_client = args.requests.div_ceil(args.clients.max(1));
+    let start = Instant::now();
+    std::thread::scope(|s| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for c in 0..args.clients {
+            let addr = addr.clone();
+            let input = model.input;
+            handles.push(s.spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let x = item_input(input, 300 + c as u64);
+                for _ in 0..per_client {
+                    client.infer(x.clone()).map_err(|e| e.to_string())?;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| "client thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    let rps = (per_client * args.clients) as f64 / start.elapsed().as_secs_f64();
+    let metrics = probe.metrics_json().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{{\n  \"mode\": \"remote\",\n  \"addr\": \"{addr}\",\n  \"model\": \"{}\",\n  \"precision\": \"{}\",\n  \"parity\": true,\n  \"requests\": {},\n  \"clients\": {},\n  \"throughput_rps\": {},\n  \"server_metrics\": {metrics}\n}}\n",
+        model.name,
+        args.precision,
+        per_client * args.clients,
+        args.clients,
+        fmt_f64(rps),
+    ))
+}
+
+fn run_local(args: &Args) -> Result<String, String> {
+    let mut model_sections = Vec::new();
+    let mut all_drained = true;
+    let mut worst_p99: u64 = 0;
+
+    // 1 + 2: parity sweep and closed-loop load, zoo × precisions
+    for model in serving_zoo() {
+        for precision in ALL_PRECISIONS {
+            let plan = Arc::new(model.compile(precision).map_err(|e| e.to_string())?);
+            let cfg = ServeConfig::default()
+                .with_precision(precision)
+                .with_batching(8, Duration::from_micros(200));
+            let svc = Service::spawn(Arc::clone(&plan), cfg).map_err(|e| e.to_string())?;
+            parity_check(&svc, &plan, model.input)
+                .map_err(|e| format!("{}@{precision}: {e}", model.name))?;
+            let rps = closed_loop(&svc, model.input, args.clients, args.requests);
+            let snap = svc.shutdown();
+            all_drained &= snap.fully_drained();
+            worst_p99 = worst_p99.max(snap.p99_micros);
+            println!(
+                "[loadgen] {}@{precision}: parity ok, closed-loop {:.0} rps, p99 {} µs, mean batch {:.2}",
+                model.name, rps, snap.p99_micros, snap.mean_batch_size
+            );
+            model_sections.push(format!(
+                "    {{\"model\": \"{}\", \"precision\": \"{precision}\", \"parity\": true, \"closed_loop_rps\": {}, {}}}",
+                model.name,
+                fmt_f64(rps),
+                snapshot_fragment(&snap)
+            ));
+        }
+    }
+
+    // 3: batching speedup on the dispatch-bound model, identical pipelined
+    // client, only (max_batch, max_wait) differs
+    let demo = find_model("mlp-mini").map_err(|e| e.to_string())?;
+    let plan = Arc::new(demo.compile(Precision::Fp32).map_err(|e| e.to_string())?);
+    let speedup_requests = args.requests.max(500) * 8;
+
+    let batched_cfg = ServeConfig::default()
+        .with_batching(16, Duration::from_micros(200))
+        .with_queue(1024);
+    let svc = Service::spawn(Arc::clone(&plan), batched_cfg).map_err(|e| e.to_string())?;
+    let batched_rps = pipelined_loop(&svc, demo.input, speedup_requests);
+    let batched_snap = svc.shutdown();
+    all_drained &= batched_snap.fully_drained();
+
+    let batch1_cfg = ServeConfig::default()
+        .with_batching(1, Duration::ZERO)
+        .with_queue(1024);
+    let svc = Service::spawn(Arc::clone(&plan), batch1_cfg).map_err(|e| e.to_string())?;
+    let batch1_rps = pipelined_loop(&svc, demo.input, speedup_requests);
+    let batch1_snap = svc.shutdown();
+    all_drained &= batch1_snap.fully_drained();
+
+    let speedup = batched_rps / batch1_rps;
+    println!(
+        "[loadgen] {} batching: {batched_rps:.0} rps (mean batch {:.2}) vs {batch1_rps:.0} rps at batch=1 → {speedup:.2}x",
+        demo.name, batched_snap.mean_batch_size
+    );
+
+    // 4: open loop at a fixed arrival rate with a deadline
+    let open_cfg = ServeConfig::default().with_batching(8, Duration::from_micros(200));
+    let svc = Service::spawn(Arc::clone(&plan), open_cfg).map_err(|e| e.to_string())?;
+    let (offered_rps, _) = open_loop(&svc, demo.input, args.rate_rps, args.requests);
+    let open_snap = svc.shutdown();
+    all_drained &= open_snap.fully_drained();
+    println!(
+        "[loadgen] open loop: offered {offered_rps:.0} rps, shed {} of {} by deadline",
+        open_snap.shed_expired, open_snap.submitted
+    );
+
+    if args.smoke {
+        assert!(all_drained, "smoke: a service dropped in-flight requests");
+        assert!(
+            worst_p99 < SMOKE_P99_MICROS,
+            "smoke: closed-loop p99 {worst_p99} µs breaches the {SMOKE_P99_MICROS} µs gate"
+        );
+        println!("[loadgen] smoke gate passed (drained everywhere, worst p99 {worst_p99} µs)");
+    }
+
+    Ok(format!(
+        "{{\n  \"mode\": \"local\",\n  \"threads\": {},\n  \"requests_per_section\": {},\n  \"clients\": {},\n  \"smoke\": {},\n  \"all_fully_drained\": {},\n  \"worst_closed_loop_p99_micros\": {},\n  \"models\": [\n{}\n  ],\n  \"batching_speedup\": {{\n    \"model\": \"{}\", \"precision\": \"{}\", \"requests\": {},\n    \"batched_rps\": {}, \"batched_mean_batch_size\": {:.3},\n    \"batch1_rps\": {}, \"speedup\": {}\n  }},\n  \"open_loop\": {{\n    \"model\": \"{}\", \"offered_rps\": {}, \"deadline_millis\": 100, {}\n  }}\n}}\n",
+        rayon::current_num_threads(),
+        args.requests,
+        args.clients,
+        args.smoke,
+        all_drained,
+        worst_p99,
+        model_sections.join(",\n"),
+        demo.name,
+        Precision::Fp32,
+        speedup_requests,
+        fmt_f64(batched_rps),
+        batched_snap.mean_batch_size,
+        fmt_f64(batch1_rps),
+        fmt_f64(speedup),
+        demo.name,
+        fmt_f64(offered_rps),
+        snapshot_fragment(&open_snap),
+    ))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mlcnn-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.remote.is_some() {
+        run_remote(&args)
+    } else {
+        run_local(&args)
+    };
+    match result {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, &json) {
+                eprintln!("mlcnn-loadgen: write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            println!("[loadgen] wrote {}", args.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mlcnn-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! `mlcnn-served` — TCP inference server over the micro-batching service.
+//!
+//! ```text
+//! mlcnn-served [--model NAME] [--precision fp32|fp16|int8]
+//!              [--addr HOST:PORT] [--workers N] [--max-batch N]
+//!              [--max-wait-micros N] [--queue N]
+//! ```
+//!
+//! Compiles the named serving-zoo model at the requested precision,
+//! spawns the service, and answers the `mlcnn_serve::wire` frame
+//! protocol until killed. Weights come from the fixed serving seed, so
+//! any `mlcnn-loadgen --remote` pointed at the same model/precision can
+//! verify responses against a local reference plan.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlcnn_quant::Precision;
+use mlcnn_serve::{find_model, serve_listener, ServeConfig, Service};
+
+struct Args {
+    model: String,
+    precision: Precision,
+    addr: String,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: "lenet5".into(),
+        precision: Precision::Fp32,
+        addr: "127.0.0.1:7433".into(),
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--model" => args.model = val("--model")?,
+            "--precision" => args.precision = val("--precision")?.parse()?,
+            "--addr" => args.addr = val("--addr")?,
+            "--workers" => {
+                args.cfg.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-batch" => {
+                args.cfg.max_batch = val("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--max-wait-micros" => {
+                let micros: u64 = val("--max-wait-micros")?
+                    .parse()
+                    .map_err(|e| format!("--max-wait-micros: {e}"))?;
+                args.cfg.max_wait = Duration::from_micros(micros);
+            }
+            "--queue" => {
+                args.cfg.queue_capacity = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    args.cfg.precision = args.precision;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match find_model(&args.model) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match model.compile(args.precision) {
+        Ok(p) => Arc::new(p),
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let svc = match Service::spawn(plan, args.cfg.clone()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mlcnn-served: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={})",
+        model.name,
+        args.precision,
+        listener
+            .local_addr()
+            .map_or(args.addr.clone(), |a| a.to_string()),
+        args.cfg.workers,
+        args.cfg.max_batch,
+        args.cfg.max_wait,
+        args.cfg.queue_capacity,
+    );
+    if let Err(e) = serve_listener(listener, svc) {
+        eprintln!("mlcnn-served: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

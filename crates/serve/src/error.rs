@@ -1,0 +1,55 @@
+//! Error surface of the serving runtime.
+
+use std::fmt;
+
+/// Why a request (or the service itself) failed.
+///
+/// `Clone` so a batch-wide failure can be fanned out to every request in
+/// the batch; inference errors are carried as rendered strings for the
+/// same reason (and because they cross the wire protocol as text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded submission queue was full; backpressure, try again.
+    /// Carries the configured capacity.
+    QueueFull(usize),
+    /// The service is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// The request's deadline expired before a worker picked it up; the
+    /// batcher shed it without running inference.
+    DeadlineExceeded,
+    /// The input tensor does not match the plan's expected item shape.
+    BadInput(String),
+    /// The execution plan failed (rendered `TensorError`).
+    Inference(String),
+    /// The service configuration was rejected by the `V0xx` lint gate;
+    /// carries the joined denial diagnostics.
+    Config(String),
+    /// The response channel was severed before a result arrived — the
+    /// service dropped mid-flight (only reachable if the runtime is torn
+    /// down non-gracefully).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull(cap) => {
+                write!(f, "submission queue full (capacity {cap})")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before dispatch")
+            }
+            ServeError::BadInput(reason) => write!(f, "bad input: {reason}"),
+            ServeError::Inference(reason) => write!(f, "inference failed: {reason}"),
+            ServeError::Config(reason) => {
+                write!(f, "service configuration rejected: {reason}")
+            }
+            ServeError::Disconnected => {
+                write!(f, "response channel severed before completion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,54 @@
+//! `mlcnn-serve` — dynamic micro-batching inference runtime over the
+//! compiled [`mlcnn_core::ExecutionPlan`].
+//!
+//! The crate turns a plan into an in-process service:
+//!
+//! ```text
+//! submit() ──▶ bounded window ──▶ batcher thread ──▶ batch channel ──▶ workers
+//!   │            (reject when        coalesces under     (bounded,        │
+//!   │             full: V001          (max_batch,         blocks the      ▼
+//!   ▼             capacity)           max_wait)           batcher)     forward
+//! Ticket ◀──────────── per-request response channel ◀────────────── fan-out
+//! ```
+//!
+//! * **Backpressure everywhere.** The submission window rejects with
+//!   [`ServeError::QueueFull`] at capacity; the batch channel is bounded
+//!   and blocks the batcher; nothing in the pipeline is unbounded.
+//! * **Parity.** Every execution path the service takes is bitwise
+//!   identical to calling [`mlcnn_core::ExecutionPlan::forward`] on each
+//!   request alone — including INT8, where coalesced whole-batch
+//!   execution would change the batch-global activation scale, so the
+//!   service runs INT8 batches per-item via `forward_each`.
+//! * **Deadlines.** Requests carry optional deadlines; expired work is
+//!   shed before execution and answered with
+//!   [`ServeError::DeadlineExceeded`].
+//! * **Graceful shutdown.** [`Service::shutdown`] drains every admitted
+//!   request exactly once, then joins the batcher and workers.
+//! * **Gated construction.** [`Service::spawn`] refuses configurations
+//!   that fail the `mlcnn-check` `V###` serving lints.
+//!
+//! The [`wire`]/[`net`] modules add a length-prefixed TCP front-end
+//! (`mlcnn-served`) and blocking client; `mlcnn-loadgen` drives either
+//! the in-process service or a remote server and writes
+//! `BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod microbatch;
+pub mod models;
+pub mod net;
+pub mod service;
+pub mod wire;
+
+pub use config::{available_workers, ServeConfig, DEFAULT_ARENA_BUDGET_BYTES};
+pub use error::ServeError;
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use microbatch::{BatchPolicy, Microbatcher};
+pub use models::{find_model, serving_zoo, ServeModel, SERVE_SEED};
+pub use net::{serve_listener, Client};
+pub use service::{Service, Ticket};
+pub use wire::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};

@@ -1,0 +1,303 @@
+//! Service observability: lock-free counters, a fixed-bucket latency
+//! histogram, and a serializable point-in-time snapshot.
+//!
+//! Everything on the hot path is a relaxed atomic — workers and the
+//! submission path never take a lock to record. The histogram uses
+//! power-of-two microsecond buckets (bucket `i` counts latencies in
+//! `[2^i, 2^{i+1})` µs), so quantiles are exact to within a factor of two
+//! and recording is a `leading_zeros` plus one `fetch_add`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of power-of-two latency buckets: covers up to ~2^39 µs ≈ 6 days.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Fixed-bucket latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the bucket counts.
+    pub fn counts(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bound (exclusive) in µs of histogram bucket `i` — the value a
+/// quantile falling in that bucket reports, i.e. quantiles are
+/// conservative (never under-reported) and exact to within 2×.
+fn bucket_upper_micros(i: usize) -> u64 {
+    1u64 << (i as u32 + 1)
+}
+
+/// Quantile (`q` in `[0, 1]`) over snapshot bucket counts.
+fn quantile_micros(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // rank of the q-quantile among `total` ordered observations
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_micros(i);
+        }
+    }
+    bucket_upper_micros(counts.len() - 1)
+}
+
+/// Live metrics registry shared by the submission path, batcher, and
+/// workers. All mutation is relaxed-atomic; [`Metrics::snapshot`] reads a
+/// consistent-enough point-in-time view for reporting.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests completed with a successful response.
+    pub completed: AtomicU64,
+    /// Requests completed with an inference error.
+    pub failed: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Submissions rejected because the service was shutting down.
+    pub rejected_shutdown: AtomicU64,
+    /// Requests shed because their deadline expired before execution.
+    pub shed_expired: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Current submission-queue depth (gauge).
+    pub queue_depth: AtomicUsize,
+    /// batch_size_counts[s-1] = number of executed batches of size s.
+    batch_sizes: Vec<AtomicU64>,
+    /// End-to-end request latency (enqueue → response ready).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Registry for a service whose batches never exceed `max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            batch_sizes: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// Record one executed batch of `size` requests.
+    pub fn observe_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if size >= 1 {
+            let idx = (size - 1).min(self.batch_sizes.len() - 1);
+            self.batch_sizes[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of every counter plus derived quantiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency_buckets = self.latency.counts().to_vec();
+        let batch_size_counts: Vec<u64> = self
+            .batch_sizes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let batches: u64 = batch_size_counts.iter().sum();
+        let batched_requests: u64 = batch_size_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            p50_micros: quantile_micros(&latency_buckets, 0.50),
+            p90_micros: quantile_micros(&latency_buckets, 0.90),
+            p99_micros: quantile_micros(&latency_buckets, 0.99),
+            batch_size_counts,
+            latency_buckets,
+        }
+    }
+}
+
+/// Serializable point-in-time view of [`Metrics`]. Field meanings match
+/// the registry; quantiles come from the power-of-two histogram, so they
+/// are conservative upper bounds exact to within 2×.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an inference error.
+    pub failed: u64,
+    /// Submissions rejected on a full queue.
+    pub rejected_full: u64,
+    /// Submissions rejected during shutdown.
+    pub rejected_shutdown: u64,
+    /// Requests shed on an expired deadline.
+    pub shed_expired: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Mean executed batch size.
+    pub mean_batch_size: f64,
+    /// Median end-to-end latency in µs (upper bucket bound).
+    pub p50_micros: u64,
+    /// 90th-percentile end-to-end latency in µs.
+    pub p90_micros: u64,
+    /// 99th-percentile end-to-end latency in µs.
+    pub p99_micros: u64,
+    /// `batch_size_counts[s-1]` = executed batches of size `s`.
+    pub batch_size_counts: Vec<u64>,
+    /// Raw latency histogram (power-of-two µs buckets).
+    pub latency_buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Every request that entered the queue received exactly one terminal
+    /// outcome (success, failure, or shed) and none is still in flight.
+    pub fn fully_drained(&self) -> bool {
+        self.queue_depth == 0 && self.submitted == self.completed + self.failed + self.shed_expired
+    }
+
+    /// Hand-rolled JSON rendering (the workspace's serde is a no-op
+    /// stand-in), matching the diagnostics JSON idiom in `mlcnn-check`.
+    pub fn to_json(&self) -> String {
+        fn seq(xs: &[u64]) -> String {
+            let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", body.join(","))
+        }
+        format!(
+            concat!(
+                "{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                "\"rejected_full\":{},\"rejected_shutdown\":{},",
+                "\"shed_expired\":{},\"batches\":{},\"queue_depth\":{},",
+                "\"mean_batch_size\":{:.3},\"p50_micros\":{},",
+                "\"p90_micros\":{},\"p99_micros\":{},",
+                "\"batch_size_counts\":{},\"latency_buckets\":{}}}"
+            ),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.shed_expired,
+            self.batches,
+            self.queue_depth,
+            self.mean_batch_size,
+            self.p50_micros,
+            self.p90_micros,
+            self.p99_micros,
+            seq(&self.batch_size_counts),
+            seq(&self.latency_buckets),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::default();
+        h.observe_micros(0); // clamps into bucket 0
+        h.observe_micros(1);
+        h.observe_micros(3);
+        h.observe_micros(1024);
+        let c = h.counts();
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 1);
+        assert_eq!(c[10], 1);
+        assert_eq!(c.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let m = Metrics::new(4);
+        for _ in 0..99 {
+            m.latency.observe_micros(100); // bucket 6: [64, 128)
+        }
+        m.latency.observe_micros(10_000); // bucket 13: [8192, 16384)
+        let s = m.snapshot();
+        assert_eq!(s.p50_micros, 128);
+        assert_eq!(s.p90_micros, 128);
+        assert_eq!(s.p99_micros, 128);
+        for _ in 0..10 {
+            m.latency.observe_micros(10_000);
+        }
+        assert_eq!(m.snapshot().p99_micros, 16_384);
+    }
+
+    #[test]
+    fn batch_size_distribution_and_mean() {
+        let m = Metrics::new(4);
+        m.observe_batch(1);
+        m.observe_batch(4);
+        m.observe_batch(4);
+        m.observe_batch(9); // clamped into the top bucket
+        let s = m.snapshot();
+        assert_eq!(s.batch_size_counts, vec![1, 0, 0, 3]);
+        assert!((s.mean_batch_size - 13.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drained_accounting_balances() {
+        let m = Metrics::new(2);
+        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        m.shed_expired.fetch_add(1, Ordering::Relaxed);
+        assert!(!m.snapshot().fully_drained());
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        assert!(m.snapshot().fully_drained());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = Metrics::new(2);
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        m.observe_batch(1);
+        m.latency.observe_micros(50);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"submitted\":1"));
+        assert!(json.contains("\"batch_size_counts\":[1,0]"));
+    }
+}

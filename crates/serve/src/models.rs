@@ -1,0 +1,118 @@
+//! The serving model zoo: every plan-compilable zoo model with its
+//! canonical input geometry, plus helpers to compile a served
+//! [`ExecutionPlan`] deterministically from a name.
+//!
+//! `mlcnn-served` and `mlcnn-loadgen` both resolve models through this
+//! table, so the two ends of a benchmark are guaranteed to agree on
+//! weights (same seed), geometry, and precision.
+
+use mlcnn_core::reorder::reorder_activation_pool;
+use mlcnn_core::{ExecutionPlan, PlanOptions};
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::{zoo, LayerSpec};
+use mlcnn_quant::Precision;
+use mlcnn_tensor::Shape4;
+
+use crate::error::ServeError;
+
+/// Seed used to initialize weights for every served model, so separately
+/// started servers and reference plans agree bit-for-bit.
+pub const SERVE_SEED: u64 = 2022;
+
+/// One entry of the serving zoo: a plan-compilable layer pipeline plus
+/// its single-item input geometry.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    /// Stable lookup name (`mlcnn-served --model <name>`).
+    pub name: &'static str,
+    /// The layer pipeline.
+    pub specs: Vec<LayerSpec>,
+    /// Single-item input shape (`n` = 1).
+    pub input: Shape4,
+}
+
+impl ServeModel {
+    /// Compile the model into an [`ExecutionPlan`] at `precision`, with
+    /// weights drawn deterministically from [`SERVE_SEED`].
+    pub fn compile(&self, precision: Precision) -> Result<ExecutionPlan, ServeError> {
+        let mut net = build_network(&self.specs, self.input, SERVE_SEED)
+            .map_err(|e| ServeError::Config(format!("{}: {e}", self.name)))?;
+        let params = net.export_params();
+        ExecutionPlan::compile(
+            &self.specs,
+            &params,
+            self.input,
+            PlanOptions::default().with_precision(precision),
+        )
+        .map_err(|e| ServeError::Config(format!("{}: {e}", self.name)))
+    }
+}
+
+/// Every model the serving layer knows. `vgg-nano` and `mlp-mini` are
+/// deliberately tiny — per-item inference is microseconds or less, which
+/// makes them the models where dispatch amortization from batching is
+/// most visible (`mlp-mini`, two matmuls, is the dispatch-bound extreme).
+pub fn serving_zoo() -> Vec<ServeModel> {
+    let cifar = Shape4::new(1, 3, 32, 32);
+    vec![
+        ServeModel {
+            name: "lenet5",
+            specs: zoo::lenet5_spec(10),
+            input: cifar,
+        },
+        ServeModel {
+            name: "lenet5-reordered",
+            specs: reorder_activation_pool(&zoo::lenet5_spec(10)).specs,
+            input: cifar,
+        },
+        ServeModel {
+            name: "vgg-mini",
+            specs: zoo::vgg_mini_spec(3, 10),
+            input: cifar,
+        },
+        ServeModel {
+            name: "vgg-nano",
+            specs: zoo::vgg_mini_spec(1, 10),
+            input: Shape4::new(1, 3, 8, 8),
+        },
+        ServeModel {
+            name: "mlp-mini",
+            specs: zoo::mlp_mini_spec(32, 10),
+            input: Shape4::new(1, 3, 8, 8),
+        },
+    ]
+}
+
+/// Look a model up by name.
+pub fn find_model(name: &str) -> Result<ServeModel, ServeError> {
+    let zoo = serving_zoo();
+    let names: Vec<&str> = zoo.iter().map(|m| m.name).collect();
+    zoo.into_iter().find(|m| m.name == name).ok_or_else(|| {
+        ServeError::Config(format!(
+            "unknown model '{name}' (serving zoo: {})",
+            names.join(", ")
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_zoo_model_compiles_at_every_precision() {
+        for model in serving_zoo() {
+            for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+                let plan = model.compile(precision).unwrap();
+                assert_eq!(plan.precision(), precision, "{}", model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_and_rejects_unknown() {
+        assert_eq!(find_model("vgg-nano").unwrap().name, "vgg-nano");
+        let err = find_model("resnet18").unwrap_err();
+        assert!(err.to_string().contains("serving zoo"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Blocking TCP front-end over [`Service`]: a thread-per-connection
+//! listener speaking the [`crate::wire`] frame protocol, and a matching
+//! synchronous [`Client`].
+//!
+//! Each connection runs a reader thread (this function's caller thread)
+//! and one writer thread. The reader submits inference frames to the
+//! service *without waiting* and hands the resulting tickets to the
+//! writer in submission order; the writer resolves them one by one. That
+//! keeps responses in request order while still letting a pipelining
+//! client have many requests coalescing in the micro-batcher at once.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use mlcnn_tensor::Tensor;
+
+use crate::service::Service;
+use crate::wire::{read_frame, write_frame, Frame};
+
+/// What the writer thread must produce for one inbound frame.
+enum Outcome {
+    /// An in-flight inference; resolve the ticket, then answer `id`.
+    Pending(u64, crate::service::Ticket),
+    /// Already-final response (metrics, submission errors).
+    Immediate(Frame),
+}
+
+/// Accept connections on `listener` forever, serving each on its own
+/// thread. Returns only when `accept` fails fatally.
+pub fn serve_listener(listener: TcpListener, svc: Arc<Service>) -> io::Result<()> {
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let svc = Arc::clone(&svc);
+        thread::Builder::new()
+            .name(format!("mlcnn-conn-{peer}"))
+            .spawn(move || {
+                // Connection errors (resets, protocol violations) end that
+                // connection only; the listener keeps serving.
+                let _ = handle_conn(stream, &svc);
+            })?;
+    }
+}
+
+/// Serve one connection until EOF or an I/O error.
+fn handle_conn(stream: TcpStream, svc: &Service) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<Outcome>();
+
+    let writer = thread::Builder::new()
+        .name("mlcnn-conn-writer".into())
+        .spawn(move || -> io::Result<()> {
+            let mut w = BufWriter::new(write_half);
+            while let Ok(outcome) = rx.recv() {
+                let frame = match outcome {
+                    Outcome::Immediate(frame) => frame,
+                    Outcome::Pending(id, ticket) => match ticket.wait() {
+                        Ok(output) => Frame::InferOk { id, output },
+                        Err(e) => Frame::Error {
+                            id,
+                            message: e.to_string(),
+                        },
+                    },
+                };
+                write_frame(&mut w, &frame)?;
+                w.flush()?;
+            }
+            Ok(())
+        })?;
+
+    let mut r = BufReader::new(stream);
+    let read_result: io::Result<()> = loop {
+        let frame = match read_frame(&mut r) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        let outcome = match frame {
+            Frame::InferRequest { id, input } => match svc.submit(input) {
+                Ok(ticket) => Outcome::Pending(id, ticket),
+                Err(e) => Outcome::Immediate(Frame::Error {
+                    id,
+                    message: e.to_string(),
+                }),
+            },
+            Frame::MetricsRequest { id } => Outcome::Immediate(Frame::MetricsOk {
+                id,
+                json: svc.metrics().to_json(),
+            }),
+            other => Outcome::Immediate(Frame::Error {
+                id: other.id(),
+                message: "clients may only send InferRequest or MetricsRequest".into(),
+            }),
+        };
+        if tx.send(outcome).is_err() {
+            break Ok(()); // writer hit an I/O error and exited
+        }
+    };
+    drop(tx); // lets the writer drain in-flight responses and exit
+    let write_result = writer.join().unwrap_or(Ok(()));
+    read_result.and(write_result)
+}
+
+/// Blocking client for the `mlcnn-served` frame protocol. One request in
+/// flight at a time; ids are assigned internally and checked on reply.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> io::Result<Frame> {
+        let want = frame.id();
+        write_frame(&mut self.stream, frame)?;
+        self.stream.flush()?;
+        let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        if reply.id() != want {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} for request {want}", reply.id()),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Run inference on one input item.
+    pub fn infer(&mut self, input: Tensor<f32>) -> io::Result<Tensor<f32>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::InferRequest { id, input })? {
+            Frame::InferOk { output, .. } => Ok(output),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply frame for infer: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot as JSON.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Frame::MetricsRequest { id })? {
+            Frame::MetricsOk { json, .. } => Ok(json),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply frame for metrics: {other:?}"),
+            )),
+        }
+    }
+}

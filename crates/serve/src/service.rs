@@ -1,0 +1,456 @@
+//! The in-process inference service: bounded intake → micro-batcher →
+//! worker pool, all on std threads and channels.
+//!
+//! ```text
+//!  submit() ──► intake window (bounded, V001)        rejected ──► QueueFull
+//!                  │ (max_batch, max_wait) policy
+//!                  ▼
+//!            batcher thread ──► batch channel (bounded at `workers`)
+//!                                   │
+//!                     worker 0 … worker N-1  (WorkspacePool, one lease each)
+//!                                   │
+//!                     per-request one-shot response channels
+//! ```
+//!
+//! Every stage is bounded, so the service exerts backpressure instead of
+//! growing without limit: the intake window rejects at `queue_capacity`,
+//! the batch channel blocks the batcher at `workers` in-flight batches
+//! (which in turn lets the intake fill and reject), and each response
+//! channel holds exactly one message.
+//!
+//! **Parity contract:** a response is bitwise identical to calling
+//! [`ExecutionPlan::forward`] on that request's input alone, at every
+//! precision — co-batched neighbours never change a result. FP32/FP16
+//! batches run as one whole-batch forward (or a rayon fan-out when the
+//! host has threads to spare), both of which preserve per-item bits;
+//! INT8 batches run item-by-item via [`ExecutionPlan::forward_each`],
+//! because whole-batch INT8 would quantize activations with a
+//! batch-global scale and leak information between requests.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::microbatch::{BatchPolicy, Microbatcher};
+use mlcnn_core::{ExecutionPlan, PlanOptions, WorkspacePool};
+use mlcnn_nn::LayerSpec;
+use mlcnn_quant::Precision;
+use mlcnn_tensor::{Shape4, Tensor};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued inference request.
+struct Request {
+    input: Tensor<f32>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: SyncSender<Result<Tensor<f32>, ServeError>>,
+}
+
+/// Mutex-guarded intake state: the micro-batch window plus lifecycle.
+struct Intake {
+    window: Microbatcher<Request>,
+    shutting_down: bool,
+    next_id: u64,
+}
+
+/// State shared by the submission path, the batcher, and the workers.
+struct Shared {
+    plan: Arc<ExecutionPlan>,
+    cfg: ServeConfig,
+    /// Epoch for the window's virtual clock.
+    t0: Instant,
+    intake: Mutex<Intake>,
+    /// Signalled on every submission and on shutdown.
+    arrivals: Condvar,
+    metrics: Metrics,
+    pool: WorkspacePool,
+}
+
+impl Shared {
+    fn now_nanos(&self) -> u64 {
+        self.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn lock_intake(&self) -> MutexGuard<'_, Intake> {
+        self.intake.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Handle to one submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<Result<Tensor<f32>, ServeError>>,
+}
+
+impl Ticket {
+    /// Service-assigned request id (monotonically increasing).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<Tensor<f32>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Block up to `timeout` for the response; `None` on timeout (the
+    /// ticket is consumed — a timed-out request's eventual result is
+    /// discarded when the worker finds the channel closed).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Tensor<f32>, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::Disconnected))
+            }
+        }
+    }
+}
+
+/// The micro-batching inference service. See the [module docs](self).
+///
+/// Dropping the service performs the same graceful shutdown as
+/// [`Service::shutdown`]: intake closes, the window drains into final
+/// batches, workers finish them, and every accepted request receives
+/// exactly one response.
+pub struct Service {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("cfg", &self.shared.cfg)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Spawn the runtime over a pre-compiled plan. Fails — before any
+    /// thread starts — when the `V0xx` lint gate denies the config or the
+    /// config's precision disagrees with the plan's.
+    pub fn spawn(plan: Arc<ExecutionPlan>, cfg: ServeConfig) -> Result<Service, ServeError> {
+        cfg.validate("mlcnn-serve", &plan)?;
+        if cfg.precision != plan.precision() {
+            return Err(ServeError::Config(format!(
+                "config selects {} but the plan was compiled at {}",
+                cfg.precision,
+                plan.precision()
+            )));
+        }
+        let policy = BatchPolicy {
+            max_batch: cfg.max_batch,
+            max_wait_nanos: cfg.max_wait.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        let shared = Arc::new(Shared {
+            pool: WorkspacePool::for_plan(&plan, cfg.workers, cfg.max_batch),
+            metrics: Metrics::new(cfg.max_batch),
+            plan,
+            t0: Instant::now(),
+            intake: Mutex::new(Intake {
+                window: Microbatcher::new(policy),
+                shutting_down: false,
+                next_id: 0,
+            }),
+            arrivals: Condvar::new(),
+            cfg,
+        });
+
+        let (batch_tx, batch_rx) = sync_channel::<Vec<Request>>(shared.cfg.workers);
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mlcnn-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared, &batch_tx))
+                .map_err(|e| ServeError::Config(format!("failed to spawn batcher: {e}")))?
+        };
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&batch_rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("mlcnn-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .map_err(|e| ServeError::Config(format!("failed to spawn worker {i}: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(Service {
+            shared,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// Compile a plan from a spec pipeline at the config's precision (the
+    /// same gate and lowering as [`ExecutionPlan::compile`]) and spawn the
+    /// service over it.
+    pub fn compile(
+        specs: &[LayerSpec],
+        params: &[Tensor<f32>],
+        input: Shape4,
+        cfg: ServeConfig,
+    ) -> Result<Service, ServeError> {
+        let opts = PlanOptions::default().with_precision(cfg.precision);
+        let plan = ExecutionPlan::compile(specs, params, input, opts)
+            .map_err(|e| ServeError::Config(format!("plan compilation failed: {e}")))?;
+        Service::spawn(Arc::new(plan), cfg)
+    }
+
+    /// The plan being served.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.shared.plan
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Submit one request (a single item, batch dim 1) under the config's
+    /// default deadline. Non-blocking: rejects with
+    /// [`ServeError::QueueFull`] instead of waiting when the intake window
+    /// is at capacity.
+    pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(input, self.shared.cfg.default_deadline)
+    }
+
+    /// [`Service::submit`] with an explicit per-request deadline
+    /// (`None` = no deadline). A request still queued when its deadline
+    /// passes is shed without running inference.
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor<f32>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let s = input.shape();
+        let e = self.shared.plan.input_shape();
+        if s.n != 1 || (s.c, s.h, s.w) != (e.c, e.h, e.w) {
+            return Err(ServeError::BadInput(format!(
+                "expected one {}x{}x{} item, got {:?}",
+                e.c, e.h, e.w, s
+            )));
+        }
+        let now = Instant::now();
+        let (tx, rx) = sync_channel(1);
+        let mut intake = self.shared.lock_intake();
+        if intake.shutting_down {
+            self.shared
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        if intake.window.len() >= self.shared.cfg.queue_capacity {
+            self.shared
+                .metrics
+                .rejected_full
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(ServeError::QueueFull(self.shared.cfg.queue_capacity));
+        }
+        let id = intake.next_id;
+        intake.next_id += 1;
+        let now_nanos = self.shared.now_nanos();
+        intake.window.push(
+            Request {
+                input,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                tx,
+            },
+            now_nanos,
+        );
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .metrics
+            .queue_depth
+            .store(intake.window.len(), std::sync::atomic::Ordering::Relaxed);
+        drop(intake);
+        self.shared.arrivals.notify_all();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Submit and block for the response: the closed-loop convenience.
+    pub fn infer(&self, input: Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: close intake (subsequent submissions get
+    /// [`ServeError::ShuttingDown`]), flush the window as final batches,
+    /// let every worker finish, and return the terminal metrics. Every
+    /// request accepted before shutdown receives exactly one response.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.finish();
+        self.shared.metrics.snapshot()
+    }
+
+    fn finish(&mut self) {
+        {
+            let mut intake = self.shared.lock_intake();
+            intake.shutting_down = true;
+        }
+        self.shared.arrivals.notify_all();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.batcher.is_some() || !self.workers.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+/// The batcher thread: runs the [`Microbatcher`] window against the real
+/// clock, shipping dispatched batches down the (bounded) batch channel.
+/// Exits after shutdown once the window is fully drained; dropping the
+/// sender is what releases the workers.
+fn batcher_loop(shared: &Shared, batch_tx: &SyncSender<Vec<Request>>) {
+    let mut intake = shared.lock_intake();
+    loop {
+        if let Some(batch) = intake.window.poll(shared.now_nanos()) {
+            shared
+                .metrics
+                .queue_depth
+                .store(intake.window.len(), std::sync::atomic::Ordering::Relaxed);
+            drop(intake);
+            // blocks when all workers are busy: backpressure into the window
+            if batch_tx.send(batch).is_err() {
+                return; // workers gone; nothing left to deliver to
+            }
+            intake = shared.lock_intake();
+            continue;
+        }
+        if intake.shutting_down {
+            let rest = intake.window.drain_all();
+            shared
+                .metrics
+                .queue_depth
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+            drop(intake);
+            for batch in rest {
+                if batch_tx.send(batch).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+        intake = match intake.window.next_deadline() {
+            None => shared
+                .arrivals
+                .wait(intake)
+                .unwrap_or_else(|e| e.into_inner()),
+            Some(deadline) => {
+                let now = shared.now_nanos();
+                if deadline <= now {
+                    continue; // poll will dispatch on the next pass
+                }
+                shared
+                    .arrivals
+                    .wait_timeout(intake, Duration::from_nanos(deadline - now))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+        };
+    }
+}
+
+/// A worker thread: pull batches until the batcher hangs up, executing
+/// each with a pooled workspace.
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Vec<Request>>>>) {
+    loop {
+        let batch = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match batch {
+            Err(_) => return, // batcher dropped the sender: drained
+            Ok(reqs) => execute_batch(shared, reqs),
+        }
+    }
+}
+
+/// Shed expired requests, run the survivors as one coalesced plan call,
+/// and fan the per-item outputs back to their response channels.
+fn execute_batch(shared: &Shared, reqs: Vec<Request>) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        if r.deadline.is_some_and(|d| now >= d) {
+            shared.metrics.shed_expired.fetch_add(1, Relaxed);
+            let _ = r.tx.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(r);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    shared.metrics.observe_batch(live.len());
+
+    let n = live.len();
+    let item = shared.plan.input_shape();
+    let shape = Shape4::new(n, item.c, item.h, item.w);
+    let mut data = Vec::with_capacity(shape.len());
+    for r in &live {
+        data.extend_from_slice(r.input.as_slice());
+    }
+    let batched = Tensor::from_vec(shape, data).expect("stacked batch matches item shape");
+
+    // Every path below is bitwise identical, per item, to
+    // `plan.forward(item)` — see the parity contract in the module docs.
+    let result = if shared.plan.precision() == Precision::Int8 {
+        shared.plan.forward_each(&batched, &shared.pool)
+    } else if n > 1 && rayon::current_num_threads() > 1 {
+        shared.plan.forward_batch_with(&batched, &shared.pool)
+    } else {
+        let mut ws = shared.pool.lease();
+        shared.plan.forward(&batched, &mut ws)
+    };
+
+    match result {
+        Ok(out) => {
+            for (i, r) in live.into_iter().enumerate() {
+                let response = out.batch_item(i).map_err(|e| {
+                    shared.metrics.failed.fetch_add(1, Relaxed);
+                    ServeError::Inference(e.to_string())
+                });
+                if response.is_ok() {
+                    shared.metrics.completed.fetch_add(1, Relaxed);
+                    shared.metrics.latency.observe_micros(
+                        r.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                    );
+                }
+                let _ = r.tx.send(response);
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for r in live {
+                shared.metrics.failed.fetch_add(1, Relaxed);
+                let _ = r.tx.send(Err(ServeError::Inference(msg.clone())));
+            }
+        }
+    }
+}

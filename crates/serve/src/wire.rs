@@ -1,0 +1,347 @@
+//! The length-prefixed frame protocol `mlcnn-served` speaks.
+//!
+//! Every frame is a big-endian `u32` body length followed by the body:
+//!
+//! ```text
+//! body := kind:u8  id:u64(BE)  payload
+//!
+//! 0x01 InferRequest   payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
+//! 0x02 MetricsRequest payload = (empty)
+//! 0x81 InferOk        payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
+//! 0x82 MetricsOk      payload = len:u32, UTF-8 JSON
+//! 0xE1 Error          payload = len:u16, UTF-8 message
+//! ```
+//!
+//! Ids are caller-chosen correlation tokens echoed verbatim in the
+//! response; the server answers a connection's frames in submission
+//! order, so pipelining many requests on one connection is well-defined
+//! with or without them. Tensors travel as single items (batch dim 1) —
+//! batching is the *server's* job, invisible on the wire.
+//!
+//! Integers are network-endian and floats little-endian, matching the
+//! `mlcnn_nn::serialize` checkpoint convention.
+
+use bytes::{Buf, BufMut, BytesMut};
+use mlcnn_tensor::{Shape4, Tensor};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body; a peer announcing more is protocol-broken
+/// (64 MiB holds a ~16M-element activation, far beyond any zoo model).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+const KIND_INFER_REQUEST: u8 = 0x01;
+const KIND_METRICS_REQUEST: u8 = 0x02;
+const KIND_INFER_OK: u8 = 0x81;
+const KIND_METRICS_OK: u8 = 0x82;
+const KIND_ERROR: u8 = 0xE1;
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: run inference on one input item.
+    InferRequest {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// The input item (batch dim 1).
+        input: Tensor<f32>,
+    },
+    /// Client → server: fetch a metrics snapshot.
+    MetricsRequest {
+        /// Correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Server → client: successful inference.
+    InferOk {
+        /// Correlation id of the request this answers.
+        id: u64,
+        /// The output item (batch dim 1).
+        output: Tensor<f32>,
+    },
+    /// Server → client: metrics snapshot JSON.
+    MetricsOk {
+        /// Correlation id of the request this answers.
+        id: u64,
+        /// `MetricsSnapshot::to_json` output.
+        json: String,
+    },
+    /// Server → client: the correlated request failed.
+    Error {
+        /// Correlation id of the request this answers.
+        id: u64,
+        /// Rendered error.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The frame's correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::InferRequest { id, .. }
+            | Frame::MetricsRequest { id }
+            | Frame::InferOk { id, .. }
+            | Frame::MetricsOk { id, .. }
+            | Frame::Error { id, .. } => *id,
+        }
+    }
+
+    /// Encode as a complete wire frame (length prefix included).
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut body = BytesMut::with_capacity(16);
+        match self {
+            Frame::InferRequest { id, input } => {
+                body.put_u8(KIND_INFER_REQUEST);
+                body.put_u64(*id);
+                put_item(&mut body, input)?;
+            }
+            Frame::MetricsRequest { id } => {
+                body.put_u8(KIND_METRICS_REQUEST);
+                body.put_u64(*id);
+            }
+            Frame::InferOk { id, output } => {
+                body.put_u8(KIND_INFER_OK);
+                body.put_u64(*id);
+                put_item(&mut body, output)?;
+            }
+            Frame::MetricsOk { id, json } => {
+                body.put_u8(KIND_METRICS_OK);
+                body.put_u64(*id);
+                let bytes = json.as_bytes();
+                body.put_u32(u32::try_from(bytes.len()).map_err(|_| oversize("metrics json"))?);
+                body.put_slice(bytes);
+            }
+            Frame::Error { id, message } => {
+                body.put_u8(KIND_ERROR);
+                body.put_u64(*id);
+                let bytes = message.as_bytes();
+                let len = u16::try_from(bytes.len().min(u16::MAX as usize)).unwrap_or(u16::MAX);
+                body.put_u16(len);
+                body.put_slice(&bytes[..len as usize]);
+            }
+        }
+        let body = body.freeze();
+        if body.len() > MAX_FRAME_BYTES {
+            return Err(oversize("frame"));
+        }
+        let mut framed = BytesMut::with_capacity(4 + body.len());
+        framed.put_u32(body.len() as u32);
+        framed.put_slice(&body);
+        Ok(framed.freeze().to_vec())
+    }
+
+    /// Decode a frame body (the bytes after the length prefix).
+    pub fn decode_body(mut body: &[u8]) -> io::Result<Frame> {
+        if !body.has_remaining() {
+            return Err(bad("empty frame body"));
+        }
+        let kind = body.get_u8();
+        if body.remaining() < 8 {
+            return Err(bad("frame truncated before id"));
+        }
+        let id = body.get_u64();
+        let frame = match kind {
+            KIND_INFER_REQUEST => Frame::InferRequest {
+                id,
+                input: get_item(&mut body)?,
+            },
+            KIND_INFER_OK => Frame::InferOk {
+                id,
+                output: get_item(&mut body)?,
+            },
+            KIND_METRICS_REQUEST => Frame::MetricsRequest { id },
+            KIND_METRICS_OK => {
+                if body.remaining() < 4 {
+                    return Err(bad("metrics frame truncated"));
+                }
+                let len = body.get_u32() as usize;
+                if body.remaining() < len {
+                    return Err(bad("metrics json truncated"));
+                }
+                let mut buf = vec![0u8; len];
+                body.copy_to_slice(&mut buf);
+                Frame::MetricsOk {
+                    id,
+                    json: String::from_utf8(buf).map_err(|_| bad("metrics json not UTF-8"))?,
+                }
+            }
+            KIND_ERROR => {
+                if body.remaining() < 2 {
+                    return Err(bad("error frame truncated"));
+                }
+                let len = body.get_u16() as usize;
+                if body.remaining() < len {
+                    return Err(bad("error message truncated"));
+                }
+                let mut buf = vec![0u8; len];
+                body.copy_to_slice(&mut buf);
+                Frame::Error {
+                    id,
+                    message: String::from_utf8(buf).map_err(|_| bad("error message not UTF-8"))?,
+                }
+            }
+            other => return Err(bad(format!("unknown frame kind 0x{other:02x}"))),
+        };
+        if body.has_remaining() {
+            return Err(bad("trailing bytes after frame body"));
+        }
+        Ok(frame)
+    }
+}
+
+fn put_item(body: &mut BytesMut, t: &Tensor<f32>) -> io::Result<()> {
+    let s = t.shape();
+    if s.n != 1 {
+        return Err(bad(format!("wire tensors are single items, got n={}", s.n)));
+    }
+    for dim in [s.c, s.h, s.w] {
+        u16::try_from(dim).map_err(|_| oversize("tensor extent"))?;
+    }
+    body.put_u16(s.c as u16);
+    body.put_u16(s.h as u16);
+    body.put_u16(s.w as u16);
+    for &v in t.as_slice() {
+        body.put_f32_le(v);
+    }
+    Ok(())
+}
+
+fn get_item(body: &mut &[u8]) -> io::Result<Tensor<f32>> {
+    if body.remaining() < 6 {
+        return Err(bad("tensor header truncated"));
+    }
+    let c = body.get_u16() as usize;
+    let h = body.get_u16() as usize;
+    let w = body.get_u16() as usize;
+    let len = c * h * w;
+    if body.remaining() < len * 4 {
+        return Err(bad("tensor data truncated"));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(body.get_f32_le());
+    }
+    Tensor::from_vec(Shape4::new(1, c, h, w), data).map_err(|e| bad(e.to_string()))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn oversize(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, format!("{what} too large"))
+}
+
+/// Read one frame from a blocking stream. `Ok(None)` on clean EOF at a
+/// frame boundary; mid-frame EOF is `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad(format!("announced frame of {len} bytes")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Frame::decode_body(&body).map(Some)
+}
+
+/// Write one frame to a blocking stream (caller flushes).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::init;
+
+    fn item() -> Tensor<f32> {
+        init::uniform(Shape4::new(1, 3, 4, 5), -2.0, 2.0, &mut init::rng(3))
+    }
+
+    #[test]
+    fn frames_round_trip_bitwise() {
+        let frames = vec![
+            Frame::InferRequest {
+                id: 7,
+                input: item(),
+            },
+            Frame::MetricsRequest { id: 8 },
+            Frame::InferOk {
+                id: 7,
+                output: item(),
+            },
+            Frame::MetricsOk {
+                id: 8,
+                json: "{\"submitted\":1}".into(),
+            },
+            Frame::Error {
+                id: 9,
+                message: "queue full".into(),
+            },
+        ];
+        for f in frames {
+            let encoded = f.encode().unwrap();
+            let mut cursor: &[u8] = &encoded;
+            let decoded = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(decoded, f);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_reads_in_order_then_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::MetricsRequest { id: 1 }).unwrap();
+        write_frame(
+            &mut wire,
+            &Frame::InferRequest {
+                id: 2,
+                input: item(),
+            },
+        )
+        .unwrap();
+        let mut cursor: &[u8] = &wire;
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().id(), 1);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().id(), 2);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_are_rejected() {
+        let encoded = Frame::InferRequest {
+            id: 3,
+            input: item(),
+        }
+        .encode()
+        .unwrap();
+        // mid-frame EOF
+        let mut cursor: &[u8] = &encoded[..encoded.len() - 2];
+        assert!(read_frame(&mut cursor).is_err());
+        // unknown kind
+        let mut wire = 2u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0x55, 0x00]);
+        let mut cursor: &[u8] = &wire;
+        assert!(read_frame(&mut cursor).is_err());
+        // announced frame beyond the cap
+        let mut wire = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes().to_vec();
+        wire.push(0);
+        let mut cursor: &[u8] = &wire;
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn batched_tensors_are_not_wire_encodable() {
+        let batched = Tensor::<f32>::zeros(Shape4::new(2, 1, 2, 2));
+        assert!(Frame::InferRequest {
+            id: 1,
+            input: batched
+        }
+        .encode()
+        .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the micro-batching decision core, driven on a
+//! simulated clock. The [`Microbatcher`] under test is the exact type the
+//! service's batcher thread runs; the simulation models a *responsive*
+//! batcher — one that wakes on every arrival and at every window
+//! deadline, which is what the condvar + `wait_timeout` loop in
+//! `service.rs` implements.
+//!
+//! Properties (the ISSUE's (a)–(d)):
+//! (a) no request waits past `max_wait` before its batch dispatches,
+//! (b) no batch exceeds `max_batch`,
+//! (c) dispatched items map back to the exact ids pushed, in FIFO order,
+//! (d) shutdown drains everything exactly once.
+
+use mlcnn_serve::{BatchPolicy, Microbatcher};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One dispatched batch with the simulated time it left the window.
+struct Dispatch {
+    at: u64,
+    ids: Vec<u64>,
+}
+
+/// Run a responsive-batcher simulation: requests arrive at the given
+/// inter-arrival gaps; the batcher polls on every arrival and at every
+/// deadline in between; `drain_all` fires after the last arrival.
+fn simulate(
+    policy: BatchPolicy,
+    gaps: &[u64],
+) -> (Vec<Dispatch>, Vec<Vec<u64>>, BTreeMap<u64, u64>, u64) {
+    let mut mb = Microbatcher::new(BatchPolicy {
+        max_batch: policy.max_batch.max(1),
+        ..policy
+    });
+    let mut dispatched = Vec::new();
+    let mut arrivals = BTreeMap::new();
+    let mut now = 0u64;
+    for (id, gap) in gaps.iter().enumerate() {
+        let id = id as u64;
+        let next = now + gap;
+        // service the deadlines that elapse before this arrival
+        while let Some(d) = mb.next_deadline() {
+            if d > next {
+                break;
+            }
+            if let Some(ids) = mb.poll(d) {
+                dispatched.push(Dispatch { at: d, ids });
+            }
+        }
+        now = next;
+        arrivals.insert(id, now);
+        mb.push(id, now);
+        // the arrival notify wakes the batcher immediately
+        while let Some(ids) = mb.poll(now) {
+            dispatched.push(Dispatch { at: now, ids });
+        }
+    }
+    let drained = mb.drain_all();
+    assert!(mb.is_empty(), "drain_all left the window non-empty");
+    assert!(mb.drain_all().is_empty(), "second drain re-dispatched work");
+    (dispatched, drained, arrivals, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn responsive_batcher_upholds_the_four_guarantees(
+        max_batch in 1usize..12,
+        max_wait in 0u64..5_000,
+        gaps in proptest::collection::vec(0u64..2_000, 1..60),
+    ) {
+        let policy = BatchPolicy { max_batch, max_wait_nanos: max_wait };
+        let (dispatched, drained, arrivals, _) = simulate(policy, &gaps);
+
+        // (b) no batch — live or drained — exceeds max_batch
+        for d in &dispatched {
+            prop_assert!(d.ids.len() <= max_batch, "live batch of {}", d.ids.len());
+            prop_assert!(!d.ids.is_empty(), "empty dispatch");
+        }
+        for b in &drained {
+            prop_assert!(b.len() <= max_batch, "drained batch of {}", b.len());
+            prop_assert!(!b.is_empty(), "empty drained batch");
+        }
+
+        // (a) while the batcher is responsive, nothing outwaits max_wait
+        for d in &dispatched {
+            for id in &d.ids {
+                let waited = d.at - arrivals[id];
+                prop_assert!(
+                    waited <= max_wait,
+                    "request {id} waited {waited} ns > max_wait {max_wait}"
+                );
+            }
+        }
+
+        // (c) + (d): the dispatched ids are exactly the pushed ids, each
+        // exactly once, in FIFO order across batches
+        let order: Vec<u64> = dispatched
+            .iter()
+            .flat_map(|d| d.ids.iter().copied())
+            .chain(drained.iter().flatten().copied())
+            .collect();
+        let expected: Vec<u64> = (0..gaps.len() as u64).collect();
+        prop_assert_eq!(order, expected, "ids lost, duplicated, or reordered");
+    }
+
+    /// A full window dispatches without waiting at all: whenever
+    /// `max_batch` requests are pending, the arrival-time poll takes them
+    /// immediately, so under a dense burst every batch is full.
+    #[test]
+    fn bursts_produce_full_batches(
+        max_batch in 1usize..10,
+        burst in 1usize..8,
+    ) {
+        let n = max_batch * burst;
+        let policy = BatchPolicy { max_batch, max_wait_nanos: u64::MAX / 2 };
+        let mut mb = Microbatcher::new(policy);
+        let mut batches = Vec::new();
+        for id in 0..n as u64 {
+            mb.push(id, 0);
+            while let Some(b) = mb.poll(0) {
+                batches.push(b);
+            }
+        }
+        prop_assert!(mb.is_empty(), "burst left {} pending", mb.len());
+        prop_assert_eq!(batches.len(), burst);
+        for b in &batches {
+            prop_assert_eq!(b.len(), max_batch);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Service-level guarantees: bitwise parity with the bare plan across the
+//! serving zoo at every precision, bounded-queue rejection, deadline
+//! shedding, and drain-exactly-once shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlcnn_core::Workspace;
+use mlcnn_quant::Precision;
+use mlcnn_serve::{find_model, serving_zoo, ServeConfig, ServeError, Service};
+use mlcnn_tensor::{init, Shape4, Tensor};
+
+fn item(shape: Shape4, seed: u64) -> Tensor<f32> {
+    init::uniform(
+        Shape4::new(1, shape.c, shape.h, shape.w),
+        -1.0,
+        1.0,
+        &mut init::rng(seed),
+    )
+}
+
+/// The tentpole contract: a response from the batched service is bitwise
+/// identical to `ExecutionPlan::forward` on that item alone — at FP32,
+/// FP16, *and* INT8 (where coalescing would change the batch-global
+/// activation scale, so the service must not coalesce the math).
+#[test]
+fn service_responses_are_bitwise_identical_to_plan_forward() {
+    for model in serving_zoo() {
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let plan = Arc::new(model.compile(precision).unwrap());
+            let cfg = ServeConfig::default()
+                .with_precision(precision)
+                .with_batching(4, Duration::from_micros(500));
+            let svc = Service::spawn(Arc::clone(&plan), cfg).unwrap();
+            // references computed alone, one item per forward
+            let inputs: Vec<Tensor<f32>> = (0..8).map(|s| item(model.input, 90 + s)).collect();
+            let mut ws = Workspace::for_plan(&plan, 1);
+            let expected: Vec<Tensor<f32>> = inputs
+                .iter()
+                .map(|x| plan.forward(x, &mut ws).unwrap())
+                .collect();
+            // submitted concurrently so the batcher actually coalesces
+            std::thread::scope(|s| {
+                for (x, want) in inputs.iter().zip(&expected) {
+                    let svc = &svc;
+                    s.spawn(move || {
+                        let got = svc.infer(x.clone()).unwrap();
+                        assert_eq!(
+                            got, *want,
+                            "{}@{precision}: service diverges from plan.forward",
+                            model.name
+                        );
+                    });
+                }
+            });
+            let snap = svc.shutdown();
+            assert!(snap.fully_drained(), "{}@{precision}", model.name);
+            assert_eq!(snap.completed, 8);
+        }
+    }
+}
+
+#[test]
+fn full_queue_rejects_instead_of_growing() {
+    let model = find_model("vgg-nano").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    // nothing dispatches by itself: the window can only fill
+    let cfg = ServeConfig::default()
+        .with_queue(2)
+        .with_batching(64, Duration::from_secs(60));
+    let svc = Service::spawn(plan, cfg).unwrap();
+    let t1 = svc.submit(item(model.input, 1)).unwrap();
+    let t2 = svc.submit(item(model.input, 2)).unwrap();
+    let err = svc.submit(item(model.input, 3)).unwrap_err();
+    assert_eq!(err, ServeError::QueueFull(2));
+    let snap = svc.metrics();
+    assert_eq!(snap.rejected_full, 1);
+    assert_eq!(snap.queue_depth, 2);
+    // shutdown still answers the two admitted requests
+    let snap = svc.shutdown();
+    assert!(t1.wait().is_ok());
+    assert!(t2.wait().is_ok());
+    assert!(snap.fully_drained());
+    assert_eq!(snap.completed, 2);
+}
+
+#[test]
+fn expired_deadlines_are_shed_not_executed() {
+    let model = find_model("vgg-nano").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    let cfg = ServeConfig::default().with_batching(8, Duration::from_micros(100));
+    let svc = Service::spawn(plan, cfg).unwrap();
+    let ticket = svc
+        .submit_with_deadline(item(model.input, 5), Some(Duration::ZERO))
+        .unwrap();
+    assert_eq!(ticket.wait(), Err(ServeError::DeadlineExceeded));
+    let live = svc.infer(item(model.input, 6));
+    assert!(live.is_ok(), "undeadlined request still served");
+    let snap = svc.shutdown();
+    assert_eq!(snap.shed_expired, 1);
+    assert!(snap.fully_drained(), "shed requests count as drained");
+}
+
+#[test]
+fn shutdown_drains_every_pending_request_exactly_once() {
+    let model = find_model("vgg-nano").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    // max_wait far beyond the test: requests are pending *only* until
+    // shutdown's drain, which must answer each exactly once
+    let cfg = ServeConfig::default()
+        .with_queue(64)
+        .with_batching(5, Duration::from_secs(60));
+    let svc = Service::spawn(Arc::clone(&plan), cfg).unwrap();
+    let tickets: Vec<_> = (0..13)
+        .map(|s| svc.submit(item(model.input, s)).unwrap())
+        .collect();
+    let snap = svc.shutdown();
+    assert_eq!(snap.submitted, 13);
+    assert_eq!(snap.completed, 13);
+    assert!(snap.fully_drained());
+    // drained batches still respect max_batch
+    assert!(snap.batch_size_counts.iter().skip(5).all(|&c| c == 0));
+    let mut ws = Workspace::for_plan(&plan, 1);
+    for (s, t) in tickets.into_iter().enumerate() {
+        let got = t.wait().expect("drained response");
+        let want = plan.forward(&item(model.input, s as u64), &mut ws).unwrap();
+        assert_eq!(got, want, "drained response {s} wrong or misrouted");
+    }
+}
+
+#[test]
+fn spawn_is_gated_by_the_v_codes() {
+    let model = find_model("vgg-nano").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    let cfg = ServeConfig::default().with_queue(0);
+    let err = Service::spawn(Arc::clone(&plan), cfg).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Config(m) if m.contains("V001")),
+        "{err}"
+    );
+    let cfg = ServeConfig::default().with_workers(0);
+    let err = Service::spawn(Arc::clone(&plan), cfg).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Config(m) if m.contains("V003")),
+        "{err}"
+    );
+    // precision mismatch between config and pre-compiled plan
+    let cfg = ServeConfig::default().with_precision(Precision::Int8);
+    assert!(Service::spawn(plan, cfg).is_err());
+}

@@ -15,6 +15,7 @@
 //! | [`core`] | `mlcnn-core` | the MLCNN contribution (reorder + fuse) |
 //! | [`accel`] | `mlcnn-accel` | accelerator cycle & energy model |
 //! | [`check`] | `mlcnn-check` | static analysis over specs, configs, tilings |
+//! | [`serve`] | `mlcnn-serve` | micro-batching inference service + TCP front-end |
 //!
 //! ## The thirty-second tour
 //!
@@ -57,6 +58,23 @@
 //! assert_eq!(logits.shape(), Shape4::new(1, 1, 1, 10));
 //! ```
 //!
+//! Serve a compiled plan behind the dynamic micro-batching runtime:
+//!
+//! ```
+//! use mlcnn::quant::Precision;
+//! use mlcnn::serve::{find_model, ServeConfig, Service};
+//! use mlcnn::tensor::{init, Shape4};
+//! use std::sync::Arc;
+//!
+//! let model = find_model("mlp-mini").unwrap();
+//! let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+//! let svc = Service::spawn(plan, ServeConfig::default()).unwrap();
+//! let x = init::uniform(Shape4::new(1, 3, 8, 8), -1.0, 1.0, &mut init::rng(2));
+//! let logits = svc.infer(x).unwrap(); // batched with concurrent submitters
+//! assert_eq!(logits.shape(), Shape4::new(1, 1, 1, 10));
+//! assert!(svc.shutdown().fully_drained());
+//! ```
+//!
 //! Simulate the paper's accelerators:
 //!
 //! ```
@@ -79,6 +97,7 @@ pub use mlcnn_core as core;
 pub use mlcnn_data as data;
 pub use mlcnn_nn as nn;
 pub use mlcnn_quant as quant;
+pub use mlcnn_serve as serve;
 pub use mlcnn_tensor as tensor;
 
 /// Everything a typical user needs, importable in one line.
@@ -92,6 +111,7 @@ pub mod prelude {
     pub use mlcnn_nn::train::{evaluate, fit, TrainConfig};
     pub use mlcnn_nn::{LayerSpec, Network};
     pub use mlcnn_quant::Precision;
+    pub use mlcnn_serve::{ServeConfig, Service};
     pub use mlcnn_tensor::{Shape4, Tensor};
 }
 

@@ -7,7 +7,7 @@
 
 use mlcnn::core::quantized::{forward_quantized, quantize_network_weights};
 use mlcnn::core::reorder::reorder_activation_pool;
-use mlcnn::core::{EvalPlan, ExecutionPlan, FusedNetwork, PlanOptions, Workspace};
+use mlcnn::core::{EvalPlan, ExecutionPlan, FusedNetwork, PlanOptions, Workspace, WorkspacePool};
 use mlcnn::nn::spec::build_network;
 use mlcnn::nn::{zoo, LayerSpec};
 use mlcnn::quant::Precision;
@@ -182,6 +182,63 @@ fn forward_batch_matches_sequential_forward() {
         let sequential = plan.forward(&x, &mut ws).unwrap();
         let parallel = plan.forward_batch(&x).unwrap();
         assert_eq!(parallel, sequential, "{opts:?}");
+    }
+}
+
+#[test]
+fn forward_batch_with_shares_one_pool_across_threads() {
+    // regression for the serving runtime's sharing model: multiple worker
+    // threads run batched inference against ONE plan and ONE workspace
+    // pool concurrently, without contending on a single workspace and
+    // without cross-talk between their arenas
+    let specs = reorder_activation_pool(&zoo::lenet5_spec(10)).specs;
+    let input = Shape4::new(1, 3, 32, 32);
+    let mut net = build_network(&specs, input, 67).unwrap();
+    let plan = net.eval_plan(PlanOptions::default()).unwrap();
+    let pool = WorkspacePool::for_plan(&plan, 2, 4);
+    let xs: Vec<_> = (0..2).map(|i| batch_input(input, 4, 31 + i)).collect();
+    let baselines: Vec<_> = xs
+        .iter()
+        .map(|x| plan.forward(x, &mut Workspace::for_plan(&plan, 4)).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for (x, baseline) in xs.iter().zip(&baselines) {
+            let (plan, pool) = (&plan, &pool);
+            s.spawn(move || {
+                for _ in 0..8 {
+                    let y = plan.forward_batch_with(x, pool).unwrap();
+                    assert_eq!(&y, baseline, "shared-pool batch forward diverged");
+                }
+            });
+        }
+    });
+    // leases all returned: the pool retains its warm workspaces
+    assert!(pool.idle_count() >= 2, "pool lost its workspaces");
+}
+
+#[test]
+fn forward_each_is_bitwise_per_item_at_every_precision() {
+    // the serving runtime's INT8 path: per-item semantics must match
+    // running each item through forward() alone, at every precision
+    let specs = zoo::lenet5_spec(10);
+    let input = Shape4::new(1, 3, 32, 32);
+    let mut net = build_network(&specs, input, 71).unwrap();
+    for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+        let plan = net
+            .eval_plan(PlanOptions::default().with_precision(precision))
+            .unwrap();
+        let x = batch_input(input, 5, 37);
+        let pool = WorkspacePool::new();
+        let each = plan.forward_each(&x, &pool).unwrap();
+        let mut ws = Workspace::for_plan(&plan, 1);
+        for i in 0..5 {
+            let alone = plan.forward(&x.batch_item(i).unwrap(), &mut ws).unwrap();
+            assert_eq!(
+                each.batch_item(i).unwrap(),
+                alone,
+                "forward_each item {i} diverges at {precision}"
+            );
+        }
     }
 }
 

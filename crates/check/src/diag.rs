@@ -5,8 +5,8 @@
 //! uniform surface: collect, filter by severity, escalate warnings to denials
 //! (`-D warnings` style), pretty-print for humans or serialize to JSON for
 //! tooling. Codes are stable strings (`S###` shape, `F###` fusion, `A###`
-//! accelerator, `V###` serving) so tests and downstream tools can match on
-//! them without parsing messages.
+//! accelerator, `V###` serving, `R###` registry artifacts) so tests and
+//! downstream tools can match on them without parsing messages.
 
 use std::fmt;
 
@@ -31,7 +31,7 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `S` = shape inference, `F` = fusion/reorder
 /// legality, `A` = accelerator configuration and tiling, `V` = serving
-/// runtime configuration.
+/// runtime configuration, `R` = model-registry artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -116,6 +116,19 @@ pub enum Code {
     /// V007: the worker workspaces for this `(workers, max_batch)` would
     /// exceed the configured arena memory budget.
     ArenaBudgetExceeded,
+    /// R001: model artifact is corrupt — truncated, bad magic, unknown
+    /// version, or a section/whole-file checksum mismatch.
+    ArtifactCorrupt,
+    /// R002: the artifact's parameter tensors disagree with the shapes its
+    /// own spec list requires.
+    ArtifactParamMismatch,
+    /// R003: the artifact's spec list cannot be compiled into an
+    /// execution plan (composite layers, unfoldable batch norm, bad
+    /// geometry, or a trial compile failure).
+    ArtifactIncompilable,
+    /// R004: two artifacts in one registry claim the same
+    /// `model@revision` identity.
+    DuplicateRevision,
 }
 
 impl Code {
@@ -153,6 +166,10 @@ impl Code {
             Code::WorkersExceedParallelism => "V005",
             Code::BatchExceedsQueue => "V006",
             Code::ArenaBudgetExceeded => "V007",
+            Code::ArtifactCorrupt => "R001",
+            Code::ArtifactParamMismatch => "R002",
+            Code::ArtifactIncompilable => "R003",
+            Code::DuplicateRevision => "R004",
         }
     }
 

@@ -19,7 +19,12 @@
 //! * [`serve::check_serve_config`] — serving-runtime configuration checks
 //!   (`V0xx`): queue capacity, micro-batch policy, worker sizing and
 //!   workspace-arena budgets, gating `mlcnn_serve::Service::spawn` the way
-//!   [`check_compile`] gates the compilers.
+//!   [`check_compile`] gates the compilers;
+//! * [`registry::check_registry_scan`] — model-registry artifact checks
+//!   (`R0xx`): corrupt bundles, spec/parameter disagreement, incompilable
+//!   specs, and duplicate `model@revision` identities, gating
+//!   `ModelRegistry::open` so no request-time path ever touches a bad
+//!   artifact.
 //!
 //! All passes report through [`diag::Reporter`], which collects
 //! [`diag::Diagnostic`]s with stable codes, supports a deny-warnings mode,
@@ -35,12 +40,16 @@
 pub mod accel;
 pub mod diag;
 pub mod fusion;
+pub mod registry;
 pub mod serve;
 pub mod shape;
 
 pub use accel::{check_accel_config, check_tiling, AccelConfigLint, TilingLint};
 pub use diag::{Code, Diagnostic, Reporter, Severity, Span};
 pub use fusion::{check_fusion, rme_ratio, FusionClass, FusionGroup};
+pub use registry::{
+    check_registry_scan, check_registry_scan_summary, ArtifactFinding, ArtifactLint,
+};
 pub use serve::{check_serve_config, check_serve_config_summary, ServeConfigLint};
 pub use shape::{check_shapes, ShapeTrace};
 

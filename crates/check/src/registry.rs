@@ -1,0 +1,224 @@
+//! Model-registry artifact lints (`R0xx`).
+//!
+//! `mlcnn-registry` scans a directory of versioned `.mlcnn` bundles and
+//! must refuse to open a registry containing anything it could later fail
+//! on at request time — a torn download, an artifact whose parameters
+//! disagree with its own spec list, a spec the plan compiler rejects, or
+//! two files claiming the same `model@revision` identity. As with the
+//! serving lints, this module takes *raw findings* rather than registry
+//! types (the registry crate sits above the checker and calls in from
+//! `ModelRegistry::open`, mirroring how `Service::spawn` gates on the
+//! `V0xx` codes): the registry does the decoding and validation work, the
+//! checker owns the stable codes, severities, and rendering.
+
+use crate::diag::{Code, Reporter};
+use std::collections::HashMap;
+
+/// What validating one artifact concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactFinding {
+    /// Decoded, checksummed, and compiled cleanly.
+    Ok,
+    /// R001: truncated, bad magic, unknown version, or checksum mismatch.
+    Corrupt(String),
+    /// R002: parameter tensors disagree with the spec list's shapes.
+    ParamMismatch(String),
+    /// R003: the spec list cannot be compiled into an execution plan.
+    Incompilable(String),
+}
+
+/// Raw view of one scanned artifact for linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactLint {
+    /// File name within the registry directory, used in messages.
+    pub file: String,
+    /// Model name the artifact claims (empty when undecodable).
+    pub model: String,
+    /// Revision the artifact claims (0 when undecodable).
+    pub revision: u64,
+    /// Validation outcome.
+    pub finding: ArtifactFinding,
+}
+
+/// Lint one registry scan: per-artifact findings become `R001`–`R003`,
+/// and any two decodable artifacts sharing a `model@revision` identity
+/// become `R004` (reported once per colliding identity).
+pub fn check_registry_scan(artifacts: &[ArtifactLint], reporter: &mut Reporter) {
+    for a in artifacts {
+        reporter.with_context(a.file.clone(), |reporter| match &a.finding {
+            ArtifactFinding::Ok => {}
+            ArtifactFinding::Corrupt(why) => {
+                reporter.emit(
+                    Code::ArtifactCorrupt,
+                    None,
+                    format!("corrupt artifact: {why}"),
+                );
+            }
+            ArtifactFinding::ParamMismatch(why) => {
+                reporter.emit(
+                    Code::ArtifactParamMismatch,
+                    None,
+                    format!("parameters disagree with the spec list: {why}"),
+                );
+            }
+            ArtifactFinding::Incompilable(why) => {
+                reporter.emit(
+                    Code::ArtifactIncompilable,
+                    None,
+                    format!("spec list is not plan-compilable: {why}"),
+                );
+            }
+        });
+    }
+    // Duplicate identities across decodable artifacts. Undecodable files
+    // (already denied as R001) carry no trustworthy identity to collide on.
+    let mut by_identity: HashMap<(&str, u64), Vec<&str>> = HashMap::new();
+    for a in artifacts {
+        if !matches!(a.finding, ArtifactFinding::Corrupt(_)) && !a.model.is_empty() {
+            by_identity
+                .entry((a.model.as_str(), a.revision))
+                .or_default()
+                .push(a.file.as_str());
+        }
+    }
+    let mut collisions: Vec<_> = by_identity
+        .into_iter()
+        .filter(|(_, files)| files.len() > 1)
+        .collect();
+    collisions.sort();
+    for ((model, revision), mut files) in collisions {
+        files.sort();
+        reporter.emit(
+            Code::DuplicateRevision,
+            None,
+            format!(
+                "{} files all claim {model}@{revision}: {}",
+                files.len(),
+                files.join(", ")
+            ),
+        );
+    }
+}
+
+/// [`check_registry_scan`] with denial diagnostics flattened into one
+/// `"; "`-joined summary — the form `ModelRegistry::open` embeds in its
+/// error value, matching [`crate::check_serve_config_summary`].
+pub fn check_registry_scan_summary(artifacts: &[ArtifactLint]) -> Result<(), String> {
+    let mut reporter = Reporter::new();
+    check_registry_scan(artifacts, &mut reporter);
+    if reporter.has_deny() {
+        Err(reporter
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == crate::Severity::Deny)
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; "))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn ok(file: &str, model: &str, rev: u64) -> ArtifactLint {
+        ArtifactLint {
+            file: file.into(),
+            model: model.into(),
+            revision: rev,
+            finding: ArtifactFinding::Ok,
+        }
+    }
+
+    #[test]
+    fn clean_scan_is_clean() {
+        let scan = vec![ok("a@1.mlcnn", "a", 1), ok("a@2.mlcnn", "a", 2)];
+        let mut r = Reporter::new();
+        check_registry_scan(&scan, &mut r);
+        assert!(r.is_clean(), "{}", r.pretty());
+        assert!(check_registry_scan_summary(&scan).is_ok());
+    }
+
+    #[test]
+    fn corrupt_artifact_is_r001() {
+        let mut a = ok("a@1.mlcnn", "", 0);
+        a.finding = ArtifactFinding::Corrupt("body checksum mismatch".into());
+        let mut r = Reporter::new();
+        check_registry_scan(&[a], &mut r);
+        let d = r.find(Code::ArtifactCorrupt).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.message.contains("a@1.mlcnn"));
+    }
+
+    #[test]
+    fn param_mismatch_is_r002() {
+        let mut a = ok("a@1.mlcnn", "a", 1);
+        a.finding = ArtifactFinding::ParamMismatch("conv0 weight [4x3x3x3] vs [4x1x3x3]".into());
+        let mut r = Reporter::new();
+        check_registry_scan(&[a], &mut r);
+        assert_eq!(
+            r.find(Code::ArtifactParamMismatch).unwrap().severity,
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn incompilable_spec_is_r003() {
+        let mut a = ok("a@1.mlcnn", "a", 1);
+        a.finding = ArtifactFinding::Incompilable("error[F005] at layer 1".into());
+        let mut r = Reporter::new();
+        check_registry_scan(&[a], &mut r);
+        assert_eq!(
+            r.find(Code::ArtifactIncompilable).unwrap().severity,
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn duplicate_identity_is_r004_once_per_collision() {
+        let scan = vec![
+            ok("a@1.mlcnn", "a", 1),
+            ok("copy-of-a@1.mlcnn", "a", 1),
+            ok("a@2.mlcnn", "a", 2),
+        ];
+        let mut r = Reporter::new();
+        check_registry_scan(&scan, &mut r);
+        assert_eq!(r.count(Severity::Deny), 1);
+        let d = r.find(Code::DuplicateRevision).unwrap();
+        assert!(
+            d.message.contains("a@1.mlcnn, copy-of-a@1.mlcnn"),
+            "{}",
+            d.message
+        );
+        assert!(check_registry_scan_summary(&scan).is_err());
+    }
+
+    #[test]
+    fn corrupt_files_do_not_collide_on_identity() {
+        let mut broken = ok("x@1.mlcnn", "a", 1);
+        broken.finding = ArtifactFinding::Corrupt("truncated".into());
+        let scan = vec![ok("a@1.mlcnn", "a", 1), broken];
+        let mut r = Reporter::new();
+        check_registry_scan(&scan, &mut r);
+        assert!(r.find(Code::DuplicateRevision).is_none());
+    }
+
+    #[test]
+    fn r_codes_have_stable_strings() {
+        assert_eq!(Code::ArtifactCorrupt.as_str(), "R001");
+        assert_eq!(Code::ArtifactParamMismatch.as_str(), "R002");
+        assert_eq!(Code::ArtifactIncompilable.as_str(), "R003");
+        assert_eq!(Code::DuplicateRevision.as_str(), "R004");
+        for code in [
+            Code::ArtifactCorrupt,
+            Code::ArtifactParamMismatch,
+            Code::ArtifactIncompilable,
+            Code::DuplicateRevision,
+        ] {
+            assert_eq!(code.default_severity(), Severity::Deny);
+        }
+    }
+}

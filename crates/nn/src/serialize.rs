@@ -60,21 +60,45 @@ pub fn load_params(net: &mut Network, data: &[u8]) -> Result<(), TensorError> {
         return Err(fail(format!("unsupported version {version}")));
     }
     let count = buf.get_u32() as usize;
+    // Each tensor needs at least its 16-byte shape header, so a count
+    // the remaining bytes cannot possibly hold is hostile — reject it
+    // before reserving any memory for it.
+    if count > buf.remaining() / 16 {
+        return Err(fail(format!(
+            "tensor count {count} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
     let mut tensors = Vec::with_capacity(count);
     for i in 0..count {
         if buf.remaining() < 16 {
             return Err(fail(format!("truncated shape header for tensor {i}")));
         }
-        let shape = Shape4::new(
+        let dims = [
             buf.get_u32() as usize,
             buf.get_u32() as usize,
             buf.get_u32() as usize,
             buf.get_u32() as usize,
-        );
-        let len = shape.len();
-        if buf.remaining() < 4 * len {
-            return Err(fail(format!("truncated data for tensor {i} ({shape})")));
+        ];
+        // Element count and byte size via checked arithmetic: a header
+        // like [u32::MAX; 4] must be a typed error, not an overflow
+        // panic or a huge allocation.
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| fail(format!("tensor {i} shape {dims:?} overflows")))?;
+        let byte_len = len
+            .checked_mul(4)
+            .ok_or_else(|| fail(format!("tensor {i} byte size overflows")))?;
+        if buf.remaining() < byte_len {
+            return Err(fail(format!(
+                "truncated data for tensor {i} (need {byte_len} bytes, have {})",
+                buf.remaining()
+            )));
         }
+        // Only now — with `len` proven to fit inside the buffer — is it
+        // safe to allocate for it.
+        let shape = Shape4::new(dims[0], dims[1], dims[2], dims[3]);
         let mut data = Vec::with_capacity(len);
         for _ in 0..len {
             data.push(buf.get_f32_le());

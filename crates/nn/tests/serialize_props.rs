@@ -1,0 +1,82 @@
+//! Hostile-input properties of the parameter format: `load_params` is
+//! total over arbitrary bytes — it either loads or returns a typed
+//! error, never panics, never lets a header drive an oversized
+//! allocation, and never mutates the target network on failure.
+
+use mlcnn_nn::serialize::{load_params, save_params};
+use mlcnn_nn::spec::{build_network, LayerSpec};
+use mlcnn_nn::Network;
+use mlcnn_tensor::{init, Shape4};
+use proptest::prelude::*;
+
+fn tiny() -> Network {
+    build_network(
+        &[LayerSpec::Flatten, LayerSpec::Linear { out: 3 }],
+        Shape4::new(1, 1, 4, 4),
+        5,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: decode or typed error, never a panic.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0usize..256)) {
+        let mut net = tiny();
+        let _ = load_params(&mut net, &data);
+    }
+
+    /// A well-formed header followed by hostile tensor-count and shape
+    /// words: the count/byte-budget guards must reject before any
+    /// allocation sized by attacker-controlled words, so this completes
+    /// quickly and without panicking even when the header claims
+    /// billions of elements.
+    #[test]
+    fn hostile_headers_never_panic_or_allocate(
+        count in any::<u32>(),
+        dims in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        tail in proptest::collection::vec(any::<u8>(), 0usize..64),
+    ) {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"MLCN");
+        data.extend_from_slice(&1u16.to_be_bytes());
+        data.extend_from_slice(&count.to_be_bytes());
+        for d in [dims.0, dims.1, dims.2, dims.3] {
+            data.extend_from_slice(&d.to_be_bytes());
+        }
+        data.extend_from_slice(&tail);
+        let mut net = tiny();
+        let _ = load_params(&mut net, &data);
+    }
+
+    /// Any single byte mutation of a valid blob either still loads or
+    /// fails typed — and a failed load leaves the network untouched.
+    #[test]
+    fn mutations_never_clobber_the_network(offset in any::<u64>(), xor in 1u8..=255) {
+        let mut donor = tiny();
+        let mut blob = save_params(&mut donor).to_vec();
+        let at = (offset as usize) % blob.len();
+        blob[at] ^= xor;
+
+        let mut net = tiny();
+        let x = init::uniform(Shape4::new(1, 1, 4, 4), -1.0, 1.0, &mut init::rng(9));
+        let before = net.forward(&x).unwrap();
+        if load_params(&mut net, &blob).is_err() {
+            // failure must not have partially imported anything
+            prop_assert_eq!(net.forward(&x).unwrap(), before);
+        }
+    }
+
+    /// Any truncation of a valid blob is rejected (except the trivial
+    /// full-length "truncation").
+    #[test]
+    fn truncations_are_rejected(cut in any::<u64>()) {
+        let mut donor = tiny();
+        let blob = save_params(&mut donor).to_vec();
+        let at = (cut as usize) % blob.len();
+        let mut net = tiny();
+        prop_assert!(load_params(&mut net, &blob[..at]).is_err());
+    }
+}

@@ -43,6 +43,27 @@ impl Precision {
 
     /// All precisions in the order the paper reports them.
     pub const ALL: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+
+    /// Stable single-byte tag used by binary artifact formats
+    /// (`mlcnn-registry` bundles). Not the enum's discriminant — the tag is
+    /// part of the on-disk format and must never follow a source reorder.
+    pub const fn artifact_tag(self) -> u8 {
+        match self {
+            Precision::Fp32 => 0,
+            Precision::Fp16 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::artifact_tag`]; `None` for unknown tags.
+    pub const fn from_artifact_tag(tag: u8) -> Option<Precision> {
+        match tag {
+            0 => Some(Precision::Fp32),
+            1 => Some(Precision::Fp16),
+            2 => Some(Precision::Int8),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Precision {
@@ -108,5 +129,32 @@ mod tests {
         assert_eq!("fp16".parse::<Precision>().unwrap(), Precision::Fp16);
         assert_eq!("i8".parse::<Precision>().unwrap(), Precision::Int8);
         assert!("bf16".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn display_from_str_round_trip_is_total() {
+        // Every CLI/artifact rendering of a precision must parse back to
+        // the same variant, in any casing, so command-line strings and
+        // artifact metadata can never drift from the enum.
+        for p in Precision::ALL {
+            let shown = p.to_string();
+            assert_eq!(shown.parse::<Precision>().unwrap(), p);
+            assert_eq!(shown.to_ascii_lowercase().parse::<Precision>().unwrap(), p);
+            assert_eq!(shown.to_ascii_uppercase().parse::<Precision>().unwrap(), p);
+        }
+        assert!("".parse::<Precision>().is_err());
+        assert!("fp".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn artifact_tags_round_trip_and_reject_unknowns() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_artifact_tag(p.artifact_tag()), Some(p));
+        }
+        // the three assigned tags are dense from zero; everything else is
+        // an artifact decode error
+        for tag in 3..=u8::MAX {
+            assert_eq!(Precision::from_artifact_tag(tag), None);
+        }
     }
 }

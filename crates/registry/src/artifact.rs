@@ -1,0 +1,902 @@
+//! The versioned `.mlcnn` model bundle: one file carrying everything the
+//! serving stack needs to stand a model up — architecture, geometry,
+//! default precision, and trained parameters — with enough integrity
+//! checking that a torn or tampered file is rejected at *load* time,
+//! never at request time.
+//!
+//! ```text
+//! "MLCA" | u16 version | 3 sections | u32 CRC-32(all preceding bytes)
+//!
+//! section      := u8 id | u32 byte-len | payload | u32 CRC-32(payload)
+//! META    (1)  := u16 name-len | name UTF-8 | u64 revision
+//!                 | u32 n,c,h,w (input) | u8 precision tag
+//! SPECS   (2)  := u32 count | spec*          (tagged, recursive)
+//! PARAMS  (3)  := u32 count | tensor*        (u32 n,c,h,w | f32 LE data)
+//! ```
+//!
+//! Integers are big-endian and floats little-endian, matching the
+//! `mlcnn_nn::serialize` checkpoint and `mlcnn_serve::wire` conventions;
+//! the PARAMS tensor layout is byte-for-byte the checkpoint's, so packing
+//! a trained network preserves its weights exactly. The spec list is a
+//! hand-rolled tagged encoding (the workspace's `serde` is a no-op
+//! stand-in; every serializer in the tree is hand-rolled).
+//!
+//! **Contract:** a decoded artifact's `(specs, params, input)` triple is
+//! the same data `ExecutionPlan::compile` takes, so compiling a loaded
+//! artifact is *bitwise identical* to compiling the source network
+//! directly — the round-trip parity the serving tests pin down.
+
+use crate::crc32::{crc32, Hasher};
+use crate::error::ArtifactError;
+use bytes::BufMut;
+use mlcnn_core::{ExecutionPlan, PlanOptions};
+use mlcnn_nn::spec::propagate_shape;
+use mlcnn_nn::LayerSpec;
+use mlcnn_quant::Precision;
+use mlcnn_tensor::{Shape4, Tensor};
+
+/// File extension of a packed artifact.
+pub const ARTIFACT_EXT: &str = "mlcnn";
+
+/// Leading magic of every artifact.
+pub const MAGIC: &[u8; 4] = b"MLCA";
+
+/// Format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Longest legal model name (bytes).
+pub const MAX_MODEL_NAME: usize = 64;
+
+const SEC_META: u8 = 1;
+const SEC_SPECS: u8 = 2;
+const SEC_PARAMS: u8 = 3;
+
+/// Deepest composite nesting the spec codec will follow — far above any
+/// real model, low enough that hostile input cannot overflow the stack.
+const MAX_SPEC_DEPTH: usize = 32;
+
+/// One versioned model bundle, in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Model name (registry routing key; also the file-name stem).
+    pub model: String,
+    /// Revision number (≥ 1; higher is newer).
+    pub revision: u64,
+    /// The layer pipeline.
+    pub specs: Vec<LayerSpec>,
+    /// Single-item input shape (`n` = 1).
+    pub input: Shape4,
+    /// Default serving precision recorded at pack time.
+    pub precision: Precision,
+    /// Parameter tensors in `Network::export_params` order.
+    pub params: Vec<Tensor<f32>>,
+}
+
+/// Check a model name: 1–64 bytes of ASCII alphanumerics, `-`, `_` or
+/// `.`, not starting with `.` or `-` (it doubles as a file-name stem and
+/// a wire routing key).
+pub fn validate_model_name(name: &str) -> Result<(), ArtifactError> {
+    if name.is_empty() {
+        return Err(ArtifactError::Malformed("empty model name".into()));
+    }
+    if name.len() > MAX_MODEL_NAME {
+        return Err(ArtifactError::Malformed(format!(
+            "model name longer than {MAX_MODEL_NAME} bytes"
+        )));
+    }
+    if name.starts_with('.') || name.starts_with('-') {
+        return Err(ArtifactError::Malformed(format!(
+            "model name '{name}' may not start with '.' or '-'"
+        )));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')))
+    {
+        return Err(ArtifactError::Malformed(format!(
+            "model name '{name}' contains illegal character '{bad}'"
+        )));
+    }
+    Ok(())
+}
+
+/// The canonical registry file name for a `(model, revision)` identity.
+pub fn artifact_file_name(model: &str, revision: u64) -> String {
+    format!("{model}@{revision}.{ARTIFACT_EXT}")
+}
+
+/// Parse a registry file name back into its `(model, revision)` identity;
+/// `None` when the name is not of the `name@rev.mlcnn` form.
+pub fn parse_file_name(file: &str) -> Option<(String, u64)> {
+    let stem = file.strip_suffix(&format!(".{ARTIFACT_EXT}"))?;
+    let (model, rev) = stem.rsplit_once('@')?;
+    let revision: u64 = rev.parse().ok()?;
+    if revision == 0 || validate_model_name(model).is_err() {
+        return None;
+    }
+    Some((model.to_string(), revision))
+}
+
+impl Artifact {
+    /// The registry file name this artifact packs to.
+    pub fn file_name(&self) -> String {
+        artifact_file_name(&self.model, self.revision)
+    }
+
+    /// Encode as a complete `.mlcnn` byte stream (all checksums filled in).
+    /// Fails on an illegal model name, a zero revision, or extents beyond
+    /// the format's `u32` fields — a successfully encoded artifact always
+    /// decodes.
+    pub fn encode(&self) -> Result<Vec<u8>, ArtifactError> {
+        validate_model_name(&self.model)?;
+        if self.revision == 0 {
+            return Err(ArtifactError::Malformed(
+                "revision 0 is reserved; revisions start at 1".into(),
+            ));
+        }
+
+        let mut meta = Vec::with_capacity(32 + self.model.len());
+        meta.put_u16(self.model.len() as u16);
+        meta.put_slice(self.model.as_bytes());
+        meta.put_u64(self.revision);
+        for dim in [self.input.n, self.input.c, self.input.h, self.input.w] {
+            meta.put_u32(u32_dim(dim, "input extent")?);
+        }
+        meta.put_u8(self.precision.artifact_tag());
+
+        let mut specs = Vec::new();
+        specs.put_u32(u32_dim(self.specs.len(), "spec count")?);
+        for spec in &self.specs {
+            encode_spec(spec, &mut specs)?;
+        }
+
+        let mut params = Vec::new();
+        params.put_u32(u32_dim(self.params.len(), "tensor count")?);
+        for t in &self.params {
+            let s = t.shape();
+            for dim in [s.n, s.c, s.h, s.w] {
+                params.put_u32(u32_dim(dim, "tensor extent")?);
+            }
+            for &v in t.as_slice() {
+                params.put_f32_le(v);
+            }
+        }
+
+        let mut out = Vec::with_capacity(6 + meta.len() + specs.len() + params.len() + 36);
+        out.put_slice(MAGIC);
+        out.put_u16(VERSION);
+        for (id, payload) in [
+            (SEC_META, &meta),
+            (SEC_SPECS, &specs),
+            (SEC_PARAMS, &params),
+        ] {
+            out.put_u8(id);
+            out.put_u32(u32_dim(payload.len(), "section length")?);
+            out.put_slice(payload);
+            out.put_u32(crc32(payload));
+        }
+        out.put_u32(crc32(&out));
+        Ok(out)
+    }
+
+    /// Decode a byte stream. Structural validation only — framing, section
+    /// order, per-section and whole-file checksums, tag legality, and
+    /// length sanity (no count is trusted before the bytes backing it are
+    /// known to exist, so hostile input cannot trigger huge allocations).
+    /// Semantic validation is [`Artifact::validate`].
+    pub fn decode(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
+        // Whole-file trailer first: any flip anywhere is "corrupt",
+        // reported against the file before section parsing can mis-blame
+        // the flipped section.
+        if bytes.len() < MAGIC.len() + 2 + 4 {
+            return Err(ArtifactError::Truncated("file header"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes(trailer.try_into().expect("4-byte slice"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch {
+                section: "file",
+                stored,
+                computed,
+            });
+        }
+
+        let mut cur = Cursor::new(body);
+        let magic: [u8; 4] = cur.take(4, "magic")?.try_into().expect("4-byte slice");
+        if &magic != MAGIC {
+            return Err(ArtifactError::BadMagic(magic));
+        }
+        let version = cur.u16("version")?;
+        if version != VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+
+        let meta = cur.section(SEC_META, "META")?;
+        let specs = cur.section(SEC_SPECS, "SPECS")?;
+        let params = cur.section(SEC_PARAMS, "PARAMS")?;
+        if !cur.is_empty() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after PARAMS section",
+                cur.remaining()
+            )));
+        }
+
+        let (model, revision, input, precision) = decode_meta(meta)?;
+        let specs = decode_specs(specs)?;
+        let params = decode_params(params)?;
+        Ok(Artifact {
+            model,
+            revision,
+            specs,
+            input,
+            precision,
+            params,
+        })
+    }
+
+    /// Semantic validation: the model name is legal, the spec list passes
+    /// the plan-compile gate, every parameter tensor has exactly the shape
+    /// its spec requires, and a trial FP32 compile succeeds — so a
+    /// validated artifact can never fail at request time.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        validate_model_name(&self.model)?;
+        if self.revision == 0 {
+            return Err(ArtifactError::Malformed("revision 0 is reserved".into()));
+        }
+        mlcnn_check::check_compile_summary(&self.specs, self.input)
+            .map_err(ArtifactError::Incompilable)?;
+        let expected = expected_param_shapes(&self.specs, self.input)?;
+        if expected.len() != self.params.len() {
+            return Err(ArtifactError::SpecParamMismatch(format!(
+                "specs require {} parameter tensors, artifact carries {}",
+                expected.len(),
+                self.params.len()
+            )));
+        }
+        for (i, (want, got)) in expected.iter().zip(&self.params).enumerate() {
+            if got.shape() != *want {
+                return Err(ArtifactError::SpecParamMismatch(format!(
+                    "parameter tensor {i} is {}, specs require {want}",
+                    got.shape()
+                )));
+            }
+        }
+        // The static gate and the shape walk cover everything the compiler
+        // checks, but the compiler is the authority — run it once.
+        self.compile(Precision::Fp32).map(|_| ())
+    }
+
+    /// Compile into an [`ExecutionPlan`] at `precision`. Same inputs and
+    /// options as the direct `ExecutionPlan::compile` path, hence bitwise
+    /// identical plans.
+    pub fn compile(&self, precision: Precision) -> Result<ExecutionPlan, ArtifactError> {
+        ExecutionPlan::compile(
+            &self.specs,
+            &self.params,
+            self.input,
+            PlanOptions::default().with_precision(precision),
+        )
+        .map_err(|e| ArtifactError::Incompilable(e.to_string()))
+    }
+
+    /// Decode *and* validate — the only loading path the registry uses.
+    pub fn load(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
+        let artifact = Artifact::decode(bytes)?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+}
+
+/// Parameter-tensor shapes a sequential spec list requires, in
+/// `Network::export_params` order (conv and linear layers contribute a
+/// `[weight, bias]` pair each). Callers run the compile gate first, so
+/// composites/batch-norm are already rejected; they are still reported
+/// here rather than panicked on.
+fn expected_param_shapes(specs: &[LayerSpec], input: Shape4) -> Result<Vec<Shape4>, ArtifactError> {
+    let mut shapes = Vec::new();
+    let mut s = Shape4::new(1, input.c, input.h, input.w);
+    for spec in specs {
+        match spec {
+            LayerSpec::Conv { out_ch, k, .. } => {
+                shapes.push(Shape4::new(*out_ch, s.c, *k, *k));
+                shapes.push(Shape4::new(1, 1, 1, *out_ch));
+            }
+            LayerSpec::Linear { out } => {
+                shapes.push(Shape4::new(1, 1, *out, s.c * s.h * s.w));
+                shapes.push(Shape4::new(1, 1, 1, *out));
+            }
+            LayerSpec::Inception { .. }
+            | LayerSpec::DenseBlock { .. }
+            | LayerSpec::Residual { .. }
+            | LayerSpec::BatchNorm => {
+                return Err(ArtifactError::Incompilable(
+                    "composite or batch-norm layer in a sequential artifact".into(),
+                ))
+            }
+            _ => {}
+        }
+        s = propagate_shape(std::slice::from_ref(spec), s)
+            .map_err(|e| ArtifactError::Incompilable(e.to_string()))?;
+    }
+    Ok(shapes)
+}
+
+fn u32_dim(v: usize, what: &str) -> Result<u32, ArtifactError> {
+    u32::try_from(v).map_err(|_| ArtifactError::Malformed(format!("{what} {v} exceeds u32")))
+}
+
+// ---------------------------------------------------------------------
+// Section payload codecs
+// ---------------------------------------------------------------------
+
+fn decode_meta(payload: &[u8]) -> Result<(String, u64, Shape4, Precision), ArtifactError> {
+    let mut cur = Cursor::new(payload);
+    let name_len = cur.u16("model name length")? as usize;
+    if name_len > MAX_MODEL_NAME {
+        return Err(ArtifactError::Malformed(format!(
+            "model name length {name_len} exceeds {MAX_MODEL_NAME}"
+        )));
+    }
+    let name = std::str::from_utf8(cur.take(name_len, "model name")?)
+        .map_err(|_| ArtifactError::Malformed("model name is not UTF-8".into()))?
+        .to_string();
+    validate_model_name(&name)?;
+    let revision = cur.u64("revision")?;
+    let n = cur.u32("input n")? as usize;
+    let c = cur.u32("input c")? as usize;
+    let h = cur.u32("input h")? as usize;
+    let w = cur.u32("input w")? as usize;
+    let tag = cur.u8("precision tag")?;
+    let precision = Precision::from_artifact_tag(tag)
+        .ok_or_else(|| ArtifactError::Malformed(format!("unknown precision tag {tag}")))?;
+    if !cur.is_empty() {
+        return Err(ArtifactError::Malformed(
+            "trailing bytes in META section".into(),
+        ));
+    }
+    Ok((name, revision, Shape4::new(n, c, h, w), precision))
+}
+
+fn decode_specs(payload: &[u8]) -> Result<Vec<LayerSpec>, ArtifactError> {
+    let mut cur = Cursor::new(payload);
+    let specs = decode_spec_list(&mut cur, 0)?;
+    if !cur.is_empty() {
+        return Err(ArtifactError::Malformed(
+            "trailing bytes in SPECS section".into(),
+        ));
+    }
+    Ok(specs)
+}
+
+fn decode_params(payload: &[u8]) -> Result<Vec<Tensor<f32>>, ArtifactError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u32("tensor count")? as usize;
+    // every tensor costs at least its 16-byte shape header, so a count the
+    // remaining bytes cannot back is hostile — reject before allocating
+    if count > cur.remaining() / 16 {
+        return Err(ArtifactError::Malformed(format!(
+            "tensor count {count} exceeds what {} payload bytes can hold",
+            cur.remaining()
+        )));
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for i in 0..count {
+        let n = cur.u32("tensor shape")? as usize;
+        let c = cur.u32("tensor shape")? as usize;
+        let h = cur.u32("tensor shape")? as usize;
+        let w = cur.u32("tensor shape")? as usize;
+        let len = checked_elements(n, c, h, w).ok_or_else(|| {
+            ArtifactError::Malformed(format!("tensor {i} shape [{n}x{c}x{h}x{w}] overflows"))
+        })?;
+        let byte_len = len
+            .checked_mul(4)
+            .filter(|&b| b <= cur.remaining())
+            .ok_or(ArtifactError::Truncated("tensor data"))?;
+        let data_bytes = cur.take(byte_len, "tensor data")?;
+        let mut data = Vec::with_capacity(len);
+        for chunk in data_bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
+        }
+        tensors.push(
+            Tensor::from_vec(Shape4::new(n, c, h, w), data)
+                .map_err(|e| ArtifactError::Malformed(e.to_string()))?,
+        );
+    }
+    if !cur.is_empty() {
+        return Err(ArtifactError::Malformed(
+            "trailing bytes in PARAMS section".into(),
+        ));
+    }
+    Ok(tensors)
+}
+
+/// `n·c·h·w` without overflow; `None` when the product leaves `usize`.
+fn checked_elements(n: usize, c: usize, h: usize, w: usize) -> Option<usize> {
+    n.checked_mul(c)?.checked_mul(h)?.checked_mul(w)
+}
+
+// ---------------------------------------------------------------------
+// LayerSpec codec (tagged, recursive, depth- and length-guarded)
+// ---------------------------------------------------------------------
+
+const TAG_CONV: u8 = 0;
+const TAG_RELU: u8 = 1;
+const TAG_SIGMOID: u8 = 2;
+const TAG_AVG_POOL: u8 = 3;
+const TAG_MAX_POOL: u8 = 4;
+const TAG_GLOBAL_AVG_POOL: u8 = 5;
+const TAG_FLATTEN: u8 = 6;
+const TAG_LINEAR: u8 = 7;
+const TAG_INCEPTION: u8 = 8;
+const TAG_DENSE_BLOCK: u8 = 9;
+const TAG_BATCH_NORM: u8 = 10;
+const TAG_DROPOUT: u8 = 11;
+const TAG_RESIDUAL: u8 = 12;
+
+fn encode_spec(spec: &LayerSpec, out: &mut Vec<u8>) -> Result<(), ArtifactError> {
+    match spec {
+        LayerSpec::Conv {
+            out_ch,
+            k,
+            stride,
+            pad,
+        } => {
+            out.put_u8(TAG_CONV);
+            for v in [*out_ch, *k, *stride, *pad] {
+                out.put_u32(u32_dim(v, "conv field")?);
+            }
+        }
+        LayerSpec::ReLU => out.put_u8(TAG_RELU),
+        LayerSpec::Sigmoid => out.put_u8(TAG_SIGMOID),
+        LayerSpec::AvgPool { window, stride } => {
+            out.put_u8(TAG_AVG_POOL);
+            out.put_u32(u32_dim(*window, "pool window")?);
+            out.put_u32(u32_dim(*stride, "pool stride")?);
+        }
+        LayerSpec::MaxPool { window, stride } => {
+            out.put_u8(TAG_MAX_POOL);
+            out.put_u32(u32_dim(*window, "pool window")?);
+            out.put_u32(u32_dim(*stride, "pool stride")?);
+        }
+        LayerSpec::GlobalAvgPool => out.put_u8(TAG_GLOBAL_AVG_POOL),
+        LayerSpec::Flatten => out.put_u8(TAG_FLATTEN),
+        LayerSpec::Linear { out: features } => {
+            out.put_u8(TAG_LINEAR);
+            out.put_u32(u32_dim(*features, "linear features")?);
+        }
+        LayerSpec::Inception { branches } => {
+            out.put_u8(TAG_INCEPTION);
+            out.put_u32(u32_dim(branches.len(), "branch count")?);
+            for branch in branches {
+                encode_spec_list(branch, out)?;
+            }
+        }
+        LayerSpec::DenseBlock { inner } => {
+            out.put_u8(TAG_DENSE_BLOCK);
+            encode_spec_list(inner, out)?;
+        }
+        LayerSpec::BatchNorm => out.put_u8(TAG_BATCH_NORM),
+        LayerSpec::Dropout { percent } => {
+            out.put_u8(TAG_DROPOUT);
+            out.put_u8(*percent);
+        }
+        LayerSpec::Residual { inner, projector } => {
+            out.put_u8(TAG_RESIDUAL);
+            encode_spec_list(inner, out)?;
+            encode_spec_list(projector, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn encode_spec_list(specs: &[LayerSpec], out: &mut Vec<u8>) -> Result<(), ArtifactError> {
+    out.put_u32(u32_dim(specs.len(), "spec count")?);
+    for spec in specs {
+        encode_spec(spec, out)?;
+    }
+    Ok(())
+}
+
+fn decode_spec_list(cur: &mut Cursor<'_>, depth: usize) -> Result<Vec<LayerSpec>, ArtifactError> {
+    if depth > MAX_SPEC_DEPTH {
+        return Err(ArtifactError::Malformed(format!(
+            "spec nesting deeper than {MAX_SPEC_DEPTH}"
+        )));
+    }
+    let count = cur.u32("spec count")? as usize;
+    // every spec costs at least its tag byte
+    if count > cur.remaining() {
+        return Err(ArtifactError::Malformed(format!(
+            "spec count {count} exceeds what {} payload bytes can hold",
+            cur.remaining()
+        )));
+    }
+    let mut specs = Vec::with_capacity(count);
+    for _ in 0..count {
+        specs.push(decode_spec(cur, depth)?);
+    }
+    Ok(specs)
+}
+
+fn decode_spec(cur: &mut Cursor<'_>, depth: usize) -> Result<LayerSpec, ArtifactError> {
+    let tag = cur.u8("spec tag")?;
+    Ok(match tag {
+        TAG_CONV => LayerSpec::Conv {
+            out_ch: cur.u32("conv out_ch")? as usize,
+            k: cur.u32("conv k")? as usize,
+            stride: cur.u32("conv stride")? as usize,
+            pad: cur.u32("conv pad")? as usize,
+        },
+        TAG_RELU => LayerSpec::ReLU,
+        TAG_SIGMOID => LayerSpec::Sigmoid,
+        TAG_AVG_POOL => LayerSpec::AvgPool {
+            window: cur.u32("pool window")? as usize,
+            stride: cur.u32("pool stride")? as usize,
+        },
+        TAG_MAX_POOL => LayerSpec::MaxPool {
+            window: cur.u32("pool window")? as usize,
+            stride: cur.u32("pool stride")? as usize,
+        },
+        TAG_GLOBAL_AVG_POOL => LayerSpec::GlobalAvgPool,
+        TAG_FLATTEN => LayerSpec::Flatten,
+        TAG_LINEAR => LayerSpec::Linear {
+            out: cur.u32("linear features")? as usize,
+        },
+        TAG_INCEPTION => {
+            let branches = cur.u32("branch count")? as usize;
+            if branches > cur.remaining() {
+                return Err(ArtifactError::Malformed(format!(
+                    "branch count {branches} exceeds payload"
+                )));
+            }
+            let mut out = Vec::with_capacity(branches);
+            for _ in 0..branches {
+                out.push(decode_spec_list(cur, depth + 1)?);
+            }
+            LayerSpec::Inception { branches: out }
+        }
+        TAG_DENSE_BLOCK => LayerSpec::DenseBlock {
+            inner: decode_spec_list(cur, depth + 1)?,
+        },
+        TAG_BATCH_NORM => LayerSpec::BatchNorm,
+        TAG_DROPOUT => LayerSpec::Dropout {
+            percent: cur.u8("dropout percent")?,
+        },
+        TAG_RESIDUAL => LayerSpec::Residual {
+            inner: decode_spec_list(cur, depth + 1)?,
+            projector: decode_spec_list(cur, depth + 1)?,
+        },
+        other => {
+            return Err(ArtifactError::Malformed(format!(
+                "unknown spec tag {other}"
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked cursor (never panics on truncated input)
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ArtifactError> {
+        if self.buf.len() < n {
+            return Err(ArtifactError::Truncated(what));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ArtifactError> {
+        Ok(u16::from_be_bytes(
+            self.take(2, what)?.try_into().expect("2-byte slice"),
+        ))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_be_bytes(
+            self.take(4, what)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_be_bytes(
+            self.take(8, what)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Read one framed section: the id must match, the length must be
+    /// backed by real bytes, and the payload CRC must hold.
+    fn section(&mut self, id: u8, name: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let got = self.u8("section id")?;
+        if got != id {
+            return Err(ArtifactError::Malformed(format!(
+                "expected section {id} ({name}), found {got}"
+            )));
+        }
+        let len = self.u32("section length")? as usize;
+        let payload = self.take(len, "section payload")?;
+        let stored = self.u32("section checksum")?;
+        let mut h = Hasher::new();
+        h.update(payload);
+        let computed = h.finalize();
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch {
+                section: name,
+                stored,
+                computed,
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_nn::spec::build_network;
+
+    /// A small conv + pool + linear pipeline with real initialized
+    /// parameters, packed at revision 3.
+    fn sample() -> Artifact {
+        let specs = vec![
+            LayerSpec::Conv {
+                out_ch: 4,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            LayerSpec::ReLU,
+            LayerSpec::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+            LayerSpec::Flatten,
+            LayerSpec::Linear { out: 5 },
+        ];
+        let input = Shape4::new(1, 1, 8, 8);
+        let mut net = build_network(&specs, input, 7).unwrap();
+        Artifact {
+            model: "tiny-conv".into(),
+            revision: 3,
+            specs,
+            input,
+            precision: Precision::Int8,
+            params: net.export_params(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let artifact = sample();
+        let bytes = artifact.encode().unwrap();
+        let decoded = Artifact::decode(&bytes).unwrap();
+        assert_eq!(decoded, artifact);
+        decoded.validate().unwrap();
+        // a round-tripped artifact re-encodes to the identical byte stream
+        assert_eq!(decoded.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn loaded_artifact_compiles_bitwise_identically() {
+        let artifact = sample();
+        let direct = ExecutionPlan::compile(
+            &artifact.specs,
+            &artifact.params,
+            artifact.input,
+            PlanOptions::default().with_precision(Precision::Fp16),
+        )
+        .unwrap();
+        let bytes = artifact.encode().unwrap();
+        let loaded = Artifact::load(&bytes).unwrap();
+        let via_artifact = loaded.compile(Precision::Fp16).unwrap();
+
+        let input = Tensor::from_vec(
+            artifact.input,
+            (0..artifact.input.len())
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect(),
+        )
+        .unwrap();
+        let mut ws = mlcnn_core::Workspace::new();
+        let a = direct.forward(&input, &mut ws).unwrap();
+        let b = via_artifact.forward(&input, &mut ws).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "plans diverged bitwise");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample().encode().unwrap();
+        // Flipping any one byte anywhere must fail decode (whole-file CRC
+        // catches all of them; earlier structural errors are also fine).
+        // Step through the stream to keep the test fast yet cover every
+        // region: header, each section, payloads, checksums, trailer.
+        for i in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                Artifact::decode(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode().unwrap();
+        for len in (0..bytes.len()).step_by(5).chain([bytes.len() - 1]) {
+            assert!(
+                Artifact::decode(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let good = sample().encode().unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0..4].copy_from_slice(b"NOPE");
+        let tail = bad_magic.len() - 4;
+        let crc = crc32(&bad_magic[..tail]).to_be_bytes();
+        bad_magic[tail..].copy_from_slice(&crc);
+        assert!(matches!(
+            Artifact::decode(&bad_magic),
+            Err(ArtifactError::BadMagic(m)) if &m == b"NOPE"
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4..6].copy_from_slice(&99u16.to_be_bytes());
+        let tail = bad_version.len() - 4;
+        let crc = crc32(&bad_version[..tail]).to_be_bytes();
+        bad_version[tail..].copy_from_slice(&crc);
+        assert!(matches!(
+            Artifact::decode(&bad_version),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_body_without_fixed_trailer_is_checksum_mismatch() {
+        let bytes = sample().encode().unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[20] ^= 0x01;
+        assert!(matches!(
+            Artifact::decode(&corrupt),
+            Err(ArtifactError::ChecksumMismatch {
+                section: "file",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn param_shape_disagreement_fails_validate() {
+        let mut artifact = sample();
+        // swap the conv bias for a wrong-shaped tensor
+        artifact.params[1] = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![0.0; 3]).unwrap();
+        assert!(matches!(
+            artifact.validate(),
+            Err(ArtifactError::SpecParamMismatch(_))
+        ));
+        // decode alone accepts it (structure is fine); load rejects it
+        let bytes = artifact.encode().unwrap();
+        assert!(Artifact::decode(&bytes).is_ok());
+        assert!(matches!(
+            Artifact::load(&bytes),
+            Err(ArtifactError::SpecParamMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn missing_param_tensor_fails_validate() {
+        let mut artifact = sample();
+        artifact.params.pop();
+        assert!(matches!(
+            artifact.validate(),
+            Err(ArtifactError::SpecParamMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn incompilable_spec_fails_validate() {
+        let mut artifact = sample();
+        artifact.specs.push(LayerSpec::BatchNorm);
+        assert!(matches!(
+            artifact.validate(),
+            Err(ArtifactError::Incompilable(_))
+        ));
+    }
+
+    #[test]
+    fn model_name_rules() {
+        for good in ["a", "lenet5", "vgg-mini", "mlp_2.1", "X9"] {
+            validate_model_name(good).unwrap();
+        }
+        for bad in ["", ".hidden", "-flag", "a b", "a@1", "a/b", "ünïcode"] {
+            assert!(validate_model_name(bad).is_err(), "accepted '{bad}'");
+        }
+        assert!(validate_model_name(&"x".repeat(MAX_MODEL_NAME)).is_ok());
+        assert!(validate_model_name(&"x".repeat(MAX_MODEL_NAME + 1)).is_err());
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(artifact_file_name("lenet5", 7), "lenet5@7.mlcnn");
+        assert_eq!(
+            parse_file_name("lenet5@7.mlcnn"),
+            Some(("lenet5".into(), 7))
+        );
+        assert_eq!(sample().file_name(), "tiny-conv@3.mlcnn");
+        for bad in [
+            "lenet5.mlcnn",    // no revision
+            "lenet5@0.mlcnn",  // revision 0 reserved
+            "lenet5@x.mlcnn",  // non-numeric revision
+            "lenet5@7.bin",    // wrong extension
+            "@7.mlcnn",        // empty model
+            ".hidden@1.mlcnn", // illegal name
+        ] {
+            assert_eq!(parse_file_name(bad), None, "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn revision_zero_is_rejected() {
+        let mut artifact = sample();
+        artifact.revision = 0;
+        assert!(artifact.encode().is_err());
+        assert!(artifact.validate().is_err());
+    }
+
+    #[test]
+    fn nested_specs_round_trip() {
+        // Composite layers are not servable, but the codec must still
+        // round-trip them faithfully (packing rejects them at validate,
+        // not by silently mangling the encoding).
+        let specs = vec![LayerSpec::Residual {
+            inner: vec![
+                LayerSpec::Conv {
+                    out_ch: 2,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                LayerSpec::ReLU,
+            ],
+            projector: vec![],
+        }];
+        let artifact = Artifact {
+            model: "nested".into(),
+            revision: 1,
+            specs,
+            input: Shape4::new(1, 2, 4, 4),
+            precision: Precision::Fp32,
+            params: vec![],
+        };
+        let bytes = artifact.encode().unwrap();
+        assert_eq!(Artifact::decode(&bytes).unwrap(), artifact);
+    }
+}

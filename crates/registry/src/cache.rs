@@ -1,0 +1,211 @@
+//! Bounded LRU cache of compiled execution plans.
+//!
+//! Compiling a plan re-reads the artifact and bakes its weights — cheap
+//! enough to do lazily, expensive enough not to redo per request. The
+//! registry keys plans by `(model, revision, precision)` and keeps at most
+//! a fixed number of compiled plans alive; the least-recently-used entry
+//! is evicted when a new compilation would exceed the bound.
+//!
+//! Entries are `Arc<ExecutionPlan>`, so eviction never tears a plan out
+//! from under a live `Service` — the service holds its own `Arc` and the
+//! plan is freed only when the last holder drops it.
+
+use mlcnn_core::ExecutionPlan;
+use mlcnn_quant::Precision;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: one compiled plan per `(model, revision, precision)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Model name.
+    pub model: String,
+    /// Artifact revision.
+    pub revision: u64,
+    /// Datapath precision the plan was compiled at.
+    pub precision: Precision,
+}
+
+struct Entry {
+    plan: Arc<ExecutionPlan>,
+    /// Logical timestamp of the last hit (monotone counter, not wall
+    /// clock — only the ordering matters).
+    last_used: u64,
+}
+
+/// Bounded LRU of compiled plans. All methods are `&self`; the interior
+/// mutex makes the cache shareable across the registry's callers.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+struct Inner {
+    entries: HashMap<PlanKey, Entry>,
+    clock: u64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` compiled plans (minimum 1 — a
+    /// zero-capacity cache would recompile on every request).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a plan, refreshing its recency on hit.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        let entry = inner.entries.get_mut(key)?;
+        entry.last_used = now;
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Insert a freshly compiled plan, evicting the least-recently-used
+    /// entry if the cache is full. Returns the inserted plan (or, if a
+    /// racing caller beat us to the same key, the plan already resident —
+    /// so concurrent compilers converge on one instance).
+    pub fn insert(&self, key: PlanKey, plan: Arc<ExecutionPlan>) -> Arc<ExecutionPlan> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(existing) = inner.entries.get_mut(&key) {
+            existing.last_used = now;
+            return Arc::clone(&existing.plan);
+        }
+        if inner.entries.len() >= self.capacity {
+            // O(n) scan is fine at registry scale (capacity is tens of
+            // plans, not thousands).
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: now,
+            },
+        );
+        plan
+    }
+
+    /// Drop every cached plan for `model` (all revisions and precisions) —
+    /// used when a model's artifacts are republished in place.
+    pub fn evict_model(&self, model: &str) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.entries.retain(|k, _| k.model != model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_core::PlanOptions;
+    use mlcnn_nn::LayerSpec;
+    use mlcnn_tensor::{Shape4, Tensor};
+
+    fn tiny_plan() -> Arc<ExecutionPlan> {
+        // 1×4 input through a 2-feature linear layer: the smallest
+        // compilable pipeline.
+        let specs = [LayerSpec::Flatten, LayerSpec::Linear { out: 2 }];
+        let params = [
+            Tensor::from_vec(Shape4::new(1, 1, 2, 4), vec![0.5; 8]).unwrap(),
+            Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.0; 2]).unwrap(),
+        ];
+        let input = Shape4::new(1, 1, 1, 4);
+        Arc::new(ExecutionPlan::compile(&specs, &params, input, PlanOptions::default()).unwrap())
+    }
+
+    fn key(model: &str, revision: u64) -> PlanKey {
+        PlanKey {
+            model: model.into(),
+            revision,
+            precision: Precision::Fp32,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("a", 1), tiny_plan());
+        cache.insert(key("b", 1), tiny_plan());
+        // touch "a" so "b" is the LRU victim
+        assert!(cache.get(&key("a", 1)).is_some());
+        cache.insert(key("c", 1), tiny_plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("a", 1)).is_some());
+        assert!(cache.get(&key("b", 1)).is_none());
+        assert!(cache.get(&key("c", 1)).is_some());
+    }
+
+    #[test]
+    fn insert_is_idempotent_per_key() {
+        let cache = PlanCache::new(4);
+        let first = cache.insert(key("a", 1), tiny_plan());
+        let second = cache.insert(key("a", 1), tiny_plan());
+        // the racing insert converges on the resident plan
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_model_clears_all_revisions() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("a", 1), tiny_plan());
+        cache.insert(key("a", 2), tiny_plan());
+        cache.insert(key("b", 1), tiny_plan());
+        cache.evict_model("a");
+        assert!(cache.get(&key("a", 1)).is_none());
+        assert!(cache.get(&key("a", 2)).is_none());
+        assert!(cache.get(&key("b", 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = PlanCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(key("a", 1), tiny_plan());
+        assert!(cache.get(&key("a", 1)).is_some());
+    }
+}

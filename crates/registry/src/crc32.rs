@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! guarding every `.mlcnn` artifact section and the whole-file trailer.
+//!
+//! Hand-rolled because the workspace carries no compression/hashing
+//! dependency; the table is built in a `const` context so there is no
+//! runtime initialization to race on.
+
+/// Byte-at-a-time lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state; feed bytes with [`Hasher::update`], read the
+/// digest with [`Hasher::finalize`].
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Fresh hasher (initial state all-ones, per the standard).
+    pub fn new() -> Self {
+        Hasher { state: !0 }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// The digest of everything absorbed so far (the hasher stays usable).
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_digest() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Hasher::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = b"model artifact body".to_vec();
+        let clean = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

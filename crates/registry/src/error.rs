@@ -1,0 +1,113 @@
+//! Typed error surface of the artifact codec and the registry.
+
+use std::fmt;
+
+/// Why an `.mlcnn` artifact failed to decode or validate.
+///
+/// Every variant is a *typed* rejection — hostile or torn input maps to a
+/// specific class, never a panic — so the registry can translate each into
+/// its `R0xx` diagnostic code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The byte stream ended before the named structure was complete.
+    Truncated(&'static str),
+    /// The leading magic bytes are not `MLCA`.
+    BadMagic([u8; 4]),
+    /// The header names a format version this build does not read.
+    UnsupportedVersion(u16),
+    /// A section or the whole-file trailer failed its CRC-32.
+    ChecksumMismatch {
+        /// What the checksum covered (`"META"`, `"SPECS"`, `"PARAMS"`,
+        /// or `"file"`).
+        section: &'static str,
+        /// Checksum stored in the artifact.
+        stored: u32,
+        /// Checksum computed over the bytes actually present.
+        computed: u32,
+    },
+    /// Structurally invalid content: a bad enum tag, an implausible count,
+    /// non-UTF-8 text, an illegal model name, or trailing bytes.
+    Malformed(String),
+    /// The parameter tensors disagree with the shapes the spec list
+    /// requires.
+    SpecParamMismatch(String),
+    /// The spec list cannot be compiled into an execution plan.
+    Incompilable(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated(what) => write!(f, "truncated before {what}"),
+            ArtifactError::BadMagic(m) => write!(f, "bad magic {m:?} (expected \"MLCA\")"),
+            ArtifactError::UnsupportedVersion(v) => write!(f, "unsupported artifact version {v}"),
+            ArtifactError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ArtifactError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+            ArtifactError::SpecParamMismatch(why) => {
+                write!(f, "parameters disagree with specs: {why}")
+            }
+            ArtifactError::Incompilable(why) => write!(f, "spec list not plan-compilable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Why a registry operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Filesystem access failed (rendered `io::Error`).
+    Io(String),
+    /// The scan was rejected by the `R0xx` lint gate; carries the joined
+    /// denial diagnostics.
+    Rejected(String),
+    /// The named model is not in the registry.
+    UnknownModel(String),
+    /// The named model has no such revision.
+    UnknownRevision {
+        /// Model name.
+        model: String,
+        /// Requested revision.
+        revision: u64,
+    },
+    /// Rollback was requested but the model's publish history holds only
+    /// the currently active revision.
+    NoHistory(String),
+    /// An artifact that validated at `open` later failed to load or
+    /// compile (e.g. the file changed on disk underneath the registry).
+    Artifact {
+        /// File name within the registry root.
+        file: String,
+        /// The underlying decode/validate failure.
+        error: ArtifactError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry I/O failed: {e}"),
+            RegistryError::Rejected(diags) => write!(f, "registry scan rejected: {diags}"),
+            RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            RegistryError::UnknownRevision { model, revision } => {
+                write!(f, "model '{model}' has no revision {revision}")
+            }
+            RegistryError::NoHistory(model) => {
+                write!(
+                    f,
+                    "model '{model}' has no previous revision to roll back to"
+                )
+            }
+            RegistryError::Artifact { file, error } => write!(f, "{file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}

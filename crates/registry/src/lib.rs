@@ -1,0 +1,37 @@
+//! # mlcnn-registry — versioned model artifacts and multi-model routing
+//!
+//! The artifact and registry layer under the MLCNN serving stack: trained
+//! networks are packed into self-describing, checksummed `.mlcnn` bundles
+//! ([`artifact`]), and a directory of such bundles becomes a routable,
+//! hot-swappable model catalog ([`ModelRegistry`]).
+//!
+//! The crate sits between `mlcnn-nn`/`mlcnn-core` (which define specs,
+//! parameters, and plan compilation) and `mlcnn-serve` (which owns
+//! sockets, batching, and the hot-swap router). It owns three things:
+//!
+//! - **The `.mlcnn` format** — magic, version, CRC-32-guarded sections for
+//!   metadata, the layer-spec list, and the parameter tensors. A decoded
+//!   artifact compiles to an [`mlcnn_core::ExecutionPlan`] bitwise
+//!   identical to compiling the same specs and parameters directly.
+//! - **Load-time validation** — truncation, checksum mismatches,
+//!   spec/parameter disagreement, and incompilable specs are typed
+//!   [`ArtifactError`]s, surfaced through the `R0xx` diagnostic codes in
+//!   `mlcnn-check`. A registry that opens cleanly cannot fail on an
+//!   artifact at request time.
+//! - **Routing state** — per-model revision catalogs with an active
+//!   revision, publish/rollback history, and a bounded LRU of lazily
+//!   compiled plans ([`cache::PlanCache`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod crc32;
+pub mod error;
+pub mod registry;
+
+pub use artifact::{artifact_file_name, parse_file_name, validate_model_name, Artifact};
+pub use cache::{PlanCache, PlanKey};
+pub use error::{ArtifactError, RegistryError};
+pub use registry::{ModelRegistry, ModelStatus, DEFAULT_PLAN_CACHE};

@@ -1,0 +1,379 @@
+//! The model registry: a directory of versioned `.mlcnn` artifacts with
+//! atomic publish/rollback and lazy, LRU-bounded plan compilation.
+//!
+//! # Layout on disk
+//!
+//! A registry root holds flat `name@revision.mlcnn` files; nothing else
+//! with the `.mlcnn` extension is allowed, and anything else is ignored:
+//!
+//! ```text
+//! zoo/
+//!   lenet5@1.mlcnn
+//!   lenet5@2.mlcnn
+//!   vgg-mini@1.mlcnn
+//! ```
+//!
+//! # Open-time validation
+//!
+//! [`ModelRegistry::open`] decodes and validates **every** artifact before
+//! the registry exists: each file either passes in full (checksums, spec
+//! gate, parameter shapes, trial compile) or contributes an `R0xx` denial
+//! — and any denial fails `open`. A live registry therefore can never hit
+//! a bad artifact at request time; a rejected one names every offender in
+//! one pass.
+//!
+//! # Revisions and publish state
+//!
+//! Each model's revisions are totally ordered by their `u64` revision
+//! number; the *active* revision starts at the highest on disk. `publish`
+//! pushes a new active revision onto the model's history stack and
+//! `rollback` pops back to the previous one — the serving router layers
+//! its hot-swap on these transitions. All publish state is in memory: the
+//! directory is the artifact store, the registry is the routing table.
+
+use crate::artifact::{parse_file_name, Artifact, ARTIFACT_EXT};
+use crate::cache::{PlanCache, PlanKey};
+use crate::error::{ArtifactError, RegistryError};
+use mlcnn_check::{check_registry_scan_summary, ArtifactFinding, ArtifactLint};
+use mlcnn_core::ExecutionPlan;
+use mlcnn_quant::Precision;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on resident compiled plans.
+pub const DEFAULT_PLAN_CACHE: usize = 16;
+
+/// One revision of one model as the scan recorded it.
+#[derive(Debug, Clone)]
+struct Revision {
+    file: PathBuf,
+    /// Default serving precision recorded in the artifact's metadata.
+    precision: Precision,
+}
+
+/// Mutable publish state of one model.
+#[derive(Debug, Clone)]
+struct ModelState {
+    revisions: BTreeMap<u64, Revision>,
+    /// Publish history; the last entry is the active revision. Never
+    /// empty — a model exists only if at least one artifact scanned clean.
+    history: Vec<u64>,
+}
+
+/// A validated, routable view of a registry directory. Cheap to share
+/// (`Arc<ModelRegistry>`): lookups take a short mutex, compiled plans are
+/// `Arc`s out of the [`PlanCache`].
+#[derive(Debug)]
+pub struct ModelRegistry {
+    root: PathBuf,
+    models: Mutex<BTreeMap<String, ModelState>>,
+    cache: PlanCache,
+}
+
+/// Immutable snapshot of one model's routing state, for status surfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStatus {
+    /// Model name.
+    pub model: String,
+    /// Currently active revision.
+    pub active: u64,
+    /// Every revision on disk, ascending.
+    pub revisions: Vec<u64>,
+    /// Default precision of the active revision's artifact.
+    pub precision: Precision,
+}
+
+impl ModelRegistry {
+    /// Open a registry rooted at `dir`, validating every `.mlcnn` artifact
+    /// through the `R0xx` lint gate. Fails if the directory is unreadable,
+    /// holds no valid artifacts, or any artifact is corrupt, inconsistent,
+    /// or a duplicate identity.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ModelRegistry, RegistryError> {
+        Self::open_with_cache(dir, DEFAULT_PLAN_CACHE)
+    }
+
+    /// [`ModelRegistry::open`] with an explicit compiled-plan cache bound.
+    pub fn open_with_cache(
+        dir: impl AsRef<Path>,
+        plan_cache: usize,
+    ) -> Result<ModelRegistry, RegistryError> {
+        let root = dir.as_ref().to_path_buf();
+        let mut lints: Vec<ArtifactLint> = Vec::new();
+        let mut scanned: Vec<(String, Artifact, PathBuf)> = Vec::new();
+
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", root.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some(ARTIFACT_EXT))
+            .collect();
+        files.sort();
+
+        for path in files {
+            let file = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let lint = match std::fs::read(&path) {
+                Err(e) => ArtifactLint {
+                    file: file.clone(),
+                    model: String::new(),
+                    revision: 0,
+                    finding: ArtifactFinding::Corrupt(format!("unreadable: {e}")),
+                },
+                Ok(bytes) => match Artifact::decode(&bytes) {
+                    Err(e) => ArtifactLint {
+                        file: file.clone(),
+                        model: String::new(),
+                        revision: 0,
+                        finding: ArtifactFinding::Corrupt(e.to_string()),
+                    },
+                    Ok(artifact) => {
+                        let finding = match artifact.validate() {
+                            Ok(()) => ArtifactFinding::Ok,
+                            Err(ArtifactError::SpecParamMismatch(why)) => {
+                                ArtifactFinding::ParamMismatch(why)
+                            }
+                            Err(ArtifactError::Incompilable(why)) => {
+                                ArtifactFinding::Incompilable(why)
+                            }
+                            Err(other) => ArtifactFinding::Corrupt(other.to_string()),
+                        };
+                        let lint = ArtifactLint {
+                            file: file.clone(),
+                            model: artifact.model.clone(),
+                            revision: artifact.revision,
+                            finding,
+                        };
+                        // the identity the *file name* claims must match
+                        // the identity the artifact's metadata claims, or
+                        // renamed files would silently route wrong
+                        let lint = match parse_file_name(&file) {
+                            Some((m, r)) if m == artifact.model && r == artifact.revision => lint,
+                            _ => ArtifactLint {
+                                finding: ArtifactFinding::Corrupt(format!(
+                                    "file name does not match artifact identity {}@{}",
+                                    artifact.model, artifact.revision
+                                )),
+                                ..lint
+                            },
+                        };
+                        if lint.finding == ArtifactFinding::Ok {
+                            scanned.push((file.clone(), artifact, path));
+                        }
+                        lint
+                    }
+                },
+            };
+            lints.push(lint);
+        }
+
+        check_registry_scan_summary(&lints).map_err(RegistryError::Rejected)?;
+        if scanned.is_empty() {
+            return Err(RegistryError::Io(format!(
+                "{}: no .mlcnn artifacts found",
+                root.display()
+            )));
+        }
+
+        let mut models: BTreeMap<String, ModelState> = BTreeMap::new();
+        for (_, artifact, path) in scanned {
+            models
+                .entry(artifact.model.clone())
+                .or_insert_with(|| ModelState {
+                    revisions: BTreeMap::new(),
+                    history: Vec::new(),
+                })
+                .revisions
+                .insert(
+                    artifact.revision,
+                    Revision {
+                        file: path,
+                        precision: artifact.precision,
+                    },
+                );
+        }
+        for state in models.values_mut() {
+            let newest = *state.revisions.keys().next_back().expect("non-empty");
+            state.history.push(newest);
+        }
+
+        Ok(ModelRegistry {
+            root,
+            models: Mutex::new(models),
+            cache: PlanCache::new(plan_cache),
+        })
+    }
+
+    /// The directory this registry routes for.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Status of every model, sorted by name.
+    pub fn status(&self) -> Vec<ModelStatus> {
+        let models = self.models.lock().expect("registry poisoned");
+        models
+            .iter()
+            .map(|(name, state)| {
+                let active = *state.history.last().expect("non-empty history");
+                ModelStatus {
+                    model: name.clone(),
+                    active,
+                    revisions: state.revisions.keys().copied().collect(),
+                    precision: state.revisions[&active].precision,
+                }
+            })
+            .collect()
+    }
+
+    /// Model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let models = self.models.lock().expect("registry poisoned");
+        models.keys().cloned().collect()
+    }
+
+    /// The currently active revision of `model`.
+    pub fn active(&self, model: &str) -> Result<u64, RegistryError> {
+        let models = self.models.lock().expect("registry poisoned");
+        let state = models
+            .get(model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))?;
+        Ok(*state.history.last().expect("non-empty history"))
+    }
+
+    /// Default serving precision the artifact of `(model, revision)`
+    /// recorded at pack time.
+    pub fn default_precision(
+        &self,
+        model: &str,
+        revision: u64,
+    ) -> Result<Precision, RegistryError> {
+        let models = self.models.lock().expect("registry poisoned");
+        let state = models
+            .get(model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))?;
+        state
+            .revisions
+            .get(&revision)
+            .map(|r| r.precision)
+            .ok_or(RegistryError::UnknownRevision {
+                model: model.to_string(),
+                revision,
+            })
+    }
+
+    /// Compiled plan for `(model, revision, precision)`; `revision = None`
+    /// means the active revision. Lazily loads and compiles on first use,
+    /// then serves from the bounded LRU. The returned revision says which
+    /// artifact actually backs the plan.
+    pub fn plan(
+        &self,
+        model: &str,
+        revision: Option<u64>,
+        precision: Precision,
+    ) -> Result<(u64, Arc<ExecutionPlan>), RegistryError> {
+        let (revision, file) = {
+            let models = self.models.lock().expect("registry poisoned");
+            let state = models
+                .get(model)
+                .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))?;
+            let revision = match revision {
+                Some(r) => {
+                    if !state.revisions.contains_key(&r) {
+                        return Err(RegistryError::UnknownRevision {
+                            model: model.to_string(),
+                            revision: r,
+                        });
+                    }
+                    r
+                }
+                None => *state.history.last().expect("non-empty history"),
+            };
+            (revision, state.revisions[&revision].file.clone())
+        };
+
+        let key = PlanKey {
+            model: model.to_string(),
+            revision,
+            precision,
+        };
+        if let Some(plan) = self.cache.get(&key) {
+            return Ok((revision, plan));
+        }
+
+        // compile outside the registry lock: compilation is the slow path
+        // and must not stall routing lookups
+        let file_name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let bytes = std::fs::read(&file)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", file.display())))?;
+        let artifact = Artifact::load(&bytes).map_err(|error| RegistryError::Artifact {
+            file: file_name.clone(),
+            error,
+        })?;
+        if artifact.model != model || artifact.revision != revision {
+            return Err(RegistryError::Artifact {
+                file: file_name,
+                error: ArtifactError::Malformed(format!(
+                    "file now claims {}@{} (expected {model}@{revision})",
+                    artifact.model, artifact.revision
+                )),
+            });
+        }
+        let plan = artifact
+            .compile(precision)
+            .map_err(|error| RegistryError::Artifact {
+                file: file_name,
+                error,
+            })?;
+        Ok((revision, self.cache.insert(key, Arc::new(plan))))
+    }
+
+    /// Make `revision` the active revision of `model`, pushing the current
+    /// active onto the history. Publishing the already-active revision is
+    /// a no-op. Returns `(active, previous)`.
+    pub fn publish(&self, model: &str, revision: u64) -> Result<(u64, u64), RegistryError> {
+        let mut models = self.models.lock().expect("registry poisoned");
+        let state = models
+            .get_mut(model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))?;
+        if !state.revisions.contains_key(&revision) {
+            return Err(RegistryError::UnknownRevision {
+                model: model.to_string(),
+                revision,
+            });
+        }
+        let previous = *state.history.last().expect("non-empty history");
+        if previous != revision {
+            state.history.push(revision);
+        }
+        Ok((revision, previous))
+    }
+
+    /// Revert `model` to the revision active before the last publish.
+    /// Returns `(active, previous)` where `previous` is the revision just
+    /// deactivated. Fails with [`RegistryError::NoHistory`] when nothing
+    /// has been published since `open`.
+    pub fn rollback(&self, model: &str) -> Result<(u64, u64), RegistryError> {
+        let mut models = self.models.lock().expect("registry poisoned");
+        let state = models
+            .get_mut(model)
+            .ok_or_else(|| RegistryError::UnknownModel(model.to_string()))?;
+        if state.history.len() < 2 {
+            return Err(RegistryError::NoHistory(model.to_string()));
+        }
+        let previous = state.history.pop().expect("checked length");
+        let active = *state.history.last().expect("checked length");
+        Ok((active, previous))
+    }
+
+    /// The plan cache, for instrumentation.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+}

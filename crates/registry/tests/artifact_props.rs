@@ -1,0 +1,94 @@
+//! Hostile-input properties of the `.mlcnn` codec: `Artifact::decode` is
+//! total over arbitrary bytes — every input either decodes or returns a
+//! typed [`ArtifactError`]; it never panics, and implausible counts are
+//! rejected before they can drive allocations.
+
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::LayerSpec;
+use mlcnn_quant::Precision;
+use mlcnn_registry::Artifact;
+use mlcnn_tensor::Shape4;
+use proptest::prelude::*;
+
+fn sample() -> Artifact {
+    let specs = vec![
+        LayerSpec::Conv {
+            out_ch: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        LayerSpec::ReLU,
+        LayerSpec::MaxPool {
+            window: 2,
+            stride: 2,
+        },
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 4 },
+    ];
+    let input = Shape4::new(1, 1, 8, 8);
+    let mut net = build_network(&specs, input, 11).unwrap();
+    Artifact {
+        model: "prop-model".into(),
+        revision: 2,
+        specs,
+        input,
+        precision: Precision::Fp16,
+        params: net.export_params(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Artifact::decode(&bytes);
+    }
+
+    /// Random bytes behind a valid-looking header never panic either —
+    /// this drives the section framing and count-guard paths that pure
+    /// noise rarely reaches (the whole-file CRC rejects noise up front,
+    /// so recompute the trailer to let the structure parser run).
+    #[test]
+    fn framed_garbage_never_panics(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = Vec::with_capacity(payload.len() + 10);
+        bytes.extend_from_slice(b"MLCA");
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&payload);
+        let crc = {
+            // CRC-32 IEEE, bitwise — small and local so the test does not
+            // reach into the crate's private hasher
+            let mut state = !0u32;
+            for &b in &bytes {
+                state ^= b as u32;
+                for _ in 0..8 {
+                    state = if state & 1 != 0 { (state >> 1) ^ 0xEDB8_8320 } else { state >> 1 };
+                }
+            }
+            !state
+        };
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        prop_assert!(Artifact::decode(&bytes).is_err() || Artifact::decode(&bytes).is_ok());
+    }
+
+    /// Every strict prefix of a valid artifact is rejected (no panic, no
+    /// accidental acceptance of a truncation).
+    #[test]
+    fn any_prefix_is_rejected(cut in any::<u64>()) {
+        let bytes = sample().encode().unwrap();
+        let len = (cut as usize) % bytes.len();
+        prop_assert!(Artifact::decode(&bytes[..len]).is_err(), "prefix {len} accepted");
+    }
+
+    /// Any non-identity single-byte change to a valid artifact is
+    /// rejected — the whole-file checksum leaves no blind spots.
+    #[test]
+    fn any_byte_mutation_is_rejected(offset in any::<u64>(), xor in 1u8..=255) {
+        let mut bytes = sample().encode().unwrap();
+        let i = (offset as usize) % bytes.len();
+        bytes[i] ^= xor;
+        prop_assert!(Artifact::decode(&bytes).is_err(), "mutation at {i} accepted");
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end registry behavior against real directories: open-time
+//! validation through the `R0xx` gate, routing, lazy compilation with the
+//! bounded cache, and publish/rollback transitions.
+
+use mlcnn_nn::spec::build_network;
+use mlcnn_nn::LayerSpec;
+use mlcnn_quant::Precision;
+use mlcnn_registry::{Artifact, ArtifactError, ModelRegistry, RegistryError};
+use mlcnn_tensor::Shape4;
+use std::path::PathBuf;
+
+/// A fresh scratch directory under the OS temp root, unique per test and
+/// per process, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mlcnn-registry-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, artifact: &Artifact) {
+        std::fs::write(
+            self.0.join(artifact.file_name()),
+            artifact.encode().unwrap(),
+        )
+        .unwrap();
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A tiny trained model at a given revision; `seed` varies the weights so
+/// different revisions produce different plans.
+fn make(model: &str, revision: u64, seed: u64) -> Artifact {
+    let specs = vec![
+        LayerSpec::Conv {
+            out_ch: 2,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        },
+        LayerSpec::ReLU,
+        LayerSpec::Flatten,
+        LayerSpec::Linear { out: 3 },
+    ];
+    let input = Shape4::new(1, 1, 6, 6);
+    let mut net = build_network(&specs, input, seed).unwrap();
+    Artifact {
+        model: model.into(),
+        revision,
+        specs,
+        input,
+        precision: Precision::Fp32,
+        params: net.export_params(),
+    }
+}
+
+#[test]
+fn open_routes_and_caches() {
+    let dir = Scratch::new("open-routes");
+    dir.write(&make("alpha", 1, 10));
+    dir.write(&make("alpha", 2, 20));
+    dir.write(&make("beta", 1, 30));
+    // non-artifact files are ignored
+    std::fs::write(dir.0.join("README.txt"), b"not a model").unwrap();
+
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+    assert_eq!(reg.models(), vec!["alpha".to_string(), "beta".to_string()]);
+    // active = highest revision on disk
+    assert_eq!(reg.active("alpha").unwrap(), 2);
+    assert_eq!(reg.active("beta").unwrap(), 1);
+
+    let status = reg.status();
+    assert_eq!(status.len(), 2);
+    assert_eq!(status[0].model, "alpha");
+    assert_eq!(status[0].revisions, vec![1, 2]);
+    assert_eq!(status[0].precision, Precision::Fp32);
+
+    // default revision resolves to the active one
+    let (rev, plan) = reg.plan("alpha", None, Precision::Fp32).unwrap();
+    assert_eq!(rev, 2);
+    // second lookup is a cache hit on the same compiled plan
+    let (_, plan2) = reg.plan("alpha", None, Precision::Fp32).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&plan, &plan2));
+    assert_eq!(reg.cache().len(), 1);
+
+    // pinned revision and a different precision are distinct entries
+    let (rev1, _) = reg.plan("alpha", Some(1), Precision::Fp32).unwrap();
+    assert_eq!(rev1, 1);
+    reg.plan("alpha", Some(2), Precision::Int8).unwrap();
+    assert_eq!(reg.cache().len(), 3);
+
+    assert!(matches!(
+        reg.plan("gamma", None, Precision::Fp32),
+        Err(RegistryError::UnknownModel(_))
+    ));
+    assert!(matches!(
+        reg.plan("alpha", Some(9), Precision::Fp32),
+        Err(RegistryError::UnknownRevision { revision: 9, .. })
+    ));
+}
+
+#[test]
+fn publish_and_rollback_transitions() {
+    let dir = Scratch::new("publish");
+    dir.write(&make("m", 1, 1));
+    dir.write(&make("m", 2, 2));
+    dir.write(&make("m", 3, 3));
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+    assert_eq!(reg.active("m").unwrap(), 3);
+
+    // nothing published yet → nothing to roll back to
+    assert!(matches!(
+        reg.rollback("m"),
+        Err(RegistryError::NoHistory(_))
+    ));
+
+    // publish an older revision (e.g. pinning back a regression)
+    assert_eq!(reg.publish("m", 1).unwrap(), (1, 3));
+    assert_eq!(reg.active("m").unwrap(), 1);
+    // publishing the active revision is a no-op
+    assert_eq!(reg.publish("m", 1).unwrap(), (1, 1));
+
+    assert_eq!(reg.publish("m", 2).unwrap(), (2, 1));
+    // rollback pops in publish order: 2 → 1 → 3 → empty
+    assert_eq!(reg.rollback("m").unwrap(), (1, 2));
+    assert_eq!(reg.rollback("m").unwrap(), (3, 1));
+    assert!(matches!(
+        reg.rollback("m"),
+        Err(RegistryError::NoHistory(_))
+    ));
+
+    assert!(matches!(
+        reg.publish("m", 7),
+        Err(RegistryError::UnknownRevision { revision: 7, .. })
+    ));
+    assert!(matches!(
+        reg.publish("nope", 1),
+        Err(RegistryError::UnknownModel(_))
+    ));
+}
+
+#[test]
+fn corrupt_artifact_rejects_open_with_r001() {
+    let dir = Scratch::new("corrupt");
+    dir.write(&make("good", 1, 1));
+    let mut bytes = make("bad", 1, 2).encode().unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(dir.0.join("bad@1.mlcnn"), &bytes).unwrap();
+
+    let err = ModelRegistry::open(&dir.0).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("R001"), "missing R001 in: {msg}");
+    assert!(msg.contains("bad@1.mlcnn"), "missing file name in: {msg}");
+}
+
+#[test]
+fn truncated_artifact_rejects_open_with_r001() {
+    let dir = Scratch::new("truncated");
+    let bytes = make("m", 1, 1).encode().unwrap();
+    std::fs::write(dir.0.join("m@1.mlcnn"), &bytes[..bytes.len() / 3]).unwrap();
+    let msg = ModelRegistry::open(&dir.0).unwrap_err().to_string();
+    assert!(msg.contains("R001"), "missing R001 in: {msg}");
+}
+
+#[test]
+fn param_mismatch_rejects_open_with_r002() {
+    let dir = Scratch::new("mismatch");
+    let mut artifact = make("m", 1, 1);
+    // conv bias with the wrong width
+    artifact.params[1] =
+        mlcnn_tensor::Tensor::from_vec(Shape4::new(1, 1, 1, 5), vec![0.0; 5]).unwrap();
+    dir.write(&artifact);
+    let msg = ModelRegistry::open(&dir.0).unwrap_err().to_string();
+    assert!(msg.contains("R002"), "missing R002 in: {msg}");
+}
+
+#[test]
+fn incompilable_spec_rejects_open_with_r003() {
+    let dir = Scratch::new("incompilable");
+    let mut artifact = make("m", 1, 1);
+    artifact.specs.push(LayerSpec::BatchNorm);
+    dir.write(&artifact);
+    let msg = ModelRegistry::open(&dir.0).unwrap_err().to_string();
+    assert!(msg.contains("R003"), "missing R003 in: {msg}");
+}
+
+#[test]
+fn renamed_artifact_rejects_open() {
+    // a file whose name claims a different identity than its metadata
+    // must not route under either name
+    let dir = Scratch::new("renamed");
+    let artifact = make("m", 1, 1);
+    std::fs::write(dir.0.join("other@5.mlcnn"), artifact.encode().unwrap()).unwrap();
+    let msg = ModelRegistry::open(&dir.0).unwrap_err().to_string();
+    assert!(msg.contains("R001"), "missing R001 in: {msg}");
+    assert!(msg.contains("does not match"), "missing cause in: {msg}");
+}
+
+#[test]
+fn empty_directory_rejects_open() {
+    let dir = Scratch::new("empty");
+    assert!(matches!(
+        ModelRegistry::open(&dir.0),
+        Err(RegistryError::Io(_))
+    ));
+}
+
+#[test]
+fn file_changed_under_registry_fails_at_plan_not_panic() {
+    let dir = Scratch::new("swapped-file");
+    dir.write(&make("m", 1, 1));
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+    // overwrite the artifact with garbage after open — the lazy compile
+    // path must surface a typed error
+    std::fs::write(dir.0.join("m@1.mlcnn"), b"not an artifact").unwrap();
+    assert!(matches!(
+        reg.plan("m", None, Precision::Fp32),
+        Err(RegistryError::Artifact {
+            error: ArtifactError::Truncated(_) | ArtifactError::ChecksumMismatch { .. },
+            ..
+        })
+    ));
+}
+
+#[test]
+fn lru_bound_is_respected_across_models() {
+    let dir = Scratch::new("lru");
+    dir.write(&make("a", 1, 1));
+    dir.write(&make("b", 1, 2));
+    dir.write(&make("c", 1, 3));
+    let reg = ModelRegistry::open_with_cache(&dir.0, 2).unwrap();
+    reg.plan("a", None, Precision::Fp32).unwrap();
+    reg.plan("b", None, Precision::Fp32).unwrap();
+    reg.plan("c", None, Precision::Fp32).unwrap();
+    assert_eq!(reg.cache().len(), 2, "LRU bound not enforced");
+    // evicted plans recompile transparently
+    reg.plan("a", None, Precision::Fp32).unwrap();
+}

@@ -257,7 +257,9 @@ fn run_remote(args: &Args) -> Result<String, String> {
     let mut probe = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     for seed in 0..4u64 {
         let x = item_input(model.input, 2000 + seed);
-        let got = probe.infer(x.clone()).map_err(|e| e.to_string())?;
+        let got = probe
+            .infer_model(&args.model, x.clone())
+            .map_err(|e| e.to_string())?;
         let want = plan.forward(&x, &mut ws).map_err(|e| e.to_string())?;
         if got != want {
             return Err(format!(
@@ -273,11 +275,14 @@ fn run_remote(args: &Args) -> Result<String, String> {
         for c in 0..args.clients {
             let addr = addr.clone();
             let input = model.input;
+            let name = args.model.clone();
             handles.push(s.spawn(move || -> Result<(), String> {
                 let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
                 let x = item_input(input, 300 + c as u64);
                 for _ in 0..per_client {
-                    client.infer(x.clone()).map_err(|e| e.to_string())?;
+                    client
+                        .infer_model(&name, x.clone())
+                        .map_err(|e| e.to_string())?;
                 }
                 Ok(())
             }));

@@ -1,0 +1,119 @@
+//! `mlcnn-pack` — pack serving-zoo models into versioned `.mlcnn`
+//! registry artifacts.
+//!
+//! ```text
+//! mlcnn-pack --out DIR [--model NAME] [--revision N]
+//!            [--precision fp32|fp16|int8] [--seed N] [--all]
+//! ```
+//!
+//! Each artifact bundles the model's layer specs, input geometry,
+//! default serving precision, and parameter tensors (drawn
+//! deterministically from `--seed`, default the fixed serving seed), and
+//! is written as `DIR/{model}@{revision}.mlcnn`. After writing, the file
+//! is read back through the same strict loader `ModelRegistry::open`
+//! uses, so a successful pack is guaranteed to be loadable.
+//!
+//! Varying `--seed` across revisions of the same model produces
+//! distinguishable weights — which is exactly what the hot-swap smoke
+//! rehearsal does to tell revisions apart by their outputs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mlcnn_nn::spec::build_network;
+use mlcnn_quant::Precision;
+use mlcnn_registry::Artifact;
+use mlcnn_serve::{find_model, serving_zoo, ServeModel, SERVE_SEED};
+
+struct Args {
+    out: PathBuf,
+    model: Option<String>,
+    revision: u64,
+    precision: Precision,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = None;
+    let mut args = Args {
+        out: PathBuf::new(),
+        model: None,
+        revision: 1,
+        precision: Precision::Fp32,
+        seed: SERVE_SEED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(val("--out")?)),
+            "--model" => args.model = Some(val("--model")?),
+            "--all" => args.model = None,
+            "--revision" => {
+                args.revision = val("--revision")?
+                    .parse()
+                    .map_err(|e| format!("--revision: {e}"))?
+            }
+            "--precision" => args.precision = val("--precision")?.parse()?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    args.out = out.ok_or("--out DIR is required")?;
+    Ok(args)
+}
+
+fn pack_one(model: &ServeModel, args: &Args) -> Result<PathBuf, String> {
+    let mut net = build_network(&model.specs, model.input, args.seed)
+        .map_err(|e| format!("{}: {e}", model.name))?;
+    let artifact = Artifact {
+        model: model.name.to_string(),
+        revision: args.revision,
+        specs: model.specs.clone(),
+        input: model.input,
+        precision: args.precision,
+        params: net.export_params(),
+    };
+    let bytes = artifact
+        .encode()
+        .map_err(|e| format!("{}: {e}", model.name))?;
+    let path = args.out.join(artifact.file_name());
+    std::fs::write(&path, &bytes).map_err(|e| format!("write {}: {e}", path.display()))?;
+    // Read back through the registry's strict loader: a pack that
+    // succeeds is a pack that loads.
+    let reread = std::fs::read(&path).map_err(|e| format!("reread {}: {e}", path.display()))?;
+    Artifact::load(&reread).map_err(|e| format!("verify {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("create {}: {e}", args.out.display()))?;
+    let models = match &args.model {
+        Some(name) => vec![find_model(name).map_err(|e| e.to_string())?],
+        None => serving_zoo(),
+    };
+    for model in &models {
+        let path = pack_one(model, &args)?;
+        println!(
+            "mlcnn-pack: {} rev {} @ {:?} (seed {}) -> {}",
+            model.name,
+            args.revision,
+            args.precision,
+            args.seed,
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlcnn-pack: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

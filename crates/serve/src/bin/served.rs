@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! mlcnn-served [--model NAME] [--precision fp32|fp16|int8]
+//!              [--registry DIR]
 //!              [--addr HOST:PORT] [--workers N] [--max-batch N]
 //!              [--max-wait-micros N] [--queue N]
 //! ```
 //!
-//! Compiles the named serving-zoo model at the requested precision,
-//! spawns the service, and answers the `mlcnn_serve::wire` frame
-//! protocol until killed. Weights come from the fixed serving seed, so
-//! any `mlcnn-loadgen --remote` pointed at the same model/precision can
-//! verify responses against a local reference plan.
+//! Two modes:
+//!
+//! * **Single model** (default): compiles the named serving-zoo model at
+//!   the requested precision and serves it. Weights come from the fixed
+//!   serving seed, so any `mlcnn-loadgen --remote` pointed at the same
+//!   model/precision can verify responses against a local reference plan.
+//! * **Registry** (`--registry DIR`): opens a directory of packed
+//!   `.mlcnn` artifacts (see `mlcnn-pack`), stands up one endpoint per
+//!   model at its active revision, and routes requests by the wire
+//!   protocol's model name. Publish/rollback frames hot-swap revisions
+//!   under live traffic. `--model`/`--precision` are ignored in this
+//!   mode — each artifact records its own serving precision.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -18,11 +26,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mlcnn_quant::Precision;
-use mlcnn_serve::{find_model, serve_listener, ServeConfig, Service};
+use mlcnn_registry::ModelRegistry;
+use mlcnn_serve::{find_model, serve_listener, NamedService, Router, ServeConfig, Service};
 
 struct Args {
     model: String,
     precision: Precision,
+    registry: Option<String>,
     addr: String,
     cfg: ServeConfig,
 }
@@ -31,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         model: "lenet5".into(),
         precision: Precision::Fp32,
+        registry: None,
         addr: "127.0.0.1:7433".into(),
         cfg: ServeConfig::default(),
     };
@@ -40,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--model" => args.model = val("--model")?,
             "--precision" => args.precision = val("--precision")?.parse()?,
+            "--registry" => args.registry = Some(val("--registry")?),
             "--addr" => args.addr = val("--addr")?,
             "--workers" => {
                 args.cfg.workers = val("--workers")?
@@ -69,42 +81,42 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("mlcnn-served: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let model = match find_model(&args.model) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("mlcnn-served: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let plan = match model.compile(args.precision) {
-        Ok(p) => Arc::new(p),
-        Err(e) => {
-            eprintln!("mlcnn-served: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let svc = match Service::spawn(plan, args.cfg.clone()) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            eprintln!("mlcnn-served: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let listener = match TcpListener::bind(&args.addr) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("mlcnn-served: bind {}: {e}", args.addr);
-            return ExitCode::FAILURE;
-        }
-    };
+fn bind(addr: &str) -> Result<TcpListener, String> {
+    TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))
+}
+
+fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
+    let registry = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+    let router =
+        Arc::new(Router::new(Arc::new(registry), args.cfg.clone()).map_err(|e| e.to_string())?);
+    let listener = bind(&args.addr)?;
+    let mut summary = Vec::new();
+    for status in router.registry().status() {
+        summary.push(format!(
+            "{}@{} ({})",
+            status.model, status.active, status.precision
+        ));
+    }
+    println!(
+        "mlcnn-served: registry {dir} on {} — {} (workers={}, max_batch={}, max_wait={:?}, queue={})",
+        listener
+            .local_addr()
+            .map_or(args.addr.clone(), |a| a.to_string()),
+        summary.join(", "),
+        args.cfg.workers,
+        args.cfg.max_batch,
+        args.cfg.max_wait,
+        args.cfg.queue_capacity,
+    );
+    serve_listener(listener, router).map_err(|e| format!("accept loop failed: {e}"))
+}
+
+fn run_single(args: &Args) -> Result<(), String> {
+    let model = find_model(&args.model).map_err(|e| e.to_string())?;
+    let plan = Arc::new(model.compile(args.precision).map_err(|e| e.to_string())?);
+    let svc = Service::spawn(plan, args.cfg.clone()).map_err(|e| e.to_string())?;
+    let backend = Arc::new(NamedService::new(model.name, svc));
+    let listener = bind(&args.addr)?;
     println!(
         "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={})",
         model.name,
@@ -117,9 +129,26 @@ fn main() -> ExitCode {
         args.cfg.max_wait,
         args.cfg.queue_capacity,
     );
-    if let Err(e) = serve_listener(listener, svc) {
-        eprintln!("mlcnn-served: accept loop failed: {e}");
-        return ExitCode::FAILURE;
+    serve_listener(listener, backend).map_err(|e| format!("accept loop failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &args.registry {
+        Some(dir) => run_registry(&args, &dir.clone()),
+        None => run_single(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlcnn-served: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

@@ -28,6 +28,11 @@ pub enum ServeError {
     /// service dropped mid-flight (only reachable if the runtime is torn
     /// down non-gracefully).
     Disconnected,
+    /// The request named a model this server does not route.
+    UnknownModel(String),
+    /// A registry operation failed (rendered `RegistryError`), or a
+    /// registry-only operation was sent to a single-model server.
+    Registry(String),
 }
 
 impl fmt::Display for ServeError {
@@ -48,6 +53,8 @@ impl fmt::Display for ServeError {
             ServeError::Disconnected => {
                 write!(f, "response channel severed before completion")
             }
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::Registry(reason) => write!(f, "registry operation failed: {reason}"),
         }
     }
 }

@@ -27,10 +27,18 @@
 //! * **Gated construction.** [`Service::spawn`] refuses configurations
 //!   that fail the `mlcnn-check` `V###` serving lints.
 //!
+//! * **Multi-model routing & hot-swap.** [`Router`] fronts a
+//!   [`mlcnn_registry::ModelRegistry`]: one endpoint per model over a
+//!   shared workspace pool, publish/rollback swapping revisions under
+//!   live traffic with in-flight requests draining on the old plan and
+//!   zero lost submissions.
+//!
 //! The [`wire`]/[`net`] modules add a length-prefixed TCP front-end
-//! (`mlcnn-served`) and blocking client; `mlcnn-loadgen` drives either
-//! the in-process service or a remote server and writes
-//! `BENCH_serve.json`.
+//! (`mlcnn-served`, single-model or `--registry` mode) and blocking
+//! client; `mlcnn-loadgen` drives either the in-process service or a
+//! remote server and writes `BENCH_serve.json`; `mlcnn-pack` packs the
+//! zoo (or trained checkpoints) into registry artifacts; and
+//! `mlcnn-registry-smoke` rehearses a hot-swap under load end-to-end.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -41,6 +49,7 @@ pub mod metrics;
 pub mod microbatch;
 pub mod models;
 pub mod net;
+pub mod router;
 pub mod service;
 pub mod wire;
 
@@ -49,6 +58,7 @@ pub use error::ServeError;
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use microbatch::{BatchPolicy, Microbatcher};
 pub use models::{find_model, serving_zoo, ServeModel, SERVE_SEED};
-pub use net::{serve_listener, Client};
+pub use net::{serve_listener, Client, Dispatch, NamedService};
+pub use router::Router;
 pub use service::{Service, Ticket};
-pub use wire::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
+pub use wire::{read_frame, write_frame, Frame, MAX_FRAME_BYTES, MAX_WIRE_MODEL_NAME};

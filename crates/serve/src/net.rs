@@ -1,13 +1,17 @@
-//! Blocking TCP front-end over [`Service`]: a thread-per-connection
-//! listener speaking the [`crate::wire`] frame protocol, and a matching
-//! synchronous [`Client`].
+//! Blocking TCP front-end over a [`Dispatch`] backend: a
+//! thread-per-connection listener speaking the [`crate::wire`] frame
+//! protocol, and a matching synchronous [`Client`].
 //!
-//! Each connection runs a reader thread (this function's caller thread)
-//! and one writer thread. The reader submits inference frames to the
-//! service *without waiting* and hands the resulting tickets to the
-//! writer in submission order; the writer resolves them one by one. That
-//! keeps responses in request order while still letting a pipelining
-//! client have many requests coalescing in the micro-batcher at once.
+//! The listener is generic over *what* serves the requests. A
+//! single-model server wraps its [`Service`] in [`NamedService`]; a
+//! registry server plugs in [`crate::router::Router`], which adds
+//! multi-model routing and hot-swap. Either way each connection runs a
+//! reader thread (this function's caller thread) and one writer thread.
+//! The reader submits inference frames to the backend *without waiting*
+//! and hands the resulting tickets to the writer in submission order; the
+//! writer resolves them one by one. That keeps responses in request order
+//! while still letting a pipelining client have many requests coalescing
+//! in the micro-batcher at once.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -17,35 +21,104 @@ use std::thread;
 
 use mlcnn_tensor::Tensor;
 
-use crate::service::Service;
+use crate::error::ServeError;
+use crate::service::{Service, Ticket};
 use crate::wire::{read_frame, write_frame, Frame};
+
+/// A request backend the TCP front-end can serve: routes inference by
+/// model name, snapshots metrics, and (for registry servers) switches
+/// revisions.
+pub trait Dispatch: Send + Sync + 'static {
+    /// Submit one input item to `model` (empty = the only model).
+    fn submit(&self, model: &str, input: Tensor<f32>) -> Result<Ticket, ServeError>;
+
+    /// Metrics snapshot as JSON.
+    fn metrics_json(&self) -> String;
+
+    /// Make `revision` the active revision of `model`; returns
+    /// `(active, previous)`.
+    fn publish(&self, model: &str, revision: u64) -> Result<(u64, u64), ServeError>;
+
+    /// Revert `model` to the previously active revision; returns
+    /// `(active, previous)`.
+    fn rollback(&self, model: &str) -> Result<(u64, u64), ServeError>;
+}
+
+/// A single [`Service`] exposed under a model name. Accepts requests
+/// addressed to the empty name (the protocol's "only model" form) or to
+/// its own name; publish/rollback are rejected — there is no registry.
+#[derive(Debug)]
+pub struct NamedService {
+    name: String,
+    svc: Service,
+}
+
+impl NamedService {
+    /// Wrap `svc` under `name`.
+    pub fn new(name: impl Into<String>, svc: Service) -> Self {
+        NamedService {
+            name: name.into(),
+            svc,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Service {
+        &self.svc
+    }
+}
+
+impl Dispatch for NamedService {
+    fn submit(&self, model: &str, input: Tensor<f32>) -> Result<Ticket, ServeError> {
+        if !model.is_empty() && model != self.name {
+            return Err(ServeError::UnknownModel(model.to_string()));
+        }
+        self.svc.submit(input)
+    }
+
+    fn metrics_json(&self) -> String {
+        self.svc.metrics().to_json()
+    }
+
+    fn publish(&self, _model: &str, _revision: u64) -> Result<(u64, u64), ServeError> {
+        Err(ServeError::Registry(
+            "this server has no registry; publish is unavailable".into(),
+        ))
+    }
+
+    fn rollback(&self, _model: &str) -> Result<(u64, u64), ServeError> {
+        Err(ServeError::Registry(
+            "this server has no registry; rollback is unavailable".into(),
+        ))
+    }
+}
 
 /// What the writer thread must produce for one inbound frame.
 enum Outcome {
     /// An in-flight inference; resolve the ticket, then answer `id`.
-    Pending(u64, crate::service::Ticket),
-    /// Already-final response (metrics, submission errors).
+    Pending(u64, Ticket),
+    /// Already-final response (metrics, admin, submission errors).
     Immediate(Frame),
 }
 
 /// Accept connections on `listener` forever, serving each on its own
 /// thread. Returns only when `accept` fails fatally.
-pub fn serve_listener(listener: TcpListener, svc: Arc<Service>) -> io::Result<()> {
+pub fn serve_listener<D: Dispatch>(listener: TcpListener, backend: Arc<D>) -> io::Result<()> {
     loop {
         let (stream, peer) = listener.accept()?;
-        let svc = Arc::clone(&svc);
+        let backend = Arc::clone(&backend);
         thread::Builder::new()
             .name(format!("mlcnn-conn-{peer}"))
             .spawn(move || {
                 // Connection errors (resets, protocol violations) end that
                 // connection only; the listener keeps serving.
-                let _ = handle_conn(stream, &svc);
+                let _ = handle_conn(stream, &*backend);
             })?;
     }
 }
 
 /// Serve one connection until EOF or an I/O error.
-fn handle_conn(stream: TcpStream, svc: &Service) -> io::Result<()> {
+fn handle_conn(stream: TcpStream, backend: &dyn Dispatch) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let write_half = stream.try_clone()?;
     let (tx, rx) = mpsc::channel::<Outcome>();
@@ -79,7 +152,7 @@ fn handle_conn(stream: TcpStream, svc: &Service) -> io::Result<()> {
             Err(e) => break Err(e),
         };
         let outcome = match frame {
-            Frame::InferRequest { id, input } => match svc.submit(input) {
+            Frame::InferRequest { id, model, input } => match backend.submit(&model, input) {
                 Ok(ticket) => Outcome::Pending(id, ticket),
                 Err(e) => Outcome::Immediate(Frame::Error {
                     id,
@@ -88,11 +161,41 @@ fn handle_conn(stream: TcpStream, svc: &Service) -> io::Result<()> {
             },
             Frame::MetricsRequest { id } => Outcome::Immediate(Frame::MetricsOk {
                 id,
-                json: svc.metrics().to_json(),
+                json: backend.metrics_json(),
             }),
+            Frame::PublishRequest {
+                id,
+                model,
+                revision,
+            } => Outcome::Immediate(match backend.publish(&model, revision) {
+                Ok((active, previous)) => Frame::AdminOk {
+                    id,
+                    model,
+                    active,
+                    previous,
+                },
+                Err(e) => Frame::Error {
+                    id,
+                    message: e.to_string(),
+                },
+            }),
+            Frame::RollbackRequest { id, model } => {
+                Outcome::Immediate(match backend.rollback(&model) {
+                    Ok((active, previous)) => Frame::AdminOk {
+                        id,
+                        model,
+                        active,
+                        previous,
+                    },
+                    Err(e) => Frame::Error {
+                        id,
+                        message: e.to_string(),
+                    },
+                })
+            }
             other => Outcome::Immediate(Frame::Error {
                 id: other.id(),
-                message: "clients may only send InferRequest or MetricsRequest".into(),
+                message: "clients may only send request frames".into(),
             }),
         };
         if tx.send(outcome).is_err() {
@@ -136,11 +239,28 @@ impl Client {
         Ok(reply)
     }
 
-    /// Run inference on one input item.
-    pub fn infer(&mut self, input: Tensor<f32>) -> io::Result<Tensor<f32>> {
+    fn next_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        match self.roundtrip(&Frame::InferRequest { id, input })? {
+        id
+    }
+
+    /// Run inference on one input item against the server's only model.
+    pub fn infer(&mut self, input: Tensor<f32>) -> io::Result<Tensor<f32>> {
+        self.infer_model("", input)
+    }
+
+    /// Run inference on one input item against a named model (registry
+    /// servers route by name; single-model servers also accept their own
+    /// name).
+    pub fn infer_model(&mut self, model: &str, input: Tensor<f32>) -> io::Result<Tensor<f32>> {
+        let id = self.next_id();
+        let frame = Frame::InferRequest {
+            id,
+            model: model.to_string(),
+            input,
+        };
+        match self.roundtrip(&frame)? {
             Frame::InferOk { output, .. } => Ok(output),
             Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(io::Error::new(
@@ -152,14 +272,49 @@ impl Client {
 
     /// Fetch the server's metrics snapshot as JSON.
     pub fn metrics_json(&mut self) -> io::Result<String> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.next_id();
         match self.roundtrip(&Frame::MetricsRequest { id })? {
             Frame::MetricsOk { json, .. } => Ok(json),
             Frame::Error { message, .. } => Err(io::Error::other(message)),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected reply frame for metrics: {other:?}"),
+            )),
+        }
+    }
+
+    /// Make `revision` the active revision of `model` on a registry
+    /// server; returns `(active, previous)`.
+    pub fn publish(&mut self, model: &str, revision: u64) -> io::Result<(u64, u64)> {
+        let id = self.next_id();
+        let frame = Frame::PublishRequest {
+            id,
+            model: model.to_string(),
+            revision,
+        };
+        self.admin_roundtrip(&frame)
+    }
+
+    /// Revert `model` to its previously active revision on a registry
+    /// server; returns `(active, previous)`.
+    pub fn rollback(&mut self, model: &str) -> io::Result<(u64, u64)> {
+        let id = self.next_id();
+        let frame = Frame::RollbackRequest {
+            id,
+            model: model.to_string(),
+        };
+        self.admin_roundtrip(&frame)
+    }
+
+    fn admin_roundtrip(&mut self, frame: &Frame) -> io::Result<(u64, u64)> {
+        match self.roundtrip(frame)? {
+            Frame::AdminOk {
+                active, previous, ..
+            } => Ok((active, previous)),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply frame for admin request: {other:?}"),
             )),
         }
     }

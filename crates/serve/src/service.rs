@@ -65,7 +65,7 @@ struct Shared {
     /// Signalled on every submission and on shutdown.
     arrivals: Condvar,
     metrics: Metrics,
-    pool: WorkspacePool,
+    pool: Arc<WorkspacePool>,
 }
 
 impl Shared {
@@ -136,6 +136,20 @@ impl Service {
     /// thread starts — when the `V0xx` lint gate denies the config or the
     /// config's precision disagrees with the plan's.
     pub fn spawn(plan: Arc<ExecutionPlan>, cfg: ServeConfig) -> Result<Service, ServeError> {
+        let pool = Arc::new(WorkspacePool::for_plan(&plan, cfg.workers, cfg.max_batch));
+        Service::spawn_with_pool(plan, cfg, pool)
+    }
+
+    /// [`Service::spawn`] over a caller-provided workspace pool, so many
+    /// services (one per model in a registry router) can share scratch
+    /// buffers instead of each pre-warming its own. Workspaces resize
+    /// lazily to whichever plan leases them, so a shared pool is safe
+    /// across heterogeneous models.
+    pub fn spawn_with_pool(
+        plan: Arc<ExecutionPlan>,
+        cfg: ServeConfig,
+        pool: Arc<WorkspacePool>,
+    ) -> Result<Service, ServeError> {
         cfg.validate("mlcnn-serve", &plan)?;
         if cfg.precision != plan.precision() {
             return Err(ServeError::Config(format!(
@@ -149,7 +163,7 @@ impl Service {
             max_wait_nanos: cfg.max_wait.as_nanos().min(u64::MAX as u128) as u64,
         };
         let shared = Arc::new(Shared {
-            pool: WorkspacePool::for_plan(&plan, cfg.workers, cfg.max_batch),
+            pool,
             metrics: Metrics::new(cfg.max_batch),
             plan,
             t0: Instant::now(),

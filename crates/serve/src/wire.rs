@@ -5,11 +5,17 @@
 //! ```text
 //! body := kind:u8  id:u64(BE)  payload
 //!
-//! 0x01 InferRequest   payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
-//! 0x02 MetricsRequest payload = (empty)
-//! 0x81 InferOk        payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
-//! 0x82 MetricsOk      payload = len:u32, UTF-8 JSON
-//! 0xE1 Error          payload = len:u16, UTF-8 message
+//! 0x01 InferRequest    payload = model:name, c:u16 h:u16 w:u16,
+//!                                then c·h·w f32 (LE)
+//! 0x02 MetricsRequest  payload = (empty)
+//! 0x03 PublishRequest  payload = model:name, revision:u64
+//! 0x04 RollbackRequest payload = model:name
+//! 0x81 InferOk         payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
+//! 0x82 MetricsOk       payload = len:u32, UTF-8 JSON
+//! 0x83 AdminOk         payload = model:name, active:u64, previous:u64
+//! 0xE1 Error           payload = len:u16, UTF-8 message
+//!
+//! name := len:u8, UTF-8 bytes
 //! ```
 //!
 //! Ids are caller-chosen correlation tokens echoed verbatim in the
@@ -17,6 +23,12 @@
 //! order, so pipelining many requests on one connection is well-defined
 //! with or without them. Tensors travel as single items (batch dim 1) —
 //! batching is the *server's* job, invisible on the wire.
+//!
+//! The `model` name routes the request in registry mode; an *empty* name
+//! means "the server's only model" and is what a single-model server
+//! accepts (it also tolerates its own model's name). Publish/rollback
+//! drive the registry server's hot-swap and are rejected by single-model
+//! servers.
 //!
 //! Integers are network-endian and floats little-endian, matching the
 //! `mlcnn_nn::serialize` checkpoint convention.
@@ -31,9 +43,15 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 const KIND_INFER_REQUEST: u8 = 0x01;
 const KIND_METRICS_REQUEST: u8 = 0x02;
+const KIND_PUBLISH_REQUEST: u8 = 0x03;
+const KIND_ROLLBACK_REQUEST: u8 = 0x04;
 const KIND_INFER_OK: u8 = 0x81;
 const KIND_METRICS_OK: u8 = 0x82;
+const KIND_ADMIN_OK: u8 = 0x83;
 const KIND_ERROR: u8 = 0xE1;
+
+/// Longest model name a frame can carry (one length byte on the wire).
+pub const MAX_WIRE_MODEL_NAME: usize = u8::MAX as usize;
 
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +60,8 @@ pub enum Frame {
     InferRequest {
         /// Correlation id, echoed in the response.
         id: u64,
+        /// Model to route to; empty means the server's only model.
+        model: String,
         /// The input item (batch dim 1).
         input: Tensor<f32>,
     },
@@ -49,6 +69,24 @@ pub enum Frame {
     MetricsRequest {
         /// Correlation id, echoed in the response.
         id: u64,
+    },
+    /// Client → server: make `revision` the active revision of `model`
+    /// (registry servers only).
+    PublishRequest {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Model to switch.
+        model: String,
+        /// Revision to activate.
+        revision: u64,
+    },
+    /// Client → server: revert `model` to the revision active before the
+    /// last publish (registry servers only).
+    RollbackRequest {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Model to revert.
+        model: String,
     },
     /// Server → client: successful inference.
     InferOk {
@@ -63,6 +101,17 @@ pub enum Frame {
         id: u64,
         /// `MetricsSnapshot::to_json` output.
         json: String,
+    },
+    /// Server → client: a publish or rollback took effect.
+    AdminOk {
+        /// Correlation id of the request this answers.
+        id: u64,
+        /// Model that switched.
+        model: String,
+        /// Revision now active.
+        active: u64,
+        /// Revision active before the switch.
+        previous: u64,
     },
     /// Server → client: the correlated request failed.
     Error {
@@ -79,8 +128,11 @@ impl Frame {
         match self {
             Frame::InferRequest { id, .. }
             | Frame::MetricsRequest { id }
+            | Frame::PublishRequest { id, .. }
+            | Frame::RollbackRequest { id, .. }
             | Frame::InferOk { id, .. }
             | Frame::MetricsOk { id, .. }
+            | Frame::AdminOk { id, .. }
             | Frame::Error { id, .. } => *id,
         }
     }
@@ -89,14 +141,30 @@ impl Frame {
     pub fn encode(&self) -> io::Result<Vec<u8>> {
         let mut body = BytesMut::with_capacity(16);
         match self {
-            Frame::InferRequest { id, input } => {
+            Frame::InferRequest { id, model, input } => {
                 body.put_u8(KIND_INFER_REQUEST);
                 body.put_u64(*id);
+                put_name(&mut body, model)?;
                 put_item(&mut body, input)?;
             }
             Frame::MetricsRequest { id } => {
                 body.put_u8(KIND_METRICS_REQUEST);
                 body.put_u64(*id);
+            }
+            Frame::PublishRequest {
+                id,
+                model,
+                revision,
+            } => {
+                body.put_u8(KIND_PUBLISH_REQUEST);
+                body.put_u64(*id);
+                put_name(&mut body, model)?;
+                body.put_u64(*revision);
+            }
+            Frame::RollbackRequest { id, model } => {
+                body.put_u8(KIND_ROLLBACK_REQUEST);
+                body.put_u64(*id);
+                put_name(&mut body, model)?;
             }
             Frame::InferOk { id, output } => {
                 body.put_u8(KIND_INFER_OK);
@@ -109,6 +177,18 @@ impl Frame {
                 let bytes = json.as_bytes();
                 body.put_u32(u32::try_from(bytes.len()).map_err(|_| oversize("metrics json"))?);
                 body.put_slice(bytes);
+            }
+            Frame::AdminOk {
+                id,
+                model,
+                active,
+                previous,
+            } => {
+                body.put_u8(KIND_ADMIN_OK);
+                body.put_u64(*id);
+                put_name(&mut body, model)?;
+                body.put_u64(*active);
+                body.put_u64(*previous);
             }
             Frame::Error { id, message } => {
                 body.put_u8(KIND_ERROR);
@@ -142,6 +222,7 @@ impl Frame {
         let frame = match kind {
             KIND_INFER_REQUEST => Frame::InferRequest {
                 id,
+                model: get_name(&mut body)?,
                 input: get_item(&mut body)?,
             },
             KIND_INFER_OK => Frame::InferOk {
@@ -149,6 +230,33 @@ impl Frame {
                 output: get_item(&mut body)?,
             },
             KIND_METRICS_REQUEST => Frame::MetricsRequest { id },
+            KIND_PUBLISH_REQUEST => {
+                let model = get_name(&mut body)?;
+                if body.remaining() < 8 {
+                    return Err(bad("publish frame truncated before revision"));
+                }
+                Frame::PublishRequest {
+                    id,
+                    model,
+                    revision: body.get_u64(),
+                }
+            }
+            KIND_ROLLBACK_REQUEST => Frame::RollbackRequest {
+                id,
+                model: get_name(&mut body)?,
+            },
+            KIND_ADMIN_OK => {
+                let model = get_name(&mut body)?;
+                if body.remaining() < 16 {
+                    return Err(bad("admin frame truncated before revisions"));
+                }
+                Frame::AdminOk {
+                    id,
+                    model,
+                    active: body.get_u64(),
+                    previous: body.get_u64(),
+                }
+            }
             KIND_METRICS_OK => {
                 if body.remaining() < 4 {
                     return Err(bad("metrics frame truncated"));
@@ -186,6 +294,27 @@ impl Frame {
         }
         Ok(frame)
     }
+}
+
+fn put_name(body: &mut BytesMut, name: &str) -> io::Result<()> {
+    let bytes = name.as_bytes();
+    let len = u8::try_from(bytes.len()).map_err(|_| oversize("model name"))?;
+    body.put_u8(len);
+    body.put_slice(bytes);
+    Ok(())
+}
+
+fn get_name(body: &mut &[u8]) -> io::Result<String> {
+    if !body.has_remaining() {
+        return Err(bad("model name truncated"));
+    }
+    let len = body.get_u8() as usize;
+    if body.remaining() < len {
+        return Err(bad("model name truncated"));
+    }
+    let mut buf = vec![0u8; len];
+    body.copy_to_slice(&mut buf);
+    String::from_utf8(buf).map_err(|_| bad("model name not UTF-8"))
 }
 
 fn put_item(body: &mut BytesMut, t: &Tensor<f32>) -> io::Result<()> {
@@ -235,11 +364,21 @@ fn oversize(what: &str) -> io::Error {
 /// frame boundary; mid-frame EOF is `UnexpectedEof`.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    // Read the first prefix byte alone: zero bytes is a clean
+    // disconnect, but EOF after 1-3 prefix bytes is a *torn* frame and
+    // must surface as an error (`read_exact` alone cannot tell the two
+    // apart).
+    let first = loop {
+        match r.read(&mut len_buf[..1]) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    if first == 0 {
+        return Ok(None);
     }
+    r.read_exact(&mut len_buf[1..])?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(bad(format!("announced frame of {len} bytes")));
@@ -268,9 +407,24 @@ mod tests {
         let frames = vec![
             Frame::InferRequest {
                 id: 7,
+                model: String::new(),
+                input: item(),
+            },
+            Frame::InferRequest {
+                id: 7,
+                model: "lenet5".into(),
                 input: item(),
             },
             Frame::MetricsRequest { id: 8 },
+            Frame::PublishRequest {
+                id: 10,
+                model: "lenet5".into(),
+                revision: 2,
+            },
+            Frame::RollbackRequest {
+                id: 11,
+                model: "lenet5".into(),
+            },
             Frame::InferOk {
                 id: 7,
                 output: item(),
@@ -278,6 +432,12 @@ mod tests {
             Frame::MetricsOk {
                 id: 8,
                 json: "{\"submitted\":1}".into(),
+            },
+            Frame::AdminOk {
+                id: 10,
+                model: "lenet5".into(),
+                active: 2,
+                previous: 1,
             },
             Frame::Error {
                 id: 9,
@@ -301,6 +461,7 @@ mod tests {
             &mut wire,
             &Frame::InferRequest {
                 id: 2,
+                model: "mlp-mini".into(),
                 input: item(),
             },
         )
@@ -315,6 +476,7 @@ mod tests {
     fn truncated_and_garbage_frames_are_rejected() {
         let encoded = Frame::InferRequest {
             id: 3,
+            model: "m".into(),
             input: item(),
         }
         .encode()
@@ -339,9 +501,27 @@ mod tests {
         let batched = Tensor::<f32>::zeros(Shape4::new(2, 1, 2, 2));
         assert!(Frame::InferRequest {
             id: 1,
+            model: String::new(),
             input: batched
         }
         .encode()
         .is_err());
+    }
+
+    #[test]
+    fn overlong_model_name_is_not_encodable() {
+        assert!(Frame::RollbackRequest {
+            id: 1,
+            model: "x".repeat(MAX_WIRE_MODEL_NAME + 1),
+        }
+        .encode()
+        .is_err());
+        // the longest legal name round-trips
+        let f = Frame::RollbackRequest {
+            id: 1,
+            model: "x".repeat(MAX_WIRE_MODEL_NAME),
+        };
+        let encoded = f.encode().unwrap();
+        assert_eq!(Frame::decode_body(&encoded[4..]).unwrap(), f);
     }
 }

@@ -1,0 +1,254 @@
+//! Acceptance: publishing a new revision under concurrent load loses
+//! zero in-flight requests, every response is bitwise attributable to
+//! exactly one revision (the one [`Router::submit`] reported), and
+//! rollback restores the previous revision's behavior.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mlcnn_core::{ExecutionPlan, PlanOptions, Workspace};
+use mlcnn_nn::spec::build_network;
+use mlcnn_quant::Precision;
+use mlcnn_registry::{Artifact, ModelRegistry};
+use mlcnn_serve::{find_model, Router, ServeConfig, ServeError};
+use mlcnn_tensor::{init, Shape4, Tensor};
+
+const MODEL: &str = "mlp-mini";
+const SEED_REV1: u64 = 41;
+const SEED_REV2: u64 = 42;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("mlcnn-swap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn pack(dir: &std::path::Path, revision: u64, seed: u64) {
+    let zoo = find_model(MODEL).unwrap();
+    let mut net = build_network(&zoo.specs, zoo.input, seed).unwrap();
+    let artifact = Artifact {
+        model: MODEL.to_string(),
+        revision,
+        specs: zoo.specs.clone(),
+        input: zoo.input,
+        precision: Precision::Fp32,
+        params: net.export_params(),
+    };
+    std::fs::write(dir.join(artifact.file_name()), artifact.encode().unwrap()).unwrap();
+}
+
+fn reference(seed: u64, input: &Tensor<f32>) -> Vec<f32> {
+    let zoo = find_model(MODEL).unwrap();
+    let mut net = build_network(&zoo.specs, zoo.input, seed).unwrap();
+    let params = net.export_params();
+    let plan = ExecutionPlan::compile(
+        &zoo.specs,
+        &params,
+        zoo.input,
+        PlanOptions::default().with_precision(Precision::Fp32),
+    )
+    .unwrap();
+    let mut ws = Workspace::new();
+    plan.forward(input, &mut ws).unwrap().as_slice().to_vec()
+}
+
+fn fixed_input() -> Tensor<f32> {
+    let shape = find_model(MODEL).unwrap().input;
+    init::uniform(
+        Shape4::new(1, shape.c, shape.h, shape.w),
+        -1.0,
+        1.0,
+        &mut init::rng(11),
+    )
+}
+
+/// Build a two-revision registry with revision 1 active and a router
+/// over it.
+fn router_on_rev1(scratch: &Scratch) -> Arc<Router> {
+    pack(&scratch.0, 1, SEED_REV1);
+    pack(&scratch.0, 2, SEED_REV2);
+    let registry = ModelRegistry::open(&scratch.0).unwrap();
+    registry.publish(MODEL, 1).unwrap(); // open() activated rev 2 (highest)
+    Arc::new(Router::new(Arc::new(registry), ServeConfig::default()).unwrap())
+}
+
+/// The headline swap contract, exercised in-process: concurrent
+/// submitters keep running while revision 2 is published; nothing is
+/// lost, and each response matches the revision its ticket was
+/// attributed to — never a blend, never the other one.
+#[test]
+fn swap_under_load_loses_nothing_and_attributes_every_response() {
+    let scratch = Scratch::new("underload");
+    let router = router_on_rev1(&scratch);
+    let input = fixed_input();
+    let ref1 = reference(SEED_REV1, &input);
+    let ref2 = reference(SEED_REV2, &input);
+    assert_ne!(ref1, ref2, "revisions must be distinguishable");
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 60;
+    let mut from_rev1 = 0usize;
+    let mut from_rev2 = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let router = Arc::clone(&router);
+            let input = input.clone();
+            let (ref1, ref2) = (&ref1, &ref2);
+            handles.push(s.spawn(move || {
+                let mut counts = (0usize, 0usize);
+                for _ in 0..PER_CLIENT {
+                    // submit() must never fail across the swap
+                    let (revision, ticket) = router.submit(MODEL, input.clone()).unwrap();
+                    let out = ticket.wait().unwrap();
+                    let want = match revision {
+                        1 => &ref1[..],
+                        2 => &ref2[..],
+                        r => panic!("response attributed to unknown revision {r}"),
+                    };
+                    assert_eq!(
+                        out.as_slice(),
+                        want,
+                        "response does not match its attributed revision {revision}"
+                    );
+                    if revision == 1 {
+                        counts.0 += 1;
+                    } else {
+                        counts.1 += 1;
+                    }
+                }
+                counts
+            }));
+        }
+
+        // swap mid-load
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (active, previous) = router.publish(MODEL, 2).unwrap();
+        assert_eq!((active, previous), (2, 1));
+
+        for h in handles {
+            let (r1, r2) = h.join().unwrap();
+            from_rev1 += r1;
+            from_rev2 += r2;
+        }
+    });
+
+    assert_eq!(
+        from_rev1 + from_rev2,
+        CLIENTS * PER_CLIENT,
+        "every submission must resolve exactly once"
+    );
+    assert!(from_rev2 > 0, "swap never took effect under load");
+    assert_eq!(router.active_revision(MODEL).unwrap(), 2);
+
+    // after the dust settles, only rev 2 answers
+    let out = router.infer(MODEL, input.clone()).unwrap();
+    assert_eq!(out.as_slice(), &ref2[..]);
+}
+
+#[test]
+fn rollback_restores_previous_revision_behavior() {
+    let scratch = Scratch::new("rollback");
+    let router = router_on_rev1(&scratch);
+    let input = fixed_input();
+    let ref1 = reference(SEED_REV1, &input);
+    let ref2 = reference(SEED_REV2, &input);
+
+    assert_eq!(
+        router.infer(MODEL, input.clone()).unwrap().as_slice(),
+        &ref1[..]
+    );
+
+    let (active, previous) = router.publish(MODEL, 2).unwrap();
+    assert_eq!((active, previous), (2, 1));
+    assert_eq!(
+        router.infer(MODEL, input.clone()).unwrap().as_slice(),
+        &ref2[..]
+    );
+
+    let (active, previous) = router.rollback(MODEL).unwrap();
+    assert_eq!((active, previous), (1, 2));
+    assert_eq!(
+        router.infer(MODEL, input.clone()).unwrap().as_slice(),
+        &ref1[..]
+    );
+    assert_eq!(router.active_revision(MODEL).unwrap(), 1);
+}
+
+#[test]
+fn publish_guards_and_noop_republish() {
+    let scratch = Scratch::new("guards");
+    let router = router_on_rev1(&scratch);
+
+    // unknown revision: typed error, endpoint untouched
+    match router.publish(MODEL, 9) {
+        Err(ServeError::Registry(msg)) => assert!(msg.contains("revision 9"), "{msg}"),
+        other => panic!("want Registry error, got {other:?}"),
+    }
+    assert_eq!(router.active_revision(MODEL).unwrap(), 1);
+
+    // unknown model: typed error
+    match router.publish("resnet18", 1) {
+        Err(ServeError::UnknownModel(name)) => assert_eq!(name, "resnet18"),
+        other => panic!("want UnknownModel, got {other:?}"),
+    }
+
+    // republishing the active revision is a no-op success
+    assert_eq!(router.publish(MODEL, 1).unwrap(), (1, 1));
+    assert_eq!(router.active_revision(MODEL).unwrap(), 1);
+}
+
+/// Multiple models route independently over the shared pool, and a swap
+/// of one never perturbs the other.
+#[test]
+fn models_route_independently_across_a_swap() {
+    let scratch = Scratch::new("multi");
+    pack(&scratch.0, 1, SEED_REV1);
+    pack(&scratch.0, 2, SEED_REV2);
+    // second model, single revision
+    let other = find_model("vgg-nano").unwrap();
+    let mut net = build_network(&other.specs, other.input, 7).unwrap();
+    let artifact = Artifact {
+        model: other.name.to_string(),
+        revision: 1,
+        specs: other.specs.clone(),
+        input: other.input,
+        precision: Precision::Fp32,
+        params: net.export_params(),
+    };
+    std::fs::write(
+        scratch.0.join(artifact.file_name()),
+        artifact.encode().unwrap(),
+    )
+    .unwrap();
+
+    let registry = ModelRegistry::open(&scratch.0).unwrap();
+    registry.publish(MODEL, 1).unwrap();
+    let router = Router::new(Arc::new(registry), ServeConfig::default()).unwrap();
+    assert_eq!(
+        router.models(),
+        vec![MODEL.to_string(), "vgg-nano".to_string()]
+    );
+
+    let nano_in = init::uniform(
+        Shape4::new(1, other.input.c, other.input.h, other.input.w),
+        -1.0,
+        1.0,
+        &mut init::rng(3),
+    );
+    let before = router.infer("vgg-nano", nano_in.clone()).unwrap();
+    router.publish(MODEL, 2).unwrap();
+    let after = router.infer("vgg-nano", nano_in).unwrap();
+    assert_eq!(before, after, "swapping one model perturbed another");
+}

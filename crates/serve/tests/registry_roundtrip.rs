@@ -1,0 +1,154 @@
+//! Acceptance: packing a model into a `.mlcnn` artifact and loading it
+//! back through [`ModelRegistry`] yields an execution plan bitwise
+//! identical to compiling the specs directly — for every serving-zoo
+//! model at every precision — and corrupted artifacts are rejected when
+//! the registry opens, never at request time.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mlcnn_core::Workspace;
+use mlcnn_nn::spec::build_network;
+use mlcnn_quant::Precision;
+use mlcnn_registry::{Artifact, ModelRegistry, RegistryError};
+use mlcnn_serve::{serving_zoo, ServeModel, SERVE_SEED};
+use mlcnn_tensor::{init, Shape4, Tensor};
+
+/// Scratch directory removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("mlcnn-rt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn artifact_for(model: &ServeModel, revision: u64, precision: Precision) -> Artifact {
+    let mut net = build_network(&model.specs, model.input, SERVE_SEED).unwrap();
+    Artifact {
+        model: model.name.to_string(),
+        revision,
+        specs: model.specs.clone(),
+        input: model.input,
+        precision,
+        params: net.export_params(),
+    }
+}
+
+fn item(shape: Shape4, seed: u64) -> Tensor<f32> {
+    init::uniform(
+        Shape4::new(1, shape.c, shape.h, shape.w),
+        -1.0,
+        1.0,
+        &mut init::rng(seed),
+    )
+}
+
+/// The headline parity contract: pack → open → plan → forward is
+/// bitwise identical to `ServeModel::compile` → forward, for every zoo
+/// model at FP32, FP16, and INT8.
+#[test]
+fn packed_plans_match_direct_compilation_bitwise() {
+    let precisions = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+    for model in serving_zoo() {
+        let scratch = Scratch::new(model.name);
+        // one revision per precision so all three coexist in one registry
+        for (i, &precision) in precisions.iter().enumerate() {
+            let artifact = artifact_for(&model, i as u64 + 1, precision);
+            std::fs::write(
+                scratch.0.join(artifact.file_name()),
+                artifact.encode().unwrap(),
+            )
+            .unwrap();
+        }
+        let registry = ModelRegistry::open(&scratch.0).unwrap();
+        for (i, &precision) in precisions.iter().enumerate() {
+            let (rev, packed) = registry
+                .plan(model.name, Some(i as u64 + 1), precision)
+                .unwrap();
+            assert_eq!(rev, i as u64 + 1);
+            let direct = model.compile(precision).unwrap();
+            let mut ws_packed = Workspace::new();
+            let mut ws_direct = Workspace::new();
+            for seed in 0..3u64 {
+                let x = item(model.input, 500 + seed);
+                let got = packed.forward(&x, &mut ws_packed).unwrap();
+                let want = direct.forward(&x, &mut ws_direct).unwrap();
+                assert_eq!(
+                    got, want,
+                    "{} @ {precision:?}: packed plan diverges from direct compile",
+                    model.name
+                );
+            }
+        }
+    }
+}
+
+/// The registry records each artifact's default precision, and
+/// `plan(.., None-ish default)` respects it.
+#[test]
+fn default_precision_travels_with_the_artifact() {
+    let model = serving_zoo().remove(4); // mlp-mini
+    let scratch = Scratch::new("defprec");
+    let artifact = artifact_for(&model, 1, Precision::Int8);
+    std::fs::write(
+        scratch.0.join(artifact.file_name()),
+        artifact.encode().unwrap(),
+    )
+    .unwrap();
+    let registry = ModelRegistry::open(&scratch.0).unwrap();
+    assert_eq!(
+        registry.default_precision(model.name, 1).unwrap(),
+        Precision::Int8
+    );
+    let (_, plan) = registry.plan(model.name, None, Precision::Int8).unwrap();
+    assert_eq!(plan.precision(), Precision::Int8);
+}
+
+/// Corruption is caught when the registry *opens* — with the R001 lint
+/// code — and a healthy sibling registry keeps serving requests, so the
+/// failure never reaches request time.
+#[test]
+fn corruption_is_rejected_at_open_not_at_request_time() {
+    let model = serving_zoo().remove(4); // mlp-mini
+    let artifact = artifact_for(&model, 1, Precision::Fp32);
+    let bytes = artifact.encode().unwrap();
+
+    // flip one payload byte: open() must refuse the whole directory
+    let bad = Scratch::new("corrupt");
+    let mut corrupted = bytes.clone();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x40;
+    std::fs::write(bad.0.join(artifact.file_name()), &corrupted).unwrap();
+    let err = ModelRegistry::open(&bad.0).unwrap_err();
+    match err {
+        RegistryError::Rejected(msg) => {
+            assert!(msg.contains("R001"), "want R001 in: {msg}")
+        }
+        other => panic!("want Rejected(R001), got {other}"),
+    }
+
+    // truncation: same gate
+    let cut = Scratch::new("trunc");
+    std::fs::write(cut.0.join(artifact.file_name()), &bytes[..bytes.len() - 9]).unwrap();
+    let err = ModelRegistry::open(&cut.0).unwrap_err();
+    assert!(err.to_string().contains("R001"), "{err}");
+
+    // the pristine copy opens and serves
+    let good = Scratch::new("good");
+    std::fs::write(good.0.join(artifact.file_name()), &bytes).unwrap();
+    let registry = ModelRegistry::open(&good.0).unwrap();
+    let (_, plan) = registry.plan(model.name, None, Precision::Fp32).unwrap();
+    let mut ws = Workspace::new();
+    plan.forward(&item(model.input, 1), &mut ws).unwrap();
+    let _ = Arc::new(registry); // registries are shareable across threads
+}

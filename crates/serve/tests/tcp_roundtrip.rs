@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use mlcnn_core::Workspace;
 use mlcnn_quant::Precision;
-use mlcnn_serve::{find_model, serve_listener, Client, ServeConfig, Service};
+use mlcnn_serve::{find_model, serve_listener, Client, NamedService, ServeConfig, Service};
 use mlcnn_tensor::{init, Shape4, Tensor};
 
 fn item(shape: Shape4, seed: u64) -> Tensor<f32> {
@@ -25,11 +25,12 @@ fn tcp_round_trip_matches_plan_forward() {
     let model = find_model("lenet5").unwrap();
     let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
     let cfg = ServeConfig::default().with_batching(4, Duration::from_micros(200));
-    let svc = Arc::new(Service::spawn(Arc::clone(&plan), cfg).unwrap());
+    let svc = Service::spawn(Arc::clone(&plan), cfg).unwrap();
+    let backend = Arc::new(NamedService::new(model.name, svc));
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let acceptor = Arc::clone(&svc);
+    let acceptor = Arc::clone(&backend);
     // the accept loop blocks forever; the thread dies with the process
     std::thread::spawn(move || {
         let _ = serve_listener(listener, acceptor);
@@ -71,4 +72,16 @@ fn tcp_round_trip_matches_plan_forward() {
         client.metrics_json().is_ok(),
         "connection died after an error reply"
     );
+
+    // addressing the single model by name works; a wrong name is a
+    // typed wire error and the connection survives it too
+    let x = item(model.input, 99);
+    client.infer_model("lenet5", x.clone()).unwrap();
+    let err = client.infer_model("resnet18", x).unwrap_err();
+    assert!(err.to_string().contains("unknown model"), "{err}");
+    assert!(client.metrics_json().is_ok());
+
+    // admin frames against a registry-less server: typed refusal
+    let err = client.publish("lenet5", 2).unwrap_err();
+    assert!(err.to_string().contains("no registry"), "{err}");
 }

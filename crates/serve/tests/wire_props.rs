@@ -1,0 +1,136 @@
+//! Hostile-input properties of the wire protocol: `Frame::decode_body`
+//! and `read_frame` are total — arbitrary prefixes, truncations, and
+//! oversized length claims come back as typed `io::Error`s, never
+//! panics or unbounded allocations — and every frame kind round-trips
+//! bitwise, model field included.
+
+use std::io::Cursor;
+
+use mlcnn_serve::{read_frame, Frame, MAX_FRAME_BYTES};
+use mlcnn_tensor::{init, Shape4};
+use proptest::prelude::*;
+
+fn model_name(seed: u8) -> String {
+    // valid wire names of varying length, deterministic per seed
+    let len = 1 + (seed as usize % 32);
+    let c = char::from(b'a' + seed % 26);
+    std::iter::repeat_n(c, len).collect()
+}
+
+fn sample_frames(seed: u8) -> Vec<Frame> {
+    let id = 0x0102_0304_0506_0708 ^ u64::from(seed);
+    let t = init::uniform(
+        Shape4::new(1, 2, 3, 3),
+        -1.0,
+        1.0,
+        &mut init::rng(seed as u64),
+    );
+    vec![
+        Frame::InferRequest {
+            id,
+            model: model_name(seed),
+            input: t.clone(),
+        },
+        Frame::InferRequest {
+            id,
+            model: String::new(),
+            input: t.clone(),
+        },
+        Frame::MetricsRequest { id },
+        Frame::PublishRequest {
+            id,
+            model: model_name(seed),
+            revision: u64::from(seed) + 1,
+        },
+        Frame::RollbackRequest {
+            id,
+            model: model_name(seed),
+        },
+        Frame::InferOk { id, output: t },
+        Frame::MetricsOk {
+            id,
+            json: format!("{{\"s\":{seed}}}"),
+        },
+        Frame::AdminOk {
+            id,
+            model: model_name(seed),
+            active: 2,
+            previous: 1,
+        },
+        Frame::Error {
+            id,
+            message: format!("err {seed}"),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes as a frame body: typed error or frame, no panic.
+    #[test]
+    fn random_bodies_never_panic(body in proptest::collection::vec(any::<u8>(), 0usize..192)) {
+        let _ = Frame::decode_body(&body);
+    }
+
+    /// Every frame kind round-trips bitwise through encode → read_frame,
+    /// model field included.
+    #[test]
+    fn all_frames_round_trip(seed in any::<u8>()) {
+        for frame in sample_frames(seed) {
+            let bytes = frame.encode().unwrap();
+            let mut cursor = Cursor::new(bytes);
+            let back = read_frame(&mut cursor).unwrap().expect("frame present");
+            prop_assert_eq!(back, frame);
+        }
+    }
+
+    /// Any strict prefix of a valid encoded frame is rejected typed (or
+    /// reported as clean EOF at offset 0), never panics, never yields a
+    /// frame.
+    #[test]
+    fn any_prefix_is_rejected(seed in any::<u8>(), cut in any::<u64>()) {
+        for frame in sample_frames(seed) {
+            let bytes = frame.encode().unwrap();
+            let at = (cut as usize) % bytes.len();
+            let mut cursor = Cursor::new(&bytes[..at]);
+            match read_frame(&mut cursor) {
+                Ok(None) => prop_assert_eq!(at, 0, "mid-frame cut reported as clean EOF"),
+                Ok(Some(_)) => prop_assert!(false, "prefix decoded to a frame"),
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Flipping any byte of a valid frame never panics; if it still
+    /// decodes, it decodes to *some* frame (the protocol carries no
+    /// body checksum — corruption detection belongs to the artifact
+    /// layer), and an oversized length claim is refused before any
+    /// allocation.
+    #[test]
+    fn mutations_never_panic(seed in any::<u8>(), offset in any::<u64>(), xor in 1u8..=255) {
+        for frame in sample_frames(seed) {
+            let mut bytes = frame.encode().unwrap();
+            let at = (offset as usize) % bytes.len();
+            bytes[at] ^= xor;
+            let mut cursor = Cursor::new(bytes);
+            let _ = read_frame(&mut cursor);
+        }
+    }
+
+    /// A length prefix beyond `MAX_FRAME_BYTES` is rejected from the
+    /// prefix alone — the reader must not try to buffer the claimed
+    /// size.
+    #[test]
+    fn oversized_length_claims_are_refused(extra in 1u32..=1024) {
+        let claimed = (MAX_FRAME_BYTES as u32) + extra;
+        let mut bytes = claimed.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 32]); // far fewer than claimed
+        let mut cursor = Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("frame"),
+            "unexpected error: {err}"
+        );
+    }
+}

@@ -72,7 +72,8 @@ impl BytesMut {
     }
 }
 
-/// Write cursor for encoding. Only [`BytesMut`] implements it here.
+/// Write cursor for encoding. [`BytesMut`] and `Vec<u8>` implement it
+/// here, matching the upstream impl set the workspace uses.
 pub trait BufMut {
     /// Append raw bytes.
     fn put_slice(&mut self, src: &[u8]);
@@ -106,6 +107,12 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 

@@ -1,8 +1,8 @@
 //! Regenerate the paper's tables and figures as text reports.
 //!
 //! ```text
-//! tablegen [--quick] [all | lint | table1 | table2 | ... | table7 |
-//!           fig3 | fig4 | fig12 | fig13 | fig14 | fig15 |
+//! tablegen [--quick] [all | lint | planlint | table1 | table2 | ... |
+//!           table7 | fig3 | fig4 | fig12 | fig13 | fig14 | fig15 |
 //!           limits | ablation]
 //! ```
 //!
@@ -18,6 +18,7 @@ use mlcnn_bench::{
 fn cheap_reports() -> Vec<Report> {
     vec![
         lint::lint_report(),
+        lint::plan_lint_report(),
         model_stats::table1(),
         sweeps::table2(),
         sweeps::table3(),
@@ -56,6 +57,7 @@ fn main() {
     let select = |id: &str| -> Option<Report> {
         match id {
             "lint" => Some(lint::lint_report()),
+            "planlint" => Some(lint::plan_lint_report()),
             "table1" => Some(model_stats::table1()),
             "table2" => Some(sweeps::table2()),
             "table3" => Some(sweeps::table3()),

@@ -13,9 +13,11 @@
 use crate::Report;
 use mlcnn_accel::dataflow::search_tiling;
 use mlcnn_accel::AcceleratorConfig;
-use mlcnn_check::{lint_network, Reporter};
+use mlcnn_check::{check_plan, check_qrange, lint_network, QRangeOptions, Reporter};
 use mlcnn_nn::zoo;
 use mlcnn_nn::LayerSpec;
+use mlcnn_quant::Precision;
+use mlcnn_serve::serving_zoo;
 use mlcnn_tensor::Shape4;
 
 /// The spec lists the harness trains and compiles, with their lint input
@@ -87,6 +89,49 @@ pub fn lint_report() -> Report {
     Report::new("lint", "Static analysis (mlcnn-check)", body)
 }
 
+/// The post-lowering report: run the `P0xx` dataflow verifier and the
+/// `Q0xx` range analysis over every serving-zoo plan at every precision,
+/// and append the INT8 per-layer scale table a static requantizer would
+/// bake. The diagnostics section must render clean — `mlcnn-lint --plans`
+/// enforces the same invariant in CI.
+pub fn plan_lint_report() -> Report {
+    let mut all = Reporter::new();
+    let mut body = String::new();
+    for model in serving_zoo() {
+        for precision in Precision::ALL {
+            let label = format!("{}@{precision}", model.name);
+            match model.compile(precision) {
+                Ok(plan) => {
+                    let view = plan.view();
+                    let report = all.with_context(&label, |r| {
+                        check_plan(&view, r);
+                        check_qrange(&view, &QRangeOptions::default(), r)
+                    });
+                    if precision == Precision::Int8 {
+                        body.push_str(&format!("\n### {label} layer ranges\n\n"));
+                        body.push_str(&report.markdown());
+                    }
+                }
+                Err(e) => all.emit(
+                    mlcnn_check::Code::ArtifactIncompilable,
+                    None,
+                    format!("{label}: {e}"),
+                ),
+            }
+        }
+    }
+    let findings = if all.is_clean() {
+        "all compiled plans verify clean at FP32/FP16/INT8\n".into()
+    } else {
+        all.pretty()
+    };
+    Report::new(
+        "planlint",
+        "Plan verification (P0xx dataflow + Q0xx ranges)",
+        format!("{findings}{body}"),
+    )
+}
+
 /// Gate the harness: `Err` with the rendered findings when any denial is
 /// present.
 pub fn gate() -> Result<(), String> {
@@ -123,5 +168,26 @@ mod tests {
         let rep = lint_report();
         assert_eq!(rep.id, "lint");
         assert!(!rep.body.is_empty());
+    }
+
+    #[test]
+    fn plan_report_is_clean_and_carries_int8_scale_tables() {
+        let rep = plan_lint_report();
+        assert_eq!(rep.id, "planlint");
+        assert!(
+            rep.body.starts_with("all compiled plans verify clean"),
+            "{}",
+            rep.body
+        );
+        // one scale table per serving-zoo model
+        assert_eq!(
+            rep.body.matches("layer ranges").count(),
+            serving_zoo().len(),
+            "{}",
+            rep.body
+        );
+        assert!(rep
+            .body
+            .contains("| step | op | lo | hi | int8 scale | rounded |"));
     }
 }

@@ -129,6 +129,58 @@ pub enum Code {
     /// R004: two artifacts in one registry claim the same
     /// `model@revision` identity.
     DuplicateRevision,
+    /// P001: the plan's step shape chain has a gap — a step's output
+    /// shape disagrees with the next step's input shape (or the chain's
+    /// endpoints disagree with the plan's declared input/output).
+    PlanShapeChainBroken,
+    /// P002: an in-place op (ReLU/Sigmoid, or the zero-copy Flatten)
+    /// aliases its buffer illegally — it claims to change the shape or
+    /// element count of data it never moves.
+    PlanIllegalInPlace,
+    /// P003: `buf_item_len` is not the exact least upper bound of the
+    /// activations the steps produce — an undersized arena (out-of-bounds
+    /// writes) or silent overallocation.
+    PlanArenaMismatch,
+    /// P004: `cols_item_len` is not the exact least upper bound of the
+    /// im2col scratch the conv steps need.
+    PlanColsMismatch,
+    /// P005: a step's baked parameters (weight/bias/channel profiles)
+    /// disagree with its geometry — wrong weight length, truncated bias,
+    /// or a channel-profile count that does not match the output channels.
+    PlanParamMismatch,
+    /// P006: a step's declared output shape cannot be derived from its
+    /// input shape and op geometry (bad conv/pool arithmetic, zero-extent
+    /// shape, flatten that changes the element count).
+    PlanBadStepGeometry,
+    /// P007: a step is provably dead — it can never change its input
+    /// (e.g. ReLU directly after a ReLU, a fused op's ReLU, or a sigmoid).
+    PlanRedundantStep,
+    /// P008: size arithmetic for the plan overflows `usize` — a hostile
+    /// or corrupt plan whose shape products cannot be computed, let alone
+    /// allocated.
+    PlanSizeOverflow,
+    /// P009: `round_after` placement contradicts the plan's precision
+    /// policy (FP32 never rounds; FP16 rounds every data-moving step;
+    /// INT8 rounds all but the final logits).
+    PlanRoundingInvalid,
+    /// Q001: a step's value interval is a single point — the layer
+    /// computes a compile-time constant, and INT8's dynamic activation
+    /// scale degenerates (all downstream compute is wasted).
+    RangeConstant,
+    /// Q002: a step rounded through FP16 has a worst-case bound beyond
+    /// binary16's finite range (±65504) — saturation to infinity.
+    RangeFp16Overflow,
+    /// Q003: a step rounded through FP16 has its entire value interval
+    /// below binary16's smallest subnormal — the whole tensor collapses
+    /// to zero.
+    RangeFp16Underflow,
+    /// Q004: a step rounded through INT8 has an interval narrower than
+    /// the worst-case quantization step — the whole tensor lands on at
+    /// most two grid levels (resolution collapse).
+    RangeInt8Collapse,
+    /// Q005: a sigmoid whose input interval lies entirely in the
+    /// saturated tail — its output is constant 0 or 1 at f32.
+    RangeSigmoidSaturated,
 }
 
 impl Code {
@@ -170,6 +222,137 @@ impl Code {
             Code::ArtifactParamMismatch => "R002",
             Code::ArtifactIncompilable => "R003",
             Code::DuplicateRevision => "R004",
+            Code::PlanShapeChainBroken => "P001",
+            Code::PlanIllegalInPlace => "P002",
+            Code::PlanArenaMismatch => "P003",
+            Code::PlanColsMismatch => "P004",
+            Code::PlanParamMismatch => "P005",
+            Code::PlanBadStepGeometry => "P006",
+            Code::PlanRedundantStep => "P007",
+            Code::PlanSizeOverflow => "P008",
+            Code::PlanRoundingInvalid => "P009",
+            Code::RangeConstant => "Q001",
+            Code::RangeFp16Overflow => "Q002",
+            Code::RangeFp16Underflow => "Q003",
+            Code::RangeInt8Collapse => "Q004",
+            Code::RangeSigmoidSaturated => "Q005",
+        }
+    }
+
+    /// Every code the crate can emit, in table order. New codes must be
+    /// added here — the registry is what renders the DESIGN.md code table
+    /// and what the uniqueness test runs over.
+    pub const ALL: &'static [Code] = &[
+        Code::ZeroStride,
+        Code::ZeroExtent,
+        Code::KernelExceedsInput,
+        Code::PoolExceedsInput,
+        Code::PoolNotDividing,
+        Code::LinearOnSpatial,
+        Code::NonSquareGlobalPool,
+        Code::InceptionMismatch,
+        Code::EmptyComposite,
+        Code::ResidualMismatch,
+        Code::BadGeometry,
+        Code::OverlappingPoolFusion,
+        Code::ActivationBlocksFusion,
+        Code::NonConvPoolProducer,
+        Code::CompositeNotCompilable,
+        Code::BatchNormNotFoldable,
+        Code::ZeroTileExtent,
+        Code::FootprintExceedsBuffer,
+        Code::TileExceedsLayer,
+        Code::AreaBudgetExceeded,
+        Code::BufferBudgetExceeded,
+        Code::SliceScalingMismatch,
+        Code::DegenerateConfig,
+        Code::DatapathInconsistent,
+        Code::ZeroQueueCapacity,
+        Code::ZeroMaxBatch,
+        Code::ZeroServeWorkers,
+        Code::ExcessiveMaxWait,
+        Code::WorkersExceedParallelism,
+        Code::BatchExceedsQueue,
+        Code::ArenaBudgetExceeded,
+        Code::ArtifactCorrupt,
+        Code::ArtifactParamMismatch,
+        Code::ArtifactIncompilable,
+        Code::DuplicateRevision,
+        Code::PlanShapeChainBroken,
+        Code::PlanIllegalInPlace,
+        Code::PlanArenaMismatch,
+        Code::PlanColsMismatch,
+        Code::PlanParamMismatch,
+        Code::PlanBadStepGeometry,
+        Code::PlanRedundantStep,
+        Code::PlanSizeOverflow,
+        Code::PlanRoundingInvalid,
+        Code::RangeConstant,
+        Code::RangeFp16Overflow,
+        Code::RangeFp16Underflow,
+        Code::RangeInt8Collapse,
+        Code::RangeSigmoidSaturated,
+    ];
+
+    /// One-line description of what the code proves, for the rendered
+    /// code table and tooling.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Code::ZeroStride => "convolution or pooling stride of zero",
+            Code::ZeroExtent => "zero-extent kernel, window, channel or feature count",
+            Code::KernelExceedsInput => "kernel larger than the (padded) input plane",
+            Code::PoolExceedsInput => "pool window larger than the input plane",
+            Code::PoolNotDividing => {
+                "pool stride does not divide the input plane; trailing rows/columns dropped"
+            }
+            Code::LinearOnSpatial => "`Linear` applied to an unflattened spatial input",
+            Code::NonSquareGlobalPool => "`GlobalAvgPool` on a non-square plane",
+            Code::InceptionMismatch => "inception branches disagree on output spatial shape",
+            Code::EmptyComposite => "composite layer with no branches or empty inner pipeline",
+            Code::ResidualMismatch => "residual main and skip branches disagree on shape",
+            Code::BadGeometry => "geometry rejected for a reason not covered by a specific code",
+            Code::OverlappingPoolFusion => {
+                "conv followed by an overlapping average pool (fusion needs window == stride)"
+            }
+            Code::ActivationBlocksFusion => {
+                "`Conv -> ReLU -> AvgPool`; reordering would expose a fusable pair"
+            }
+            Code::NonConvPoolProducer => "non-overlapping average pool not produced by a conv",
+            Code::CompositeNotCompilable => "composite layer in a sequential-only pipeline",
+            Code::BatchNormNotFoldable => "batch norm not folded before fused compilation",
+            Code::ZeroTileExtent => "tiling with a zero extent",
+            Code::FootprintExceedsBuffer => "tiling footprint exceeds on-chip buffer capacity",
+            Code::TileExceedsLayer => "tile extent exceeds the layer dimension it tiles",
+            Code::AreaBudgetExceeded => "configuration exceeds the die area budget",
+            Code::BufferBudgetExceeded => "configuration exceeds the on-chip memory budget",
+            Code::SliceScalingMismatch => "MAC slice count off the slices-per-precision scaling",
+            Code::DegenerateConfig => "degenerate accelerator configuration",
+            Code::DatapathInconsistent => "MLCNN datapath enabled with no AR adders",
+            Code::ZeroQueueCapacity => "serving queue with zero capacity",
+            Code::ZeroMaxBatch => "micro-batcher with `max_batch` of zero",
+            Code::ZeroServeWorkers => "serving worker pool with zero workers",
+            Code::ExcessiveMaxWait => "micro-batch `max_wait` beyond the sanity ceiling",
+            Code::WorkersExceedParallelism => "more serving workers than hardware threads",
+            Code::BatchExceedsQueue => "`max_batch` larger than the submission queue",
+            Code::ArenaBudgetExceeded => "worker workspaces exceed the arena memory budget",
+            Code::ArtifactCorrupt => "model artifact corrupt (framing, magic, checksum)",
+            Code::ArtifactParamMismatch => "artifact parameters disagree with its spec list",
+            Code::ArtifactIncompilable => "artifact spec list cannot compile into a plan",
+            Code::DuplicateRevision => "two artifacts claim the same model@revision",
+            Code::PlanShapeChainBroken => "plan step shape chain has a gap",
+            Code::PlanIllegalInPlace => "in-place op aliases its buffer illegally",
+            Code::PlanArenaMismatch => "`buf_item_len` is not the exact activation LUB",
+            Code::PlanColsMismatch => "`cols_item_len` is not the exact im2col LUB",
+            Code::PlanParamMismatch => "baked parameters disagree with step geometry",
+            Code::PlanBadStepGeometry => "step output shape underivable from input + op",
+            Code::PlanRedundantStep => "step is provably dead (can never change its input)",
+            Code::PlanSizeOverflow => "plan size arithmetic overflows usize",
+            Code::PlanRoundingInvalid => "round_after placement contradicts the precision",
+            Code::RangeConstant => "layer output interval is a single point (constant)",
+            Code::RangeFp16Overflow => "FP16-rounded layer may exceed binary16 finite range",
+            Code::RangeFp16Underflow => "FP16-rounded layer interval is entirely subnormal-zero",
+            Code::RangeInt8Collapse => "INT8-rounded layer interval narrower than one grid step",
+            Code::RangeSigmoidSaturated => "sigmoid input interval entirely in the saturated tail",
         }
     }
 
@@ -186,10 +369,33 @@ impl Code {
             | Code::DatapathInconsistent
             | Code::ExcessiveMaxWait
             | Code::WorkersExceedParallelism
-            | Code::BatchExceedsQueue => Severity::Warn,
+            | Code::BatchExceedsQueue
+            | Code::PlanRedundantStep
+            | Code::RangeConstant
+            | Code::RangeFp16Overflow
+            | Code::RangeFp16Underflow
+            | Code::RangeInt8Collapse
+            | Code::RangeSigmoidSaturated => Severity::Warn,
             _ => Severity::Deny,
         }
     }
+}
+
+/// Render the full code registry as a GitHub-markdown table — the table
+/// DESIGN.md embeds (a test keeps the two in sync, so the document can
+/// never drift from the code).
+pub fn code_table_markdown() -> String {
+    let mut out =
+        String::from("| Code | Default | Description |\n|------|---------|-------------|\n");
+    for code in Code::ALL {
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            code.as_str(),
+            code.default_severity(),
+            code.description()
+        ));
+    }
+    out
 }
 
 impl fmt::Display for Code {
@@ -436,6 +642,42 @@ mod tests {
             Severity::Deny
         );
         assert_eq!(Code::PoolNotDividing.default_severity(), Severity::Warn);
+    }
+
+    #[test]
+    fn code_registry_is_globally_unique_with_descriptions() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for code in Code::ALL {
+            let s = code.as_str();
+            assert!(seen.insert(s), "duplicate diagnostic code {s}");
+            assert!(
+                !code.description().is_empty(),
+                "{s} carries an empty description"
+            );
+            // the code string is family letter + 3 digits
+            let (family, num) = s.split_at(1);
+            assert!(
+                matches!(family, "S" | "F" | "A" | "V" | "R" | "P" | "Q"),
+                "{s}: unknown code family"
+            );
+            assert!(
+                num.len() == 3 && num.chars().all(|c| c.is_ascii_digit()),
+                "{s}: malformed code number"
+            );
+        }
+    }
+
+    #[test]
+    fn design_md_embeds_the_rendered_code_table() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+        let design = std::fs::read_to_string(path).expect("DESIGN.md readable");
+        let table = code_table_markdown();
+        assert!(
+            design.contains(&table),
+            "DESIGN.md is out of sync with the diagnostic code registry; \
+             regenerate its code table from `diag::code_table_markdown()`:\n{table}"
+        );
     }
 
     #[test]

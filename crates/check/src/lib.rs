@@ -24,7 +24,17 @@
 //!   (`R0xx`): corrupt bundles, spec/parameter disagreement, incompilable
 //!   specs, and duplicate `model@revision` identities, gating
 //!   `ModelRegistry::open` so no request-time path ever touches a bad
-//!   artifact.
+//!   artifact;
+//! * [`plan::check_plan`] — dataflow verification of *compiled* execution
+//!   plans (`P0xx`): symbolic execution over the abstract ping-pong
+//!   workspace, proving the shape chain, in-place aliasing, exact arena
+//!   bounds, parameter agreement and rounding placement the executor
+//!   relies on — the one pass that checks the compiler's *output* rather
+//!   than its inputs;
+//! * [`qrange::check_qrange`] — quantization range analysis (`Q0xx`):
+//!   interval propagation through FP16/INT8 plans, flagging saturation
+//!   and collapse-to-zero risks and emitting the per-layer scale report
+//!   the planned integer INT8 kernel will consume.
 //!
 //! All passes report through [`diag::Reporter`], which collects
 //! [`diag::Diagnostic`]s with stable codes, supports a deny-warnings mode,
@@ -37,16 +47,22 @@
 //! is the one-call "lint this spec" used by the binary and the bench
 //! reports.
 
+#![forbid(unsafe_code)]
+
 pub mod accel;
 pub mod diag;
 pub mod fusion;
+pub mod plan;
+pub mod qrange;
 pub mod registry;
 pub mod serve;
 pub mod shape;
 
 pub use accel::{check_accel_config, check_tiling, AccelConfigLint, TilingLint};
-pub use diag::{Code, Diagnostic, Reporter, Severity, Span};
+pub use diag::{code_table_markdown, Code, Diagnostic, Reporter, Severity, Span};
 pub use fusion::{check_fusion, rme_ratio, FusionClass, FusionGroup};
+pub use plan::{check_plan, ChannelProfile, OpView, ParamProfile, PlanView, StepView};
+pub use qrange::{check_qrange, QRangeOptions, QRangeReport, StepRange};
 pub use registry::{
     check_registry_scan, check_registry_scan_summary, ArtifactFinding, ArtifactLint,
 };

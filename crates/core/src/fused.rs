@@ -213,6 +213,31 @@ impl<T: Scalar> FusedConvPool<T> {
         self.pool
     }
 
+    /// Baked weight tensor (`M×N×K×K`).
+    pub fn weight(&self) -> &Tensor<T> {
+        &self.weight
+    }
+
+    /// Baked bias, one entry per output channel.
+    pub fn bias(&self) -> &[T] {
+        &self.bias
+    }
+
+    /// Whether the fused group ends in ReLU.
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// Convolution stride.
+    pub fn conv_stride(&self) -> usize {
+        self.conv_stride
+    }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
     /// Derived geometry for an input shape.
     pub fn geometry(&self, input: Shape4) -> Result<FusedGeometry> {
         FusedGeometry::new(
@@ -436,6 +461,7 @@ impl<T: Scalar> FusedConvPool<T> {
 mod tests {
     use super::*;
     use mlcnn_tensor::init;
+    #[cfg(not(miri))]
     use proptest::prelude::*;
 
     fn rand_setup(
@@ -621,6 +647,7 @@ mod tests {
         );
     }
 
+    #[cfg(not(miri))] // randomized sweeps are far too slow under the interpreter
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]

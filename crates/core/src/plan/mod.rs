@@ -24,6 +24,7 @@
 //! `Network` / `FusedNetwork` / `forward_quantized` paths it replaces.
 
 mod exec;
+mod view;
 mod workspace;
 
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};
@@ -359,23 +360,49 @@ impl ExecutionPlan {
 
         // Arena sizing: the ping-pong buffers must hold the largest
         // per-item activation, the cols scratch the largest im2col matrix.
-        let mut buf_item_len = Shape4::new(1, input.c, input.h, input.w).len();
+        // All products go through checked arithmetic — a hostile artifact
+        // must surface as a P008 compile error, never a debug-build panic
+        // or a release-build wraparound that undersizes the arena.
+        let overflow = || TensorError::BadGeometry {
+            reason: "error[P008]: plan size arithmetic overflows usize; \
+                     the workspace arena cannot be sized"
+                .into(),
+        };
+        let checked_len = |s: Shape4| -> Result<usize> { s.checked_len().ok_or_else(overflow) };
+        let mut buf_item_len = checked_len(Shape4::new(1, input.c, input.h, input.w))?;
         let mut cols_item_len = 0usize;
         for s in &steps {
-            buf_item_len = buf_item_len.max(s.out_shape.len());
+            buf_item_len = buf_item_len.max(checked_len(s.out_shape)?);
             if let Op::Conv { geom, .. } = &s.op {
-                cols_item_len = cols_item_len.max(s.in_shape.c * geom.taps() * geom.out_len());
+                let need = s
+                    .in_shape
+                    .c
+                    .checked_mul(geom.taps())
+                    .and_then(|x| x.checked_mul(geom.out_len()))
+                    .ok_or_else(overflow)?;
+                cols_item_len = cols_item_len.max(need);
             }
         }
 
-        Ok(ExecutionPlan {
+        let plan = ExecutionPlan {
             steps,
             input_shape: Shape4::new(1, input.c, input.h, input.w),
             output_shape: shape,
             precision,
             buf_item_len,
             cols_item_len,
-        })
+        };
+        // The compiler checking its own output: every debug build re-runs
+        // the P0xx dataflow verifier over the freshly lowered plan, so a
+        // lowering bug that breaks a plan invariant fails here instead of
+        // corrupting an inference. Release builds skip the pass; the
+        // deny-mode gates (registry trial-compile, router publish) still
+        // run it where untrusted plans enter.
+        #[cfg(debug_assertions)]
+        if let Err(e) = plan.verify() {
+            panic!("ExecutionPlan::compile produced a plan its own verifier rejects: {e}");
+        }
+        Ok(plan)
     }
 
     /// Expected single-item input shape (batch dim fixed at 1).

@@ -308,6 +308,7 @@ mod tests {
     use mlcnn_tensor::activation::relu;
     use mlcnn_tensor::pool::avg_pool2d;
     use mlcnn_tensor::{init, Shape4};
+    #[cfg(not(miri))]
     use proptest::prelude::*;
 
     #[test]
@@ -485,6 +486,7 @@ mod tests {
         assert_eq!(ac, specs);
     }
 
+    #[cfg(not(miri))] // randomized sweeps are far too slow under the interpreter
     proptest! {
         #[test]
         fn prop_relu_maxpool_commutes(seed in 0u64..200, w in 2usize..4) {

@@ -128,6 +128,7 @@ pub fn simulate_row(k: usize, d: usize, s: usize, p: usize, mode: ReuseMode) -> 
 mod tests {
     use super::*;
     use crate::analytic;
+    #[cfg(not(miri))]
     use proptest::prelude::*;
 
     #[test]
@@ -245,6 +246,7 @@ mod tests {
         assert_eq!(sim.total(), 0);
     }
 
+    #[cfg(not(miri))] // randomized sweeps are far too slow under the interpreter
     proptest! {
         #[test]
         fn prop_gar_exact_closed_form_holds(k in 2usize..16, extra in 0usize..40, s in 1usize..4) {

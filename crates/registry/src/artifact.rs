@@ -263,8 +263,14 @@ impl Artifact {
             }
         }
         // The static gate and the shape walk cover everything the compiler
-        // checks, but the compiler is the authority — run it once.
-        self.compile(Precision::Fp32).map(|_| ())
+        // checks, but the compiler is the authority — run it once, then
+        // run the P0xx dataflow verifier over the compiled plan in deny
+        // mode: trial-compile is where untrusted bytes become an
+        // executable plan, so the plan itself must prove its invariants
+        // (gap-free shape chain, exact arena bounds, legal aliasing)
+        // before the registry will ever serve this artifact.
+        let plan = self.compile(Precision::Fp32)?;
+        plan.verify().map_err(ArtifactError::Incompilable)
     }
 
     /// Compile into an [`ExecutionPlan`] at `precision`. Same inputs and

@@ -151,6 +151,13 @@ impl Service {
         pool: Arc<WorkspacePool>,
     ) -> Result<Service, ServeError> {
         cfg.validate("mlcnn-serve", &plan)?;
+        // Deny-mode plan verification: the service executes the plan's
+        // slice arithmetic blindly from here on, so a plan that cannot
+        // prove its dataflow invariants (P0xx) never gets a thread. This
+        // covers every route into serving — direct spawns, router
+        // construction, and publish/rollback hot-swaps.
+        plan.verify()
+            .map_err(|e| ServeError::Config(format!("plan verifier rejected the plan: {e}")))?;
         if cfg.precision != plan.precision() {
             return Err(ServeError::Config(format!(
                 "config selects {} but the plan was compiled at {}",

@@ -1,0 +1,75 @@
+//! Acceptance: the P0xx plan verifier runs in deny mode on every route
+//! into serving — a hand-corrupted plan is rejected before any `Service`
+//! thread spawns, while the same plan uncorrupted serves normally.
+
+use std::sync::Arc;
+
+use mlcnn_quant::Precision;
+use mlcnn_serve::{find_model, ServeConfig, ServeError, Service};
+use mlcnn_tensor::{init, Shape4, Tensor};
+
+fn plan_and_input(name: &str) -> (mlcnn_core::ExecutionPlan, Tensor<f32>) {
+    let model = find_model(name).unwrap();
+    let plan = model.compile(Precision::Fp32).unwrap();
+    let shape = model.input;
+    let input = init::uniform(
+        Shape4::new(1, shape.c, shape.h, shape.w),
+        -1.0,
+        1.0,
+        &mut init::rng(3),
+    );
+    (plan, input)
+}
+
+#[test]
+fn valid_plan_spawns_and_serves() {
+    let (plan, input) = plan_and_input("lenet5");
+    let svc = Service::spawn(Arc::new(plan), ServeConfig::default()).unwrap();
+    let out = svc.infer(input).unwrap();
+    assert_eq!(out.shape().w, 10);
+}
+
+#[test]
+fn corrupted_arena_is_rejected_before_any_thread_spawns() {
+    let (mut plan, input) = plan_and_input("lenet5");
+    // shrink the activation arena: executing this plan would write past
+    // its ping-pong buffers
+    plan.corrupt_buf_item_len_for_tests(1);
+    let err = Service::spawn(Arc::new(plan), ServeConfig::default()).unwrap_err();
+    match err {
+        ServeError::Config(msg) => {
+            assert!(msg.contains("P003"), "expected a P003 denial, got: {msg}")
+        }
+        other => panic!("expected Config error, got {other:?}"),
+    }
+    drop(input);
+}
+
+#[test]
+fn corrupted_rounding_is_rejected_at_reduced_precision() {
+    let model = find_model("mlp-mini").unwrap();
+    let mut plan = model.compile(Precision::Fp16).unwrap();
+    plan.corrupt_round_after_for_tests(0);
+    let cfg = ServeConfig {
+        precision: Precision::Fp16,
+        ..ServeConfig::default()
+    };
+    let err = Service::spawn(Arc::new(plan), cfg).unwrap_err();
+    match err {
+        ServeError::Config(msg) => {
+            assert!(msg.contains("P009"), "expected a P009 denial, got: {msg}")
+        }
+        other => panic!("expected Config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_zoo_plan_passes_the_gate_at_every_precision() {
+    for model in mlcnn_serve::serving_zoo() {
+        for precision in Precision::ALL {
+            let plan = model.compile(precision).unwrap();
+            plan.verify()
+                .unwrap_or_else(|e| panic!("{}@{precision}: {e}", model.name));
+        }
+    }
+}

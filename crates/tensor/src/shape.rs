@@ -71,6 +71,20 @@ impl Shape4 {
         self.n * self.c * self.h * self.w
     }
 
+    /// [`Shape4::len`] through checked arithmetic: `None` when the
+    /// element count overflows `usize`. Static analysis over untrusted
+    /// shapes (plan verification, artifact scans) must use this — `len`
+    /// wraps in release builds.
+    pub const fn checked_len(&self) -> Option<usize> {
+        match self.n.checked_mul(self.c) {
+            None => None,
+            Some(nc) => match nc.checked_mul(self.h) {
+                None => None,
+                Some(nch) => nch.checked_mul(self.w),
+            },
+        }
+    }
+
     /// True when the shape holds no elements.
     pub const fn is_empty(&self) -> bool {
         self.len() == 0

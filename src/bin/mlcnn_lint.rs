@@ -1,16 +1,23 @@
 //! `mlcnn-lint`: run the `mlcnn-check` static analysis suite over the
-//! workspace's declarative inputs.
+//! workspace's declarative inputs — and, with `--plans`, over the
+//! *compiled* execution plans.
 //!
 //! ```text
-//! mlcnn-lint [--json] [--deny-warnings]
+//! mlcnn-lint [--json] [--deny-warnings] [--plans]
 //! ```
 //!
-//! Checks, in order:
+//! Default suite, in order:
 //!
 //! 1. every model-zoo spec list (shape inference + fusion legality);
 //! 2. every Table VII accelerator configuration;
 //! 3. the tiling the dataflow search picks for every conv layer of the
 //!    Table I models, against the FP32 buffer.
+//!
+//! `--plans` runs the post-lowering suite instead: the serving zoo is
+//! compiled at FP32/FP16/INT8 and every plan goes through the `P0xx`
+//! dataflow verifier and the `Q0xx` quantization range analysis. This
+//! suite must be — and is CI-enforced to be — completely clean: the
+//! compiler's own output admits no warnings.
 //!
 //! Exit status: `0` when no denial was found (warnings are reported but
 //! non-fatal unless `--deny-warnings`), `1` on denials, `2` on usage
@@ -18,8 +25,12 @@
 
 use mlcnn::accel::dataflow::search_tiling;
 use mlcnn::accel::AcceleratorConfig;
-use mlcnn::check::{lint_network, Code, Reporter, Severity};
+use mlcnn::check::{
+    check_plan, check_qrange, lint_network, Code, QRangeOptions, Reporter, Severity,
+};
 use mlcnn::nn::zoo;
+use mlcnn::quant::Precision;
+use mlcnn::serve::serving_zoo;
 use mlcnn::tensor::Shape4;
 
 fn run_suite(deny_warnings: bool) -> Reporter {
@@ -67,15 +78,44 @@ fn run_suite(deny_warnings: bool) -> Reporter {
     all
 }
 
+/// The `--plans` suite: compile every serving-zoo model at every
+/// precision and run both post-lowering passes over each plan, with a
+/// `name@precision` context prefix on every finding.
+fn run_plan_suite(deny_warnings: bool) -> Reporter {
+    let mut all = if deny_warnings {
+        Reporter::deny_warnings()
+    } else {
+        Reporter::new()
+    };
+    for model in serving_zoo() {
+        for precision in Precision::ALL {
+            let label = format!("{}@{precision}", model.name);
+            match model.compile(precision) {
+                Ok(plan) => {
+                    let view = plan.view();
+                    all.with_context(label, |r| {
+                        check_plan(&view, r);
+                        check_qrange(&view, &QRangeOptions::default(), r);
+                    });
+                }
+                Err(e) => all.emit(Code::ArtifactIncompilable, None, format!("{label}: {e}")),
+            }
+        }
+    }
+    all
+}
+
 fn main() {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut plans = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--plans" => plans = true,
             "--help" | "-h" => {
-                println!("usage: mlcnn-lint [--json] [--deny-warnings]");
+                println!("usage: mlcnn-lint [--json] [--deny-warnings] [--plans]");
                 return;
             }
             other => {
@@ -85,7 +125,11 @@ fn main() {
         }
     }
 
-    let reporter = run_suite(deny_warnings);
+    let reporter = if plans {
+        run_plan_suite(deny_warnings)
+    } else {
+        run_suite(deny_warnings)
+    };
     if json {
         println!("{}", reporter.to_json());
     } else {
@@ -97,7 +141,7 @@ fn main() {
     // summarize where the warnings come from: the zoo specs are the
     // paper's *pre*-reorder networks, so conv→ReLU→pool warnings are the
     // expected motivating pattern, not mistakes
-    if !json && reporter.count(Severity::Warn) > 0 {
+    if !json && !plans && reporter.count(Severity::Warn) > 0 {
         eprintln!(
             "note: F002 warnings flag the pre-reorder `conv → ReLU → avg-pool` \
              pattern the paper's Section III reordering removes"

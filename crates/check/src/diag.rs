@@ -31,7 +31,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `S` = shape inference, `F` = fusion/reorder
 /// legality, `A` = accelerator configuration and tiling, `V` = serving
-/// runtime configuration, `R` = model-registry artifacts.
+/// runtime configuration, `R` = model-registry artifacts, `N` =
+/// network front-end configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -181,6 +182,33 @@ pub enum Code {
     /// Q005: a sigmoid whose input interval lies entirely in the
     /// saturated tail — its output is constant 0 or 1 at f32.
     RangeSigmoidSaturated,
+    /// N001: event-loop with zero reactor shards; no connection could
+    /// ever be served.
+    ZeroNetShards,
+    /// N002: more reactor shards than the host exposes hardware
+    /// threads; the surplus only adds context switching.
+    ShardsExceedParallelism,
+    /// N003: connection cap of zero; the acceptor would drop every
+    /// socket.
+    ZeroConnectionCap,
+    /// N004: per-connection pipeline depth of zero; backpressure would
+    /// pause reads before the first request.
+    ZeroPipelineDepth,
+    /// N005: pipeline depth beyond the sanity ceiling; one connection
+    /// could monopolize its reactor and the service queue.
+    ExcessivePipelineDepth,
+    /// N006: pipeline depth larger than the service queue capacity; a
+    /// single connection's burst alone forces queue-full rejections.
+    PipelineOverrunsQueue,
+    /// N007: idle timeout of zero; every connection would be reaped
+    /// the moment it pauses between requests.
+    ZeroIdleTimeout,
+    /// N008: idle timeout beyond the epoll timeout range; the reaper
+    /// could never schedule it.
+    IdleTimeoutOverflow,
+    /// N009: write-buffer high-watermark of zero; backpressure would
+    /// serialize every connection.
+    ZeroWriteBufferLimit,
 }
 
 impl Code {
@@ -236,6 +264,15 @@ impl Code {
             Code::RangeFp16Underflow => "Q003",
             Code::RangeInt8Collapse => "Q004",
             Code::RangeSigmoidSaturated => "Q005",
+            Code::ZeroNetShards => "N001",
+            Code::ShardsExceedParallelism => "N002",
+            Code::ZeroConnectionCap => "N003",
+            Code::ZeroPipelineDepth => "N004",
+            Code::ExcessivePipelineDepth => "N005",
+            Code::PipelineOverrunsQueue => "N006",
+            Code::ZeroIdleTimeout => "N007",
+            Code::IdleTimeoutOverflow => "N008",
+            Code::ZeroWriteBufferLimit => "N009",
         }
     }
 
@@ -292,6 +329,15 @@ impl Code {
         Code::RangeFp16Underflow,
         Code::RangeInt8Collapse,
         Code::RangeSigmoidSaturated,
+        Code::ZeroNetShards,
+        Code::ShardsExceedParallelism,
+        Code::ZeroConnectionCap,
+        Code::ZeroPipelineDepth,
+        Code::ExcessivePipelineDepth,
+        Code::PipelineOverrunsQueue,
+        Code::ZeroIdleTimeout,
+        Code::IdleTimeoutOverflow,
+        Code::ZeroWriteBufferLimit,
     ];
 
     /// One-line description of what the code proves, for the rendered
@@ -353,6 +399,15 @@ impl Code {
             Code::RangeFp16Underflow => "FP16-rounded layer interval is entirely subnormal-zero",
             Code::RangeInt8Collapse => "INT8-rounded layer interval narrower than one grid step",
             Code::RangeSigmoidSaturated => "sigmoid input interval entirely in the saturated tail",
+            Code::ZeroNetShards => "event loop with zero reactor shards",
+            Code::ShardsExceedParallelism => "more reactor shards than hardware threads",
+            Code::ZeroConnectionCap => "connection cap of zero; every socket dropped",
+            Code::ZeroPipelineDepth => "per-connection pipeline depth of zero",
+            Code::ExcessivePipelineDepth => "pipeline depth beyond the sanity ceiling",
+            Code::PipelineOverrunsQueue => "pipeline depth larger than the service queue",
+            Code::ZeroIdleTimeout => "idle timeout of zero reaps every pausing connection",
+            Code::IdleTimeoutOverflow => "idle timeout beyond the epoll timeout range",
+            Code::ZeroWriteBufferLimit => "write-buffer high-watermark of zero",
         }
     }
 
@@ -375,7 +430,10 @@ impl Code {
             | Code::RangeFp16Overflow
             | Code::RangeFp16Underflow
             | Code::RangeInt8Collapse
-            | Code::RangeSigmoidSaturated => Severity::Warn,
+            | Code::RangeSigmoidSaturated
+            | Code::ShardsExceedParallelism
+            | Code::ExcessivePipelineDepth
+            | Code::PipelineOverrunsQueue => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -658,7 +716,7 @@ mod tests {
             // the code string is family letter + 3 digits
             let (family, num) = s.split_at(1);
             assert!(
-                matches!(family, "S" | "F" | "A" | "V" | "R" | "P" | "Q"),
+                matches!(family, "S" | "F" | "A" | "V" | "R" | "P" | "Q" | "N"),
                 "{s}: unknown code family"
             );
             assert!(

@@ -34,7 +34,12 @@
 //! * [`qrange::check_qrange`] — quantization range analysis (`Q0xx`):
 //!   interval propagation through FP16/INT8 plans, flagging saturation
 //!   and collapse-to-zero risks and emitting the per-layer scale report
-//!   the planned integer INT8 kernel will consume.
+//!   the planned integer INT8 kernel will consume;
+//! * [`net::check_net_config`] — event-driven network front-end checks
+//!   (`N0xx`): reactor shard sizing, connection caps, pipelining depth
+//!   against the service queue, and idle-timeout bounds, gating
+//!   `mlcnn_net::NetServer::spawn` the same way the `V0xx` lints gate
+//!   `Service::spawn`.
 //!
 //! All passes report through [`diag::Reporter`], which collects
 //! [`diag::Diagnostic`]s with stable codes, supports a deny-warnings mode,
@@ -52,6 +57,7 @@
 pub mod accel;
 pub mod diag;
 pub mod fusion;
+pub mod net;
 pub mod plan;
 pub mod qrange;
 pub mod registry;
@@ -61,6 +67,7 @@ pub mod shape;
 pub use accel::{check_accel_config, check_tiling, AccelConfigLint, TilingLint};
 pub use diag::{code_table_markdown, Code, Diagnostic, Reporter, Severity, Span};
 pub use fusion::{check_fusion, rme_ratio, FusionClass, FusionGroup};
+pub use net::{check_net_config, check_net_config_summary, NetConfigLint};
 pub use plan::{check_plan, ChannelProfile, OpView, ParamProfile, PlanView, StepView};
 pub use qrange::{check_qrange, QRangeOptions, QRangeReport, StepRange};
 pub use registry::{

@@ -1,0 +1,299 @@
+//! Network front-end configuration lints (`N0xx`).
+//!
+//! `mlcnn-net` composes sharded epoll reactors, per-connection request
+//! pipelining, a global connection cap, and idle timeouts around a
+//! `Dispatch` backend — knobs that interact with the serving queue and
+//! the host's core count in ways that are easy to mis-set long before
+//! any socket opens. As with the `V0xx` serving lints, this module
+//! takes *raw scalars* rather than `mlcnn-net` types (the net crate
+//! sits above the checker and calls in from `NetServer::spawn`,
+//! mirroring the `Service::spawn` construction gate).
+
+use crate::diag::{Code, Reporter};
+
+/// Sanity ceiling for per-connection pipelining depth: beyond this a
+/// single connection can monopolize a reactor's decode loop and the
+/// service queue; real clients pipeline a handful to a few dozen.
+pub const PIPELINE_CEILING: usize = 1024;
+
+/// Idle-timeout ceiling in milliseconds: `epoll_wait` takes a C `int`
+/// of milliseconds, so anything above this cannot be scheduled.
+pub const IDLE_TIMEOUT_CEILING_MILLIS: u64 = i32::MAX as u64;
+
+/// Raw view of an event-driven network configuration for linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfigLint {
+    /// Server name, used in messages.
+    pub name: String,
+    /// Reactor shard (event-loop thread) count.
+    pub shards: usize,
+    /// Hardware threads the host exposes (`0` when unknown — skips the
+    /// oversubscription check).
+    pub available_parallelism: usize,
+    /// Global cap on concurrently open connections.
+    pub max_connections: usize,
+    /// Most in-flight pipelined requests one connection may hold before
+    /// its reads are paused (backpressure).
+    pub max_pipeline: usize,
+    /// The backend service's bounded submission-queue capacity (`0`
+    /// when unknown — skips the queue-interaction check).
+    pub queue_capacity: usize,
+    /// Idle-connection timeout in milliseconds.
+    pub idle_timeout_millis: u64,
+    /// Write-buffer high-watermark in bytes; a connection whose
+    /// unflushed responses exceed it has its reads paused.
+    pub write_buffer_limit: usize,
+}
+
+/// Lint one network front-end configuration.
+pub fn check_net_config(cfg: &NetConfigLint, reporter: &mut Reporter) {
+    reporter.with_context(cfg.name.clone(), |reporter| {
+        if cfg.shards == 0 {
+            reporter.emit(
+                Code::ZeroNetShards,
+                None,
+                "reactor shard count is zero; no event loop would ever run",
+            );
+        }
+        if cfg.available_parallelism > 0 && cfg.shards > cfg.available_parallelism {
+            reporter.emit(
+                Code::ShardsExceedParallelism,
+                None,
+                format!(
+                    "{} reactor shards on a host with {} hardware threads; \
+                     the surplus only adds context switching and cross-shard \
+                     cache traffic",
+                    cfg.shards, cfg.available_parallelism
+                ),
+            );
+        }
+        if cfg.max_connections == 0 {
+            reporter.emit(
+                Code::ZeroConnectionCap,
+                None,
+                "connection cap is zero; the acceptor would drop every socket",
+            );
+        }
+        if cfg.max_pipeline == 0 {
+            reporter.emit(
+                Code::ZeroPipelineDepth,
+                None,
+                "pipeline depth is zero; a connection could never hold an \
+                 in-flight request, deadlocking reads against backpressure",
+            );
+        }
+        if cfg.max_pipeline > PIPELINE_CEILING {
+            reporter.emit(
+                Code::ExcessivePipelineDepth,
+                None,
+                format!(
+                    "pipeline depth {} exceeds the {} sanity ceiling; one \
+                     connection could monopolize its reactor and the service \
+                     queue",
+                    cfg.max_pipeline, PIPELINE_CEILING
+                ),
+            );
+        }
+        if cfg.queue_capacity > 0 && cfg.max_pipeline > cfg.queue_capacity {
+            reporter.emit(
+                Code::PipelineOverrunsQueue,
+                None,
+                format!(
+                    "pipeline depth {} exceeds the service queue capacity {}; \
+                     a single connection's burst alone forces queue-full \
+                     rejections",
+                    cfg.max_pipeline, cfg.queue_capacity
+                ),
+            );
+        }
+        if cfg.idle_timeout_millis == 0 {
+            reporter.emit(
+                Code::ZeroIdleTimeout,
+                None,
+                "idle timeout is zero; every connection would be reaped the \
+                 moment it pauses between requests",
+            );
+        }
+        if cfg.idle_timeout_millis > IDLE_TIMEOUT_CEILING_MILLIS {
+            reporter.emit(
+                Code::IdleTimeoutOverflow,
+                None,
+                format!(
+                    "idle timeout of {} ms overflows the epoll timeout range \
+                     ({} ms); the reaper could never schedule it",
+                    cfg.idle_timeout_millis, IDLE_TIMEOUT_CEILING_MILLIS
+                ),
+            );
+        }
+        if cfg.write_buffer_limit == 0 {
+            reporter.emit(
+                Code::ZeroWriteBufferLimit,
+                None,
+                "write-buffer high-watermark is zero; backpressure would pause \
+                 reads after every response, serializing the connection",
+            );
+        }
+    });
+}
+
+/// [`check_net_config`] with denial diagnostics flattened into one
+/// `"; "`-joined summary — the form `mlcnn_net::NetServer::spawn`
+/// embeds in its error value, matching [`crate::check_serve_config_summary`].
+pub fn check_net_config_summary(cfg: &NetConfigLint) -> Result<(), String> {
+    let mut reporter = Reporter::new();
+    check_net_config(cfg, &mut reporter);
+    if reporter.has_deny() {
+        Err(reporter
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == crate::Severity::Deny)
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; "))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn sane() -> NetConfigLint {
+        NetConfigLint {
+            name: "net".into(),
+            shards: 2,
+            available_parallelism: 4,
+            max_connections: 10_000,
+            max_pipeline: 64,
+            queue_capacity: 4096,
+            idle_timeout_millis: 60_000,
+            write_buffer_limit: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn sane_config_is_clean() {
+        let mut r = Reporter::new();
+        check_net_config(&sane(), &mut r);
+        assert!(r.is_clean(), "{}", r.pretty());
+        assert!(check_net_config_summary(&sane()).is_ok());
+    }
+
+    #[test]
+    fn zero_shards_denies_n001() {
+        let mut cfg = sane();
+        cfg.shards = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::ZeroNetShards).unwrap().severity,
+            Severity::Deny
+        );
+        assert!(check_net_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn shard_oversubscription_warns_n002_unless_unknown() {
+        let mut cfg = sane();
+        cfg.shards = 16;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::ShardsExceedParallelism).unwrap().severity,
+            Severity::Warn
+        );
+        // warnings never fail the gate
+        assert!(check_net_config_summary(&cfg).is_ok());
+        cfg.available_parallelism = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert!(r.find(Code::ShardsExceedParallelism).is_none());
+    }
+
+    #[test]
+    fn zero_cap_and_pipeline_deny_n003_n004() {
+        let mut cfg = sane();
+        cfg.max_connections = 0;
+        cfg.max_pipeline = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert!(r.find(Code::ZeroConnectionCap).is_some());
+        assert!(r.find(Code::ZeroPipelineDepth).is_some());
+        assert!(check_net_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn pipeline_bounds_warn_n005_n006() {
+        let mut cfg = sane();
+        cfg.max_pipeline = PIPELINE_CEILING + 1;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::ExcessivePipelineDepth).unwrap().severity,
+            Severity::Warn
+        );
+
+        let mut cfg = sane();
+        cfg.max_pipeline = cfg.queue_capacity + 1;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::PipelineOverrunsQueue).unwrap().severity,
+            Severity::Warn
+        );
+        // unknown queue capacity skips the interaction check
+        cfg.queue_capacity = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert!(r.find(Code::PipelineOverrunsQueue).is_none());
+    }
+
+    #[test]
+    fn idle_timeout_zero_and_overflow_deny_n007_n008() {
+        let mut cfg = sane();
+        cfg.idle_timeout_millis = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::ZeroIdleTimeout).unwrap().severity,
+            Severity::Deny
+        );
+
+        let mut cfg = sane();
+        cfg.idle_timeout_millis = IDLE_TIMEOUT_CEILING_MILLIS + 1;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::IdleTimeoutOverflow).unwrap().severity,
+            Severity::Deny
+        );
+        assert!(check_net_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn zero_write_buffer_denies_n009() {
+        let mut cfg = sane();
+        cfg.write_buffer_limit = 0;
+        let mut r = Reporter::new();
+        check_net_config(&cfg, &mut r);
+        assert_eq!(
+            r.find(Code::ZeroWriteBufferLimit).unwrap().severity,
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn n_codes_have_stable_strings() {
+        assert_eq!(Code::ZeroNetShards.as_str(), "N001");
+        assert_eq!(Code::ShardsExceedParallelism.as_str(), "N002");
+        assert_eq!(Code::ZeroConnectionCap.as_str(), "N003");
+        assert_eq!(Code::ZeroPipelineDepth.as_str(), "N004");
+        assert_eq!(Code::ExcessivePipelineDepth.as_str(), "N005");
+        assert_eq!(Code::PipelineOverrunsQueue.as_str(), "N006");
+        assert_eq!(Code::ZeroIdleTimeout.as_str(), "N007");
+        assert_eq!(Code::IdleTimeoutOverflow.as_str(), "N008");
+        assert_eq!(Code::ZeroWriteBufferLimit.as_str(), "N009");
+    }
+}

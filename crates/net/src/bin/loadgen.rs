@@ -1,9 +1,10 @@
 //! `mlcnn-loadgen` — load generator and correctness harness for the
-//! micro-batching service.
+//! micro-batching service and its network transports.
 //!
 //! ```text
 //! mlcnn-loadgen [--out PATH] [--smoke] [--requests N] [--clients N]
 //!               [--rate-rps N] [--remote HOST:PORT --model NAME --precision P]
+//!               [--sweep] [--sweep-conns N,N,...]
 //! ```
 //!
 //! Default (in-process) run, written to `BENCH_serve.json`:
@@ -26,13 +27,27 @@
 //! `--remote` instead drives a running `mlcnn-served` over TCP with
 //! closed-loop clients, checking parity against a locally compiled
 //! reference plan (same seed).
+//!
+//! `--sweep` exercises the event-driven transport: it spawns
+//! `mlcnn-served` child processes, first checking the epoll transport
+//! bitwise against the blocking `--transport threads` oracle (and the
+//! local reference plan), then driving a connection-count sweep with
+//! the multiplexing client — thousands of concurrent sockets from a
+//! few threads, every response checked for order, correlation id, and
+//! bitwise parity — and writes `BENCH_net.json` with rps and p50/p99
+//! per point plus the p99 ratio against an in-process baseline at the
+//! same outstanding-request depth. With `--smoke` the sweep shrinks
+//! (and the oracle narrows) to CI size and asserts every point clean.
 
 use std::collections::VecDeque;
+use std::io::BufRead;
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mlcnn_core::{ExecutionPlan, Workspace};
+use mlcnn_net::{run_mux, MuxOptions};
 use mlcnn_quant::Precision;
 use mlcnn_serve::{find_model, serving_zoo, Client, MetricsSnapshot, ServeConfig, Service};
 use mlcnn_tensor::{init, Shape4, Tensor};
@@ -42,6 +57,11 @@ const ALL_PRECISIONS: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precis
 /// runner, tight enough to catch a stalled batcher (whose symptom is
 /// requests waiting forever).
 const SMOKE_P99_MICROS: u64 = 250_000;
+/// The sweep drives this model: dispatch-bound, so the transport (not
+/// the arithmetic) dominates what the sweep measures.
+const SWEEP_MODEL: &str = "mlp-mini";
+/// Distinct input items cycled across sweep connections.
+const SWEEP_INPUTS: usize = 4;
 
 struct Args {
     out: String,
@@ -52,11 +72,13 @@ struct Args {
     remote: Option<String>,
     model: String,
     precision: Precision,
+    sweep: bool,
+    sweep_conns: Vec<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        out: "BENCH_serve.json".into(),
+        out: String::new(),
         smoke: false,
         requests: 2000,
         clients: 8,
@@ -64,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         remote: None,
         model: "lenet5".into(),
         precision: Precision::Fp32,
+        sweep: false,
+        sweep_conns: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,11 +113,32 @@ fn parse_args() -> Result<Args, String> {
             "--remote" => args.remote = Some(val("--remote")?),
             "--model" => args.model = val("--model")?,
             "--precision" => args.precision = val("--precision")?.parse()?,
+            "--sweep" => args.sweep = true,
+            "--sweep-conns" => {
+                args.sweep_conns = val("--sweep-conns")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--sweep-conns: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.smoke {
         args.requests = args.requests.min(600);
+    }
+    if args.out.is_empty() {
+        args.out = if args.sweep {
+            "BENCH_net.json".into()
+        } else {
+            "BENCH_serve.json".into()
+        };
+    }
+    if args.sweep_conns.is_empty() {
+        args.sweep_conns = if args.smoke {
+            vec![256, 1024]
+        } else {
+            vec![1_000, 5_000, 10_000]
+        };
     }
     Ok(args)
 }
@@ -146,9 +191,10 @@ fn closed_loop(svc: &Service, shape: Shape4, clients: usize, total: usize) -> f6
 /// find their response already buffered — the client is measuring the
 /// service's dispatch cost, not its own context switches. This is the
 /// fixture for the batched-vs-batch=1 comparison — identical client
-/// behaviour on both sides, only the service policy differs.
-fn pipelined_loop(svc: &Service, shape: Shape4, total: usize) -> f64 {
-    let burst = 256usize;
+/// behaviour on both sides, only the service policy differs — and, with
+/// `burst` matched to a sweep point's connection count, the in-process
+/// baseline the network p99 is compared against.
+fn pipelined_loop(svc: &Service, shape: Shape4, total: usize, burst: usize) -> f64 {
     let x = item_input(shape, 100);
     let mut inflight: VecDeque<mlcnn_serve::Ticket> = VecDeque::new();
     let mut submitted = 0usize;
@@ -347,7 +393,7 @@ fn run_local(args: &Args) -> Result<String, String> {
         .with_batching(16, Duration::from_micros(200))
         .with_queue(1024);
     let svc = Service::spawn(Arc::clone(&plan), batched_cfg).map_err(|e| e.to_string())?;
-    let batched_rps = pipelined_loop(&svc, demo.input, speedup_requests);
+    let batched_rps = pipelined_loop(&svc, demo.input, speedup_requests, 256);
     let batched_snap = svc.shutdown();
     all_drained &= batched_snap.fully_drained();
 
@@ -355,7 +401,7 @@ fn run_local(args: &Args) -> Result<String, String> {
         .with_batching(1, Duration::ZERO)
         .with_queue(1024);
     let svc = Service::spawn(Arc::clone(&plan), batch1_cfg).map_err(|e| e.to_string())?;
-    let batch1_rps = pipelined_loop(&svc, demo.input, speedup_requests);
+    let batch1_rps = pipelined_loop(&svc, demo.input, speedup_requests, 256);
     let batch1_snap = svc.shutdown();
     all_drained &= batch1_snap.fully_drained();
 
@@ -407,6 +453,247 @@ fn run_local(args: &Args) -> Result<String, String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// --sweep: the event-driven transport under a connection-count sweep
+// ---------------------------------------------------------------------------
+
+/// A spawned `mlcnn-served` child, killed on drop.
+struct ChildServer {
+    child: std::process::Child,
+    addr: SocketAddr,
+}
+
+impl Drop for ChildServer {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Launch `mlcnn-served` (from this binary's own directory) with
+/// `extra` flags on an ephemeral port, and parse the bound address out
+/// of its startup banner (`"… on HOST:PORT (…"`).
+fn spawn_served(extra: &[&str]) -> Result<ChildServer, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("current_exe: {e}"))?
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join("mlcnn-served");
+    let mut child = std::process::Command::new(&exe)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if line.contains(" on ") {
+                    break line;
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                return Err(format!("reading server banner: {e}"));
+            }
+            None => {
+                let _ = child.kill();
+                return Err("server exited before printing its banner".into());
+            }
+        }
+    };
+    let addr = banner
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|tok| tok.parse::<SocketAddr>().ok())
+        .ok_or_else(|| format!("no address in server banner: {banner}"))?;
+    Ok(ChildServer { child, addr })
+}
+
+/// Bitwise oracle: the same inputs through an epoll-transport server,
+/// a threads-transport server, and the local reference plan must
+/// produce identical bytes.
+fn oracle_check(model_name: &str, precision: Precision) -> Result<(), String> {
+    let model = find_model(model_name).map_err(|e| e.to_string())?;
+    let plan = model.compile(precision).map_err(|e| e.to_string())?;
+    let mut ws = Workspace::for_plan(&plan, 1);
+    let precision_flag = precision.to_string();
+    let epoll = spawn_served(&[
+        "--model",
+        model_name,
+        "--precision",
+        &precision_flag,
+        "--transport",
+        "epoll",
+        "--shards",
+        "1",
+    ])?;
+    let threads = spawn_served(&[
+        "--model",
+        model_name,
+        "--precision",
+        &precision_flag,
+        "--transport",
+        "threads",
+    ])?;
+    let mut via_epoll = Client::connect(epoll.addr).map_err(|e| e.to_string())?;
+    let mut via_threads = Client::connect(threads.addr).map_err(|e| e.to_string())?;
+    for seed in 0..3u64 {
+        let x = item_input(model.input, 4000 + seed);
+        let want = plan.forward(&x, &mut ws).map_err(|e| e.to_string())?;
+        let got_epoll = via_epoll
+            .infer_model(model_name, x.clone())
+            .map_err(|e| format!("epoll transport: {e}"))?;
+        let got_threads = via_threads
+            .infer_model(model_name, x)
+            .map_err(|e| format!("threads transport: {e}"))?;
+        if got_epoll != got_threads || got_epoll != want {
+            return Err(format!(
+                "{model_name}@{precision}: transports disagree (seed {seed})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_sweep(args: &Args) -> Result<String, String> {
+    let model = find_model(SWEEP_MODEL).map_err(|e| e.to_string())?;
+    let plan = Arc::new(model.compile(Precision::Fp32).map_err(|e| e.to_string())?);
+
+    // Phase 1: bitwise oracle, epoll vs threads vs local plan. The full
+    // sweep covers the whole serving zoo at every precision; smoke mode
+    // narrows to one model so the CI job stays bounded.
+    let oracle_set: Vec<(String, Precision)> = if args.smoke {
+        vec![(SWEEP_MODEL.into(), Precision::Fp32)]
+    } else {
+        serving_zoo()
+            .iter()
+            .flat_map(|m| ALL_PRECISIONS.map(|p| (m.name.to_string(), p)))
+            .collect()
+    };
+    let mut oracle_entries = Vec::new();
+    for (name, precision) in &oracle_set {
+        oracle_check(name, *precision)?;
+        println!("[loadgen] oracle {name}@{precision}: epoll == threads == plan.forward");
+        oracle_entries.push(format!("\"{name}@{precision}\""));
+    }
+
+    // Phase 2: the connection sweep. One long-lived epoll server child
+    // sized for the largest point; the client checks parity per
+    // response, so references come from the local plan (same seed).
+    let max_conns = args.sweep_conns.iter().copied().max().unwrap_or(1024);
+    let queue = (max_conns + 1024).max(8192);
+    let queue_flag = queue.to_string();
+    let cap_flag = (max_conns + 256).to_string();
+    let server = spawn_served(&[
+        "--model",
+        SWEEP_MODEL,
+        "--precision",
+        "fp32",
+        "--transport",
+        "epoll",
+        "--shards",
+        "1",
+        "--max-batch",
+        "16",
+        "--max-wait-micros",
+        "200",
+        "--queue",
+        &queue_flag,
+        "--max-conns",
+        &cap_flag,
+    ])?;
+
+    let mut ws = Workspace::for_plan(&plan, 1);
+    let mut inputs = Vec::with_capacity(SWEEP_INPUTS);
+    let mut expected = Vec::with_capacity(SWEEP_INPUTS);
+    for seed in 0..SWEEP_INPUTS as u64 {
+        let x = item_input(model.input, 9000 + seed);
+        expected.push(plan.forward(&x, &mut ws).map_err(|e| e.to_string())?);
+        inputs.push(x);
+    }
+
+    let mut points = Vec::new();
+    let mut all_clean = true;
+    let mut peak_conns = 0usize;
+    for &conns in &args.sweep_conns {
+        let requests_per_conn = if args.smoke {
+            4
+        } else {
+            (20_000usize.div_ceil(conns)).max(2)
+        };
+        let opts = MuxOptions {
+            connections: conns,
+            threads: 4,
+            pipeline: 1,
+            requests_per_conn,
+            model: SWEEP_MODEL.into(),
+            inputs: inputs.clone(),
+            expected: Some(expected.clone()),
+            connect_retries: 400,
+            deadline: Duration::from_secs(180),
+        };
+        let report = run_mux(server.addr, &opts).map_err(|e| format!("{conns} conns: {e}"))?;
+        let clean = report.clean();
+        all_clean &= clean;
+        if clean {
+            peak_conns = peak_conns.max(conns);
+        }
+
+        // in-process baseline at the same outstanding-request depth
+        let base_cfg = ServeConfig::default()
+            .with_batching(16, Duration::from_micros(200))
+            .with_queue(queue);
+        let base_svc = Service::spawn(Arc::clone(&plan), base_cfg).map_err(|e| e.to_string())?;
+        pipelined_loop(
+            &base_svc,
+            model.input,
+            conns * requests_per_conn,
+            conns.min(queue - 16),
+        );
+        let base = base_svc.shutdown();
+        let ratio = report.p99_micros as f64 / base.p99_micros.max(1) as f64;
+
+        println!(
+            "[loadgen] sweep {conns} conns × {requests_per_conn} reqs: {} — {:.0} rps, p50 {} µs, p99 {} µs (p99 ratio vs in-process {:.2})",
+            if clean { "clean" } else { "DIRTY" },
+            report.rps,
+            report.p50_micros,
+            report.p99_micros,
+            ratio
+        );
+        points.push(format!(
+            "    {{\"requests_per_conn\": {requests_per_conn}, \"clean\": {clean}, \"report\": {}, \"baseline_p99_micros\": {}, \"p99_ratio_vs_inprocess\": {:.3}}}",
+            report.to_json(),
+            base.p99_micros,
+            ratio
+        ));
+    }
+    drop(server);
+
+    if args.smoke {
+        assert!(
+            all_clean,
+            "smoke: a sweep point lost, duplicated, reordered, or corrupted responses"
+        );
+        println!("[loadgen] net smoke gate passed (all sweep points clean)");
+    }
+
+    Ok(format!
+        (
+        "{{\n  \"mode\": \"sweep\",\n  \"smoke\": {},\n  \"model\": \"{SWEEP_MODEL}\",\n  \"precision\": \"fp32\",\n  \"transport\": \"epoll\",\n  \"oracle_bitwise_identical\": true,\n  \"oracle_checked\": [{}],\n  \"all_points_clean\": {},\n  \"peak_clean_connections\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        args.smoke,
+        oracle_entries.join(", "),
+        all_clean,
+        peak_conns,
+        points.join(",\n"),
+    ))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -415,7 +702,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if args.remote.is_some() {
+    let result = if args.sweep {
+        run_sweep(&args)
+    } else if args.remote.is_some() {
         run_remote(&args)
     } else {
         run_local(&args)

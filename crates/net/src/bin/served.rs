@@ -1,13 +1,16 @@
-//! `mlcnn-served` — TCP inference server over the micro-batching service.
+//! `mlcnn-served` — TCP inference server over the micro-batching
+//! service.
 //!
 //! ```text
 //! mlcnn-served [--model NAME] [--precision fp32|fp16|int8]
 //!              [--registry DIR]
 //!              [--addr HOST:PORT] [--workers N] [--max-batch N]
 //!              [--max-wait-micros N] [--queue N]
+//!              [--transport epoll|threads] [--shards N] [--max-conns N]
+//!              [--max-pipeline N] [--idle-timeout-millis N]
 //! ```
 //!
-//! Two modes:
+//! Two model modes:
 //!
 //! * **Single model** (default): compiles the named serving-zoo model at
 //!   the requested precision and serves it. Weights come from the fixed
@@ -19,15 +22,35 @@
 //!   protocol's model name. Publish/rollback frames hot-swap revisions
 //!   under live traffic. `--model`/`--precision` are ignored in this
 //!   mode — each artifact records its own serving precision.
+//!
+//! And two transports:
+//!
+//! * **epoll** (default): the event-driven sharded reactor in
+//!   `mlcnn-net` — `--shards` event-loop threads, `--max-conns`
+//!   admission cap, `--max-pipeline` per-connection pipelining with
+//!   backpressure, `--idle-timeout-millis` idle reaping. Scales to tens
+//!   of thousands of concurrent connections.
+//! * **threads** (`--transport threads`): the original blocking
+//!   thread-per-connection listener, kept as the bitwise parity oracle
+//!   for the event-driven path.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use mlcnn_net::{NetConfig, NetServer};
 use mlcnn_quant::Precision;
 use mlcnn_registry::ModelRegistry;
-use mlcnn_serve::{find_model, serve_listener, NamedService, Router, ServeConfig, Service};
+use mlcnn_serve::{
+    find_model, serve_listener, Dispatch, NamedService, Router, ServeConfig, Service,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    Epoll,
+    Threads,
+}
 
 struct Args {
     model: String,
@@ -35,6 +58,8 @@ struct Args {
     registry: Option<String>,
     addr: String,
     cfg: ServeConfig,
+    transport: Transport,
+    net: NetConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         registry: None,
         addr: "127.0.0.1:7433".into(),
         cfg: ServeConfig::default(),
+        transport: Transport::Epoll,
+        net: NetConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,15 +101,70 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
+            "--transport" => {
+                args.transport = match val("--transport")?.as_str() {
+                    "epoll" => Transport::Epoll,
+                    "threads" => Transport::Threads,
+                    other => return Err(format!("--transport: '{other}' (epoll|threads)")),
+                }
+            }
+            "--shards" => {
+                args.net.shards = val("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--max-conns" => {
+                args.net.max_connections = val("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?
+            }
+            "--max-pipeline" => {
+                args.net.max_pipeline = val("--max-pipeline")?
+                    .parse()
+                    .map_err(|e| format!("--max-pipeline: {e}"))?
+            }
+            "--idle-timeout-millis" => {
+                let millis: u64 = val("--idle-timeout-millis")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-millis: {e}"))?;
+                args.net.idle_timeout = Duration::from_millis(millis);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     args.cfg.precision = args.precision;
+    // let the N006 pipeline-vs-queue lint see the real queue bound
+    args.net.queue_capacity = args.cfg.queue_capacity;
     Ok(args)
 }
 
 fn bind(addr: &str) -> Result<TcpListener, String> {
     TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))
+}
+
+fn transport_banner(args: &Args) -> String {
+    match args.transport {
+        Transport::Threads => "transport=threads".to_string(),
+        Transport::Epoll => format!(
+            "transport=epoll shards={} max_conns={} max_pipeline={} idle_timeout={:?}",
+            args.net.shards, args.net.max_connections, args.net.max_pipeline, args.net.idle_timeout
+        ),
+    }
+}
+
+/// Serve `backend` on `listener` over the selected transport; blocks
+/// until the process is killed.
+fn serve<D: Dispatch>(args: &Args, listener: TcpListener, backend: Arc<D>) -> Result<(), String> {
+    match args.transport {
+        Transport::Threads => {
+            serve_listener(listener, backend).map_err(|e| format!("accept loop failed: {e}"))
+        }
+        Transport::Epoll => {
+            let server = NetServer::spawn(listener, backend, args.net.clone())
+                .map_err(|e| format!("event-driven server failed to start: {e}"))?;
+            server.join().map_err(|e| format!("acceptor failed: {e}"))
+        }
+    }
 }
 
 fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
@@ -98,7 +180,7 @@ fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
         ));
     }
     println!(
-        "mlcnn-served: registry {dir} on {} — {} (workers={}, max_batch={}, max_wait={:?}, queue={})",
+        "mlcnn-served: registry {dir} on {} — {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {})",
         listener
             .local_addr()
             .map_or(args.addr.clone(), |a| a.to_string()),
@@ -107,8 +189,9 @@ fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
         args.cfg.max_batch,
         args.cfg.max_wait,
         args.cfg.queue_capacity,
+        transport_banner(args),
     );
-    serve_listener(listener, router).map_err(|e| format!("accept loop failed: {e}"))
+    serve(args, listener, router)
 }
 
 fn run_single(args: &Args) -> Result<(), String> {
@@ -118,7 +201,7 @@ fn run_single(args: &Args) -> Result<(), String> {
     let backend = Arc::new(NamedService::new(model.name, svc));
     let listener = bind(&args.addr)?;
     println!(
-        "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={})",
+        "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {})",
         model.name,
         args.precision,
         listener
@@ -128,8 +211,9 @@ fn run_single(args: &Args) -> Result<(), String> {
         args.cfg.max_batch,
         args.cfg.max_wait,
         args.cfg.queue_capacity,
+        transport_banner(args),
     );
-    serve_listener(listener, backend).map_err(|e| format!("accept loop failed: {e}"))
+    serve(args, listener, backend)
 }
 
 fn main() -> ExitCode {

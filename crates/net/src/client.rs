@@ -1,0 +1,476 @@
+//! Multiplexing load client: tens of thousands of concurrent
+//! connections driven by a handful of event-loop threads.
+//!
+//! The blocking [`mlcnn_serve::Client`] costs one thread per
+//! connection, which tops out around the OS thread budget long before
+//! the server's connection budget. This client inverts that: each
+//! worker thread owns one `epoll` instance and a slice of the
+//! connections, keeps up to `pipeline` requests in flight per
+//! connection, and checks every response for order, correlation-id
+//! match, and (optionally) bitwise parity against reference outputs.
+//!
+//! It is both the `mlcnn-loadgen --sweep` engine and the harness the
+//! integration tests drive the event-driven transport with.
+
+use crate::decode::FrameDecoder;
+use minimio::{Events, Interest, Poll, Token};
+use mlcnn_serve::Frame;
+use mlcnn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Where the 8-byte correlation id sits in an encoded frame
+/// (`[len u32][kind u8][id u64]`), so per-request encodes are a
+/// template clone plus an 8-byte patch instead of a tensor
+/// serialization.
+const ID_OFFSET: usize = 5;
+
+const READ_CHUNK: usize = 16 << 10;
+
+/// Load shape for [`run_mux`].
+#[derive(Debug, Clone)]
+pub struct MuxOptions {
+    /// Concurrent connections to hold open.
+    pub connections: usize,
+    /// Event-loop threads to spread them over.
+    pub threads: usize,
+    /// In-flight pipelined requests per connection.
+    pub pipeline: usize,
+    /// Requests each connection sends before closing.
+    pub requests_per_conn: usize,
+    /// Model name for the inference frames (empty = the only model).
+    pub model: String,
+    /// Input items, assigned to connections round-robin.
+    pub inputs: Vec<Tensor<f32>>,
+    /// Expected outputs, indexed like `inputs`; when set, every
+    /// response is checked bitwise.
+    pub expected: Option<Vec<Tensor<f32>>>,
+    /// Connect retries per connection (listener backlog overflow under
+    /// a connection storm surfaces as refusals; retrying is the
+    /// protocol).
+    pub connect_retries: usize,
+    /// Overall wall-clock cap; responses still missing at the deadline
+    /// are counted as lost.
+    pub deadline: Duration,
+}
+
+impl MuxOptions {
+    /// Defaults sized for a modest smoke run against `model`.
+    pub fn new(model: impl Into<String>, inputs: Vec<Tensor<f32>>) -> MuxOptions {
+        MuxOptions {
+            connections: 64,
+            threads: 2,
+            pipeline: 1,
+            requests_per_conn: 4,
+            model: model.into(),
+            inputs,
+            expected: None,
+            connect_retries: 100,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a [`run_mux`] run observed. The acceptance bar for the
+/// transport is [`MuxReport::clean`]: every request answered exactly
+/// once, in order, with the right id (and bitwise-right payload when
+/// references were given).
+#[derive(Debug, Clone)]
+pub struct MuxReport {
+    /// Connections that finished their full quota.
+    pub completed_connections: usize,
+    /// Connections requested.
+    pub connections: usize,
+    /// Inference requests written to the wire.
+    pub sent: u64,
+    /// Responses received (InferOk or wire-level Error frames).
+    pub received: u64,
+    /// `Frame::Error` responses (queue-full rejections etc.).
+    pub wire_errors: u64,
+    /// Responses whose correlation id was not the oldest in flight —
+    /// duplicates, reorders, or answers to unknown requests.
+    pub order_violations: u64,
+    /// Responses that differed bitwise from the reference output.
+    pub parity_failures: u64,
+    /// Requests still unanswered at the deadline (or when their
+    /// connection died).
+    pub lost: u64,
+    /// Wall-clock for the whole run (connect + drive).
+    pub elapsed: Duration,
+    /// Received responses per second over the whole run (the
+    /// denominator includes the connect phase).
+    pub rps: f64,
+    /// Median response latency (send → receive), microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile response latency, microseconds.
+    pub p99_micros: u64,
+}
+
+impl MuxReport {
+    /// Zero lost, zero duplicated/reordered, zero parity failures,
+    /// zero wire errors, every connection completed.
+    pub fn clean(&self) -> bool {
+        self.lost == 0
+            && self.order_violations == 0
+            && self.parity_failures == 0
+            && self.wire_errors == 0
+            && self.completed_connections == self.connections
+    }
+
+    /// One JSON object (no trailing newline) for bench reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"connections\": {}, \"completed_connections\": {}, ",
+                "\"sent\": {}, \"received\": {}, \"lost\": {}, ",
+                "\"wire_errors\": {}, \"order_violations\": {}, \"parity_failures\": {}, ",
+                "\"elapsed_millis\": {}, \"rps\": {:.2}, ",
+                "\"p50_micros\": {}, \"p99_micros\": {}}}"
+            ),
+            self.connections,
+            self.completed_connections,
+            self.sent,
+            self.received,
+            self.lost,
+            self.wire_errors,
+            self.order_violations,
+            self.parity_failures,
+            self.elapsed.as_millis(),
+            self.rps,
+            self.p50_micros,
+            self.p99_micros,
+        )
+    }
+}
+
+/// One client-side connection's mux state.
+struct CConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Oldest-first (id, send time) of in-flight requests.
+    inflight: VecDeque<(u64, Instant)>,
+    sent: usize,
+    received: usize,
+    input_idx: usize,
+    next_id: u64,
+    done: bool,
+    registered: (bool, bool),
+}
+
+struct ThreadTally {
+    sent: u64,
+    received: u64,
+    wire_errors: u64,
+    order_violations: u64,
+    parity_failures: u64,
+    completed: usize,
+    latencies_micros: Vec<u64>,
+}
+
+/// Drive `opts.connections` multiplexed connections against `addr`.
+/// Fails only on setup errors (socket exhaustion, connect retries
+/// expiring); protocol trouble is *reported*, not returned, so a flaky
+/// server yields a dirty [`MuxReport`] rather than an early abort.
+pub fn run_mux(addr: SocketAddr, opts: &MuxOptions) -> io::Result<MuxReport> {
+    if opts.inputs.is_empty() || opts.connections == 0 || opts.requests_per_conn == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "mux run needs inputs, connections, and a per-connection quota",
+        ));
+    }
+    // one encode per distinct input; per-request cost is clone + id patch
+    let mut templates = Vec::with_capacity(opts.inputs.len());
+    for input in &opts.inputs {
+        templates.push(
+            Frame::InferRequest {
+                id: 0,
+                model: opts.model.clone(),
+                input: input.clone(),
+            }
+            .encode()?,
+        );
+    }
+    let templates = std::sync::Arc::new(templates);
+
+    let threads = opts.threads.clamp(1, opts.connections);
+    let start = Instant::now();
+    let deadline = start + opts.deadline;
+    let mut tallies: Vec<ThreadTally> = Vec::with_capacity(threads);
+    std::thread::scope(|s| -> io::Result<()> {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            // deal connections out so every thread gets ±1
+            let quota = opts.connections / threads + usize::from(t < opts.connections % threads);
+            let first_input = t; // stagger which template each thread starts on
+            let templates = std::sync::Arc::clone(&templates);
+            handles.push(
+                s.spawn(move || mux_thread(addr, opts, &templates, quota, first_input, deadline)),
+            );
+        }
+        for h in handles {
+            tallies.push(
+                h.join()
+                    .map_err(|_| io::Error::other("mux client thread panicked"))??,
+            );
+        }
+        Ok(())
+    })?;
+
+    let elapsed = start.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut sent, mut received, mut wire_errors, mut order_violations, mut parity_failures) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut completed = 0usize;
+    for t in tallies {
+        sent += t.sent;
+        received += t.received;
+        wire_errors += t.wire_errors;
+        order_violations += t.order_violations;
+        parity_failures += t.parity_failures;
+        completed += t.completed;
+        latencies.extend(t.latencies_micros);
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let expected_total = (opts.connections * opts.requests_per_conn) as u64;
+    Ok(MuxReport {
+        completed_connections: completed,
+        connections: opts.connections,
+        sent,
+        received,
+        wire_errors,
+        order_violations,
+        parity_failures,
+        lost: expected_total.saturating_sub(received),
+        elapsed,
+        rps: received as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_micros: quantile(0.50),
+        p99_micros: quantile(0.99),
+    })
+}
+
+/// Connect with retries: under a connection storm the listener backlog
+/// overflows and the kernel refuses or resets; backing off briefly and
+/// retrying is expected behaviour, not failure.
+fn connect_patiently(addr: SocketAddr, retries: usize) -> io::Result<TcpStream> {
+    let mut last = io::Error::other("no connect attempt made");
+    for attempt in 0..=retries {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = e;
+                std::thread::sleep(Duration::from_millis(5 + (attempt as u64 % 10)));
+            }
+        }
+    }
+    Err(io::Error::new(
+        last.kind(),
+        format!("connect {addr} failed after {retries} retries: {last}"),
+    ))
+}
+
+fn mux_thread(
+    addr: SocketAddr,
+    opts: &MuxOptions,
+    templates: &[Vec<u8>],
+    quota: usize,
+    first_input: usize,
+    deadline: Instant,
+) -> io::Result<ThreadTally> {
+    let mut tally = ThreadTally {
+        sent: 0,
+        received: 0,
+        wire_errors: 0,
+        order_violations: 0,
+        parity_failures: 0,
+        completed: 0,
+        latencies_micros: Vec::with_capacity(quota * opts.requests_per_conn),
+    };
+    if quota == 0 {
+        return Ok(tally);
+    }
+    let poll = Poll::new()?;
+    let mut conns: Vec<Option<CConn>> = Vec::with_capacity(quota);
+    for i in 0..quota {
+        let stream = connect_patiently(addr, opts.connect_retries)?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        let conn = CConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: VecDeque::new(),
+            sent: 0,
+            received: 0,
+            input_idx: (first_input + i) % templates.len(),
+            next_id: 1,
+            done: false,
+            registered: (true, true),
+        };
+        // nothing is enqueued yet: the first writable event fills the
+        // pipeline, so latencies measure the server, not the time the
+        // remaining connections took to finish connecting
+        poll.register(
+            &conn.stream,
+            Token(i),
+            Interest::READABLE.add(Interest::WRITABLE),
+        )?;
+        conns.push(Some(conn));
+    }
+
+    let mut events = Events::with_capacity(1024);
+    let mut open = quota;
+    while open > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            break; // unanswered requests become `lost`
+        }
+        let timeout = (deadline - now).min(Duration::from_millis(200));
+        poll.wait(&mut events, Some(timeout))?;
+        for ev in events.iter() {
+            let Token(idx) = ev.token();
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            let mut dead = ev.is_error();
+            if !dead && ev.is_readable() {
+                dead = drive_read(conn, opts, templates, &mut tally);
+            }
+            if !dead && ev.is_writable() {
+                dead = try_flush(conn).is_err();
+            }
+            if !dead && !conn.done && conn.inflight.is_empty() && conn.sent < opts.requests_per_conn
+            {
+                // initial pipeline fill (first writable wake), or a
+                // refill the read path could not do
+                enqueue(conn, opts, templates, &mut tally);
+                dead = try_flush(conn).is_err();
+            }
+            if conn.done || dead {
+                if conn.done {
+                    tally.completed += 1;
+                }
+                let _ = poll.deregister(&conn.stream);
+                conns[idx] = None;
+                open -= 1;
+                continue;
+            }
+            let want = (true, conn.wbuf.len() > conn.wpos);
+            if want != conn.registered {
+                let interest = if want.1 {
+                    Interest::READABLE.add(Interest::WRITABLE)
+                } else {
+                    Interest::READABLE
+                };
+                if poll.reregister(&conn.stream, Token(idx), interest).is_ok() {
+                    conn.registered = want;
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Fill the pipeline: clone the template, patch the id, queue it.
+fn enqueue(conn: &mut CConn, opts: &MuxOptions, templates: &[Vec<u8>], tally: &mut ThreadTally) {
+    while conn.inflight.len() < opts.pipeline && conn.sent < opts.requests_per_conn {
+        let id = conn.next_id;
+        conn.next_id += 1;
+        let mut frame = templates[conn.input_idx].clone();
+        frame[ID_OFFSET..ID_OFFSET + 8].copy_from_slice(&id.to_be_bytes());
+        conn.wbuf.extend_from_slice(&frame);
+        conn.inflight.push_back((id, Instant::now()));
+        conn.sent += 1;
+        tally.sent += 1;
+    }
+}
+
+/// Pull responses off the socket; returns `true` when the connection
+/// is dead (reset, protocol violation, or unexpected EOF).
+fn drive_read(
+    conn: &mut CConn,
+    opts: &MuxOptions,
+    templates: &[Vec<u8>],
+    tally: &mut ThreadTally,
+) -> bool {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return true, // server closed with requests outstanding
+            Ok(n) => conn.decoder.extend(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    loop {
+        let frame = match conn.decoder.next() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(_) => return true,
+        };
+        let (id, is_error) = match &frame {
+            Frame::InferOk { id, .. } => (*id, false),
+            Frame::Error { id, .. } => (*id, true),
+            other => (other.id(), true),
+        };
+        match conn.inflight.front() {
+            Some(&(want, sent_at)) if want == id => {
+                conn.inflight.pop_front();
+                tally
+                    .latencies_micros
+                    .push(sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+            _ => {
+                // a duplicate, a reorder, or an answer we never asked for
+                tally.order_violations += 1;
+            }
+        }
+        conn.received += 1;
+        tally.received += 1;
+        if is_error {
+            tally.wire_errors += 1;
+        } else if let (Frame::InferOk { output, .. }, Some(expected)) = (&frame, &opts.expected) {
+            if expected.get(conn.input_idx).is_some_and(|e| e != output) {
+                tally.parity_failures += 1;
+            }
+        }
+        if conn.received >= opts.requests_per_conn {
+            conn.done = true;
+            return false;
+        }
+        enqueue(conn, opts, templates, tally);
+        if try_flush(conn).is_err() {
+            return true;
+        }
+    }
+    false
+}
+
+fn try_flush(conn: &mut CConn) -> io::Result<()> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    Ok(())
+}

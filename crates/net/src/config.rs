@@ -1,0 +1,131 @@
+//! Event-driven front-end configuration, gated by the `N0xx` lints.
+
+use mlcnn_check::NetConfigLint;
+use mlcnn_serve::ServeError;
+use std::time::Duration;
+
+/// Configuration for [`crate::NetServer`]: reactor sharding, connection
+/// admission, per-connection pipelining, and timeouts.
+///
+/// Like [`mlcnn_serve::ServeConfig`], construction is cheap and
+/// validation happens at [`crate::NetServer::spawn`] via the
+/// `mlcnn-check` `N0xx` lints in deny mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Reactor (event-loop) thread count. Connections are distributed
+    /// round-robin across shards by the acceptor.
+    pub shards: usize,
+    /// Global cap on concurrently open connections; the acceptor drops
+    /// sockets beyond it.
+    pub max_connections: usize,
+    /// Most in-flight pipelined requests one connection may hold; past
+    /// it the connection's reads pause (backpressure) until responses
+    /// drain.
+    pub max_pipeline: usize,
+    /// Connections idle (no read/write progress, nothing in flight) for
+    /// longer than this are closed by the reactor's sweep.
+    pub idle_timeout: Duration,
+    /// Write-buffer high-watermark in bytes; a connection whose
+    /// unflushed responses exceed it has its reads paused.
+    pub write_buffer_limit: usize,
+    /// The backend service's submission-queue capacity, as a hint for
+    /// the `N006` pipeline-vs-queue lint (`0` = unknown, check skipped).
+    pub queue_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_connections: 16_384,
+            max_pipeline: 64,
+            idle_timeout: Duration::from_secs(60),
+            write_buffer_limit: 1 << 20,
+            queue_capacity: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Builder-style shard override.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style connection-cap override.
+    #[must_use]
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+
+    /// Builder-style pipeline-depth override.
+    #[must_use]
+    pub fn with_max_pipeline(mut self, depth: usize) -> Self {
+        self.max_pipeline = depth;
+        self
+    }
+
+    /// Builder-style idle-timeout override.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Builder-style queue-capacity hint (enables the `N006` lint).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The raw-scalar lint view of this config.
+    pub fn lint(&self, name: &str) -> NetConfigLint {
+        NetConfigLint {
+            name: name.to_string(),
+            shards: self.shards,
+            available_parallelism: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            max_connections: self.max_connections,
+            max_pipeline: self.max_pipeline,
+            queue_capacity: self.queue_capacity,
+            idle_timeout_millis: self.idle_timeout.as_millis().min(u64::MAX as u128) as u64,
+            write_buffer_limit: self.write_buffer_limit,
+        }
+    }
+
+    /// Deny-mode `N0xx` gate; [`crate::NetServer::spawn`] refuses a
+    /// config this rejects, exactly as `Service::spawn` refuses `V0xx`
+    /// denials.
+    pub fn validate(&self, name: &str) -> Result<(), ServeError> {
+        mlcnn_check::check_net_config_summary(&self.lint(name)).map_err(ServeError::Config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_passes_the_gate() {
+        assert!(NetConfig::default().validate("mlcnn-net").is_ok());
+    }
+
+    #[test]
+    fn zero_shards_is_refused_with_the_n_code() {
+        let cfg = NetConfig::default().with_shards(0);
+        let err = cfg.validate("mlcnn-net").unwrap_err().to_string();
+        assert!(err.contains("N001"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_deeper_than_queue_hint_warns_but_passes() {
+        // N006 is warn-severity: suspicious, not fatal
+        let cfg = NetConfig::default()
+            .with_max_pipeline(512)
+            .with_queue_capacity(256);
+        assert!(cfg.validate("mlcnn-net").is_ok());
+    }
+}

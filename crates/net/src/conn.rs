@@ -1,0 +1,332 @@
+//! Per-connection state machine for the event-driven transport.
+//!
+//! ```text
+//!           readable                    completion wake
+//!              │                              │
+//!              ▼                              ▼
+//!  socket ─► FrameDecoder ─► slots: [Waiting|Ready|Waiting|…] ─► wbuf ─► socket
+//!              ▲                     (FIFO; emit only from the front)
+//!              │
+//!   reads PAUSE when slots ≥ max_pipeline or wbuf ≥ high-watermark
+//! ```
+//!
+//! Every inbound frame pushes exactly one slot: an inference request
+//! becomes `Waiting` (holding the service [`Ticket`]); everything that
+//! resolves immediately — metrics, admin, submission errors — becomes
+//! `Ready` with the encoded response. Responses are emitted strictly
+//! from the queue front, so a connection's replies always arrive in
+//! request order, even when the micro-batcher completes them out of
+//! order.
+//!
+//! Backpressure is genuine: when a connection is paused, newly arrived
+//! bytes stay *undecoded* in the [`FrameDecoder`] (and eventually in
+//! the kernel socket buffer, shrinking the peer's TCP window), so a
+//! pipelining client physically cannot run the service queue over by
+//! more than `max_pipeline` per connection.
+
+use crate::decode::FrameDecoder;
+use mlcnn_serve::{CompletionNotify, Dispatch, Frame, ServeError, Ticket};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-read scratch size; level-triggered polling re-reports sockets
+/// with more than this pending, so a modest chunk keeps shards fair.
+const READ_CHUNK: usize = 16 << 10;
+
+/// When the flushed prefix of the write buffer grows past this, the
+/// live tail is memmoved down (same policy as the decoder).
+const WBUF_COMPACT: usize = 64 << 10;
+
+/// One response slot, FIFO-ordered with its connection's requests.
+enum Slot {
+    /// An in-flight inference; the ticket resolves on a worker thread
+    /// and the reactor polls it after a completion wake.
+    Waiting { id: u64, ticket: Ticket },
+    /// A fully encoded response, waiting for its turn on the wire.
+    Ready(Vec<u8>),
+}
+
+/// What the shard shares with every connection it drives.
+pub(crate) struct ShardCtx {
+    /// The request backend (single service or router).
+    pub backend: Arc<dyn Dispatch>,
+    /// Completion hook handed to every submission; `tag` is the
+    /// connection's slab index.
+    pub notify: Arc<dyn CompletionNotify>,
+    /// Pipelining depth past which reads pause.
+    pub max_pipeline: usize,
+    /// Unflushed-response bytes past which reads pause.
+    pub write_buffer_limit: usize,
+}
+
+/// Verdict after driving a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Advance {
+    /// Keep the connection registered.
+    Keep,
+    /// Drop it (clean close or error); the caller owns deregistration.
+    Close,
+}
+
+/// One live client connection owned by a reactor shard.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    slots: VecDeque<Slot>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Peer closed its write half: no further requests; flush and close.
+    eof: bool,
+    /// Last read/write progress or completion, for the idle sweep.
+    pub(crate) last_activity: Instant,
+    /// Interest bits currently registered with the poll
+    /// (readable, writable), to skip redundant `epoll_ctl`s.
+    pub(crate) registered: (bool, bool),
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            slots: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            eof: false,
+            last_activity: Instant::now(),
+            registered: (false, false),
+        }
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn unflushed(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Reads pause while the connection holds a full pipeline or an
+    /// over-watermark write buffer.
+    fn paused(&self, ctx: &ShardCtx) -> bool {
+        self.slots.len() >= ctx.max_pipeline || self.unflushed() >= ctx.write_buffer_limit
+    }
+
+    /// The readiness this connection currently needs from the poll.
+    pub(crate) fn wants(&self, ctx: &ShardCtx) -> (bool, bool) {
+        (!self.eof && !self.paused(ctx), self.unflushed() > 0)
+    }
+
+    /// Idle means nothing buffered in either direction and nothing in
+    /// flight — a connection parked between requests. In-flight work
+    /// (however slow the service is) never counts as idle.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.slots.is_empty() && self.unflushed() == 0 && self.decoder.is_at_boundary()
+    }
+
+    /// Drain the socket's readable bytes into the decoder and process
+    /// any complete frames, respecting backpressure.
+    pub(crate) fn on_readable(&mut self, ctx: &ShardCtx, token: u64) -> Advance {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            // stop pulling bytes off the socket once paused; the kernel
+            // buffer (and the peer's TCP window) absorbs the rest
+            if self.paused(ctx) {
+                break;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.last_activity = Instant::now();
+                    self.decoder.extend(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Advance::Close,
+            }
+        }
+        if self.eof && !self.decoder.is_at_boundary() {
+            // torn frame at EOF: protocol violation, nothing to flush for
+            return Advance::Close;
+        }
+        self.drive(ctx, token)
+    }
+
+    /// A completion wake for this connection: poll the waiting slots
+    /// (any of them may have resolved — the batcher completes out of
+    /// order) and push whatever became ready toward the wire.
+    pub(crate) fn on_completion(&mut self, ctx: &ShardCtx, token: u64) -> Advance {
+        let mut progressed = false;
+        for slot in &mut self.slots {
+            if let Slot::Waiting { id, ticket } = slot {
+                if let Some(result) = ticket.poll() {
+                    let frame = match result {
+                        Ok(output) => Frame::InferOk { id: *id, output },
+                        Err(e) => Frame::Error {
+                            id: *id,
+                            message: e.to_string(),
+                        },
+                    };
+                    *slot = Slot::Ready(encode_or_close(&frame));
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            self.last_activity = Instant::now();
+        }
+        self.drive(ctx, token)
+    }
+
+    /// Writable readiness: flush, then re-drive (draining the write
+    /// buffer may unpause reads whose bytes already sit in the decoder).
+    pub(crate) fn on_writable(&mut self, ctx: &ShardCtx, token: u64) -> Advance {
+        self.drive(ctx, token)
+    }
+
+    /// The one pump: decode → submit → emit → flush, looping while any
+    /// stage makes progress, so state never stalls waiting for a
+    /// readiness edge that level-triggered polling will not deliver
+    /// (e.g. bytes parked in the decoder after an unpause).
+    fn drive(&mut self, ctx: &ShardCtx, token: u64) -> Advance {
+        loop {
+            let decoded = match self.process_frames(ctx, token) {
+                Ok(n) => n,
+                Err(_) => return Advance::Close,
+            };
+            let emitted = self.emit_ready();
+            match self.flush() {
+                Ok(()) => {}
+                Err(_) => return Advance::Close,
+            }
+            if decoded == 0 && emitted == 0 {
+                break;
+            }
+        }
+        if self.eof && self.slots.is_empty() && self.unflushed() == 0 {
+            return Advance::Close;
+        }
+        Advance::Keep
+    }
+
+    /// Decode complete frames (up to the pipeline/watermark limits) and
+    /// turn each into exactly one slot. Returns how many were consumed.
+    fn process_frames(&mut self, ctx: &ShardCtx, token: u64) -> io::Result<usize> {
+        let mut consumed = 0;
+        while !self.paused(ctx) {
+            let Some(frame) = self.decoder.next()? else {
+                break;
+            };
+            consumed += 1;
+            let slot = match frame {
+                Frame::InferRequest { id, model, input } => {
+                    match ctx
+                        .backend
+                        .submit_notified(&model, input, Arc::clone(&ctx.notify), token)
+                    {
+                        Ok(ticket) => Slot::Waiting { id, ticket },
+                        Err(e) => Slot::Ready(encode_or_close(&Frame::Error {
+                            id,
+                            message: e.to_string(),
+                        })),
+                    }
+                }
+                Frame::MetricsRequest { id } => Slot::Ready(encode_or_close(&Frame::MetricsOk {
+                    id,
+                    json: ctx.backend.metrics_json(),
+                })),
+                Frame::PublishRequest {
+                    id,
+                    model,
+                    revision,
+                } => Slot::Ready(admin_response(
+                    id,
+                    model.clone(),
+                    ctx.backend.publish(&model, revision),
+                )),
+                Frame::RollbackRequest { id, model } => Slot::Ready(admin_response(
+                    id,
+                    model.clone(),
+                    ctx.backend.rollback(&model),
+                )),
+                other => Slot::Ready(encode_or_close(&Frame::Error {
+                    id: other.id(),
+                    message: "clients may only send request frames".into(),
+                })),
+            };
+            self.slots.push_back(slot);
+        }
+        Ok(consumed)
+    }
+
+    /// Move the leading run of `Ready` slots into the write buffer —
+    /// never past a `Waiting` one, which is what keeps responses in
+    /// request order.
+    fn emit_ready(&mut self) -> usize {
+        let mut emitted = 0;
+        while let Some(Slot::Ready(bytes)) = self.slots.front() {
+            self.wbuf.extend_from_slice(bytes);
+            self.slots.pop_front();
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// Nonblocking flush of the write buffer.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= WBUF_COMPACT {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Encode a response frame; an unencodable response (a tensor the wire
+/// cannot carry) degrades to a wire error so the slot still resolves.
+fn encode_or_close(frame: &Frame) -> Vec<u8> {
+    frame.encode().unwrap_or_else(|e| {
+        Frame::Error {
+            id: frame.id(),
+            message: format!("response not encodable: {e}"),
+        }
+        .encode()
+        .expect("error frames always encode")
+    })
+}
+
+fn admin_response(id: u64, model: String, result: Result<(u64, u64), ServeError>) -> Vec<u8> {
+    encode_or_close(&match result {
+        Ok((active, previous)) => Frame::AdminOk {
+            id,
+            model,
+            active,
+            previous,
+        },
+        Err(e) => Frame::Error {
+            id,
+            message: e.to_string(),
+        },
+    })
+}

@@ -1,0 +1,181 @@
+//! Incremental frame decoding for nonblocking sockets.
+//!
+//! The blocking [`mlcnn_serve::read_frame`] owns its stream and can
+//! simply block until a whole frame arrives. A reactor cannot: TCP
+//! hands it arbitrary segments — half a length prefix, three frames
+//! back-to-back, a frame split down the middle of a tensor — and the
+//! decoder must consume whatever arrived and report frames only once
+//! complete. [`FrameDecoder`] is that accumulator; the property tests
+//! in `tests/decode_props.rs` prove it byte-identical to `read_frame`
+//! across arbitrary split points.
+
+use mlcnn_serve::{Frame, MAX_FRAME_BYTES};
+use std::io;
+
+/// How far the consumed prefix may grow before the buffer is compacted
+/// (memmove of the live tail). Large enough to amortize, small enough
+/// that an idle connection does not pin megabytes.
+const COMPACT_THRESHOLD: usize = 64 << 10;
+
+/// Accumulates bytes from a nonblocking socket and yields complete
+/// [`Frame`]s, preserving partial ones across reads.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameDecoder::next`] —
+    /// a torn prefix, an incomplete body, or whole frames not yet
+    /// pulled.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte fed in has been consumed as complete
+    /// frames; an EOF here is a *clean* close, anywhere else it tore a
+    /// frame.
+    pub fn is_at_boundary(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed (no state is consumed); errors are fatal to the
+    /// connection (oversized announcement, malformed body). Not an
+    /// `Iterator`: `Ok(None)` means *not yet*, not exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> io::Result<Option<Frame>> {
+        let avail = self.pending();
+        if avail < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("announced frame of {len} bytes"),
+            ));
+        }
+        if avail < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let frame = Frame::decode_body(&self.buf[self.pos + 4..self.pos + 4 + len])?;
+        self.pos += 4 + len;
+        self.maybe_compact();
+        Ok(Some(frame))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_tensor::{init, Shape4};
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::MetricsRequest { id: 1 },
+            Frame::InferRequest {
+                id: 2,
+                model: "lenet5".into(),
+                input: init::uniform(Shape4::new(1, 3, 4, 4), -1.0, 1.0, &mut init::rng(9)),
+            },
+            Frame::Error {
+                id: 3,
+                message: "boom".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly_matches() {
+        let want = frames();
+        let mut wire = Vec::new();
+        for f in &want {
+            wire.extend_from_slice(&f.encode().unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, want);
+        assert!(dec.is_at_boundary());
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_segment_all_emerge() {
+        let want = frames();
+        let mut wire = Vec::new();
+        for f in &want {
+            wire.extend_from_slice(&f.encode().unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn torn_prefix_is_not_a_frame_and_not_a_boundary() {
+        let wire = Frame::MetricsRequest { id: 5 }.encode().unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire[..3]);
+        assert!(dec.next().unwrap().is_none());
+        assert!(!dec.is_at_boundary());
+        dec.extend(&wire[3..]);
+        assert_eq!(dec.next().unwrap(), Some(Frame::MetricsRequest { id: 5 }));
+        assert!(dec.is_at_boundary());
+    }
+
+    #[test]
+    fn oversized_announcement_is_fatal() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn long_runs_stay_compacted() {
+        let wire = Frame::MetricsRequest { id: 1 }.encode().unwrap();
+        let mut dec = FrameDecoder::new();
+        for _ in 0..50_000 {
+            dec.extend(&wire);
+            assert!(dec.next().unwrap().is_some());
+        }
+        // the consumed prefix must not grow without bound
+        assert!(dec.buf.len() < 2 * COMPACT_THRESHOLD);
+    }
+}

@@ -1,0 +1,59 @@
+//! `mlcnn-net` — event-driven, sharded network layer for MLCNN
+//! serving.
+//!
+//! The blocking front-end in [`mlcnn_serve::net`] spends two OS
+//! threads per connection, which caps a server at a few thousand
+//! sockets. This crate replaces it as the default transport with a
+//! readiness-based design over the vendored `minimio` epoll wrapper:
+//!
+//! ```text
+//!            accept()                round-robin
+//! clients ──► acceptor thread ──────┬───────────┬─────────…
+//!                                   ▼           ▼
+//!                              shard 0      shard 1        (epoll each)
+//!                            ┌─────────┐  ┌─────────┐
+//!                            │ conn conn│  │ conn conn│    state machines:
+//!                            │ conn …  │  │ conn …  │     decode → slots → wbuf
+//!                            └────┬────┘  └────┬────┘
+//!                                 │ submit_notified
+//!                                 ▼
+//!                      Dispatch (Service / Router)
+//!                                 │ CompletionNotify ──► shard waker
+//! ```
+//!
+//! * **Per-connection state machines** (`conn`): an incremental
+//!   [`FrameDecoder`] reassembles the length-prefixed wire protocol
+//!   across arbitrary TCP segmentation; a FIFO slot queue keeps
+//!   pipelined responses in request order; a write buffer with a
+//!   high-watermark and a pipeline cap give real backpressure.
+//! * **No blocked reactors**: inference completions arrive via
+//!   [`mlcnn_serve::CompletionNotify`] — the worker pushes the
+//!   connection's token into the shard's inbox and fires its
+//!   `eventfd` waker; the reactor then *polls* the resolved tickets.
+//! * **Routing unchanged**: the backend is any
+//!   [`mlcnn_serve::Dispatch`], so `Router` hot-swap and revision
+//!   attribution hold on this transport exactly as on the blocking
+//!   one (which remains available as a parity oracle behind
+//!   `mlcnn-served --transport threads`).
+//! * **Gated construction**: [`NetServer::spawn`] refuses configs the
+//!   `mlcnn-check` `N0xx` lints deny, the way `Service::spawn` is
+//!   gated by `V0xx`.
+//! * **A multiplexing client** ([`client`]): tens of thousands of
+//!   concurrent connections from a handful of threads, with order,
+//!   correlation-id, and bitwise-parity checking — the engine behind
+//!   `mlcnn-loadgen --sweep` and the integration tests.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod config;
+mod conn;
+pub mod decode;
+mod reactor;
+pub mod server;
+
+pub use client::{run_mux, MuxOptions, MuxReport};
+pub use config::NetConfig;
+pub use decode::FrameDecoder;
+pub use server::NetServer;

@@ -1,0 +1,272 @@
+//! Reactor shards: one event-loop thread per shard, each owning its
+//! own `epoll` instance, connection slab, and waker.
+//!
+//! A shard hears about work three ways:
+//!
+//! * **socket readiness** — its poll reports a connection readable,
+//!   writable, or broken;
+//! * **new connections** — the acceptor pushes accepted sockets into
+//!   the shard's inbox and fires its waker;
+//! * **completions** — a service worker finished a request; the
+//!   [`CompletionNotify`] hook pushes the connection's slab index into
+//!   the inbox and fires the waker, and the shard polls that
+//!   connection's waiting tickets. The event loop therefore *never*
+//!   blocks on a ticket — inference latency costs a wake, not a
+//!   parked reactor.
+
+use crate::config::NetConfig;
+use crate::conn::{Advance, Conn, ShardCtx};
+use minimio::{Events, Interest, Poll, Token, Waker};
+use mlcnn_serve::{CompletionNotify, Dispatch};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The shard waker's token; connection tokens are slab indices, which
+/// can never reach this.
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// Cross-thread mailbox into one shard.
+pub(crate) struct Inbox {
+    /// Sockets the acceptor handed over, awaiting registration.
+    pub incoming: Mutex<Vec<TcpStream>>,
+    /// Slab indices of connections with newly completed requests.
+    pub completed: Mutex<Vec<usize>>,
+    /// Set (then waker fired) to make the shard drop everything and exit.
+    pub shutdown: AtomicBool,
+}
+
+/// Worker-side completion hook: record which connection completed and
+/// wake the shard. Runs on the service worker threads, so it does the
+/// minimum — one short lock, one eventfd write.
+struct ShardNotify {
+    inbox: Arc<Inbox>,
+    waker: Arc<Waker>,
+}
+
+impl CompletionNotify for ShardNotify {
+    fn completed(&self, tag: u64) {
+        self.inbox
+            .completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tag as usize);
+        let _ = self.waker.wake();
+    }
+}
+
+/// A running reactor shard, as seen from the acceptor/server side.
+pub(crate) struct Shard {
+    pub inbox: Arc<Inbox>,
+    pub waker: Arc<Waker>,
+    pub handle: JoinHandle<()>,
+}
+
+/// Spawn one shard thread. `conn_count` is the server-global open
+/// connection counter (incremented by the acceptor on accept,
+/// decremented here on close).
+pub(crate) fn spawn_shard(
+    shard_idx: usize,
+    backend: Arc<dyn Dispatch>,
+    cfg: &NetConfig,
+    conn_count: Arc<AtomicUsize>,
+) -> io::Result<Shard> {
+    let poll = Poll::new()?;
+    let waker = Arc::new(Waker::new(&poll, Token(WAKER_TOKEN))?);
+    let inbox = Arc::new(Inbox {
+        incoming: Mutex::new(Vec::new()),
+        completed: Mutex::new(Vec::new()),
+        shutdown: AtomicBool::new(false),
+    });
+    let ctx = ShardCtx {
+        backend,
+        notify: Arc::new(ShardNotify {
+            inbox: Arc::clone(&inbox),
+            waker: Arc::clone(&waker),
+        }),
+        max_pipeline: cfg.max_pipeline,
+        write_buffer_limit: cfg.write_buffer_limit,
+    };
+    let idle_timeout = cfg.idle_timeout;
+    let handle = {
+        let inbox = Arc::clone(&inbox);
+        let waker = Arc::clone(&waker);
+        std::thread::Builder::new()
+            .name(format!("mlcnn-net-shard-{shard_idx}"))
+            .spawn(move || shard_loop(&poll, &waker, &inbox, &ctx, idle_timeout, &conn_count))?
+    };
+    Ok(Shard {
+        inbox,
+        waker,
+        handle,
+    })
+}
+
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn close(&mut self, poll: &Poll, idx: usize, conn_count: &AtomicUsize) {
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) {
+            let _ = poll.deregister(conn.stream());
+            self.free.push(idx);
+            conn_count.fetch_sub(1, Ordering::AcqRel);
+            // dropping the Conn closes the socket and abandons any
+            // waiting tickets (workers find the channel closed)
+        }
+    }
+}
+
+fn shard_loop(
+    poll: &Poll,
+    waker: &Waker,
+    inbox: &Inbox,
+    ctx: &ShardCtx,
+    idle_timeout: Duration,
+    conn_count: &AtomicUsize,
+) {
+    let mut events = Events::with_capacity(1024);
+    let mut slab = Slab {
+        conns: Vec::new(),
+        free: Vec::new(),
+    };
+    // Sweep a few times per timeout so reaping lags by at most ~25%;
+    // the wait timeout is bounded so shutdown and sweeps stay timely.
+    let sweep_every = (idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+    let wait_timeout = sweep_every.min(Duration::from_millis(500));
+    let mut last_sweep = Instant::now();
+
+    loop {
+        if poll.wait(&mut events, Some(wait_timeout)).is_err() {
+            // a broken epoll fd is unrecoverable for this shard
+            break;
+        }
+        if inbox.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+
+        for ev in events.iter() {
+            let Token(idx) = ev.token();
+            if idx == WAKER_TOKEN {
+                let _ = waker.drain();
+                continue;
+            }
+            let Some(conn) = slab.conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // closed earlier in this batch
+            };
+            let verdict = if ev.is_error() {
+                Advance::Close
+            } else {
+                let mut v = Advance::Keep;
+                if ev.is_readable() {
+                    v = conn.on_readable(ctx, idx as u64);
+                }
+                if v == Advance::Keep && ev.is_writable() {
+                    v = conn.on_writable(ctx, idx as u64);
+                }
+                v
+            };
+            settle(poll, &mut slab, idx, verdict, ctx, conn_count);
+        }
+
+        // completions: poll exactly the connections that were notified
+        let completed =
+            std::mem::take(&mut *inbox.completed.lock().unwrap_or_else(|e| e.into_inner()));
+        for idx in completed {
+            let Some(conn) = slab.conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // completed after its connection went away
+            };
+            let verdict = conn.on_completion(ctx, idx as u64);
+            settle(poll, &mut slab, idx, verdict, ctx, conn_count);
+        }
+
+        // adoptions: register sockets the acceptor handed over
+        let incoming =
+            std::mem::take(&mut *inbox.incoming.lock().unwrap_or_else(|e| e.into_inner()));
+        for stream in incoming {
+            let idx = slab.insert(Conn::new(stream));
+            let conn = slab.conns[idx].as_mut().expect("just inserted");
+            if poll
+                .register(conn.stream(), Token(idx), Interest::READABLE)
+                .is_err()
+            {
+                slab.conns[idx] = None;
+                slab.free.push(idx);
+                conn_count.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            conn.registered = (true, false);
+        }
+
+        if last_sweep.elapsed() >= sweep_every {
+            last_sweep = Instant::now();
+            for idx in 0..slab.conns.len() {
+                let reap = slab.conns[idx]
+                    .as_ref()
+                    .is_some_and(|c| c.is_idle() && c.last_activity.elapsed() >= idle_timeout);
+                if reap {
+                    slab.close(poll, idx, conn_count);
+                }
+            }
+        }
+    }
+
+    // shutdown (or fatal poll error): drop every connection
+    for idx in 0..slab.conns.len() {
+        slab.close(poll, idx, conn_count);
+    }
+}
+
+/// Apply a connection's verdict: close it, or bring its poll
+/// registration in line with what it now wants.
+fn settle(
+    poll: &Poll,
+    slab: &mut Slab,
+    idx: usize,
+    verdict: Advance,
+    ctx: &ShardCtx,
+    conn_count: &AtomicUsize,
+) {
+    if verdict == Advance::Close {
+        slab.close(poll, idx, conn_count);
+        return;
+    }
+    let Some(conn) = slab.conns.get_mut(idx).and_then(Option::as_mut) else {
+        return;
+    };
+    let want = conn.wants(ctx);
+    if want == conn.registered {
+        return;
+    }
+    let interest = match want {
+        (true, true) => Interest::READABLE.add(Interest::WRITABLE),
+        (true, false) => Interest::READABLE,
+        (false, true) => Interest::WRITABLE,
+        // fully backpressured: park on errors/hangups only until a
+        // completion wake changes the picture
+        (false, false) => Interest::NONE,
+    };
+    if poll.reregister(conn.stream(), Token(idx), interest).is_ok() {
+        conn.registered = want;
+    } else {
+        slab.close(poll, idx, conn_count);
+    }
+}

@@ -1,0 +1,141 @@
+//! The incremental decoder's defining property: for any sequence of
+//! frames and ANY way TCP segments their bytes, [`FrameDecoder`]
+//! yields exactly the frames the blocking [`read_frame`] reader does —
+//! same frames, same order, bitwise-equal payloads — and ends at a
+//! clean boundary. Torn tails are never misreported as frames.
+
+use std::io::Cursor;
+
+use mlcnn_net::FrameDecoder;
+use mlcnn_serve::{read_frame, Frame};
+use mlcnn_tensor::{init, Shape4};
+use proptest::prelude::*;
+
+/// A deterministic mixed-kind frame sequence: the request kinds a
+/// server-side decoder sees plus the response kinds a client-side
+/// decoder sees, with tensors large enough that splits land inside
+/// payloads, not just headers.
+fn frame_sequence(seed: u8, n: usize) -> Vec<Frame> {
+    let mut rng = init::rng(0xF00D ^ seed as u64);
+    (0..n)
+        .map(|i| {
+            let id = (seed as u64) << 32 | i as u64;
+            match (seed as usize + i) % 6 {
+                0 => Frame::MetricsRequest { id },
+                1 => Frame::InferRequest {
+                    id,
+                    model: "mlp-mini".into(),
+                    input: init::uniform(Shape4::new(1, 2, 5, 5), -1.0, 1.0, &mut rng),
+                },
+                2 => Frame::InferOk {
+                    id,
+                    output: init::uniform(Shape4::new(1, 1, 1, 10), -1.0, 1.0, &mut rng),
+                },
+                3 => Frame::PublishRequest {
+                    id,
+                    model: "mlp-mini".into(),
+                    revision: i as u64 + 1,
+                },
+                4 => Frame::Error {
+                    id,
+                    message: format!("queue full ({i})"),
+                },
+                _ => Frame::RollbackRequest {
+                    id,
+                    model: "vgg-nano".into(),
+                },
+            }
+        })
+        .collect()
+}
+
+fn encode_all(frames: &[Frame]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for f in frames {
+        wire.extend_from_slice(&f.encode().unwrap());
+    }
+    wire
+}
+
+/// What the blocking reader makes of `wire`, reading to EOF.
+fn blocking_decode(wire: &[u8]) -> Vec<Frame> {
+    let mut cursor = Cursor::new(wire);
+    let mut out = Vec::new();
+    while let Some(f) = read_frame(&mut cursor).unwrap() {
+        out.push(f);
+    }
+    out
+}
+
+/// Feed `wire` to an incremental decoder in segments whose lengths are
+/// drawn from `cuts` (cycled), draining after every segment like the
+/// reactor does after every `read`.
+fn incremental_decode(wire: &[u8], cuts: &[usize]) -> (Vec<Frame>, bool) {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut off = 0;
+    let mut c = 0;
+    while off < wire.len() {
+        let step = cuts[c % cuts.len()].clamp(1, wire.len() - off);
+        c += 1;
+        dec.extend(&wire[off..off + step]);
+        off += step;
+        while let Some(f) = dec.next().unwrap() {
+            out.push(f);
+        }
+    }
+    (out, dec.is_at_boundary())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary segmentation is invisible: the incremental decoder and
+    /// the blocking reader agree bitwise on any frame sequence.
+    #[test]
+    fn arbitrary_splits_match_blocking_reader(
+        seed in any::<u8>(),
+        n in 1usize..8,
+        cuts in proptest::collection::vec(1usize..512, 1..12),
+    ) {
+        let frames = frame_sequence(seed, n);
+        let wire = encode_all(&frames);
+        let want = blocking_decode(&wire);
+        prop_assert_eq!(&want, &frames, "blocking reader is the fixture");
+        let (got, at_boundary) = incremental_decode(&wire, &cuts);
+        prop_assert_eq!(got, want);
+        prop_assert!(at_boundary, "all bytes consumed must mean boundary");
+    }
+
+    /// Byte-at-a-time is the worst-case segmentation and must still match.
+    #[test]
+    fn byte_at_a_time_matches_blocking_reader(seed in any::<u8>(), n in 1usize..5) {
+        let frames = frame_sequence(seed, n);
+        let wire = encode_all(&frames);
+        let (got, at_boundary) = incremental_decode(&wire, &[1]);
+        prop_assert_eq!(got, frames);
+        prop_assert!(at_boundary);
+    }
+
+    /// Cutting the stream anywhere strictly inside the last frame leaves
+    /// the decoder off-boundary with the preceding frames fully decoded
+    /// — a torn tail is detectable (EOF there closes the connection) and
+    /// never surfaces as a frame.
+    #[test]
+    fn torn_tail_is_off_boundary_and_yields_no_frame(
+        seed in any::<u8>(),
+        n in 1usize..6,
+        cut_sel in any::<u64>(),
+        chunk in 1usize..256,
+    ) {
+        let frames = frame_sequence(seed, n);
+        let wire = encode_all(&frames);
+        let last_len = frames.last().unwrap().encode().unwrap().len();
+        let body_start = wire.len() - last_len;
+        // a cut strictly inside the final frame: [body_start+1, wire.len()-1]
+        let at = body_start + 1 + (cut_sel as usize) % (last_len - 1);
+        let (got, at_boundary) = incremental_decode(&wire[..at], &[chunk]);
+        prop_assert_eq!(got, frames[..n - 1].to_vec());
+        prop_assert!(!at_boundary, "torn tail must not look like a clean close");
+    }
+}

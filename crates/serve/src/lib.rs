@@ -60,5 +60,5 @@ pub use microbatch::{BatchPolicy, Microbatcher};
 pub use models::{find_model, serving_zoo, ServeModel, SERVE_SEED};
 pub use net::{serve_listener, Client, Dispatch, NamedService};
 pub use router::Router;
-pub use service::{Service, Ticket};
+pub use service::{CompletionNotify, Service, Ticket};
 pub use wire::{read_frame, write_frame, Frame, MAX_FRAME_BYTES, MAX_WIRE_MODEL_NAME};

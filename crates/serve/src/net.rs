@@ -22,7 +22,7 @@ use std::thread;
 use mlcnn_tensor::Tensor;
 
 use crate::error::ServeError;
-use crate::service::{Service, Ticket};
+use crate::service::{CompletionNotify, Service, Ticket};
 use crate::wire::{read_frame, write_frame, Frame};
 
 /// A request backend the TCP front-end can serve: routes inference by
@@ -31,6 +31,17 @@ use crate::wire::{read_frame, write_frame, Frame};
 pub trait Dispatch: Send + Sync + 'static {
     /// Submit one input item to `model` (empty = the only model).
     fn submit(&self, model: &str, input: Tensor<f32>) -> Result<Ticket, ServeError>;
+
+    /// [`Dispatch::submit`] with a completion hook for event-driven
+    /// front-ends: `notify.completed(tag)` fires once the ticket holds
+    /// the response (see [`crate::Service::submit_notified`]).
+    fn submit_notified(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        notify: Arc<dyn CompletionNotify>,
+        tag: u64,
+    ) -> Result<Ticket, ServeError>;
 
     /// Metrics snapshot as JSON.
     fn metrics_json(&self) -> String;
@@ -74,6 +85,19 @@ impl Dispatch for NamedService {
             return Err(ServeError::UnknownModel(model.to_string()));
         }
         self.svc.submit(input)
+    }
+
+    fn submit_notified(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        notify: Arc<dyn CompletionNotify>,
+        tag: u64,
+    ) -> Result<Ticket, ServeError> {
+        if !model.is_empty() && model != self.name {
+            return Err(ServeError::UnknownModel(model.to_string()));
+        }
+        self.svc.submit_notified(input, notify, tag)
     }
 
     fn metrics_json(&self) -> String {

@@ -25,7 +25,7 @@
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::net::Dispatch;
-use crate::service::{Service, Ticket};
+use crate::service::{CompletionNotify, Service, Ticket};
 use mlcnn_core::WorkspacePool;
 use mlcnn_registry::{ModelRegistry, RegistryError};
 use mlcnn_tensor::Tensor;
@@ -117,6 +117,40 @@ impl Router {
                 // the endpoint we drew was swapped out and is draining;
                 // the map already holds (or is about to hold) its
                 // replacement — re-read and retry
+                Err(ServeError::ShuttingDown) => {
+                    last = ServeError::ShuttingDown;
+                    std::thread::yield_now();
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last)
+    }
+
+    /// [`Router::submit`] with a completion hook (see
+    /// [`Service::submit_notified`]): same hot-swap retry discipline,
+    /// same revision attribution, but `notify.completed(tag)` fires once
+    /// the ticket holds the response — the form the event-driven
+    /// transport uses.
+    pub fn submit_notified(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        notify: Arc<dyn CompletionNotify>,
+        tag: u64,
+    ) -> Result<(u64, Ticket), ServeError> {
+        let mut last = ServeError::ShuttingDown;
+        for _ in 0..SWAP_RETRIES {
+            let endpoint = self
+                .read_endpoints()
+                .get(model)
+                .cloned()
+                .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+            match endpoint
+                .svc
+                .submit_notified(input.clone(), Arc::clone(&notify), tag)
+            {
+                Ok(ticket) => return Ok((endpoint.revision, ticket)),
                 Err(ServeError::ShuttingDown) => {
                     last = ServeError::ShuttingDown;
                     std::thread::yield_now();
@@ -230,6 +264,28 @@ impl Dispatch for Router {
             ));
         }
         Router::submit(self, model, input).map(|(_, t)| t)
+    }
+
+    fn submit_notified(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        notify: Arc<dyn CompletionNotify>,
+        tag: u64,
+    ) -> Result<Ticket, ServeError> {
+        if model.is_empty() {
+            // the empty name is only unambiguous on a single-model registry
+            let endpoints = self.read_endpoints();
+            if endpoints.len() == 1 {
+                let only = endpoints.keys().next().cloned().expect("len checked");
+                drop(endpoints);
+                return Router::submit_notified(self, &only, input, notify, tag).map(|(_, t)| t);
+            }
+            return Err(ServeError::UnknownModel(
+                "(empty — this server routes multiple models; name one)".into(),
+            ));
+        }
+        Router::submit_notified(self, model, input, notify, tag).map(|(_, t)| t)
     }
 
     fn metrics_json(&self) -> String {

@@ -40,12 +40,38 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Completion callback for event-driven callers that cannot block on
+/// [`Ticket::wait`]. A reactor registers one per shard; workers invoke
+/// [`CompletionNotify::completed`] *after* the response is placed in the
+/// ticket channel, so a subsequent [`Ticket::poll`] from the notified
+/// party observes it. Implementations must be cheap and non-blocking —
+/// they run on the worker threads' hot path.
+pub trait CompletionNotify: Send + Sync {
+    /// `tag` is the caller-chosen cookie passed to
+    /// [`Service::submit_notified`] (e.g. a connection token).
+    fn completed(&self, tag: u64);
+}
+
 /// One queued inference request.
 struct Request {
     input: Tensor<f32>,
     enqueued: Instant,
     deadline: Option<Instant>,
     tx: SyncSender<Result<Tensor<f32>, ServeError>>,
+    /// Event-driven completion hook: notified (with its tag) after `tx`
+    /// is fulfilled, on every response path.
+    done: Option<(Arc<dyn CompletionNotify>, u64)>,
+}
+
+impl Request {
+    /// Deliver the response and fire the completion hook. The send
+    /// happens first so a notified poller always finds the result.
+    fn respond(self, response: Result<Tensor<f32>, ServeError>) {
+        let _ = self.tx.send(response);
+        if let Some((notify, tag)) = self.done {
+            notify.completed(tag);
+        }
+    }
 }
 
 /// Mutex-guarded intake state: the micro-batch window plus lifecycle.
@@ -106,6 +132,18 @@ impl Ticket {
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                 Some(Err(ServeError::Disconnected))
             }
+        }
+    }
+
+    /// Non-blocking, non-consuming probe: `Some` once the response has
+    /// arrived, `None` while it is still in flight. The event-driven
+    /// transport polls tickets from the reactor thread after a
+    /// [`CompletionNotify`] wake instead of parking on [`Ticket::wait`].
+    pub fn poll(&self) -> Option<Result<Tensor<f32>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
         }
     }
 }
@@ -250,6 +288,29 @@ impl Service {
         input: Tensor<f32>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, deadline, None)
+    }
+
+    /// [`Service::submit`] with a completion hook: after the response is
+    /// delivered into the ticket, `notify.completed(tag)` fires on the
+    /// worker thread. Event-driven callers park the ticket, and redeem
+    /// it with [`Ticket::poll`] when the notification arrives, instead
+    /// of blocking a thread per request.
+    pub fn submit_notified(
+        &self,
+        input: Tensor<f32>,
+        notify: Arc<dyn CompletionNotify>,
+        tag: u64,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, self.shared.cfg.default_deadline, Some((notify, tag)))
+    }
+
+    fn submit_inner(
+        &self,
+        input: Tensor<f32>,
+        deadline: Option<Duration>,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
+    ) -> Result<Ticket, ServeError> {
         let s = input.shape();
         let e = self.shared.plan.input_shape();
         if s.n != 1 || (s.c, s.h, s.w) != (e.c, e.h, e.w) {
@@ -284,6 +345,7 @@ impl Service {
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
                 tx,
+                done,
             },
             now_nanos,
         );
@@ -420,7 +482,7 @@ fn execute_batch(shared: &Shared, reqs: Vec<Request>) {
     for r in reqs {
         if r.deadline.is_some_and(|d| now >= d) {
             shared.metrics.shed_expired.fetch_add(1, Relaxed);
-            let _ = r.tx.send(Err(ServeError::DeadlineExceeded));
+            r.respond(Err(ServeError::DeadlineExceeded));
         } else {
             live.push(r);
         }
@@ -463,14 +525,14 @@ fn execute_batch(shared: &Shared, reqs: Vec<Request>) {
                         r.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
                     );
                 }
-                let _ = r.tx.send(response);
+                r.respond(response);
             }
         }
         Err(e) => {
             let msg = e.to_string();
             for r in live {
                 shared.metrics.failed.fetch_add(1, Relaxed);
-                let _ = r.tx.send(Err(ServeError::Inference(msg.clone())));
+                r.respond(Err(ServeError::Inference(msg.clone())));
             }
         }
     }

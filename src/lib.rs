@@ -16,6 +16,7 @@
 //! | [`accel`] | `mlcnn-accel` | accelerator cycle & energy model |
 //! | [`check`] | `mlcnn-check` | static analysis over specs, configs, tilings |
 //! | [`serve`] | `mlcnn-serve` | micro-batching inference service + TCP front-end |
+//! | [`net`] | `mlcnn-net` | event-driven, sharded epoll transport + mux client |
 //!
 //! ## The thirty-second tour
 //!
@@ -95,6 +96,7 @@ pub use mlcnn_accel as accel;
 pub use mlcnn_check as check;
 pub use mlcnn_core as core;
 pub use mlcnn_data as data;
+pub use mlcnn_net as net;
 pub use mlcnn_nn as nn;
 pub use mlcnn_quant as quant;
 pub use mlcnn_serve as serve;

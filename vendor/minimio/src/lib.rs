@@ -1,0 +1,376 @@
+//! # minimio — readiness polling for the event-driven network layer
+//!
+//! Offline stand-in for `mio`, following the `vendor/` pattern: exactly
+//! the API surface the workspace uses, nothing more. Readiness-based
+//! (level-triggered) polling over Linux `epoll`, plus an
+//! `eventfd`-backed [`Waker`] for cross-thread wake-ups.
+//!
+//! ```text
+//! let poll = Poll::new()?;
+//! poll.register(&listener, Token(0), Interest::READABLE)?;
+//! let waker = Waker::new(&poll, Token(1))?;          // other threads: waker.wake()
+//! let mut events = Events::with_capacity(1024);
+//! poll.wait(&mut events, Some(Duration::from_millis(250)))?;
+//! for ev in events.iter() { match ev.token() { .. } }
+//! ```
+//!
+//! Divergences from upstream `mio`: level-triggered only (no
+//! `edge`-triggered mode), `RawFd`-based registration (no `Source`
+//! trait machinery), and `wait` returns cleanly on `EINTR` with zero
+//! events instead of surfacing the error.
+//!
+//! All `unsafe` lives in [`sys`] — a seven-syscall FFI module pinned by
+//! `vendor/minimio/AUDIT.md` and a CI hash check. This root is
+//! `#![deny(unsafe_code)]`; `sys` opts out locally with a module-level
+//! allow, which is the single audited exception in the repository.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod sys;
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::raw::c_int;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration and echoed back
+/// on each [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the descriptor becomes readable (or the peer closes).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Wake when the descriptor becomes writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// Watch for errors and hang-ups only (epoll always reports those):
+    /// the registration a fully backpressured connection parks on.
+    pub const NONE: Interest = Interest(0);
+
+    /// Combine two interests. (Named for parity with upstream `mio`,
+    /// which exposes exactly this method.)
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readability?
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Does this interest include writability?
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.is_readable() {
+            m |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the descriptor was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Data (or a close) can be read without blocking.
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// The descriptor can accept writes without blocking.
+    pub fn is_writable(&self) -> bool {
+        self.bits & sys::EPOLLOUT != 0
+    }
+
+    /// The descriptor is in an error or hang-up state; the connection
+    /// is unusable and should be dropped.
+    pub fn is_error(&self) -> bool {
+        self.bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+
+    /// The peer closed its write half (half-close); reads will return
+    /// EOF once the buffered bytes drain.
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+}
+
+/// Reusable buffer of kernel event records filled by [`Poll::wait`].
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Buffer able to carry up to `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            raw: vec![sys::EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|ev| {
+            // copy packed fields by value; never by reference
+            let bits = ev.events;
+            let data = ev.data;
+            Event {
+                token: Token(data as usize),
+                bits,
+            }
+        })
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance. Registrations are level-triggered: a descriptor
+/// with unread data keeps reporting readable on every wait.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: c_int,
+}
+
+impl Poll {
+    /// Create a new poll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::sys_epoll_create()?,
+        })
+    }
+
+    /// Start watching `fd` under `token` for `interest`.
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            interest.mask(),
+            token.0 as u64,
+        )
+    }
+
+    /// Change what an already registered descriptor is watched for.
+    pub fn reregister(
+        &self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::sys_epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            interest.mask(),
+            token.0 as u64,
+        )
+    }
+
+    /// Stop watching a descriptor. (Closing the descriptor also
+    /// removes it; this is for keeping it open but unwatched.)
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Block until at least one event is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). On `EINTR` returns success with
+    /// zero events so callers can simply re-loop.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // round sub-millisecond timeouts up to 1ms instead of
+            // degenerating into a zero-timeout busy spin
+            Some(d) if d.is_zero() => 0,
+            Some(d) => c_int::try_from(d.as_millis().max(1)).unwrap_or(c_int::MAX),
+        };
+        events.len = 0;
+        match sys::sys_epoll_wait(self.epfd, &mut events.raw, timeout_ms) {
+            Ok(n) => {
+                events.len = n;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// Cross-thread wake-up handle bound to one [`Poll`]: an `eventfd`
+/// registered under a caller-chosen token. [`Waker::wake`] makes the
+/// poll's next (or current) wait report that token readable; the poll
+/// owner then calls [`Waker::drain`] to reset it.
+///
+/// Cheap to share (`&Waker` is `Send + Sync`); wakes from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    fd: c_int,
+}
+
+impl Waker {
+    /// Create an eventfd and register it with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = sys::sys_eventfd()?;
+        if let Err(e) = sys::sys_epoll_ctl(
+            poll.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            sys::EPOLLIN,
+            token.0 as u64,
+        ) {
+            sys::sys_close(fd);
+            return Err(e);
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Make the bound poll report the waker token readable. Wakes are
+    /// coalesced: many wakes before a drain deliver one readiness.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::sys_eventfd_signal(self.fd)
+    }
+
+    /// Reset the waker (called by the poll owner after observing the
+    /// wake); a no-op when there was no pending wake.
+    pub fn drain(&self) -> io::Result<()> {
+        sys::sys_eventfd_drain(self.fd)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readable_readiness_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&listener, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // nothing pending: a short wait times out empty
+        poll.wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(7) && e.is_readable()));
+
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poll.register(&server_side, Token(8), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(8) && e.is_readable()));
+        let mut buf = [0u8; 8];
+        assert_eq!(server_side.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server_side, Token(1), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_writable()));
+
+        // an idle socket watched only for reads reports nothing
+        poll.reregister(&server_side, Token(1), Interest::READABLE)
+            .unwrap();
+        poll.wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        poll.deregister(&server_side).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_coalesces() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(99)).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                remote.wake().unwrap();
+            }
+        });
+        let mut events = Events::with_capacity(8);
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(99)));
+        t.join().unwrap();
+        waker.drain().unwrap();
+        // drained: no further readiness until the next wake
+        poll.wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        waker.wake().unwrap();
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Raw `epoll`/`eventfd` FFI — **the only module in the repository that
+//! may contain `unsafe` code**.
+//!
+//! The surface is deliberately minimal: seven syscalls (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`, `read`, `write`, `close`), each
+//! wrapped in a safe function that owns the full contract:
+//!
+//! * every pointer handed to the kernel derives from a live Rust
+//!   reference whose length is passed alongside it;
+//! * every returned descriptor is checked for `-1` and converted to
+//!   [`io::Error::last_os_error`] before use;
+//! * `EpollEvent` is `#[repr(C, packed)]` on x86-64 exactly as the
+//!   kernel ABI requires, and its fields are only ever read *by value*
+//!   (never by reference), so alignment is irrelevant.
+//!
+//! The audit note `vendor/minimio/AUDIT.md` pins this file's SHA-256;
+//! CI recomputes the hash, so any edit here must be re-audited and the
+//! pin updated in the same change.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// `epoll_ctl` add operation.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` delete operation.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` modify operation.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the descriptor.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up: both halves closed.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (half-close).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One kernel event record. Packed on x86-64, matching the kernel ABI.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-state bit mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-chosen cookie, echoed back verbatim (the token).
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Create a close-on-exec epoll instance.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_create() -> io::Result<c_int> {
+    // SAFETY: no pointers cross the boundary; the return value is
+    // checked for -1 before anyone treats it as a descriptor.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Add/modify/delete `fd` in epoll set `epfd` with the given mask and
+/// token cookie.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, mask: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events: mask, data };
+    // SAFETY: `ev` is a live stack value for the duration of the call;
+    // the kernel copies it before returning (DEL ignores it but older
+    // kernels require a non-null pointer, which this always provides).
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Wait for events, filling `events` from the front; returns how many
+/// records the kernel wrote. `timeout_ms < 0` blocks indefinitely.
+#[cfg(target_os = "linux")]
+pub fn sys_epoll_wait(
+    epfd: c_int,
+    events: &mut [EpollEvent],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    let cap = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+    // SAFETY: the pointer/length pair comes from one live mutable
+    // slice; the kernel writes at most `cap` records into it.
+    let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), cap, timeout_ms) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// Create a nonblocking close-on-exec eventfd (the waker primitive).
+#[cfg(target_os = "linux")]
+pub fn sys_eventfd() -> io::Result<c_int> {
+    // SAFETY: no pointers cross the boundary; return checked for -1.
+    let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Drain an eventfd counter (reset a waker). `WouldBlock` — an already
+/// drained counter — is success.
+#[cfg(target_os = "linux")]
+pub fn sys_eventfd_drain(fd: c_int) -> io::Result<()> {
+    let mut buf = 0u64;
+    // SAFETY: eventfd reads are exactly 8 bytes into the provided
+    // buffer, whose address and size come from one live u64.
+    let n = unsafe { read(fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+    if n < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Add 1 to an eventfd counter (fire a waker). A full counter
+/// (`WouldBlock`) already guarantees a pending wake, so it is success.
+#[cfg(target_os = "linux")]
+pub fn sys_eventfd_signal(fd: c_int) -> io::Result<()> {
+    let buf = 1u64;
+    // SAFETY: eventfd writes are exactly 8 bytes from the provided
+    // buffer, whose address and size come from one live u64.
+    let n = unsafe { write(fd, (&buf as *const u64).cast::<c_void>(), 8) };
+    if n < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Close a descriptor owned by this crate (epoll instance or eventfd —
+/// never a descriptor owned by `std`).
+#[cfg(target_os = "linux")]
+pub fn sys_close(fd: c_int) {
+    // SAFETY: callers only pass descriptors this crate created and
+    // owns exclusively; double-close is structurally impossible because
+    // each owner closes exactly once in Drop.
+    let _ = unsafe { close(fd) };
+}
+
+// Non-Linux stubs: the workspace only targets Linux, but the crate
+// still compiles elsewhere, failing at runtime with `Unsupported`.
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use super::*;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "minimio requires Linux epoll; use the `threads` transport on this platform",
+        )
+    }
+
+    /// Stub: epoll is Linux-only.
+    pub fn sys_epoll_create() -> io::Result<c_int> {
+        Err(unsupported())
+    }
+    /// Stub: epoll is Linux-only.
+    pub fn sys_epoll_ctl(_: c_int, _: c_int, _: c_int, _: u32, _: u64) -> io::Result<()> {
+        Err(unsupported())
+    }
+    /// Stub: epoll is Linux-only.
+    pub fn sys_epoll_wait(_: c_int, _: &mut [EpollEvent], _: c_int) -> io::Result<usize> {
+        Err(unsupported())
+    }
+    /// Stub: eventfd is Linux-only.
+    pub fn sys_eventfd() -> io::Result<c_int> {
+        Err(unsupported())
+    }
+    /// Stub: eventfd is Linux-only.
+    pub fn sys_eventfd_drain(_: c_int) -> io::Result<()> {
+        Err(unsupported())
+    }
+    /// Stub: eventfd is Linux-only.
+    pub fn sys_eventfd_signal(_: c_int) -> io::Result<()> {
+        Err(unsupported())
+    }
+    /// Stub: nothing to close.
+    pub fn sys_close(_: c_int) {}
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use stub::*;

@@ -209,6 +209,22 @@ pub enum Code {
     /// N009: write-buffer high-watermark of zero; backpressure would
     /// serialize every connection.
     ZeroWriteBufferLimit,
+    /// D001: guaranteed SLO class with no latency budget; the deadline
+    /// the scheduler must enforce is undefined.
+    GuaranteedWithoutBudget,
+    /// D002: latency budget does not exceed the micro-batching window;
+    /// a request can expire before its batch even forms.
+    BudgetWithinBatchWait,
+    /// D003: latency budget below the cost oracle's single-item service
+    /// prediction — no schedule can meet this deadline.
+    BudgetBelowServiceFloor,
+    /// D004: best-effort SLO class carrying a latency budget; budgets
+    /// are only enforced for guaranteed work, so it would be ignored.
+    BestEffortWithBudget,
+    /// D005: a full batching window plus a `max_batch` batch is
+    /// predicted to exceed half the budget; queueing slack is thin and
+    /// admission control will refuse aggressively.
+    BudgetHeadroomThin,
 }
 
 impl Code {
@@ -273,6 +289,11 @@ impl Code {
             Code::ZeroIdleTimeout => "N007",
             Code::IdleTimeoutOverflow => "N008",
             Code::ZeroWriteBufferLimit => "N009",
+            Code::GuaranteedWithoutBudget => "D001",
+            Code::BudgetWithinBatchWait => "D002",
+            Code::BudgetBelowServiceFloor => "D003",
+            Code::BestEffortWithBudget => "D004",
+            Code::BudgetHeadroomThin => "D005",
         }
     }
 
@@ -338,6 +359,11 @@ impl Code {
         Code::ZeroIdleTimeout,
         Code::IdleTimeoutOverflow,
         Code::ZeroWriteBufferLimit,
+        Code::GuaranteedWithoutBudget,
+        Code::BudgetWithinBatchWait,
+        Code::BudgetBelowServiceFloor,
+        Code::BestEffortWithBudget,
+        Code::BudgetHeadroomThin,
     ];
 
     /// One-line description of what the code proves, for the rendered
@@ -408,6 +434,13 @@ impl Code {
             Code::ZeroIdleTimeout => "idle timeout of zero reaps every pausing connection",
             Code::IdleTimeoutOverflow => "idle timeout beyond the epoll timeout range",
             Code::ZeroWriteBufferLimit => "write-buffer high-watermark of zero",
+            Code::GuaranteedWithoutBudget => "guaranteed SLO class with no latency budget",
+            Code::BudgetWithinBatchWait => "latency budget inside the micro-batching window",
+            Code::BudgetBelowServiceFloor => {
+                "budget below the oracle's single-item service prediction"
+            }
+            Code::BestEffortWithBudget => "best-effort SLO class carrying a latency budget",
+            Code::BudgetHeadroomThin => "window plus full batch predicted over half the budget",
         }
     }
 
@@ -433,7 +466,8 @@ impl Code {
             | Code::RangeSigmoidSaturated
             | Code::ShardsExceedParallelism
             | Code::ExcessivePipelineDepth
-            | Code::PipelineOverrunsQueue => Severity::Warn,
+            | Code::PipelineOverrunsQueue
+            | Code::BudgetHeadroomThin => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -716,7 +750,7 @@ mod tests {
             // the code string is family letter + 3 digits
             let (family, num) = s.split_at(1);
             assert!(
-                matches!(family, "S" | "F" | "A" | "V" | "R" | "P" | "Q" | "N"),
+                matches!(family, "S" | "F" | "A" | "V" | "R" | "P" | "Q" | "N" | "D"),
                 "{s}: unknown code family"
             );
             assert!(

@@ -39,7 +39,12 @@
 //!   (`N0xx`): reactor shard sizing, connection caps, pipelining depth
 //!   against the service queue, and idle-timeout bounds, gating
 //!   `mlcnn_net::NetServer::spawn` the same way the `V0xx` lints gate
-//!   `Service::spawn`.
+//!   `Service::spawn`;
+//! * [`slo::check_slo_config`] — SLO-configuration checks (`D0xx`):
+//!   class/budget consistency and budget feasibility against the cost
+//!   oracle's predictions (budget inside the batching window, budget
+//!   below the single-item service floor), denying promises the
+//!   scheduler provably cannot keep.
 //!
 //! All passes report through [`diag::Reporter`], which collects
 //! [`diag::Diagnostic`]s with stable codes, supports a deny-warnings mode,
@@ -63,6 +68,7 @@ pub mod qrange;
 pub mod registry;
 pub mod serve;
 pub mod shape;
+pub mod slo;
 
 pub use accel::{check_accel_config, check_tiling, AccelConfigLint, TilingLint};
 pub use diag::{code_table_markdown, Code, Diagnostic, Reporter, Severity, Span};
@@ -75,6 +81,7 @@ pub use registry::{
 };
 pub use serve::{check_serve_config, check_serve_config_summary, ServeConfigLint};
 pub use shape::{check_shapes, ShapeTrace};
+pub use slo::{check_slo_config, check_slo_config_summary, SloConfigLint};
 
 use mlcnn_nn::LayerSpec;
 use mlcnn_tensor::Shape4;

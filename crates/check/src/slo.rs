@@ -1,0 +1,228 @@
+//! SLO-configuration lints (`D0xx`).
+//!
+//! An SLO class is a promise: `guaranteed` work must finish inside its
+//! latency budget, and the scheduler enforces it with admission control
+//! and EDF batch formation (`mlcnn-sched` / `mlcnn-serve`). Several
+//! mis-configurations make that promise unkeepable *statically* — before
+//! any request flows — and this pass denies them at service construction,
+//! the same way the V codes gate the batching knobs.
+//!
+//! As with the other serving lints, the input is raw scalars rather than
+//! `mlcnn-sched` types: the sched crate sits above the checker (it
+//! consumes `PlanView`), so `mlcnn-serve` flattens the oracle's
+//! predictions into this view and calls in from `Service::spawn`.
+
+use crate::diag::{Code, Reporter};
+
+/// Raw view of one model's SLO configuration for linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloConfigLint {
+    /// Service/model name, used in messages.
+    pub name: String,
+    /// `true` for the `guaranteed` class, `false` for `best_effort`.
+    pub guaranteed: bool,
+    /// Latency budget in microseconds (`0` when no budget is attached).
+    pub budget_micros: u64,
+    /// Micro-batch coalescing window in microseconds.
+    pub max_wait_micros: u64,
+    /// Micro-batch size ceiling.
+    pub max_batch: usize,
+    /// Oracle-predicted service time of a single-item batch, µs.
+    pub predicted_service_micros: u64,
+    /// Oracle-predicted service time of a full `max_batch` batch, µs.
+    pub predicted_batch_service_micros: u64,
+}
+
+/// Lint one SLO configuration.
+pub fn check_slo_config(cfg: &SloConfigLint, reporter: &mut Reporter) {
+    reporter.with_context(cfg.name.clone(), |reporter| {
+        if cfg.guaranteed && cfg.budget_micros == 0 {
+            reporter.emit(
+                Code::GuaranteedWithoutBudget,
+                None,
+                "guaranteed class with no latency budget; the deadline the \
+                 scheduler must enforce is undefined",
+            );
+        }
+        if !cfg.guaranteed && cfg.budget_micros > 0 {
+            reporter.emit(
+                Code::BestEffortWithBudget,
+                None,
+                format!(
+                    "best_effort class carries a {} µs budget; budgets are \
+                     only enforced for guaranteed work, so this deadline \
+                     would be silently ignored",
+                    cfg.budget_micros
+                ),
+            );
+        }
+        // the remaining checks compare against the budget, so they only
+        // apply when one is attached to a guaranteed class
+        if !cfg.guaranteed || cfg.budget_micros == 0 {
+            return;
+        }
+        if cfg.budget_micros <= cfg.max_wait_micros {
+            reporter.emit(
+                Code::BudgetWithinBatchWait,
+                None,
+                format!(
+                    "latency budget of {} µs does not exceed the {} µs \
+                     batching window; a request can expire before its batch \
+                     even forms",
+                    cfg.budget_micros, cfg.max_wait_micros
+                ),
+            );
+        }
+        if cfg.predicted_service_micros > 0 && cfg.budget_micros < cfg.predicted_service_micros {
+            reporter.emit(
+                Code::BudgetBelowServiceFloor,
+                None,
+                format!(
+                    "latency budget of {} µs is below the oracle's {} µs \
+                     single-item service prediction; no schedule can meet \
+                     this deadline",
+                    cfg.budget_micros, cfg.predicted_service_micros
+                ),
+            );
+        }
+        let worst = cfg
+            .predicted_batch_service_micros
+            .saturating_add(cfg.max_wait_micros);
+        if cfg.predicted_batch_service_micros > 0 && worst > cfg.budget_micros / 2 {
+            reporter.emit(
+                Code::BudgetHeadroomThin,
+                None,
+                format!(
+                    "full batching window plus a max_batch={} batch is a \
+                     predicted {} µs, over half the {} µs budget; queueing \
+                     slack is thin and admission will refuse aggressively",
+                    cfg.max_batch, worst, cfg.budget_micros
+                ),
+            );
+        }
+    });
+}
+
+/// [`check_slo_config`] with denial diagnostics flattened into one
+/// `"; "`-joined summary — the form `mlcnn_serve::Service::spawn` embeds
+/// in its error value, matching [`crate::check_serve_config_summary`].
+pub fn check_slo_config_summary(cfg: &SloConfigLint) -> Result<(), String> {
+    let mut reporter = Reporter::new();
+    check_slo_config(cfg, &mut reporter);
+    if reporter.has_deny() {
+        Err(reporter
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == crate::Severity::Deny)
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; "))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn sane() -> SloConfigLint {
+        SloConfigLint {
+            name: "svc".into(),
+            guaranteed: true,
+            budget_micros: 25_000,
+            max_wait_micros: 2_000,
+            max_batch: 8,
+            predicted_service_micros: 900,
+            predicted_batch_service_micros: 5_000,
+        }
+    }
+
+    #[test]
+    fn sane_config_is_clean() {
+        let mut r = Reporter::new();
+        check_slo_config(&sane(), &mut r);
+        assert!(r.is_clean(), "{}", r.pretty());
+        assert!(check_slo_config_summary(&sane()).is_ok());
+
+        let best_effort = SloConfigLint {
+            guaranteed: false,
+            budget_micros: 0,
+            ..sane()
+        };
+        let mut r = Reporter::new();
+        check_slo_config(&best_effort, &mut r);
+        assert!(r.is_clean(), "{}", r.pretty());
+    }
+
+    #[test]
+    fn guaranteed_without_budget_denies_d001() {
+        let mut cfg = sane();
+        cfg.budget_micros = 0;
+        let mut r = Reporter::new();
+        check_slo_config(&cfg, &mut r);
+        let d = r.find(Code::GuaranteedWithoutBudget).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        // the budget-relative checks stay silent with no budget
+        assert!(r.find(Code::BudgetWithinBatchWait).is_none());
+        assert!(check_slo_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn budget_inside_batch_window_denies_d002() {
+        let mut cfg = sane();
+        cfg.budget_micros = 2_000;
+        cfg.predicted_service_micros = 100;
+        cfg.predicted_batch_service_micros = 400;
+        let mut r = Reporter::new();
+        check_slo_config(&cfg, &mut r);
+        let d = r.find(Code::BudgetWithinBatchWait).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(check_slo_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn budget_below_service_floor_denies_d003() {
+        let mut cfg = sane();
+        cfg.budget_micros = 500;
+        cfg.max_wait_micros = 100;
+        let mut r = Reporter::new();
+        check_slo_config(&cfg, &mut r);
+        let d = r.find(Code::BudgetBelowServiceFloor).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(check_slo_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn best_effort_with_budget_denies_d004() {
+        let mut cfg = sane();
+        cfg.guaranteed = false;
+        let mut r = Reporter::new();
+        check_slo_config(&cfg, &mut r);
+        let d = r.find(Code::BestEffortWithBudget).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(check_slo_config_summary(&cfg).is_err());
+    }
+
+    #[test]
+    fn thin_headroom_warns_d005() {
+        let mut cfg = sane();
+        cfg.predicted_batch_service_micros = 15_000;
+        let mut r = Reporter::new();
+        check_slo_config(&cfg, &mut r);
+        let d = r.find(Code::BudgetHeadroomThin).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        // warnings never fail the construction gate
+        assert!(check_slo_config_summary(&cfg).is_ok());
+    }
+
+    #[test]
+    fn d_codes_have_stable_strings() {
+        assert_eq!(Code::GuaranteedWithoutBudget.as_str(), "D001");
+        assert_eq!(Code::BudgetWithinBatchWait.as_str(), "D002");
+        assert_eq!(Code::BudgetBelowServiceFloor.as_str(), "D003");
+        assert_eq!(Code::BestEffortWithBudget.as_str(), "D004");
+        assert_eq!(Code::BudgetHeadroomThin.as_str(), "D005");
+    }
+}

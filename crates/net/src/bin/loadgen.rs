@@ -4,7 +4,7 @@
 //! ```text
 //! mlcnn-loadgen [--out PATH] [--smoke] [--requests N] [--clients N]
 //!               [--rate-rps N] [--remote HOST:PORT --model NAME --precision P]
-//!               [--sweep] [--sweep-conns N,N,...]
+//!               [--sweep] [--sweep-conns N,N,...] [--sched]
 //! ```
 //!
 //! Default (in-process) run, written to `BENCH_serve.json`:
@@ -38,6 +38,17 @@
 //! per point plus the p99 ratio against an in-process baseline at the
 //! same outstanding-request depth. With `--smoke` the sweep shrinks
 //! (and the oracle narrows) to CI size and asserts every point clean.
+//!
+//! `--sched` exercises the SLO-aware scheduler and writes
+//! `BENCH_sched.json`: it measures a FIFO baseline's capacity, then
+//! offers ≥3× that rate from a seeded bursty arrival schedule as mixed
+//! traffic (every 4th request `guaranteed:25000`, the rest
+//! best-effort) into an auto-tuned admission-controlled service. The
+//! gate: the guaranteed class holds its p99 budget with zero
+//! deadline-expired sheds while the best-effort class absorbs all
+//! overload shedding. A second phase replays SLO-tagged requests
+//! through `mlcnn-served --slo` under both the threads and epoll
+//! transports and requires bitwise parity with the local plan.
 
 use std::collections::VecDeque;
 use std::io::BufRead;
@@ -49,7 +60,10 @@ use std::time::{Duration, Instant};
 use mlcnn_core::{ExecutionPlan, Workspace};
 use mlcnn_net::{run_mux, MuxOptions};
 use mlcnn_quant::Precision;
-use mlcnn_serve::{find_model, serving_zoo, Client, MetricsSnapshot, ServeConfig, Service};
+use mlcnn_sched::ArrivalSchedule;
+use mlcnn_serve::{
+    find_model, serving_zoo, ClassSnapshot, Client, MetricsSnapshot, ServeConfig, Service, SloSpec,
+};
 use mlcnn_tensor::{init, Shape4, Tensor};
 
 const ALL_PRECISIONS: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
@@ -74,6 +88,7 @@ struct Args {
     precision: Precision,
     sweep: bool,
     sweep_conns: Vec<usize>,
+    sched: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
         precision: Precision::Fp32,
         sweep: false,
         sweep_conns: Vec::new(),
+        sched: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
             "--model" => args.model = val("--model")?,
             "--precision" => args.precision = val("--precision")?.parse()?,
             "--sweep" => args.sweep = true,
+            "--sched" => args.sched = true,
             "--sweep-conns" => {
                 args.sweep_conns = val("--sweep-conns")?
                     .split(',')
@@ -127,7 +144,9 @@ fn parse_args() -> Result<Args, String> {
         args.requests = args.requests.min(600);
     }
     if args.out.is_empty() {
-        args.out = if args.sweep {
+        args.out = if args.sched {
+            "BENCH_sched.json".into()
+        } else if args.sweep {
             "BENCH_net.json".into()
         } else {
             "BENCH_serve.json".into()
@@ -230,10 +249,12 @@ fn pipelined_loop(svc: &Service, shape: Shape4, total: usize, burst: usize) -> f
     total as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Open loop: submit at a fixed rate with a per-request deadline; expired
-/// requests are shed by the service and surface in the snapshot.
+/// Open loop: submit on a seeded, jittered uniform arrival schedule with
+/// a per-request deadline; expired requests are shed by the service and
+/// surface in the snapshot. The schedule is deterministic per seed, so
+/// reruns offer byte-identical arrival times.
 fn open_loop(svc: &Service, shape: Shape4, rate_rps: u64, total: usize) -> (f64, u64) {
-    let interval = Duration::from_nanos(1_000_000_000 / rate_rps.max(1));
+    let schedule = ArrivalSchedule::uniform(55, rate_rps, total);
     let deadline = Duration::from_millis(100);
     let (tx, rx) = std::sync::mpsc::channel();
     let start = Instant::now();
@@ -250,8 +271,8 @@ fn open_loop(svc: &Service, shape: Shape4, rate_rps: u64, total: usize) -> (f64,
             shed
         });
         let x = item_input(shape, 55);
-        for i in 0..total {
-            let due = start + interval * i as u32;
+        for &offset in schedule.offsets_nanos() {
+            let due = start + Duration::from_nanos(offset);
             if let Some(sleep) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(sleep);
             }
@@ -694,6 +715,247 @@ fn run_sweep(args: &Args) -> Result<String, String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// --sched: the SLO-aware scheduler under ≥3× overload + transport parity
+// ---------------------------------------------------------------------------
+
+/// Model the sched run drives. Convolution-bound, so one worker's
+/// capacity is low enough for a single pacer thread to offer a clean 3×
+/// overload, and per-item service time is well under the budget.
+const SCHED_MODEL: &str = "lenet5";
+/// Guaranteed-class latency budget for the sched run. The pipeline's
+/// structural floor — one forming window plus `workers + 1` full batches
+/// the EDF window cannot reorder past — is ~half of this on the
+/// one-worker fixture, so the gate has real margin without being slack.
+const SCHED_BUDGET_MICROS: u64 = 50_000;
+/// Every `SCHED_GUARANTEED_EVERY`-th arrival is guaranteed; the rest are
+/// best-effort. 1-in-8 keeps the guaranteed class itself well inside
+/// capacity (~0.44× at a 3.5× offered rate) — the gate tests that
+/// best-effort overload cannot displace an admissible guaranteed class,
+/// not that an over-committed guaranteed class meets its own budget.
+const SCHED_GUARANTEED_EVERY: usize = 8;
+
+fn class_fragment(c: &ClassSnapshot) -> String {
+    format!(
+        concat!(
+            "{{\"admitted\": {}, \"rejected_admission\": {}, \"shed\": {}, ",
+            "\"completed\": {}, \"p50_micros\": {}, \"p99_micros\": {}}}"
+        ),
+        c.admitted, c.rejected_admission, c.shed, c.completed, c.p50_micros, c.p99_micros,
+    )
+}
+
+/// SLO parity across transports: the same SLO-tagged inputs through an
+/// epoll-transport `--slo` server, a threads-transport `--slo` server,
+/// and the local reference plan must produce identical bytes, for both
+/// the guaranteed and the best-effort class.
+fn sched_parity(model_name: &str, precision: Precision) -> Result<(), String> {
+    let model = find_model(model_name).map_err(|e| e.to_string())?;
+    let plan = model.compile(precision).map_err(|e| e.to_string())?;
+    let mut ws = Workspace::for_plan(&plan, 1);
+    let precision_flag = precision.to_string();
+    let slo_flag = format!("guaranteed:{SCHED_BUDGET_MICROS}");
+    let common = [
+        "--model",
+        model_name,
+        "--precision",
+        &precision_flag,
+        "--slo",
+        &slo_flag,
+    ];
+    let epoll = spawn_served(&[&common[..], &["--transport", "epoll", "--shards", "1"]].concat())?;
+    let threads = spawn_served(&[&common[..], &["--transport", "threads"]].concat())?;
+    let mut via_epoll = Client::connect(epoll.addr).map_err(|e| e.to_string())?;
+    let mut via_threads = Client::connect(threads.addr).map_err(|e| e.to_string())?;
+    let specs = [
+        SloSpec::guaranteed(Duration::from_micros(SCHED_BUDGET_MICROS)),
+        SloSpec::best_effort(),
+    ];
+    for seed in 0..3u64 {
+        for spec in specs {
+            let x = item_input(model.input, 6000 + seed);
+            let want = plan.forward(&x, &mut ws).map_err(|e| e.to_string())?;
+            let got_epoll = via_epoll
+                .infer_slo(model_name, spec, x.clone())
+                .map_err(|e| format!("epoll transport ({spec}): {e}"))?;
+            let got_threads = via_threads
+                .infer_slo(model_name, spec, x)
+                .map_err(|e| format!("threads transport ({spec}): {e}"))?;
+            if got_epoll != got_threads || got_epoll != want {
+                return Err(format!(
+                    "{model_name}@{precision}: SLO transports disagree (seed {seed}, {spec})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_sched(args: &Args) -> Result<String, String> {
+    let model = find_model(SCHED_MODEL).map_err(|e| e.to_string())?;
+    let plan = Arc::new(model.compile(Precision::Fp32).map_err(|e| e.to_string())?);
+    let budget = Duration::from_micros(SCHED_BUDGET_MICROS);
+
+    // Phase 1: FIFO baseline capacity on one worker — the reference the
+    // overload is sized against. One worker keeps capacity low enough
+    // that a single pacer thread can genuinely offer 3× of it.
+    let cap_requests = if args.smoke { 1_500 } else { 6_000 };
+    let cap_cfg = ServeConfig::default()
+        .with_workers(1)
+        .with_batching(16, Duration::from_micros(200))
+        .with_queue(1024);
+    let cap_svc = Service::spawn(Arc::clone(&plan), cap_cfg).map_err(|e| e.to_string())?;
+    let capacity_rps = pipelined_loop(&cap_svc, model.input, cap_requests, 256);
+    cap_svc.shutdown();
+    println!("[loadgen] sched capacity: {capacity_rps:.0} rps (1 worker, FIFO)");
+
+    // Phase 2: mixed traffic at ≥3× capacity from a seeded bursty
+    // schedule into an admission-controlled, auto-tuned service.
+    // target 3.5× so pacer overhead cannot drag the *achieved* rate
+    // under the 3× floor the gate asserts
+    let offered_target = (capacity_rps * 3.5).ceil().max(1.0) as u64;
+    let total = if args.smoke { 2_000 } else { 8_000 };
+    let schedule = ArrivalSchedule::bursty(42, offered_target, total, 16);
+    let sched_cfg = ServeConfig::default()
+        .with_workers(1)
+        .with_batching(16, Duration::from_micros(2_000))
+        .with_queue(256)
+        .with_slo(SloSpec::guaranteed(budget))
+        .with_auto_tune(true);
+    let svc = Service::spawn(Arc::clone(&plan), sched_cfg).map_err(|e| e.to_string())?;
+
+    let mut submit_rejected = [0u64; 2]; // [guaranteed, best_effort]
+    let mut pacer_secs = 0.0f64;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            // collector: resolve tickets off the pacer's critical path
+            while let Ok(ticket) = rx.recv() {
+                let t: mlcnn_serve::Ticket = ticket;
+                let _ = t.wait();
+            }
+        });
+        let x = item_input(model.input, 77);
+        for (i, &offset) in schedule.offsets_nanos().iter().enumerate() {
+            let due = start + Duration::from_nanos(offset);
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let guaranteed = i % SCHED_GUARANTEED_EVERY == 0;
+            let spec = if guaranteed {
+                SloSpec::guaranteed(budget)
+            } else {
+                SloSpec::best_effort()
+            };
+            match svc.submit_with_slo(x.clone(), spec) {
+                Ok(t) => {
+                    let _ = tx.send(t);
+                }
+                // overload rejections (admission or full queue) are the
+                // scheduler doing its job; metrics attribute them
+                Err(_) => submit_rejected[usize::from(!guaranteed)] += 1,
+            }
+        }
+        // measure the pacer alone: the scope also waits for the
+        // collector, whose drain time is not part of the offered rate
+        pacer_secs = start.elapsed().as_secs_f64();
+        drop(tx);
+    });
+    let offered_rps = total as f64 / pacer_secs.max(f64::EPSILON);
+    let snap = svc.shutdown();
+
+    let overload_factor = offered_rps / capacity_rps.max(1.0);
+    let zero_guaranteed_sheds = snap.guaranteed.shed == 0;
+    let guaranteed_holds_budget = snap.guaranteed.p99_micros <= SCHED_BUDGET_MICROS;
+    let best_effort_absorbed = snap.shed_overload + snap.rejected_full + snap.best_effort.shed > 0;
+    println!(
+        "[loadgen] sched overload: offered {offered_rps:.0} rps ({overload_factor:.2}x capacity) — guaranteed p99 {} µs (budget {SCHED_BUDGET_MICROS}), {} guaranteed sheds, best-effort absorbed {} (shed_overload {} + rejected_full {})",
+        snap.guaranteed.p99_micros,
+        snap.guaranteed.shed,
+        snap.shed_overload + snap.rejected_full,
+        snap.shed_overload,
+        snap.rejected_full,
+    );
+
+    // Phase 3: SLO frames bitwise parity-clean across both transports.
+    sched_parity(SCHED_MODEL, Precision::Fp32)?;
+    println!("[loadgen] sched parity: epoll == threads == plan.forward under --slo");
+
+    if args.smoke {
+        assert!(
+            overload_factor >= 3.0,
+            "sched: offered only {overload_factor:.2}x capacity (pacer fell behind)"
+        );
+        assert!(
+            zero_guaranteed_sheds,
+            "sched: {} guaranteed requests were shed past their deadline",
+            snap.guaranteed.shed
+        );
+        assert!(
+            guaranteed_holds_budget,
+            "sched: guaranteed p99 {} µs breaches the {SCHED_BUDGET_MICROS} µs budget",
+            snap.guaranteed.p99_micros
+        );
+        assert!(
+            best_effort_absorbed,
+            "sched: no overload was shed or rejected at 3x capacity"
+        );
+        assert!(
+            snap.fully_drained(),
+            "sched: service dropped in-flight requests"
+        );
+        println!("[loadgen] sched smoke gate passed");
+    }
+
+    Ok(format!(
+        concat!(
+            "{{\n",
+            "  \"mode\": \"sched\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"model\": \"{model}\",\n",
+            "  \"precision\": \"fp32\",\n",
+            "  \"budget_micros\": {budget},\n",
+            "  \"guaranteed_every\": {every},\n",
+            "  \"arrivals\": {{\"kind\": \"bursty\", \"seed\": 42, \"burst\": 16, \"total\": {total}}},\n",
+            "  \"capacity_rps\": {capacity},\n",
+            "  \"offered_rps\": {offered},\n",
+            "  \"overload_factor\": {factor},\n",
+            "  \"zero_guaranteed_sheds\": {zgs},\n",
+            "  \"guaranteed_holds_budget\": {ghb},\n",
+            "  \"best_effort_absorbed\": {bea},\n",
+            "  \"fully_drained\": {drained},\n",
+            "  \"shed_overload\": {shed_overload},\n",
+            "  \"rejected_full\": {rejected_full},\n",
+            "  \"shed_expired\": {shed_expired},\n",
+            "  \"submit_rejected\": {{\"guaranteed\": {srg}, \"best_effort\": {srb}}},\n",
+            "  \"guaranteed\": {g},\n",
+            "  \"best_effort\": {b},\n",
+            "  \"transport_parity\": {{\"model\": \"{model}\", \"transports\": [\"epoll\", \"threads\"], \"bitwise_identical\": true}}\n",
+            "}}\n",
+        ),
+        smoke = args.smoke,
+        model = SCHED_MODEL,
+        budget = SCHED_BUDGET_MICROS,
+        every = SCHED_GUARANTEED_EVERY,
+        total = total,
+        capacity = fmt_f64(capacity_rps),
+        offered = fmt_f64(offered_rps),
+        factor = fmt_f64(overload_factor),
+        zgs = zero_guaranteed_sheds,
+        ghb = guaranteed_holds_budget,
+        bea = best_effort_absorbed,
+        drained = snap.fully_drained(),
+        shed_overload = snap.shed_overload,
+        rejected_full = snap.rejected_full,
+        shed_expired = snap.shed_expired,
+        srg = submit_rejected[0],
+        srb = submit_rejected[1],
+        g = class_fragment(&snap.guaranteed),
+        b = class_fragment(&snap.best_effort),
+    ))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -702,7 +964,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if args.sweep {
+    let result = if args.sched {
+        run_sched(&args)
+    } else if args.sweep {
         run_sweep(&args)
     } else if args.remote.is_some() {
         run_remote(&args)

@@ -6,9 +6,18 @@
 //!              [--registry DIR]
 //!              [--addr HOST:PORT] [--workers N] [--max-batch N]
 //!              [--max-wait-micros N] [--queue N]
+//!              [--slo guaranteed:MICROS|best-effort] [--auto-tune]
 //!              [--transport epoll|threads] [--shards N] [--max-conns N]
 //!              [--max-pipeline N] [--idle-timeout-millis N]
 //! ```
+//!
+//! `--slo` attaches a default SLO class to every served model:
+//! `guaranteed:25000` admission-checks each request against the
+//! calibrated cost oracle with a 25 ms latency budget; `best-effort`
+//! marks work sheddable under overload. `--auto-tune` derives
+//! `(max_batch, max_wait)` from the oracle's batch-latency curve instead
+//! of the hand-set flags (requires a guaranteed `--slo` budget). Without
+//! `--slo` the server keeps its pre-SLO FIFO behavior verbatim.
 //!
 //! Two model modes:
 //!
@@ -101,6 +110,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
+            "--slo" => {
+                let spec: mlcnn_serve::SloSpec =
+                    val("--slo")?.parse().map_err(|e| format!("--slo: {e}"))?;
+                args.cfg.slo = Some(spec);
+            }
+            "--auto-tune" => args.cfg.auto_tune = true,
             "--transport" => {
                 args.transport = match val("--transport")?.as_str() {
                     "epoll" => Transport::Epoll,
@@ -142,6 +157,16 @@ fn bind(addr: &str) -> Result<TcpListener, String> {
     TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))
 }
 
+fn slo_banner(args: &Args) -> String {
+    match args.cfg.slo {
+        None => "slo=none".to_string(),
+        Some(spec) => format!(
+            "slo={spec}{}",
+            if args.cfg.auto_tune { " auto_tune" } else { "" }
+        ),
+    }
+}
+
 fn transport_banner(args: &Args) -> String {
     match args.transport {
         Transport::Threads => "transport=threads".to_string(),
@@ -180,7 +205,7 @@ fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
         ));
     }
     println!(
-        "mlcnn-served: registry {dir} on {} — {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {})",
+        "mlcnn-served: registry {dir} on {} — {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {}, {})",
         listener
             .local_addr()
             .map_or(args.addr.clone(), |a| a.to_string()),
@@ -189,6 +214,7 @@ fn run_registry(args: &Args, dir: &str) -> Result<(), String> {
         args.cfg.max_batch,
         args.cfg.max_wait,
         args.cfg.queue_capacity,
+        slo_banner(args),
         transport_banner(args),
     );
     serve(args, listener, router)
@@ -201,7 +227,7 @@ fn run_single(args: &Args) -> Result<(), String> {
     let backend = Arc::new(NamedService::new(model.name, svc));
     let listener = bind(&args.addr)?;
     println!(
-        "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {})",
+        "mlcnn-served: {} @ {:?} on {} (workers={}, max_batch={}, max_wait={:?}, queue={}, {}, {})",
         model.name,
         args.precision,
         listener
@@ -211,6 +237,7 @@ fn run_single(args: &Args) -> Result<(), String> {
         args.cfg.max_batch,
         args.cfg.max_wait,
         args.cfg.queue_capacity,
+        slo_banner(args),
         transport_banner(args),
     );
     serve(args, listener, backend)

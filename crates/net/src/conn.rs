@@ -25,7 +25,7 @@
 //! more than `max_pipeline` per connection.
 
 use crate::decode::FrameDecoder;
-use mlcnn_serve::{CompletionNotify, Dispatch, Frame, ServeError, Ticket};
+use mlcnn_serve::{CompletionNotify, Dispatch, Frame, ServeError, SloSpec, Ticket};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -230,6 +230,27 @@ impl Conn {
                         .backend
                         .submit_notified(&model, input, Arc::clone(&ctx.notify), token)
                     {
+                        Ok(ticket) => Slot::Waiting { id, ticket },
+                        Err(e) => Slot::Ready(encode_or_close(&Frame::Error {
+                            id,
+                            message: e.to_string(),
+                        })),
+                    }
+                }
+                Frame::InferSloRequest {
+                    id,
+                    model,
+                    class,
+                    budget_micros,
+                    input,
+                } => {
+                    let spec = SloSpec::from_wire(class, budget_micros);
+                    match ctx.backend.submit_slo(
+                        &model,
+                        input,
+                        spec,
+                        Some((Arc::clone(&ctx.notify), token)),
+                    ) {
                         Ok(ticket) => Slot::Waiting { id, ticket },
                         Err(e) => Slot::Ready(encode_or_close(&Frame::Error {
                             id,

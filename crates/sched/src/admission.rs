@@ -1,0 +1,122 @@
+//! Cost-based admission control for guaranteed requests.
+//!
+//! The policy answers one question at submit time: *if we enqueue this
+//! guaranteed request now, can the service provably finish it inside its
+//! budget?* The bound is pessimistic on purpose — it assumes the request
+//! waits out a full batching window and that every guaranteed request
+//! already queued is batched ahead of it at the configured `max_batch`,
+//! spread across the worker pool. If even that bound misses the budget,
+//! the request is refused up front (`ServeError::AdmissionRejected` in
+//! `mlcnn-serve`) instead of being queued and shed at expiry — the
+//! acceptance criterion is *zero* deadline-expired sheds for the
+//! guaranteed class under overload.
+
+use crate::cost::CostOracle;
+
+/// Admission policy derived from a [`CostOracle`] plus the service's
+/// batching configuration.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    oracle: CostOracle,
+    max_batch: usize,
+    workers: usize,
+    max_wait_nanos: u64,
+}
+
+impl AdmissionPolicy {
+    /// Build a policy. `max_batch` and `workers` are clamped to ≥ 1.
+    pub fn new(
+        oracle: CostOracle,
+        max_batch: usize,
+        workers: usize,
+        max_wait_nanos: u64,
+    ) -> AdmissionPolicy {
+        AdmissionPolicy {
+            oracle,
+            max_batch: max_batch.max(1),
+            workers: workers.max(1),
+            max_wait_nanos,
+        }
+    }
+
+    /// The oracle this policy consults.
+    pub fn oracle(&self) -> &CostOracle {
+        &self.oracle
+    }
+
+    /// Pessimistic completion estimate (nanoseconds from now) for a new
+    /// guaranteed request arriving behind `guaranteed_ahead` queued
+    /// guaranteed requests: one full batching window, plus enough
+    /// `max_batch`-sized rounds across the worker pool to drain the
+    /// queue including the newcomer.
+    pub fn eta_nanos(&self, guaranteed_ahead: usize) -> u64 {
+        let batches = (guaranteed_ahead + 1).div_ceil(self.max_batch);
+        let rounds = batches.div_ceil(self.workers) as u64;
+        let per_round = self.oracle.predicted_service_nanos(self.max_batch);
+        self.max_wait_nanos
+            .saturating_add(per_round.saturating_mul(rounds))
+    }
+
+    /// Admit or refuse a guaranteed request with `budget_nanos`
+    /// remaining, given `guaranteed_ahead` guaranteed requests already
+    /// queued. `Err` carries the pessimistic ETA that broke the budget.
+    pub fn admit(&self, guaranteed_ahead: usize, budget_nanos: u64) -> Result<(), u64> {
+        let eta = self.eta_nanos(guaranteed_ahead);
+        if eta <= budget_nanos {
+            Ok(())
+        } else {
+            Err(eta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_core::opcount::OpCounts;
+
+    fn oracle() -> CostOracle {
+        // 1000 flops/item at 1 ns/flop, no base: svc(b) = 1000·b ns.
+        CostOracle::with_coefficients(
+            OpCounts {
+                mults: 500,
+                adds: 500,
+                divs: 0,
+                cmps: 0,
+            },
+            0.0,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn empty_queue_costs_one_window_plus_one_batch() {
+        let p = AdmissionPolicy::new(oracle(), 4, 2, 10_000);
+        // 1 request → 1 batch → 1 round of svc(4) = 4000 ns.
+        assert_eq!(p.eta_nanos(0), 10_000 + 4_000);
+    }
+
+    #[test]
+    fn eta_grows_with_queue_depth_in_batch_rounds() {
+        let p = AdmissionPolicy::new(oracle(), 4, 1, 0);
+        // ahead=3 → 4 reqs → 1 batch → 1 round.
+        assert_eq!(p.eta_nanos(3), 4_000);
+        // ahead=4 → 5 reqs → 2 batches → 2 rounds (1 worker).
+        assert_eq!(p.eta_nanos(4), 8_000);
+    }
+
+    #[test]
+    fn workers_absorb_parallel_batches() {
+        let p = AdmissionPolicy::new(oracle(), 4, 2, 0);
+        // ahead=7 → 8 reqs → 2 batches → 1 round across 2 workers.
+        assert_eq!(p.eta_nanos(7), 4_000);
+    }
+
+    #[test]
+    fn admit_is_a_threshold_on_eta() {
+        let p = AdmissionPolicy::new(oracle(), 4, 1, 1_000);
+        let eta = p.eta_nanos(0); // 1000 + 4000
+        assert_eq!(p.admit(0, eta), Ok(()));
+        assert_eq!(p.admit(0, eta - 1), Err(eta));
+    }
+}

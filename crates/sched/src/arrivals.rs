@@ -1,0 +1,144 @@
+//! Deterministic open-loop arrival schedules for overload experiments.
+//!
+//! An open-loop load generator must decide *when* requests arrive before
+//! it sends any — arrivals cannot depend on responses, or overload would
+//! throttle itself and the experiment measures nothing. This module
+//! pre-computes the whole schedule from a seed, so a given
+//! `(seed, rate, n)` triple produces bit-identical arrival times on every
+//! run, machine, and CI job.
+//!
+//! Two shapes: `uniform` (jittered constant rate) and `bursty` (groups of
+//! simultaneous arrivals at the same average rate) — the latter is what
+//! shakes out shedding behavior, since queue depth spikes far above the
+//! average.
+
+/// A precomputed, nondecreasing list of arrival offsets (nanoseconds
+/// from the start of the run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    offsets: Vec<u64>,
+}
+
+/// splitmix64 — tiny, seedable, and stable across platforms; the same
+/// generator the vendored `rand` stand-in builds on.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ArrivalSchedule {
+    /// Jittered constant-rate arrivals: request `i` lands at
+    /// `i · interval + jitter_i` with `jitter_i ∈ [0, interval)`, so the
+    /// long-run rate is exactly `rate_rps` and no two schedules with
+    /// different seeds coincide.
+    pub fn uniform(seed: u64, rate_rps: u64, n: usize) -> ArrivalSchedule {
+        let interval = 1_000_000_000 / rate_rps.max(1);
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let mut offsets: Vec<u64> = (0..n as u64)
+            .map(|i| i * interval + splitmix64(&mut state) % interval.max(1))
+            .collect();
+        offsets.sort_unstable();
+        ArrivalSchedule { offsets }
+    }
+
+    /// Bursty arrivals at the same average rate: groups of `burst`
+    /// simultaneous requests, group `g` at `g · burst · interval` plus a
+    /// small per-group jitter (< a quarter of the group period), so
+    /// bursts never reorder.
+    pub fn bursty(seed: u64, rate_rps: u64, n: usize, burst: usize) -> ArrivalSchedule {
+        let burst = burst.max(1);
+        let interval = 1_000_000_000 / rate_rps.max(1);
+        let group_period = interval * burst as u64;
+        let jitter_span = (group_period / 4).max(1);
+        let mut state = seed ^ 0xE703_7ED1_A0B4_28DB;
+        let mut offsets = Vec::with_capacity(n);
+        let mut g = 0u64;
+        while offsets.len() < n {
+            let at = g * group_period + splitmix64(&mut state) % jitter_span;
+            for _ in 0..burst.min(n - offsets.len()) {
+                offsets.push(at);
+            }
+            g += 1;
+        }
+        ArrivalSchedule { offsets }
+    }
+
+    /// The arrival offsets, nanoseconds from run start, nondecreasing.
+    pub fn offsets_nanos(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_different() {
+        let a = ArrivalSchedule::uniform(42, 1_000, 256);
+        let b = ArrivalSchedule::uniform(42, 1_000, 256);
+        let c = ArrivalSchedule::uniform(43, 1_000, 256);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let d = ArrivalSchedule::bursty(42, 1_000, 256, 16);
+        assert_eq!(d, ArrivalSchedule::bursty(42, 1_000, 256, 16));
+        assert_ne!(d, ArrivalSchedule::bursty(7, 1_000, 256, 16));
+    }
+
+    #[test]
+    fn offsets_are_nondecreasing() {
+        for sched in [
+            ArrivalSchedule::uniform(1, 5_000, 500),
+            ArrivalSchedule::bursty(1, 5_000, 500, 16),
+        ] {
+            assert_eq!(sched.len(), 500);
+            for w in sched.offsets_nanos().windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_request() {
+        // n requests at rate r span ≈ n/r seconds; allow jitter slack of
+        // one interval on either side.
+        let (rate, n) = (2_000u64, 1_000usize);
+        for sched in [
+            ArrivalSchedule::uniform(9, rate, n),
+            ArrivalSchedule::bursty(9, rate, n, 20),
+        ] {
+            let span = *sched.offsets_nanos().last().unwrap();
+            let ideal = (n as u64 - 1) * (1_000_000_000 / rate);
+            let tol = 1_000_000_000 / rate * 20;
+            assert!(span <= ideal + tol, "span {span} too long vs ideal {ideal}");
+            assert!(
+                span + tol >= ideal,
+                "span {span} too short vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_are_simultaneous_groups() {
+        let sched = ArrivalSchedule::bursty(5, 10_000, 64, 16);
+        let offs = sched.offsets_nanos();
+        for group in offs.chunks(16) {
+            assert!(group.iter().all(|&t| t == group[0]));
+        }
+        // distinct groups land at distinct times
+        assert!(offs[0] < offs[16]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Batch-policy auto-tuning from the oracle's batch-latency curve.
+//!
+//! Hand-tuned `(max_batch, max_wait)` knobs are exactly what the cost
+//! oracle makes unnecessary: given a guaranteed latency budget `B`, the
+//! tuner picks the largest batch whose *predicted* service time fits in
+//! `B/4`, then sets the batching window no larger than that service time
+//! (waiting longer than one batch takes to run never improves
+//! throughput) and no larger than `B/4`.
+//!
+//! The resulting policy satisfies `predicted(max_batch) + max_wait ≤ B/2`
+//! by construction, leaving half the budget as headroom for queueing —
+//! the slack the admission bound (`AdmissionPolicy::eta_nanos`) spends.
+//! The `D005` lint warns when a hand-written config violates this.
+
+use crate::cost::CostOracle;
+use std::time::Duration;
+
+/// A tuned `(max_batch, max_wait)` pair for the `Microbatcher`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedPolicy {
+    /// Largest batch whose predicted service time fits the budget share.
+    pub max_batch: usize,
+    /// Batching window: `min(budget/4, predicted(max_batch))`.
+    pub max_wait: Duration,
+}
+
+/// Size `(max_batch, max_wait)` for a guaranteed `budget` from the
+/// oracle's batch-latency curve, never exceeding `batch_cap` (the
+/// operator's configured ceiling, which also bounds workspace memory).
+///
+/// Falls back to batch 1 when even a single item overruns the budget
+/// share — the `D003` lint separately denies configs where a single item
+/// overruns the *whole* budget.
+pub fn autotune(oracle: &CostOracle, budget: Duration, batch_cap: usize) -> TunedPolicy {
+    let share = (budget.as_nanos().min(u64::MAX as u128) as u64) / 4;
+    let cap = batch_cap.max(1);
+    let mut best = 1;
+    for (i, &nanos) in oracle.batch_latency_curve(cap).iter().enumerate() {
+        if nanos <= share {
+            best = i + 1;
+        } else {
+            break; // curve is monotone; nothing larger fits
+        }
+    }
+    let svc = oracle.predicted_service_nanos(best);
+    TunedPolicy {
+        max_batch: best,
+        max_wait: Duration::from_nanos(svc.min(share)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcnn_core::opcount::OpCounts;
+
+    fn oracle(base: f64, per_flop: f64) -> CostOracle {
+        // 1000 flops/item
+        CostOracle::with_coefficients(
+            OpCounts {
+                mults: 500,
+                adds: 500,
+                divs: 0,
+                cmps: 0,
+            },
+            base,
+            per_flop,
+        )
+    }
+
+    #[test]
+    fn picks_largest_batch_within_quarter_budget() {
+        // svc(b) = 1000·b ns; budget 32 µs → share 8 µs → batch 8.
+        let t = autotune(&oracle(0.0, 1.0), Duration::from_micros(32), 64);
+        assert_eq!(t.max_batch, 8);
+        assert_eq!(t.max_wait, Duration::from_nanos(8_000));
+    }
+
+    #[test]
+    fn respects_the_operator_batch_cap() {
+        let t = autotune(&oracle(0.0, 1.0), Duration::from_micros(32), 4);
+        assert_eq!(t.max_batch, 4);
+        // window capped at predicted(4), not the larger budget share
+        assert_eq!(t.max_wait, Duration::from_nanos(4_000));
+    }
+
+    #[test]
+    fn tight_budget_degrades_to_single_item_batches() {
+        let t = autotune(&oracle(0.0, 1.0), Duration::from_micros(2), 64);
+        assert_eq!(t.max_batch, 1);
+        // predicted(1) = 1000 ns > share (500 ns) → window = share
+        assert_eq!(t.max_wait, Duration::from_nanos(500));
+    }
+
+    #[test]
+    fn tuned_policy_leaves_half_budget_headroom() {
+        for budget_us in [4u64, 32, 100, 25_000] {
+            let budget = Duration::from_micros(budget_us);
+            let o = oracle(2_000.0, 1.0);
+            let t = autotune(&o, budget, 64);
+            let spent = o
+                .predicted_service_nanos(t.max_batch)
+                .max(t.max_wait.as_nanos() as u64)
+                * 2;
+            // only guaranteed once batch 1 fits the share at all
+            if o.min_service_nanos() <= budget.as_nanos() as u64 / 4 {
+                assert!(
+                    o.predicted_service_nanos(t.max_batch) + t.max_wait.as_nanos() as u64
+                        <= budget.as_nanos() as u64 / 2,
+                    "budget {budget_us}µs: headroom violated ({spent})"
+                );
+            }
+        }
+    }
+}

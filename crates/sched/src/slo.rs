@@ -1,0 +1,210 @@
+//! SLO classes: the request taxonomy the scheduler optimizes over.
+//!
+//! Two classes, deliberately minimal:
+//!
+//! * **`guaranteed`** — carries a hard latency budget. The service turns
+//!   the budget into an absolute deadline at admission, schedules the
+//!   request earliest-deadline-first, and *refuses* it up front when the
+//!   cost oracle proves the budget cannot be met (instead of queueing
+//!   work destined to be shed).
+//! * **`best_effort`** — no budget. Served FIFO behind guaranteed work,
+//!   and the first to be shed when the service is overloaded.
+//!
+//! The class travels on the wire as a single byte in the `InferSlo`
+//! frame (a *new* frame kind — existing frames are untouched, so
+//! classless clients and servers interoperate unchanged).
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// The serving class of a request or model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Hard latency budget; admission-controlled and scheduled EDF.
+    Guaranteed,
+    /// No budget; absorbs rejection and shedding under overload.
+    BestEffort,
+}
+
+impl SloClass {
+    /// Stable dense index (`Guaranteed = 0`, `BestEffort = 1`) for
+    /// per-class metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Guaranteed => 0,
+            SloClass::BestEffort => 1,
+        }
+    }
+
+    /// Both classes, in [`SloClass::index`] order.
+    pub const ALL: [SloClass; 2] = [SloClass::Guaranteed, SloClass::BestEffort];
+
+    /// Wire byte for the `InferSlo` frame.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            SloClass::BestEffort => 0,
+            SloClass::Guaranteed => 1,
+        }
+    }
+
+    /// Parse the wire byte; `None` for an unknown class (the decoder
+    /// rejects the frame rather than guessing).
+    pub fn from_wire(byte: u8) -> Option<SloClass> {
+        match byte {
+            0 => Some(SloClass::BestEffort),
+            1 => Some(SloClass::Guaranteed),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (`"guaranteed"` / `"best_effort"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloClass::Guaranteed => "guaranteed",
+            SloClass::BestEffort => "best_effort",
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A class plus its (class-dependent) latency budget.
+///
+/// Invariants are linted, not assumed: a `guaranteed` spec without a
+/// budget is `D001`, a `best_effort` spec *with* one is `D004`
+/// (`mlcnn_check::check_slo_config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// The serving class.
+    pub class: SloClass,
+    /// Latency budget (deadline from submission); `guaranteed` only.
+    pub budget: Option<Duration>,
+}
+
+impl SloSpec {
+    /// A guaranteed spec with `budget`.
+    pub fn guaranteed(budget: Duration) -> SloSpec {
+        SloSpec {
+            class: SloClass::Guaranteed,
+            budget: Some(budget),
+        }
+    }
+
+    /// The best-effort spec (no budget).
+    pub fn best_effort() -> SloSpec {
+        SloSpec {
+            class: SloClass::BestEffort,
+            budget: None,
+        }
+    }
+
+    /// The budget in microseconds, `0` when absent — the wire encoding.
+    pub fn budget_micros(&self) -> u64 {
+        self.budget
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+
+    /// The budget in nanoseconds, `0` when absent.
+    pub fn budget_nanos(&self) -> u64 {
+        self.budget
+            .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Rebuild a spec from its wire form (`class` byte already parsed).
+    /// A zero budget decodes as "no budget".
+    pub fn from_wire(class: SloClass, budget_micros: u64) -> SloSpec {
+        SloSpec {
+            class,
+            budget: (budget_micros > 0).then(|| Duration::from_micros(budget_micros)),
+        }
+    }
+}
+
+impl FromStr for SloSpec {
+    type Err = String;
+
+    /// Parse the CLI form: `best-effort` | `best_effort` |
+    /// `guaranteed:<budget_micros>`.
+    fn from_str(s: &str) -> Result<SloSpec, String> {
+        match s.split_once(':') {
+            None => match s {
+                "best-effort" | "best_effort" => Ok(SloSpec::best_effort()),
+                "guaranteed" => Err("guaranteed needs a budget: guaranteed:<micros>".into()),
+                other => Err(format!(
+                    "unknown SLO '{other}' (best-effort | guaranteed:<micros>)"
+                )),
+            },
+            Some(("guaranteed", micros)) => {
+                let micros: u64 = micros
+                    .parse()
+                    .map_err(|e| format!("bad SLO budget '{micros}': {e}"))?;
+                if micros == 0 {
+                    return Err("guaranteed budget must be positive".into());
+                }
+                Ok(SloSpec::guaranteed(Duration::from_micros(micros)))
+            }
+            Some((other, _)) => Err(format!(
+                "unknown SLO class '{other}' (best-effort | guaranteed:<micros>)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SloSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.budget {
+            Some(b) => write!(f, "{}:{}", self.class, b.as_micros()),
+            None => write!(f, "{}", self.class),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_round_trip() {
+        for class in SloClass::ALL {
+            assert_eq!(SloClass::from_wire(class.to_wire()), Some(class));
+        }
+        assert_eq!(SloClass::from_wire(7), None);
+    }
+
+    #[test]
+    fn spec_wire_form_round_trips() {
+        let g = SloSpec::guaranteed(Duration::from_micros(25_000));
+        assert_eq!(SloSpec::from_wire(g.class, g.budget_micros()), g);
+        let b = SloSpec::best_effort();
+        assert_eq!(SloSpec::from_wire(b.class, b.budget_micros()), b);
+    }
+
+    #[test]
+    fn cli_parse_accepts_both_classes_and_rejects_garbage() {
+        assert_eq!(
+            "guaranteed:25000".parse::<SloSpec>().unwrap(),
+            SloSpec::guaranteed(Duration::from_micros(25_000))
+        );
+        assert_eq!(
+            "best-effort".parse::<SloSpec>().unwrap(),
+            SloSpec::best_effort()
+        );
+        assert!("guaranteed".parse::<SloSpec>().is_err());
+        assert!("guaranteed:0".parse::<SloSpec>().is_err());
+        assert!("gold:5".parse::<SloSpec>().is_err());
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        assert_eq!(SloClass::Guaranteed.index(), 0);
+        assert_eq!(SloClass::BestEffort.index(), 1);
+        assert_eq!(SloClass::ALL[0], SloClass::Guaranteed);
+    }
+}

@@ -4,6 +4,7 @@ use crate::error::ServeError;
 use mlcnn_check::ServeConfigLint;
 use mlcnn_core::ExecutionPlan;
 use mlcnn_quant::Precision;
+use mlcnn_sched::SloSpec;
 use std::time::Duration;
 
 /// Default arena memory budget across all workers: 1 GiB.
@@ -37,6 +38,16 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Budget for the workers' workspace arenas (V007 gate).
     pub arena_budget_bytes: usize,
+    /// Default SLO applied to requests that do not carry their own.
+    /// `None` preserves the pre-SLO FIFO behavior verbatim: no oracle is
+    /// calibrated, no admission control runs, and the batcher never
+    /// leaves its FIFO fast path.
+    pub slo: Option<SloSpec>,
+    /// Derive `(max_batch, max_wait)` from the cost oracle's
+    /// batch-latency curve at spawn instead of using the hand-set values
+    /// (which then only serve as the batch-size ceiling). Requires a
+    /// guaranteed `slo` budget to tune against.
+    pub auto_tune: bool,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +60,8 @@ impl Default for ServeConfig {
             precision: Precision::Fp32,
             default_deadline: None,
             arena_budget_bytes: DEFAULT_ARENA_BUDGET_BYTES,
+            slo: None,
+            auto_tune: false,
         }
     }
 }
@@ -76,6 +89,19 @@ impl ServeConfig {
     /// Select a submission-queue capacity, keeping the other options.
     pub fn with_queue(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Attach a default SLO class, keeping the other options.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Enable oracle-driven `(max_batch, max_wait)` auto-tuning at
+    /// spawn, keeping the other options.
+    pub fn with_auto_tune(mut self, auto_tune: bool) -> Self {
+        self.auto_tune = auto_tune;
         self
     }
 

@@ -17,6 +17,15 @@ pub enum ServeError {
     /// The request's deadline expired before a worker picked it up; the
     /// batcher shed it without running inference.
     DeadlineExceeded,
+    /// Cost-based admission control refused a guaranteed request: the
+    /// oracle's pessimistic completion estimate exceeds the latency
+    /// budget, so queueing it would only manufacture a deadline miss.
+    /// Carries the rendered estimate-vs-budget explanation.
+    AdmissionRejected(String),
+    /// A queued best-effort request was shed to make room for guaranteed
+    /// work under overload (distinct from [`ServeError::DeadlineExceeded`]
+    /// — its deadline had not expired).
+    ShedOverload,
     /// The input tensor does not match the plan's expected item shape.
     BadInput(String),
     /// The execution plan failed (rendered `TensorError`).
@@ -44,6 +53,12 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before dispatch")
+            }
+            ServeError::AdmissionRejected(reason) => {
+                write!(f, "admission refused: {reason}")
+            }
+            ServeError::ShedOverload => {
+                write!(f, "best-effort request shed under overload")
             }
             ServeError::BadInput(reason) => write!(f, "bad input: {reason}"),
             ServeError::Inference(reason) => write!(f, "inference failed: {reason}"),

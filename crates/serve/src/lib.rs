@@ -24,6 +24,12 @@
 //!   [`ServeError::DeadlineExceeded`].
 //! * **Graceful shutdown.** [`Service::shutdown`] drains every admitted
 //!   request exactly once, then joins the batcher and workers.
+//! * **SLO classes.** Requests (or whole services) carry an
+//!   [`mlcnn_sched::SloSpec`]: `guaranteed` work is admission-checked
+//!   against the calibrated cost oracle and scheduled
+//!   earliest-deadline-first; `best_effort` work absorbs rejection and
+//!   overload shedding. With no spec configured the batcher stays on its
+//!   pre-SLO FIFO path verbatim.
 //! * **Gated construction.** [`Service::spawn`] refuses configurations
 //!   that fail the `mlcnn-check` `V###` serving lints.
 //!
@@ -55,8 +61,9 @@ pub mod wire;
 
 pub use config::{available_workers, ServeConfig, DEFAULT_ARENA_BUDGET_BYTES};
 pub use error::ServeError;
-pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
-pub use microbatch::{BatchPolicy, Microbatcher};
+pub use metrics::{ClassSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
+pub use microbatch::{Arrival, BatchPolicy, Microbatcher};
+pub use mlcnn_sched::{SloClass, SloSpec};
 pub use models::{find_model, serving_zoo, ServeModel, SERVE_SEED};
 pub use net::{serve_listener, Client, Dispatch, NamedService};
 pub use router::Router;

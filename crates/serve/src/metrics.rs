@@ -1,18 +1,56 @@
-//! Service observability: lock-free counters, a fixed-bucket latency
+//! Service observability: lock-free counters, a log-linear latency
 //! histogram, and a serializable point-in-time snapshot.
 //!
 //! Everything on the hot path is a relaxed atomic — workers and the
 //! submission path never take a lock to record. The histogram uses
-//! power-of-two microsecond buckets (bucket `i` counts latencies in
-//! `[2^i, 2^{i+1})` µs), so quantiles are exact to within a factor of two
-//! and recording is a `leading_zeros` plus one `fetch_add`.
+//! log-linear microsecond buckets: exact unit buckets below 16 µs, then
+//! 16 linear sub-buckets per power-of-two octave, so quantiles are exact
+//! to within 1/16 (6.25%) rather than the 2× a pure power-of-two
+//! histogram resolves — coarse enough that BENCH_serve.json used to show
+//! p50 = p90 = p99 for most models.
+//!
+//! Beyond the service-wide counters, [`Metrics`] carries a
+//! [`ClassMetrics`] pair (indexed by `SloClass::index()`: guaranteed = 0,
+//! best-effort = 1) with the per-class admission/shedding counters and
+//! latency histograms the SLO scheduler is judged by.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Number of power-of-two latency buckets: covers up to ~2^39 µs ≈ 6 days.
-const LATENCY_BUCKETS: usize = 40;
+/// Unit buckets below this value; octaves of `LINEAR_SUBDIV` sub-buckets
+/// above it.
+const LINEAR_SUBDIV: u64 = 16;
 
-/// Fixed-bucket latency histogram over microseconds.
+/// Octaves the histogram resolves: `[16, 2^40)` µs (≈ 12 days) before
+/// clamping into the top bucket.
+const OCTAVES: usize = 36;
+
+/// Total log-linear latency buckets.
+const LATENCY_BUCKETS: usize = LINEAR_SUBDIV as usize + OCTAVES * LINEAR_SUBDIV as usize;
+
+/// Bucket index for a latency of `micros`.
+fn bucket_index(micros: u64) -> usize {
+    if micros < LINEAR_SUBDIV {
+        return micros as usize;
+    }
+    let exp = 63 - micros.leading_zeros() as usize; // ≥ 4
+    let octave = exp - 4;
+    let sub = ((micros >> octave) & (LINEAR_SUBDIV - 1)) as usize;
+    (LINEAR_SUBDIV as usize + octave * LINEAR_SUBDIV as usize + sub).min(LATENCY_BUCKETS - 1)
+}
+
+/// Upper bound (exclusive) in µs of histogram bucket `i` — the value a
+/// quantile falling in that bucket reports, i.e. quantiles are
+/// conservative (never under-reported) and exact to within 1/16.
+fn bucket_upper_micros(i: usize) -> u64 {
+    if i < LINEAR_SUBDIV as usize {
+        return i as u64 + 1;
+    }
+    let octave = (i - LINEAR_SUBDIV as usize) / LINEAR_SUBDIV as usize;
+    let sub = ((i - LINEAR_SUBDIV as usize) % LINEAR_SUBDIV as usize) as u64;
+    (LINEAR_SUBDIV + sub + 1) << octave
+}
+
+/// Fixed-bucket log-linear latency histogram over microseconds.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -29,21 +67,16 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Record one latency observation.
     pub fn observe_micros(&self, micros: u64) {
-        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot the bucket counts.
-    pub fn counts(&self) -> [u64; LATENCY_BUCKETS] {
-        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
-}
-
-/// Upper bound (exclusive) in µs of histogram bucket `i` — the value a
-/// quantile falling in that bucket reports, i.e. quantiles are
-/// conservative (never under-reported) and exact to within 2×.
-fn bucket_upper_micros(i: usize) -> u64 {
-    1u64 << (i as u32 + 1)
 }
 
 /// Quantile (`q` in `[0, 1]`) over snapshot bucket counts.
@@ -64,6 +97,38 @@ fn quantile_micros(counts: &[u64], q: f64) -> u64 {
     bucket_upper_micros(counts.len() - 1)
 }
 
+/// Per-SLO-class counters and latency distribution. One instance per
+/// class lives in [`Metrics::classes`], indexed by `SloClass::index()`.
+#[derive(Debug, Default)]
+pub struct ClassMetrics {
+    /// Requests of this class accepted into the queue.
+    pub admitted: AtomicU64,
+    /// Requests refused by cost-based admission control (guaranteed
+    /// class only — best-effort is never admission-checked).
+    pub rejected_admission: AtomicU64,
+    /// Queued requests of this class shed before execution (deadline
+    /// expiry or overload eviction).
+    pub shed: AtomicU64,
+    /// Requests of this class answered successfully.
+    pub completed: AtomicU64,
+    /// End-to-end latency of completed requests of this class.
+    pub latency: LatencyHistogram,
+}
+
+impl ClassMetrics {
+    fn snapshot(&self) -> ClassSnapshot {
+        let latency = self.latency.counts();
+        ClassSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_admission: self.rejected_admission.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            p50_micros: quantile_micros(&latency, 0.50),
+            p99_micros: quantile_micros(&latency, 0.99),
+        }
+    }
+}
+
 /// Live metrics registry shared by the submission path, batcher, and
 /// workers. All mutation is relaxed-atomic; [`Metrics::snapshot`] reads a
 /// consistent-enough point-in-time view for reporting.
@@ -81,6 +146,9 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// Requests shed because their deadline expired before execution.
     pub shed_expired: AtomicU64,
+    /// Best-effort requests evicted from a full queue to admit
+    /// guaranteed work.
+    pub shed_overload: AtomicU64,
     /// Batches executed.
     pub batches: AtomicU64,
     /// Current submission-queue depth (gauge).
@@ -89,6 +157,10 @@ pub struct Metrics {
     batch_sizes: Vec<AtomicU64>,
     /// End-to-end request latency (enqueue → response ready).
     pub latency: LatencyHistogram,
+    /// Per-SLO-class counters: `[guaranteed, best_effort]` in
+    /// `SloClass::index()` order. Classless (legacy FIFO) requests are
+    /// accounted as best-effort.
+    pub classes: [ClassMetrics; 2],
 }
 
 impl Metrics {
@@ -101,10 +173,12 @@ impl Metrics {
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             shed_expired: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             batch_sizes: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency: LatencyHistogram::default(),
+            classes: [ClassMetrics::default(), ClassMetrics::default()],
         }
     }
 
@@ -119,7 +193,7 @@ impl Metrics {
 
     /// Point-in-time copy of every counter plus derived quantiles.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let latency_buckets = self.latency.counts().to_vec();
+        let latency_buckets = self.latency.counts();
         let batch_size_counts: Vec<u64> = self
             .batch_sizes
             .iter()
@@ -138,6 +212,7 @@ impl Metrics {
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
@@ -148,15 +223,51 @@ impl Metrics {
             p50_micros: quantile_micros(&latency_buckets, 0.50),
             p90_micros: quantile_micros(&latency_buckets, 0.90),
             p99_micros: quantile_micros(&latency_buckets, 0.99),
+            guaranteed: self.classes[0].snapshot(),
+            best_effort: self.classes[1].snapshot(),
             batch_size_counts,
             latency_buckets,
         }
     }
 }
 
+/// Serializable per-class view within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSnapshot {
+    /// Requests of this class accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused at admission (guaranteed only).
+    pub rejected_admission: u64,
+    /// Queued requests shed before execution.
+    pub shed: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Median end-to-end latency in µs (upper bucket bound).
+    pub p50_micros: u64,
+    /// 99th-percentile end-to-end latency in µs.
+    pub p99_micros: u64,
+}
+
+impl ClassSnapshot {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"admitted\":{},\"rejected_admission\":{},\"shed\":{},",
+                "\"completed\":{},\"p50_micros\":{},\"p99_micros\":{}}}"
+            ),
+            self.admitted,
+            self.rejected_admission,
+            self.shed,
+            self.completed,
+            self.p50_micros,
+            self.p99_micros,
+        )
+    }
+}
+
 /// Serializable point-in-time view of [`Metrics`]. Field meanings match
-/// the registry; quantiles come from the power-of-two histogram, so they
-/// are conservative upper bounds exact to within 2×.
+/// the registry; quantiles come from the log-linear histogram, so they
+/// are conservative upper bounds exact to within 1/16.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests accepted into the queue.
@@ -171,6 +282,8 @@ pub struct MetricsSnapshot {
     pub rejected_shutdown: u64,
     /// Requests shed on an expired deadline.
     pub shed_expired: u64,
+    /// Best-effort requests evicted under overload.
+    pub shed_overload: u64,
     /// Batches executed.
     pub batches: u64,
     /// Queue depth at snapshot time.
@@ -183,9 +296,14 @@ pub struct MetricsSnapshot {
     pub p90_micros: u64,
     /// 99th-percentile end-to-end latency in µs.
     pub p99_micros: u64,
+    /// Guaranteed-class counters and quantiles.
+    pub guaranteed: ClassSnapshot,
+    /// Best-effort-class counters and quantiles (classless requests are
+    /// accounted here).
+    pub best_effort: ClassSnapshot,
     /// `batch_size_counts[s-1]` = executed batches of size `s`.
     pub batch_size_counts: Vec<u64>,
-    /// Raw latency histogram (power-of-two µs buckets).
+    /// Raw latency histogram (log-linear µs buckets).
     pub latency_buckets: Vec<u64>,
 }
 
@@ -193,7 +311,9 @@ impl MetricsSnapshot {
     /// Every request that entered the queue received exactly one terminal
     /// outcome (success, failure, or shed) and none is still in flight.
     pub fn fully_drained(&self) -> bool {
-        self.queue_depth == 0 && self.submitted == self.completed + self.failed + self.shed_expired
+        self.queue_depth == 0
+            && self.submitted
+                == self.completed + self.failed + self.shed_expired + self.shed_overload
     }
 
     /// Hand-rolled JSON rendering (the workspace's serde is a no-op
@@ -207,9 +327,11 @@ impl MetricsSnapshot {
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"rejected_full\":{},\"rejected_shutdown\":{},",
-                "\"shed_expired\":{},\"batches\":{},\"queue_depth\":{},",
+                "\"shed_expired\":{},\"shed_overload\":{},",
+                "\"batches\":{},\"queue_depth\":{},",
                 "\"mean_batch_size\":{:.3},\"p50_micros\":{},",
                 "\"p90_micros\":{},\"p99_micros\":{},",
+                "\"classes\":{{\"guaranteed\":{},\"best_effort\":{}}},",
                 "\"batch_size_counts\":{},\"latency_buckets\":{}}}"
             ),
             self.submitted,
@@ -218,12 +340,15 @@ impl MetricsSnapshot {
             self.rejected_full,
             self.rejected_shutdown,
             self.shed_expired,
+            self.shed_overload,
             self.batches,
             self.queue_depth,
             self.mean_batch_size,
             self.p50_micros,
             self.p90_micros,
             self.p99_micros,
+            self.guaranteed.to_json(),
+            self.best_effort.to_json(),
             seq(&self.batch_size_counts),
             seq(&self.latency_buckets),
         )
@@ -235,34 +360,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_by_power_of_two() {
+    fn histogram_buckets_are_log_linear() {
+        // exact unit buckets below 16
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(15), 15);
+        // 16 sub-buckets per octave above
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(100), 57); // octave [64,128), sub 9
+        assert_eq!(bucket_index(1024), 112);
+        assert_eq!(bucket_index(10_000), 163);
+        // upper bounds are exclusive and tight to 1/16
+        assert_eq!(bucket_upper_micros(3), 4);
+        assert_eq!(bucket_upper_micros(57), 104);
+        assert_eq!(bucket_upper_micros(112), 1088);
+        assert_eq!(bucket_upper_micros(163), 10_240);
+        // every value maps inside [lower, upper) of its bucket
+        for v in [0u64, 1, 7, 16, 63, 64, 100, 4096, 8191, 1 << 30] {
+            let i = bucket_index(v);
+            assert!(v < bucket_upper_micros(i), "{v} outside bucket {i}");
+            if i > 0 {
+                assert!(v >= bucket_upper_micros(i - 1), "{v} below bucket {i}");
+            }
+        }
         let h = LatencyHistogram::default();
-        h.observe_micros(0); // clamps into bucket 0
-        h.observe_micros(1);
+        h.observe_micros(0);
         h.observe_micros(3);
-        h.observe_micros(1024);
+        h.observe_micros(100);
         let c = h.counts();
-        assert_eq!(c[0], 2);
-        assert_eq!(c[1], 1);
-        assert_eq!(c[10], 1);
-        assert_eq!(c.iter().sum::<u64>(), 4);
+        assert_eq!(c[0], 1);
+        assert_eq!(c[3], 1);
+        assert_eq!(c[57], 1);
+        assert_eq!(c.iter().sum::<u64>(), 3);
     }
 
     #[test]
-    fn quantiles_are_conservative_upper_bounds() {
+    fn quantiles_are_conservative_and_resolve_the_tail() {
         let m = Metrics::new(4);
         for _ in 0..99 {
-            m.latency.observe_micros(100); // bucket 6: [64, 128)
+            m.latency.observe_micros(100); // bucket upper 104
         }
-        m.latency.observe_micros(10_000); // bucket 13: [8192, 16384)
+        m.latency.observe_micros(10_000); // bucket upper 10_240
         let s = m.snapshot();
-        assert_eq!(s.p50_micros, 128);
-        assert_eq!(s.p90_micros, 128);
-        assert_eq!(s.p99_micros, 128);
+        assert_eq!(s.p50_micros, 104);
+        assert_eq!(s.p90_micros, 104);
+        assert_eq!(s.p99_micros, 104);
         for _ in 0..10 {
             m.latency.observe_micros(10_000);
         }
-        assert_eq!(m.snapshot().p99_micros, 16_384);
+        // the tail no longer collapses into the body: p99 lands in the
+        // 10 ms bucket, within 1/16 of the true value
+        assert_eq!(m.snapshot().p99_micros, 10_240);
+    }
+
+    #[test]
+    fn nearby_values_no_longer_collapse_into_one_bucket() {
+        // 4100 and 8100 µs shared the [4096, 8192) power-of-two bucket
+        // before; log-linear separates them.
+        assert_ne!(bucket_index(4_100), bucket_index(8_100));
+        assert_ne!(bucket_index(4_100), bucket_index(5_100));
     }
 
     #[test]
@@ -280,12 +436,33 @@ mod tests {
     #[test]
     fn drained_accounting_balances() {
         let m = Metrics::new(2);
-        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.submitted.fetch_add(6, Ordering::Relaxed);
         m.completed.fetch_add(3, Ordering::Relaxed);
         m.shed_expired.fetch_add(1, Ordering::Relaxed);
+        m.shed_overload.fetch_add(1, Ordering::Relaxed);
         assert!(!m.snapshot().fully_drained());
         m.failed.fetch_add(1, Ordering::Relaxed);
         assert!(m.snapshot().fully_drained());
+    }
+
+    #[test]
+    fn class_counters_snapshot_independently() {
+        let m = Metrics::new(2);
+        m.classes[0].admitted.fetch_add(5, Ordering::Relaxed);
+        m.classes[0].completed.fetch_add(5, Ordering::Relaxed);
+        m.classes[0].latency.observe_micros(100);
+        m.classes[1].admitted.fetch_add(2, Ordering::Relaxed);
+        m.classes[1].shed.fetch_add(2, Ordering::Relaxed);
+        m.classes[1]
+            .rejected_admission
+            .fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.guaranteed.admitted, 5);
+        assert_eq!(s.guaranteed.completed, 5);
+        assert_eq!(s.guaranteed.p50_micros, 104);
+        assert_eq!(s.best_effort.shed, 2);
+        assert_eq!(s.best_effort.rejected_admission, 1);
+        assert_eq!(s.best_effort.p99_micros, 0); // no completions recorded
     }
 
     #[test]
@@ -293,11 +470,14 @@ mod tests {
         let m = Metrics::new(2);
         m.submitted.fetch_add(1, Ordering::Relaxed);
         m.completed.fetch_add(1, Ordering::Relaxed);
+        m.classes[0].admitted.fetch_add(1, Ordering::Relaxed);
         m.observe_batch(1);
         m.latency.observe_micros(50);
         let json = m.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"submitted\":1"));
+        assert!(json.contains("\"shed_overload\":0"));
+        assert!(json.contains("\"classes\":{\"guaranteed\":{\"admitted\":1,"));
         assert!(json.contains("\"batch_size_counts\":[1,0]"));
     }
 }

@@ -5,16 +5,31 @@
 //! `(max_batch, max_wait)` policy:
 //!
 //! * a batch dispatches **immediately** once `max_batch` requests are
-//!   pending (the oldest `max_batch` of them, FIFO);
+//!   pending;
 //! * otherwise it dispatches when the *oldest* pending request has waited
 //!   `max_wait`, taking whatever has accumulated.
+//!
+//! Batch *membership* depends on the SLO mix. While every pending request
+//! is classless the window is strictly FIFO — byte-for-byte the pre-SLO
+//! behavior. Once any pending request carries an EDF deadline
+//! ([`Arrival::edf_deadline_nanos`], set by the service for `guaranteed`
+//! work), dispatch picks earliest-deadline-first: deadline-bearing
+//! requests ordered by deadline, then deadline-free requests in arrival
+//! order. Ties and the no-deadline tail fall back to arrival sequence, so
+//! the schedule is total and deterministic.
+//!
+//! The window also supports overload eviction: [`Microbatcher::
+//! shed_newest_sheddable`] removes the *newest* sheddable (best-effort)
+//! request — the one that has invested the least wait time — which is how
+//! the service makes room for guaranteed work when the queue is full.
 //!
 //! Time is an opaque `u64` nanosecond counter rather than `Instant`, so
 //! the exact logic the service's batcher thread runs is also driveable
 //! from proptests with a simulated clock — the batching guarantees
 //! (no request outwaits `max_wait` while the batcher is responsive, no
-//! batch exceeds `max_batch`, FIFO order, drain-exactly-once) are checked
-//! on this type directly in `tests/microbatch_props.rs`.
+//! batch exceeds `max_batch`, FIFO order for classless windows,
+//! drain-exactly-once) are checked on this type directly in
+//! `tests/microbatch_props.rs`.
 
 use std::collections::VecDeque;
 
@@ -28,12 +43,51 @@ pub struct BatchPolicy {
     pub max_wait_nanos: u64,
 }
 
+/// Scheduling attributes of one admission into the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Clock reading at admission.
+    pub now_nanos: u64,
+    /// Absolute EDF deadline (same clock) for guaranteed work; `None`
+    /// schedules the request behind all deadline-bearing peers, FIFO.
+    pub edf_deadline_nanos: Option<u64>,
+    /// Whether overload eviction may drop this request (best-effort).
+    pub sheddable: bool,
+}
+
+impl Arrival {
+    /// A classless arrival at `now_nanos` — FIFO, never shed by eviction.
+    pub fn fifo(now_nanos: u64) -> Arrival {
+        Arrival {
+            now_nanos,
+            edf_deadline_nanos: None,
+            sheddable: false,
+        }
+    }
+}
+
+/// No-deadline sentinel: sorts after every real deadline.
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Entry<T> {
+    item: T,
+    arrived: u64,
+    edf: u64,
+    sheddable: bool,
+    seq: u64,
+}
+
 /// Pending-request window + dispatch decisions. Generic over the payload
 /// so the service batches full requests while tests batch bare ids.
 #[derive(Debug)]
 pub struct Microbatcher<T> {
     policy: BatchPolicy,
-    pending: VecDeque<(T, u64)>,
+    pending: VecDeque<Entry<T>>,
+    /// Pending entries carrying an EDF deadline; FIFO fast path when 0.
+    edf_entries: usize,
+    sheddable_entries: usize,
+    next_seq: u64,
 }
 
 impl<T> Microbatcher<T> {
@@ -47,6 +101,9 @@ impl<T> Microbatcher<T> {
                 ..policy
             },
             pending: VecDeque::new(),
+            edf_entries: 0,
+            sheddable_entries: 0,
+            next_seq: 0,
         }
     }
 
@@ -55,9 +112,30 @@ impl<T> Microbatcher<T> {
         self.policy
     }
 
-    /// Admit a request observed at `now_nanos`.
+    /// Admit a classless request observed at `now_nanos` (FIFO, never
+    /// evicted) — the pre-SLO submission path.
     pub fn push(&mut self, item: T, now_nanos: u64) {
-        self.pending.push_back((item, now_nanos));
+        self.push_at(item, Arrival::fifo(now_nanos));
+    }
+
+    /// Admit a request with explicit scheduling attributes.
+    pub fn push_at(&mut self, item: T, arrival: Arrival) {
+        let edf = arrival.edf_deadline_nanos.unwrap_or(NO_DEADLINE);
+        if edf != NO_DEADLINE {
+            self.edf_entries += 1;
+        }
+        if arrival.sheddable {
+            self.sheddable_entries += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back(Entry {
+            item,
+            arrived: arrival.now_nanos,
+            edf,
+            sheddable: arrival.sheddable,
+            seq,
+        });
     }
 
     /// Pending request count.
@@ -70,18 +148,46 @@ impl<T> Microbatcher<T> {
         self.pending.is_empty()
     }
 
+    /// Pending requests carrying an EDF deadline — the queue-depth input
+    /// to cost-based admission control.
+    pub fn deadline_entries(&self) -> usize {
+        self.edf_entries
+    }
+
+    /// Whether overload eviction has anything to take.
+    pub fn has_sheddable(&self) -> bool {
+        self.sheddable_entries > 0
+    }
+
+    /// Evict the *newest* sheddable request (least wait time invested),
+    /// returning its payload. `None` when nothing is sheddable.
+    pub fn shed_newest_sheddable(&mut self) -> Option<T> {
+        if self.sheddable_entries == 0 {
+            return None;
+        }
+        let idx = self.pending.iter().rposition(|e| e.sheddable)?;
+        let entry = self.pending.remove(idx)?;
+        self.sheddable_entries -= 1;
+        if entry.edf != NO_DEADLINE {
+            self.edf_entries -= 1;
+        }
+        Some(entry.item)
+    }
+
     /// The clock reading at which the current window must dispatch even
     /// if it never fills: oldest arrival + `max_wait`. `None` when empty.
     pub fn next_deadline(&self) -> Option<u64> {
         self.pending
             .front()
-            .map(|(_, t)| t.saturating_add(self.policy.max_wait_nanos))
+            .map(|e| e.arrived.saturating_add(self.policy.max_wait_nanos))
     }
 
-    /// Dispatch decision at `now_nanos`: returns the next batch (FIFO,
-    /// never more than `max_batch` items) when the window is full or the
-    /// oldest request has aged out, `None` when the batcher should keep
-    /// waiting (until [`Self::next_deadline`] or the next push).
+    /// Dispatch decision at `now_nanos`: returns the next batch (never
+    /// more than `max_batch` items) when the window is full or the oldest
+    /// request has aged out, `None` when the batcher should keep waiting
+    /// (until [`Self::next_deadline`] or the next push). Membership is
+    /// FIFO for an all-classless window, EDF otherwise (see the
+    /// [module docs](self)).
     pub fn poll(&mut self, now_nanos: u64) -> Option<Vec<T>> {
         let full = self.pending.len() >= self.policy.max_batch;
         let aged = self.next_deadline().is_some_and(|d| now_nanos >= d);
@@ -89,7 +195,31 @@ impl<T> Microbatcher<T> {
             return None;
         }
         let take = self.pending.len().min(self.policy.max_batch);
-        Some(self.pending.drain(..take).map(|(item, _)| item).collect())
+        if self.edf_entries == 0 {
+            // classless window: verbatim FIFO dispatch
+            return Some(self.pending.drain(..take).map(|e| e.item).collect());
+        }
+        // EDF: pick the `take` entries with the earliest (deadline, seq)
+        let mut order: Vec<usize> = (0..self.pending.len()).collect();
+        order.sort_by_key(|&i| (self.pending[i].edf, self.pending[i].seq));
+        order.truncate(take);
+        order.sort_unstable(); // ascending positions for stable removal
+        let mut batch: Vec<Entry<T>> = Vec::with_capacity(take);
+        for (removed, idx) in order.into_iter().enumerate() {
+            let entry = self
+                .pending
+                .remove(idx - removed)
+                .expect("selected index in bounds");
+            if entry.edf != NO_DEADLINE {
+                self.edf_entries -= 1;
+            }
+            if entry.sheddable {
+                self.sheddable_entries -= 1;
+            }
+            batch.push(entry);
+        }
+        batch.sort_by_key(|e| (e.edf, e.seq));
+        Some(batch.into_iter().map(|e| e.item).collect())
     }
 
     /// Shutdown path: flush every pending request as FIFO batches of at
@@ -99,8 +229,10 @@ impl<T> Microbatcher<T> {
         let mut out = Vec::new();
         while !self.pending.is_empty() {
             let take = self.pending.len().min(self.policy.max_batch);
-            out.push(self.pending.drain(..take).map(|(item, _)| item).collect());
+            out.push(self.pending.drain(..take).map(|e| e.item).collect());
         }
+        self.edf_entries = 0;
+        self.sheddable_entries = 0;
         out
     }
 }
@@ -114,6 +246,22 @@ mod tests {
             max_batch,
             max_wait_nanos,
         })
+    }
+
+    fn edf(now: u64, deadline: u64) -> Arrival {
+        Arrival {
+            now_nanos: now,
+            edf_deadline_nanos: Some(deadline),
+            sheddable: false,
+        }
+    }
+
+    fn best_effort(now: u64) -> Arrival {
+        Arrival {
+            now_nanos: now,
+            edf_deadline_nanos: None,
+            sheddable: true,
+        }
     }
 
     #[test]
@@ -163,5 +311,75 @@ mod tests {
         b.push(2, 999);
         assert_eq!(b.next_deadline(), Some(1_000));
         assert_eq!(b.poll(1_000), Some(vec![1, 2]), "aged window takes all");
+    }
+
+    #[test]
+    fn edf_overrides_arrival_order_when_deadlines_differ() {
+        let mut b = mb(2, 1_000);
+        b.push_at(1, edf(0, 9_000)); // late deadline, first in
+        b.push_at(2, edf(10, 3_000)); // tight deadline, second in
+        b.push_at(3, edf(20, 6_000));
+        // full window → earliest two deadlines dispatch first
+        assert_eq!(b.poll(20), Some(vec![2, 3]));
+        assert_eq!(b.deadline_entries(), 1);
+        assert_eq!(b.drain_all(), vec![vec![1]]);
+        assert_eq!(b.deadline_entries(), 0);
+    }
+
+    #[test]
+    fn deadline_bearing_work_preempts_best_effort() {
+        let mut b = mb(2, 1_000);
+        b.push_at(1, best_effort(0));
+        b.push_at(2, best_effort(5));
+        b.push_at(3, edf(10, 2_000));
+        // EDF mode: the guaranteed request jumps the two older
+        // best-effort ones; the tie among the tail breaks by arrival
+        assert_eq!(b.poll(10), Some(vec![3, 1]));
+        assert_eq!(b.poll(1_005), Some(vec![2]));
+    }
+
+    #[test]
+    fn classless_window_is_verbatim_fifo_even_with_sheddable_entries() {
+        let mut b = mb(2, 1_000);
+        b.push_at(1, best_effort(0));
+        b.push_at(2, best_effort(1));
+        b.push(3, 2);
+        // no EDF entries pending → the FIFO fast path runs
+        assert_eq!(b.poll(2), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn shed_takes_newest_sheddable_only() {
+        let mut b = mb(8, 1_000);
+        b.push(1, 0); // classless: not sheddable
+        b.push_at(2, best_effort(1));
+        b.push_at(3, edf(2, 5_000));
+        b.push_at(4, best_effort(3));
+        assert!(b.has_sheddable());
+        assert_eq!(b.shed_newest_sheddable(), Some(4));
+        assert_eq!(b.shed_newest_sheddable(), Some(2));
+        assert_eq!(b.shed_newest_sheddable(), None, "1 and 3 are protected");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.deadline_entries(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_edf_accounting_consistent() {
+        let mut b = mb(8, 1_000);
+        b.push_at(
+            1,
+            Arrival {
+                now_nanos: 0,
+                edf_deadline_nanos: Some(100),
+                sheddable: true,
+            },
+        );
+        b.push_at(2, edf(1, 50));
+        assert_eq!(b.deadline_entries(), 2);
+        assert_eq!(b.shed_newest_sheddable(), Some(1));
+        assert_eq!(b.deadline_entries(), 1);
+        // remaining EDF entry still schedules
+        assert_eq!(b.poll(2_000), Some(vec![2]));
+        assert_eq!(b.deadline_entries(), 0);
     }
 }

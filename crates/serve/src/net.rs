@@ -19,6 +19,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
+use mlcnn_sched::SloSpec;
 use mlcnn_tensor::Tensor;
 
 use crate::error::ServeError;
@@ -41,6 +42,18 @@ pub trait Dispatch: Send + Sync + 'static {
         input: Tensor<f32>,
         notify: Arc<dyn CompletionNotify>,
         tag: u64,
+    ) -> Result<Ticket, ServeError>;
+
+    /// Submit one input item to `model` under an explicit SLO spec,
+    /// optionally with a completion hook. Guaranteed requests are
+    /// admission-checked against the model's cost oracle; best-effort
+    /// requests become sheddable under overload.
+    fn submit_slo(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        spec: SloSpec,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
     ) -> Result<Ticket, ServeError>;
 
     /// Metrics snapshot as JSON.
@@ -98,6 +111,19 @@ impl Dispatch for NamedService {
             return Err(ServeError::UnknownModel(model.to_string()));
         }
         self.svc.submit_notified(input, notify, tag)
+    }
+
+    fn submit_slo(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        spec: SloSpec,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
+    ) -> Result<Ticket, ServeError> {
+        if !model.is_empty() && model != self.name {
+            return Err(ServeError::UnknownModel(model.to_string()));
+        }
+        self.svc.submit_slo(input, spec, done)
     }
 
     fn metrics_json(&self) -> String {
@@ -183,6 +209,22 @@ fn handle_conn(stream: TcpStream, backend: &dyn Dispatch) -> io::Result<()> {
                     message: e.to_string(),
                 }),
             },
+            Frame::InferSloRequest {
+                id,
+                model,
+                class,
+                budget_micros,
+                input,
+            } => {
+                let spec = SloSpec::from_wire(class, budget_micros);
+                match backend.submit_slo(&model, input, spec, None) {
+                    Ok(ticket) => Outcome::Pending(id, ticket),
+                    Err(e) => Outcome::Immediate(Frame::Error {
+                        id,
+                        message: e.to_string(),
+                    }),
+                }
+            }
             Frame::MetricsRequest { id } => Outcome::Immediate(Frame::MetricsOk {
                 id,
                 json: backend.metrics_json(),
@@ -290,6 +332,33 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected reply frame for infer: {other:?}"),
+            )),
+        }
+    }
+
+    /// Run inference under an explicit SLO spec against a named model
+    /// (empty = the server's only model). The spec rides the wire on the
+    /// `0x05` frame; pre-SLO servers reject it with an error reply.
+    pub fn infer_slo(
+        &mut self,
+        model: &str,
+        spec: SloSpec,
+        input: Tensor<f32>,
+    ) -> io::Result<Tensor<f32>> {
+        let id = self.next_id();
+        let frame = Frame::InferSloRequest {
+            id,
+            model: model.to_string(),
+            class: spec.class,
+            budget_micros: spec.budget_micros(),
+            input,
+        };
+        match self.roundtrip(&frame)? {
+            Frame::InferOk { output, .. } => Ok(output),
+            Frame::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply frame for infer_slo: {other:?}"),
             )),
         }
     }

@@ -28,6 +28,7 @@ use crate::net::Dispatch;
 use crate::service::{CompletionNotify, Service, Ticket};
 use mlcnn_core::WorkspacePool;
 use mlcnn_registry::{ModelRegistry, RegistryError};
+use mlcnn_sched::SloSpec;
 use mlcnn_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
@@ -49,6 +50,9 @@ struct Endpoint {
 pub struct Router {
     registry: Arc<ModelRegistry>,
     cfg: ServeConfig,
+    /// Per-model SLO overriding `cfg.slo`; survives publish/rollback so a
+    /// hot-swapped endpoint keeps its model's serving class.
+    slos: BTreeMap<String, SloSpec>,
     pool: Arc<WorkspacePool>,
     endpoints: RwLock<BTreeMap<String, Arc<Endpoint>>>,
 }
@@ -68,18 +72,39 @@ impl Router {
     /// workspace pool. `cfg` supplies the batching/worker/queue knobs;
     /// its precision field is overridden per model.
     pub fn new(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> Result<Router, ServeError> {
+        Router::with_slos(registry, cfg, BTreeMap::new())
+    }
+
+    /// [`Router::new`] with a per-model SLO map. A model present in
+    /// `slos` serves under that spec (overriding `cfg.slo`) on its
+    /// initial endpoint *and* on every endpoint spawned by a later
+    /// publish or rollback — the class is a property of the model, not of
+    /// the revision currently serving it.
+    pub fn with_slos(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+        slos: BTreeMap<String, SloSpec>,
+    ) -> Result<Router, ServeError> {
         let pool = Arc::new(WorkspacePool::new());
         let mut endpoints = BTreeMap::new();
         for model in registry.models() {
-            let endpoint = spawn_endpoint(&registry, &model, None, &cfg, &pool)?;
+            let slo = slos.get(&model).copied();
+            let endpoint = spawn_endpoint(&registry, &model, None, &cfg, slo, &pool)?;
             endpoints.insert(model, Arc::new(endpoint));
         }
         Ok(Router {
             registry,
             cfg,
+            slos,
             pool,
             endpoints: RwLock::new(endpoints),
         })
+    }
+
+    /// The SLO spec `model` serves under, whether from the per-model map
+    /// or the config default. `None` = classless FIFO.
+    pub fn slo_of(&self, model: &str) -> Option<SloSpec> {
+        self.slos.get(model).copied().or(self.cfg.slo)
     }
 
     /// The registry backing this router.
@@ -161,6 +186,39 @@ impl Router {
         Err(last)
     }
 
+    /// [`Router::submit`] under an explicit SLO spec, optionally with a
+    /// completion hook: same hot-swap retry discipline, same revision
+    /// attribution. Guaranteed requests are admission-checked by the
+    /// drawn endpoint's cost oracle.
+    pub fn submit_slo(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        spec: SloSpec,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
+    ) -> Result<(u64, Ticket), ServeError> {
+        let mut last = ServeError::ShuttingDown;
+        for _ in 0..SWAP_RETRIES {
+            let endpoint = self
+                .read_endpoints()
+                .get(model)
+                .cloned()
+                .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+            let done = done
+                .as_ref()
+                .map(|(notify, tag)| (Arc::clone(notify), *tag));
+            match endpoint.svc.submit_slo(input.clone(), spec, done) {
+                Ok(ticket) => return Ok((endpoint.revision, ticket)),
+                Err(ServeError::ShuttingDown) => {
+                    last = ServeError::ShuttingDown;
+                    std::thread::yield_now();
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last)
+    }
+
     /// Submit and block for the response.
     pub fn infer(&self, model: &str, input: Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
         self.submit(model, input)?.1.wait()
@@ -176,8 +234,14 @@ impl Router {
         if current == revision && self.active_revision(model)? == revision {
             return Ok((revision, revision));
         }
-        let endpoint =
-            spawn_endpoint(&self.registry, model, Some(revision), &self.cfg, &self.pool)?;
+        let endpoint = spawn_endpoint(
+            &self.registry,
+            model,
+            Some(revision),
+            &self.cfg,
+            self.slos.get(model).copied(),
+            &self.pool,
+        )?;
         let (active, previous) = self
             .registry
             .publish(model, revision)
@@ -192,15 +256,21 @@ impl Router {
         // Rollback mutates registry history, so consult it first; spawn
         // the target endpoint before the old one is retired.
         let (active, previous) = self.registry.rollback(model).map_err(registry_err)?;
-        let endpoint =
-            match spawn_endpoint(&self.registry, model, Some(active), &self.cfg, &self.pool) {
-                Ok(e) => e,
-                Err(e) => {
-                    // Put the history back so a failed rollback is a no-op.
-                    let _ = self.registry.publish(model, previous);
-                    return Err(e);
-                }
-            };
+        let endpoint = match spawn_endpoint(
+            &self.registry,
+            model,
+            Some(active),
+            &self.cfg,
+            self.slos.get(model).copied(),
+            &self.pool,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                // Put the history back so a failed rollback is a no-op.
+                let _ = self.registry.publish(model, previous);
+                return Err(e);
+            }
+        };
         self.swap_endpoint(model, endpoint);
         Ok((active, previous))
     }
@@ -288,6 +358,28 @@ impl Dispatch for Router {
         Router::submit_notified(self, model, input, notify, tag).map(|(_, t)| t)
     }
 
+    fn submit_slo(
+        &self,
+        model: &str,
+        input: Tensor<f32>,
+        spec: SloSpec,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
+    ) -> Result<Ticket, ServeError> {
+        if model.is_empty() {
+            // the empty name is only unambiguous on a single-model registry
+            let endpoints = self.read_endpoints();
+            if endpoints.len() == 1 {
+                let only = endpoints.keys().next().cloned().expect("len checked");
+                drop(endpoints);
+                return Router::submit_slo(self, &only, input, spec, done).map(|(_, t)| t);
+            }
+            return Err(ServeError::UnknownModel(
+                "(empty — this server routes multiple models; name one)".into(),
+            ));
+        }
+        Router::submit_slo(self, model, input, spec, done).map(|(_, t)| t)
+    }
+
     fn metrics_json(&self) -> String {
         Router::metrics_json(self)
     }
@@ -310,12 +402,14 @@ fn registry_err(e: RegistryError) -> ServeError {
 
 /// Compile `(model, revision)` through the registry's plan cache and
 /// spawn a service for it at the artifact's recorded default precision,
-/// over the router's shared pool.
+/// over the router's shared pool. `slo`, when set, overrides the config
+/// default so the endpoint serves under its model's class.
 fn spawn_endpoint(
     registry: &ModelRegistry,
     model: &str,
     revision: Option<u64>,
     cfg: &ServeConfig,
+    slo: Option<SloSpec>,
     pool: &Arc<WorkspacePool>,
 ) -> Result<Endpoint, ServeError> {
     let rev = match revision {
@@ -330,6 +424,7 @@ fn spawn_endpoint(
         .map_err(registry_err)?;
     let cfg = ServeConfig {
         precision,
+        slo: slo.or(cfg.slo),
         ..cfg.clone()
     };
     let svc = Service::spawn_with_pool(plan, cfg, Arc::clone(pool))?;

@@ -30,10 +30,12 @@
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::microbatch::{BatchPolicy, Microbatcher};
+use crate::microbatch::{Arrival, BatchPolicy, Microbatcher};
+use mlcnn_check::SloConfigLint;
 use mlcnn_core::{ExecutionPlan, PlanOptions, WorkspacePool};
 use mlcnn_nn::LayerSpec;
 use mlcnn_quant::Precision;
+use mlcnn_sched::{autotune, AdmissionPolicy, CostOracle, SloClass, SloSpec};
 use mlcnn_tensor::{Shape4, Tensor};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -57,6 +59,9 @@ struct Request {
     input: Tensor<f32>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// SLO class for per-class accounting (classless legacy requests are
+    /// accounted as best-effort, per the metrics contract).
+    class: SloClass,
     tx: SyncSender<Result<Tensor<f32>, ServeError>>,
     /// Event-driven completion hook: notified (with its tag) after `tx`
     /// is fulfilled, on every response path.
@@ -92,6 +97,9 @@ struct Shared {
     arrivals: Condvar,
     metrics: Metrics,
     pool: Arc<WorkspacePool>,
+    /// Cost-based admission control, present iff the config carries an
+    /// SLO (or auto-tunes, which calibrates the same oracle).
+    admission: Option<AdmissionPolicy>,
 }
 
 impl Shared {
@@ -185,7 +193,7 @@ impl Service {
     /// across heterogeneous models.
     pub fn spawn_with_pool(
         plan: Arc<ExecutionPlan>,
-        cfg: ServeConfig,
+        mut cfg: ServeConfig,
         pool: Arc<WorkspacePool>,
     ) -> Result<Service, ServeError> {
         cfg.validate("mlcnn-serve", &plan)?;
@@ -203,6 +211,50 @@ impl Service {
                 plan.precision()
             )));
         }
+        // SLO machinery only exists when the config asks for it; a plain
+        // config takes the exact pre-SLO FIFO path (no warmup, no
+        // admission, no EDF entries ever enter the window).
+        let admission = if cfg.slo.is_some() || cfg.auto_tune {
+            let oracle = CostOracle::calibrated(&plan, cfg.max_batch)
+                .map_err(|e| ServeError::Config(format!("oracle calibration failed: {e}")))?;
+            if cfg.auto_tune {
+                let budget = cfg.slo.and_then(|s| s.budget).ok_or_else(|| {
+                    ServeError::Config(
+                        "auto_tune requires a guaranteed SLO latency budget to tune against"
+                            .to_string(),
+                    )
+                })?;
+                // the configured max_batch caps the tuner (it also sized
+                // the workspace pool); tuning only ever shrinks the knobs
+                let tuned = autotune(&oracle, budget, cfg.max_batch);
+                cfg.max_batch = tuned.max_batch;
+                cfg.max_wait = tuned.max_wait;
+            }
+            if let Some(spec) = cfg.slo {
+                // D-code gate: deny SLO promises the scheduler provably
+                // cannot keep, mirroring the V-code construction gate.
+                let lint = SloConfigLint {
+                    name: "mlcnn-serve".to_string(),
+                    guaranteed: spec.class == SloClass::Guaranteed,
+                    budget_micros: spec.budget_micros(),
+                    max_wait_micros: cfg.max_wait.as_micros().min(u64::MAX as u128) as u64,
+                    max_batch: cfg.max_batch,
+                    predicted_service_micros: oracle.min_service_nanos() / 1_000,
+                    predicted_batch_service_micros: oracle.predicted_service_nanos(cfg.max_batch)
+                        / 1_000,
+                };
+                mlcnn_check::check_slo_config_summary(&lint).map_err(ServeError::Config)?;
+            }
+            let max_wait_nanos = cfg.max_wait.as_nanos().min(u64::MAX as u128) as u64;
+            Some(AdmissionPolicy::new(
+                oracle,
+                cfg.max_batch,
+                cfg.workers,
+                max_wait_nanos,
+            ))
+        } else {
+            None
+        };
         let policy = BatchPolicy {
             max_batch: cfg.max_batch,
             max_wait_nanos: cfg.max_wait.as_nanos().min(u64::MAX as u128) as u64,
@@ -218,6 +270,7 @@ impl Service {
                 next_id: 0,
             }),
             arrivals: Condvar::new(),
+            admission,
             cfg,
         });
 
@@ -288,7 +341,28 @@ impl Service {
         input: Tensor<f32>,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
-        self.submit_inner(input, deadline, None)
+        self.submit_inner(input, deadline, self.shared.cfg.slo, None)
+    }
+
+    /// Submit one request under an explicit SLO spec, overriding the
+    /// config's default class. A `guaranteed` spec must carry a budget
+    /// (its deadline), is admission-checked against the cost oracle, and
+    /// is scheduled earliest-deadline-first; a `best_effort` spec is
+    /// sheddable under overload.
+    pub fn submit_with_slo(&self, input: Tensor<f32>, spec: SloSpec) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, self.shared.cfg.default_deadline, Some(spec), None)
+    }
+
+    /// [`Service::submit_with_slo`] with a completion hook (see
+    /// [`Service::submit_notified`]) — the event-driven transport's SLO
+    /// submission path.
+    pub fn submit_slo(
+        &self,
+        input: Tensor<f32>,
+        spec: SloSpec,
+        done: Option<(Arc<dyn CompletionNotify>, u64)>,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(input, self.shared.cfg.default_deadline, Some(spec), done)
     }
 
     /// [`Service::submit`] with a completion hook: after the response is
@@ -302,15 +376,22 @@ impl Service {
         notify: Arc<dyn CompletionNotify>,
         tag: u64,
     ) -> Result<Ticket, ServeError> {
-        self.submit_inner(input, self.shared.cfg.default_deadline, Some((notify, tag)))
+        self.submit_inner(
+            input,
+            self.shared.cfg.default_deadline,
+            self.shared.cfg.slo,
+            Some((notify, tag)),
+        )
     }
 
     fn submit_inner(
         &self,
         input: Tensor<f32>,
         deadline: Option<Duration>,
+        slo: Option<SloSpec>,
         done: Option<(Arc<dyn CompletionNotify>, u64)>,
     ) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
         let s = input.shape();
         let e = self.shared.plan.input_shape();
         if s.n != 1 || (s.c, s.h, s.w) != (e.c, e.h, e.w) {
@@ -319,45 +400,108 @@ impl Service {
                 e.c, e.h, e.w, s
             )));
         }
+        // Resolve the class and the effective deadline. A guaranteed
+        // request's budget IS its deadline; best-effort keeps whatever
+        // deadline the caller (or config default) set; classless requests
+        // are accounted as best-effort but stay FIFO and un-sheddable.
+        let class = slo.map(|spec| spec.class).unwrap_or(SloClass::BestEffort);
+        let budget_nanos = match slo {
+            Some(spec) if spec.class == SloClass::Guaranteed => match spec.budget {
+                Some(b) => b.as_nanos().min(u64::MAX as u128) as u64,
+                None => {
+                    return Err(ServeError::BadInput(
+                        "guaranteed request without a latency budget".to_string(),
+                    ))
+                }
+            },
+            _ => 0,
+        };
+        let guaranteed = slo.is_some_and(|spec| spec.class == SloClass::Guaranteed);
+        let deadline = if guaranteed {
+            Some(Duration::from_nanos(budget_nanos))
+        } else {
+            slo.and_then(|spec| spec.budget).or(deadline)
+        };
+        let sheddable = slo.is_some_and(|spec| spec.class == SloClass::BestEffort);
+
         let now = Instant::now();
         let (tx, rx) = sync_channel(1);
         let mut intake = self.shared.lock_intake();
         if intake.shutting_down {
-            self.shared
-                .metrics
-                .rejected_shutdown
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
             return Err(ServeError::ShuttingDown);
         }
+        // Cost-based admission: refuse a guaranteed request the oracle
+        // proves cannot meet its budget, instead of queueing it to be
+        // shed at expiry.
+        if guaranteed {
+            if let Some(policy) = &self.shared.admission {
+                let ahead = intake.window.deadline_entries();
+                if let Err(eta) = policy.admit(ahead, budget_nanos) {
+                    self.shared.metrics.classes[class.index()]
+                        .rejected_admission
+                        .fetch_add(1, Relaxed);
+                    return Err(ServeError::AdmissionRejected(format!(
+                        "predicted completion in {} µs exceeds the {} µs budget \
+                         ({} guaranteed requests queued ahead)",
+                        eta / 1_000,
+                        budget_nanos / 1_000,
+                        ahead
+                    )));
+                }
+            }
+        }
+        // Overload policy at a full queue: guaranteed work evicts the
+        // newest best-effort request (cheapest to refuse — least wait
+        // invested); anything else is rejected queue-full as before.
+        let mut evicted = None;
         if intake.window.len() >= self.shared.cfg.queue_capacity {
-            self.shared
-                .metrics
-                .rejected_full
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Err(ServeError::QueueFull(self.shared.cfg.queue_capacity));
+            if guaranteed && intake.window.has_sheddable() {
+                evicted = intake.window.shed_newest_sheddable();
+                if evicted.is_some() {
+                    self.shared.metrics.shed_overload.fetch_add(1, Relaxed);
+                    self.shared.metrics.classes[SloClass::BestEffort.index()]
+                        .shed
+                        .fetch_add(1, Relaxed);
+                }
+            }
+            if evicted.is_none() {
+                self.shared.metrics.rejected_full.fetch_add(1, Relaxed);
+                return Err(ServeError::QueueFull(self.shared.cfg.queue_capacity));
+            }
         }
         let id = intake.next_id;
         intake.next_id += 1;
         let now_nanos = self.shared.now_nanos();
-        intake.window.push(
+        intake.window.push_at(
             Request {
                 input,
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
+                class,
                 tx,
                 done,
             },
-            now_nanos,
+            Arrival {
+                now_nanos,
+                edf_deadline_nanos: guaranteed.then(|| now_nanos.saturating_add(budget_nanos)),
+                sheddable,
+            },
         );
-        self.shared
-            .metrics
-            .submitted
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shared.metrics.submitted.fetch_add(1, Relaxed);
+        self.shared.metrics.classes[class.index()]
+            .admitted
+            .fetch_add(1, Relaxed);
         self.shared
             .metrics
             .queue_depth
-            .store(intake.window.len(), std::sync::atomic::Ordering::Relaxed);
+            .store(intake.window.len(), Relaxed);
         drop(intake);
+        // respond outside the intake lock — the victim's completion hook
+        // runs arbitrary reactor code
+        if let Some(victim) = evicted {
+            victim.respond(Err(ServeError::ShedOverload));
+        }
         self.shared.arrivals.notify_all();
         Ok(Ticket { id, rx })
     }
@@ -482,6 +626,9 @@ fn execute_batch(shared: &Shared, reqs: Vec<Request>) {
     for r in reqs {
         if r.deadline.is_some_and(|d| now >= d) {
             shared.metrics.shed_expired.fetch_add(1, Relaxed);
+            shared.metrics.classes[r.class.index()]
+                .shed
+                .fetch_add(1, Relaxed);
             r.respond(Err(ServeError::DeadlineExceeded));
         } else {
             live.push(r);
@@ -520,10 +667,12 @@ fn execute_batch(shared: &Shared, reqs: Vec<Request>) {
                     ServeError::Inference(e.to_string())
                 });
                 if response.is_ok() {
+                    let micros = r.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
                     shared.metrics.completed.fetch_add(1, Relaxed);
-                    shared.metrics.latency.observe_micros(
-                        r.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
-                    );
+                    shared.metrics.latency.observe_micros(micros);
+                    let class = &shared.metrics.classes[r.class.index()];
+                    class.completed.fetch_add(1, Relaxed);
+                    class.latency.observe_micros(micros);
                 }
                 r.respond(response);
             }

@@ -10,6 +10,8 @@
 //! 0x02 MetricsRequest  payload = (empty)
 //! 0x03 PublishRequest  payload = model:name, revision:u64
 //! 0x04 RollbackRequest payload = model:name
+//! 0x05 InferSloRequest payload = model:name, class:u8,
+//!                                budget_micros:u64, then as 0x01's tensor
 //! 0x81 InferOk         payload = c:u16 h:u16 w:u16, then c·h·w f32 (LE)
 //! 0x82 MetricsOk       payload = len:u32, UTF-8 JSON
 //! 0x83 AdminOk         payload = model:name, active:u64, previous:u64
@@ -30,10 +32,16 @@
 //! drive the registry server's hot-swap and are rejected by single-model
 //! servers.
 //!
+//! The SLO class travels only in the *new* `0x05` frame (class byte per
+//! `SloClass::to_wire`, budget in µs, `0` = none), so every pre-SLO frame
+//! is byte-identical to before and classless clients and servers
+//! interoperate unchanged — backward compatibility by construction.
+//!
 //! Integers are network-endian and floats little-endian, matching the
 //! `mlcnn_nn::serialize` checkpoint convention.
 
 use bytes::{Buf, BufMut, BytesMut};
+use mlcnn_sched::SloClass;
 use mlcnn_tensor::{Shape4, Tensor};
 use std::io::{self, Read, Write};
 
@@ -45,6 +53,7 @@ const KIND_INFER_REQUEST: u8 = 0x01;
 const KIND_METRICS_REQUEST: u8 = 0x02;
 const KIND_PUBLISH_REQUEST: u8 = 0x03;
 const KIND_ROLLBACK_REQUEST: u8 = 0x04;
+const KIND_INFER_SLO_REQUEST: u8 = 0x05;
 const KIND_INFER_OK: u8 = 0x81;
 const KIND_METRICS_OK: u8 = 0x82;
 const KIND_ADMIN_OK: u8 = 0x83;
@@ -88,6 +97,21 @@ pub enum Frame {
         /// Model to revert.
         model: String,
     },
+    /// Client → server: run inference on one input item under an explicit
+    /// SLO class. The budget is microseconds (`0` = no budget) and only
+    /// meaningful for the guaranteed class.
+    InferSloRequest {
+        /// Correlation id, echoed in the response.
+        id: u64,
+        /// Model to route to; empty means the server's only model.
+        model: String,
+        /// Serving class.
+        class: SloClass,
+        /// Latency budget in µs; `0` encodes "none".
+        budget_micros: u64,
+        /// The input item (batch dim 1).
+        input: Tensor<f32>,
+    },
     /// Server → client: successful inference.
     InferOk {
         /// Correlation id of the request this answers.
@@ -130,6 +154,7 @@ impl Frame {
             | Frame::MetricsRequest { id }
             | Frame::PublishRequest { id, .. }
             | Frame::RollbackRequest { id, .. }
+            | Frame::InferSloRequest { id, .. }
             | Frame::InferOk { id, .. }
             | Frame::MetricsOk { id, .. }
             | Frame::AdminOk { id, .. }
@@ -165,6 +190,20 @@ impl Frame {
                 body.put_u8(KIND_ROLLBACK_REQUEST);
                 body.put_u64(*id);
                 put_name(&mut body, model)?;
+            }
+            Frame::InferSloRequest {
+                id,
+                model,
+                class,
+                budget_micros,
+                input,
+            } => {
+                body.put_u8(KIND_INFER_SLO_REQUEST);
+                body.put_u64(*id);
+                put_name(&mut body, model)?;
+                body.put_u8(class.to_wire());
+                body.put_u64(*budget_micros);
+                put_item(&mut body, input)?;
             }
             Frame::InferOk { id, output } => {
                 body.put_u8(KIND_INFER_OK);
@@ -245,6 +284,21 @@ impl Frame {
                 id,
                 model: get_name(&mut body)?,
             },
+            KIND_INFER_SLO_REQUEST => {
+                let model = get_name(&mut body)?;
+                if body.remaining() < 9 {
+                    return Err(bad("SLO frame truncated before class/budget"));
+                }
+                let class = SloClass::from_wire(body.get_u8())
+                    .ok_or_else(|| bad("unknown SLO class byte"))?;
+                Frame::InferSloRequest {
+                    id,
+                    model,
+                    class,
+                    budget_micros: body.get_u64(),
+                    input: get_item(&mut body)?,
+                }
+            }
             KIND_ADMIN_OK => {
                 let model = get_name(&mut body)?;
                 if body.remaining() < 16 {
@@ -396,6 +450,7 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlcnn_sched::SloSpec;
     use mlcnn_tensor::init;
 
     fn item() -> Tensor<f32> {
@@ -424,6 +479,20 @@ mod tests {
             Frame::RollbackRequest {
                 id: 11,
                 model: "lenet5".into(),
+            },
+            Frame::InferSloRequest {
+                id: 12,
+                model: "lenet5".into(),
+                class: SloClass::Guaranteed,
+                budget_micros: 25_000,
+                input: item(),
+            },
+            Frame::InferSloRequest {
+                id: 13,
+                model: String::new(),
+                class: SloClass::BestEffort,
+                budget_micros: 0,
+                input: item(),
             },
             Frame::InferOk {
                 id: 7,
@@ -506,6 +575,48 @@ mod tests {
         }
         .encode()
         .is_err());
+    }
+
+    #[test]
+    fn slo_frame_spec_round_trips_and_rejects_unknown_class() {
+        let spec = SloSpec::guaranteed(std::time::Duration::from_micros(25_000));
+        let f = Frame::InferSloRequest {
+            id: 1,
+            model: String::new(),
+            class: spec.class,
+            budget_micros: spec.budget_micros(),
+            input: item(),
+        };
+        let encoded = f.encode().unwrap();
+        match Frame::decode_body(&encoded[4..]).unwrap() {
+            Frame::InferSloRequest {
+                class,
+                budget_micros,
+                ..
+            } => assert_eq!(SloSpec::from_wire(class, budget_micros), spec),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        // corrupt the class byte (directly after the 4-byte prefix,
+        // kind, id, and the empty name's length byte)
+        let mut corrupt = encoded.clone();
+        corrupt[4 + 1 + 8 + 1] = 7;
+        assert!(Frame::decode_body(&corrupt[4..]).is_err());
+    }
+
+    #[test]
+    fn pre_slo_frames_encode_byte_identically_regardless_of_slo_support() {
+        // backward compatibility: the 0x01 infer frame carries no class
+        // byte — its encoding is untouched by the SLO extension
+        let f = Frame::InferRequest {
+            id: 7,
+            model: "lenet5".into(),
+            input: item(),
+        };
+        let encoded = f.encode().unwrap();
+        assert_eq!(encoded[4], 0x01);
+        // kind, id, name len, name, tensor header, payload — no SLO bytes
+        let expected_len = 1 + 8 + 1 + 6 + 6 + 3 * 4 * 5 * 4;
+        assert_eq!(encoded.len(), 4 + expected_len);
     }
 
     #[test]

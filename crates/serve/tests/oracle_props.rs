@@ -1,0 +1,115 @@
+//! Property tests for the scheduling cost oracle (the ISSUE's satellite
+//! (c)): predicted cost is monotone nondecreasing in batch size, and the
+//! oracle's FLOP pricing is *exactly* consistent with `mlcnn_core::opcount`
+//! — across the whole serving zoo at FP32/FP16/INT8, and under arbitrary
+//! calibration coefficients.
+
+use mlcnn_core::opcount::OpCounts;
+use mlcnn_quant::Precision;
+use mlcnn_sched::{plan_counts, step_counts, CostOracle};
+use mlcnn_serve::serving_zoo;
+use proptest::prelude::*;
+
+const ALL_PRECISIONS: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+
+/// Analytic oracle over every zoo model at every precision: the curve the
+/// auto-tuner walks never decreases, and every point prices exactly
+/// `batch · flops(1)` FLOPs — the opcount module's linear-in-batch law.
+#[test]
+fn zoo_oracles_are_monotone_and_price_exact_opcounts() {
+    for model in serving_zoo() {
+        for precision in ALL_PRECISIONS {
+            let plan = model.compile(precision).unwrap();
+            let view = plan.view();
+            let counts = plan_counts(&view);
+            assert!(
+                counts.flops() > 0,
+                "{}@{precision}: a zoo model with zero FLOPs",
+                model.name
+            );
+            // plan_counts is exactly the sum of its per-step counts
+            let mut manual = OpCounts::zero();
+            for step in &view.steps {
+                manual += step_counts(step);
+            }
+            assert_eq!(counts, manual, "{}@{precision}", model.name);
+
+            let oracle = CostOracle::analytic(&view);
+            assert_eq!(oracle.per_item_counts(), counts);
+            let curve = oracle.batch_latency_curve(64);
+            for (i, pair) in curve.windows(2).enumerate() {
+                assert!(
+                    pair[1] >= pair[0],
+                    "{}@{precision}: curve decreases at batch {}",
+                    model.name,
+                    i + 2
+                );
+            }
+            for b in 1..=64usize {
+                assert_eq!(
+                    oracle.flops(b),
+                    counts.flops() * b as u64,
+                    "{}@{precision}: FLOPs not linear in batch",
+                    model.name
+                );
+            }
+        }
+    }
+}
+
+/// Op counts are a property of the computation, not the datapath: the
+/// same model prices identically at every precision.
+#[test]
+fn per_item_counts_are_precision_invariant() {
+    for model in serving_zoo() {
+        let reference = plan_counts(&model.compile(Precision::Fp32).unwrap().view());
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let counts = plan_counts(&model.compile(precision).unwrap().view());
+            assert_eq!(counts, reference, "{}@{precision}", model.name);
+        }
+    }
+}
+
+proptest! {
+    /// Monotonicity survives *any* calibration outcome: whatever
+    /// coefficients a measured warmup produces (including degenerate
+    /// zero/negative slopes, which construction clamps), the predicted
+    /// service time never decreases with batch size and the single-item
+    /// prediction is the floor.
+    #[test]
+    fn predicted_cost_is_monotone_for_arbitrary_coefficients(
+        mults in 0u64..1_000_000,
+        adds in 0u64..1_000_000,
+        base in -1.0e6f64..1.0e9,
+        slope in -1.0f64..1.0e3,
+        max_batch in 1usize..128,
+    ) {
+        let per_item = OpCounts { mults, adds, divs: 0, cmps: 0 };
+        let oracle = CostOracle::with_coefficients(per_item, base, slope);
+        let curve = oracle.batch_latency_curve(max_batch);
+        prop_assert_eq!(curve.len(), max_batch);
+        for pair in curve.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "curve decreased: {} -> {}", pair[0], pair[1]);
+        }
+        prop_assert_eq!(curve[0], oracle.min_service_nanos());
+        prop_assert_eq!(curve[0], oracle.predicted_service_nanos(1));
+    }
+
+    /// FLOP pricing is exactly linear for arbitrary per-item counts:
+    /// `flops(b) == b · flops(1)` with saturation, matching opcount's
+    /// `flops = mults + adds` convention.
+    #[test]
+    fn flops_are_exactly_linear_in_batch(
+        mults in 0u64..u64::MAX / 1_000,
+        adds in 0u64..u64::MAX / 1_000,
+        batch in 1usize..512,
+    ) {
+        let per_item = OpCounts { mults, adds, divs: 3, cmps: 7 };
+        let oracle = CostOracle::with_coefficients(per_item, 0.0, 1.0);
+        prop_assert_eq!(per_item.flops(), mults + adds, "divs/cmps must not count as FLOPs");
+        prop_assert_eq!(
+            oracle.flops(batch),
+            (mults + adds).saturating_mul(batch as u64)
+        );
+    }
+}

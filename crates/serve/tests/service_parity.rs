@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use mlcnn_core::Workspace;
 use mlcnn_quant::Precision;
-use mlcnn_serve::{find_model, serving_zoo, ServeConfig, ServeError, Service};
+use mlcnn_serve::{find_model, serving_zoo, ServeConfig, ServeError, Service, SloSpec};
 use mlcnn_tensor::{init, Shape4, Tensor};
 
 fn item(shape: Shape4, seed: u64) -> Tensor<f32> {
@@ -56,6 +56,10 @@ fn service_responses_are_bitwise_identical_to_plan_forward() {
             let snap = svc.shutdown();
             assert!(snap.fully_drained(), "{}@{precision}", model.name);
             assert_eq!(snap.completed, 8);
+            // classless requests are accounted to the best-effort class
+            assert_eq!(snap.best_effort.admitted, 8);
+            assert_eq!(snap.best_effort.completed, 8);
+            assert_eq!(snap.guaranteed.admitted, 0);
         }
     }
 }
@@ -99,6 +103,10 @@ fn expired_deadlines_are_shed_not_executed() {
     let snap = svc.shutdown();
     assert_eq!(snap.shed_expired, 1);
     assert!(snap.fully_drained(), "shed requests count as drained");
+    // the expired classless request lands in the best-effort shed counter
+    assert_eq!(snap.best_effort.shed, 1);
+    assert_eq!(snap.best_effort.completed, 1);
+    assert_eq!(snap.guaranteed.shed, 0);
 }
 
 #[test]
@@ -118,6 +126,8 @@ fn shutdown_drains_every_pending_request_exactly_once() {
     assert_eq!(snap.submitted, 13);
     assert_eq!(snap.completed, 13);
     assert!(snap.fully_drained());
+    assert_eq!(snap.best_effort.admitted, 13);
+    assert_eq!(snap.best_effort.completed, 13);
     // drained batches still respect max_batch
     assert!(snap.batch_size_counts.iter().skip(5).all(|&c| c == 0));
     let mut ws = Workspace::for_plan(&plan, 1);
@@ -126,6 +136,62 @@ fn shutdown_drains_every_pending_request_exactly_once() {
         let want = plan.forward(&item(model.input, s as u64), &mut ws).unwrap();
         assert_eq!(got, want, "drained response {s} wrong or misrouted");
     }
+}
+
+/// SLO classes end to end: guaranteed work rides the oracle's admission
+/// gate, best-effort work is evicted to make room under overload, and
+/// every outcome lands in its class's counters — while the drain
+/// invariant keeps holding.
+#[test]
+fn slo_classes_admit_evict_and_account_per_class() {
+    let model = find_model("vgg-nano").unwrap();
+    let plan = Arc::new(model.compile(Precision::Fp32).unwrap());
+    let budget = Duration::from_millis(250);
+    // nothing dispatches by itself: the window can only fill, so the
+    // eviction path is deterministic. The SLO arrives per request — the
+    // config stays classless, proving the machinery needs no default.
+    let cfg = ServeConfig::default()
+        .with_queue(2)
+        .with_batching(64, Duration::from_secs(60));
+    let svc = Service::spawn(Arc::clone(&plan), cfg).unwrap();
+
+    // fill the queue with sheddable best-effort work
+    let be1 = svc
+        .submit_with_slo(item(model.input, 1), SloSpec::best_effort())
+        .unwrap();
+    let be2 = svc
+        .submit_with_slo(item(model.input, 2), SloSpec::best_effort())
+        .unwrap();
+    // a guaranteed arrival at the full queue evicts the NEWEST sheddable
+    let g = svc
+        .submit_with_slo(item(model.input, 3), SloSpec::guaranteed(budget))
+        .unwrap();
+    assert_eq!(be2.wait(), Err(ServeError::ShedOverload));
+
+    // a guaranteed spec without a budget is refused outright
+    let naked = SloSpec {
+        class: mlcnn_serve::SloClass::Guaranteed,
+        budget: None,
+    };
+    assert!(matches!(
+        svc.submit_with_slo(item(model.input, 4), naked),
+        Err(ServeError::BadInput(_))
+    ));
+
+    let snap = svc.shutdown();
+    assert!(g.wait().is_ok(), "guaranteed request must be served");
+    assert!(be1.wait().is_ok(), "surviving best-effort must be served");
+    assert!(
+        snap.fully_drained(),
+        "eviction must not break the drain law"
+    );
+    assert_eq!(snap.shed_overload, 1);
+    assert_eq!(snap.guaranteed.admitted, 1);
+    assert_eq!(snap.guaranteed.completed, 1);
+    assert_eq!(snap.guaranteed.shed, 0);
+    assert_eq!(snap.best_effort.admitted, 2);
+    assert_eq!(snap.best_effort.shed, 1);
+    assert_eq!(snap.best_effort.completed, 1);
 }
 
 #[test]
@@ -146,5 +212,15 @@ fn spawn_is_gated_by_the_v_codes() {
     );
     // precision mismatch between config and pre-compiled plan
     let cfg = ServeConfig::default().with_precision(Precision::Int8);
-    assert!(Service::spawn(plan, cfg).is_err());
+    assert!(Service::spawn(Arc::clone(&plan), cfg).is_err());
+    // an SLO config is gated by the D codes the same way: a budget
+    // inside the micro-batching window can never be met (D002)
+    let cfg = ServeConfig::default()
+        .with_batching(8, Duration::from_micros(2_000))
+        .with_slo(SloSpec::guaranteed(Duration::from_micros(100)));
+    let err = Service::spawn(plan, cfg).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Config(m) if m.contains("D002")),
+        "{err}"
+    );
 }

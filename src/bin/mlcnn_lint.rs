@@ -15,9 +15,11 @@
 //!
 //! `--plans` runs the post-lowering suite instead: the serving zoo is
 //! compiled at FP32/FP16/INT8 and every plan goes through the `P0xx`
-//! dataflow verifier and the `Q0xx` quantization range analysis. This
-//! suite must be — and is CI-enforced to be — completely clean: the
-//! compiler's own output admits no warnings.
+//! dataflow verifier, the `Q0xx` quantization range analysis, and the
+//! `D0xx` SLO-configuration pass (a guaranteed-class serving config
+//! derived from the plan's analytic cost oracle). This suite must be —
+//! and is CI-enforced to be — completely clean: the compiler's own
+//! output admits no warnings.
 //!
 //! Exit status: `0` when no denial was found (warnings are reported but
 //! non-fatal unless `--deny-warnings`), `1` on denials, `2` on usage
@@ -26,10 +28,12 @@
 use mlcnn::accel::dataflow::search_tiling;
 use mlcnn::accel::AcceleratorConfig;
 use mlcnn::check::{
-    check_plan, check_qrange, lint_network, Code, QRangeOptions, Reporter, Severity,
+    check_plan, check_qrange, check_slo_config, lint_network, Code, QRangeOptions, Reporter,
+    Severity, SloConfigLint,
 };
 use mlcnn::nn::zoo;
 use mlcnn::quant::Precision;
+use mlcnn::sched::CostOracle;
 use mlcnn::serve::serving_zoo;
 use mlcnn::tensor::Shape4;
 
@@ -96,6 +100,7 @@ fn run_plan_suite(deny_warnings: bool) -> Reporter {
                     all.with_context(label, |r| {
                         check_plan(&view, r);
                         check_qrange(&view, &QRangeOptions::default(), r);
+                        check_slo_config(&slo_fixture(model.name, &view), r);
                     });
                 }
                 Err(e) => all.emit(Code::ArtifactIncompilable, None, format!("{label}: {e}")),
@@ -103,6 +108,27 @@ fn run_plan_suite(deny_warnings: bool) -> Reporter {
         }
     }
     all
+}
+
+/// A guaranteed-class serving config for `view`, sized from its analytic
+/// cost oracle so every `D0xx` check is satisfiable: the budget clears
+/// the single-item floor (D003), the batching window (D002), and the
+/// half-budget headroom rule (D005) by construction. A model whose plan
+/// breaks the oracle's pricing would surface here as a denial.
+fn slo_fixture(name: &str, view: &mlcnn::check::PlanView) -> SloConfigLint {
+    const MAX_BATCH: usize = 8;
+    const MAX_WAIT_MICROS: u64 = 2_000;
+    let oracle = CostOracle::analytic(view);
+    let predicted_batch_micros = oracle.predicted_service_nanos(MAX_BATCH) / 1_000;
+    SloConfigLint {
+        name: name.to_string(),
+        guaranteed: true,
+        budget_micros: 2 * (predicted_batch_micros + MAX_WAIT_MICROS) + 1,
+        max_wait_micros: MAX_WAIT_MICROS,
+        max_batch: MAX_BATCH,
+        predicted_service_micros: oracle.min_service_nanos() / 1_000,
+        predicted_batch_service_micros: predicted_batch_micros,
+    }
 }
 
 fn main() {

@@ -99,6 +99,7 @@ pub use mlcnn_data as data;
 pub use mlcnn_net as net;
 pub use mlcnn_nn as nn;
 pub use mlcnn_quant as quant;
+pub use mlcnn_sched as sched;
 pub use mlcnn_serve as serve;
 pub use mlcnn_tensor as tensor;
 

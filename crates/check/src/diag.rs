@@ -130,6 +130,13 @@ pub enum Code {
     /// R004: two artifacts in one registry claim the same
     /// `model@revision` identity.
     DuplicateRevision,
+    /// R005: the artifact's stored layer content hashes disagree with the
+    /// hashes recomputed from its decoded specs and parameters — the
+    /// sections pass their CRCs individually but do not belong together.
+    ArtifactHashMismatch,
+    /// R006: the content-addressed dedup index maps one layer hash to two
+    /// different baked segments — a hash collision or a corrupted index.
+    SegmentConflict,
     /// P001: the plan's step shape chain has a gap — a step's output
     /// shape disagrees with the next step's input shape (or the chain's
     /// endpoints disagree with the plan's declared input/output).
@@ -266,6 +273,8 @@ impl Code {
             Code::ArtifactParamMismatch => "R002",
             Code::ArtifactIncompilable => "R003",
             Code::DuplicateRevision => "R004",
+            Code::ArtifactHashMismatch => "R005",
+            Code::SegmentConflict => "R006",
             Code::PlanShapeChainBroken => "P001",
             Code::PlanIllegalInPlace => "P002",
             Code::PlanArenaMismatch => "P003",
@@ -336,6 +345,8 @@ impl Code {
         Code::ArtifactParamMismatch,
         Code::ArtifactIncompilable,
         Code::DuplicateRevision,
+        Code::ArtifactHashMismatch,
+        Code::SegmentConflict,
         Code::PlanShapeChainBroken,
         Code::PlanIllegalInPlace,
         Code::PlanArenaMismatch,
@@ -411,6 +422,8 @@ impl Code {
             Code::ArtifactParamMismatch => "artifact parameters disagree with its spec list",
             Code::ArtifactIncompilable => "artifact spec list cannot compile into a plan",
             Code::DuplicateRevision => "two artifacts claim the same model@revision",
+            Code::ArtifactHashMismatch => "stored layer content hashes disagree with recomputed",
+            Code::SegmentConflict => "dedup index maps one content hash to two segments",
             Code::PlanShapeChainBroken => "plan step shape chain has a gap",
             Code::PlanIllegalInPlace => "in-place op aliases its buffer illegally",
             Code::PlanArenaMismatch => "`buf_item_len` is not the exact activation LUB",

@@ -25,6 +25,9 @@ pub enum ArtifactFinding {
     ParamMismatch(String),
     /// R003: the spec list cannot be compiled into an execution plan.
     Incompilable(String),
+    /// R005: stored layer content hashes disagree with the hashes
+    /// recomputed from the decoded specs and parameters.
+    HashMismatch(String),
 }
 
 /// Raw view of one scanned artifact for linting.
@@ -68,13 +71,24 @@ pub fn check_registry_scan(artifacts: &[ArtifactLint], reporter: &mut Reporter) 
                     format!("spec list is not plan-compilable: {why}"),
                 );
             }
+            ArtifactFinding::HashMismatch(why) => {
+                reporter.emit(
+                    Code::ArtifactHashMismatch,
+                    None,
+                    format!("layer content hashes do not match: {why}"),
+                );
+            }
         });
     }
     // Duplicate identities across decodable artifacts. Undecodable files
     // (already denied as R001) carry no trustworthy identity to collide on.
     let mut by_identity: HashMap<(&str, u64), Vec<&str>> = HashMap::new();
     for a in artifacts {
-        if !matches!(a.finding, ArtifactFinding::Corrupt(_)) && !a.model.is_empty() {
+        if !matches!(
+            a.finding,
+            ArtifactFinding::Corrupt(_) | ArtifactFinding::HashMismatch(_)
+        ) && !a.model.is_empty()
+        {
             by_identity
                 .entry((a.model.as_str(), a.revision))
                 .or_default()
@@ -207,16 +221,34 @@ mod tests {
     }
 
     #[test]
+    fn hash_mismatch_is_r005_and_excluded_from_identity() {
+        let mut a = ok("a@1.mlcnn", "a", 1);
+        a.finding = ArtifactFinding::HashMismatch("layer 2: stored deadbeef".into());
+        let scan = vec![ok("copy@1.mlcnn", "a", 1), a];
+        let mut r = Reporter::new();
+        check_registry_scan(&scan, &mut r);
+        let d = r.find(Code::ArtifactHashMismatch).unwrap();
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.message.contains("a@1.mlcnn"), "{}", d.message);
+        // a hash-mismatched file's identity is untrustworthy: no R004
+        assert!(r.find(Code::DuplicateRevision).is_none());
+    }
+
+    #[test]
     fn r_codes_have_stable_strings() {
         assert_eq!(Code::ArtifactCorrupt.as_str(), "R001");
         assert_eq!(Code::ArtifactParamMismatch.as_str(), "R002");
         assert_eq!(Code::ArtifactIncompilable.as_str(), "R003");
         assert_eq!(Code::DuplicateRevision.as_str(), "R004");
+        assert_eq!(Code::ArtifactHashMismatch.as_str(), "R005");
+        assert_eq!(Code::SegmentConflict.as_str(), "R006");
         for code in [
             Code::ArtifactCorrupt,
             Code::ArtifactParamMismatch,
             Code::ArtifactIncompilable,
             Code::DuplicateRevision,
+            Code::ArtifactHashMismatch,
+            Code::SegmentConflict,
         ] {
             assert_eq!(code.default_severity(), Severity::Deny);
         }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analytic;
+pub mod content;
 pub mod fused;
 pub mod fused_net;
 pub mod opcount;
@@ -44,4 +45,7 @@ pub mod reuse_sim;
 pub use fused::{FusedConvPool, FusedScratch};
 pub use fused_net::FusedNetwork;
 pub use opcount::OpCounts;
-pub use plan::{EvalPlan, ExecutionPlan, PlanOptions, PooledWorkspace, Workspace, WorkspacePool};
+pub use plan::{
+    EvalPlan, ExecutionPlan, ParamHandle, PlanOptions, PooledWorkspace, SegmentKey, SegmentStats,
+    SegmentStore, Workspace, WorkspacePool,
+};

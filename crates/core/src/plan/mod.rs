@@ -24,11 +24,14 @@
 //! `Network` / `FusedNetwork` / `forward_quantized` paths it replaces.
 
 mod exec;
+mod segments;
 mod view;
 mod workspace;
 
+pub use segments::{ParamHandle, SegmentKey, SegmentStats, SegmentStore};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};
 
+use crate::content::Sha256;
 use crate::fused::FusedConvPool;
 use crate::quantized::round_tensor_f16;
 use mlcnn_nn::{LayerSpec, Network};
@@ -36,6 +39,8 @@ use mlcnn_quant::{dorefa, Precision};
 use mlcnn_tensor::linalg::transpose;
 use mlcnn_tensor::parallel::par_map_batch;
 use mlcnn_tensor::{ConvGeometry, PoolGeometry, Result, Shape2, Shape4, Tensor, TensorError};
+use segments::{Fingerprint, Segment};
+use std::sync::Arc;
 
 use crate::fused::FusedGeometry;
 
@@ -85,16 +90,23 @@ impl PlanOptions {
 }
 
 /// One executable op with fully resolved geometry and baked weights.
+///
+/// Parameter blocks are held behind `Arc`s: a plan compiled through a
+/// [`SegmentStore`] ([`ExecutionPlan::compile_shared`]) shares them with
+/// every other plan whose source layer has the same content hash, so a
+/// revision that changes one layer keeps a single resident copy of all the
+/// others. Plans compiled without a store get private (but still `Arc`'d)
+/// segments — execution is identical either way.
 pub(crate) enum Op {
     /// MLCNN fused conv + avg-pool (+ ReLU) group.
     Fused {
-        kernel: FusedConvPool<f32>,
+        kernel: Arc<FusedConvPool<f32>>,
         geom: FusedGeometry,
     },
     /// Plain convolution (regular mode), executed im2col + GEMM.
     Conv {
-        weight: Tensor<f32>,
-        bias: Vec<f32>,
+        weight: Arc<Tensor<f32>>,
+        bias: Arc<Vec<f32>>,
         geom: ConvGeometry,
     },
     /// ReLU, in place.
@@ -110,11 +122,170 @@ pub(crate) enum Op {
     /// Fully connected layer with the weight pre-transposed to
     /// `in × out` so the forward GEMM needs no per-call transpose.
     Linear {
-        weight_t: Vec<f32>,
-        bias: Vec<f32>,
+        weight_t: Arc<Vec<f32>>,
+        bias: Arc<Vec<f32>>,
         in_features: usize,
         out_features: usize,
     },
+}
+
+/// A baked bias or pre-transposed weight vector, shareable across plans.
+type SharedVec = Arc<Vec<f32>>;
+
+/// Quantize a source FP32 weight into its baked form for `precision` —
+/// the single definition both the private and the shared compile paths
+/// bake through, so a segment-store hit is bitwise identical to a private
+/// bake by construction.
+fn bake_weight(precision: Precision, w: Tensor<f32>) -> Tensor<f32> {
+    match precision {
+        Precision::Fp32 => w,
+        Precision::Fp16 => round_tensor_f16(&w),
+        Precision::Int8 => dorefa::quantize_weights_ptq(&w, 8),
+    }
+}
+
+fn precision_tag(p: Precision) -> u8 {
+    match p {
+        Precision::Fp32 => 0,
+        Precision::Fp16 => 1,
+        Precision::Int8 => 2,
+    }
+}
+
+/// Common prefix of every segment content hash: domain tag, segment form,
+/// precision, and the source weight's shape. Callers append form-specific
+/// geometry and then the FP32 parameter bytes.
+fn segment_hasher(form: u8, precision: Precision, w: &Tensor<f32>) -> Sha256 {
+    let mut h = Sha256::new();
+    h.update(b"mlcnn-seg-v1");
+    h.update(&[form, precision_tag(precision)]);
+    let s = w.shape();
+    h.update_usize(s.n);
+    h.update_usize(s.c);
+    h.update_usize(s.h);
+    h.update_usize(s.w);
+    h
+}
+
+/// Bake (or share) a plain conv segment: quantized weight + bias.
+fn shared_conv(
+    store: Option<&SegmentStore>,
+    precision: Precision,
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+) -> Result<(Arc<Tensor<f32>>, SharedVec)> {
+    let expect = Fingerprint {
+        form: 0,
+        weight_len: w.len(),
+        bias_len: b.len(),
+    };
+    let key = store.map(|_| {
+        let mut h = segment_hasher(0, precision, &w);
+        h.update_f32(w.as_slice());
+        h.update_f32(b.as_slice());
+        h.finish()
+    });
+    let bake = move || -> Result<Segment> {
+        Ok(Segment::Conv {
+            weight: Arc::new(bake_weight(precision, w)),
+            bias: Arc::new(b.into_vec()),
+        })
+    };
+    let seg = match (store, key) {
+        (Some(s), Some(key)) => s.get_or_bake(key, expect, bake)?,
+        _ => bake()?,
+    };
+    match seg {
+        Segment::Conv { weight, bias } => Ok((weight, bias)),
+        _ => unreachable!("conv content key always bakes a conv segment"),
+    }
+}
+
+/// Bake (or share) a fused conv-pool kernel. The kernel embeds its conv
+/// stride/pad, pool window and ReLU flag but *not* the input geometry, so
+/// one shared kernel serves plans over any input size.
+#[allow(clippy::too_many_arguments)]
+fn shared_fused(
+    store: Option<&SegmentStore>,
+    precision: Precision,
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    stride: usize,
+    pad: usize,
+    window: usize,
+    with_relu: bool,
+) -> Result<Arc<FusedConvPool<f32>>> {
+    let expect = Fingerprint {
+        form: 2,
+        weight_len: w.len(),
+        bias_len: b.len(),
+    };
+    let key = store.map(|_| {
+        let mut h = segment_hasher(2, precision, &w);
+        h.update_usize(stride);
+        h.update_usize(pad);
+        h.update_usize(window);
+        h.update(&[u8::from(with_relu)]);
+        h.update_f32(w.as_slice());
+        h.update_f32(b.as_slice());
+        h.finish()
+    });
+    let bake = move || -> Result<Segment> {
+        let kernel =
+            FusedConvPool::new(bake_weight(precision, w), b.into_vec(), stride, pad, window)?
+                .with_relu(with_relu);
+        Ok(Segment::Fused {
+            kernel: Arc::new(kernel),
+        })
+    };
+    let seg = match (store, key) {
+        (Some(s), Some(key)) => s.get_or_bake(key, expect, bake)?,
+        _ => bake()?,
+    };
+    match seg {
+        Segment::Fused { kernel } => Ok(kernel),
+        _ => unreachable!("fused content key always bakes a fused segment"),
+    }
+}
+
+/// Bake (or share) a linear segment: pre-transposed quantized weight + bias.
+fn shared_linear(
+    store: Option<&SegmentStore>,
+    precision: Precision,
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    in_features: usize,
+    out_features: usize,
+) -> Result<(SharedVec, SharedVec)> {
+    let expect = Fingerprint {
+        form: 1,
+        weight_len: w.len(),
+        bias_len: b.len(),
+    };
+    let key = store.map(|_| {
+        let mut h = segment_hasher(1, precision, &w);
+        h.update_usize(in_features);
+        h.update_usize(out_features);
+        h.update_f32(w.as_slice());
+        h.update_f32(b.as_slice());
+        h.finish()
+    });
+    let bake = move || -> Result<Segment> {
+        let wq = bake_weight(precision, w);
+        let weight_t = transpose(wq.as_slice(), Shape2::new(out_features, in_features));
+        Ok(Segment::Linear {
+            weight_t: Arc::new(weight_t),
+            bias: Arc::new(b.into_vec()),
+        })
+    };
+    let seg = match (store, key) {
+        (Some(s), Some(key)) => s.get_or_bake(key, expect, bake)?,
+        _ => bake()?,
+    };
+    match seg {
+        Segment::Linear { weight_t, bias } => Ok((weight_t, bias)),
+        _ => unreachable!("linear content key always bakes a linear segment"),
+    }
 }
 
 /// An op plus its per-item input/output shapes (batch dim fixed at 1) and
@@ -152,6 +323,35 @@ impl ExecutionPlan {
         input: Shape4,
         opts: PlanOptions,
     ) -> Result<ExecutionPlan> {
+        Self::compile_with(specs, params, input, opts, None)
+    }
+
+    /// [`Self::compile`] deduplicating baked parameter segments through a
+    /// content-addressed [`SegmentStore`]: every conv / fused / linear
+    /// segment is keyed by a SHA-256 over its source form (geometry,
+    /// precision, FP32 parameters) and shared with any other plan compiled
+    /// through the same store whose layer hashes identically — other
+    /// revisions of the same model, or structurally identical layers of
+    /// different models. The compiled plan is bitwise identical to
+    /// [`Self::compile`]'s output; only the ownership of the baked bytes
+    /// changes.
+    pub fn compile_shared(
+        specs: &[LayerSpec],
+        params: &[Tensor<f32>],
+        input: Shape4,
+        opts: PlanOptions,
+        store: &SegmentStore,
+    ) -> Result<ExecutionPlan> {
+        Self::compile_with(specs, params, input, opts, Some(store))
+    }
+
+    fn compile_with(
+        specs: &[LayerSpec],
+        params: &[Tensor<f32>],
+        input: Shape4,
+        opts: PlanOptions,
+        store: Option<&SegmentStore>,
+    ) -> Result<ExecutionPlan> {
         mlcnn_check::check_compile_summary(specs, input)
             .map_err(|reason| TensorError::BadGeometry { reason })?;
         let precision = opts.precision;
@@ -170,13 +370,6 @@ impl ExecutionPlan {
             let b = params[*p + 1].clone();
             *p += 2;
             Ok((w, b))
-        };
-        let quantize = |w: Tensor<f32>| -> Tensor<f32> {
-            match precision {
-                Precision::Fp32 => w,
-                Precision::Fp16 => round_tensor_f16(&w),
-                Precision::Int8 => dorefa::quantize_weights_ptq(&w, 8),
-            }
         };
         let push = |steps: &mut Vec<(Step, usize)>,
                     shape: &mut Shape4,
@@ -211,7 +404,6 @@ impl ExecutionPlan {
                             op: "compile conv weights",
                         });
                     }
-                    let w = quantize(w);
                     let geom = ConvGeometry::new(shape.h, shape.w, *k, *k, *stride, *pad)?;
                     // look ahead for a fusable pool
                     let pool = if opts.fuse {
@@ -230,9 +422,9 @@ impl ExecutionPlan {
                     match pool {
                         Some(window) if window <= geom.out_h && window <= geom.out_w => {
                             let with_relu = matches!(specs.get(i + 2), Some(LayerSpec::ReLU));
-                            let kernel =
-                                FusedConvPool::new(w, b.into_vec(), *stride, *pad, window)?
-                                    .with_relu(with_relu);
+                            let kernel = shared_fused(
+                                store, precision, w, b, *stride, *pad, window, with_relu,
+                            )?;
                             let fgeom = kernel.geometry(shape)?;
                             let out = kernel.out_shape(shape)?;
                             let group_end = i + if with_relu { 2 } else { 1 };
@@ -250,15 +442,12 @@ impl ExecutionPlan {
                             continue;
                         }
                         _ => {
+                            let (weight, bias) = shared_conv(store, precision, w, b)?;
                             let out = Shape4::new(1, *out_ch, geom.out_h, geom.out_w);
                             push(
                                 &mut steps,
                                 &mut shape,
-                                Op::Conv {
-                                    weight: w,
-                                    bias: b.into_vec(),
-                                    geom,
-                                },
+                                Op::Conv { weight, bias, geom },
                                 out,
                                 i,
                             );
@@ -303,15 +492,15 @@ impl ExecutionPlan {
                             ),
                         });
                     }
-                    let w = quantize(w);
-                    let weight_t = transpose(w.as_slice(), Shape2::new(*out, in_features));
+                    let (weight_t, bias) =
+                        shared_linear(store, precision, w, b, in_features, *out)?;
                     let out_shape = Shape4::new(1, 1, 1, *out);
                     push(
                         &mut steps,
                         &mut shape,
                         Op::Linear {
                             weight_t,
-                            bias: b.into_vec(),
+                            bias,
                             in_features,
                             out_features: *out,
                         },
@@ -450,6 +639,58 @@ impl ExecutionPlan {
         elems.saturating_mul(std::mem::size_of::<f32>())
     }
 
+    /// Estimated parameter bytes this plan keeps resident: every baked
+    /// weight and bias across its steps, counting shared segments at full
+    /// size. Together with [`Self::arena_bytes`] this is the byte estimate
+    /// the registry's `PlanCache` evicts by; for the *deduplicated*
+    /// footprint across many plans, intersect [`Self::param_handles`] by
+    /// address instead.
+    pub fn resident_param_bytes(&self) -> usize {
+        let f32s = std::mem::size_of::<f32>();
+        self.steps
+            .iter()
+            .map(|s| match &s.op {
+                Op::Fused { kernel, .. } => {
+                    (kernel.weight().len() + kernel.bias().len()).saturating_mul(f32s)
+                }
+                Op::Conv { weight, bias, .. } => (weight.len() + bias.len()).saturating_mul(f32s),
+                Op::Linear { weight_t, bias, .. } => {
+                    (weight_t.len() + bias.len()).saturating_mul(f32s)
+                }
+                _ => 0,
+            })
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Type-erased handles on the plan's parameter segments, in step
+    /// order. Two plans compiled through one [`SegmentStore`] return
+    /// handles with equal [`ParamHandle::addr`] wherever they share a
+    /// segment — dedup accounting keys resident bytes by address, and
+    /// drain tests downgrade a handle to observe exactly when the last
+    /// owner lets the bytes go.
+    pub fn param_handles(&self) -> Vec<ParamHandle> {
+        let f32s = std::mem::size_of::<f32>();
+        let mut out = Vec::new();
+        for s in &self.steps {
+            match &s.op {
+                Op::Fused { kernel, .. } => {
+                    let bytes = (kernel.weight().len() + kernel.bias().len()) * f32s;
+                    out.push(ParamHandle::new(kernel.clone(), bytes));
+                }
+                Op::Conv { weight, bias, .. } => {
+                    out.push(ParamHandle::new(weight.clone(), weight.len() * f32s));
+                    out.push(ParamHandle::new(bias.clone(), bias.len() * f32s));
+                }
+                Op::Linear { weight_t, bias, .. } => {
+                    out.push(ParamHandle::new(weight_t.clone(), weight_t.len() * f32s));
+                    out.push(ParamHandle::new(bias.clone(), bias.len() * f32s));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// Output shape for a batched input shape.
     pub fn batched_output_shape(&self, batch: usize) -> Shape4 {
         Shape4::new(
@@ -585,5 +826,130 @@ impl EvalPlan for Network {
             .to_vec();
         let params = self.export_params();
         ExecutionPlan::compile(&specs, &params, self.input_shape(), opts)
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use mlcnn_nn::zoo;
+
+    fn lenet() -> (Vec<LayerSpec>, Vec<Tensor<f32>>, Shape4) {
+        let specs = zoo::lenet5_spec(10);
+        let input = Shape4::new(1, 3, 32, 32);
+        let mut net = mlcnn_nn::spec::build_network(&specs, input, 7).unwrap();
+        let params = net.export_params();
+        (specs, params, input)
+    }
+
+    fn forward_bits(plan: &ExecutionPlan, input: Shape4) -> Vec<u32> {
+        let x = Tensor::from_fn(input, |_, c, h, w| {
+            (((c * 31 + h * 7 + w) % 97) as f32 - 48.0) / 40.0
+        });
+        let mut ws = Workspace::for_plan(plan, 1);
+        plan.forward(&x, &mut ws)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn shared_compile_is_bitwise_identical_and_verifies() {
+        let (specs, params, input) = lenet();
+        for precision in Precision::ALL {
+            let opts = PlanOptions::default().with_precision(precision);
+            let direct = ExecutionPlan::compile(&specs, &params, input, opts).unwrap();
+            let store = SegmentStore::new();
+            let shared =
+                ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+            shared
+                .verify()
+                .unwrap_or_else(|e| panic!("{precision}: {e}"));
+            assert_eq!(
+                forward_bits(&direct, input),
+                forward_bits(&shared, input),
+                "{precision}"
+            );
+        }
+    }
+
+    #[test]
+    fn recompiling_through_one_store_shares_every_segment() {
+        let (specs, params, input) = lenet();
+        let store = SegmentStore::new();
+        let opts = PlanOptions::default();
+        let a = ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+        let b = ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+        let (ha, hb) = (a.param_handles(), b.param_handles());
+        assert!(!ha.is_empty());
+        assert_eq!(ha.len(), hb.len());
+        for (x, y) in ha.iter().zip(&hb) {
+            assert_eq!(x.addr(), y.addr());
+            assert_eq!(x.bytes(), y.bytes());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.misses as usize, stats.live);
+        assert_eq!(stats.hits, stats.misses); // second compile hit every key
+                                              // dedup'd resident bytes: two plans, one copy
+        assert_eq!(stats.resident_bytes, a.resident_param_bytes());
+        assert_eq!(a.resident_param_bytes(), b.resident_param_bytes());
+    }
+
+    #[test]
+    fn different_precisions_never_share_segments() {
+        let (specs, params, input) = lenet();
+        let store = SegmentStore::new();
+        let a =
+            ExecutionPlan::compile_shared(&specs, &params, input, PlanOptions::default(), &store)
+                .unwrap();
+        let b = ExecutionPlan::compile_shared(
+            &specs,
+            &params,
+            input,
+            PlanOptions::default().with_precision(Precision::Fp16),
+            &store,
+        )
+        .unwrap();
+        let addrs: std::collections::HashSet<usize> =
+            a.param_handles().iter().map(|h| h.addr()).collect();
+        assert!(b.param_handles().iter().all(|h| !addrs.contains(&h.addr())));
+        assert_eq!(store.stats().hits, 0);
+    }
+
+    #[test]
+    fn dropping_the_last_plan_releases_shared_segments() {
+        let (specs, params, input) = lenet();
+        let store = SegmentStore::new();
+        let opts = PlanOptions::default();
+        let a = ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+        let b = ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+        let weak: Vec<_> = a.param_handles().iter().map(|h| h.downgrade()).collect();
+        drop(a);
+        assert!(weak.iter().all(|w| w.upgrade().is_some()), "b still owns");
+        drop(b);
+        assert!(
+            weak.iter().all(|w| w.upgrade().is_none()),
+            "all owners gone"
+        );
+        let s = store.stats();
+        assert_eq!((s.live, s.resident_bytes), (0, 0));
+    }
+
+    #[test]
+    fn index_conflict_surfaces_as_r006() {
+        let (specs, params, input) = lenet();
+        let store = SegmentStore::new();
+        let opts = PlanOptions::default();
+        let _keep = ExecutionPlan::compile_shared(&specs, &params, input, opts, &store).unwrap();
+        for key in store.keys_for_tests() {
+            assert!(store.corrupt_fingerprint_for_tests(&key));
+        }
+        let err = match ExecutionPlan::compile_shared(&specs, &params, input, opts, &store) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted index must fail the compile"),
+        };
+        assert!(err.to_string().contains("error[R006]"), "{err}");
     }
 }

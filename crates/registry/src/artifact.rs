@@ -5,14 +5,26 @@
 //! never at request time.
 //!
 //! ```text
-//! "MLCA" | u16 version | 3 sections | u32 CRC-32(all preceding bytes)
+//! "MLCA" | u16 version | 3-4 sections | u32 CRC-32(all preceding bytes)
 //!
 //! section      := u8 id | u32 byte-len | payload | u32 CRC-32(payload)
 //! META    (1)  := u16 name-len | name UTF-8 | u64 revision
 //!                 | u32 n,c,h,w (input) | u8 precision tag
 //! SPECS   (2)  := u32 count | spec*          (tagged, recursive)
 //! PARAMS  (3)  := u32 count | tensor*        (u32 n,c,h,w | f32 LE data)
+//! HASHES  (4)  := u32 count | 32-byte SHA-256*   (optional; one per
+//!                 param-bearing layer, in execution order)
 //! ```
+//!
+//! The HASHES section is the content-addressing layer: each entry is the
+//! SHA-256 of one `(LayerSpec, params)` pair ([`Artifact::layer_hashes`]),
+//! the key the registry's dedup index shares parameter segments under.
+//! The section is optional and the version stays 1: files packed before
+//! it existed simply end at PARAMS and still decode. When present, decode
+//! recomputes every hash and rejects the file on any disagreement
+//! ([`ArtifactError::HashMismatch`], surfaced as `R005` by the registry
+//! scan) — a hash that does not match its layer means the file was
+//! assembled inconsistently or tampered with section-by-section.
 //!
 //! Integers are big-endian and floats little-endian, matching the
 //! `mlcnn_nn::serialize` checkpoint and `mlcnn_serve::wire` conventions;
@@ -29,7 +41,8 @@
 use crate::crc32::{crc32, Hasher};
 use crate::error::ArtifactError;
 use bytes::BufMut;
-use mlcnn_core::{ExecutionPlan, PlanOptions};
+use mlcnn_core::content::Sha256;
+use mlcnn_core::{ExecutionPlan, PlanOptions, SegmentStore};
 use mlcnn_nn::spec::propagate_shape;
 use mlcnn_nn::LayerSpec;
 use mlcnn_quant::Precision;
@@ -50,6 +63,13 @@ pub const MAX_MODEL_NAME: usize = 64;
 const SEC_META: u8 = 1;
 const SEC_SPECS: u8 = 2;
 const SEC_PARAMS: u8 = 3;
+const SEC_HASHES: u8 = 4;
+
+/// Byte length of one layer content hash (SHA-256).
+pub const LAYER_HASH_LEN: usize = 32;
+
+/// SHA-256 content hash of one `(LayerSpec, params)` pair.
+pub type LayerHash = [u8; LAYER_HASH_LEN];
 
 /// Deepest composite nesting the spec codec will follow — far above any
 /// real model, low enough that hostile input cannot overflow the stack.
@@ -162,14 +182,34 @@ impl Artifact {
             }
         }
 
-        let mut out = Vec::with_capacity(6 + meta.len() + specs.len() + params.len() + 36);
+        // HASHES: one SHA-256 per param-bearing layer. Only writable when
+        // the parameter list lines up with the specs — a misaligned
+        // artifact (which `validate` rejects anyway) still encodes, just
+        // without content hashes.
+        let hashes = match self.layer_hashes() {
+            Ok(hs) => {
+                let mut buf = Vec::with_capacity(4 + hs.len() * LAYER_HASH_LEN);
+                buf.put_u32(u32_dim(hs.len(), "hash count")?);
+                for h in &hs {
+                    buf.put_slice(h);
+                }
+                Some(buf)
+            }
+            Err(_) => None,
+        };
+
+        let mut out = Vec::with_capacity(6 + meta.len() + specs.len() + params.len() + 81);
         out.put_slice(MAGIC);
         out.put_u16(VERSION);
-        for (id, payload) in [
+        let mut sections = vec![
             (SEC_META, &meta),
             (SEC_SPECS, &specs),
             (SEC_PARAMS, &params),
-        ] {
+        ];
+        if let Some(h) = &hashes {
+            sections.push((SEC_HASHES, h));
+        }
+        for (id, payload) in sections {
             out.put_u8(id);
             out.put_u32(u32_dim(payload.len(), "section length")?);
             out.put_slice(payload);
@@ -215,9 +255,15 @@ impl Artifact {
         let meta = cur.section(SEC_META, "META")?;
         let specs = cur.section(SEC_SPECS, "SPECS")?;
         let params = cur.section(SEC_PARAMS, "PARAMS")?;
+        // optional content-hash section (absent in pre-dedup files)
+        let hashes = if cur.is_empty() {
+            None
+        } else {
+            Some(decode_hashes(cur.section(SEC_HASHES, "HASHES")?)?)
+        };
         if !cur.is_empty() {
             return Err(ArtifactError::Malformed(format!(
-                "{} trailing bytes after PARAMS section",
+                "{} trailing bytes after final section",
                 cur.remaining()
             )));
         }
@@ -225,14 +271,41 @@ impl Artifact {
         let (model, revision, input, precision) = decode_meta(meta)?;
         let specs = decode_specs(specs)?;
         let params = decode_params(params)?;
-        Ok(Artifact {
+        let artifact = Artifact {
             model,
             revision,
             specs,
             input,
             precision,
             params,
-        })
+        };
+        // Stored hashes must agree with the layers actually present: the
+        // per-section CRCs prove each section arrived intact, the content
+        // hashes prove the sections belong *together*.
+        if let Some(stored) = hashes {
+            let computed = artifact.layer_hashes().map_err(|e| {
+                ArtifactError::HashMismatch(format!(
+                    "HASHES section present but the layers are unhashable: {e}"
+                ))
+            })?;
+            if stored.len() != computed.len() {
+                return Err(ArtifactError::HashMismatch(format!(
+                    "HASHES section carries {} hashes, specs have {} param-bearing layers",
+                    stored.len(),
+                    computed.len()
+                )));
+            }
+            for (i, (s, c)) in stored.iter().zip(&computed).enumerate() {
+                if s != c {
+                    return Err(ArtifactError::HashMismatch(format!(
+                        "layer {i}: stored content hash {} != recomputed {}",
+                        mlcnn_core::content::hex(s),
+                        mlcnn_core::content::hex(c)
+                    )));
+                }
+            }
+        }
+        Ok(artifact)
     }
 
     /// Semantic validation: the model name is legal, the spec list passes
@@ -240,6 +313,10 @@ impl Artifact {
     /// its spec requires, and a trial FP32 compile succeeds — so a
     /// validated artifact can never fail at request time.
     pub fn validate(&self) -> Result<(), ArtifactError> {
+        self.validate_inner(None)
+    }
+
+    fn validate_inner(&self, store: Option<&SegmentStore>) -> Result<(), ArtifactError> {
         validate_model_name(&self.model)?;
         if self.revision == 0 {
             return Err(ArtifactError::Malformed("revision 0 is reserved".into()));
@@ -269,7 +346,10 @@ impl Artifact {
         // executable plan, so the plan itself must prove its invariants
         // (gap-free shape chain, exact arena bounds, legal aliasing)
         // before the registry will ever serve this artifact.
-        let plan = self.compile(Precision::Fp32)?;
+        let plan = match store {
+            Some(store) => self.compile_shared(Precision::Fp32, store)?,
+            None => self.compile(Precision::Fp32)?,
+        };
         plan.verify().map_err(ArtifactError::Incompilable)
     }
 
@@ -291,6 +371,115 @@ impl Artifact {
         let artifact = Artifact::decode(bytes)?;
         artifact.validate()?;
         Ok(artifact)
+    }
+
+    /// Indices (into `specs`) of the param-bearing layers, in execution
+    /// order — the layers that carry a `[weight, bias]` pair and get a
+    /// content hash.
+    pub fn param_layer_specs(&self) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, LayerSpec::Conv { .. } | LayerSpec::Linear { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-layer content hashes: for each param-bearing layer, the
+    /// SHA-256 over its canonical spec encoding and its `[weight, bias]`
+    /// shapes + FP32 bytes. This is the identity the registry's dedup
+    /// index keys on and the HASHES section stores — deterministic across
+    /// machines (fixed-width big-endian dims, little-endian floats, no
+    /// ambient state). Fails when the parameter list does not line up
+    /// with the specs.
+    pub fn layer_hashes(&self) -> Result<Vec<LayerHash>, ArtifactError> {
+        let layers = self.param_layer_specs();
+        if self.params.len() != layers.len() * 2 {
+            return Err(ArtifactError::SpecParamMismatch(format!(
+                "cannot hash layers: specs require {} parameter tensors, artifact carries {}",
+                layers.len() * 2,
+                self.params.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(layers.len());
+        for (li, &si) in layers.iter().enumerate() {
+            let mut spec_bytes = Vec::new();
+            encode_spec(&self.specs[si], &mut spec_bytes)?;
+            let mut h = Sha256::new();
+            h.update(b"mlcnn-layer-v1");
+            h.update(&spec_bytes);
+            for t in &self.params[li * 2..li * 2 + 2] {
+                let s = t.shape();
+                h.update_usize(s.n);
+                h.update_usize(s.c);
+                h.update_usize(s.h);
+                h.update_usize(s.w);
+                h.update_f32(t.as_slice());
+            }
+            out.push(h.finish());
+        }
+        Ok(out)
+    }
+
+    /// Copy-on-write derivation: a new artifact at `revision` identical to
+    /// this one except that param-bearing layer `layer` (0-based, in
+    /// execution order) carries the given `[weight, bias]`. Every other
+    /// layer's tensors are shared structurally — packed, their content
+    /// hashes are unchanged, so a registry opening both revisions keeps
+    /// one resident copy of everything but the replaced layer.
+    pub fn with_layer_params(
+        &self,
+        revision: u64,
+        layer: usize,
+        weight: Tensor<f32>,
+        bias: Tensor<f32>,
+    ) -> Result<Artifact, ArtifactError> {
+        let layers = self.param_layer_specs();
+        if self.params.len() != layers.len() * 2 {
+            return Err(ArtifactError::SpecParamMismatch(format!(
+                "specs require {} parameter tensors, artifact carries {}",
+                layers.len() * 2,
+                self.params.len()
+            )));
+        }
+        if layer >= layers.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "layer index {layer} out of range: artifact has {} param-bearing layers",
+                layers.len()
+            )));
+        }
+        let mut derived = self.clone();
+        derived.revision = revision;
+        derived.params[layer * 2] = weight;
+        derived.params[layer * 2 + 1] = bias;
+        derived.validate()?;
+        Ok(derived)
+    }
+
+    /// [`Artifact::compile`] through a content-addressed [`SegmentStore`]:
+    /// baked parameter segments are shared with every other plan compiled
+    /// through the same store whose source layer hashes identically. The
+    /// plan is bitwise identical to the unshared compile.
+    pub fn compile_shared(
+        &self,
+        precision: Precision,
+        store: &SegmentStore,
+    ) -> Result<ExecutionPlan, ArtifactError> {
+        ExecutionPlan::compile_shared(
+            &self.specs,
+            &self.params,
+            self.input,
+            PlanOptions::default().with_precision(precision),
+            store,
+        )
+        .map_err(|e| ArtifactError::Incompilable(e.to_string()))
+    }
+
+    /// [`Artifact::validate`] whose trial compile runs through `store`, so
+    /// a registry open that validates many revisions bakes each unique
+    /// layer once instead of once per revision.
+    pub fn validate_shared(&self, store: &SegmentStore) -> Result<(), ArtifactError> {
+        self.validate_inner(Some(store))
     }
 }
 
@@ -415,6 +604,28 @@ fn decode_params(payload: &[u8]) -> Result<Vec<Tensor<f32>>, ArtifactError> {
         ));
     }
     Ok(tensors)
+}
+
+fn decode_hashes(payload: &[u8]) -> Result<Vec<LayerHash>, ArtifactError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u32("hash count")? as usize;
+    if count > cur.remaining() / LAYER_HASH_LEN {
+        return Err(ArtifactError::Malformed(format!(
+            "hash count {count} exceeds what {} payload bytes can hold",
+            cur.remaining()
+        )));
+    }
+    let mut hashes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let bytes = cur.take(LAYER_HASH_LEN, "layer hash")?;
+        hashes.push(bytes.try_into().expect("32-byte slice"));
+    }
+    if !cur.is_empty() {
+        return Err(ArtifactError::Malformed(
+            "trailing bytes in HASHES section".into(),
+        ));
+    }
+    Ok(hashes)
 }
 
 /// `n·c·h·w` without overflow; `None` when the product leaves `usize`.

@@ -1,0 +1,100 @@
+//! `mlcnn-registry` — operate on a registry directory from the shell.
+//!
+//! ```text
+//! mlcnn-registry status DIR
+//! mlcnn-registry gc DIR [--prune]
+//! ```
+//!
+//! `status` opens the directory through the full `R0xx` validation gate
+//! and prints every model's revisions, active revision, and the dedup
+//! index occupancy. `gc` lists the revisions unreachable from any
+//! publish/rollback history — with a fresh open that is every revision
+//! except each model's newest — and with `--prune` deletes them from
+//! disk. Exit code is non-zero on any error, including an unopenable
+//! registry, so the tool is scriptable.
+
+use std::process::ExitCode;
+
+use mlcnn_registry::ModelRegistry;
+
+fn usage() -> String {
+    "usage: mlcnn-registry status DIR | mlcnn-registry gc DIR [--prune]".into()
+}
+
+fn cmd_status(dir: &str) -> Result<(), String> {
+    let reg = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+    for status in reg.status() {
+        let revisions: Vec<String> = status.revisions.iter().map(u64::to_string).collect();
+        println!(
+            "{}: active {} of [{}] (default {:?})",
+            status.model,
+            status.active,
+            revisions.join(", "),
+            status.precision
+        );
+    }
+    let stats = reg.segment_stats();
+    println!(
+        "dedup index: {} live segments, {} bytes resident, {} hits / {} misses",
+        stats.live, stats.resident_bytes, stats.hits, stats.misses
+    );
+    Ok(())
+}
+
+fn cmd_gc(dir: &str, prune: bool) -> Result<(), String> {
+    let reg = ModelRegistry::open(dir).map_err(|e| e.to_string())?;
+    let candidates = reg.gc(prune).map_err(|e| e.to_string())?;
+    if candidates.is_empty() {
+        println!("mlcnn-registry gc: nothing unreferenced");
+        return Ok(());
+    }
+    let mut total = 0u64;
+    for c in &candidates {
+        total += c.bytes;
+        println!(
+            "{} {}@{} ({} bytes) {}",
+            if prune { "pruned" } else { "unreferenced" },
+            c.model,
+            c.revision,
+            c.bytes,
+            c.file.display()
+        );
+    }
+    println!(
+        "mlcnn-registry gc: {} revision(s), {} bytes{}",
+        candidates.len(),
+        total,
+        if prune {
+            " reclaimed"
+        } else {
+            " reclaimable (re-run with --prune to delete)"
+        }
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("status") => match args.as_slice() {
+            [_, dir] => cmd_status(dir),
+            _ => Err(usage()),
+        },
+        Some("gc") => match args.as_slice() {
+            [_, dir] => cmd_gc(dir, false),
+            [_, dir, flag] if flag == "--prune" => cmd_gc(dir, true),
+            _ => Err(usage()),
+        },
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlcnn-registry: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

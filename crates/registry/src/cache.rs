@@ -1,14 +1,27 @@
-//! Bounded LRU cache of compiled execution plans.
+//! Byte-budgeted LRU cache of compiled execution plans.
 //!
 //! Compiling a plan re-reads the artifact and bakes its weights — cheap
 //! enough to do lazily, expensive enough not to redo per request. The
-//! registry keys plans by `(model, revision, precision)` and keeps at most
-//! a fixed number of compiled plans alive; the least-recently-used entry
-//! is evicted when a new compilation would exceed the bound.
+//! registry keys plans by `(model, revision, precision)` and bounds the
+//! cache by *estimated resident bytes*, not entry count: a plan's cost is
+//! its baked parameter bytes plus its single-request arena high-water
+//! mark ([`ExecutionPlan::resident_param_bytes`] +
+//! [`ExecutionPlan::arena_bytes`]). Counting entries would let a handful
+//! of large models blow the memory envelope that dozens of small ones
+//! respect; counting bytes makes the bound mean what operators configure.
+//!
+//! The estimate is deliberately an *as-if-unshared* upper bound: plans
+//! compiled through the dedup [`SegmentStore`](mlcnn_core::SegmentStore)
+//! share weight `Arc`s, so true incremental cost can be far lower. The
+//! cache stays conservative — eviction under dedup happens earlier than
+//! strictly necessary, never later.
 //!
 //! Entries are `Arc<ExecutionPlan>`, so eviction never tears a plan out
 //! from under a live `Service` — the service holds its own `Arc` and the
-//! plan is freed only when the last holder drops it.
+//! plan is freed only when the last holder drops it. The most recently
+//! inserted entry is never evicted by its own insertion: even a plan
+//! larger than the whole budget is admitted alone, because the caller is
+//! about to use it and recompiling every request would be worse.
 
 use mlcnn_core::ExecutionPlan;
 use mlcnn_quant::Precision;
@@ -28,48 +41,77 @@ pub struct PlanKey {
 
 struct Entry {
     plan: Arc<ExecutionPlan>,
+    /// Estimated resident cost: baked parameter bytes + single-request
+    /// arena bytes, computed once at insert.
+    bytes: usize,
     /// Logical timestamp of the last hit (monotone counter, not wall
     /// clock — only the ordering matters).
     last_used: u64,
 }
 
-/// Bounded LRU of compiled plans. All methods are `&self`; the interior
-/// mutex makes the cache shareable across the registry's callers.
+/// Point-in-time occupancy of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of plans currently resident.
+    pub entries: usize,
+    /// Estimated resident bytes across all entries (as-if-unshared:
+    /// parameter bytes + per-plan arena, ignoring dedup sharing).
+    pub resident_bytes: usize,
+    /// Configured byte budget.
+    pub capacity_bytes: usize,
+}
+
+/// Byte-budgeted LRU of compiled plans. All methods are `&self`; the
+/// interior mutex makes the cache shareable across the registry's
+/// callers.
 pub struct PlanCache {
-    capacity: usize,
+    capacity_bytes: usize,
     inner: Mutex<Inner>,
 }
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
         f.debug_struct("PlanCache")
-            .field("capacity", &self.capacity)
-            .field("len", &self.len())
+            .field("capacity_bytes", &stats.capacity_bytes)
+            .field("entries", &stats.entries)
+            .field("resident_bytes", &stats.resident_bytes)
             .finish()
     }
 }
 
 struct Inner {
     entries: HashMap<PlanKey, Entry>,
+    resident_bytes: usize,
     clock: u64,
 }
 
+/// Estimated resident cost of one cached plan: baked parameter bytes
+/// plus the batch-1 arena high-water mark.
+fn plan_bytes(plan: &ExecutionPlan) -> usize {
+    plan.resident_param_bytes()
+        .saturating_add(plan.arena_bytes(1))
+}
+
 impl PlanCache {
-    /// Cache holding at most `capacity` compiled plans (minimum 1 — a
-    /// zero-capacity cache would recompile on every request).
-    pub fn new(capacity: usize) -> Self {
+    /// Cache evicting least-recently-used plans once estimated resident
+    /// bytes exceed `capacity_bytes`. The newest entry is always admitted
+    /// regardless of size, so any budget (including `0`) holds at least
+    /// one plan.
+    pub fn new(capacity_bytes: usize) -> Self {
         PlanCache {
-            capacity: capacity.max(1),
+            capacity_bytes,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                resident_bytes: 0,
                 clock: 0,
             }),
         }
     }
 
-    /// Maximum number of resident plans.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
     }
 
     /// Number of plans currently resident.
@@ -86,6 +128,16 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Occupancy snapshot: entry count, estimated resident bytes, budget.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        CacheStats {
+            entries: inner.entries.len(),
+            resident_bytes: inner.resident_bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+
     /// Look up a plan, refreshing its recency on hit.
     pub fn get(&self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
@@ -96,10 +148,11 @@ impl PlanCache {
         Some(Arc::clone(&entry.plan))
     }
 
-    /// Insert a freshly compiled plan, evicting the least-recently-used
-    /// entry if the cache is full. Returns the inserted plan (or, if a
-    /// racing caller beat us to the same key, the plan already resident —
-    /// so concurrent compilers converge on one instance).
+    /// Insert a freshly compiled plan, then evict least-recently-used
+    /// entries (never the one just inserted) until estimated resident
+    /// bytes fit the budget. Returns the inserted plan (or, if a racing
+    /// caller beat us to the same key, the plan already resident — so
+    /// concurrent compilers converge on one instance).
     pub fn insert(&self, key: PlanKey, plan: Arc<ExecutionPlan>) -> Arc<ExecutionPlan> {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.clock += 1;
@@ -108,33 +161,62 @@ impl PlanCache {
             existing.last_used = now;
             return Arc::clone(&existing.plan);
         }
-        if inner.entries.len() >= self.capacity {
-            // O(n) scan is fine at registry scale (capacity is tens of
-            // plans, not thousands).
-            if let Some(victim) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.entries.remove(&victim);
-            }
-        }
+        let bytes = plan_bytes(&plan);
+        inner.resident_bytes = inner.resident_bytes.saturating_add(bytes);
         inner.entries.insert(
-            key,
+            key.clone(),
             Entry {
                 plan: Arc::clone(&plan),
+                bytes,
                 last_used: now,
             },
         );
+        while inner.resident_bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            // O(n) scan is fine at registry scale (the cache holds tens
+            // of plans, not thousands).
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("len > 1 so a non-inserted entry exists");
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(evicted.bytes);
+            }
+        }
         plan
     }
 
+    /// Drop every cached plan for one `(model, revision)` across all
+    /// precisions — used when `gc` prunes a revision.
+    pub fn evict_revision(&self, model: &str, revision: u64) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut freed = 0usize;
+        inner.entries.retain(|k, e| {
+            let keep = k.model != model || k.revision != revision;
+            if !keep {
+                freed = freed.saturating_add(e.bytes);
+            }
+            keep
+        });
+        inner.resident_bytes = inner.resident_bytes.saturating_sub(freed);
+    }
+
     /// Drop every cached plan for `model` (all revisions and precisions) —
-    /// used when a model's artifacts are republished in place.
+    /// used when a model's artifacts are republished in place or pruned
+    /// by `gc`.
     pub fn evict_model(&self, model: &str) {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
-        inner.entries.retain(|k, _| k.model != model);
+        let mut freed = 0usize;
+        inner.entries.retain(|k, e| {
+            let keep = k.model != model;
+            if !keep {
+                freed = freed.saturating_add(e.bytes);
+            }
+            keep
+        });
+        inner.resident_bytes = inner.resident_bytes.saturating_sub(freed);
     }
 }
 
@@ -165,9 +247,14 @@ mod tests {
         }
     }
 
+    /// Budget for exactly `n` copies of the tiny test plan.
+    fn budget_for(n: usize) -> usize {
+        plan_bytes(&tiny_plan()) * n
+    }
+
     #[test]
-    fn capacity_is_enforced_with_lru_eviction() {
-        let cache = PlanCache::new(2);
+    fn byte_budget_is_enforced_with_lru_eviction() {
+        let cache = PlanCache::new(budget_for(2));
         cache.insert(key("a", 1), tiny_plan());
         cache.insert(key("b", 1), tiny_plan());
         // touch "a" so "b" is the LRU victim
@@ -177,21 +264,47 @@ mod tests {
         assert!(cache.get(&key("a", 1)).is_some());
         assert!(cache.get(&key("b", 1)).is_none());
         assert!(cache.get(&key("c", 1)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.resident_bytes, budget_for(2));
+        assert!(stats.resident_bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn stats_track_bytes_through_insert_and_evict() {
+        let cache = PlanCache::new(budget_for(8));
+        let per_plan = plan_bytes(&tiny_plan());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 0,
+                resident_bytes: 0,
+                capacity_bytes: per_plan * 8,
+            }
+        );
+        cache.insert(key("a", 1), tiny_plan());
+        cache.insert(key("a", 2), tiny_plan());
+        cache.insert(key("b", 1), tiny_plan());
+        assert_eq!(cache.stats().resident_bytes, per_plan * 3);
+        cache.evict_model("a");
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().resident_bytes, per_plan);
     }
 
     #[test]
     fn insert_is_idempotent_per_key() {
-        let cache = PlanCache::new(4);
+        let cache = PlanCache::new(budget_for(4));
         let first = cache.insert(key("a", 1), tiny_plan());
         let second = cache.insert(key("a", 1), tiny_plan());
         // the racing insert converges on the resident plan
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().resident_bytes, plan_bytes(&tiny_plan()));
     }
 
     #[test]
     fn evict_model_clears_all_revisions() {
-        let cache = PlanCache::new(8);
+        let cache = PlanCache::new(budget_for(8));
         cache.insert(key("a", 1), tiny_plan());
         cache.insert(key("a", 2), tiny_plan());
         cache.insert(key("b", 1), tiny_plan());
@@ -202,10 +315,16 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_is_clamped_to_one() {
+    fn oversized_entry_is_still_admitted_alone() {
+        // a zero-byte budget cannot hold any plan "within budget", but the
+        // newest insert is never its own victim — the cache degrades to
+        // capacity one instead of thrashing to zero
         let cache = PlanCache::new(0);
-        assert_eq!(cache.capacity(), 1);
         cache.insert(key("a", 1), tiny_plan());
         assert!(cache.get(&key("a", 1)).is_some());
+        assert_eq!(cache.len(), 1);
+        cache.insert(key("b", 1), tiny_plan());
+        assert!(cache.get(&key("a", 1)).is_none(), "LRU must still evict");
+        assert!(cache.get(&key("b", 1)).is_some());
     }
 }

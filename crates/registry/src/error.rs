@@ -33,6 +33,11 @@ pub enum ArtifactError {
     SpecParamMismatch(String),
     /// The spec list cannot be compiled into an execution plan.
     Incompilable(String),
+    /// The stored HASHES section disagrees with the layer content hashes
+    /// recomputed from the decoded specs and parameters — the sections
+    /// passed their CRCs individually but do not belong together
+    /// (surfaced as `R005` by the registry scan).
+    HashMismatch(String),
 }
 
 impl fmt::Display for ArtifactError {
@@ -54,6 +59,9 @@ impl fmt::Display for ArtifactError {
                 write!(f, "parameters disagree with specs: {why}")
             }
             ArtifactError::Incompilable(why) => write!(f, "spec list not plan-compilable: {why}"),
+            ArtifactError::HashMismatch(why) => {
+                write!(f, "layer content hash mismatch: {why}")
+            }
         }
     }
 }
@@ -80,6 +88,14 @@ pub enum RegistryError {
     /// Rollback was requested but the model's publish history holds only
     /// the currently active revision.
     NoHistory(String),
+    /// `install` was asked to write a `model@revision` that already
+    /// exists — published artifacts are immutable.
+    RevisionExists {
+        /// Model name.
+        model: String,
+        /// Revision that already exists.
+        revision: u64,
+    },
     /// An artifact that validated at `open` later failed to load or
     /// compile (e.g. the file changed on disk underneath the registry).
     Artifact {
@@ -104,6 +120,9 @@ impl fmt::Display for RegistryError {
                     f,
                     "model '{model}' has no previous revision to roll back to"
                 )
+            }
+            RegistryError::RevisionExists { model, revision } => {
+                write!(f, "model '{model}' already has revision {revision}")
             }
             RegistryError::Artifact { file, error } => write!(f, "{file}: {error}"),
         }

@@ -19,8 +19,14 @@
 //!   `mlcnn-check`. A registry that opens cleanly cannot fail on an
 //!   artifact at request time.
 //! - **Routing state** — per-model revision catalogs with an active
-//!   revision, publish/rollback history, and a bounded LRU of lazily
-//!   compiled plans ([`cache::PlanCache`]).
+//!   revision, publish/rollback history, and a byte-budgeted LRU of
+//!   lazily compiled plans ([`cache::PlanCache`]).
+//! - **Content-addressed dedup** — every plan the registry compiles goes
+//!   through a shared [`mlcnn_core::SegmentStore`], so structurally
+//!   identical layers (across revisions and across models) share one
+//!   baked weight allocation; [`Artifact::with_layer_params`] derives a
+//!   new revision copy-on-write, and the `.mlcnn` HASHES section pins
+//!   each layer's content hash at pack time (`R005` on mismatch).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -31,7 +37,9 @@ pub mod crc32;
 pub mod error;
 pub mod registry;
 
-pub use artifact::{artifact_file_name, parse_file_name, validate_model_name, Artifact};
-pub use cache::{PlanCache, PlanKey};
+pub use artifact::{
+    artifact_file_name, parse_file_name, validate_model_name, Artifact, LayerHash, LAYER_HASH_LEN,
+};
+pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use error::{ArtifactError, RegistryError};
-pub use registry::{ModelRegistry, ModelStatus, DEFAULT_PLAN_CACHE};
+pub use registry::{GcCandidate, ModelRegistry, ModelStatus, DEFAULT_PLAN_CACHE_BYTES};

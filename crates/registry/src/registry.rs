@@ -35,14 +35,15 @@ use crate::artifact::{parse_file_name, Artifact, ARTIFACT_EXT};
 use crate::cache::{PlanCache, PlanKey};
 use crate::error::{ArtifactError, RegistryError};
 use mlcnn_check::{check_registry_scan_summary, ArtifactFinding, ArtifactLint};
-use mlcnn_core::ExecutionPlan;
+use mlcnn_core::{ExecutionPlan, SegmentStats, SegmentStore};
 use mlcnn_quant::Precision;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-/// Default bound on resident compiled plans.
-pub const DEFAULT_PLAN_CACHE: usize = 16;
+/// Default byte budget for resident compiled plans (estimated as baked
+/// parameters + single-request arena per plan, counted as-if-unshared).
+pub const DEFAULT_PLAN_CACHE_BYTES: usize = 256 << 20;
 
 /// One revision of one model as the scan recorded it.
 #[derive(Debug, Clone)]
@@ -69,6 +70,24 @@ pub struct ModelRegistry {
     root: PathBuf,
     models: Mutex<BTreeMap<String, ModelState>>,
     cache: PlanCache,
+    /// Content-addressed dedup index: every plan this registry compiles
+    /// interns its baked layer segments here, so structurally identical
+    /// layers — across revisions of one model or across models — share
+    /// one weight allocation. Weak-referenced: the store pins nothing.
+    segments: Arc<SegmentStore>,
+}
+
+/// One revision `gc` found unreachable from any publish/rollback history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcCandidate {
+    /// Model name.
+    pub model: String,
+    /// Unreferenced revision.
+    pub revision: u64,
+    /// Artifact file backing it.
+    pub file: PathBuf,
+    /// On-disk size of that file (0 when unreadable).
+    pub bytes: u64,
 }
 
 /// Immutable snapshot of one model's routing state, for status surfaces.
@@ -90,15 +109,17 @@ impl ModelRegistry {
     /// holds no valid artifacts, or any artifact is corrupt, inconsistent,
     /// or a duplicate identity.
     pub fn open(dir: impl AsRef<Path>) -> Result<ModelRegistry, RegistryError> {
-        Self::open_with_cache(dir, DEFAULT_PLAN_CACHE)
+        Self::open_with_cache(dir, DEFAULT_PLAN_CACHE_BYTES)
     }
 
-    /// [`ModelRegistry::open`] with an explicit compiled-plan cache bound.
+    /// [`ModelRegistry::open`] with an explicit compiled-plan cache byte
+    /// budget.
     pub fn open_with_cache(
         dir: impl AsRef<Path>,
-        plan_cache: usize,
+        plan_cache_bytes: usize,
     ) -> Result<ModelRegistry, RegistryError> {
         let root = dir.as_ref().to_path_buf();
+        let segments = Arc::new(SegmentStore::new());
         let mut lints: Vec<ArtifactLint> = Vec::new();
         let mut scanned: Vec<(String, Artifact, PathBuf)> = Vec::new();
 
@@ -123,6 +144,12 @@ impl ModelRegistry {
                     finding: ArtifactFinding::Corrupt(format!("unreadable: {e}")),
                 },
                 Ok(bytes) => match Artifact::decode(&bytes) {
+                    Err(ArtifactError::HashMismatch(why)) => ArtifactLint {
+                        file: file.clone(),
+                        model: String::new(),
+                        revision: 0,
+                        finding: ArtifactFinding::HashMismatch(why),
+                    },
                     Err(e) => ArtifactLint {
                         file: file.clone(),
                         model: String::new(),
@@ -130,13 +157,19 @@ impl ModelRegistry {
                         finding: ArtifactFinding::Corrupt(e.to_string()),
                     },
                     Ok(artifact) => {
-                        let finding = match artifact.validate() {
+                        // the trial compile runs through the shared store,
+                        // so open both proves compilability and exercises
+                        // the dedup index's conflict check (R006)
+                        let finding = match artifact.validate_shared(&segments) {
                             Ok(()) => ArtifactFinding::Ok,
                             Err(ArtifactError::SpecParamMismatch(why)) => {
                                 ArtifactFinding::ParamMismatch(why)
                             }
                             Err(ArtifactError::Incompilable(why)) => {
                                 ArtifactFinding::Incompilable(why)
+                            }
+                            Err(ArtifactError::HashMismatch(why)) => {
+                                ArtifactFinding::HashMismatch(why)
                             }
                             Err(other) => ArtifactFinding::Corrupt(other.to_string()),
                         };
@@ -202,7 +235,8 @@ impl ModelRegistry {
         Ok(ModelRegistry {
             root,
             models: Mutex::new(models),
-            cache: PlanCache::new(plan_cache),
+            cache: PlanCache::new(plan_cache_bytes),
+            segments,
         })
     }
 
@@ -326,12 +360,115 @@ impl ModelRegistry {
             });
         }
         let plan = artifact
-            .compile(precision)
+            .compile_shared(precision, &self.segments)
             .map_err(|error| RegistryError::Artifact {
                 file: file_name,
                 error,
             })?;
         Ok((revision, self.cache.insert(key, Arc::new(plan))))
+    }
+
+    /// Validate `artifact` through the dedup index, write it into the
+    /// registry directory, and make its revision routable (but *not*
+    /// active — use [`ModelRegistry::publish`] to switch traffic; a brand
+    /// new model's first revision becomes active immediately). This is
+    /// the copy-on-write publish path: an artifact derived with
+    /// [`Artifact::with_layer_params`] shares every unchanged layer's
+    /// baked weights with its predecessor once compiled.
+    ///
+    /// Installing a `model@revision` that already exists is rejected —
+    /// published artifacts are immutable.
+    pub fn install(&self, artifact: &Artifact) -> Result<u64, RegistryError> {
+        let file_name = artifact.file_name();
+        let wrap = |error: ArtifactError| RegistryError::Artifact {
+            file: file_name.clone(),
+            error,
+        };
+        artifact.validate_shared(&self.segments).map_err(wrap)?;
+        let bytes = artifact.encode().map_err(wrap)?;
+
+        let mut models = self.models.lock().expect("registry poisoned");
+        if let Some(state) = models.get(&artifact.model) {
+            if state.revisions.contains_key(&artifact.revision) {
+                return Err(RegistryError::RevisionExists {
+                    model: artifact.model.clone(),
+                    revision: artifact.revision,
+                });
+            }
+        }
+        let path = self.root.join(&file_name);
+        std::fs::write(&path, &bytes)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", path.display())))?;
+        let state = models
+            .entry(artifact.model.clone())
+            .or_insert_with(|| ModelState {
+                revisions: BTreeMap::new(),
+                history: Vec::new(),
+            });
+        state.revisions.insert(
+            artifact.revision,
+            Revision {
+                file: path,
+                precision: artifact.precision,
+            },
+        );
+        if state.history.is_empty() {
+            state.history.push(artifact.revision);
+        }
+        Ok(artifact.revision)
+    }
+
+    /// Revisions unreachable from any model's publish/rollback history:
+    /// neither active nor anywhere on a history stack a rollback could
+    /// return to. Pure report — nothing is modified.
+    pub fn gc_plan(&self) -> Vec<GcCandidate> {
+        let models = self.models.lock().expect("registry poisoned");
+        let mut out = Vec::new();
+        for (name, state) in models.iter() {
+            for (&revision, rev) in &state.revisions {
+                if !state.history.contains(&revision) {
+                    let bytes = std::fs::metadata(&rev.file).map(|m| m.len()).unwrap_or(0);
+                    out.push(GcCandidate {
+                        model: name.clone(),
+                        revision,
+                        file: rev.file.clone(),
+                        bytes,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// [`ModelRegistry::gc_plan`], optionally pruning: with `prune` the
+    /// unreferenced revisions are deleted from disk, deregistered from
+    /// routing, and their cached plans evicted. Returns what was (or
+    /// would be) collected.
+    pub fn gc(&self, prune: bool) -> Result<Vec<GcCandidate>, RegistryError> {
+        let candidates = self.gc_plan();
+        if !prune {
+            return Ok(candidates);
+        }
+        let mut models = self.models.lock().expect("registry poisoned");
+        for c in &candidates {
+            if let Some(state) = models.get_mut(&c.model) {
+                // re-check under the lock: a racing publish may have made
+                // the revision reachable since the plan was computed
+                if state.history.contains(&c.revision) {
+                    continue;
+                }
+                state.revisions.remove(&c.revision);
+            }
+            match std::fs::remove_file(&c.file) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(RegistryError::Io(format!("{}: {e}", c.file.display())));
+                }
+            }
+            self.cache.evict_revision(&c.model, c.revision);
+        }
+        Ok(candidates)
     }
 
     /// Make `revision` the active revision of `model`, pushing the current
@@ -375,5 +512,18 @@ impl ModelRegistry {
     /// The plan cache, for instrumentation.
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The content-addressed dedup index every plan compiles through.
+    pub fn segments(&self) -> &Arc<SegmentStore> {
+        &self.segments
+    }
+
+    /// Occupancy of the dedup index: live unique segments, hit/miss
+    /// counters, and resident bytes of *unique* layer parameters — the
+    /// honest multi-tenant memory figure (the plan cache's own stats
+    /// count as-if-unshared).
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.segments.stats()
     }
 }

@@ -5,8 +5,9 @@
 use mlcnn_nn::spec::build_network;
 use mlcnn_nn::LayerSpec;
 use mlcnn_quant::Precision;
+use mlcnn_registry::crc32::crc32;
 use mlcnn_registry::{Artifact, ArtifactError, ModelRegistry, RegistryError};
-use mlcnn_tensor::Shape4;
+use mlcnn_tensor::{Shape4, Tensor};
 use std::path::PathBuf;
 
 /// A fresh scratch directory under the OS temp root, unique per test and
@@ -233,16 +234,191 @@ fn file_changed_under_registry_fails_at_plan_not_panic() {
 }
 
 #[test]
-fn lru_bound_is_respected_across_models() {
+fn lru_byte_budget_is_respected_across_models() {
     let dir = Scratch::new("lru");
     dir.write(&make("a", 1, 1));
     dir.write(&make("b", 1, 2));
     dir.write(&make("c", 1, 3));
-    let reg = ModelRegistry::open_with_cache(&dir.0, 2).unwrap();
+    // all three models are structurally identical, so one compiled plan's
+    // estimated bytes is the per-entry cost; budget for exactly two
+    let probe = ModelRegistry::open(&dir.0).unwrap();
+    probe.plan("a", None, Precision::Fp32).unwrap();
+    let per_plan = probe.cache().stats().resident_bytes;
+    assert!(per_plan > 0, "plan cost estimate must be non-zero");
+    drop(probe);
+
+    let reg = ModelRegistry::open_with_cache(&dir.0, per_plan * 2).unwrap();
     reg.plan("a", None, Precision::Fp32).unwrap();
     reg.plan("b", None, Precision::Fp32).unwrap();
     reg.plan("c", None, Precision::Fp32).unwrap();
-    assert_eq!(reg.cache().len(), 2, "LRU bound not enforced");
+    assert_eq!(reg.cache().len(), 2, "byte budget not enforced");
+    let stats = reg.cache().stats();
+    assert_eq!(stats.resident_bytes, per_plan * 2);
+    assert_eq!(stats.capacity_bytes, per_plan * 2);
     // evicted plans recompile transparently
     reg.plan("a", None, Precision::Fp32).unwrap();
+}
+
+/// Corrupt the first stored layer hash of an encoded artifact, fixing the
+/// HASHES section CRC and the whole-file CRC so only the *content* lies —
+/// the framing stays valid and decode must catch the mismatch itself.
+fn flip_stored_hash(mut bytes: Vec<u8>, hash_count: usize) -> Vec<u8> {
+    let payload_len = 4 + hash_count * 32;
+    let len = bytes.len();
+    // layout from the end: [..][HASHES payload][section CRC (4)][file CRC (4)]
+    let payload_start = len - 8 - payload_len;
+    bytes[payload_start + 4] ^= 0xFF; // first byte of the first hash
+    let section_crc = crc32(&bytes[payload_start..payload_start + payload_len]);
+    bytes[len - 8..len - 4].copy_from_slice(&section_crc.to_be_bytes());
+    let file_crc = crc32(&bytes[..len - 4]);
+    bytes[len - 4..].copy_from_slice(&file_crc.to_be_bytes());
+    bytes
+}
+
+#[test]
+fn stored_hash_mismatch_is_typed_and_rejects_open_with_r005() {
+    let artifact = make("m", 1, 1);
+    let bytes = flip_stored_hash(artifact.encode().unwrap(), 2);
+    assert!(matches!(
+        Artifact::decode(&bytes),
+        Err(ArtifactError::HashMismatch(_))
+    ));
+
+    let dir = Scratch::new("hash-mismatch");
+    std::fs::write(dir.0.join("m@1.mlcnn"), &bytes).unwrap();
+    let msg = ModelRegistry::open(&dir.0).unwrap_err().to_string();
+    assert!(msg.contains("R005"), "missing R005 in: {msg}");
+    assert!(msg.contains("m@1.mlcnn"), "missing file name in: {msg}");
+}
+
+#[test]
+fn pre_dedup_artifact_without_hashes_still_decodes() {
+    // strip the trailing HASHES section (id + len + payload + CRC) and
+    // re-seal the file CRC: the byte stream a pre-dedup writer produced
+    let artifact = make("m", 1, 7);
+    let mut bytes = artifact.encode().unwrap();
+    let payload_len = 4 + 2 * 32;
+    let section_len = 1 + 4 + payload_len + 4;
+    let len = bytes.len();
+    bytes.drain(len - 4 - section_len..len - 4);
+    let len = bytes.len();
+    let file_crc = crc32(&bytes[..len - 4]);
+    bytes[len - 4..].copy_from_slice(&file_crc.to_be_bytes());
+
+    let decoded = Artifact::decode(&bytes).unwrap();
+    assert_eq!(decoded, artifact);
+    decoded.validate().unwrap();
+}
+
+#[test]
+fn install_cow_revision_shares_unchanged_layers() {
+    let dir = Scratch::new("cow-install");
+    let base = make("m", 1, 1);
+    dir.write(&base);
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+
+    // derive revision 2 replacing only the linear layer's parameters
+    // (param-layer ordinal 1: conv is 0, linear is 1)
+    let linear_layer = 1;
+    let w_shape = base.params[2].shape();
+    let b_shape = base.params[3].shape();
+    let next = base
+        .with_layer_params(
+            2,
+            linear_layer,
+            Tensor::from_fn(w_shape, |_, _, h, w| (h as f32 - w as f32) / 8.0),
+            Tensor::from_fn(b_shape, |_, _, _, w| w as f32 / 16.0),
+        )
+        .unwrap();
+    assert_eq!(reg.install(&next).unwrap(), 2);
+    // the file landed on disk and a re-open sees it
+    assert!(dir.0.join("m@2.mlcnn").exists());
+
+    // installing the same identity again is rejected
+    assert!(matches!(
+        reg.install(&next),
+        Err(RegistryError::RevisionExists { revision: 2, .. })
+    ));
+
+    // active is still revision 1 until published
+    assert_eq!(reg.active("m").unwrap(), 1);
+    let (_, p1) = reg.plan("m", Some(1), Precision::Fp32).unwrap();
+    let (_, p2) = reg.plan("m", Some(2), Precision::Fp32).unwrap();
+
+    // the conv layer (unchanged) shares its baked segment; the linear
+    // layer (replaced) does not
+    let h1 = p1.param_handles();
+    let h2 = p2.param_handles();
+    assert_eq!(h1.len(), h2.len());
+    let shared: Vec<bool> = h1
+        .iter()
+        .zip(&h2)
+        .map(|(a, b)| a.addr() == b.addr())
+        .collect();
+    assert!(shared.iter().any(|&s| s), "no layer shared: {shared:?}");
+    assert!(!shared.iter().all(|&s| s), "every layer shared: {shared:?}");
+    assert!(reg.segment_stats().hits > 0, "dedup index saw no hits");
+
+    reg.publish("m", 2).unwrap();
+    assert_eq!(reg.active("m").unwrap(), 2);
+}
+
+#[test]
+fn gc_reports_then_prunes_unreferenced_revisions() {
+    let dir = Scratch::new("gc");
+    dir.write(&make("m", 1, 1));
+    dir.write(&make("m", 2, 2));
+    dir.write(&make("m", 3, 3));
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+
+    // active = 3; revisions 1 and 2 are unreachable
+    let plan = reg.gc_plan();
+    let ids: Vec<(String, u64)> = plan.iter().map(|c| (c.model.clone(), c.revision)).collect();
+    assert_eq!(ids, vec![("m".to_string(), 1), ("m".to_string(), 2)]);
+    assert!(plan.iter().all(|c| c.bytes > 0));
+
+    // publishing 1 makes it reachable (history [3, 1]); only 2 collects
+    reg.publish("m", 1).unwrap();
+    reg.plan("m", Some(2), Precision::Fp32).unwrap();
+    let pruned = reg.gc(true).unwrap();
+    assert_eq!(pruned.len(), 1);
+    assert_eq!(pruned[0].revision, 2);
+    assert!(!dir.0.join("m@2.mlcnn").exists());
+    assert!(dir.0.join("m@1.mlcnn").exists());
+    assert!(dir.0.join("m@3.mlcnn").exists());
+
+    // the pruned revision no longer routes and its plan left the cache
+    assert!(matches!(
+        reg.plan("m", Some(2), Precision::Fp32),
+        Err(RegistryError::UnknownRevision { revision: 2, .. })
+    ));
+    assert!(reg.gc_plan().is_empty());
+    // rollback history is intact: 1 -> 3
+    assert_eq!(reg.rollback("m").unwrap(), (3, 1));
+}
+
+#[test]
+fn identical_models_share_every_segment_across_names() {
+    // two models with byte-identical layers: the second compilation
+    // should allocate nothing new in the dedup index
+    let dir = Scratch::new("cross-model-dedup");
+    let a = make("a", 1, 42);
+    let mut b = make("a", 1, 42);
+    b.model = "b".into();
+    dir.write(&a);
+    dir.write(&b);
+    let reg = ModelRegistry::open(&dir.0).unwrap();
+
+    let (_, pa) = reg.plan("a", None, Precision::Fp32).unwrap();
+    let before = reg.segment_stats().resident_bytes;
+    let (_, pb) = reg.plan("b", None, Precision::Fp32).unwrap();
+    let after = reg.segment_stats().resident_bytes;
+    assert_eq!(before, after, "second model grew the dedup index");
+
+    let ha = pa.param_handles();
+    let hb = pb.param_handles();
+    assert!(!ha.is_empty());
+    for (x, y) in ha.iter().zip(&hb) {
+        assert_eq!(x.addr(), y.addr(), "segment not shared across models");
+    }
 }

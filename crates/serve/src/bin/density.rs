@@ -1,0 +1,222 @@
+//! `mlcnn-density` — multi-tenant density benchmark for the
+//! content-addressed dedup store.
+//!
+//! ```text
+//! mlcnn-density [--model NAME] [--revisions N] [--out BENCH_density.json]
+//! ```
+//!
+//! Packs `--revisions` revisions of one zoo model into a scratch
+//! registry, where revision *i* derives copy-on-write from the base by
+//! replacing param-bearing layer `i mod P` with that layer's fixed
+//! alternate variant — the worst realistic fleet: every revision differs
+//! from the base, but the registry as a whole contains only `2 × P`
+//! distinct layers. All revisions are then compiled and held live at
+//! once, as a single serving node would, and the report compares:
+//!
+//! - **naive** resident bytes: what N independent plans would hold
+//!   (per-plan baked parameters + arena, summed);
+//! - **dedup** resident bytes: unique segment bytes actually resident in
+//!   the shared store, plus one arena;
+//! - **single** footprint: one revision's parameters + arena.
+//!
+//! The gate is the paper-style density claim: serving every revision
+//! must cost at most **2×** the single-revision footprint, because only
+//! the unique layers (base + one alternate per layer) are resident.
+//! Exits non-zero if the ratio exceeds 2.0, if any revision fails to
+//! install or compile, or if any plan fails the verifier.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlcnn_core::ExecutionPlan;
+use mlcnn_quant::Precision;
+use mlcnn_registry::{Artifact, ModelRegistry};
+use mlcnn_serve::{find_model, SERVE_SEED};
+use mlcnn_tensor::Tensor;
+
+struct Args {
+    model: String,
+    revisions: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: "lenet5".into(),
+        revisions: 1000,
+        out: PathBuf::from("BENCH_density.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--model" => args.model = val("--model")?,
+            "--revisions" => {
+                args.revisions = val("--revisions")?
+                    .parse()
+                    .map_err(|e| format!("--revisions: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(val("--out")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.revisions == 0 {
+        return Err("--revisions must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Deterministic alternate parameters for param-layer `layer`: every
+/// revision replacing this layer uses the *same* variant, so the fleet
+/// holds exactly one alternate per layer no matter how many revisions
+/// reference it.
+fn alternate_params(base: &Artifact, layer: usize) -> (Tensor<f32>, Tensor<f32>) {
+    let w_shape = base.params[layer * 2].shape();
+    let b_shape = base.params[layer * 2 + 1].shape();
+    let salt = layer as f32 + 1.0;
+    let weight = Tensor::from_fn(w_shape, move |n, c, h, w| {
+        let x = (n * 31 + c * 17 + h * 7 + w) % 101;
+        (x as f32 - 50.0) / (60.0 * salt)
+    });
+    let bias = Tensor::from_fn(b_shape, move |_, _, _, w| (w % 11) as f32 / (40.0 * salt));
+    (weight, bias)
+}
+
+struct Scratch(PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let started = Instant::now();
+    let zoo = find_model(&args.model).map_err(|e| e.to_string())?;
+    let base = zoo
+        .artifact(1, Precision::Fp32, SERVE_SEED)
+        .map_err(|e| e.to_string())?;
+    let param_layers = base.param_layer_specs().len();
+    if param_layers == 0 {
+        return Err(format!("{}: no param-bearing layers", args.model));
+    }
+
+    let dir = std::env::temp_dir().join(format!("mlcnn-density-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let scratch = Scratch(dir);
+
+    std::fs::write(
+        scratch.0.join(base.file_name()),
+        base.encode().map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let registry = ModelRegistry::open(&scratch.0).map_err(|e| e.to_string())?;
+
+    // one fixed alternate per layer; revision i (2-based) replaces layer
+    // (i - 2) mod P with its layer's alternate
+    let alternates: Vec<(Tensor<f32>, Tensor<f32>)> = (0..param_layers)
+        .map(|l| alternate_params(&base, l))
+        .collect();
+    for rev in 2..=args.revisions {
+        let layer = ((rev - 2) as usize) % param_layers;
+        let (w, b) = alternates[layer].clone();
+        let derived = base
+            .with_layer_params(rev, layer, w, b)
+            .map_err(|e| format!("derive rev {rev}: {e}"))?;
+        registry
+            .install(&derived)
+            .map_err(|e| format!("install rev {rev}: {e}"))?;
+    }
+
+    // compile every revision and hold all plans live, as one node
+    // serving the whole fleet would
+    let mut plans: Vec<Arc<ExecutionPlan>> = Vec::with_capacity(args.revisions as usize);
+    let mut naive_param_bytes = 0usize;
+    for rev in 1..=args.revisions {
+        let (_, plan) = registry
+            .plan(&args.model, Some(rev), Precision::Fp32)
+            .map_err(|e| format!("compile rev {rev}: {e}"))?;
+        plan.verify()
+            .map_err(|e| format!("rev {rev} fails plan verification: {e}"))?;
+        naive_param_bytes += plan.resident_param_bytes();
+        plans.push(plan);
+    }
+
+    let arena_bytes = plans[0].arena_bytes(1);
+    let single_param_bytes = plans[0].resident_param_bytes();
+    let stats = registry.segment_stats();
+
+    // cross-check the store's byte accounting against pointer identity:
+    // every live segment bakes one weight and one bias allocation, so the
+    // unique Arc addresses across every live plan must be exactly twice
+    // the store's live segment count
+    let mut addrs: Vec<usize> = plans
+        .iter()
+        .flat_map(|p| p.param_handles())
+        .map(|h| h.addr())
+        .collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    if addrs.len() != stats.live * 2 {
+        return Err(format!(
+            "store reports {} live segments (= {} allocations) but plans hold {} unique allocations",
+            stats.live,
+            stats.live * 2,
+            addrs.len()
+        ));
+    }
+
+    let single = single_param_bytes + arena_bytes;
+    let naive = naive_param_bytes + args.revisions as usize * arena_bytes;
+    let dedup = stats.resident_bytes + arena_bytes;
+    let ratio = dedup as f64 / single as f64;
+    let elapsed = started.elapsed();
+
+    let report = format!(
+        "{{\n  \"model\": \"{}\",\n  \"revisions\": {},\n  \"param_layers\": {},\n  \"unique_segments\": {},\n  \"single_resident_bytes\": {},\n  \"naive_resident_bytes\": {},\n  \"dedup_resident_bytes\": {},\n  \"arena_bytes\": {},\n  \"density_ratio\": {:.4},\n  \"ratio_bound\": 2.0,\n  \"segment_hits\": {},\n  \"segment_misses\": {},\n  \"elapsed_ms\": {}\n}}\n",
+        args.model,
+        args.revisions,
+        param_layers,
+        stats.live,
+        single,
+        naive,
+        dedup,
+        arena_bytes,
+        ratio,
+        stats.hits,
+        stats.misses,
+        elapsed.as_millis(),
+    );
+    std::fs::write(&args.out, &report).map_err(|e| format!("write {}: {e}", args.out.display()))?;
+    println!(
+        "mlcnn-density: {} revisions of {} — single {} B, naive {} B, dedup {} B ({}x single, {} unique segments, {} ms)",
+        args.revisions,
+        args.model,
+        single,
+        naive,
+        dedup,
+        (ratio * 100.0).round() / 100.0,
+        stats.live,
+        elapsed.as_millis(),
+    );
+    if ratio > 2.0 {
+        return Err(format!(
+            "density gate failed: dedup resident {dedup} B is {ratio:.3}x the single-revision footprint {single} B (bound 2.0)"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mlcnn-density: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

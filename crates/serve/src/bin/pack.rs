@@ -20,7 +20,6 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mlcnn_nn::spec::build_network;
 use mlcnn_quant::Precision;
 use mlcnn_registry::Artifact;
 use mlcnn_serve::{find_model, serving_zoo, ServeModel, SERVE_SEED};
@@ -64,16 +63,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn pack_one(model: &ServeModel, args: &Args) -> Result<PathBuf, String> {
-    let mut net = build_network(&model.specs, model.input, args.seed)
-        .map_err(|e| format!("{}: {e}", model.name))?;
-    let artifact = Artifact {
-        model: model.name.to_string(),
-        revision: args.revision,
-        specs: model.specs.clone(),
-        input: model.input,
-        precision: args.precision,
-        params: net.export_params(),
-    };
+    let artifact = model
+        .artifact(args.revision, args.precision, args.seed)
+        .map_err(|e| e.to_string())?;
     let bytes = artifact
         .encode()
         .map_err(|e| format!("{}: {e}", model.name))?;

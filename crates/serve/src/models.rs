@@ -11,6 +11,7 @@ use mlcnn_core::{ExecutionPlan, PlanOptions};
 use mlcnn_nn::spec::build_network;
 use mlcnn_nn::{zoo, LayerSpec};
 use mlcnn_quant::Precision;
+use mlcnn_registry::Artifact;
 use mlcnn_tensor::Shape4;
 
 use crate::error::ServeError;
@@ -45,6 +46,29 @@ impl ServeModel {
             PlanOptions::default().with_precision(precision),
         )
         .map_err(|e| ServeError::Config(format!("{}: {e}", self.name)))
+    }
+
+    /// Pack the model into a registry [`Artifact`] at `revision`, with
+    /// weights drawn deterministically from `seed`. The same `(model,
+    /// revision, precision, seed)` always yields byte-identical encoded
+    /// artifacts — the property the pack-determinism test pins — so
+    /// separately packed registries agree on layer content hashes too.
+    pub fn artifact(
+        &self,
+        revision: u64,
+        precision: Precision,
+        seed: u64,
+    ) -> Result<Artifact, ServeError> {
+        let mut net = build_network(&self.specs, self.input, seed)
+            .map_err(|e| ServeError::Config(format!("{}: {e}", self.name)))?;
+        Ok(Artifact {
+            model: self.name.to_string(),
+            revision,
+            specs: self.specs.clone(),
+            input: self.input,
+            precision,
+            params: net.export_params(),
+        })
     }
 }
 

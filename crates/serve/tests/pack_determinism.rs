@@ -1,0 +1,98 @@
+//! Acceptance: `mlcnn-pack` is byte-deterministic. Packing the same
+//! `(model, revision, precision, seed)` twice — in-process or through
+//! two separate runs of the binary — yields byte-identical `.mlcnn`
+//! files, and therefore identical layer content hashes. Determinism is
+//! what makes content-addressed dedup useful: two operators packing the
+//! same checkpoint independently land on the same hashes and share
+//! segments the moment both registries are served from one node.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mlcnn_quant::Precision;
+use mlcnn_registry::Artifact;
+use mlcnn_serve::{serving_zoo, SERVE_SEED};
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("mlcnn-packdet-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn packing_twice_is_byte_identical_for_every_zoo_model() {
+    for model in serving_zoo() {
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let once = model.artifact(3, precision, SERVE_SEED).unwrap();
+            let twice = model.artifact(3, precision, SERVE_SEED).unwrap();
+            let a = once.encode().unwrap();
+            let b = twice.encode().unwrap();
+            assert_eq!(
+                a, b,
+                "{} @ {precision:?}: pack is not deterministic",
+                model.name
+            );
+            // and the content hashes — the dedup keys — agree too
+            assert_eq!(
+                once.layer_hashes().unwrap(),
+                twice.layer_hashes().unwrap(),
+                "{} @ {precision:?}: layer hashes unstable",
+                model.name
+            );
+            // a different seed must change the bytes (the test would pass
+            // vacuously if encode ignored the parameters)
+            let other = model.artifact(3, precision, SERVE_SEED + 1).unwrap();
+            assert_ne!(
+                a,
+                other.encode().unwrap(),
+                "{}: seed has no effect",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pack_binary_runs_are_byte_identical() {
+    let bin = env!("CARGO_BIN_EXE_mlcnn-pack");
+    let model = "mlp-mini";
+    let mut outputs = Vec::new();
+    for run in 0..2 {
+        let dir = Scratch::new(&format!("bin-{run}"));
+        let status = Command::new(bin)
+            .args([
+                "--out",
+                dir.0.to_str().unwrap(),
+                "--model",
+                model,
+                "--revision",
+                "2",
+                "--precision",
+                "int8",
+                "--seed",
+                "99",
+            ])
+            .status()
+            .expect("spawn mlcnn-pack");
+        assert!(status.success(), "mlcnn-pack run {run} failed");
+        let bytes = std::fs::read(dir.0.join(format!("{model}@2.mlcnn"))).unwrap();
+        // each run's file round-trips through the strict loader
+        Artifact::load(&bytes).unwrap();
+        outputs.push(bytes);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "two pack runs disagree byte-for-byte"
+    );
+}

@@ -76,6 +76,14 @@ fn packed_plans_match_direct_compilation_bitwise() {
                 .plan(model.name, Some(i as u64 + 1), precision)
                 .unwrap();
             assert_eq!(rev, i as u64 + 1);
+            // registry plans compile through the shared dedup store; the
+            // plan verifier must accept the shared-segment plan unchanged
+            packed.verify().unwrap_or_else(|e| {
+                panic!(
+                    "{} @ {precision:?}: shared plan fails verify: {e}",
+                    model.name
+                )
+            });
             let direct = model.compile(precision).unwrap();
             let mut ws_packed = Workspace::new();
             let mut ws_direct = Workspace::new();
